@@ -1,0 +1,29 @@
+# Convenience targets for the repro reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench artifacts validate examples clean
+
+install:
+	pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+artifacts:
+	$(PYTHON) -m repro.cli export --out results/
+
+validate:
+	$(PYTHON) -m repro.cli validate
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; $(PYTHON) $$ex > /dev/null || exit 1; \
+	done; echo "all examples ran cleanly"
+
+clean:
+	rm -rf results/ .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

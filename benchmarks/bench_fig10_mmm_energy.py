@@ -1,0 +1,46 @@
+"""Figure 10: MMM energy projections (normalised to BCE at 40 nm).
+
+Shape checks: at f=0.5 the sequential core pins everyone's energy
+(SymCMP > 2x BCE at 40 nm, no order-of-magnitude ASIC win); at
+f=0.9-0.99 the ASIC delivers a significant reduction relative to every
+other U-core; energy falls across generations via the ITRS rel-power
+column.
+"""
+
+import pytest
+
+from repro.projection.paperfigs import figure10_mmm_energy
+from repro.reporting.figures import render_energy_figure
+
+
+def test_fig10_mmm_energy(benchmark, save_artifact):
+    panels = benchmark(figure10_mmm_energy)
+    assert set(panels) == {0.5, 0.9, 0.99}
+
+    first = {
+        f: {s.design.short_label: s.energies()[0] for s in result.series}
+        for f, result in panels.items()
+    }
+
+    # Figure's f=0.5 panel: SymCMP ~2.5, HETs clustered ~1.3-1.5.
+    assert first[0.5]["SymCMP"] == pytest.approx(2.6, rel=0.1)
+    assert 1.0 < first[0.5]["ASIC"] < 1.6
+
+    # ASIC's energy advantage at moderate parallelism.
+    for f in (0.9, 0.99):
+        for other in ("LX760", "GTX285", "GTX480", "R5870"):
+            assert first[f]["ASIC"] < 0.8 * first[f][other], (f, other)
+
+    # Circuit improvements: every trajectory declines monotonically.
+    for f, result in panels.items():
+        for series in result.series:
+            energies = series.energies()
+            assert energies == sorted(energies, reverse=True)
+            # 11nm energy reflects the 4x rel-power improvement plus
+            # any design-point shift.
+            assert energies[-1] < 0.5 * energies[0]
+
+    save_artifact(
+        "fig10_mmm_energy",
+        render_energy_figure(panels, "Figure 10: MMM energy projections"),
+    )

@@ -1,0 +1,39 @@
+"""Figure 1: the three chip organisations, realised as floorplans.
+
+Times the end-to-end floorplan construction (optimizer point -> tiles
+-> die validation -> ASCII rendering) and checks the physical
+bookkeeping against the abstract model.
+"""
+
+import pytest
+
+from repro.core.chip import HeterogeneousChip
+from repro.core.optimizer import optimize
+from repro.devices.params import ucore_for
+from repro.itrs.roadmap import ITRS_2009
+from repro.layout.floorplan import NONCOMPUTE_FRACTION, build_floorplan
+from repro.layout.render import render_figure1
+from repro.projection.engine import node_budget
+
+
+def test_fig1_chip_models(benchmark, save_artifact):
+    text = benchmark(render_figure1)
+    for label in ("(a) Symmetric", "(b) Asymmetric",
+                  "(c) Heterogeneous"):
+        assert label in text
+
+    # Physical cross-check: the heterogeneous floorplan's BCE count
+    # equals the optimizer's n, and the die honours the 25% reserve.
+    node = ITRS_2009.node(40)
+    chip = HeterogeneousChip(ucore_for("ASIC", "fft", 1024))
+    point = optimize(chip, 0.99, node_budget(node, "fft", 1024))
+    plan = build_floorplan(chip, point, node)
+    assert plan.total_bce == pytest.approx(point.n)
+    assert plan.die_area_mm2 * (1 - NONCOMPUTE_FRACTION) == (
+        pytest.approx(node.core_area_budget_mm2)
+    )
+    assert plan.phase_power_bce(
+        "parallel", ucore_phi=chip.ucore.phi
+    ) == pytest.approx(chip.parallel_power(point.n, point.r, 1.75))
+
+    save_artifact("fig1_chip_models", text)

@@ -1,0 +1,33 @@
+"""Figure 2: FFT performance sweep, raw and area-normalised.
+
+Shape checks (paper, Section 5): area-normalised at 40 nm, the ASIC
+cores achieve ~100x over the flexible cores (FPGA, GPU) and ~1000x
+over the Core i7.
+"""
+
+from repro.measure.harness import MeasurementHarness
+from repro.reporting.experiments import run_experiment
+
+_HARNESS = MeasurementHarness()
+
+
+def test_fig2_fft_performance(benchmark, save_artifact):
+    series = benchmark(_HARNESS.fft_all_series)
+    at = {
+        dev: {p.log2_n: p for p in pts} for dev, pts in series.items()
+    }
+    # Raw performance: ASIC on top at its measured sizes (Figure 2 top).
+    for log2_n in range(6, 14):
+        assert at["ASIC"][log2_n].throughput > at["Core i7-960"][
+            log2_n
+        ].throughput
+
+    # Area-normalised ratios at N=1024 (Figure 2 bottom).
+    asic = at["ASIC"][10].per_mm2
+    flexible = max(at["GTX285"][10].per_mm2, at["LX760"][10].per_mm2,
+                   at["GTX480"][10].per_mm2)
+    cpu = at["Core i7-960"][10].per_mm2
+    assert 30 < asic / flexible < 300      # "nearly 100X"
+    assert 300 < asic / cpu < 3000         # "nearly 1000X"
+
+    save_artifact("fig2_fft_perf", run_experiment("F2"))

@@ -1,0 +1,32 @@
+"""Figure 3: per-device FFT power breakdown (raw watts).
+
+Shape checks: the CPU/GPUs sit in the tens-to-hundreds of watts while
+the ASIC cores draw an order of magnitude less; components sum to the
+observed total for every device and size.
+"""
+
+import pytest
+
+from repro.measure.powermodel import COMPONENT_ORDER, fft_power_series
+from repro.reporting.experiments import run_experiment
+
+_DEVICES = ("Core i7-960", "LX760", "GTX285", "GTX480", "ASIC")
+
+
+def all_power_series():
+    return {device: fft_power_series(device) for device in _DEVICES}
+
+
+def test_fig3_power_breakdown(benchmark, save_artifact):
+    series = benchmark(all_power_series)
+    for device, breakdowns in series.items():
+        for pb in breakdowns:
+            parts = sum(pb.component(c) for c in COMPONENT_ORDER)
+            assert parts == pytest.approx(pb.total)
+    # Envelope: big cores burn far more raw power than the ASIC.
+    i7 = series["Core i7-960"][5].total  # log2 N = 10
+    asic = next(pb for pb in series["ASIC"] if pb.log2_n == 10).total
+    gtx = next(pb for pb in series["GTX480"] if pb.log2_n == 10).total
+    assert i7 > 5 * asic
+    assert gtx > 5 * asic
+    save_artifact("fig3_fft_power", run_experiment("F3"))

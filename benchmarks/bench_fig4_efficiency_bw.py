@@ -1,0 +1,41 @@
+"""Figure 4: FFT energy efficiency + GTX285 bandwidth validation.
+
+Shape checks: ASIC ~2 orders of magnitude more efficient than the i7
+and ~10x over GPUs/FPGA; GTX285 traffic equals compulsory below 2^12,
+exceeds it above, and never saturates the 159 GB/s pins (compute-bound
+everywhere).
+"""
+
+from repro.measure.harness import MeasurementHarness
+from repro.measure.roofline import (
+    GTX285_ONCHIP_LIMIT_LOG2,
+    fft_bandwidth_series,
+)
+from repro.reporting.experiments import run_experiment
+
+_HARNESS = MeasurementHarness()
+
+
+def efficiency_and_bandwidth():
+    return _HARNESS.fft_all_series(), fft_bandwidth_series("GTX285")
+
+
+def test_fig4_efficiency_and_bandwidth(benchmark, save_artifact):
+    series, bandwidth = benchmark(efficiency_and_bandwidth)
+    at_1024 = {
+        dev: next(p for p in pts if p.log2_n == 10)
+        for dev, pts in series.items()
+    }
+    asic = at_1024["ASIC"].per_joule
+    assert asic / at_1024["Core i7-960"].per_joule > 50
+    assert asic / at_1024["GTX285"].per_joule > 5
+    assert asic / at_1024["LX760"].per_joule > 5
+
+    for sample in bandwidth:
+        if sample.log2_n < GTX285_ONCHIP_LIMIT_LOG2:
+            assert sample.measured_gbps == sample.compulsory_gbps
+        else:
+            assert sample.measured_gbps > sample.compulsory_gbps
+        assert sample.compute_bound is True
+
+    save_artifact("fig4_efficiency_bw", run_experiment("F4"))

@@ -1,0 +1,20 @@
+"""Figure 5: ITRS 2009 long-term trends.
+
+Shape checks: pins grow < 1.5x over fifteen years; combined power per
+transistor drops only ~4-5x while density rises ~16x (the paper's
+"power wall meets bandwidth wall" setup).
+"""
+
+from repro.itrs.roadmap import ITRS_2009, figure5_series
+from repro.reporting.experiments import run_experiment
+
+
+def test_fig5_itrs_trends(benchmark, save_artifact):
+    series = benchmark(figure5_series)
+    years = sorted(series["pins"])
+    assert series["pins"][years[-1]] < 1.5
+    assert 3.5 < 1.0 / series["combined_power"][2022] <= 5.0
+    # The roadmap's density doubling per node.
+    first, last = ITRS_2009.nodes[0], ITRS_2009.nodes[-1]
+    assert last.max_area_bce / first.max_area_bce > 15
+    save_artifact("fig5_itrs", run_experiment("F5"))

@@ -1,0 +1,45 @@
+"""Figure 6: FFT-1024 projection across nodes and f values.
+
+Shape checks against the paper's panels: bandwidth-limited plateaus at
+~25x (f=0.9), ~50x (f=0.99), ~58x (f=0.999) at 11 nm, matching the
+figure's 25/60/70 axes; the ASIC is bandwidth-limited from 40 nm; the
+flexible U-cores converge to the same plateau by 22 nm.
+"""
+
+import pytest
+
+from repro.core.constraints import LimitingFactor
+from repro.projection.paperfigs import figure6_fft_projection
+from repro.reporting.figures import render_projection_figure
+
+
+def test_fig6_fft_projection(benchmark, save_artifact):
+    panels = benchmark(figure6_fft_projection)
+    assert set(panels) == {0.5, 0.9, 0.99, 0.999}
+
+    final = {
+        f: {s.design.short_label: s.cells[-1] for s in result.series}
+        for f, result in panels.items()
+    }
+    # Plateau magnitudes (the paper's y-axis scales).
+    assert final[0.9]["ASIC"].speedup == pytest.approx(24.8, rel=0.05)
+    assert final[0.99]["ASIC"].speedup == pytest.approx(51.6, rel=0.05)
+    assert final[0.999]["ASIC"].speedup == pytest.approx(57.8, rel=0.05)
+    # f=0.5: nobody gets far past the Amdahl ceiling of 8.
+    assert final[0.5]["ASIC"].speedup < 8.0
+
+    # ASIC hits the bandwidth wall immediately.
+    for f in (0.9, 0.99, 0.999):
+        asic_series = panels[f].by_label()["ASIC"]
+        assert asic_series.cells[0].limiter is LimitingFactor.BANDWIDTH
+
+    # Flexible U-cores reach ASIC-like bandwidth-limited performance.
+    for flexible in ("LX760", "GTX285", "GTX480"):
+        assert final[0.99][flexible].speedup == pytest.approx(
+            final[0.99]["ASIC"].speedup, rel=1e-6
+        )
+
+    save_artifact(
+        "fig6_fft_projection",
+        render_projection_figure(panels, "Figure 6: FFT-1024 projection"),
+    )

@@ -1,0 +1,50 @@
+"""Figure 7: MMM projection across nodes and f values.
+
+Shape checks: the ASIC (bandwidth-exempt) tops every panel and reaches
+~1000x at f=0.999/11 nm (the figure's axis); flexible U-cores stay
+within 2-5x of the ASIC until f > 0.99; designs shift from area- to
+power-limited by 22 nm.
+"""
+
+import pytest
+
+from repro.core.constraints import LimitingFactor
+from repro.projection.paperfigs import figure7_mmm_projection
+from repro.reporting.figures import render_projection_figure
+
+
+def test_fig7_mmm_projection(benchmark, save_artifact):
+    panels = benchmark(figure7_mmm_projection)
+
+    final = {
+        f: {s.design.short_label: s.cells[-1] for s in result.series}
+        for f, result in panels.items()
+    }
+    # The figure's y-axis endpoints.
+    assert final[0.9]["ASIC"].speedup == pytest.approx(39.0, rel=0.05)
+    assert final[0.99]["ASIC"].speedup == pytest.approx(310.0, rel=0.05)
+    assert final[0.999]["ASIC"].speedup == pytest.approx(1023.0, rel=0.05)
+
+    # ASIC always wins, never bandwidth-limited.
+    for f, result in panels.items():
+        asic = result.by_label()["ASIC"]
+        assert result.winner().design.short_label == "ASIC"
+        assert all(
+            lim is not LimitingFactor.BANDWIDTH
+            for lim in asic.limiters()
+        )
+
+    # Flexible within 2-5x at f <= 0.99; beyond 5x only at f=0.999.
+    for f, lo, hi in ((0.9, 1.0, 2.0), (0.99, 2.0, 5.0),
+                      (0.999, 5.0, 12.0)):
+        flexible_best = max(
+            final[f][label].speedup
+            for label in ("LX760", "GTX285", "GTX480", "R5870")
+        )
+        ratio = final[f]["ASIC"].speedup / flexible_best
+        assert lo < ratio < hi, (f, ratio)
+
+    save_artifact(
+        "fig7_mmm_projection",
+        render_projection_figure(panels, "Figure 7: MMM projection"),
+    )

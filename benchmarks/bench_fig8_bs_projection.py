@@ -1,0 +1,43 @@
+"""Figure 8: Black-Scholes projection (f = 0.5 and 0.9).
+
+Shape checks: HETs converge to a shared bandwidth-limited plateau
+(~27x at f=0.9, the figure's ~30 axis); at f=0.5 even the CMPs land
+within 2x of the ASIC.
+"""
+
+import pytest
+
+from repro.core.constraints import LimitingFactor
+from repro.projection.paperfigs import figure8_bs_projection
+from repro.reporting.figures import render_projection_figure
+
+
+def test_fig8_bs_projection(benchmark, save_artifact):
+    panels = benchmark(figure8_bs_projection)
+    assert set(panels) == {0.5, 0.9}
+
+    final = {
+        f: {s.design.short_label: s.cells[-1] for s in result.series}
+        for f, result in panels.items()
+    }
+
+    # Bandwidth-limited plateau at f=0.9.
+    assert final[0.9]["ASIC"].speedup == pytest.approx(26.8, rel=0.05)
+    for label in ("LX760", "GTX285", "ASIC"):
+        assert final[0.9][label].limiter is LimitingFactor.BANDWIDTH
+        assert final[0.9][label].speedup == pytest.approx(
+            final[0.9]["ASIC"].speedup, rel=1e-6
+        )
+
+    # f=0.5: CMPs within a factor of two of the ASIC.
+    cmp_best = max(
+        final[0.5]["SymCMP"].speedup, final[0.5]["AsymCMP"].speedup
+    )
+    assert final[0.5]["ASIC"].speedup / cmp_best < 2.0
+
+    save_artifact(
+        "fig8_bs_projection",
+        render_projection_figure(
+            panels, "Figure 8: Black-Scholes projection"
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Figure 9: FFT-1024 with 1 TB/s starting bandwidth (scenario 2).
+
+Shape checks: most designs turn power-limited; the ASIC alone stays
+bandwidth-limited from the start; at f=0.9 the HETs hold a 2-3x gap
+over the CMPs; the ASIC only clears ~2x over the other HETs at
+f = 0.999.
+"""
+
+import pytest
+
+from repro.core.constraints import LimitingFactor
+from repro.projection.paperfigs import figure9_fft_high_bandwidth
+from repro.reporting.figures import render_projection_figure
+
+
+def test_fig9_fft_high_bandwidth(benchmark, save_artifact):
+    panels = benchmark(figure9_fft_high_bandwidth)
+
+    # ASIC: bandwidth-limited from 40 nm even at 1 TB/s.
+    for f in (0.9, 0.99, 0.999):
+        asic = panels[f].by_label()["ASIC"]
+        assert asic.cells[0].limiter is LimitingFactor.BANDWIDTH
+
+    # Everyone else: power-limited at the end of the roadmap.
+    final = {
+        f: {s.design.short_label: s.cells[-1] for s in result.series}
+        for f, result in panels.items()
+    }
+    for label in ("LX760", "GTX285", "GTX480"):
+        assert final[0.99][label].limiter is LimitingFactor.POWER
+
+    # f=0.9: HETs 2-3x over the CMPs.
+    cmp_best = max(
+        final[0.9]["SymCMP"].speedup, final[0.9]["AsymCMP"].speedup
+    )
+    het_best = max(
+        final[0.9][label].speedup
+        for label in ("LX760", "GTX285", "GTX480", "ASIC")
+    )
+    assert 1.5 < het_best / cmp_best < 4.0
+
+    # ASIC pulls ~2x ahead of other HETs only at extreme parallelism.
+    others_999 = max(
+        final[0.999][label].speedup
+        for label in ("LX760", "GTX285", "GTX480")
+    )
+    others_99 = max(
+        final[0.99][label].speedup
+        for label in ("LX760", "GTX285", "GTX480")
+    )
+    assert final[0.999]["ASIC"].speedup / others_999 > 1.1
+    assert (
+        final[0.999]["ASIC"].speedup / others_999
+        > final[0.99]["ASIC"].speedup / others_99
+    )
+
+    save_artifact(
+        "fig9_fft_1tbs",
+        render_projection_figure(
+            panels, "Figure 9: FFT-1024 at 1 TB/s"
+        ),
+    )

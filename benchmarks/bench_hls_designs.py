@@ -1,0 +1,52 @@
+"""Generated-hardware cost model vs Table 4's measured FPGA results.
+
+Times the scale-until-timing-fails loop for the Black-Scholes and MMM
+pipelines on the LX760 fabric and checks the generated designs land
+within the structural-accuracy band of the paper's measurements.
+"""
+
+import pytest
+
+from repro.devices.measurements import get_measurement
+from repro.hls.costmodel import (
+    BLACK_SCHOLES_DATAFLOW,
+    LX760_FABRIC,
+    MMM_PE_DATAFLOW,
+    scale_design,
+)
+
+
+def generate_both():
+    return (
+        scale_design(BLACK_SCHOLES_DATAFLOW, LX760_FABRIC),
+        scale_design(MMM_PE_DATAFLOW, LX760_FABRIC),
+    )
+
+
+def test_hls_generated_designs(benchmark, save_artifact):
+    bs_design, mmm_design = benchmark(generate_both)
+
+    bs_measured = get_measurement("LX760", "bs").throughput
+    mmm_measured = get_measurement("LX760", "mmm").throughput
+    bs_generated = bs_design.throughput_per_sec / 1e6
+    mmm_generated = mmm_design.throughput_per_sec / 1e9
+
+    assert 0.5 * bs_measured < bs_generated < 1.5 * bs_measured
+    assert 0.5 * mmm_measured < mmm_generated < 1.5 * mmm_measured
+
+    lines = [
+        "Generated FPGA designs vs Table 4 (LX760):",
+        (
+            f"BS:  {bs_design.copies} pipelines, "
+            f"{bs_design.clock_ghz:.3f} GHz, "
+            f"{bs_generated:.0f} Mopts/s generated vs "
+            f"{bs_measured:.0f} measured"
+        ),
+        (
+            f"MMM: {mmm_design.copies} PEs, "
+            f"{mmm_design.clock_ghz:.3f} GHz, "
+            f"{mmm_generated:.0f} GFLOP/s generated vs "
+            f"{mmm_measured:.0f} measured"
+        ),
+    ]
+    save_artifact("hls_designs", "\n".join(lines))

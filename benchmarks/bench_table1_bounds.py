@@ -1,0 +1,37 @@
+"""Table 1: the constraint system, exercised and rendered.
+
+Times the full bound-resolution path (all three chip models across the
+r sweep) and regenerates the bounds table.
+"""
+
+from repro.core.chip import (
+    AsymmetricOffloadCMP,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.constraints import Budget
+from repro.core.ucore import UCore
+from repro.reporting.tables import render_table1
+
+_BUDGET = Budget(area=75.0, power=20.0, bandwidth=54.4)
+_CHIPS = (
+    SymmetricCMP(),
+    AsymmetricOffloadCMP(),
+    HeterogeneousChip(UCore(name="u", mu=3.0, phi=0.6)),
+)
+
+
+def resolve_all_bounds():
+    results = []
+    for chip in _CHIPS:
+        for r in range(1, 17):
+            results.append(chip.bounds(_BUDGET, r))
+    return results
+
+
+def test_table1_bound_resolution(benchmark, save_artifact):
+    bounds = benchmark(resolve_all_bounds)
+    assert len(bounds) == 48
+    # Every resolved n respects the area ceiling.
+    assert all(b.n_effective <= 75.0 for b in bounds)
+    save_artifact("table1_bounds", render_table1())

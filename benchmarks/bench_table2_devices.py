@@ -1,0 +1,14 @@
+"""Table 2: device catalogue regeneration."""
+
+from repro.devices.catalog import device_names, get_device
+from repro.reporting.tables import render_table2
+
+
+def test_table2_catalog(benchmark, save_artifact):
+    text = benchmark(render_table2)
+    for device in device_names():
+        assert device in text
+    # Headline die facts from the paper's Table 2.
+    assert get_device("GTX480").die_area_mm2 == 529.0
+    assert get_device("Core i7-960").peak_bandwidth_gbps == 32.0
+    save_artifact("table2_devices", text)

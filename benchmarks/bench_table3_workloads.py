@@ -1,0 +1,23 @@
+"""Table 3: workload/implementation matrix + kernel sanity."""
+
+from repro.reporting.tables import render_table3
+from repro.workloads.registry import get_workload, workload_names
+
+
+def regenerate():
+    text = render_table3()
+    # Touch every workload's traffic model while we are here, so the
+    # benchmark covers the live objects behind the table.
+    intensities = {
+        name: get_workload(name).arithmetic_intensity(1024)
+        for name in workload_names()
+    }
+    return text, intensities
+
+
+def test_table3_workloads(benchmark, save_artifact):
+    text, intensities = benchmark(regenerate)
+    assert "MKL" in text and "CUFFT" in text and "PARSEC" in text
+    # MMM's blocked intensity towers over FFT's streaming intensity.
+    assert intensities["mmm"] > intensities["fft"] > 0
+    save_artifact("table3_workloads", text)

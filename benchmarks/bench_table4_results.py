@@ -1,0 +1,36 @@
+"""Table 4: MMM and BS results regenerated from simulated runs.
+
+Shape checks (paper, Section 5 summary): the R5870 wins absolute MMM
+throughput (~1.5 TFLOP/s); the ASIC wins both normalised columns for
+both workloads; the GTX480's CUBLAS MMM improves only ~27% over the
+GTX285.
+"""
+
+import pytest
+
+from repro.measure.harness import MeasurementHarness
+from repro.reporting.tables import render_table4
+
+_HARNESS = MeasurementHarness()
+
+
+def test_table4_regeneration(benchmark, save_artifact):
+    rows = benchmark(_HARNESS.table4)
+    by = {(r.workload, r.device): r for r in rows}
+
+    mmm = [r for r in rows if r.workload == "mmm"]
+    assert max(mmm, key=lambda r: r.throughput).device == "R5870"
+    assert by[("mmm", "R5870")].throughput == pytest.approx(1491.0)
+
+    for workload in ("mmm", "bs"):
+        group = [r for r in rows if r.workload == workload]
+        assert max(group, key=lambda r: r.per_mm2).device == "ASIC"
+        assert max(group, key=lambda r: r.per_joule).device == "ASIC"
+
+    gtx_gain = (
+        by[("mmm", "GTX480")].throughput
+        / by[("mmm", "GTX285")].throughput
+    )
+    assert gtx_gain == pytest.approx(1.27, abs=0.02)
+
+    save_artifact("table4_results", render_table4(rows))

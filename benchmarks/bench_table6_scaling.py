@@ -1,0 +1,37 @@
+"""Table 6: node budgets converted into BCE model units.
+
+Times the full physical-units -> BCE-units conversion for every node
+and workload (the step feeding every projection figure).
+"""
+
+import pytest
+
+from repro.itrs.roadmap import ITRS_2009
+from repro.projection.engine import node_budget
+from repro.reporting.tables import render_table6
+
+
+def all_node_budgets():
+    budgets = {}
+    for node in ITRS_2009.nodes:
+        for workload, size in (("fft", 1024), ("mmm", None), ("bs", None)):
+            budgets[(node.node_nm, workload)] = node_budget(
+                node, workload, size
+            )
+    return budgets
+
+
+def test_table6_budgets(benchmark, save_artifact):
+    budgets = benchmark(all_node_budgets)
+    # Area column is Table 6 verbatim.
+    assert budgets[(40, "fft")].area == 19.0
+    assert budgets[(11, "fft")].area == 298.0
+    # Power grows 4x over the roadmap (1 / rel_power).
+    assert budgets[(11, "mmm")].power == pytest.approx(
+        4 * budgets[(40, "mmm")].power
+    )
+    # Bandwidth (in BCE units) grows only 1.4x: the bandwidth wall.
+    assert budgets[(11, "bs")].bandwidth == pytest.approx(
+        1.4 * budgets[(40, "bs")].bandwidth
+    )
+    save_artifact("table6_scaling", render_table6())

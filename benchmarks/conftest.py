@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artefacts, times the
+regeneration with pytest-benchmark, asserts the artefact's headline
+shape properties, and saves the rendered text under
+``benchmarks/results/`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be audited.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_artifact():
+    """Write a rendered artefact to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,77 @@
+"""The bandwidth wall: how off-chip bandwidth reshapes the U-core race.
+
+Sweeps the starting bandwidth from 45 GB/s to 2 TB/s (spanning the
+paper's 90 GB/s and 1 TB/s scenarios) for FFT-1024 at f = 0.99, and
+reports each design's 11 nm speedup and binding constraint.  The
+paper's second conclusion falls straight out: below ~1 TB/s the
+bandwidth ceiling equalises the ASIC with the GPUs and FPGA, and only
+once bandwidth is abundant does custom logic's efficiency edge
+reappear (and then power becomes the wall).
+
+Run:  python examples/bandwidth_wall.py
+"""
+
+from repro.itrs.roadmap import ITRS_2009
+from repro.itrs.scenarios import Scenario
+from repro.projection import project
+from repro.reporting import format_table
+
+BANDWIDTH_SWEEP_GBPS = (45, 90, 180, 360, 1000, 2000)
+
+
+def sweep():
+    rows = []
+    for gbps in BANDWIDTH_SWEEP_GBPS:
+        scenario = Scenario(
+            name=f"bw-{gbps}",
+            description=f"{gbps} GB/s starting bandwidth",
+            roadmap=ITRS_2009.with_overrides(
+                bandwidth_gbps_at_start=float(gbps)
+            ),
+        )
+        result = project("fft", 0.99, scenario, fft_size=1024)
+        final = {
+            s.design.short_label: s.cells[-1] for s in result.series
+        }
+        cells = []
+        for label in ("SymCMP", "AsymCMP", "LX760", "GTX285", "ASIC"):
+            cell = final[label]
+            cells.append(
+                f"{cell.speedup:7.1f} ({cell.limiter.value[:2]})"
+            )
+        rows.append([f"{gbps:>5} GB/s"] + cells)
+    return format_table(
+        ["bandwidth", "SymCMP", "AsymCMP", "LX760", "GTX285", "ASIC"],
+        rows,
+        title=(
+            "FFT-1024, f=0.99, 11nm speedups vs starting bandwidth "
+            "(ar=area, po=power, ba=bandwidth limited)"
+        ),
+    )
+
+
+def main() -> None:
+    print(sweep())
+    print()
+    # Quantify the equalisation the paper describes.
+    for gbps, label in ((180, "baseline"), (1000, "1 TB/s")):
+        scenario = Scenario(
+            name=f"bw-{gbps}",
+            description="",
+            roadmap=ITRS_2009.with_overrides(
+                bandwidth_gbps_at_start=float(gbps)
+            ),
+        )
+        final = {
+            s.design.short_label: s.final_speedup()
+            for s in project("fft", 0.99, scenario).series
+        }
+        gap = final["ASIC"] / final["GTX285"]
+        print(
+            f"At {label}: ASIC leads the GTX285 by {gap:.2f}x "
+            f"({'bandwidth equalised' if gap < 1.1 else 'efficiency shows'})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Calibrate your own accelerator and project it (the Section 5 recipe).
+
+The paper's methodology is reusable: measure your accelerator's
+throughput, silicon area, and power next to a known fast core, derive
+its (mu, phi) with the Section 5.1 formulas, and drop it into the
+projection model.  This example walks that pipeline with a hypothetical
+"TensorUnit" NPU measured on an MMM-like kernel, first normalising the
+raw 28nm-class numbers onto the paper's 40nm baseline, then comparing
+the projected chip against the paper's calibrated designs.
+
+Run:  python examples/calibrate_your_accelerator.py
+"""
+
+from repro.core import HeterogeneousChip
+from repro.devices import (
+    Measurement,
+    derive_ucore,
+    get_measurement,
+)
+from repro.projection import project
+from repro.projection.designs import DesignSpec, standard_designs
+from repro.reporting import render_projection_panel
+
+
+def measure_tensor_unit() -> Measurement:
+    """Pretend-measured accelerator, already normalised to 40nm.
+
+    600 GFLOP/s from a 20 mm^2 matrix engine at 18 W: denser than a
+    GPU, less extreme than full custom logic.
+    """
+    return Measurement(
+        device="TensorUnit",
+        workload="mmm",
+        throughput=600.0,
+        area_mm2=20.0,
+        watts=18.0,
+        unit="GFLOP/s",
+    )
+
+
+def main() -> None:
+    # 1. Pair your measurement with the fast-core baseline and derive.
+    mine = measure_tensor_unit()
+    fast = get_measurement("Core i7-960", "mmm")
+    ucore = derive_ucore(mine, fast)
+    print("Derived U-core:", ucore.describe())
+
+    # 2. Append it to the paper's MMM design list and project.
+    designs = list(standard_designs("mmm"))
+    designs.append(
+        DesignSpec(
+            index=7,
+            label="(7) TensorUnit",
+            chip=HeterogeneousChip(ucore),
+        )
+    )
+    result = project("mmm", 0.99, designs=designs)
+    print()
+    print(render_projection_panel(result))
+
+    # 3. Read off the verdict.
+    final = {s.design.short_label: s.final_speedup()
+             for s in result.series}
+    print()
+    print(
+        f"At 11nm your TensorUnit projects to {final['TensorUnit']:.0f}x "
+        f"-- vs {final['R5870']:.0f}x for the best GPU and "
+        f"{final['ASIC']:.0f}x for full custom logic."
+    )
+
+
+if __name__ == "__main__":
+    main()

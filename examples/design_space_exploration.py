@@ -1,0 +1,70 @@
+"""Design-space exploration: which U-core wins, where?
+
+Sweeps the parallel fraction f and the technology node for all three
+workloads and prints a winner map -- the question a heterogeneous-SoC
+architect actually asks ("given my app's parallelism and my process
+node, what should I put on the die?").  Reproduces the paper's
+qualitative answer: CMPs suffice below f ~ 0.9; flexible U-cores match
+custom logic whenever bandwidth limits; custom logic only pulls away
+on high-intensity kernels at extreme parallelism.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.itrs.roadmap import ITRS_2009
+from repro.projection import project
+from repro.reporting import format_table
+
+F_SWEEP = (0.5, 0.9, 0.99, 0.999)
+
+
+def winner_map(workload: str, fft_size=None):
+    """For each (f, node): the winning design and its margin."""
+    rows = []
+    for f in F_SWEEP:
+        result = project(workload, f, fft_size=fft_size)
+        cells = []
+        for node_index, node in enumerate(ITRS_2009.nodes):
+            ranked = sorted(
+                (
+                    (s.cells[node_index].speedup, s.design.short_label)
+                    for s in result.series
+                    if s.cells[node_index].point is not None
+                ),
+                reverse=True,
+            )
+            (best, who), (second, _) = ranked[0], ranked[1]
+            margin = best / second
+            mark = who if margin > 1.05 else f"{who}~"
+            cells.append(f"{mark} ({best:.0f}x)")
+        rows.append([f"f={f}"] + cells)
+    return format_table(
+        ["parallelism"] + ITRS_2009.node_labels(),
+        rows,
+        title=f"Winner map for {workload.upper()}"
+        + (f"-{fft_size}" if fft_size else "")
+        + "  (~ marks wins under 5% margin)",
+    )
+
+
+def main() -> None:
+    for workload, size in (("fft", 1024), ("mmm", None), ("bs", None)):
+        print(winner_map(workload, size))
+        print()
+
+    # Zoom in: how big is the custom-logic premium on MMM, really?
+    print("Custom logic premium on MMM (ASIC speedup / best flexible):")
+    for f in F_SWEEP:
+        result = project("mmm", f)
+        final = {
+            s.design.short_label: s.final_speedup() for s in result.series
+        }
+        flexible = max(
+            final["LX760"], final["GTX285"], final["GTX480"],
+            final["R5870"],
+        )
+        print(f"  f={f}: {final['ASIC'] / flexible:.2f}x at 11nm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Execution traces: watch a design point actually run.
+
+The projection figures compress everything into one speedup number.
+This example uses the timeline simulator to *run* a mixed program on
+three 22 nm designs and draws their power traces over time -- making
+visible what the model's bounds mean operationally: the CMP's long
+parallel phase, the GPU fabric's steadier draw, and the ASIC racing
+through parallel work and idling at the bandwidth ceiling.
+
+Run:  python examples/execution_trace.py
+"""
+
+from repro.core.chip import AsymmetricOffloadCMP, HeterogeneousChip
+from repro.core.optimizer import optimize
+from repro.devices import ucore_for
+from repro.itrs.roadmap import ITRS_2009
+from repro.projection.engine import node_budget
+from repro.sim import ChipSimulator, WorkPhase
+
+#: 10% serial setup, 60% bulk parallel, 5% serial reduction, 25% tail.
+PROGRAM = [
+    WorkPhase(0.10, serial=True),
+    WorkPhase(0.60, serial=False),
+    WorkPhase(0.05, serial=True),
+    WorkPhase(0.25, serial=False),
+]
+
+_BAR_WIDTH = 60
+
+
+def draw_trace(name: str, trace) -> None:
+    print(f"\n{name}: speedup {trace.speedup:.1f}x, "
+          f"energy {trace.total_energy:.3f} (BCE=1), "
+          f"avg power {trace.average_power:.1f} BCE")
+    scale = _BAR_WIDTH / trace.total_time
+    for event in trace.events:
+        width = max(1, int(round(event.duration * scale)))
+        kind = "serial  " if event.phase.serial else "parallel"
+        stall = " [bandwidth-capped]" if event.bandwidth_stalled else ""
+        bar = ("S" if event.phase.serial else "P") * width
+        print(
+            f"  {kind} |{bar:<{_BAR_WIDTH}}| "
+            f"{event.duration:.4f}t @ {event.power:5.1f} BCE-power"
+            f"{stall}"
+        )
+
+
+def main() -> None:
+    node = ITRS_2009.node(22)
+    budget = node_budget(node, "fft", 1024)
+    designs = {
+        "AsymCMP": AsymmetricOffloadCMP(),
+        "GTX285 HET": HeterogeneousChip(ucore_for("GTX285", "fft", 1024)),
+        "ASIC HET": HeterogeneousChip(ucore_for("ASIC", "fft", 1024)),
+    }
+    f_equiv = sum(p.work for p in PROGRAM if not p.serial)
+    print(
+        f"Program: {len(PROGRAM)} phases, parallel fraction "
+        f"{f_equiv:.2f}; budgets at {node.label}: "
+        f"area {budget.area:g} BCE, power {budget.power:g} BCE, "
+        f"bandwidth {budget.bandwidth:.1f} BCE"
+    )
+    for name, chip in designs.items():
+        point = optimize(chip, f_equiv, budget)
+        trace = ChipSimulator(
+            chip, point, budget, rel_power=node.rel_power
+        ).run(PROGRAM)
+        draw_trace(f"{name} (r={point.r:g}, n={point.n:.1f})", trace)
+
+    print(
+        "\nNote how both HETs finish the parallel phases at the same "
+        "wall-clock rate\n(the bandwidth ceiling), but the serial "
+        "phases -- identical for all three --\ncome to dominate the "
+        "accelerated timelines: Amdahl in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Parallelism profiles: when is custom logic actually 'suitable'?
+
+Section 7 of the paper calls for models that "incorporate varying
+degrees of parallelism in an application, in order to capture how
+'suitable' certain types of U-cores might be under a given parallelism
+profile."  This example answers that question with the library's
+profile extension: for programs whose parallel work has bounded width,
+it finds the width at which each U-core's advantage actually appears.
+
+Run:  python examples/parallelism_profiles.py
+"""
+
+from repro.core import HeterogeneousChip, ParallelismProfile
+from repro.core.chip import AsymmetricOffloadCMP
+from repro.core.profiles import optimize_profile
+from repro.devices import ucore_for
+from repro.itrs.roadmap import ITRS_2009
+from repro.projection.engine import node_budget
+from repro.reporting import format_table
+
+WIDTHS = (4, 16, 64, 256, 1024, 8192)
+
+
+def build_machines():
+    return {
+        "AsymCMP": AsymmetricOffloadCMP(),
+        "LX760": HeterogeneousChip(ucore_for("LX760", "mmm")),
+        "GTX285": HeterogeneousChip(ucore_for("GTX285", "mmm")),
+        "ASIC": HeterogeneousChip(ucore_for("ASIC", "mmm")),
+    }
+
+
+def main() -> None:
+    budget = node_budget(
+        ITRS_2009.node(11), "mmm", None, bandwidth_exempt=True
+    )
+    machines = build_machines()
+
+    rows = []
+    crossover = {}
+    for width in WIDTHS:
+        profile = ParallelismProfile.from_pairs(
+            [(0.05, 1.0), (0.95, float(width))]
+        )
+        cells = []
+        speeds = {}
+        for name, chip in machines.items():
+            speedup, _, _ = optimize_profile(chip, profile, budget)
+            speeds[name] = speedup
+            cells.append(f"{speedup:8.1f}x")
+        rows.append([f"width {width}"] + cells)
+        for name in ("LX760", "GTX285", "ASIC"):
+            if name not in crossover and speeds[name] > 1.2 * speeds[
+                "AsymCMP"
+            ]:
+                crossover[name] = width
+        if "ASIC>GPU" not in crossover and speeds["ASIC"] > 1.2 * speeds[
+            "GTX285"
+        ]:
+            crossover["ASIC>GPU"] = width
+    print(
+        format_table(
+            ["profile"] + list(machines),
+            rows,
+            title=(
+                "MMM-parameter machines at 11nm on a 5% serial / 95% "
+                "width-bounded program"
+            ),
+        )
+    )
+
+    print("\nCrossover widths (first >20% advantage):")
+    for name, width in crossover.items():
+        print(f"  {name:<8} width >= {width}")
+    print(
+        "\nReading: below width ~16 every machine just matches the"
+        "\nprogram's own parallelism; the U-cores separate from the CMP"
+        "\nonce widths pass the CMP's power-bound core count (~64); and"
+        "\ncustom logic only separates from the GPU when hundreds of"
+        "\nindependent work items exist -- the quantitative version of"
+        "\nthe paper's 'suitability' remark."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: model one heterogeneous chip and project it forward.
+
+Builds the paper's headline object -- a chip with a Pollack-law
+sequential core plus ASIC U-cores calibrated from real FFT
+measurements -- evaluates it under the 2011 budgets, and then projects
+the whole design space (Figure 6's panel at f = 0.99) across the ITRS
+road map.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Budget, HeterogeneousChip, optimize, project, ucore_for
+from repro.reporting import render_projection_panel
+
+
+def main() -> None:
+    # 1. U-core parameters from the calibrated measurement pipeline.
+    asic = ucore_for("ASIC", "fft", 1024)
+    print("U-core:", asic.describe())
+
+    # 2. One design point under the 40nm Table 6 budgets
+    #    (19 BCE of area, 10 BCE of power, ~42 BCE of bandwidth).
+    chip = HeterogeneousChip(asic)
+    budget = Budget(area=19, power=10, bandwidth=41.9)
+    best = optimize(chip, f=0.99, budget=budget)
+    print("\nBest 40nm design point:")
+    print(" ", best.describe())
+    print(
+        f"  ({best.parallel_resources:.2f} BCE of U-core fabric; "
+        f"the {best.limiter.value} budget binds)"
+    )
+
+    # 3. The full Figure-6-style projection at f = 0.99.
+    result = project("fft", f=0.99)
+    print("\nProjection across the ITRS road map:")
+    print(render_projection_panel(result))
+
+    winner = result.winner()
+    print(
+        f"\nWinner at 11nm: {winner.design.label} at "
+        f"{winner.final_speedup():.1f}x over one BCE core."
+    )
+
+
+if __name__ == "__main__":
+    main()

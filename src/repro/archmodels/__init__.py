@@ -1,0 +1,23 @@
+"""Architectural peak models and rooflines for the measured devices."""
+
+from .peaks import (
+    DEVICE_PEAKS,
+    ComputePeak,
+    efficiency_table,
+    measured_efficiency,
+    peak_gflops,
+    sanity_check_device,
+)
+from .roofline import RooflinePoint, render_roofline, roofline_points
+
+__all__ = [
+    "DEVICE_PEAKS",
+    "ComputePeak",
+    "efficiency_table",
+    "measured_efficiency",
+    "peak_gflops",
+    "sanity_check_device",
+    "RooflinePoint",
+    "render_roofline",
+    "roofline_points",
+]

@@ -1,0 +1,114 @@
+"""Roofline construction: compute peaks meet bandwidth ceilings.
+
+Ties together the peak models, the device catalogue's pin bandwidth,
+and the workloads' arithmetic intensities into the standard roofline
+view the paper's Section 5 compute-bound validation implies: at each
+workload's intensity, attainable performance is
+``min(peak, intensity * pin_bandwidth)``, and a measured point close
+under the flat roof (rather than the slanted bandwidth roof) is
+compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..devices.catalog import get_device
+from ..devices.measurements import get_measurement
+from ..errors import CalibrationError
+from ..workloads.registry import get_workload
+from .peaks import peak_gflops
+
+__all__ = ["RooflinePoint", "roofline_points", "render_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on one device's roofline."""
+
+    device: str
+    workload: str
+    intensity_flops_per_byte: float
+    attainable_gflops: float
+    measured_gflops: Optional[float]
+    compute_bound: bool
+
+    @property
+    def efficiency(self) -> Optional[float]:
+        if self.measured_gflops is None:
+            return None
+        return self.measured_gflops / self.attainable_gflops
+
+
+def roofline_points(
+    device: str,
+    sizes: Dict[str, int] = None,
+) -> List[RooflinePoint]:
+    """Place the flop-denominated workloads on a device's roofline.
+
+    ``sizes`` fixes the intensity-determining problem size per
+    workload (defaults: FFT-1024, MMM block-limited at 2048).
+    """
+    spec = get_device(device)
+    if spec.peak_bandwidth_gbps is None:
+        raise CalibrationError(
+            f"{device} has no published pin bandwidth; "
+            f"cannot build its roofline"
+        )
+    peak = peak_gflops(device)
+    chosen = {"fft": 1024, "mmm": 2048}
+    if sizes:
+        chosen.update(sizes)
+    points = []
+    for workload_name, size in sorted(chosen.items()):
+        workload = get_workload(workload_name)
+        intensity = workload.arithmetic_intensity(size)
+        bandwidth_roof = intensity * spec.peak_bandwidth_gbps
+        attainable = min(peak, bandwidth_roof)
+        try:
+            lookup_size = size if workload_name == "fft" else None
+            measured = get_measurement(
+                device, workload_name, lookup_size
+            ).throughput
+        except CalibrationError:
+            measured = None
+        points.append(
+            RooflinePoint(
+                device=device,
+                workload=workload_name,
+                intensity_flops_per_byte=intensity,
+                attainable_gflops=attainable,
+                measured_gflops=measured,
+                compute_bound=peak <= bandwidth_roof,
+            )
+        )
+    return points
+
+
+def render_roofline(device: str) -> str:
+    """Text roofline summary for one device."""
+    spec = get_device(device)
+    peak = peak_gflops(device)
+    lines = [
+        f"Roofline for {device}: peak {peak:.0f} GFLOP/s, "
+        f"pins {spec.peak_bandwidth_gbps:.0f} GB/s "
+        f"(ridge at {peak / spec.peak_bandwidth_gbps:.2f} flops/byte)"
+    ]
+    for point in roofline_points(device):
+        regime = (
+            "compute-bound" if point.compute_bound else "bandwidth-bound"
+        )
+        measured = (
+            f"measured {point.measured_gflops:.0f}"
+            f" ({point.efficiency * 100:.0f}% of roof)"
+            if point.measured_gflops is not None
+            else "not measured"
+        )
+        lines.append(
+            f"  {point.workload:>4} @ "
+            f"{point.intensity_flops_per_byte:6.2f} flops/byte: "
+            f"roof {point.attainable_gflops:7.0f} GFLOP/s "
+            f"[{regime}], {measured}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,457 @@
+"""Command-line interface: regenerate any of the paper's artefacts.
+
+Usage::
+
+    repro-hetsim list                # show the experiment index
+    repro-hetsim run F6              # regenerate Figure 6
+    repro-hetsim run T5 F10          # several at once
+    repro-hetsim all                 # everything, in paper order
+    repro-hetsim speedup --workload fft --f 0.99
+    repro-hetsim export --out results/
+    repro-hetsim pareto --workload mmm --f 0.99 --node 22
+    repro-hetsim sensitivity --workload mmm --f 0.99 --trials 100
+    repro-hetsim calibrate --throughput 600 --area 20 --watts 18 \\
+                 --workload mmm --name TensorUnit
+
+The one-off subcommands answer designer questions without writing
+code: ``speedup`` projects a workload across the roadmap, ``pareto``
+prints the speedup/energy frontier at one node, ``sensitivity``
+Monte-Carlos the winner under parameter noise, and ``calibrate``
+derives (mu, phi) for a user-measured accelerator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.metrics import Objective
+from .devices.measurements import get_measurement
+from .devices.params import FAST_CORE_DEVICE, derive_ucore
+from .devices.specs import Measurement
+from .errors import ReproError
+from .itrs.scenarios import get_scenario, scenario_names
+from .projection.engine import project
+from .projection.pareto import design_space_points, pareto_frontier
+from .projection.sensitivity import SensitivityConfig, run_sensitivity
+from .reporting.experiments import (
+    EXPERIMENTS,
+    experiment_ids,
+    run_experiment,
+)
+from .reporting.export import export_all
+from .reporting.figures import render_projection_panel
+from .reporting.tables import format_table
+from .reporting.validation import render_validation_report, validate_claims
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hetsim",
+        description=(
+            "Reproduce Chung et al., 'Single-Chip Heterogeneous "
+            "Computing' (MICRO 2010): tables, figures, projections."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiment ids")
+
+    run_parser = sub.add_parser("run", help="regenerate artefacts by id")
+    run_parser.add_argument(
+        "ids", nargs="+", metavar="ID",
+        help="experiment ids, e.g. T5 F6 S6.2",
+    )
+
+    sub.add_parser("all", help="regenerate every artefact in order")
+
+    speedup = sub.add_parser(
+        "speedup", help="project one workload/f across the roadmap"
+    )
+    speedup.add_argument(
+        "--workload", required=True, choices=("mmm", "fft", "bs")
+    )
+    speedup.add_argument("--f", type=float, required=True,
+                         help="parallel fraction in [0, 1]")
+    speedup.add_argument(
+        "--fft-size", type=int, default=1024,
+        help="FFT input size (default 1024)",
+    )
+    speedup.add_argument(
+        "--scenario", default="baseline", choices=scenario_names(),
+        help="budget scenario (Section 6.2)",
+    )
+
+    sub.add_parser(
+        "validate",
+        help="check the paper's conclusions against the live model",
+    )
+
+    export = sub.add_parser(
+        "export", help="write all artefacts + figure CSVs to a directory"
+    )
+    export.add_argument("--out", required=True,
+                        help="output directory (created if missing)")
+
+    pareto = sub.add_parser(
+        "pareto", help="speedup/energy Pareto frontier at one node"
+    )
+    pareto.add_argument("--workload", required=True,
+                        choices=("mmm", "fft", "bs"))
+    pareto.add_argument("--f", type=float, required=True)
+    pareto.add_argument("--node", type=int, default=22,
+                        help="technology node in nm (default 22)")
+    pareto.add_argument("--fft-size", type=int, default=1024)
+
+    sens = sub.add_parser(
+        "sensitivity",
+        help="Monte-Carlo winner analysis under parameter noise",
+    )
+    sens.add_argument("--workload", required=True,
+                      choices=("mmm", "fft", "bs"))
+    sens.add_argument("--f", type=float, required=True)
+    sens.add_argument("--node", type=int, default=11)
+    sens.add_argument("--trials", type=int, default=200)
+    sens.add_argument("--sigma", type=float, default=0.3,
+                      help="log-normal sigma for mu/phi noise")
+    sens.add_argument("--seed", type=int, default=2010)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="derive (mu, phi) for a user-measured accelerator",
+    )
+    calibrate.add_argument("--name", required=True)
+    calibrate.add_argument("--workload", required=True,
+                           choices=("mmm", "fft", "bs"))
+    calibrate.add_argument("--fft-size", type=int, default=1024)
+    calibrate.add_argument(
+        "--throughput", type=float, required=True,
+        help="normalised throughput (GFLOP/s for mmm/fft, Mopts/s for bs)",
+    )
+    calibrate.add_argument("--area", type=float, required=True,
+                           help="normalised compute area, mm^2 at 40nm")
+    calibrate.add_argument("--watts", type=float, required=True,
+                           help="normalised compute power, W at 40nm")
+
+    floorplan = sub.add_parser(
+        "floorplan",
+        help="draw the floorplan of one design at one node",
+    )
+    floorplan.add_argument("--workload", required=True,
+                           choices=("mmm", "fft", "bs"))
+    floorplan.add_argument("--f", type=float, required=True)
+    floorplan.add_argument("--node", type=int, default=40)
+    floorplan.add_argument(
+        "--design", default="ASIC",
+        help="design label (SymCMP/AsymCMP/LX760/GTX285/GTX480/"
+             "R5870/ASIC)",
+    )
+    floorplan.add_argument("--fft-size", type=int, default=1024)
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one design's execution timeline",
+    )
+    trace.add_argument("--workload", required=True,
+                       choices=("mmm", "fft", "bs"))
+    trace.add_argument("--f", type=float, required=True)
+    trace.add_argument("--node", type=int, default=40)
+    trace.add_argument("--design", default="ASIC")
+    trace.add_argument("--fft-size", type=int, default=1024)
+
+    advise_parser = sub.add_parser(
+        "advise",
+        help="rank all designs for a requirement, with rationale",
+    )
+    advise_parser.add_argument("--workload", required=True,
+                               choices=("mmm", "fft", "bs"))
+    advise_parser.add_argument("--f", type=float, required=True)
+    advise_parser.add_argument("--node", type=int, default=40)
+    advise_parser.add_argument(
+        "--objective",
+        default="max-speedup",
+        choices=[obj.value for obj in Objective],
+    )
+    advise_parser.add_argument("--fft-size", type=int, default=1024)
+
+    sub.add_parser(
+        "manifest",
+        help="print the calibration manifest as JSON",
+    )
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["experiment  title"]
+    lines.append("----------  -----")
+    for exp_id in experiment_ids():
+        lines.append(f"{exp_id:<10}  {EXPERIMENTS[exp_id].title}")
+    return "\n".join(lines)
+
+
+def _cmd_run(ids: List[str]) -> str:
+    outputs = []
+    for exp_id in ids:
+        outputs.append(run_experiment(exp_id))
+    return "\n\n".join(outputs)
+
+
+def _cmd_speedup(workload: str, f: float, fft_size: int,
+                 scenario_name: str) -> str:
+    scenario = get_scenario(scenario_name)
+    result = project(
+        workload,
+        f,
+        scenario,
+        fft_size=fft_size if workload == "fft" else None,
+    )
+    return render_projection_panel(result)
+
+
+def _cmd_export(out: str) -> str:
+    written = export_all(out)
+    count = sum(len(paths) for paths in written.values())
+    return f"wrote {count} files under {out}/ (artifacts/ and csv/)"
+
+
+def _cmd_pareto(workload: str, f: float, node_nm: int,
+                fft_size: int) -> str:
+    points = design_space_points(
+        workload, f, node_nm,
+        fft_size=fft_size if workload == "fft" else None,
+    )
+    frontier = pareto_frontier(points)
+    rows = [
+        (
+            p.design.label,
+            f"{p.r:g}",
+            f"{p.speedup:.2f}x",
+            f"{p.energy:.4f}",
+        )
+        for p in frontier
+    ]
+    return format_table(
+        ["design", "r", "speedup", "energy (BCE=1)"],
+        rows,
+        title=(
+            f"Pareto frontier: {workload} f={f} at {node_nm}nm "
+            f"({len(frontier)} of {len(points)} candidate points)"
+        ),
+    )
+
+
+def _cmd_sensitivity(workload: str, f: float, node_nm: int,
+                     trials: int, sigma: float, seed: int) -> str:
+    summary = run_sensitivity(
+        workload, f, node_nm,
+        config=SensitivityConfig(
+            mu_sigma=sigma, phi_sigma=sigma, trials=trials, seed=seed
+        ),
+    )
+    rows = [
+        (
+            label,
+            f"{summary.win_rate(label) * 100:.0f}%",
+            f"{summary.median_speedup(label):.1f}x",
+            f"{summary.spread(label) * 100:.0f}%",
+        )
+        for label in sorted(
+            summary.speedups,
+            key=summary.win_rate,
+            reverse=True,
+        )
+    ]
+    return format_table(
+        ["design", "win rate", "median speedup", "IQR/median"],
+        rows,
+        title=(
+            f"Sensitivity: {workload} f={f} at {node_nm}nm, "
+            f"{trials} trials, mu/phi sigma={sigma}"
+        ),
+    )
+
+
+def _cmd_calibrate(name: str, workload: str, fft_size: int,
+                   throughput: float, area: float, watts: float) -> str:
+    size = fft_size if workload == "fft" else None
+    unit = "Mopts/s" if workload == "bs" else "GFLOP/s"
+    mine = Measurement(
+        device=name,
+        workload=workload,
+        throughput=throughput,
+        area_mm2=area,
+        watts=watts,
+        unit=unit,
+        size=size,
+    )
+    fast = get_measurement(FAST_CORE_DEVICE, workload, size)
+    ucore = derive_ucore(mine, fast)
+    return (
+        f"{ucore.describe()}\n"
+        f"(derived against {FAST_CORE_DEVICE}"
+        + (f", FFT-{size}" if size else "")
+        + f"; x={mine.perf_per_mm2:.3g} {unit}/mm2, "
+        f"e={mine.perf_per_joule:.3g} {unit.split('/')[0]}/J)"
+    )
+
+
+def _resolve_design(workload: str, f: float, node_nm: int,
+                    fft_size: int, design_label: str):
+    """Shared lookup for the floorplan/trace subcommands."""
+    from .core.optimizer import optimize
+    from .itrs.roadmap import ITRS_2009
+    from .projection.designs import standard_designs
+    from .projection.engine import node_budget
+
+    size = fft_size if workload == "fft" else None
+    designs = {
+        d.short_label: d for d in standard_designs(workload, size)
+    }
+    try:
+        design = designs[design_label]
+    except KeyError:
+        raise ReproError(
+            f"unknown design {design_label!r} for {workload}; "
+            f"available: {sorted(designs)}"
+        ) from None
+    node = ITRS_2009.node(node_nm)
+    budget = node_budget(
+        node, workload, size,
+        bandwidth_exempt=design.bandwidth_exempt,
+    )
+    point = optimize(design.chip, f, budget)
+    return design, node, budget, point
+
+
+def _cmd_floorplan(workload: str, f: float, node_nm: int,
+                   fft_size: int, design_label: str) -> str:
+    from .layout.floorplan import build_floorplan
+    from .layout.render import render_floorplan
+
+    design, node, _, point = _resolve_design(
+        workload, f, node_nm, fft_size, design_label
+    )
+    plan = build_floorplan(design.chip, point, node)
+    return (
+        point.describe()
+        + "\n"
+        + render_floorplan(plan)
+    )
+
+
+def _cmd_trace(workload: str, f: float, node_nm: int,
+               fft_size: int, design_label: str) -> str:
+    from .sim.engine import ChipSimulator
+
+    design, node, budget, point = _resolve_design(
+        workload, f, node_nm, fft_size, design_label
+    )
+    trace = ChipSimulator(
+        design.chip, point, budget, rel_power=node.rel_power
+    ).run_fraction(f)
+    lines = [
+        point.describe(),
+        (
+            f"simulated: speedup {trace.speedup:.2f}x, energy "
+            f"{trace.total_energy:.4f} (BCE@40nm=1), avg power "
+            f"{trace.average_power:.2f} BCE"
+        ),
+    ]
+    for event in trace.events:
+        kind = "serial  " if event.phase.serial else "parallel"
+        stall = "  [bandwidth-capped]" if event.bandwidth_stalled else ""
+        lines.append(
+            f"  {kind} t={event.start:.4f}..{event.end:.4f} "
+            f"rate={event.throughput:.1f} power={event.power:.2f}"
+            f"{stall}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            output = _cmd_list()
+        elif args.command == "run":
+            output = _cmd_run(args.ids)
+        elif args.command == "all":
+            output = _cmd_run(experiment_ids())
+        elif args.command == "speedup":
+            output = _cmd_speedup(
+                args.workload, args.f, args.fft_size, args.scenario
+            )
+        elif args.command == "validate":
+            results = validate_claims()
+            output = render_validation_report(results)
+            if any(not r.passed for r in results):
+                print(output)
+                return 1
+        elif args.command == "export":
+            output = _cmd_export(args.out)
+        elif args.command == "pareto":
+            output = _cmd_pareto(
+                args.workload, args.f, args.node, args.fft_size
+            )
+        elif args.command == "sensitivity":
+            output = _cmd_sensitivity(
+                args.workload, args.f, args.node, args.trials,
+                args.sigma, args.seed,
+            )
+        elif args.command == "calibrate":
+            output = _cmd_calibrate(
+                args.name, args.workload, args.fft_size,
+                args.throughput, args.area, args.watts,
+            )
+        elif args.command == "floorplan":
+            output = _cmd_floorplan(
+                args.workload, args.f, args.node, args.fft_size,
+                args.design,
+            )
+        elif args.command == "trace":
+            output = _cmd_trace(
+                args.workload, args.f, args.node, args.fft_size,
+                args.design,
+            )
+        elif args.command == "advise":
+            from .projection.advisor import (
+                Requirement,
+                advise,
+                render_advice,
+            )
+
+            requirement = Requirement(
+                workload=args.workload,
+                f=args.f,
+                node_nm=args.node,
+                objective=Objective(args.objective),
+                fft_size=(
+                    args.fft_size if args.workload == "fft" else None
+                ),
+            )
+            output = render_advice(advise(requirement))
+        elif args.command == "manifest":
+            from .reporting.manifest import manifest_json
+
+            output = manifest_json()
+        else:  # pragma: no cover - argparse enforces choices
+            parser.error(f"unknown command {args.command!r}")
+            return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. `repro-hetsim all | head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Classical Amdahl/Gustafson models and multi-phase generalisations.
+
+These are the substrate the paper builds on (Section 2.1).  The core
+statement of Amdahl's Law [17]: if a fraction ``f`` of a program's
+original execution time can be sped up by a factor ``s``, total speedup
+is ``1 / (f/s + (1 - f))``.
+
+The :class:`MultiPhaseWorkload` extension implements the paper's
+"future directions" suggestion (Section 7) of modelling *varying*
+degrees of parallelism: a workload is a sequence of phases, each with
+its own time fraction and its own achievable speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from ..errors import ModelError
+
+__all__ = [
+    "check_fraction",
+    "amdahl_speedup",
+    "amdahl_limit",
+    "gustafson_speedup",
+    "serial_fraction_for_target",
+    "Phase",
+    "MultiPhaseWorkload",
+]
+
+
+def check_fraction(f: float, name: str = "f") -> float:
+    """Validate that a fraction lies in ``[0, 1]`` and return it."""
+    if not 0.0 <= f <= 1.0:
+        raise ModelError(f"{name} must be within [0, 1], got {f}")
+    return f
+
+
+def amdahl_speedup(f: float, s: float) -> float:
+    """Amdahl's Law: fraction ``f`` of the run sped up by factor ``s``."""
+    check_fraction(f)
+    if s <= 0:
+        raise ModelError(f"speedup factor s must be positive, got {s}")
+    return 1.0 / (f / s + (1.0 - f))
+
+
+def amdahl_limit(f: float) -> float:
+    """Speedup as ``s -> inf``: ``1 / (1 - f)`` (infinite for ``f == 1``)."""
+    check_fraction(f)
+    if f == 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - f)
+
+
+def gustafson_speedup(f: float, n: float) -> float:
+    """Gustafson's scaled speedup [47]: ``(1 - f) + f * n``.
+
+    Here ``f`` is the parallelisable fraction of the *scaled* run and
+    ``n`` the number of processors.  Included as a related-work model;
+    the paper's projections use the fixed-work (Amdahl) formulation.
+    """
+    check_fraction(f)
+    if n <= 0:
+        raise ModelError(f"processor count n must be positive, got {n}")
+    return (1.0 - f) + f * n
+
+
+def serial_fraction_for_target(target_speedup: float, s: float) -> float:
+    """Invert Amdahl's law: the parallel fraction ``f`` required so that
+    speeding it up by ``s`` achieves ``target_speedup`` overall.
+
+    Raises :class:`ModelError` if the target exceeds what factor ``s``
+    can ever deliver (``target > s``) or is below 1.
+    """
+    if target_speedup < 1.0:
+        raise ModelError(
+            f"target speedup must be >= 1, got {target_speedup}"
+        )
+    if s <= 1.0:
+        raise ModelError(f"speedup factor s must exceed 1, got {s}")
+    if target_speedup > s:
+        raise ModelError(
+            f"a factor-{s} accelerator can never reach {target_speedup}x"
+        )
+    # Solve 1 / (f/s + 1 - f) = target for f.
+    return (1.0 - 1.0 / target_speedup) / (1.0 - 1.0 / s)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a multi-phase workload.
+
+    Attributes:
+        fraction: share of the original (un-accelerated) execution time.
+        speedup: factor by which this phase runs faster on the machine
+            under study (1.0 for phases that see no benefit).
+    """
+
+    fraction: float
+    speedup: float
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fraction, "phase fraction")
+        if self.speedup <= 0:
+            raise ModelError(
+                f"phase speedup must be positive, got {self.speedup}"
+            )
+
+
+class MultiPhaseWorkload:
+    """A workload composed of phases with heterogeneous speedups.
+
+    Generalises the two-phase (serial + parallel) split used throughout
+    the paper: Section 7 calls for models that "incorporate varying
+    degrees of parallelism in an application".  Phase fractions must sum
+    to 1 (within a small tolerance).
+
+    Example:
+        >>> w = MultiPhaseWorkload.from_pairs([(0.1, 1.0), (0.6, 8.0),
+        ...                                    (0.3, 100.0)])
+        >>> round(w.speedup(), 3)
+        5.618
+    """
+
+    _TOL = 1e-9
+
+    def __init__(self, phases: Iterable[Phase]):
+        self._phases: Tuple[Phase, ...] = tuple(phases)
+        if not self._phases:
+            raise ModelError("a workload needs at least one phase")
+        total = sum(p.fraction for p in self._phases)
+        if abs(total - 1.0) > 1e-6:
+            raise ModelError(
+                f"phase fractions must sum to 1, got {total:.9f}"
+            )
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[Tuple[float, float]]
+    ) -> "MultiPhaseWorkload":
+        """Build from ``(fraction, speedup)`` pairs."""
+        return cls(Phase(fraction, speedup) for fraction, speedup in pairs)
+
+    @classmethod
+    def two_phase(cls, f: float, parallel_speedup: float,
+                  serial_speedup: float = 1.0) -> "MultiPhaseWorkload":
+        """The paper's standard serial/parallel split as a workload."""
+        check_fraction(f)
+        return cls.from_pairs(
+            [(1.0 - f, serial_speedup), (f, parallel_speedup)]
+        )
+
+    @property
+    def phases(self) -> Tuple[Phase, ...]:
+        return self._phases
+
+    def speedup(self) -> float:
+        """Overall speedup: ``1 / sum(fraction_i / speedup_i)``."""
+        denominator = sum(p.fraction / p.speedup for p in self._phases)
+        if denominator <= self._TOL:
+            return float("inf")
+        return 1.0 / denominator
+
+    def time(self) -> float:
+        """Execution time relative to the un-accelerated run."""
+        return sum(p.fraction / p.speedup for p in self._phases)
+
+    def rescale(self, factor_by_index: Sequence[float]) -> "MultiPhaseWorkload":
+        """Return a new workload with each phase speedup multiplied.
+
+        Useful for asking "what if the accelerator serving phase i were
+        k times faster" without rebuilding the phase list by hand.
+        """
+        if len(factor_by_index) != len(self._phases):
+            raise ModelError(
+                f"expected {len(self._phases)} factors, "
+                f"got {len(factor_by_index)}"
+            )
+        return MultiPhaseWorkload(
+            Phase(p.fraction, p.speedup * k)
+            for p, k in zip(self._phases, factor_by_index)
+        )

@@ -1,0 +1,137 @@
+"""Resource budgets and the Table 1 constraint system.
+
+Table 1 of the paper bounds the usable resources ``n`` and the
+sequential-core size ``r`` by three budgets, all in BCE units:
+
+====================  ==============  ===============  ===============
+bound                 Symmetric       Asym-offload     Heterogeneous
+====================  ==============  ===============  ===============
+area                  n <= A          n <= A           n <= A
+parallel power        n <= P/r^(a/2-1)  n <= P + r     n <= P/phi + r
+serial power          r^(a/2) <= P    r^(a/2) <= P     r^(a/2) <= P
+parallel bandwidth    n <= B*sqrt(r)  n <= B + r       n <= B/mu + r
+serial bandwidth      r <= B^2        r <= B^2         r <= B^2
+====================  ==============  ===============  ===============
+
+The interpretation of a bounded ``n`` is the maximum number of BCE
+resources that *usefully contribute* to speedup: building more area
+than the power budget can switch, or more throughput than the pins can
+feed, adds nothing.  The binding constraint classifies a design point
+as area-, power-, or bandwidth-limited -- which is exactly the
+dashed/solid/disconnected encoding of Figures 6-9.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ModelError
+
+__all__ = ["LimitingFactor", "Budget", "BoundSet"]
+
+
+class LimitingFactor(enum.Enum):
+    """Which budget binds a design point (Figures 6-9 line styles)."""
+
+    AREA = "area"
+    POWER = "power"
+    BANDWIDTH = "bandwidth"
+
+    @property
+    def figure_style(self) -> str:
+        """Line style used by the paper's figures for this limiter."""
+        return {
+            LimitingFactor.AREA: "points (no line)",
+            LimitingFactor.POWER: "dashed",
+            LimitingFactor.BANDWIDTH: "solid",
+        }[self]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Chip-level resource budgets in BCE-relative units.
+
+    Attributes:
+        area: total die resources, in BCE cores (Table 6 "Max area").
+        power: chip power budget relative to BCE active power.
+        bandwidth: off-chip bandwidth relative to the workload's BCE
+            compulsory bandwidth.  Use ``math.inf`` for workloads (or
+            U-cores) exempted from the bandwidth constraint -- the paper
+            exempts the ASIC MMM core, whose blocking at N >= 2048 gives
+            it effectively unbounded arithmetic intensity.
+        alpha: the sequential power-law exponent in force (Section 6.2
+            scenario 6 raises it to 2.25).
+    """
+
+    area: float
+    power: float
+    bandwidth: float = math.inf
+    alpha: float = 1.75
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ModelError(f"area budget must be positive, got {self.area}")
+        if self.power <= 0:
+            raise ModelError(
+                f"power budget must be positive, got {self.power}"
+            )
+        if self.bandwidth <= 0:
+            raise ModelError(
+                f"bandwidth budget must be positive, got {self.bandwidth}"
+            )
+        if self.alpha < 1.0:
+            raise ModelError(f"alpha must be >= 1, got {self.alpha}")
+
+    def without_bandwidth(self) -> "Budget":
+        """A copy of this budget with the bandwidth constraint lifted."""
+        return replace(self, bandwidth=math.inf)
+
+    def scaled(
+        self,
+        area: float = 1.0,
+        power: float = 1.0,
+        bandwidth: float = 1.0,
+    ) -> "Budget":
+        """A copy with each budget multiplied by the given factor."""
+        return replace(
+            self,
+            area=self.area * area,
+            power=self.power * power,
+            bandwidth=(
+                self.bandwidth * bandwidth
+                if math.isfinite(self.bandwidth)
+                else self.bandwidth
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class BoundSet:
+    """The three parallel-phase bounds on ``n`` for one (chip, r) pair.
+
+    ``n_effective`` is the minimum of the three; ``limiter`` identifies
+    which bound produced it.  Ties are resolved in favour of the
+    *harder* constraint in the paper's narrative ordering
+    (bandwidth > power > area), so a design sitting exactly on two
+    ceilings is reported with the one that cannot be bought back with
+    more silicon.
+    """
+
+    n_area: float
+    n_power: float
+    n_bandwidth: float
+
+    @property
+    def n_effective(self) -> float:
+        return min(self.n_area, self.n_power, self.n_bandwidth)
+
+    @property
+    def limiter(self) -> LimitingFactor:
+        n_min = self.n_effective
+        if self.n_bandwidth <= n_min:
+            return LimitingFactor.BANDWIDTH
+        if self.n_power <= n_min:
+            return LimitingFactor.POWER
+        return LimitingFactor.AREA

@@ -1,0 +1,104 @@
+"""Energy model behind Figure 10 (Section 6.3).
+
+Total energy to execute one unit of work (the whole program, which a
+single BCE finishes in unit time at unit power, i.e. BCE energy = 1):
+
+    E = rel_power * [ (1 - f) * P_serial / perf_serial
+                      + f * P_parallel / perf_parallel ]
+
+with the serial phase on the fast core (power ``r**(alpha/2)``, perf
+``perf_seq(r)``) and the parallel phase on the machine's parallel
+fabric.  ``rel_power`` is the ITRS circuit-level power reduction per
+transistor for the node under study ("the energy decreases across
+generations are partially attributed to circuit improvements").
+
+Two structural facts, both asserted by tests:
+
+* For a heterogeneous chip the parallel term reduces to
+  ``f * phi / mu`` -- independent of how much fabric is deployed.
+  Doubling the U-core area halves time but doubles power.
+* For the symmetric CMP the parallel term is ``f * r**((alpha-1)/2)``,
+  so with alpha > 1 big symmetric cores pay an energy premium in both
+  phases; with Amdahl-style fixed work the symmetric CMP's total energy
+  ``rel_power * r**((alpha-1)/2)`` does not depend on ``f`` at all.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from .amdahl import check_fraction
+from .chip import ChipModel
+from .optimizer import DesignPoint
+
+__all__ = [
+    "design_energy",
+    "serial_energy",
+    "parallel_energy",
+    "energy_of_point",
+]
+
+
+def serial_energy(f: float, r: float, alpha: float,
+                  chip: ChipModel) -> float:
+    """Energy of the serial phase, relative to BCE energy.
+
+    Time ``(1-f)/perf_seq(r)`` at power ``r**(alpha/2)``; with Pollack's
+    law this simplifies to ``(1-f) * r**((alpha-1)/2)``.
+    """
+    check_fraction(f)
+    if f == 1.0:
+        return 0.0
+    return (1.0 - f) * chip.serial_power(r, alpha) / chip.perf_seq(r)
+
+
+def parallel_energy(f: float, n: float, r: float, alpha: float,
+                    chip: ChipModel) -> float:
+    """Energy of the parallel phase, relative to BCE energy."""
+    check_fraction(f)
+    if f == 0.0:
+        return 0.0
+    perf = chip.parallel_perf(n, r)
+    if perf <= 0:
+        raise ModelError(
+            f"{chip.label} has no parallel capability at n={n}, r={r}; "
+            f"cannot execute a parallel fraction f={f}"
+        )
+    return f * chip.parallel_power(n, r, alpha) / perf
+
+
+def design_energy(
+    chip: ChipModel,
+    f: float,
+    n: float,
+    r: float,
+    alpha: float = 1.75,
+    rel_power: float = 1.0,
+) -> float:
+    """Total energy of one run, normalised to BCE energy at 40 nm.
+
+    Args:
+        chip: machine organisation.
+        f: parallel fraction.
+        n, r: resolved design point (BCE units).
+        alpha: sequential power-law exponent.
+        rel_power: ITRS relative power per transistor at the target node
+            (1.0 at 40 nm, 0.25 at 11 nm -- Table 6).
+    """
+    if rel_power <= 0:
+        raise ModelError(f"rel_power must be positive, got {rel_power}")
+    return rel_power * (
+        serial_energy(f, r, alpha, chip)
+        + parallel_energy(f, n, r, alpha, chip)
+    )
+
+
+def energy_of_point(
+    chip: ChipModel,
+    point: DesignPoint,
+    alpha: float = 1.75,
+    rel_power: float = 1.0,
+) -> float:
+    """Energy of an optimizer-produced :class:`DesignPoint`."""
+    return design_energy(
+        chip, point.f, point.n, point.r, alpha=alpha, rel_power=rel_power
+    )

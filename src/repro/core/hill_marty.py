@@ -1,0 +1,122 @@
+"""Hill & Marty multicore speedup models and the paper's variants.
+
+Re-implements the "Amdahl's Law in the Multicore Era" formulas reviewed
+in Section 2.1, plus the *asymmetric-offload* variant introduced in
+Section 3.1 (the power-hungry sequential core is switched off during
+parallel sections, so it does not contribute to parallel throughput)
+and the *dynamic* model (mentioned in Section 2 but not evaluated by
+the paper; provided here as an extension).
+
+All speedups are relative to a single BCE core, and ``n``/``r`` are in
+BCE units: ``n`` total resources, ``r`` of which form the sequential
+core.  ``perf_seq(r)`` defaults to Pollack's Law, but any callable can
+be substituted (the paper notes the model accepts other inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ModelError
+from .amdahl import check_fraction
+from .power import pollack_perf
+
+__all__ = [
+    "PerfLaw",
+    "check_resources",
+    "speedup_symmetric",
+    "speedup_asymmetric",
+    "speedup_asymmetric_offload",
+    "speedup_dynamic",
+]
+
+PerfLaw = Callable[[float], float]
+
+
+def check_resources(n: float, r: float) -> None:
+    """Validate a Hill-Marty resource split: ``n >= r >= 1``."""
+    if r < 1:
+        raise ModelError(f"sequential core size r must be >= 1, got {r}")
+    if n < r:
+        raise ModelError(
+            f"total resources n ({n}) cannot be smaller than the "
+            f"sequential core r ({r})"
+        )
+
+
+def speedup_symmetric(
+    f: float, n: float, r: float, perf_seq: PerfLaw = pollack_perf
+) -> float:
+    """Symmetric multicore of ``n/r`` cores, each of size ``r`` BCE.
+
+    Serial sections run on one core at ``perf_seq(r)``; parallel
+    sections run on all ``n/r`` cores at aggregate
+    ``(n/r) * perf_seq(r)``.
+    """
+    check_fraction(f)
+    check_resources(n, r)
+    ps = perf_seq(r)
+    serial_time = (1.0 - f) / ps
+    parallel_time = f / ((n / r) * ps)
+    return 1.0 / (serial_time + parallel_time)
+
+
+def speedup_asymmetric(
+    f: float, n: float, r: float, perf_seq: PerfLaw = pollack_perf
+) -> float:
+    """One ``r``-BCE fast core plus ``n - r`` BCE cores.
+
+    During parallel sections the fast core helps alongside the small
+    cores: aggregate parallel performance ``perf_seq(r) + (n - r)``.
+    """
+    check_fraction(f)
+    check_resources(n, r)
+    ps = perf_seq(r)
+    serial_time = (1.0 - f) / ps
+    parallel_time = f / (ps + (n - r))
+    return 1.0 / (serial_time + parallel_time)
+
+
+def speedup_asymmetric_offload(
+    f: float, n: float, r: float, perf_seq: PerfLaw = pollack_perf
+) -> float:
+    """Asymmetric multicore with the fast core off during parallel work.
+
+    The paper's Section 3.1 variant: because the sequential core is
+    power-hungry, it is powered off while the ``n - r`` BCE cores run
+    parallel sections, so parallel performance is ``n - r`` only.
+    Requires ``n > r`` whenever ``f > 0`` (otherwise there is nothing to
+    execute the parallel section).
+    """
+    check_fraction(f)
+    check_resources(n, r)
+    ps = perf_seq(r)
+    if f == 0.0:
+        return ps
+    if n <= r:
+        raise ModelError(
+            f"asymmetric-offload with f={f} > 0 needs parallel resources "
+            f"(n={n} must exceed r={r})"
+        )
+    serial_time = (1.0 - f) / ps
+    parallel_time = f / (n - r)
+    return 1.0 / (serial_time + parallel_time)
+
+
+def speedup_dynamic(
+    f: float, n: float, r: float, perf_seq: PerfLaw = pollack_perf
+) -> float:
+    """Hill & Marty's dynamic multicore (extension; see Section 2).
+
+    A hypothetical machine that reconfigures all ``n`` BCEs into one
+    ``perf_seq(n)`` core for serial sections and ``n`` BCE cores for
+    parallel sections.  The paper excludes it from its study because no
+    measurable technology implements it; we provide it for completeness
+    and for baseline comparisons.  ``r`` is accepted (and ignored beyond
+    validation) so all models share one signature.
+    """
+    check_fraction(f)
+    check_resources(n, r)
+    serial_time = (1.0 - f) / perf_seq(n)
+    parallel_time = f / n
+    return 1.0 / (serial_time + parallel_time)

@@ -1,0 +1,159 @@
+"""Inverse model queries: solving for the input that hits a target.
+
+The forward model answers "given (f, budgets, U-core), what speedup?".
+Designers routinely need the inverse questions:
+
+* :func:`required_f` -- how much parallelism must my application expose
+  before a design reaches a target speedup?  (The paper's conclusion 1
+  is a statement of this form: "effectively exploiting the performance
+  gain of U-cores requires sufficient parallelism in excess of 90%.")
+* :func:`crossover_f` -- at what parallel fraction does one machine
+  overtake another?  (Conclusion 3 quantified: where custom logic
+  starts separating from a GPU/FPGA fabric.)
+* :func:`required_bandwidth` -- how much off-chip bandwidth lifts a
+  bandwidth-limited design to a target speedup?  (Section 7: "the most
+  immediate challenge on the horizon is how to attack memory bandwidth
+  limitations.")
+
+All solvers work on optimizer-level machines (budget-constrained, with
+the r-sweep inside the evaluation), using monotone bisection.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import InfeasibleDesignError, ModelError
+from .chip import ChipModel
+from .constraints import Budget
+from .optimizer import DEFAULT_R_MAX, optimize
+
+__all__ = ["required_f", "crossover_f", "required_bandwidth"]
+
+_BISECTION_STEPS = 80
+
+
+def _best_speedup(chip: ChipModel, f: float, budget: Budget,
+                  r_max: int) -> float:
+    try:
+        return optimize(chip, f, budget, r_max).speedup
+    except InfeasibleDesignError:
+        return -math.inf
+
+
+def _bisect_increasing(
+    predicate: Callable[[float], bool], lo: float, hi: float
+) -> float:
+    """Smallest x in [lo, hi] with predicate(x) true (monotone)."""
+    for _ in range(_BISECTION_STEPS):
+        mid = 0.5 * (lo + hi)
+        if predicate(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def required_f(
+    chip: ChipModel,
+    target_speedup: float,
+    budget: Budget,
+    r_max: int = DEFAULT_R_MAX,
+) -> float:
+    """Minimum parallel fraction achieving ``target_speedup``.
+
+    Raises :class:`ModelError` when even ``f = 1`` falls short, or when
+    the target is already met at ``f = 0``.
+    """
+    if target_speedup <= 0:
+        raise ModelError(
+            f"target speedup must be positive, got {target_speedup}"
+        )
+    at_one = _best_speedup(chip, 1.0, budget, r_max)
+    if at_one < target_speedup:
+        raise ModelError(
+            f"{chip.label} cannot reach {target_speedup}x under "
+            f"{budget} even fully parallel (max {at_one:.2f}x)"
+        )
+    if _best_speedup(chip, 0.0, budget, r_max) >= target_speedup:
+        return 0.0
+    return _bisect_increasing(
+        lambda f: _best_speedup(chip, f, budget, r_max)
+        >= target_speedup,
+        0.0,
+        1.0,
+    )
+
+
+def crossover_f(
+    challenger: ChipModel,
+    incumbent: ChipModel,
+    budget: Budget,
+    advantage: float = 1.0,
+    r_max: int = DEFAULT_R_MAX,
+    challenger_budget: Budget = None,
+) -> float:
+    """Smallest f where the challenger leads by ``advantage``.
+
+    Both machines are optimised independently at each f under their
+    budgets (``challenger_budget`` defaults to the shared budget --
+    pass a different one to model, e.g., a bandwidth-exempt ASIC).
+    Raises :class:`ModelError` if the challenger never catches up.
+    """
+    if advantage <= 0:
+        raise ModelError(f"advantage must be positive, got {advantage}")
+    cb = challenger_budget if challenger_budget is not None else budget
+
+    def leads(f: float) -> bool:
+        return _best_speedup(
+            challenger, f, cb, r_max
+        ) >= advantage * _best_speedup(incumbent, f, budget, r_max)
+
+    if not leads(1.0):
+        raise ModelError(
+            f"{challenger.label} never leads {incumbent.label} by "
+            f"{advantage}x under these budgets"
+        )
+    if leads(0.0):
+        return 0.0
+    return _bisect_increasing(leads, 0.0, 1.0)
+
+
+def required_bandwidth(
+    chip: ChipModel,
+    f: float,
+    target_speedup: float,
+    budget: Budget,
+    max_factor: float = 1024.0,
+    r_max: int = DEFAULT_R_MAX,
+) -> float:
+    """Bandwidth budget (BCE units) needed for ``target_speedup``.
+
+    Scales only the bandwidth axis of ``budget``.  Raises
+    :class:`ModelError` if the target is unreachable even at
+    ``max_factor`` times the baseline bandwidth (i.e. the binding wall
+    is power or area, not pins).
+    """
+    if not math.isfinite(budget.bandwidth):
+        raise ModelError(
+            "budget already has unbounded bandwidth; nothing to solve"
+        )
+    if target_speedup <= 0:
+        raise ModelError(
+            f"target speedup must be positive, got {target_speedup}"
+        )
+
+    def reaches(factor: float) -> bool:
+        scaled = budget.scaled(bandwidth=factor)
+        return _best_speedup(chip, f, scaled, r_max) >= target_speedup
+
+    if not reaches(max_factor):
+        raise ModelError(
+            f"{chip.label} cannot reach {target_speedup}x at f={f} even "
+            f"with {max_factor}x the bandwidth -- power or area binds"
+        )
+    if reaches(1e-6):
+        return budget.bandwidth * 1e-6
+    factor = _bisect_increasing(reaches, 1e-6, max_factor)
+    return budget.bandwidth * factor

@@ -1,0 +1,117 @@
+"""Extended design metrics: perf/W, energy-delay, and objective search.
+
+The paper's Section 6.3 (and the related work it cites: Woo & Lee [51],
+Cho & Melhem [52]) argues that U-cores look even better when the goal
+is power or energy reduction rather than raw speedup.  This module
+makes those alternative objectives first-class: every metric evaluates
+an optimizer :class:`DesignPoint`, and :func:`optimize_for` re-runs the
+r-sweep under a caller-chosen objective.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+from ..errors import InfeasibleDesignError
+from .chip import ChipModel
+from .constraints import Budget
+from .energy import design_energy
+from .optimizer import DEFAULT_R_MAX, DesignPoint, sweep_designs
+
+__all__ = [
+    "Objective",
+    "speedup_metric",
+    "energy_metric",
+    "energy_delay_metric",
+    "perf_per_watt_metric",
+    "average_power_metric",
+    "optimize_for",
+]
+
+
+def speedup_metric(chip: ChipModel, point: DesignPoint,
+                   rel_power: float = 1.0, alpha: float = 1.75) -> float:
+    """Plain speedup over one BCE (the paper's headline metric)."""
+    return point.speedup
+
+
+def energy_metric(chip: ChipModel, point: DesignPoint,
+                  rel_power: float = 1.0, alpha: float = 1.75) -> float:
+    """Total run energy normalised to BCE energy (Figure 10)."""
+    return design_energy(
+        chip, point.f, point.n, point.r, alpha=alpha, rel_power=rel_power
+    )
+
+
+def energy_delay_metric(chip: ChipModel, point: DesignPoint,
+                        rel_power: float = 1.0,
+                        alpha: float = 1.75) -> float:
+    """Energy-delay product, normalised to a BCE's EDP of 1.
+
+    Delay is ``1 / speedup``; lower is better.
+    """
+    return energy_metric(chip, point, rel_power, alpha) / point.speedup
+
+
+def average_power_metric(chip: ChipModel, point: DesignPoint,
+                         rel_power: float = 1.0,
+                         alpha: float = 1.75) -> float:
+    """Average power over the run: energy / time (BCE power units)."""
+    energy = energy_metric(chip, point, rel_power, alpha)
+    time = 1.0 / point.speedup
+    return energy / time
+
+
+def perf_per_watt_metric(chip: ChipModel, point: DesignPoint,
+                         rel_power: float = 1.0,
+                         alpha: float = 1.75) -> float:
+    """Throughput per watt relative to a BCE (higher is better)."""
+    return point.speedup / average_power_metric(
+        chip, point, rel_power, alpha
+    )
+
+
+class Objective(enum.Enum):
+    """Design objectives supported by :func:`optimize_for`."""
+
+    MAX_SPEEDUP = "max-speedup"
+    MIN_ENERGY = "min-energy"
+    MIN_ENERGY_DELAY = "min-energy-delay"
+    MAX_PERF_PER_WATT = "max-perf-per-watt"
+
+
+_Metric = Callable[[ChipModel, DesignPoint, float], float]
+
+_OBJECTIVES: Dict[Objective, tuple] = {
+    Objective.MAX_SPEEDUP: (speedup_metric, max),
+    Objective.MIN_ENERGY: (energy_metric, min),
+    Objective.MIN_ENERGY_DELAY: (energy_delay_metric, min),
+    Objective.MAX_PERF_PER_WATT: (perf_per_watt_metric, max),
+}
+
+
+def optimize_for(
+    chip: ChipModel,
+    f: float,
+    budget: Budget,
+    objective: Objective = Objective.MAX_SPEEDUP,
+    rel_power: float = 1.0,
+    r_max: int = DEFAULT_R_MAX,
+) -> DesignPoint:
+    """Run the r-sweep and pick the point optimising ``objective``.
+
+    Unlike :func:`repro.core.optimizer.optimize`, the winner may be a
+    smaller (slower but cooler) sequential core when the objective is
+    energy-oriented -- exactly the trade Section 6.3 discusses.
+    """
+    points = sweep_designs(chip, f, budget, r_max)
+    if not points:
+        raise InfeasibleDesignError(
+            f"no feasible design for {chip.label} under {budget}"
+        )
+    metric, selector = _OBJECTIVES[objective]
+    return selector(
+        points,
+        key=lambda p: metric(chip, p, rel_power, budget.alpha),
+    )

@@ -1,0 +1,141 @@
+"""Alternative sequential-performance laws.
+
+Hill & Marty "use Pollack's Law as input to their model" but the model
+itself is agnostic: every chip class in this library accepts any
+``perf_seq(r)`` callable.  This module collects the standard
+alternatives so robustness studies can swap the law in one line:
+
+* :func:`pollack` -- ``sqrt(r)``, the paper's default;
+* :func:`power_law` -- ``r**beta`` for any diminishing-returns
+  exponent;
+* :func:`logarithmic` -- ``1 + log2(r)``-style, the pessimistic end
+  of the microarchitecture literature;
+* :func:`linear` -- ``r``, the (unphysical) no-diminishing-returns
+  bound, useful as a limit case;
+* :func:`tabulated` -- interpolate empirical (r, perf) points.
+
+Every law returns ``1.0`` at ``r = 1`` (a BCE is the unit), which
+:func:`validate_law` checks along with monotonicity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Tuple
+
+from ..errors import ModelError
+
+__all__ = [
+    "pollack",
+    "power_law",
+    "logarithmic",
+    "linear",
+    "tabulated",
+    "validate_law",
+]
+
+PerfLaw = Callable[[float], float]
+
+
+def _check_r(r: float) -> None:
+    if r <= 0:
+        raise ModelError(f"core size r must be positive, got {r}")
+
+
+def pollack(r: float) -> float:
+    """Pollack's Law: ``sqrt(r)`` (the paper's default)."""
+    _check_r(r)
+    return math.sqrt(r)
+
+
+def power_law(beta: float) -> PerfLaw:
+    """A general diminishing-returns law ``r**beta``.
+
+    ``beta = 0.5`` reproduces Pollack; smaller beta is more
+    pessimistic about big cores.
+    """
+    if not 0.0 < beta <= 1.0:
+        raise ModelError(
+            f"beta must be in (0, 1] for a sane perf law, got {beta}"
+        )
+
+    def law(r: float) -> float:
+        _check_r(r)
+        return r**beta
+
+    law.__name__ = f"power_law_{beta:g}"
+    return law
+
+
+def logarithmic(r: float) -> float:
+    """A pessimistic law: ``1 + log2(r)``."""
+    _check_r(r)
+    return 1.0 + math.log2(r) if r >= 1.0 else r
+
+
+def linear(r: float) -> float:
+    """No diminishing returns (limit case; unphysical for real cores)."""
+    _check_r(r)
+    return r
+
+
+def tabulated(points: Sequence[Tuple[float, float]]) -> PerfLaw:
+    """Interpolate an empirical (r, perf) table, log-linearly in r.
+
+    The table must start at ``(1, 1)`` (the BCE anchor) and be strictly
+    increasing in both coordinates; queries beyond the last point clamp
+    to its value (a measured law says nothing about larger cores).
+    """
+    table = sorted(points)
+    if not table or table[0] != (1.0, 1.0):
+        raise ModelError(
+            "tabulated law must start at the BCE anchor (1, 1)"
+        )
+    rs = [p[0] for p in table]
+    perfs = [p[1] for p in table]
+    if any(b <= a for a, b in zip(rs, rs[1:])) or any(
+        b <= a for a, b in zip(perfs, perfs[1:])
+    ):
+        raise ModelError(
+            "tabulated law must be strictly increasing in r and perf"
+        )
+
+    def law(r: float) -> float:
+        _check_r(r)
+        if r <= rs[0]:
+            return perfs[0] * r  # sub-BCE cores degrade linearly
+        if r >= rs[-1]:
+            return perfs[-1]
+        for (r0, p0), (r1, p1) in zip(table, table[1:]):
+            if r0 <= r <= r1:
+                t = (math.log(r) - math.log(r0)) / (
+                    math.log(r1) - math.log(r0)
+                )
+                return p0 * (p1 / p0) ** t
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    law.__name__ = "tabulated"
+    return law
+
+
+def validate_law(law: PerfLaw, r_max: float = 64.0) -> None:
+    """Check a perf law's basic sanity; raises :class:`ModelError`.
+
+    Requirements: ``law(1) == 1`` (BCE anchor) and non-decreasing over
+    ``[1, r_max]``.
+    """
+    if abs(law(1.0) - 1.0) > 1e-9:
+        raise ModelError(
+            f"perf law must equal 1 at r=1, got {law(1.0)}"
+        )
+    steps = 64
+    previous = law(1.0)
+    for i in range(1, steps + 1):
+        r = 1.0 + (r_max - 1.0) * i / steps
+        current = law(r)
+        if current < previous - 1e-9:
+            raise ModelError(
+                f"perf law decreases near r={r:.2f} "
+                f"({current} < {previous})"
+            )
+        previous = current

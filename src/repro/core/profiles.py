@@ -1,0 +1,221 @@
+"""Variable-parallelism profiles (the paper's first future direction).
+
+Section 7: "Models in the future should attempt to incorporate varying
+degrees of parallelism in an application, in order to capture how
+'suitable' certain types of U-cores might be under a given parallelism
+profile."
+
+A :class:`ParallelismProfile` generalises the single parameter ``f``:
+the program is a distribution of *width segments*, each a fraction of
+original execution time together with the maximum parallelism width
+(in BCE-equivalent work units) that segment can exploit.  The classic
+two-phase model is the special case of one width-1 segment and one
+width-infinity segment.
+
+Executing a segment of width ``w`` on a machine with parallel
+throughput ``T`` proceeds at ``min(w, T)`` -- extra fabric beyond the
+segment's inherent width is wasted.  This is what separates U-cores in
+practice: a huge-mu ASIC only pays off on segments wide enough to feed
+it, while moderate-mu fabrics lose nothing on narrow segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ModelError
+from .amdahl import check_fraction
+from .chip import ChipModel
+from .constraints import Budget
+from .optimizer import DEFAULT_R_MAX, feasible_r_values
+
+__all__ = [
+    "WidthSegment",
+    "ParallelismProfile",
+    "profile_speedup",
+    "optimize_profile",
+]
+
+
+@dataclass(frozen=True)
+class WidthSegment:
+    """A fraction of execution time with bounded exploitable width.
+
+    Attributes:
+        fraction: share of the original single-BCE execution time.
+        width: maximum parallelism (in BCE work units) the segment can
+            exploit; ``1`` is purely serial work, ``math.inf`` is
+            embarrassingly parallel work.
+    """
+
+    fraction: float
+    width: float
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fraction, "segment fraction")
+        if not self.width >= 1.0:
+            raise ModelError(
+                f"segment width must be >= 1 BCE, got {self.width}"
+            )
+
+
+class ParallelismProfile:
+    """A distribution of exploitable parallelism across a program."""
+
+    def __init__(self, segments: Iterable[WidthSegment]):
+        self._segments: Tuple[WidthSegment, ...] = tuple(segments)
+        if not self._segments:
+            raise ModelError("a profile needs at least one segment")
+        total = sum(s.fraction for s in self._segments)
+        if abs(total - 1.0) > 1e-6:
+            raise ModelError(
+                f"segment fractions must sum to 1, got {total:.9f}"
+            )
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[Tuple[float, float]]
+    ) -> "ParallelismProfile":
+        """Build from ``(fraction, width)`` pairs."""
+        return cls(WidthSegment(f, w) for f, w in pairs)
+
+    @classmethod
+    def two_phase(cls, f: float) -> "ParallelismProfile":
+        """The paper's standard model: ``1-f`` serial, ``f`` unbounded."""
+        check_fraction(f)
+        pairs: List[Tuple[float, float]] = []
+        if f < 1.0:
+            pairs.append((1.0 - f, 1.0))
+        if f > 0.0:
+            pairs.append((f, math.inf))
+        return cls.from_pairs(pairs)
+
+    @classmethod
+    def geometric(cls, f: float, max_width: float,
+                  levels: int = 8) -> "ParallelismProfile":
+        """A graded profile: parallel time spread over widths.
+
+        Splits the parallel fraction ``f`` evenly across ``levels``
+        widths spaced geometrically from 2 up to ``max_width`` -- a
+        simple stand-in for real applications whose parallelism varies
+        across phases (loops of different trip counts, reductions,
+        pipelines).
+        """
+        check_fraction(f)
+        if levels < 1:
+            raise ModelError(f"levels must be >= 1, got {levels}")
+        if max_width < 2:
+            raise ModelError(
+                f"max_width must be >= 2, got {max_width}"
+            )
+        pairs = []
+        if f < 1.0:
+            pairs.append((1.0 - f, 1.0))
+        if f > 0.0:
+            ratio = (max_width / 2.0) ** (1.0 / max(levels - 1, 1))
+            widths = [2.0 * ratio**i for i in range(levels)]
+            share = f / levels
+            pairs.extend((share, width) for width in widths)
+        return cls.from_pairs(pairs)
+
+    @property
+    def segments(self) -> Tuple[WidthSegment, ...]:
+        return self._segments
+
+    @property
+    def serial_fraction(self) -> float:
+        """Time share with width exactly 1."""
+        return sum(
+            s.fraction for s in self._segments if s.width == 1.0
+        )
+
+    def equivalent_f(self) -> float:
+        """The two-phase ``f`` with the same non-serial time share."""
+        return 1.0 - self.serial_fraction
+
+    def mean_width(self) -> float:
+        """Time-weighted harmonic-style mean width (finite part only)."""
+        finite = [
+            s for s in self._segments if math.isfinite(s.width)
+        ]
+        if not finite:
+            return math.inf
+        total = sum(s.fraction for s in finite)
+        return sum(s.fraction * s.width for s in finite) / total
+
+
+def profile_speedup(
+    chip: ChipModel,
+    profile: ParallelismProfile,
+    n: float,
+    r: float,
+) -> float:
+    """Speedup of a chip on a width-profiled program.
+
+    Width-1 segments run on the sequential core at ``perf_seq(r)``.
+    Wider segments run on the parallel fabric at
+    ``min(width, parallel_perf(n, r))`` -- the machine cannot extract
+    more parallelism than the segment offers, and a segment cannot use
+    more throughput than the fabric has -- *or* fall back to the
+    sequential core when that is faster (a scheduler never does worse
+    than serialising the segment; without this fallback the model
+    would be discontinuous at width 1, punishing a width-1.01 segment
+    relative to a width-1.0 one).
+    """
+    if n < r:
+        raise ModelError(f"n ({n}) must be >= r ({r})")
+    time = 0.0
+    # Offload-style machines need fabric area beyond the fast core; the
+    # symmetric/dynamic machines' cores double as the parallel fabric.
+    has_fabric = n > r or chip.model_id in ("symmetric", "dynamic")
+    fabric = chip.parallel_perf(n, r) if has_fabric else 0.0
+    serial_perf = chip.perf_seq(r)
+    for segment in profile.segments:
+        if segment.fraction == 0.0:
+            continue
+        if segment.width == 1.0:
+            rate = serial_perf
+        else:
+            if fabric <= 0.0:
+                raise ModelError(
+                    f"{chip.label} has no parallel fabric (n={n}, r={r}) "
+                    f"for a width-{segment.width} segment"
+                )
+            rate = max(min(segment.width, fabric), serial_perf)
+        time += segment.fraction / rate
+    return 1.0 / time
+
+
+def optimize_profile(
+    chip: ChipModel,
+    profile: ParallelismProfile,
+    budget: Budget,
+    r_max: int = DEFAULT_R_MAX,
+) -> Tuple[float, float, float]:
+    """r-sweep under a parallelism profile.
+
+    Returns ``(speedup, r, n)`` for the best feasible design point.
+    Raises :class:`ModelError` when no r is feasible.
+    """
+    best: Tuple[float, float, float] = (-math.inf, 0.0, 0.0)
+    for r in feasible_r_values(chip, budget, r_max):
+        n = chip.bounds(budget, r).n_effective
+        if n < r:
+            continue
+        needs_fabric = any(
+            s.width > 1.0 and s.fraction > 0 for s in profile.segments
+        )
+        if needs_fabric and n <= r and chip.model_id not in (
+            "symmetric", "dynamic",
+        ):
+            continue
+        speedup = profile_speedup(chip, profile, n, r)
+        if speedup > best[0]:
+            best = (speedup, float(r), n)
+    if best[0] < 0:
+        raise ModelError(
+            f"no feasible profiled design for {chip.label} under {budget}"
+        )
+    return best

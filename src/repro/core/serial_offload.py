@@ -1,0 +1,176 @@
+"""Sequential-phase roles for U-cores (Section 6.3's discussion).
+
+Beyond accelerating parallel sections, the paper sketches two further
+uses for low-power U-cores, both implemented here:
+
+1. **Iso-performance power reduction** ("a U-core can be used to speed
+   up parallel sections ... while allowing the sequential processor to
+   slow down with a significant reduction in power"):
+   :func:`iso_performance_design` finds the smallest sequential core
+   whose chip still meets a target speedup, and reports the power
+   saved relative to the performance-optimal design.
+
+2. **Serial offload** (Venkatesh et al.'s conservation cores: "allows
+   a power-hungry sequential processor to offload sections of serial
+   code to custom logic"): :func:`speedup_with_serial_offload` models
+   a chip whose serial phase itself is partially executed by a U-core
+   at relative speed ``mu_serial`` -- typically ~1 (no speedup) but at
+   ``phi_serial`` << the big core's power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import InfeasibleDesignError, ModelError
+from .amdahl import check_fraction
+from .chip import ChipModel, HeterogeneousChip
+from .constraints import Budget
+from .energy import design_energy
+from .optimizer import DEFAULT_R_MAX, DesignPoint, optimize, sweep_designs
+from .power import seq_power
+from .ucore import UCore
+
+__all__ = [
+    "IsoPerformanceResult",
+    "iso_performance_design",
+    "speedup_with_serial_offload",
+    "serial_offload_power",
+]
+
+
+@dataclass(frozen=True)
+class IsoPerformanceResult:
+    """Outcome of an iso-performance power-reduction search.
+
+    Attributes:
+        fastest: the performance-optimal design point.
+        chosen: the smallest-core design still meeting the target.
+        target_speedup: the floor the chosen design satisfies.
+        power_saving: serial-phase active-power reduction, in BCE
+            units (fast core of ``fastest.r`` vs ``chosen.r``).
+        energy_ratio: chosen run energy / fastest run energy.
+    """
+
+    fastest: DesignPoint
+    chosen: DesignPoint
+    target_speedup: float
+    power_saving: float
+    energy_ratio: float
+
+
+def iso_performance_design(
+    chip: ChipModel,
+    f: float,
+    budget: Budget,
+    performance_floor: float = 0.95,
+    r_max: int = DEFAULT_R_MAX,
+) -> IsoPerformanceResult:
+    """Slow the sequential core down while holding speedup.
+
+    Finds the design with the smallest sequential core whose speedup is
+    at least ``performance_floor`` times the optimum -- the Section 6.3
+    trade of sequential power for (almost) no performance.
+
+    Raises:
+        InfeasibleDesignError: no design meets the floor (only possible
+            floors > 1).
+    """
+    if not 0 < performance_floor <= 1.0:
+        raise ModelError(
+            f"performance floor must be in (0, 1], got {performance_floor}"
+        )
+    fastest = optimize(chip, f, budget, r_max)
+    target = performance_floor * fastest.speedup
+    candidates = [
+        p
+        for p in sweep_designs(chip, f, budget, r_max)
+        if p.speedup >= target
+    ]
+    if not candidates:
+        raise InfeasibleDesignError(
+            f"no design for {chip.label} reaches {target:.2f}x"
+        )
+    chosen = min(candidates, key=lambda p: p.r)
+    alpha = budget.alpha
+    power_saving = seq_power(fastest.r, alpha) - seq_power(chosen.r, alpha)
+    energy_fast = design_energy(chip, f, fastest.n, fastest.r, alpha)
+    energy_chosen = design_energy(chip, f, chosen.n, chosen.r, alpha)
+    return IsoPerformanceResult(
+        fastest=fastest,
+        chosen=chosen,
+        target_speedup=target,
+        power_saving=power_saving,
+        energy_ratio=energy_chosen / energy_fast,
+    )
+
+
+def speedup_with_serial_offload(
+    f: float,
+    n: float,
+    r: float,
+    ucore: UCore,
+    f_serial_offload: float,
+    mu_serial: float = 1.0,
+    perf_seq=None,
+) -> float:
+    """Heterogeneous speedup with part of the *serial* phase offloaded.
+
+    ``f_serial_offload`` of the serial phase's time runs on a
+    BCE-sized U-core slice at ``mu_serial`` relative performance (the
+    conservation-core case is ``mu_serial ~ 1``); the rest stays on the
+    fast core.  The parallel phase is the ordinary Section 3.3 model.
+    """
+    check_fraction(f)
+    check_fraction(f_serial_offload, "f_serial_offload")
+    if mu_serial <= 0:
+        raise ModelError(f"mu_serial must be positive, got {mu_serial}")
+    chip = HeterogeneousChip(ucore) if perf_seq is None else (
+        HeterogeneousChip(ucore, perf_seq)
+    )
+    serial_fraction = 1.0 - f
+    ps = chip.perf_seq(r)
+    serial_time = serial_fraction * (
+        (1.0 - f_serial_offload) / ps + f_serial_offload / mu_serial
+    )
+    if f == 0.0:
+        return 1.0 / serial_time if serial_time > 0 else math.inf
+    if n <= r:
+        raise ModelError(
+            f"serial-offload chip with f={f} needs fabric (n={n}, r={r})"
+        )
+    parallel_time = f / (ucore.mu * (n - r))
+    return 1.0 / (serial_time + parallel_time)
+
+
+def serial_offload_power(
+    r: float,
+    ucore: UCore,
+    f_serial_offload: float,
+    alpha: float = 1.75,
+    mu_serial: float = 1.0,
+    ps: Optional[float] = None,
+) -> float:
+    """Average serial-phase power with conservation-core offload.
+
+    While the offloaded slice runs, the fast core is gated and only a
+    single BCE-sized U-core slice burns ``phi``; otherwise the fast
+    core burns ``r**(alpha/2)``.  Returns the time-weighted average
+    power of the serial phase (BCE units).
+    """
+    check_fraction(f_serial_offload, "f_serial_offload")
+    if mu_serial <= 0:
+        raise ModelError(f"mu_serial must be positive, got {mu_serial}")
+    if ps is None:
+        ps = math.sqrt(r)
+    time_on_core = (1.0 - f_serial_offload) / ps
+    time_on_ucore = f_serial_offload / mu_serial
+    total_time = time_on_core + time_on_ucore
+    if total_time <= 0:
+        raise ModelError("serial phase has zero duration")
+    energy = (
+        time_on_core * seq_power(r, alpha) + time_on_ucore * ucore.phi
+    )
+    return energy / total_time

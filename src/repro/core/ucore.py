@@ -1,0 +1,125 @@
+"""U-core abstraction and the heterogeneous speedup model (Section 3.3).
+
+A *U-core* (unconventional core) is the paper's primary modelling
+contribution: a BCE-sized slice of custom logic, FPGA fabric, or GPU
+fabric characterised by exactly two parameters, both relative to a BCE
+core:
+
+* ``mu`` -- relative performance: a BCE-sized U-core executes
+  exploitable parallel code ``mu`` times faster than a BCE.
+* ``phi`` -- relative power: the same slice dissipates ``phi`` BCE
+  units of active power while executing.
+
+The heterogeneous chip devotes ``r`` BCE of area to a conventional
+sequential core and the remaining ``n - r`` BCE to U-core fabric:
+
+    Speedup_het(f, n, r) = 1 / ((1-f)/perf_seq(r) + f/(mu * (n - r)))
+
+The sequential core is powered off (and contributes nothing) during
+parallel sections, mirroring the asymmetric-offload model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ModelError
+from .amdahl import check_fraction
+from .hill_marty import PerfLaw, check_resources
+from .power import pollack_perf
+
+__all__ = ["UCore", "speedup_heterogeneous"]
+
+
+@dataclass(frozen=True)
+class UCore:
+    """A U-core type characterised by (mu, phi).
+
+    Attributes:
+        name: identifying label, e.g. ``"ASIC"`` or ``"GTX285"``.
+        mu: performance of a BCE-sized slice relative to one BCE (> 0).
+        phi: active power of that slice relative to one BCE (> 0).
+        kind: broad technology class (``"asic"``, ``"fpga"``, ``"gpu"``),
+            used only for reporting.
+        workload: the workload the parameters were calibrated on, when
+            known.  U-core parameters are workload-specific (Table 5).
+    """
+
+    name: str
+    mu: float
+    phi: float
+    kind: str = "custom"
+    workload: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0:
+            raise ModelError(f"mu must be positive, got {self.mu}")
+        if self.phi <= 0:
+            raise ModelError(f"phi must be positive, got {self.phi}")
+
+    @property
+    def efficiency_gain(self) -> float:
+        """Energy-efficiency gain over a BCE: work per joule ratio.
+
+        A slice does ``mu`` work at ``phi`` power, so its perf/W is
+        ``mu / phi`` times a BCE's.
+        """
+        return self.mu / self.phi
+
+    def scaled(self, perf_factor: float = 1.0,
+               power_factor: float = 1.0) -> "UCore":
+        """Return a hypothetical U-core with scaled parameters.
+
+        Supports what-if studies (e.g. "an FPGA with hard FPUs" -- the
+        paper notes its FPGA numbers are conservative for floating
+        point).
+        """
+        if perf_factor <= 0 or power_factor <= 0:
+            raise ModelError("scale factors must be positive")
+        return UCore(
+            name=self.name,
+            mu=self.mu * perf_factor,
+            phi=self.phi * power_factor,
+            kind=self.kind,
+            workload=self.workload,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        wl = f" on {self.workload}" if self.workload else ""
+        return (
+            f"{self.name}{wl}: mu={self.mu:.3g}, phi={self.phi:.3g} "
+            f"(perf/W gain {self.efficiency_gain:.3g}x over BCE)"
+        )
+
+
+def speedup_heterogeneous(
+    f: float,
+    n: float,
+    r: float,
+    ucore: UCore,
+    perf_seq: PerfLaw = pollack_perf,
+) -> float:
+    """Speedup of a heterogeneous chip (Section 3.3 formula).
+
+    Args:
+        f: parallelisable fraction of the original execution time.
+        n: total resources in BCE units (area-equivalent).
+        r: BCE units devoted to the conventional sequential core.
+        ucore: the U-core type filling the remaining ``n - r`` BCE.
+        perf_seq: sequential performance law (defaults to Pollack).
+    """
+    check_fraction(f)
+    check_resources(n, r)
+    ps = perf_seq(r)
+    if f == 0.0:
+        return ps
+    if n <= r:
+        raise ModelError(
+            f"heterogeneous chip with f={f} > 0 needs U-core area "
+            f"(n={n} must exceed r={r})"
+        )
+    serial_time = (1.0 - f) / ps
+    parallel_time = f / (ucore.mu * (n - r))
+    return 1.0 / (serial_time + parallel_time)

@@ -1,0 +1,175 @@
+"""Base Core Equivalent (BCE) derivation (Section 5.1).
+
+The paper treats the Core i7 as the fast sequential core and sizes the
+BCE from an Intel Atom: a 26 mm^2 in-order 45 nm processor, minus 10%
+non-compute area, is ~23.4 mm^2 -- about half of one i7 core
+(193/4 ~= 48.25 mm^2) -- so the fast core is ``r = 2`` BCE.  With
+Pollack's Law (``perf = sqrt(r)``) and the power law
+(``power = r**(alpha/2)``), every BCE-relative quantity follows.
+
+Two absolute scales are *not* published by the paper and are calibrated
+here (see DESIGN.md section 3 for the cross-checks against the
+projection figures' axes):
+
+* :data:`DEFAULT_BCE_POWER_W` -- the BCE's active power in watts, which
+  converts the 100 W budget of Table 6 into BCE units (P = 10 at
+  40 nm).
+* The BCE's absolute throughput per workload, which converts GB/s
+  budgets into BCE compulsory-bandwidth units.  Consistent with the
+  paper's figure scales, the measured i7 throughput is interpreted as
+  the throughput of the model's r = 2 fast core, so
+  ``bce_throughput = i7_throughput / sqrt(2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..workloads.base import Workload
+from .specs import Measurement
+
+__all__ = [
+    "ATOM_AREA_MM2",
+    "ATOM_NONCOMPUTE_FRACTION",
+    "DEFAULT_BCE_POWER_W",
+    "DEFAULT_FAST_CORE_R",
+    "BCE",
+    "DEFAULT_BCE",
+]
+
+#: Intel Atom die area at 45 nm (Section 5.1).
+ATOM_AREA_MM2 = 26.0
+
+#: Non-compute fraction subtracted from the Atom die (Section 5.1).
+ATOM_NONCOMPUTE_FRACTION = 0.10
+
+#: Calibrated BCE active power (watts).  Chosen so the 100 W Table 6
+#: budget equals 10 BCE at 40 nm, which reproduces the magnitude of the
+#: power-limited plateaus in Figures 6, 7 and 9 (DESIGN.md section 3).
+DEFAULT_BCE_POWER_W = 10.0
+
+#: Fast-core size in BCE units ("An r value of 2 roughly gives the
+#: equivalent size of a single Core i7 [core]").
+DEFAULT_FAST_CORE_R = 2
+
+
+@dataclass(frozen=True)
+class BCE:
+    """The Base Core Equivalent reference point.
+
+    Attributes:
+        fast_core_r: size of the measured fast core (Core i7) in BCE.
+        alpha: sequential power-law exponent.
+        power_w: absolute active power of one BCE (calibrated).
+        area_mm2: area of one BCE at the 40/45 nm baseline.
+    """
+
+    fast_core_r: float = DEFAULT_FAST_CORE_R
+    alpha: float = 1.75
+    power_w: float = DEFAULT_BCE_POWER_W
+    area_mm2: float = ATOM_AREA_MM2 * (1.0 - ATOM_NONCOMPUTE_FRACTION)
+
+    def __post_init__(self) -> None:
+        if self.fast_core_r < 1:
+            raise CalibrationError(
+                f"fast core must be at least one BCE, got {self.fast_core_r}"
+            )
+        if self.power_w <= 0 or self.area_mm2 <= 0:
+            raise CalibrationError("BCE power and area must be positive")
+
+    @property
+    def fast_core_perf(self) -> float:
+        """Fast-core performance in BCE units: ``sqrt(r)``."""
+        return math.sqrt(self.fast_core_r)
+
+    @property
+    def fast_core_power(self) -> float:
+        """Fast-core active power in BCE units: ``r ** (alpha/2)``."""
+        return self.fast_core_r ** (self.alpha / 2.0)
+
+    def power_budget_bce(self, budget_w: float,
+                         rel_power: float = 1.0) -> float:
+        """Convert a watt budget into BCE units at a scaled node.
+
+        ``rel_power`` is the ITRS power-per-transistor factor for the
+        target node (1.0 at 40 nm): a BCE built at a later node costs
+        ``power_w * rel_power`` watts, so the same watt budget buys
+        proportionally more BCEs.
+        """
+        if budget_w <= 0:
+            raise CalibrationError(
+                f"power budget must be positive, got {budget_w}"
+            )
+        if rel_power <= 0:
+            raise CalibrationError(
+                f"rel_power must be positive, got {rel_power}"
+            )
+        return budget_w / (self.power_w * rel_power)
+
+    def throughput_from_fast_core(self, fast_throughput: float) -> float:
+        """BCE absolute throughput given the measured fast-core rate.
+
+        The fast core runs at ``sqrt(r)`` BCE-relative performance, so
+        one BCE sustains ``measured / sqrt(r)``.
+        """
+        if fast_throughput <= 0:
+            raise CalibrationError(
+                f"throughput must be positive, got {fast_throughput}"
+            )
+        return fast_throughput / self.fast_core_perf
+
+    def compulsory_bandwidth_gbps(
+        self,
+        workload: Workload,
+        size: int,
+        fast_core_measurement: Measurement,
+        throughput_to_ops_per_sec: float,
+    ) -> float:
+        """Absolute compulsory bandwidth of one BCE, in GB/s.
+
+        A BCE running the workload at its BCE-rate streams the
+        workload's compulsory bytes-per-op at that rate:
+
+            BW_bce = bytes_per_op * bce_ops_per_sec
+
+        Args:
+            workload: the workload (provides bytes-per-op).
+            size: problem size fixing the arithmetic intensity.
+            fast_core_measurement: the i7 observation for this
+                workload/size (normalised throughput).
+            throughput_to_ops_per_sec: factor converting the
+                measurement's throughput unit into ops/second (1e9 for
+                GFLOP/s, 1e6 for Mopts/s).
+        """
+        bce_rate = self.throughput_from_fast_core(
+            fast_core_measurement.throughput
+        )
+        work_units_per_sec = bce_rate * throughput_to_ops_per_sec
+        bytes_per_sec = (
+            workload.bytes_per_work_unit(size) * work_units_per_sec
+        )
+        return bytes_per_sec / 1e9
+
+    def bandwidth_budget_bce(
+        self,
+        budget_gbps: float,
+        workload: Workload,
+        size: int,
+        fast_core_measurement: Measurement,
+        throughput_to_ops_per_sec: float,
+    ) -> float:
+        """Convert a GB/s budget into BCE compulsory-bandwidth units."""
+        per_bce = self.compulsory_bandwidth_gbps(
+            workload, size, fast_core_measurement, throughput_to_ops_per_sec
+        )
+        if budget_gbps <= 0:
+            raise CalibrationError(
+                f"bandwidth budget must be positive, got {budget_gbps}"
+            )
+        return budget_gbps / per_bce
+
+
+#: Default calibration used throughout the projections.
+DEFAULT_BCE = BCE()

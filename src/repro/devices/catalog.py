@@ -1,0 +1,154 @@
+"""Device catalogue: Table 2 of the paper, as data.
+
+One :class:`~repro.devices.specs.DeviceSpec` per measured device.  Area
+notes from Section 4:
+
+* Core i7-960 core area (193 mm^2) excludes the uncore; per-core area
+  is 193/4 mm^2.
+* The R5870 has no published die photo; the paper assumes a 25%
+  non-compute overhead, so core area = 334 * 0.75 mm^2.
+* The FPGA's area model is per-LUT: 0.00191 mm^2 per 6-LUT including
+  the amortised overhead of flip-flops, RAMs, multipliers, and
+  interconnect.  An implementation using L LUTs occupies
+  ``L * 0.00191`` mm^2.
+* The ASIC is a set of synthesised 65 nm cores; it has no fixed die --
+  each workload's core has its own synthesised area (recorded with the
+  measurements, not here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import UnknownDeviceError
+from .specs import DeviceKind, DeviceSpec
+
+__all__ = [
+    "DEVICES",
+    "FPGA_MM2_PER_LUT",
+    "LX760_TOTAL_LUTS",
+    "get_device",
+    "device_names",
+    "fpga_area_mm2",
+]
+
+#: Area per FPGA LUT including amortised overheads (Section 4).
+FPGA_MM2_PER_LUT = 0.00191
+
+#: 6-input LUT capacity of the Virtex-6 LX760.
+LX760_TOTAL_LUTS = 474_240
+
+DEVICES: Dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (
+        DeviceSpec(
+            name="Core i7-960",
+            vendor="Intel",
+            kind=DeviceKind.CPU,
+            year=2009,
+            node_nm=45,
+            die_area_mm2=263.0,
+            core_area_mm2=193.0,
+            clock_ghz=3.2,
+            voltage_range=(0.8, 1.375),
+            memory="3GB DDR3",
+            peak_bandwidth_gbps=32.0,
+            cores=4,
+        ),
+        DeviceSpec(
+            name="GTX285",
+            vendor="Nvidia",
+            kind=DeviceKind.GPU,
+            year=2008,
+            node_nm=55,
+            die_area_mm2=470.0,
+            core_area_mm2=338.0,
+            clock_ghz=1.476,
+            voltage_range=(1.05, 1.18),
+            memory="1GB GDDR3",
+            peak_bandwidth_gbps=159.0,
+            cores=30,
+        ),
+        DeviceSpec(
+            name="GTX480",
+            vendor="Nvidia",
+            kind=DeviceKind.GPU,
+            year=2010,
+            node_nm=40,
+            die_area_mm2=529.0,
+            core_area_mm2=422.0,
+            clock_ghz=1.4,
+            voltage_range=(0.96, 1.025),
+            memory="1.5GB GDDR5",
+            peak_bandwidth_gbps=177.4,
+            cores=15,
+        ),
+        DeviceSpec(
+            name="R5870",
+            vendor="AMD",
+            kind=DeviceKind.GPU,
+            year=2009,
+            node_nm=40,
+            die_area_mm2=334.0,
+            # No die photo published; the paper assumes 25% non-compute.
+            core_area_mm2=334.0 * 0.75,
+            clock_ghz=1.476,
+            voltage_range=(0.95, 1.174),
+            memory="1GB GDDR5",
+            peak_bandwidth_gbps=153.6,
+            cores=20,
+        ),
+        DeviceSpec(
+            name="LX760",
+            vendor="Xilinx",
+            kind=DeviceKind.FPGA,
+            year=2009,
+            node_nm=40,
+            die_area_mm2=None,
+            core_area_mm2=LX760_TOTAL_LUTS * FPGA_MM2_PER_LUT,
+            clock_ghz=None,
+            voltage_range=(0.9, 1.0),
+            memory=None,
+            peak_bandwidth_gbps=None,
+            cores=None,
+        ),
+        DeviceSpec(
+            name="ASIC",
+            vendor="synthesised (Synopsys DC, commercial 65nm cells)",
+            kind=DeviceKind.ASIC,
+            year=2007,
+            node_nm=65,
+            die_area_mm2=None,
+            core_area_mm2=None,
+            clock_ghz=None,
+            voltage_range=(1.1, 1.1),
+            memory=None,
+            peak_bandwidth_gbps=None,
+            cores=None,
+        ),
+    )
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by its Table 2 name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise UnknownDeviceError(
+            f"unknown device {name!r}; available: {device_names()}"
+        ) from None
+
+
+def device_names() -> List[str]:
+    """Catalogue device names in Table 2 column order."""
+    return list(DEVICES)
+
+
+def fpga_area_mm2(luts_used: int) -> float:
+    """Area of an FPGA implementation occupying ``luts_used`` LUTs."""
+    if luts_used < 1:
+        raise UnknownDeviceError(
+            f"an FPGA design must use at least one LUT, got {luts_used}"
+        )
+    return luts_used * FPGA_MM2_PER_LUT

@@ -1,0 +1,262 @@
+"""Calibrated measurement dataset (Tables 4-5, Figures 2-4 anchors).
+
+This module is the repository's stand-in for the paper's lab apparatus
+(current probes, performance counters, synthesis reports).  It records:
+
+* **Table 4 verbatim** -- MMM and Black-Scholes throughput with the
+  paper's area- and energy-normalised columns, re-expressed as
+  :class:`~repro.devices.specs.Measurement` records whose
+  ``perf_per_mm2``/``perf_per_joule`` reproduce the published values
+  exactly.
+* **FFT anchor measurements** at the Table 5 sizes (64, 1024, 16384).
+  The paper publishes the *derived* FFT parameters (Table 5) but not
+  the underlying per-size absolutes, which appear only in log-scale
+  plots (Figures 2-4).  We therefore fix the Core i7 anchors to
+  figure-consistent values (see DESIGN.md section 3) and back-derive
+  each U-core's absolutes by inverting the Section 5.1 formulas, so
+  that re-deriving Table 5 from this dataset reproduces the published
+  numbers exactly, by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CalibrationError
+from .bce import DEFAULT_BCE
+from .catalog import get_device
+from .specs import Measurement
+
+__all__ = [
+    "TABLE4",
+    "TABLE5_PUBLISHED",
+    "FFT_I7_ANCHORS",
+    "FFT_I7_WATTS",
+    "FFT_UCORE_AREAS_MM2",
+    "FFT_ANCHOR_SIZES",
+    "all_measurements",
+    "get_measurement",
+    "measurements_for",
+    "fft_table5_key",
+]
+
+#: FFT sizes at which Table 5 reports U-core parameters.
+FFT_ANCHOR_SIZES = (64, 1024, 16384)
+
+#: Table 4 of the paper: workload -> device -> (throughput, x, e) where
+#: x = perf/mm^2 and e = perf/J, all normalised to 40/45 nm.  MMM rows
+#: are GFLOP/s-denominated; BS rows are Mopts/s-denominated.
+TABLE4: Dict[str, Dict[str, Tuple[float, float, float]]] = {
+    "mmm": {
+        "Core i7-960": (96.0, 0.50, 1.14),
+        "GTX285": (425.0, 2.40, 6.78),
+        "GTX480": (541.0, 1.28, 3.52),
+        "R5870": (1491.0, 5.95, 9.87),
+        "LX760": (204.0, 0.53, 3.62),
+        "ASIC": (694.0, 19.28, 50.73),
+    },
+    "bs": {
+        "Core i7-960": (487.0, 2.52, 4.88),
+        "GTX285": (10756.0, 60.72, 189.0),
+        "LX760": (7800.0, 20.26, 138.0),
+        "ASIC": (25532.0, 1719.0, 642.5),
+    },
+}
+
+#: Table 5 of the paper: device -> table-key -> (phi, mu).  These are
+#: the *published* derived parameters; the FFT measurement records
+#: below are back-derived from them (and the forward derivation in
+#: :mod:`repro.devices.params` must reproduce them).
+TABLE5_PUBLISHED: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "GTX285": {
+        "mmm": (0.74, 3.41),
+        "bs": (0.57, 17.0),
+        "fft-64": (0.59, 2.42),
+        "fft-1024": (0.63, 2.88),
+        "fft-16384": (0.89, 3.75),
+    },
+    "GTX480": {
+        "mmm": (0.77, 1.83),
+        "fft-64": (0.39, 1.56),
+        "fft-1024": (0.47, 2.20),
+        "fft-16384": (0.66, 2.83),
+    },
+    "R5870": {
+        "mmm": (1.27, 8.47),
+    },
+    "LX760": {
+        "mmm": (0.31, 0.75),
+        "bs": (0.26, 5.68),
+        "fft-64": (0.29, 2.81),
+        "fft-1024": (0.29, 2.02),
+        "fft-16384": (0.37, 3.02),
+    },
+    "ASIC": {
+        "mmm": (0.79, 27.4),
+        "bs": (4.75, 482.0),
+        "fft-64": (5.34, 733.0),
+        "fft-1024": (4.96, 489.0),
+        "fft-16384": (6.38, 689.0),
+    },
+}
+
+#: Core i7 FFT chip throughput (pseudo-GFLOP/s) at the anchor sizes.
+#: Calibrated values: FFT-1024 = 19 GFLOP/s fixes the bandwidth scale
+#: B ~= 42 BCE that reproduces Figure 6's bandwidth-limited plateaus
+#: (DESIGN.md section 3); 64 and 16384 follow the Figure 2 curve shape.
+FFT_I7_ANCHORS: Dict[int, float] = {64: 15.0, 1024: 19.0, 16384: 24.0}
+
+#: Core i7 compute power while running FFT (normalised watts).  Read
+#: off Figure 3's EATX12V-rail level; assumed size-independent.
+FFT_I7_WATTS = 85.0
+
+#: Normalised (40 nm) compute area of each device's FFT implementation.
+#: GPUs use their full core area; the FPGA uses the same utilised-LUT
+#: area its Table 4 MMM/BS designs imply (~385 mm^2); the ASIC areas
+#: are synthesised-core estimates consistent with Figure 2's absolute
+#: ASIC performance (~50-400 GFLOP/s across sizes).
+FFT_UCORE_AREAS_MM2: Dict[str, float] = {
+    "GTX285": 338.0 * (40.0 / 55.0) ** 2,  # 178.8 mm^2 normalised
+    "GTX480": 422.0,
+    "LX760": 385.0,
+    "ASIC": 3.5,
+}
+
+#: Per-size ASIC FFT core areas (a larger transform needs a deeper
+#: pipeline and more SRAM).
+_ASIC_FFT_AREAS: Dict[int, float] = {64: 2.0, 1024: 3.5, 16384: 6.0}
+
+
+def fft_table5_key(size: int) -> str:
+    """Table 5 column key for an FFT anchor size, e.g. ``"fft-1024"``."""
+    if size not in FFT_ANCHOR_SIZES:
+        raise CalibrationError(
+            f"FFT size {size} is not a Table 5 anchor; "
+            f"anchors are {FFT_ANCHOR_SIZES}"
+        )
+    return f"fft-{size}"
+
+
+def _table4_measurements() -> List[Measurement]:
+    """Expand Table 4 triples into Measurement records.
+
+    Areas and watts are recovered from the published normalised columns
+    (``area = throughput / x``, ``watts = throughput / e``) so the
+    record's derived properties reproduce Table 4 exactly.
+    """
+    records = []
+    for workload, rows in TABLE4.items():
+        unit = "GFLOP/s" if workload == "mmm" else "Mopts/s"
+        for device, (throughput, x, e) in rows.items():
+            records.append(
+                Measurement(
+                    device=device,
+                    workload=workload,
+                    throughput=throughput,
+                    area_mm2=throughput / x,
+                    watts=throughput / e,
+                    unit=unit,
+                )
+            )
+    return records
+
+
+def _invert_mu(mu: float, x_fast: float, r: float) -> float:
+    """x_ucore from Table 5's mu: ``x_u = mu * x_fast * sqrt(r)``."""
+    return mu * x_fast * math.sqrt(r)
+
+
+def _invert_phi(phi: float, mu: float, e_fast: float,
+                r: float, alpha: float) -> float:
+    """e_ucore from Table 5's phi: invert footnote 1 of the paper."""
+    return mu * e_fast / (r ** ((1.0 - alpha) / 2.0) * phi)
+
+
+def _fft_measurements() -> List[Measurement]:
+    """FFT anchor records: i7 absolutes + back-derived U-core absolutes."""
+    i7_area = get_device("Core i7-960").core_area_mm2
+    records = []
+    for size, throughput in FFT_I7_ANCHORS.items():
+        records.append(
+            Measurement(
+                device="Core i7-960",
+                workload="fft",
+                throughput=throughput,
+                area_mm2=i7_area,
+                watts=FFT_I7_WATTS,
+                unit="GFLOP/s",
+                size=size,
+            )
+        )
+    r = DEFAULT_BCE.fast_core_r
+    alpha = DEFAULT_BCE.alpha
+    for device, params in TABLE5_PUBLISHED.items():
+        for size in FFT_ANCHOR_SIZES:
+            key = fft_table5_key(size)
+            if key not in params:
+                continue
+            phi, mu = params[key]
+            x_fast = FFT_I7_ANCHORS[size] / i7_area
+            e_fast = FFT_I7_ANCHORS[size] / FFT_I7_WATTS
+            x_u = _invert_mu(mu, x_fast, r)
+            e_u = _invert_phi(phi, mu, e_fast, r, alpha)
+            if device == "ASIC":
+                area = _ASIC_FFT_AREAS[size]
+            else:
+                area = FFT_UCORE_AREAS_MM2[device]
+            throughput = x_u * area
+            records.append(
+                Measurement(
+                    device=device,
+                    workload="fft",
+                    throughput=throughput,
+                    area_mm2=area,
+                    watts=throughput / e_u,
+                    unit="GFLOP/s",
+                    size=size,
+                )
+            )
+    return records
+
+
+_ALL: Optional[Dict[Tuple[str, str, Optional[int]], Measurement]] = None
+
+
+def all_measurements() -> Dict[Tuple[str, str, Optional[int]], Measurement]:
+    """Every calibrated measurement, keyed by (device, workload, size)."""
+    global _ALL
+    if _ALL is None:
+        records = _table4_measurements() + _fft_measurements()
+        _ALL = {m.key(): m for m in records}
+    return dict(_ALL)
+
+
+def get_measurement(device: str, workload: str,
+                    size: Optional[int] = None) -> Measurement:
+    """Look up one measurement record.
+
+    FFT lookups require one of the anchor sizes; MMM/BS lookups take no
+    size (the paper reports a single throughput-mode figure for them).
+    """
+    table = all_measurements()
+    try:
+        return table[(device, workload, size)]
+    except KeyError:
+        available = sorted(
+            k for k in table if k[0] == device and k[1] == workload
+        )
+        raise CalibrationError(
+            f"no measurement for device={device!r} workload={workload!r} "
+            f"size={size!r}; available keys for that pair: {available}"
+        ) from None
+
+
+def measurements_for(workload: str,
+                     size: Optional[int] = None) -> List[Measurement]:
+    """All device measurements for one workload (and size, for FFT)."""
+    return [
+        m
+        for m in all_measurements().values()
+        if m.workload == workload and m.size == size
+    ]

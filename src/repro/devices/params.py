@@ -1,0 +1,181 @@
+"""U-core parameter derivation (Section 5.1, footnote 1).
+
+Given an area-/power-normalised measurement of a U-core and of the fast
+core (Core i7), with the fast core sized at ``r`` BCE:
+
+    mu  = x_ucore / (x_corei7 * sqrt(r))            x = perf / mm^2
+    phi = mu * e_corei7 / (r**((1-alpha)/2) * e_ucore)   e = perf / W
+
+``mu`` is the performance of a BCE-sized U-core slice relative to a
+BCE; ``phi`` is its relative active power.  This module derives the
+whole of Table 5 from the calibrated measurement dataset and exposes
+per-(device, workload) :class:`~repro.core.ucore.UCore` objects for the
+projection engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..core.ucore import UCore
+from ..errors import CalibrationError, UnknownDeviceError
+from .bce import BCE, DEFAULT_BCE
+from .catalog import get_device
+from .measurements import (
+    FFT_ANCHOR_SIZES,
+    TABLE5_PUBLISHED,
+    fft_table5_key,
+    get_measurement,
+)
+from .specs import Measurement
+
+__all__ = [
+    "derive_mu",
+    "derive_phi",
+    "derive_ucore",
+    "ucore_for",
+    "derived_table5",
+    "published_table5",
+]
+
+#: The fast core every Table 5 derivation is relative to.
+FAST_CORE_DEVICE = "Core i7-960"
+
+
+def derive_mu(x_ucore: float, x_fast: float, r: float) -> float:
+    """Relative performance of a BCE-sized U-core slice.
+
+    A BCE occupies ``1/r`` of the fast core's area and delivers
+    ``1/sqrt(r)`` of its performance, so per-area the BCE achieves
+    ``x_fast * sqrt(r)``; ``mu`` is the U-core's per-area performance
+    relative to that.
+    """
+    if x_ucore <= 0 or x_fast <= 0:
+        raise CalibrationError(
+            f"perf/mm^2 values must be positive "
+            f"(x_ucore={x_ucore}, x_fast={x_fast})"
+        )
+    if r < 1:
+        raise CalibrationError(f"fast-core size r must be >= 1, got {r}")
+    return x_ucore / (x_fast * math.sqrt(r))
+
+
+def derive_phi(mu: float, e_fast: float, e_ucore: float,
+               r: float, alpha: float) -> float:
+    """Relative power of a BCE-sized U-core slice.
+
+    The BCE's energy efficiency follows from the fast core's via the
+    power law: ``e_bce = e_fast / r**((1-alpha)/2)``.  A slice doing
+    ``mu`` work at efficiency ``e_ucore`` then burns
+    ``phi = mu * e_bce / e_ucore`` BCE power units.
+    """
+    if mu <= 0:
+        raise CalibrationError(f"mu must be positive, got {mu}")
+    if e_ucore <= 0 or e_fast <= 0:
+        raise CalibrationError(
+            f"perf/J values must be positive "
+            f"(e_ucore={e_ucore}, e_fast={e_fast})"
+        )
+    if r < 1:
+        raise CalibrationError(f"fast-core size r must be >= 1, got {r}")
+    return mu * e_fast / (r ** ((1.0 - alpha) / 2.0) * e_ucore)
+
+
+def derive_ucore(
+    ucore_meas: Measurement,
+    fast_meas: Measurement,
+    bce: BCE = DEFAULT_BCE,
+) -> UCore:
+    """Derive a :class:`UCore` from paired measurements.
+
+    Both measurements must be of the same workload (and FFT size), and
+    must already be normalised to the common technology baseline.
+    """
+    if ucore_meas.workload != fast_meas.workload:
+        raise CalibrationError(
+            f"measurement workloads differ: {ucore_meas.workload!r} "
+            f"vs {fast_meas.workload!r}"
+        )
+    if ucore_meas.size != fast_meas.size:
+        raise CalibrationError(
+            f"measurement sizes differ: {ucore_meas.size!r} "
+            f"vs {fast_meas.size!r}"
+        )
+    mu = derive_mu(
+        ucore_meas.perf_per_mm2, fast_meas.perf_per_mm2, bce.fast_core_r
+    )
+    phi = derive_phi(
+        mu,
+        fast_meas.perf_per_joule,
+        ucore_meas.perf_per_joule,
+        bce.fast_core_r,
+        bce.alpha,
+    )
+    workload_label = ucore_meas.workload
+    if ucore_meas.size is not None:
+        workload_label = f"{ucore_meas.workload}-{ucore_meas.size}"
+    try:
+        kind = get_device(ucore_meas.device).kind
+    except UnknownDeviceError:
+        # User-supplied accelerators are not in the Table 2 catalogue.
+        kind = "custom"
+    return UCore(
+        name=ucore_meas.device,
+        mu=mu,
+        phi=phi,
+        kind=kind,
+        workload=workload_label,
+    )
+
+
+def ucore_for(
+    device: str,
+    workload: str,
+    size: Optional[int] = None,
+    bce: BCE = DEFAULT_BCE,
+) -> UCore:
+    """U-core parameters for one (device, workload[, FFT size]).
+
+    Runs the full Section 5.1 derivation against the calibrated
+    measurement dataset; the result matches the published Table 5 to
+    within its printed rounding.
+    """
+    ucore_meas = get_measurement(device, workload, size)
+    fast_meas = get_measurement(FAST_CORE_DEVICE, workload, size)
+    return derive_ucore(ucore_meas, fast_meas, bce)
+
+
+def derived_table5(
+    bce: BCE = DEFAULT_BCE,
+) -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """Recompute Table 5 end-to-end: device -> key -> (phi, mu)."""
+    table: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for device, published in TABLE5_PUBLISHED.items():
+        row: Dict[str, Tuple[float, float]] = {}
+        for key in published:
+            if key.startswith("fft-"):
+                size = int(key.split("-", 1)[1])
+                ucore = ucore_for(device, "fft", size, bce)
+            else:
+                ucore = ucore_for(device, key, None, bce)
+            row[key] = (ucore.phi, ucore.mu)
+        table[device] = row
+    return table
+
+
+def published_table5() -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """The paper's printed Table 5 (device -> key -> (phi, mu))."""
+    return {
+        device: dict(row) for device, row in TABLE5_PUBLISHED.items()
+    }
+
+
+def fft_sizes() -> Tuple[int, ...]:
+    """FFT anchor sizes Table 5 covers (re-exported convenience)."""
+    return FFT_ANCHOR_SIZES
+
+
+def fft_key(size: int) -> str:
+    """Table 5 key for an FFT size (re-exported convenience)."""
+    return fft_table5_key(size)

@@ -1,0 +1,94 @@
+"""Technology-node normalisation used by Section 5.
+
+Before deriving U-core parameters, the paper normalises every device's
+area and power to a common baseline so that cross-device ratios reflect
+architecture rather than process advantage:
+
+* **Area**: printed area scales with the square of the feature-size
+  ratio, *except* that the paper treats 40 nm and 45 nm as the same
+  generation ("normalizes all performances to die area in 40nm/45nm"):
+  the Core i7's 45 nm core area enters Table 4 unscaled.  We reproduce
+  that convention with an equivalence bucket {40, 45}.
+* **Power**: switching power follows the ITRS relative power-per-
+  transistor trend (:data:`repro.units.RELATIVE_POWER_PER_TRANSISTOR`).
+  The same {40, 45} bucket applies, for symmetry with the area rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import ModelError
+from ..units import RELATIVE_POWER_PER_TRANSISTOR, area_scale_factor
+from .specs import Measurement
+
+__all__ = [
+    "BASELINE_NODE_NM",
+    "SAME_GENERATION_NODES",
+    "normalized_area_factor",
+    "normalized_power_factor",
+    "normalize_raw_measurement",
+    "denormalize_power",
+]
+
+#: The paper's comparison baseline.
+BASELINE_NODE_NM = 40
+
+#: Nodes the paper treats as one generation (no scaling between them).
+SAME_GENERATION_NODES = frozenset({40, 45})
+
+
+def _same_generation(a: int, b: int) -> bool:
+    return a in SAME_GENERATION_NODES and b in SAME_GENERATION_NODES
+
+
+def normalized_area_factor(node_nm: int,
+                           baseline_nm: int = BASELINE_NODE_NM) -> float:
+    """Multiplier taking raw area at ``node_nm`` to the baseline node."""
+    if _same_generation(node_nm, baseline_nm):
+        return 1.0
+    return area_scale_factor(node_nm, baseline_nm)
+
+
+def normalized_power_factor(node_nm: int,
+                            baseline_nm: int = BASELINE_NODE_NM) -> float:
+    """Multiplier taking raw power at ``node_nm`` to the baseline node."""
+    if _same_generation(node_nm, baseline_nm):
+        return 1.0
+    try:
+        return (
+            RELATIVE_POWER_PER_TRANSISTOR[baseline_nm]
+            / RELATIVE_POWER_PER_TRANSISTOR[node_nm]
+        )
+    except KeyError as exc:
+        raise ModelError(
+            f"unknown technology node {exc.args[0]} nm"
+        ) from None
+
+
+def normalize_raw_measurement(
+    raw: Measurement,
+    node_nm: int,
+    baseline_nm: int = BASELINE_NODE_NM,
+) -> Measurement:
+    """Convert a raw (as-fabricated) measurement to the baseline node.
+
+    Throughput is left unchanged -- the paper assumes clock frequencies
+    stop scaling after 40 nm and compares measured throughput directly;
+    only the silicon cost (area, power) is re-expressed.
+    """
+    return replace(
+        raw,
+        area_mm2=raw.area_mm2 * normalized_area_factor(node_nm, baseline_nm),
+        watts=raw.watts * normalized_power_factor(node_nm, baseline_nm),
+    )
+
+
+def denormalize_power(normalized_watts: float, node_nm: int,
+                      baseline_nm: int = BASELINE_NODE_NM) -> float:
+    """Recover the raw measured watts at the device's own node.
+
+    Used when reproducing Figure 3, which plots *non-normalised* power.
+    """
+    factor = normalized_power_factor(node_nm, baseline_nm)
+    return normalized_watts / factor

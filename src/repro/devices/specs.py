@@ -1,0 +1,148 @@
+"""Device and measurement record types.
+
+:class:`DeviceSpec` captures the per-device rows of Table 2;
+:class:`Measurement` captures one (device, workload, size) performance
+and power observation, already normalised to the 40/45 nm area and
+power baseline the paper compares everything in (Section 5).  The
+derived quantities ``perf_per_mm2`` and ``perf_per_joule`` are the
+``x`` and ``e`` inputs of the U-core parameter formulas (Section 5.1,
+footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ModelError
+
+__all__ = ["DeviceKind", "DeviceSpec", "Measurement"]
+
+
+class DeviceKind:
+    """Broad technology classes used for reporting and U-core kinds."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    FPGA = "fpga"
+    ASIC = "asic"
+
+    ALL = (CPU, GPU, FPGA, ASIC)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a measured device (one Table 2 column).
+
+    Attributes:
+        name: catalogue key, e.g. ``"GTX285"``.
+        vendor: manufacturer.
+        kind: one of :class:`DeviceKind`.
+        year: release year.
+        node_nm: fabrication technology node.
+        die_area_mm2: total die area, when published.
+        core_area_mm2: compute-only area (cores and caches; non-compute
+            components such as memory controllers and I/O subtracted).
+        clock_ghz: nominal compute clock.
+        voltage_range: (min, max) supply voltage.
+        memory: memory subsystem description.
+        peak_bandwidth_gbps: peak off-chip memory bandwidth.
+        cores: hardware core/SM count used for per-core accounting.
+    """
+
+    name: str
+    vendor: str
+    kind: str
+    year: int
+    node_nm: int
+    die_area_mm2: Optional[float] = None
+    core_area_mm2: Optional[float] = None
+    clock_ghz: Optional[float] = None
+    voltage_range: Optional[Tuple[float, float]] = None
+    memory: Optional[str] = None
+    peak_bandwidth_gbps: Optional[float] = None
+    cores: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DeviceKind.ALL:
+            raise ModelError(
+                f"unknown device kind {self.kind!r}; "
+                f"expected one of {DeviceKind.ALL}"
+            )
+        for field_name in ("die_area_mm2", "core_area_mm2", "clock_ghz",
+                           "peak_bandwidth_gbps"):
+            value = getattr(self, field_name)
+            if value is not None and value <= 0:
+                raise ModelError(
+                    f"{self.name}: {field_name} must be positive, "
+                    f"got {value}"
+                )
+
+    @property
+    def noncompute_area_mm2(self) -> Optional[float]:
+        """Die area occupied by non-compute components, if known."""
+        if self.die_area_mm2 is None or self.core_area_mm2 is None:
+            return None
+        return self.die_area_mm2 - self.core_area_mm2
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One normalised performance/power observation (Section 5).
+
+    All fields are already normalised to the paper's 40/45 nm baseline:
+    ``area_mm2`` is the compute area the implementation occupies when
+    re-printed at 40 nm (45 nm devices are treated as the same
+    generation, per Section 5's "normalizes all performances to die
+    area in 40nm/45nm"), and ``watts`` is the compute-only power scaled
+    by the ITRS per-transistor power trend.
+
+    Attributes:
+        device: device name (Table 2 key).
+        workload: workload registry name (``mmm``/``fft``/``bs``).
+        throughput: units of work per second (GFLOP/s or Mopts/s as
+            recorded in ``unit``).
+        area_mm2: normalised compute area used by the implementation.
+        watts: normalised compute power while running.
+        unit: throughput unit label.
+        size: problem size, for workloads measured across sizes (FFT).
+    """
+
+    device: str
+    workload: str
+    throughput: float
+    area_mm2: float
+    watts: float
+    unit: str
+    size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ModelError(
+                f"{self.device}/{self.workload}: throughput must be "
+                f"positive, got {self.throughput}"
+            )
+        if self.area_mm2 <= 0:
+            raise ModelError(
+                f"{self.device}/{self.workload}: area must be positive, "
+                f"got {self.area_mm2}"
+            )
+        if self.watts <= 0:
+            raise ModelError(
+                f"{self.device}/{self.workload}: power must be positive, "
+                f"got {self.watts}"
+            )
+
+    @property
+    def perf_per_mm2(self) -> float:
+        """Area-normalised performance ``x`` (Section 5.1)."""
+        return self.throughput / self.area_mm2
+
+    @property
+    def perf_per_joule(self) -> float:
+        """Energy efficiency ``e`` (Section 5.1)."""
+        return self.throughput / self.watts
+
+    def key(self) -> Tuple[str, str, Optional[int]]:
+        """Dictionary key identifying this observation."""
+        return (self.device, self.workload, self.size)

@@ -1,0 +1,152 @@
+"""Uncertainty propagation for U-core parameters.
+
+Section 6.3 ("Model validity and concerns") stresses that the model's
+quality rests on measured parameters.  Measurements carry error:
+current-probe accuracy, run-to-run variance, die-area estimates from
+photographs.  This module propagates relative measurement errors
+through the Section 5.1 formulas analytically.
+
+Both derivations are pure products/quotients of the inputs,
+
+    mu  = x_u / (x_fast * sqrt(r))
+    phi = mu * e_fast / (r^((1-alpha)/2) * e_u)
+        = x_u * e_fast * r^(alpha/2 - 1) / (x_fast * e_u)
+
+so for small independent relative errors the relative variances add:
+
+    (s_mu / mu)^2   = s_xu^2 + s_xfast^2
+    (s_phi / phi)^2 = s_xu^2 + s_xfast^2 + s_efast^2 + s_eu^2
+
+(with `s_*` the relative standard deviations; `r` and `alpha` are
+model constants, not measurements).  A Monte-Carlo cross-check of the
+analytic formulas lives in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from .bce import BCE, DEFAULT_BCE
+from .params import derive_mu, derive_phi
+from .specs import Measurement
+
+__all__ = ["MeasurementError", "UCoreWithError", "propagate_errors"]
+
+
+@dataclass(frozen=True)
+class MeasurementError:
+    """Relative (1-sigma) errors of one device's measurement.
+
+    Attributes:
+        throughput: relative error of the measured rate.
+        area: relative error of the normalised area estimate.
+        power: relative error of the compute-power measurement.
+    """
+
+    throughput: float = 0.0
+    area: float = 0.0
+    power: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("throughput", "area", "power"):
+            value = getattr(self, name)
+            if value < 0:
+                raise CalibrationError(
+                    f"{name} error must be >= 0, got {value}"
+                )
+
+    @property
+    def x_rel(self) -> float:
+        """Relative error of x = throughput/area (independent terms)."""
+        return math.hypot(self.throughput, self.area)
+
+    @property
+    def e_rel(self) -> float:
+        """Relative error of e = throughput/watts."""
+        return math.hypot(self.throughput, self.power)
+
+
+@dataclass(frozen=True)
+class UCoreWithError:
+    """Derived (mu, phi) with 1-sigma relative uncertainties."""
+
+    name: str
+    mu: float
+    phi: float
+    mu_rel_error: float
+    phi_rel_error: float
+
+    @property
+    def mu_interval(self) -> tuple:
+        """mu +/- 1 sigma."""
+        return (
+            self.mu * (1 - self.mu_rel_error),
+            self.mu * (1 + self.mu_rel_error),
+        )
+
+    @property
+    def phi_interval(self) -> tuple:
+        return (
+            self.phi * (1 - self.phi_rel_error),
+            self.phi * (1 + self.phi_rel_error),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: mu={self.mu:.3g} "
+            f"(+/-{self.mu_rel_error * 100:.1f}%), "
+            f"phi={self.phi:.3g} "
+            f"(+/-{self.phi_rel_error * 100:.1f}%)"
+        )
+
+
+def propagate_errors(
+    ucore_meas: Measurement,
+    fast_meas: Measurement,
+    ucore_error: MeasurementError,
+    fast_error: MeasurementError,
+    bce: BCE = DEFAULT_BCE,
+) -> UCoreWithError:
+    """Derive (mu, phi) with first-order error propagation.
+
+    Errors on the two devices' measurements are assumed independent;
+    correlations within a device (throughput enters both x and e) are
+    handled by expanding phi in the raw quantities:
+    ``phi ∝ (thr_u/area_u) * (thr_f/W_f) ... `` -- the throughput
+    terms of mu and of the efficiency ratio partially cancel, leaving
+
+        (s_phi/phi)^2 = s_area_u^2 + s_W_u^2 + s_area_f^2 + s_W_f^2
+
+    because ``phi = (thr_u/area_u)*(1/e_u)*... `` expands to
+    ``(W_u/area_u) * (area_f/W_f) * r^(alpha/2-1)`` -- throughput
+    cancels entirely!  (A pleasing structural fact, asserted in tests:
+    phi is a pure power-per-area ratio.)
+    """
+    mu = derive_mu(
+        ucore_meas.perf_per_mm2, fast_meas.perf_per_mm2, bce.fast_core_r
+    )
+    phi = derive_phi(
+        mu,
+        fast_meas.perf_per_joule,
+        ucore_meas.perf_per_joule,
+        bce.fast_core_r,
+        bce.alpha,
+    )
+    mu_rel = math.hypot(ucore_error.x_rel, fast_error.x_rel)
+    # phi = (W_u / area_u) * (area_f / W_f) * r^(alpha/2 - 1):
+    # throughput errors cancel exactly.
+    phi_rel = math.sqrt(
+        ucore_error.area**2
+        + ucore_error.power**2
+        + fast_error.area**2
+        + fast_error.power**2
+    )
+    return UCoreWithError(
+        name=ucore_meas.device,
+        mu=mu,
+        phi=phi,
+        mu_rel_error=mu_rel,
+        phi_rel_error=phi_rel,
+    )

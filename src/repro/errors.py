@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary without swallowing unrelated programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "CalibrationError",
+    "InfeasibleDesignError",
+    "UnknownDeviceError",
+    "UnknownWorkloadError",
+    "UnknownExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An analytical-model function was called with invalid arguments.
+
+    Examples: a parallel fraction outside ``[0, 1]``, a non-positive
+    resource count, or ``r > n``.
+    """
+
+
+class CalibrationError(ReproError):
+    """Measured data is inconsistent or insufficient to derive parameters."""
+
+
+class InfeasibleDesignError(ReproError):
+    """No design point satisfies the given area/power/bandwidth budgets."""
+
+
+class UnknownDeviceError(ReproError, KeyError):
+    """A device name was not found in the device catalogue."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A workload name was not found in the workload registry."""
+
+
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment id was not found in the experiment index."""

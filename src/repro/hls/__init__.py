@@ -1,0 +1,23 @@
+"""Hardware-pipeline cost model (Section 4 FPGA/ASIC methodology)."""
+
+from .costmodel import (
+    BLACK_SCHOLES_DATAFLOW,
+    DEFAULT_LUT_COSTS,
+    LX760_FABRIC,
+    MMM_PE_DATAFLOW,
+    Dataflow,
+    FabricSpec,
+    ScaledDesign,
+    scale_design,
+)
+
+__all__ = [
+    "BLACK_SCHOLES_DATAFLOW",
+    "DEFAULT_LUT_COSTS",
+    "LX760_FABRIC",
+    "MMM_PE_DATAFLOW",
+    "Dataflow",
+    "FabricSpec",
+    "ScaledDesign",
+    "scale_design",
+]

@@ -1,0 +1,258 @@
+"""Hardware pipeline cost model (the Section 4 FPGA/ASIC methodology).
+
+The paper's FPGA and ASIC datapoints come from generated hardware:
+Spiral RTL for FFT, hand Bluespec for MMM, and "a software tool to
+automatically create hardware pipelines from a high-level description
+of math operators" for Black-Scholes, with each design *replicated
+until the FPGA could no longer meet timing*.  This module reproduces
+that flow as a cost model:
+
+1. a kernel is described as a :class:`Dataflow` -- counts of hardware
+   operators (adders, multipliers, dividers, transcendental units) per
+   result produced per cycle;
+2. a :class:`FabricSpec` prices each operator in LUTs (or ASIC mm^2)
+   and sets the fabric's capacity and clock, with a routing-congestion
+   derate that slows the clock as utilisation grows (the "until timing
+   could no longer be met" effect);
+3. :func:`scale_design` replicates the pipeline to the throughput-
+   optimal copy count and reports throughput, area, and utilisation.
+
+The model is calibrated coarsely against the LX760's Table 4 results:
+with the default per-operator LUT costs, the generated Black-Scholes
+pipeline lands within ~30% of the paper's 7800 Mopts/s and the MMM
+array within ~15% of the paper's 204 GFLOP/s (asserted in the tests)
+-- which is as close as a structural cost model should claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ModelError
+
+__all__ = [
+    "Dataflow",
+    "FabricSpec",
+    "ScaledDesign",
+    "scale_design",
+    "BLACK_SCHOLES_DATAFLOW",
+    "MMM_PE_DATAFLOW",
+    "LX760_FABRIC",
+]
+
+#: Per-operator 6-LUT costs for single-precision floating point on a
+#: Virtex-6-class fabric.  DSP48E-assisted arithmetic keeps multiplies
+#: and adds cheap; the transcendental units use table-driven segment
+#: evaluation (as generated BS pipelines do).  The paper's
+#: 0.00191 mm^2/LUT area model amortises the DSP/BRAM overheads into
+#: the per-LUT figure.
+DEFAULT_LUT_COSTS: Dict[str, int] = {
+    "add": 260,
+    "mul": 180,
+    "div": 1200,
+    "sqrt": 600,
+    "exp": 800,
+    "log": 800,
+    "cdf": 800,  # segmented polynomial normal-CDF pipeline
+    "cmp": 60,
+    "reg": 24,
+}
+
+
+@dataclass(frozen=True)
+class Dataflow:
+    """Operator counts of one fully-pipelined result-per-cycle kernel.
+
+    Attributes:
+        name: kernel label.
+        operators: operator -> count per pipeline copy.
+        results_per_cycle: results one copy produces per clock
+            (usually 1 for a scalar pipeline; a systolic row can
+            produce several MACs per cycle).
+        work_per_result: work units (flops or options) per result.
+    """
+
+    name: str
+    operators: Dict[str, int]
+    results_per_cycle: float = 1.0
+    work_per_result: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise ModelError(f"dataflow {self.name!r} has no operators")
+        for op, count in self.operators.items():
+            if count < 0:
+                raise ModelError(
+                    f"operator count for {op!r} must be >= 0"
+                )
+        if self.results_per_cycle <= 0 or self.work_per_result <= 0:
+            raise ModelError(
+                "results_per_cycle and work_per_result must be positive"
+            )
+
+    def luts(self, costs: Dict[str, int] = None) -> int:
+        """LUTs of one pipeline copy."""
+        table = DEFAULT_LUT_COSTS if costs is None else costs
+        total = 0
+        for op, count in self.operators.items():
+            try:
+                total += count * table[op]
+            except KeyError:
+                raise ModelError(
+                    f"no LUT cost for operator {op!r}; "
+                    f"known: {sorted(table)}"
+                ) from None
+        return total
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A reconfigurable fabric's capacity and timing behaviour.
+
+    Attributes:
+        name: device label.
+        capacity_luts: usable LUTs.
+        base_clock_ghz: achievable clock at low utilisation.
+        congestion_exponent: clock derate ``(1 - u)**exponent`` as
+            utilisation ``u`` rises -- routing pressure makes densely
+            packed designs slower, which is what finally stops the
+            paper's "scale until timing fails" loop.
+        max_utilization: hard packing ceiling.
+    """
+
+    name: str
+    capacity_luts: int
+    base_clock_ghz: float
+    congestion_exponent: float = 0.15
+    max_utilization: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_luts <= 0 or self.base_clock_ghz <= 0:
+            raise ModelError("fabric capacity and clock must be positive")
+        if not 0 < self.max_utilization <= 1.0:
+            raise ModelError(
+                f"max_utilization must be in (0, 1], "
+                f"got {self.max_utilization}"
+            )
+        if self.congestion_exponent < 0:
+            raise ModelError("congestion exponent must be >= 0")
+
+    def clock_at(self, utilization: float) -> float:
+        """Achievable clock (GHz) at a packing level."""
+        if not 0 <= utilization <= 1:
+            raise ModelError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        return self.base_clock_ghz * (1.0 - utilization) ** (
+            self.congestion_exponent
+        )
+
+
+@dataclass(frozen=True)
+class ScaledDesign:
+    """Outcome of replicating a pipeline across a fabric."""
+
+    dataflow: Dataflow
+    fabric: FabricSpec
+    copies: int
+    luts_used: int
+    utilization: float
+    clock_ghz: float
+    throughput_per_sec: float
+    runner_up: Tuple[int, float] = field(default=(0, 0.0))
+
+    @property
+    def area_mm2(self) -> float:
+        """Area under the paper's per-LUT model (0.00191 mm^2/LUT)."""
+        from ..devices.catalog import FPGA_MM2_PER_LUT
+
+        return self.luts_used * FPGA_MM2_PER_LUT
+
+
+def scale_design(
+    dataflow: Dataflow,
+    fabric: FabricSpec,
+    costs: Dict[str, int] = None,
+) -> ScaledDesign:
+    """Replicate a pipeline to the throughput-optimal copy count.
+
+    Walks copy counts from 1 to the packing ceiling; throughput is
+    ``copies * results_per_cycle * clock(utilisation) * work_per_result``
+    and the congestion derate eventually makes another copy a net loss
+    -- the model's version of "scaled until timing could no longer be
+    met".
+    """
+    per_copy = dataflow.luts(costs)
+    if per_copy > fabric.capacity_luts * fabric.max_utilization:
+        raise ModelError(
+            f"one copy of {dataflow.name!r} needs {per_copy} LUTs; "
+            f"{fabric.name} offers "
+            f"{int(fabric.capacity_luts * fabric.max_utilization)}"
+        )
+    best = None
+    runner_up = (0, 0.0)
+    max_copies = int(
+        fabric.capacity_luts * fabric.max_utilization // per_copy
+    )
+    for copies in range(1, max_copies + 1):
+        luts = copies * per_copy
+        utilization = luts / fabric.capacity_luts
+        clock = fabric.clock_at(utilization)
+        throughput = (
+            copies
+            * dataflow.results_per_cycle
+            * clock
+            * 1e9
+            * dataflow.work_per_result
+        )
+        if best is None or throughput > best.throughput_per_sec:
+            if best is not None:
+                runner_up = (best.copies, best.throughput_per_sec)
+            best = ScaledDesign(
+                dataflow=dataflow,
+                fabric=fabric,
+                copies=copies,
+                luts_used=luts,
+                utilization=utilization,
+                clock_ghz=clock,
+                throughput_per_sec=throughput,
+                runner_up=runner_up,
+            )
+    assert best is not None
+    return best
+
+
+#: Black-Scholes pipeline, per option: the §4 generated datapath --
+#: log, exp, sqrt, CDF evaluations plus the arithmetic spine.
+BLACK_SCHOLES_DATAFLOW = Dataflow(
+    name="black-scholes",
+    operators={
+        "log": 1,
+        "exp": 1,
+        "sqrt": 1,
+        "cdf": 4,
+        "div": 2,
+        "mul": 10,
+        "add": 8,
+    },
+    results_per_cycle=1.0,
+    work_per_result=1.0,  # one option per result
+)
+
+#: One MMM processing element: a fused multiply-accumulate lane
+#: (2 flops per cycle) with operand registers.
+MMM_PE_DATAFLOW = Dataflow(
+    name="mmm-pe",
+    operators={"mul": 1, "add": 1, "reg": 6},
+    results_per_cycle=1.0,
+    work_per_result=2.0,  # one MAC = 2 flops
+)
+
+#: The LX760 fabric: Table 2's LUT capacity with a Virtex-6-class
+#: ~0.27 GHz floating-point pipeline clock at low utilisation.
+LX760_FABRIC = FabricSpec(
+    name="LX760",
+    capacity_luts=474_240,
+    base_clock_ghz=0.22,
+)

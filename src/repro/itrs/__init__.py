@@ -1,0 +1,22 @@
+"""ITRS 2009 roadmap data and the Section 6.2 scenario engine."""
+
+from .roadmap import ITRS_2009, NodeParams, Roadmap, figure5_series
+from .scenarios import (
+    BASELINE,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "ITRS_2009",
+    "NodeParams",
+    "Roadmap",
+    "figure5_series",
+    "BASELINE",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
+]

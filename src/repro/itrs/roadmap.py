@@ -1,0 +1,172 @@
+"""ITRS 2009 scaling assumptions: Table 6 and Figure 5.
+
+Table 6 fixes the projection inputs for five technology nodes
+(40 -> 11 nm, years 2011 -> 2022): a 432 mm^2 core-area budget (75% of
+a 576 mm^2 Power7-class die), a 100 W core-and-cache power budget, the
+achievable off-chip bandwidth, the die's capacity in BCE cores, and the
+relative power per transistor.  Clock frequencies are assumed flat
+after 40 nm.
+
+Figure 5 underlies Table 6's power column: normalised package pins,
+Vdd, and gate capacitance, with the combined power reduction equal to
+``Vdd^2 * Cgate`` (the identity is asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..errors import ModelError
+
+__all__ = [
+    "NodeParams",
+    "ITRS_2009",
+    "Roadmap",
+    "figure5_series",
+]
+
+
+@dataclass(frozen=True)
+class NodeParams:
+    """One Table 6 column: the projection inputs for one node."""
+
+    year: int
+    node_nm: int
+    core_area_budget_mm2: float
+    core_power_budget_w: float
+    bandwidth_gbps: float
+    max_area_bce: float
+    rel_power: float
+    rel_bandwidth: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "core_area_budget_mm2",
+            "core_power_budget_w",
+            "bandwidth_gbps",
+            "max_area_bce",
+            "rel_power",
+            "rel_bandwidth",
+        ):
+            if getattr(self, name) <= 0:
+                raise ModelError(
+                    f"{name} must be positive at node {self.node_nm}nm"
+                )
+
+    @property
+    def label(self) -> str:
+        return f"{self.node_nm}nm"
+
+
+#: Table 6, transcribed.  Bandwidth = 180 GB/s * rel_bandwidth, the
+#: paper's optimistic 2011 starting point (GTX480's 177 GB/s rounded up).
+_TABLE6_ROWS: Tuple[NodeParams, ...] = (
+    NodeParams(2011, 40, 432.0, 100.0, 180.0, 19.0, 1.00, 1.0),
+    NodeParams(2013, 32, 432.0, 100.0, 198.0, 37.0, 0.75, 1.1),
+    NodeParams(2016, 22, 432.0, 100.0, 234.0, 75.0, 0.50, 1.3),
+    NodeParams(2019, 16, 432.0, 100.0, 234.0, 149.0, 0.36, 1.3),
+    NodeParams(2022, 11, 432.0, 100.0, 252.0, 298.0, 0.25, 1.4),
+)
+
+
+class Roadmap:
+    """An ordered set of technology nodes with budget overrides.
+
+    The default instance (:data:`ITRS_2009`) is Table 6 verbatim;
+    :meth:`with_overrides` derives the Section 6.2 alternative-scenario
+    roadmaps (different starting bandwidth, power, or area budget).
+    """
+
+    def __init__(self, nodes: Tuple[NodeParams, ...] = _TABLE6_ROWS):
+        if not nodes:
+            raise ModelError("a roadmap needs at least one node")
+        self._nodes = tuple(nodes)
+        self._by_nm = {node.node_nm: node for node in self._nodes}
+        if len(self._by_nm) != len(self._nodes):
+            raise ModelError("duplicate technology nodes in roadmap")
+
+    @property
+    def nodes(self) -> Tuple[NodeParams, ...]:
+        return self._nodes
+
+    def node(self, node_nm: int) -> NodeParams:
+        """Parameters for one node (by feature size in nm)."""
+        try:
+            return self._by_nm[node_nm]
+        except KeyError:
+            raise ModelError(
+                f"roadmap has no {node_nm}nm node; "
+                f"available: {sorted(self._by_nm)}"
+            ) from None
+
+    def node_labels(self) -> List[str]:
+        """Figure x-axis labels, e.g. ``['40nm', '32nm', ...]``."""
+        return [node.label for node in self._nodes]
+
+    def with_overrides(
+        self,
+        bandwidth_gbps_at_start: float = None,
+        power_budget_w: float = None,
+        area_factor: float = 1.0,
+    ) -> "Roadmap":
+        """Derive a scenario roadmap (Section 6.2).
+
+        Args:
+            bandwidth_gbps_at_start: replace the 180 GB/s starting
+                bandwidth; later nodes keep their relative growth
+                (Table 6's ``rel_bandwidth`` column).
+            power_budget_w: replace the 100 W budget at every node.
+            area_factor: scale the core area budget (and with it the
+                BCE capacity) at every node.
+        """
+        if area_factor <= 0:
+            raise ModelError(
+                f"area factor must be positive, got {area_factor}"
+            )
+        new_nodes = []
+        for node in self._nodes:
+            changes = {}
+            if bandwidth_gbps_at_start is not None:
+                if bandwidth_gbps_at_start <= 0:
+                    raise ModelError("starting bandwidth must be positive")
+                changes["bandwidth_gbps"] = (
+                    bandwidth_gbps_at_start * node.rel_bandwidth
+                )
+            if power_budget_w is not None:
+                if power_budget_w <= 0:
+                    raise ModelError("power budget must be positive")
+                changes["core_power_budget_w"] = power_budget_w
+            if area_factor != 1.0:
+                changes["core_area_budget_mm2"] = (
+                    node.core_area_budget_mm2 * area_factor
+                )
+                changes["max_area_bce"] = node.max_area_bce * area_factor
+            new_nodes.append(replace(node, **changes) if changes else node)
+        return Roadmap(tuple(new_nodes))
+
+
+#: The paper's baseline roadmap (Table 6 verbatim).
+ITRS_2009 = Roadmap()
+
+
+def figure5_series() -> Dict[str, Dict[int, float]]:
+    """Figure 5: normalised long-term ITRS trends, keyed by year.
+
+    Series: ``pins``, ``vdd``, ``gate_capacitance`` and the
+    ``combined_power`` reduction, all normalised to 2011.  Vdd and
+    gate capacitance are chosen so that ``vdd^2 * cgate`` reproduces
+    Table 6's relative power-per-transistor column exactly; pins grow
+    by less than 1.5x over fifteen years, as the paper highlights.
+    """
+    years = [2011, 2013, 2016, 2019, 2022, 2025]
+    pins = [1.00, 1.08, 1.18, 1.30, 1.40, 1.47]
+    vdd = [1.00, 0.950, 0.860, 0.788, 0.700, 0.650]
+    cgate = [1.00, 0.83102, 0.67604, 0.57976, 0.51020, 0.459]
+    combined = [v * v * c for v, c in zip(vdd, cgate)]
+    return {
+        "pins": dict(zip(years, pins)),
+        "vdd": dict(zip(years, vdd)),
+        "gate_capacitance": dict(zip(years, cgate)),
+        "combined_power": dict(zip(years, combined)),
+    }

@@ -1,0 +1,126 @@
+"""Alternative projection scenarios (Section 6.2).
+
+The paper re-runs its projections under six perturbed input sets:
+
+1. ``low-bandwidth``  -- 90 GB/s starting bandwidth (cheaper packages).
+2. ``high-bandwidth`` -- 1 TB/s starting bandwidth (eDRAM/3D stacking).
+3. ``half-area``      -- 216 mm^2 core budget (yield-driven dies).
+4. ``double-power``   -- 200 W budget (high-end cooling).
+5. ``low-power``      -- 10 W budget (laptops and mobiles).
+6. ``high-alpha``     -- sequential power law alpha = 2.25 (a less
+   power-efficient fast core).
+
+A :class:`Scenario` owns a derived :class:`~repro.itrs.roadmap.Roadmap`
+plus the alpha override, and is the single knob the projection engine
+takes besides the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.power import DEFAULT_ALPHA, SCENARIO_HIGH_ALPHA
+from ..errors import ModelError
+from .roadmap import ITRS_2009, Roadmap
+
+__all__ = ["Scenario", "BASELINE", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named set of projection inputs.
+
+    Attributes:
+        name: registry key (e.g. ``"high-bandwidth"``).
+        description: the paper's rationale for the scenario.
+        roadmap: node-by-node budgets to project over.
+        alpha: sequential power-law exponent in force.
+    """
+
+    name: str
+    description: str
+    roadmap: Roadmap = field(default_factory=lambda: ITRS_2009)
+    alpha: float = DEFAULT_ALPHA
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1.0:
+            raise ModelError(f"alpha must be >= 1, got {self.alpha}")
+
+
+BASELINE = Scenario(
+    name="baseline",
+    description="Table 6 budgets: 432mm^2 / 100W / 180GB/s, alpha=1.75",
+)
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BASELINE,
+        Scenario(
+            name="low-bandwidth",
+            description=(
+                "90 GB/s starting bandwidth: reduced off-chip "
+                "bandwidth costs (Section 6.2, scenario 1)"
+            ),
+            roadmap=ITRS_2009.with_overrides(bandwidth_gbps_at_start=90.0),
+        ),
+        Scenario(
+            name="high-bandwidth",
+            description=(
+                "1 TB/s starting bandwidth: embedded DRAM or 3D-stacked "
+                "memory (Section 6.2, scenario 2)"
+            ),
+            roadmap=ITRS_2009.with_overrides(
+                bandwidth_gbps_at_start=1000.0
+            ),
+        ),
+        Scenario(
+            name="half-area",
+            description=(
+                "216 mm^2 core-area budget: lower-cost manufacturing "
+                "(Section 6.2, scenario 3)"
+            ),
+            roadmap=ITRS_2009.with_overrides(area_factor=0.5),
+        ),
+        Scenario(
+            name="double-power",
+            description=(
+                "200 W power budget: high-end cooling and power delivery "
+                "(Section 6.2, scenario 4)"
+            ),
+            roadmap=ITRS_2009.with_overrides(power_budget_w=200.0),
+        ),
+        Scenario(
+            name="low-power",
+            description=(
+                "10 W power budget: laptops and mobile devices "
+                "(Section 6.2, scenario 5)"
+            ),
+            roadmap=ITRS_2009.with_overrides(power_budget_w=10.0),
+        ),
+        Scenario(
+            name="high-alpha",
+            description=(
+                "alpha = 2.25: a sequential core that pays more power "
+                "for performance (Section 6.2, scenario 6)"
+            ),
+            alpha=SCENARIO_HIGH_ALPHA,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown scenario {name!r}; available: {list(SCENARIOS)}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, baseline first."""
+    return list(SCENARIOS)

@@ -1,0 +1,16 @@
+"""Physical chip layout: tiles, floorplans, and Figure 1 rendering."""
+
+from .floorplan import NONCOMPUTE_FRACTION, Floorplan, build_floorplan
+from .render import render_figure1, render_floorplan
+from .tiles import Tile, TileKind, make_tile
+
+__all__ = [
+    "NONCOMPUTE_FRACTION",
+    "Floorplan",
+    "build_floorplan",
+    "render_figure1",
+    "render_floorplan",
+    "Tile",
+    "TileKind",
+    "make_tile",
+]

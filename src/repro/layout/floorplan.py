@@ -1,0 +1,220 @@
+"""Floorplans: realising an abstract design point on a physical die.
+
+A :class:`Floorplan` assembles the tiles implied by a chip model and
+an optimizer :class:`~repro.core.optimizer.DesignPoint` at a specific
+technology node, reserving the paper's 25% of die area for non-compute
+blocks ("on-die memory controllers" etc., Section 6), and checks:
+
+* the compute tiles fit the core-area budget,
+* the BCE accounting matches the design point's ``n``,
+* per-phase power (sum of active tiles) matches the analytical model.
+
+The check closes the loop between the model's bookkeeping (everything
+in BCE units) and a physically plausible die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.chip import ChipModel, HeterogeneousChip, SymmetricCMP
+from ..core.optimizer import DesignPoint
+from ..core.power import seq_power
+from ..devices.bce import BCE, DEFAULT_BCE
+from ..errors import ModelError
+from ..itrs.roadmap import NodeParams
+from .tiles import Tile, TileKind, make_tile
+
+__all__ = ["Floorplan", "NONCOMPUTE_FRACTION", "build_floorplan"]
+
+#: Die fraction reserved for non-compute components (Section 6).
+NONCOMPUTE_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A realised die: tiles plus the budgets they were built against."""
+
+    chip_label: str
+    node: NodeParams
+    tiles: Tuple[Tile, ...]
+    die_area_mm2: float
+
+    # ------------------------------------------------------------ areas
+    @property
+    def compute_area_mm2(self) -> float:
+        return sum(
+            t.area_mm2 for t in self.tiles
+            if t.kind != TileKind.NONCOMPUTE
+        )
+
+    @property
+    def noncompute_area_mm2(self) -> float:
+        return sum(
+            t.area_mm2 for t in self.tiles
+            if t.kind == TileKind.NONCOMPUTE
+        )
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.compute_area_mm2 + self.noncompute_area_mm2
+
+    @property
+    def total_bce(self) -> float:
+        return sum(t.bce_equiv for t in self.tiles)
+
+    def tiles_of(self, kind: str) -> List[Tile]:
+        return [t for t in self.tiles if t.kind == kind]
+
+    # ------------------------------------------------------------ checks
+    def validate(self) -> None:
+        """Raise :class:`ModelError` if the die is over-committed."""
+        if self.total_area_mm2 > self.die_area_mm2 * (1 + 1e-9):
+            raise ModelError(
+                f"{self.chip_label} floorplan needs "
+                f"{self.total_area_mm2:.1f}mm2 but the die is "
+                f"{self.die_area_mm2:.1f}mm2"
+            )
+        budget = self.die_area_mm2 * (1 - NONCOMPUTE_FRACTION)
+        if self.compute_area_mm2 > budget * (1 + 1e-9):
+            raise ModelError(
+                f"{self.chip_label} compute area "
+                f"{self.compute_area_mm2:.1f}mm2 exceeds the "
+                f"{budget:.1f}mm2 core budget"
+            )
+
+    # ------------------------------------------------------------ power
+    def phase_power_bce(self, phase: str, alpha: float = 1.75,
+                        ucore_phi: float = 1.0) -> float:
+        """Active power of one phase in BCE units.
+
+        ``phase`` is ``"serial"`` or ``"parallel"``.  Fast cores burn
+        ``r**(alpha/2)``; BCE tiles burn 1 per BCE; U-core tiles burn
+        ``phi`` per BCE.  Non-compute power is outside the model's
+        budget (the paper's 100 W excludes it) and contributes 0 here.
+        """
+        if phase not in ("serial", "parallel"):
+            raise ModelError(
+                f"phase must be 'serial' or 'parallel', got {phase!r}"
+            )
+        total = 0.0
+        for tile in self.tiles:
+            active = (
+                tile.active_serial
+                if phase == "serial"
+                else tile.active_parallel
+            )
+            if not active:
+                continue
+            if tile.kind == TileKind.FAST_CORE:
+                total += seq_power(tile.bce_equiv, alpha)
+            elif tile.kind == TileKind.BCE_CORE:
+                total += tile.bce_equiv
+            elif tile.kind == TileKind.UCORE:
+                total += ucore_phi * tile.bce_equiv
+        return total
+
+
+def build_floorplan(
+    chip: ChipModel,
+    point: DesignPoint,
+    node: NodeParams,
+    bce: BCE = DEFAULT_BCE,
+) -> Floorplan:
+    """Realise a design point as tiles on the node's die.
+
+    The node's density improvement is derived from Table 6: the
+    constant 432 mm^2 budget divided by the node's BCE capacity gives
+    the printed BCE area.
+    """
+    density_scale = (
+        node.core_area_budget_mm2
+        / node.max_area_bce
+        / bce.area_mm2
+    )
+    die_area = node.core_area_budget_mm2 / (1 - NONCOMPUTE_FRACTION)
+    tiles: List[Tile] = []
+    parallel_bce = point.n - point.r
+    if isinstance(chip, SymmetricCMP):
+        # n/r identical cores; core 0 doubles as the serial core, the
+        # rest are gated during serial sections.
+        core_count = max(int(point.n / point.r), 1)
+        for index in range(core_count):
+            template = make_tile(
+                TileKind.FAST_CORE,
+                bce_units=point.r,
+                density_scale=density_scale,
+                bce=bce,
+                label=f"Core{index}(r={point.r:g})",
+            )
+            tiles.append(
+                Tile(
+                    kind=template.kind,
+                    label=template.label,
+                    area_mm2=template.area_mm2,
+                    bce_equiv=template.bce_equiv,
+                    active_serial=(index == 0),
+                    active_parallel=True,
+                )
+            )
+    else:
+        tiles.append(
+            make_tile(
+                TileKind.FAST_CORE,
+                bce_units=point.r,
+                density_scale=density_scale,
+                bce=bce,
+            )
+        )
+        if parallel_bce > 0:
+            if isinstance(chip, HeterogeneousChip):
+                tiles.append(
+                    make_tile(
+                        TileKind.UCORE,
+                        bce_units=parallel_bce,
+                        density_scale=density_scale,
+                        bce=bce,
+                        label=(
+                            f"{chip.ucore.name} fabric "
+                            f"({parallel_bce:.1f} BCE)"
+                        ),
+                    )
+                )
+            else:
+                whole, fraction = divmod(parallel_bce, 1.0)
+                for index in range(int(whole)):
+                    tiles.append(
+                        make_tile(
+                            TileKind.BCE_CORE,
+                            bce_units=1.0,
+                            density_scale=density_scale,
+                            bce=bce,
+                            label=f"BCE{index}",
+                        )
+                    )
+                if fraction > 1e-9:
+                    tiles.append(
+                        make_tile(
+                            TileKind.BCE_CORE,
+                            bce_units=fraction,
+                            density_scale=density_scale,
+                            bce=bce,
+                            label="BCE(partial)",
+                        )
+                    )
+    tiles.append(
+        make_tile(
+            TileKind.NONCOMPUTE,
+            bce_units=die_area * NONCOMPUTE_FRACTION,
+            label="memory controllers / IO",
+        )
+    )
+    plan = Floorplan(
+        chip_label=point.label,
+        node=node,
+        tiles=tuple(tiles),
+        die_area_mm2=die_area,
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,110 @@
+"""ASCII floorplan rendering: Figure 1, regenerated from live designs.
+
+Draws a die as a character grid whose cell counts are proportional to
+tile areas, in the style of Figure 1's three chip organisations:
+``F`` = fast core, ``b`` = BCE core, ``u`` = U-core fabric,
+``.`` = non-compute (memory controllers / IO).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ModelError
+from .floorplan import Floorplan
+from .tiles import TileKind
+
+__all__ = ["render_floorplan", "render_figure1"]
+
+_GRID_WIDTH = 32
+
+
+def render_floorplan(plan: Floorplan, grid_width: int = _GRID_WIDTH,
+                     grid_height: int = 12) -> str:
+    """Draw one floorplan as a proportional character grid."""
+    if grid_width < 8 or grid_height < 4:
+        raise ModelError("floorplan grid must be at least 8x4")
+    cells = grid_width * grid_height
+    # Allocate cells proportionally, giving every tile kind >= 1 cell.
+    kinds = [
+        TileKind.FAST_CORE, TileKind.BCE_CORE, TileKind.UCORE,
+        TileKind.NONCOMPUTE,
+    ]
+    areas = {
+        kind: sum(t.area_mm2 for t in plan.tiles_of(kind))
+        for kind in kinds
+    }
+    total = sum(areas.values())
+    allocation = {}
+    for kind in kinds:
+        if areas[kind] <= 0:
+            allocation[kind] = 0
+        else:
+            allocation[kind] = max(
+                1, int(round(cells * areas[kind] / total))
+            )
+    # Fix rounding drift by adjusting the largest allocation.
+    drift = cells - sum(allocation.values())
+    largest = max(allocation, key=allocation.get)
+    allocation[largest] += drift
+
+    stream: List[str] = []
+    for kind in kinds:
+        stream.extend(TileKind.GLYPHS[kind] * allocation[kind])
+    rows = [
+        "".join(stream[i * grid_width:(i + 1) * grid_width])
+        for i in range(grid_height)
+    ]
+    header = (
+        f"{plan.chip_label} @ {plan.node.label}: "
+        f"die {plan.die_area_mm2:.0f}mm2, "
+        f"compute {plan.compute_area_mm2:.0f}mm2, "
+        f"{plan.total_bce:.1f} BCE"
+    )
+    border = "+" + "-" * grid_width + "+"
+    body = "\n".join("|" + row + "|" for row in rows)
+    legend = (
+        "F=fast core  b=BCE core  u=U-core fabric  "
+        ".=non-compute (mem ctrl/IO)"
+    )
+    return "\n".join([header, border, body, border, legend])
+
+
+def render_figure1(node_nm: int = 40) -> str:
+    """Figure 1: symmetric / asymmetric / heterogeneous chip models.
+
+    Builds each organisation's speedup-optimal design point at the
+    given node (f = 0.99, baseline budgets) and draws its floorplan.
+    """
+    from ..core.chip import (
+        AsymmetricOffloadCMP,
+        HeterogeneousChip,
+        SymmetricCMP,
+    )
+    from ..core.optimizer import optimize
+    from ..devices.params import ucore_for
+    from ..itrs.roadmap import ITRS_2009
+    from ..projection.engine import node_budget
+    from .floorplan import build_floorplan
+
+    node = ITRS_2009.node(node_nm)
+    chips = (
+        ("(a) Symmetric", SymmetricCMP()),
+        ("(b) Asymmetric", AsymmetricOffloadCMP()),
+        (
+            "(c) Heterogeneous",
+            HeterogeneousChip(ucore_for("ASIC", "fft", 1024)),
+        ),
+    )
+    parts = [
+        "Figure 1: chip models, realised at "
+        f"{node.label} (f=0.99 optimal design points)."
+    ]
+    for title, chip in chips:
+        budget = node_budget(node, "fft", 1024)
+        point = optimize(chip, 0.99, budget)
+        plan = build_floorplan(chip, point, node)
+        parts.append("")
+        parts.append(title)
+        parts.append(render_floorplan(plan))
+    return "\n".join(parts)

@@ -1,0 +1,147 @@
+"""Chip tiles: the physical components behind the model's budgets.
+
+Figure 1 of the paper draws three chip organisations out of a small
+vocabulary of tiles: fast cores with private L1/L2, BCE cores, U-core
+fabric, and (implicitly, via the 25% non-compute reserve of Section 6)
+memory controllers and I/O.  This module gives each tile a concrete
+area so a :class:`~repro.layout.floorplan.Floorplan` can check that an
+abstract design point is physically realisable on a die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.bce import BCE, DEFAULT_BCE
+from ..errors import ModelError
+
+__all__ = ["TileKind", "Tile", "make_tile"]
+
+
+class TileKind:
+    """Tile vocabulary (Figure 1 + the Section 6 non-compute reserve)."""
+
+    FAST_CORE = "fast-core"
+    BCE_CORE = "bce"
+    UCORE = "ucore"
+    NONCOMPUTE = "noncompute"
+
+    ALL = (FAST_CORE, BCE_CORE, UCORE, NONCOMPUTE)
+
+    #: single-character glyphs for ASCII floorplans.
+    GLYPHS = {
+        FAST_CORE: "F",
+        BCE_CORE: "b",
+        UCORE: "u",
+        NONCOMPUTE: ".",
+    }
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One physical block on the die.
+
+    Attributes:
+        kind: one of :class:`TileKind`.
+        label: display label (e.g. ``"FastCore(r=4)"``).
+        area_mm2: printed area at the target node.
+        bce_equiv: size in BCE units (0 for non-compute blocks).
+        active_serial: drawing power during serial phases?
+        active_parallel: drawing power during parallel phases?
+    """
+
+    kind: str
+    label: str
+    area_mm2: float
+    bce_equiv: float
+    active_serial: bool
+    active_parallel: bool
+
+    def __post_init__(self) -> None:
+        if self.kind not in TileKind.ALL:
+            raise ModelError(
+                f"unknown tile kind {self.kind!r}; "
+                f"expected one of {TileKind.ALL}"
+            )
+        if self.area_mm2 <= 0:
+            raise ModelError(
+                f"tile {self.label!r} must have positive area"
+            )
+        if self.bce_equiv < 0:
+            raise ModelError(
+                f"tile {self.label!r} has negative BCE size"
+            )
+
+    @property
+    def glyph(self) -> str:
+        return TileKind.GLYPHS[self.kind]
+
+
+def _bce_area_at_node(bce: BCE, density_scale: float) -> float:
+    """BCE printed area after a node's density improvement.
+
+    ``density_scale`` is the area shrink factor relative to the 40 nm
+    baseline (1.0 at 40 nm, ~1/16 at 11 nm: Table 6's BCE capacity
+    divided into the constant 432 mm^2 budget).
+    """
+    if density_scale <= 0:
+        raise ModelError(
+            f"density scale must be positive, got {density_scale}"
+        )
+    return bce.area_mm2 * density_scale
+
+
+def make_tile(
+    kind: str,
+    bce_units: float = 1.0,
+    density_scale: float = 1.0,
+    bce: BCE = DEFAULT_BCE,
+    label: str = None,
+) -> Tile:
+    """Construct a tile of ``bce_units`` BCE at a given density.
+
+    Non-compute tiles take their area directly from ``bce_units``
+    interpreted as mm^2 (they are not built from BCEs).
+    """
+    if kind == TileKind.NONCOMPUTE:
+        return Tile(
+            kind=kind,
+            label=label or "uncore/IO",
+            area_mm2=bce_units,
+            bce_equiv=0.0,
+            active_serial=True,
+            active_parallel=True,
+        )
+    if bce_units <= 0:
+        raise ModelError(
+            f"compute tile needs positive BCE size, got {bce_units}"
+        )
+    area = bce_units * _bce_area_at_node(bce, density_scale)
+    if kind == TileKind.FAST_CORE:
+        return Tile(
+            kind=kind,
+            label=label or f"FastCore(r={bce_units:g})",
+            area_mm2=area,
+            bce_equiv=bce_units,
+            active_serial=True,
+            active_parallel=False,  # offload model: gated in parallel
+        )
+    if kind == TileKind.BCE_CORE:
+        return Tile(
+            kind=kind,
+            label=label or "BCE",
+            area_mm2=area,
+            bce_equiv=bce_units,
+            active_serial=False,
+            active_parallel=True,
+        )
+    if kind == TileKind.UCORE:
+        return Tile(
+            kind=kind,
+            label=label or f"U-core({bce_units:g} BCE)",
+            area_mm2=area,
+            bce_equiv=bce_units,
+            active_serial=False,
+            active_parallel=True,
+        )
+    raise ModelError(f"unknown tile kind {kind!r}")

@@ -1,0 +1,167 @@
+"""Calibration curves for the simulated measurement apparatus.
+
+The projection model only needs the Table 5 anchor measurements, but
+reproducing Figures 2-4 requires full per-size FFT curves for every
+device (input sizes 2^4 .. 2^20).  This module interpolates each
+device's relative-performance (mu) and relative-power (phi) parameters
+across log2(N) through the three Table 5 anchors, holding the end
+values outside the anchored range, and combines them with a Core i7
+absolute-throughput curve whose mid-range values are the calibrated
+anchors of :mod:`repro.devices.measurements`.
+
+The per-device size ranges mirror the x-axes of Figure 3 (each device
+was measured over the sizes its memory could hold).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..devices.bce import DEFAULT_BCE
+from ..devices.catalog import get_device
+from ..devices.measurements import (
+    FFT_ANCHOR_SIZES,
+    FFT_I7_WATTS,
+    FFT_UCORE_AREAS_MM2,
+    TABLE5_PUBLISHED,
+    fft_table5_key,
+)
+from ..errors import CalibrationError
+
+__all__ = [
+    "FFT_SIZE_RANGE",
+    "DEVICE_FFT_LOG2_RANGES",
+    "i7_fft_throughput",
+    "fft_mu_phi",
+    "fft_device_curve",
+    "fft_device_log2_sizes",
+]
+
+#: Full FFT size sweep of Figure 2 (log2 N from 4 to 20).
+FFT_SIZE_RANGE = tuple(2**k for k in range(4, 21))
+
+#: Per-device measured log2(N) ranges (Figure 3 x-axes).
+DEVICE_FFT_LOG2_RANGES: Dict[str, Tuple[int, int]] = {
+    "Core i7-960": (5, 19),
+    "LX760": (4, 14),
+    "GTX285": (5, 19),
+    "GTX480": (4, 20),
+    "ASIC": (5, 13),
+}
+
+#: Core i7 FFT chip throughput (pseudo-GFLOP/s) by log2(N).  The values
+#: at log2 N = 6, 10, 14 are the calibration anchors; the rest follow
+#: Figure 2's curve shape (ramp-up at small sizes, cache roll-off at
+#: large ones).
+_I7_FFT_CURVE: Dict[int, float] = {
+    4: 11.0, 5: 13.0, 6: 15.0, 7: 16.0, 8: 17.0, 9: 18.0, 10: 19.0,
+    11: 20.0, 12: 21.2, 13: 22.5, 14: 24.0, 15: 23.2, 16: 22.4,
+    17: 21.5, 18: 20.5, 19: 19.5, 20: 18.5,
+}
+
+#: log2 of the Table 5 anchor sizes.
+_ANCHOR_LOGS = tuple(int(math.log2(s)) for s in FFT_ANCHOR_SIZES)
+
+
+def _check_log2(log2_n: int) -> None:
+    if log2_n not in _I7_FFT_CURVE:
+        raise CalibrationError(
+            f"log2(N)={log2_n} outside the calibrated FFT sweep "
+            f"[{min(_I7_FFT_CURVE)}, {max(_I7_FFT_CURVE)}]"
+        )
+
+
+def i7_fft_throughput(log2_n: int) -> float:
+    """Core i7 FFT chip throughput at size 2**log2_n (pseudo-GFLOP/s)."""
+    _check_log2(log2_n)
+    return _I7_FFT_CURVE[log2_n]
+
+
+def _interp_anchor(values: List[float], log2_n: int) -> float:
+    """Piecewise-linear interpolation through the three Table 5 anchors,
+    clamped to the end values outside [6, 14]."""
+    logs = _ANCHOR_LOGS
+    if log2_n <= logs[0]:
+        return values[0]
+    if log2_n >= logs[-1]:
+        return values[-1]
+    for (x0, y0), (x1, y1) in zip(
+        zip(logs, values), zip(logs[1:], values[1:])
+    ):
+        if x0 <= log2_n <= x1:
+            t = (log2_n - x0) / (x1 - x0)
+            return y0 + t * (y1 - y0)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def fft_mu_phi(device: str, log2_n: int) -> Tuple[float, float]:
+    """Interpolated (mu, phi) for a U-core device at size 2**log2_n."""
+    _check_log2(log2_n)
+    try:
+        params = TABLE5_PUBLISHED[device]
+    except KeyError:
+        raise CalibrationError(
+            f"device {device!r} has no Table 5 FFT parameters"
+        ) from None
+    keys = [fft_table5_key(size) for size in FFT_ANCHOR_SIZES]
+    if any(key not in params for key in keys):
+        raise CalibrationError(
+            f"device {device!r} lacks FFT anchors in Table 5"
+        )
+    mus = [params[key][1] for key in keys]
+    phis = [params[key][0] for key in keys]
+    return _interp_anchor(mus, log2_n), _interp_anchor(phis, log2_n)
+
+
+def fft_device_log2_sizes(device: str) -> List[int]:
+    """The log2(N) sweep a device was measured over (Figure 3 axes)."""
+    try:
+        lo, hi = DEVICE_FFT_LOG2_RANGES[device]
+    except KeyError:
+        raise CalibrationError(
+            f"device {device!r} has no FFT measurement range"
+        ) from None
+    return list(range(lo, hi + 1))
+
+
+def fft_device_curve(device: str, log2_n: int) -> Dict[str, float]:
+    """Simulated FFT observation for one device and size.
+
+    Returns a dict with normalised ``throughput`` (pseudo-GFLOP/s),
+    ``area_mm2``, ``watts`` (normalised compute power), and the
+    interpolated ``mu``/``phi`` used to produce them.  The Core i7 is
+    returned directly from its absolute curve (mu = phi = n/a -> 1.0).
+    """
+    _check_log2(log2_n)
+    i7_area = get_device("Core i7-960").core_area_mm2
+    i7_throughput = i7_fft_throughput(log2_n)
+    if device == "Core i7-960":
+        return {
+            "throughput": i7_throughput,
+            "area_mm2": i7_area,
+            "watts": FFT_I7_WATTS,
+            "mu": 1.0,
+            "phi": 1.0,
+        }
+    mu, phi = fft_mu_phi(device, log2_n)
+    r = DEFAULT_BCE.fast_core_r
+    alpha = DEFAULT_BCE.alpha
+    x_fast = i7_throughput / i7_area
+    e_fast = i7_throughput / FFT_I7_WATTS
+    x_u = mu * x_fast * math.sqrt(r)
+    e_u = mu * e_fast / (r ** ((1.0 - alpha) / 2.0) * phi)
+    if device == "ASIC":
+        # ASIC core area grows with transform size (pipeline + SRAM);
+        # interpolate the per-size synthesised areas between anchors.
+        area = _interp_anchor([2.0, 3.5, 6.0], log2_n)
+    else:
+        area = FFT_UCORE_AREAS_MM2[device]
+    throughput = x_u * area
+    return {
+        "throughput": throughput,
+        "area_mm2": area,
+        "watts": throughput / e_u,
+        "mu": mu,
+        "phi": phi,
+    }

@@ -1,0 +1,187 @@
+"""Simulated device execution (the substitute for the paper's testbed).
+
+The paper measured tuned kernels on physical CPUs, GPUs, and an FPGA,
+and estimated an ASIC via synthesis.  Without that hardware, this
+module provides :class:`SimulatedDevice`: an execution model that
+
+* runs the *real* reference kernel (so outputs are functionally
+  correct and operation counts come from first principles), and
+* assigns wall-clock time, power, and off-chip traffic from the
+  calibrated per-device throughput/power curves, exactly the way a
+  steady-state throughput measurement would observe them.
+
+Because the curves are calibrated to the paper's published numbers
+(Tables 4-5), driving the Section 5.1 derivation pipeline with
+simulated measurements reproduces the paper's U-core parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..devices.catalog import get_device
+from ..devices.measurements import get_measurement
+from ..devices.scaling import denormalize_power
+from ..devices.specs import DeviceSpec, Measurement
+from ..errors import CalibrationError, ModelError
+from ..workloads.base import KernelRun
+from ..workloads.registry import get_workload
+from .calibration import fft_device_curve, fft_device_log2_sizes
+
+__all__ = ["SimulatedRun", "SimulatedDevice", "simulated_device"]
+
+#: throughput unit -> work units per second per throughput unit.
+_UNIT_WORK = {"GFLOP/s": 1e9, "Mopts/s": 1e6}
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """One steady-state throughput observation on a simulated device.
+
+    Attributes:
+        device: device name.
+        kernel: the functional kernel execution (real numpy output).
+        throughput: sustained rate in the measurement's unit.
+        unit: throughput unit label.
+        seconds: simulated wall-clock time for the batch.
+        watts: normalised (40 nm) compute power during the run.
+        raw_watts: power at the device's own node (Figure 3's view).
+        joules: normalised energy for the batch.
+        offchip_gbps: sustained compulsory off-chip traffic.
+        area_mm2: normalised area of the implementation.
+        batch: number of independent kernel instances in the batch.
+    """
+
+    device: str
+    kernel: KernelRun
+    throughput: float
+    unit: str
+    seconds: float
+    watts: float
+    raw_watts: float
+    joules: float
+    offchip_gbps: float
+    area_mm2: float
+    batch: int
+
+    def as_measurement(self) -> Measurement:
+        """Collapse to the normalised record the derivation pipeline uses."""
+        return Measurement(
+            device=self.device,
+            workload=self.kernel.workload,
+            throughput=self.throughput,
+            area_mm2=self.area_mm2,
+            watts=self.watts,
+            unit=self.unit,
+            size=self.kernel.size if self.kernel.workload == "fft" else None,
+        )
+
+
+class SimulatedDevice:
+    """Executes workloads at a device's calibrated rates.
+
+    Args:
+        spec: the device's Table 2 entry.
+
+    The device supports the workloads the paper measured on it; asking
+    for an unsupported (device, workload) pair raises
+    :class:`CalibrationError`, mirroring the dashes in Tables 4-5.
+    """
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # ------------------------------------------------------------ curves
+    def throughput_curve(self, workload_name: str,
+                         size: Optional[int] = None) -> Dict[str, float]:
+        """Calibrated (throughput, watts, area) for one observation."""
+        if workload_name == "fft":
+            if size is None:
+                raise ModelError("FFT observations need a size")
+            log2_n = int(math.log2(size))
+            if 2**log2_n != size:
+                raise ModelError(
+                    f"FFT size must be a power of two, got {size}"
+                )
+            if log2_n not in fft_device_log2_sizes(self.name):
+                raise CalibrationError(
+                    f"{self.name} was not measured at FFT size 2^{log2_n}"
+                )
+            curve = fft_device_curve(self.name, log2_n)
+            return {
+                "throughput": curve["throughput"],
+                "watts": curve["watts"],
+                "area_mm2": curve["area_mm2"],
+                "unit": "GFLOP/s",
+            }
+        record = get_measurement(self.name, workload_name, None)
+        return {
+            "throughput": record.throughput,
+            "watts": record.watts,
+            "area_mm2": record.area_mm2,
+            "unit": record.unit,
+        }
+
+    # --------------------------------------------------------------- run
+    def run(
+        self,
+        workload_name: str,
+        size: int,
+        batch: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        execute_kernel: bool = True,
+    ) -> SimulatedRun:
+        """Simulate a steady-state batch of ``batch`` kernel instances.
+
+        The functional kernel runs once (for realistic output and op
+        counting); timing scales linearly with the batch, matching the
+        paper's throughput-driven setting ("many independent inputs are
+        being computed").  Set ``execute_kernel=False`` to skip the
+        numpy execution for large sweeps where only rates are needed.
+        """
+        if batch < 1:
+            raise ModelError(f"batch must be >= 1, got {batch}")
+        workload = get_workload(workload_name)
+        if execute_kernel:
+            kernel = workload.run(size, rng)
+        else:
+            kernel = KernelRun(
+                workload=workload_name,
+                size=size,
+                ops=workload.ops(size),
+                compulsory_bytes=workload.compulsory_bytes(size),
+                output=None,
+            )
+        curve = self.throughput_curve(workload_name, size
+                                      if workload_name == "fft" else None)
+        work_per_instance = workload.work_units(size)
+        rate_units = curve["throughput"] * _UNIT_WORK[curve["unit"]]
+        seconds = batch * work_per_instance / rate_units
+        joules = curve["watts"] * seconds
+        traffic_bytes = batch * kernel.compulsory_bytes
+        return SimulatedRun(
+            device=self.name,
+            kernel=kernel,
+            throughput=curve["throughput"],
+            unit=curve["unit"],
+            seconds=seconds,
+            watts=curve["watts"],
+            raw_watts=denormalize_power(curve["watts"], self.spec.node_nm),
+            joules=joules,
+            offchip_gbps=traffic_bytes / seconds / 1e9,
+            area_mm2=curve["area_mm2"],
+            batch=batch,
+        )
+
+
+def simulated_device(name: str) -> SimulatedDevice:
+    """Build a simulated device from the Table 2 catalogue."""
+    return SimulatedDevice(get_device(name))

@@ -1,0 +1,170 @@
+"""End-to-end measurement harness (the Section 4/5 methodology).
+
+Drives the simulated devices through the paper's full measurement
+campaign: every supported (device, workload[, size]) combination is
+executed, observations are collected as normalised measurements, and
+the Section 5 result artefacts are assembled -- the Table 4 summary,
+the Figure 2 performance series (raw and area-normalised), and the
+Figure 4 (top) energy-efficiency series.  Deriving Table 5 from the
+harness output reproduces the published parameters, closing the loop
+measurement -> derivation -> model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..devices.measurements import TABLE4
+from ..devices.params import FAST_CORE_DEVICE, derive_ucore
+from ..devices.specs import Measurement
+from ..errors import CalibrationError
+from .calibration import fft_device_log2_sizes
+from .devsim import SimulatedRun, simulated_device
+
+__all__ = [
+    "Table4Row",
+    "FFTSeriesPoint",
+    "MeasurementHarness",
+]
+
+#: Devices measured per workload (the non-dash entries of Table 4 and
+#: the Figure 2/3 device sets).
+_WORKLOAD_DEVICES: Dict[str, Tuple[str, ...]] = {
+    "mmm": ("Core i7-960", "GTX285", "GTX480", "R5870", "LX760", "ASIC"),
+    "bs": ("Core i7-960", "GTX285", "LX760", "ASIC"),
+    "fft": ("Core i7-960", "LX760", "GTX285", "GTX480", "ASIC"),
+}
+
+#: Representative sizes used for the single-number MMM/BS observations.
+_SINGLE_SIZES = {"mmm": 512, "bs": 4096}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One Table 4 line: absolute and normalised results."""
+
+    device: str
+    workload: str
+    throughput: float
+    per_mm2: float
+    per_joule: float
+    unit: str
+
+
+@dataclass(frozen=True)
+class FFTSeriesPoint:
+    """One Figure 2/4 sample for one device."""
+
+    device: str
+    log2_n: int
+    throughput: float
+    per_mm2: float
+    per_joule: float
+
+
+class MeasurementHarness:
+    """Runs the full measurement campaign on simulated devices.
+
+    Args:
+        execute_kernels: run the functional numpy kernels during each
+            observation (slower, but validates outputs); sweeps that
+            only need rates can disable it.
+    """
+
+    def __init__(self, execute_kernels: bool = False):
+        self.execute_kernels = execute_kernels
+
+    # ------------------------------------------------------------- runs
+    def observe(self, device: str, workload: str,
+                size: Optional[int] = None) -> SimulatedRun:
+        """One steady-state observation."""
+        if size is None:
+            try:
+                size = _SINGLE_SIZES[workload]
+            except KeyError:
+                raise CalibrationError(
+                    f"workload {workload!r} needs an explicit size"
+                ) from None
+        return simulated_device(device).run(
+            workload, size, execute_kernel=self.execute_kernels
+        )
+
+    def devices_for(self, workload: str) -> Tuple[str, ...]:
+        """Devices the paper measured for one workload."""
+        try:
+            return _WORKLOAD_DEVICES[workload]
+        except KeyError:
+            raise CalibrationError(
+                f"no measured devices for workload {workload!r}"
+            ) from None
+
+    # ----------------------------------------------------------- tables
+    def table4(self) -> List[Table4Row]:
+        """Regenerate Table 4 (MMM and BS) from simulated runs."""
+        rows = []
+        for workload in ("mmm", "bs"):
+            for device in self.devices_for(workload):
+                run = self.observe(device, workload)
+                measurement = run.as_measurement()
+                rows.append(
+                    Table4Row(
+                        device=device,
+                        workload=workload,
+                        throughput=measurement.throughput,
+                        per_mm2=measurement.perf_per_mm2,
+                        per_joule=measurement.perf_per_joule,
+                        unit=measurement.unit,
+                    )
+                )
+        return rows
+
+    def table4_published(self) -> Dict[str, Dict[str, Tuple[float, ...]]]:
+        """The printed Table 4, for side-by-side comparison."""
+        return {w: dict(rows) for w, rows in TABLE4.items()}
+
+    # ----------------------------------------------------------- series
+    def fft_series(self, device: str) -> List[FFTSeriesPoint]:
+        """Figure 2/4 series: FFT perf and efficiency across sizes."""
+        points = []
+        for log2_n in fft_device_log2_sizes(device):
+            run = self.observe(device, "fft", 2**log2_n)
+            measurement = run.as_measurement()
+            points.append(
+                FFTSeriesPoint(
+                    device=device,
+                    log2_n=log2_n,
+                    throughput=measurement.throughput,
+                    per_mm2=measurement.perf_per_mm2,
+                    per_joule=measurement.perf_per_joule,
+                )
+            )
+        return points
+
+    def fft_all_series(self) -> Dict[str, List[FFTSeriesPoint]]:
+        """Figure 2/4 series for every FFT-measured device."""
+        return {
+            device: self.fft_series(device)
+            for device in self.devices_for("fft")
+        }
+
+    # ------------------------------------------------------- derivation
+    def derive_ucore_from_runs(self, device: str, workload: str,
+                               size: Optional[int] = None):
+        """Section 5.1 end-to-end: observe both devices, derive (mu, phi).
+
+        Returns a :class:`repro.core.ucore.UCore`; the result matches
+        Table 5 because the simulation is calibrated to the published
+        measurements.
+        """
+        ucore_run = self.observe(device, workload, size)
+        fast_run = self.observe(FAST_CORE_DEVICE, workload, size)
+        ucore_meas = ucore_run.as_measurement()
+        fast_meas = fast_run.as_measurement()
+        return derive_ucore(ucore_meas, fast_meas)
+
+    # ---------------------------------------------------------- utility
+    @staticmethod
+    def as_measurements(runs: List[SimulatedRun]) -> List[Measurement]:
+        """Collapse a batch of runs into measurement records."""
+        return [run.as_measurement() for run in runs]

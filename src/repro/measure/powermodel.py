@@ -1,0 +1,128 @@
+"""Power-rail breakdown model (Figure 3).
+
+Figure 3 decomposes each device's measured FFT power into five
+components: core dynamic, core leakage, uncore static, uncore dynamic,
+and an unattributed remainder ("Unknown").  The paper obtained the
+split with microbenchmarks that isolate non-compute power (memory
+controllers, GDDR).  We model the split with per-technology-class
+fractions; the *totals* come from the calibrated per-size curves, so
+the figure's envelope is quantitative while the internal split is the
+documented approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..devices.catalog import get_device
+from ..devices.specs import DeviceKind
+from ..errors import ModelError
+from .calibration import fft_device_log2_sizes
+from .devsim import simulated_device
+
+__all__ = [
+    "PowerBreakdown",
+    "BREAKDOWN_FRACTIONS",
+    "breakdown_for",
+    "fft_power_series",
+]
+
+#: Component fractions of raw device power, per technology class.
+#: CPUs spend a large share in the core; GPUs carry sizeable uncore
+#: machinery; FPGAs pay heavy static power for the unused fabric; a
+#: synthesised ASIC is nearly all useful switching.
+BREAKDOWN_FRACTIONS: Dict[str, Dict[str, float]] = {
+    DeviceKind.CPU: {
+        "core_dynamic": 0.52,
+        "core_leakage": 0.18,
+        "uncore_static": 0.12,
+        "uncore_dynamic": 0.13,
+        "unknown": 0.05,
+    },
+    DeviceKind.GPU: {
+        "core_dynamic": 0.55,
+        "core_leakage": 0.12,
+        "uncore_static": 0.15,
+        "uncore_dynamic": 0.13,
+        "unknown": 0.05,
+    },
+    DeviceKind.FPGA: {
+        "core_dynamic": 0.45,
+        "core_leakage": 0.25,
+        "uncore_static": 0.15,
+        "uncore_dynamic": 0.10,
+        "unknown": 0.05,
+    },
+    DeviceKind.ASIC: {
+        "core_dynamic": 0.70,
+        "core_leakage": 0.10,
+        "uncore_static": 0.10,
+        "uncore_dynamic": 0.08,
+        "unknown": 0.02,
+    },
+}
+
+#: Figure 3's stacking order (bottom to top).
+COMPONENT_ORDER = (
+    "core_dynamic",
+    "uncore_dynamic",
+    "uncore_static",
+    "core_leakage",
+    "unknown",
+)
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Raw power split of one device at one FFT size (watts)."""
+
+    device: str
+    log2_n: int
+    core_dynamic: float
+    core_leakage: float
+    uncore_static: float
+    uncore_dynamic: float
+    unknown: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.core_dynamic
+            + self.core_leakage
+            + self.uncore_static
+            + self.uncore_dynamic
+            + self.unknown
+        )
+
+    def component(self, name: str) -> float:
+        """Component value by Figure 3 legend name."""
+        if name not in COMPONENT_ORDER:
+            raise ModelError(
+                f"unknown power component {name!r}; "
+                f"components are {COMPONENT_ORDER}"
+            )
+        return getattr(self, name)
+
+
+def breakdown_for(device: str, log2_n: int) -> PowerBreakdown:
+    """Power breakdown of one device running FFT of size 2**log2_n."""
+    spec = get_device(device)
+    fractions = BREAKDOWN_FRACTIONS[spec.kind]
+    run = simulated_device(device).run(
+        "fft", 2**log2_n, execute_kernel=False
+    )
+    total = run.raw_watts
+    return PowerBreakdown(
+        device=device,
+        log2_n=log2_n,
+        **{name: total * frac for name, frac in fractions.items()},
+    )
+
+
+def fft_power_series(device: str) -> List[PowerBreakdown]:
+    """Figure 3 series: breakdown across the device's measured sizes."""
+    return [
+        breakdown_for(device, log2_n)
+        for log2_n in fft_device_log2_sizes(device)
+    ]

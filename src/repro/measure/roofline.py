@@ -1,0 +1,132 @@
+"""Bandwidth counters and compute-bound validation (Figure 4, Section 5).
+
+The model assumes every measured kernel is compute-bound: performance
+could not improve without more chip area.  The paper verifies this with
+performance counters: Figure 4 (bottom) shows the GTX285's measured
+off-chip traffic tracking the FFT's compulsory bandwidth while the data
+fits on chip (N < 2^12), then rising above it (out-of-core passes) --
+yet staying safely below the 159 GB/s pin ceiling, which is the
+compute-bound signature.
+
+This module provides the compulsory/measured/peak bandwidth triple for
+any simulated observation plus the compute-bound predicate itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..devices.catalog import get_device
+from ..errors import ModelError
+from ..workloads.registry import get_workload
+from .calibration import fft_device_log2_sizes
+from .devsim import simulated_device
+
+__all__ = [
+    "BandwidthSample",
+    "GTX285_ONCHIP_LIMIT_LOG2",
+    "compulsory_bandwidth_gbps",
+    "is_compute_bound",
+    "fft_bandwidth_series",
+]
+
+#: Largest log2(N) whose FFT working set fits the GTX285's on-chip
+#: memory (Figure 4: compulsory traffic holds until 2^12).
+GTX285_ONCHIP_LIMIT_LOG2 = 12
+
+#: Out-of-core traffic multiplier once the working set spills: an
+#: additional pass over the data per spill level, moderated by the
+#: efficient out-of-core algorithms the paper credits CUFFT with.
+_OUT_OF_CORE_FACTOR_PER_LEVEL = 0.18
+
+#: A measured rate under this fraction of peak pins counts as
+#: compute-bound (the device had bandwidth headroom left).
+COMPUTE_BOUND_MARGIN = 0.90
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One Figure 4 (bottom) point."""
+
+    device: str
+    log2_n: int
+    compulsory_gbps: float
+    measured_gbps: Optional[float]
+    peak_gbps: Optional[float]
+
+    @property
+    def compute_bound(self) -> Optional[bool]:
+        """Whether the observation is compute-bound (None if unknown).
+
+        The paper could not read the GTX480's bandwidth counters, so a
+        sample without a measured rate reports ``None`` rather than
+        guessing.
+        """
+        if self.measured_gbps is None or self.peak_gbps is None:
+            return None
+        return is_compute_bound(self.measured_gbps, self.peak_gbps)
+
+
+def compulsory_bandwidth_gbps(
+    workload_name: str, size: int, throughput: float, unit: str
+) -> float:
+    """Compulsory traffic rate for a given sustained throughput.
+
+    ``throughput`` is in the measurement unit (GFLOP/s or Mopts/s);
+    traffic = bytes-per-work-unit * work-units-per-second.
+    """
+    workload = get_workload(workload_name)
+    per_unit = {"GFLOP/s": 1e9, "Mopts/s": 1e6}
+    try:
+        work_rate = throughput * per_unit[unit]
+    except KeyError:
+        raise ModelError(f"unknown throughput unit {unit!r}") from None
+    return workload.bytes_per_work_unit(size) * work_rate / 1e9
+
+
+def is_compute_bound(measured_gbps: float, peak_gbps: float,
+                     margin: float = COMPUTE_BOUND_MARGIN) -> bool:
+    """Compute-bound if measured traffic stays below ``margin * peak``."""
+    if peak_gbps <= 0:
+        raise ModelError(f"peak bandwidth must be positive, got {peak_gbps}")
+    if not 0 < margin <= 1:
+        raise ModelError(f"margin must be in (0, 1], got {margin}")
+    return measured_gbps < margin * peak_gbps
+
+
+def _measured_bandwidth(device: str, log2_n: int,
+                        compulsory: float) -> Optional[float]:
+    """Counter-observed traffic model (GTX285 only, like the paper)."""
+    if device != "GTX285":
+        return None
+    if log2_n < GTX285_ONCHIP_LIMIT_LOG2:
+        return compulsory
+    spill_levels = log2_n - GTX285_ONCHIP_LIMIT_LOG2 + 1
+    return compulsory * (
+        1.0 + _OUT_OF_CORE_FACTOR_PER_LEVEL * spill_levels
+    )
+
+
+def fft_bandwidth_series(device: str = "GTX285") -> List[BandwidthSample]:
+    """Figure 4 (bottom): per-size bandwidth triple for one device."""
+    spec = get_device(device)
+    sim = simulated_device(device)
+    samples = []
+    for log2_n in fft_device_log2_sizes(device):
+        run = sim.run("fft", 2**log2_n, execute_kernel=False)
+        compulsory = compulsory_bandwidth_gbps(
+            "fft", 2**log2_n, run.throughput, run.unit
+        )
+        samples.append(
+            BandwidthSample(
+                device=device,
+                log2_n=log2_n,
+                compulsory_gbps=compulsory,
+                measured_gbps=_measured_bandwidth(
+                    device, log2_n, compulsory
+                ),
+                peak_gbps=spec.peak_bandwidth_gbps,
+            )
+        )
+    return samples

@@ -1,0 +1,215 @@
+"""Design advisor: the model's answer to "what should I build?".
+
+The projection figures present trajectories; a designer wants a
+decision.  :func:`advise` evaluates every standard design for a
+requirement (workload, parallelism, node, objective), ranks them, and
+-- crucially -- explains the ranking with the model's own vocabulary:
+which wall binds, how large the energy gap is, and whether a cheaper
+fabric ties the winner because both sit on the bandwidth ceiling (the
+paper's central observation, turned into a recommendation rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.energy import design_energy
+from ..core.metrics import Objective, optimize_for
+from ..core.optimizer import DEFAULT_R_MAX, DesignPoint
+from ..devices.bce import BCE, DEFAULT_BCE
+from ..errors import InfeasibleDesignError, ModelError
+from ..itrs.scenarios import BASELINE, Scenario
+from .designs import DesignSpec, standard_designs
+from .engine import node_budget
+
+__all__ = ["Requirement", "Recommendation", "advise", "render_advice"]
+
+#: Ties within this relative margin count as "same speedup".
+_TIE_MARGIN = 0.02
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """What the designer needs.
+
+    Attributes:
+        workload: ``"mmm"`` / ``"fft"`` / ``"bs"``.
+        f: parallel fraction of the target application.
+        node_nm: technology node to build in.
+        objective: ranking objective (speedup by default).
+        scenario: budget scenario (Section 6.2).
+        fft_size: FFT problem size (fixes arithmetic intensity).
+    """
+
+    workload: str
+    f: float
+    node_nm: int = 40
+    objective: Objective = Objective.MAX_SPEEDUP
+    scenario: Scenario = BASELINE
+    fft_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.f <= 1.0:
+            raise ModelError(f"f must be within [0, 1], got {self.f}")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked design with its evidence."""
+
+    rank: int
+    design: DesignSpec
+    point: DesignPoint
+    energy: float
+    rationale: str
+
+    @property
+    def label(self) -> str:
+        return self.design.short_label
+
+
+def _rationale(
+    point: DesignPoint,
+    energy: float,
+    best: Optional[DesignPoint],
+    best_energy: Optional[float],
+) -> str:
+    notes = [f"{point.limiter.value}-limited at r={point.r:g}"]
+    if best is not None and best is not point:
+        gap = best.speedup / point.speedup
+        if gap <= 1.0 + _TIE_MARGIN:
+            if best_energy is not None and energy < best_energy:
+                notes.append(
+                    "ties the leader on speedup (both at the "
+                    f"{point.limiter.value} wall) and saves "
+                    f"{(1 - energy / best_energy) * 100:.0f}% energy"
+                )
+            else:
+                notes.append("ties the leader on speedup")
+        else:
+            notes.append(f"{gap:.2f}x behind the leader")
+    return "; ".join(notes)
+
+
+def advise(
+    requirement: Requirement,
+    designs: Optional[Sequence[DesignSpec]] = None,
+    bce: BCE = DEFAULT_BCE,
+    r_max: int = DEFAULT_R_MAX,
+) -> List[Recommendation]:
+    """Rank every feasible design for a requirement.
+
+    Ranking key: the requirement's objective, with run energy as the
+    tiebreaker -- so when the bandwidth ceiling equalises speedups
+    (the paper's FFT/BS regime), the *cheapest* fabric wins the
+    recommendation, exactly as Section 6.3's discussion suggests.
+    """
+    fft_size = requirement.fft_size
+    if requirement.workload == "fft" and fft_size is None:
+        fft_size = 1024
+    if designs is None:
+        designs = standard_designs(requirement.workload, fft_size, bce)
+    node = requirement.scenario.roadmap.node(requirement.node_nm)
+    evaluated = []
+    for design in designs:
+        budget = node_budget(
+            node,
+            requirement.workload,
+            fft_size,
+            requirement.scenario,
+            bce,
+            bandwidth_exempt=design.bandwidth_exempt,
+        )
+        try:
+            # Each design's r is chosen under the requirement's own
+            # objective (an energy-seeking designer builds a smaller
+            # sequential core than a speed-seeking one).
+            point = optimize_for(
+                design.chip,
+                requirement.f,
+                budget,
+                requirement.objective,
+                rel_power=node.rel_power,
+                r_max=r_max,
+            )
+        except InfeasibleDesignError:
+            continue
+        energy = design_energy(
+            design.chip,
+            requirement.f,
+            point.n,
+            point.r,
+            alpha=requirement.scenario.alpha,
+            rel_power=node.rel_power,
+        )
+        evaluated.append((design, point, energy))
+    if not evaluated:
+        raise InfeasibleDesignError(
+            f"no design is feasible for {requirement}"
+        )
+
+    if requirement.objective is Objective.MAX_SPEEDUP:
+        def key(item):
+            _, point, energy = item
+            return (-point.speedup, energy)
+    elif requirement.objective is Objective.MIN_ENERGY:
+        def key(item):
+            _, point, energy = item
+            return (energy, -point.speedup)
+    elif requirement.objective is Objective.MIN_ENERGY_DELAY:
+        def key(item):
+            _, point, energy = item
+            return (energy / point.speedup, energy)
+    else:  # MAX_PERF_PER_WATT
+        def key(item):
+            _, point, energy = item
+            return (-point.speedup / (energy * point.speedup), energy)
+
+    ordered = sorted(evaluated, key=key)
+    # Speedup ties resolved by energy: re-sort the top tie group when
+    # ranking by speedup, so a frugal fabric that matches the fastest
+    # one takes rank 1.
+    if requirement.objective is Objective.MAX_SPEEDUP and len(
+        ordered
+    ) > 1:
+        top_speed = ordered[0][1].speedup
+        ties = [
+            item
+            for item in ordered
+            if item[1].speedup >= top_speed / (1 + _TIE_MARGIN)
+        ]
+        rest = [item for item in ordered if item not in ties]
+        ties.sort(key=lambda item: item[2])  # energy ascending
+        ordered = ties + rest
+
+    best_point = ordered[0][1]
+    best_energy = ordered[0][2]
+    recommendations = []
+    for rank, (design, point, energy) in enumerate(ordered, start=1):
+        recommendations.append(
+            Recommendation(
+                rank=rank,
+                design=design,
+                point=point,
+                energy=energy,
+                rationale=_rationale(
+                    point, energy, best_point, best_energy
+                ),
+            )
+        )
+    return recommendations
+
+
+def render_advice(recommendations: Sequence[Recommendation]) -> str:
+    """Human-readable ranking."""
+    if not recommendations:
+        raise ModelError("nothing to render")
+    lines = []
+    for rec in recommendations:
+        lines.append(
+            f"{rec.rank}. {rec.design.label}: "
+            f"{rec.point.speedup:.1f}x, energy {rec.energy:.4f} "
+            f"({rec.rationale})"
+        )
+    return "\n".join(lines)

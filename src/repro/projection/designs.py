@@ -1,0 +1,117 @@
+"""The chip designs compared in Figures 6-10.
+
+The paper's figure legends enumerate seven designs; availability per
+workload follows Table 5 (no FFT/BS numbers exist for the R5870, no BS
+numbers for the GTX480):
+
+====  =========  ===========================================
+idx   label      machine
+====  =========  ===========================================
+(0)   SymCMP     symmetric multicore
+(1)   AsymCMP    asymmetric multicore, offload variant
+(2)   LX760      heterogeneous, FPGA U-cores
+(3)   GTX285     heterogeneous, GPU U-cores
+(4)   GTX480     heterogeneous, GPU U-cores
+(5)   R5870      heterogeneous, GPU U-cores (MMM only)
+(6)   ASIC       heterogeneous, custom-logic U-cores
+====  =========  ===========================================
+
+The ASIC MMM design is *bandwidth-exempt*: its 40 nm implementation
+blocks at N >= 2048, raising arithmetic intensity beyond any projected
+bandwidth ceiling (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.chip import AsymmetricOffloadCMP, ChipModel, SymmetricCMP
+from ..core.chip import HeterogeneousChip
+from ..devices.bce import BCE, DEFAULT_BCE
+from ..devices.measurements import TABLE5_PUBLISHED, fft_table5_key
+from ..devices.params import ucore_for
+from ..errors import ModelError
+
+__all__ = ["DesignSpec", "standard_designs", "design_labels"]
+
+#: Paper ordering of U-core devices in figure legends.
+_UCORE_ORDER = ("LX760", "GTX285", "GTX480", "R5870", "ASIC")
+_UCORE_INDEX = {"LX760": 2, "GTX285": 3, "GTX480": 4, "R5870": 5, "ASIC": 6}
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One line in a projection figure.
+
+    Attributes:
+        index: the paper's legend index (0-6).
+        label: legend label, e.g. ``"(6) ASIC"``.
+        chip: the chip model to optimise.
+        bandwidth_exempt: lift the bandwidth bound for this design
+            (only the ASIC MMM core in the paper's study).
+    """
+
+    index: int
+    label: str
+    chip: ChipModel
+    bandwidth_exempt: bool = False
+
+    @property
+    def short_label(self) -> str:
+        """Label without the index prefix (``"ASIC"``)."""
+        return self.label.split(") ", 1)[1] if ") " in self.label else self.label
+
+
+def _table5_key(workload: str, fft_size: Optional[int]) -> str:
+    if workload == "fft":
+        if fft_size is None:
+            raise ModelError("FFT designs need an fft_size")
+        return fft_table5_key(fft_size)
+    return workload
+
+
+def standard_designs(
+    workload: str,
+    fft_size: Optional[int] = None,
+    bce: BCE = DEFAULT_BCE,
+) -> List[DesignSpec]:
+    """The figure's design list for one workload, in legend order.
+
+    U-core parameters are derived from the calibrated measurement set
+    (the full Section 5.1 pipeline), not read from the printed table.
+    """
+    if workload not in ("mmm", "fft", "bs"):
+        raise ModelError(
+            f"no standard design list for workload {workload!r}"
+        )
+    key = _table5_key(workload, fft_size)
+    designs = [
+        DesignSpec(0, "(0) SymCMP", SymmetricCMP()),
+        DesignSpec(1, "(1) AsymCMP", AsymmetricOffloadCMP()),
+    ]
+    for device in _UCORE_ORDER:
+        if key not in TABLE5_PUBLISHED.get(device, {}):
+            continue
+        ucore = ucore_for(
+            device,
+            "fft" if workload == "fft" else workload,
+            fft_size if workload == "fft" else None,
+            bce,
+        )
+        index = _UCORE_INDEX[device]
+        designs.append(
+            DesignSpec(
+                index=index,
+                label=f"({index}) {device}",
+                chip=HeterogeneousChip(ucore),
+                bandwidth_exempt=(device == "ASIC" and workload == "mmm"),
+            )
+        )
+    return designs
+
+
+def design_labels(workload: str,
+                  fft_size: Optional[int] = None) -> List[str]:
+    """Legend labels for one workload's figure."""
+    return [d.label for d in standard_designs(workload, fft_size)]

@@ -1,0 +1,123 @@
+"""Energy projections (Figure 10, Section 6.3).
+
+For each node and design, take the *speedup-optimal* design point (the
+same point Figures 6-9 plot), and evaluate its total run energy
+normalised to one BCE's energy at 40 nm.  The per-node circuit-level
+improvement enters through Table 6's relative power-per-transistor
+column, so energy falls across generations even for a fixed
+architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.energy import design_energy
+from ..core.optimizer import DEFAULT_R_MAX, optimize
+from ..devices.bce import BCE, DEFAULT_BCE
+from ..errors import InfeasibleDesignError
+from ..itrs.roadmap import NodeParams
+from ..itrs.scenarios import BASELINE, Scenario
+from .designs import DesignSpec, standard_designs
+from .engine import node_budget
+
+__all__ = ["EnergyCell", "EnergySeries", "EnergyResult", "project_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyCell:
+    """Energy of one design at one node (NaN when infeasible)."""
+
+    node: NodeParams
+    energy: float
+    speedup: float
+
+
+@dataclass(frozen=True)
+class EnergySeries:
+    """One design's energy trajectory across nodes."""
+
+    design: DesignSpec
+    cells: Sequence[EnergyCell]
+
+    @property
+    def label(self) -> str:
+        return self.design.label
+
+    def energies(self) -> List[float]:
+        return [cell.energy for cell in self.cells]
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """All series for one (workload, f) energy panel."""
+
+    workload: str
+    fft_size: Optional[int]
+    f: float
+    scenario: Scenario
+    series: Sequence[EnergySeries]
+
+    def by_label(self) -> Dict[str, EnergySeries]:
+        return {s.design.short_label: s for s in self.series}
+
+
+def project_energy(
+    workload_name: str,
+    f: float,
+    scenario: Scenario = BASELINE,
+    fft_size: Optional[int] = None,
+    designs: Optional[Sequence[DesignSpec]] = None,
+    bce: BCE = DEFAULT_BCE,
+    r_max: int = DEFAULT_R_MAX,
+) -> EnergyResult:
+    """Energy of the speedup-optimal design at every node (Figure 10)."""
+    if workload_name == "fft" and fft_size is None:
+        fft_size = 1024
+    if designs is None:
+        designs = standard_designs(workload_name, fft_size, bce)
+    all_series = []
+    for design in designs:
+        cells = []
+        for node in scenario.roadmap.nodes:
+            budget = node_budget(
+                node,
+                workload_name,
+                fft_size,
+                scenario,
+                bce,
+                bandwidth_exempt=design.bandwidth_exempt,
+            )
+            try:
+                point = optimize(design.chip, f, budget, r_max)
+            except InfeasibleDesignError:
+                cells.append(
+                    EnergyCell(
+                        node=node,
+                        energy=float("nan"),
+                        speedup=float("nan"),
+                    )
+                )
+                continue
+            energy = design_energy(
+                design.chip,
+                f,
+                point.n,
+                point.r,
+                alpha=scenario.alpha,
+                rel_power=node.rel_power,
+            )
+            cells.append(
+                EnergyCell(
+                    node=node, energy=energy, speedup=point.speedup
+                )
+            )
+        all_series.append(EnergySeries(design=design, cells=tuple(cells)))
+    return EnergyResult(
+        workload=workload_name,
+        fft_size=fft_size,
+        f=f,
+        scenario=scenario,
+        series=tuple(all_series),
+    )

@@ -1,0 +1,198 @@
+"""Mix-and-match heterogeneous chips (extension of Section 6.3).
+
+The paper's discussion proposes fabricating *several* U-core types on
+one die and powering each on-demand for the phase it suits: "a high
+arithmetic intensity kernel such as MMM could be fabricated as custom
+logic alongside GPU- or FPGA-based U-cores used to accelerate
+bandwidth-limited kernels such as FFTs."  With power the binding
+resource and area abundant, dark silicon makes this free: only one
+fabric is lit at a time.
+
+:class:`MixedChip` models exactly that.  A program is a sequence of
+:class:`MixPhase` entries -- a time fraction plus the name of the
+fabric that runs it (or ``"serial"`` for the fast core).  Each fabric
+has its own area allocation, and each phase is checked against the
+power and bandwidth budgets independently, because phases execute one
+at a time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..core.amdahl import check_fraction
+from ..core.constraints import Budget, LimitingFactor
+from ..core.power import pollack_perf, seq_power
+from ..core.ucore import UCore
+from ..errors import InfeasibleDesignError, ModelError
+
+__all__ = ["MixPhase", "PhaseOutcome", "MixedChip"]
+
+#: phase target naming the sequential core.
+SERIAL = "serial"
+
+
+@dataclass(frozen=True)
+class MixPhase:
+    """One program phase: a time fraction bound to a fabric."""
+
+    fraction: float
+    fabric: str
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fraction, "phase fraction")
+        if not self.fabric:
+            raise ModelError("phase fabric name must be non-empty")
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    """Resolved execution of one phase on the mixed chip."""
+
+    phase: MixPhase
+    perf: float
+    power: float
+    bandwidth: float
+    limiter: LimitingFactor
+
+    @property
+    def time(self) -> float:
+        return self.phase.fraction / self.perf
+
+
+class MixedChip:
+    """A die holding a fast core plus several on-demand U-core fabrics.
+
+    Args:
+        r: fast-core size (BCE).
+        fabrics: mapping from fabric name to ``(ucore, area_bce)``.
+        alpha: sequential power-law exponent.
+
+    The chip's total area is ``r + sum(area_i)``; only the running
+    phase's fabric draws power ("powered on-demand for suitable
+    tasks").
+    """
+
+    def __init__(
+        self,
+        r: float,
+        fabrics: Dict[str, Tuple[UCore, float]],
+        alpha: float = 1.75,
+    ):
+        if r < 1:
+            raise ModelError(f"fast core must be >= 1 BCE, got {r}")
+        for name, (ucore, area) in fabrics.items():
+            if area <= 0:
+                raise ModelError(
+                    f"fabric {name!r} must have positive area, got {area}"
+                )
+            if name == SERIAL:
+                raise ModelError(
+                    f"fabric name {SERIAL!r} is reserved for the fast core"
+                )
+        self.r = r
+        self.fabrics = dict(fabrics)
+        self.alpha = alpha
+
+    @property
+    def total_area(self) -> float:
+        """Die area in BCE units."""
+        return self.r + sum(area for _, area in self.fabrics.values())
+
+    def _phase_capability(
+        self, phase: MixPhase, budget: Budget
+    ) -> PhaseOutcome:
+        """Perf/power/bandwidth of one phase, clamped to the budget."""
+        if phase.fabric == SERIAL:
+            perf = pollack_perf(self.r)
+            power = seq_power(self.r, budget.alpha)
+            bandwidth = perf  # bandwidth scales linearly with perf
+            if power > budget.power:
+                raise InfeasibleDesignError(
+                    f"serial core of r={self.r} exceeds the power budget "
+                    f"({power:.2f} > {budget.power:.2f})"
+                )
+            if bandwidth > budget.bandwidth:
+                raise InfeasibleDesignError(
+                    f"serial core of r={self.r} exceeds the bandwidth "
+                    f"budget ({bandwidth:.2f} > {budget.bandwidth:.2f})"
+                )
+            return PhaseOutcome(
+                phase, perf, power, bandwidth, LimitingFactor.AREA
+            )
+        try:
+            ucore, area = self.fabrics[phase.fabric]
+        except KeyError:
+            raise ModelError(
+                f"phase references unknown fabric {phase.fabric!r}; "
+                f"chip has {sorted(self.fabrics)}"
+            ) from None
+        # Usable fabric may be clamped by power or bandwidth, because
+        # unused slices are powered off (dark silicon).
+        usable_area = area
+        limiter = LimitingFactor.AREA
+        power_cap = budget.power / ucore.phi
+        if power_cap < usable_area:
+            usable_area = power_cap
+            limiter = LimitingFactor.POWER
+        if math.isfinite(budget.bandwidth):
+            bw_cap = budget.bandwidth / ucore.mu
+            if bw_cap < usable_area:
+                usable_area = bw_cap
+                limiter = LimitingFactor.BANDWIDTH
+        if usable_area <= 0:
+            raise InfeasibleDesignError(
+                f"fabric {phase.fabric!r} cannot run under {budget}"
+            )
+        perf = ucore.mu * usable_area
+        return PhaseOutcome(
+            phase,
+            perf=perf,
+            power=ucore.phi * usable_area,
+            bandwidth=ucore.mu * usable_area,
+            limiter=limiter,
+        )
+
+    def execute(
+        self, phases: Sequence[MixPhase], budget: Budget
+    ) -> Tuple[float, Tuple[PhaseOutcome, ...]]:
+        """Run a phase sequence; returns (speedup, per-phase outcomes).
+
+        Raises :class:`InfeasibleDesignError` if the chip does not fit
+        the area budget or any phase cannot execute at all.
+        """
+        if not phases:
+            raise ModelError("need at least one phase")
+        total_fraction = sum(p.fraction for p in phases)
+        if abs(total_fraction - 1.0) > 1e-6:
+            raise ModelError(
+                f"phase fractions must sum to 1, got {total_fraction:.9f}"
+            )
+        if self.total_area > budget.area:
+            raise InfeasibleDesignError(
+                f"mixed chip needs {self.total_area:.1f} BCE of area; "
+                f"budget is {budget.area:.1f}"
+            )
+        outcomes = tuple(
+            self._phase_capability(phase, budget)
+            for phase in phases
+            if phase.fraction > 0
+        )
+        total_time = sum(outcome.time for outcome in outcomes)
+        if total_time <= 0:
+            raise ModelError("program has no non-empty phases")
+        return 1.0 / total_time, outcomes
+
+    def energy(
+        self,
+        phases: Sequence[MixPhase],
+        budget: Budget,
+        rel_power: float = 1.0,
+    ) -> float:
+        """Run energy normalised to BCE energy (cf. Figure 10)."""
+        _, outcomes = self.execute(phases, budget)
+        return rel_power * sum(
+            outcome.time * outcome.power for outcome in outcomes
+        )

@@ -1,0 +1,102 @@
+"""Speedup/energy Pareto frontiers across the design space.
+
+The paper's Figures 6-10 report speedup and energy separately; a
+designer choosing a die wants the joint trade-off.  For one (workload,
+f, node) this module sweeps every design's full r range, evaluates
+(speedup, energy) for each feasible point, and extracts the Pareto-
+optimal set -- the designs for which no alternative is simultaneously
+faster and more frugal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.energy import design_energy
+from ..core.optimizer import DEFAULT_R_MAX, sweep_designs
+from ..devices.bce import BCE, DEFAULT_BCE
+from ..errors import ModelError
+from ..itrs.scenarios import BASELINE, Scenario
+from .designs import DesignSpec, standard_designs
+from .engine import node_budget
+
+__all__ = ["ParetoPoint", "pareto_frontier", "design_space_points"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate die: a design at a specific r."""
+
+    design: DesignSpec
+    r: float
+    n: float
+    speedup: float
+    energy: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Strict Pareto dominance: >= on both axes, > on one."""
+        return (
+            self.speedup >= other.speedup
+            and self.energy <= other.energy
+            and (
+                self.speedup > other.speedup
+                or self.energy < other.energy
+            )
+        )
+
+
+def design_space_points(
+    workload: str,
+    f: float,
+    node_nm: int,
+    scenario: Scenario = BASELINE,
+    fft_size: Optional[int] = None,
+    designs: Optional[Sequence[DesignSpec]] = None,
+    bce: BCE = DEFAULT_BCE,
+    r_max: int = DEFAULT_R_MAX,
+) -> List[ParetoPoint]:
+    """Every feasible (design, r) point with its speedup and energy."""
+    if workload == "fft" and fft_size is None:
+        fft_size = 1024
+    if designs is None:
+        designs = standard_designs(workload, fft_size, bce)
+    node = scenario.roadmap.node(node_nm)
+    points = []
+    for design in designs:
+        budget = node_budget(
+            node, workload, fft_size, scenario, bce,
+            bandwidth_exempt=design.bandwidth_exempt,
+        )
+        for dp in sweep_designs(design.chip, f, budget, r_max):
+            energy = design_energy(
+                design.chip, f, dp.n, dp.r,
+                alpha=scenario.alpha, rel_power=node.rel_power,
+            )
+            points.append(
+                ParetoPoint(
+                    design=design,
+                    r=dp.r,
+                    n=dp.n,
+                    speedup=dp.speedup,
+                    energy=energy,
+                )
+            )
+    return points
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset, sorted by ascending energy.
+
+    O(n log n): sort by energy then keep the running speedup maxima.
+    """
+    if not points:
+        raise ModelError("cannot take a frontier of zero points")
+    ordered = sorted(points, key=lambda p: (p.energy, -p.speedup))
+    frontier: List[ParetoPoint] = []
+    best_speedup = float("-inf")
+    for point in ordered:
+        if point.speedup > best_speedup:
+            frontier.append(point)
+            best_speedup = point.speedup
+    return frontier

@@ -1,0 +1,297 @@
+"""Experiment registry: one entry per table/figure/scenario in the paper.
+
+Each experiment id maps to a callable that regenerates the artefact
+from the live library and returns its text rendering.  The registry
+drives both the CLI (``repro-hetsim run F6``) and the benchmark suite
+(one benchmark per entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..archmodels.peaks import DEVICE_PEAKS
+from ..archmodels.roofline import render_roofline
+from ..errors import UnknownExperimentError
+from ..itrs.roadmap import figure5_series
+from ..layout.render import render_figure1
+from ..itrs.scenarios import SCENARIOS
+from ..measure.harness import MeasurementHarness
+from ..measure.powermodel import COMPONENT_ORDER, fft_power_series
+from ..measure.roofline import fft_bandwidth_series
+from ..projection.engine import project
+from ..projection.paperfigs import (
+    figure6_fft_projection,
+    figure7_mmm_projection,
+    figure8_bs_projection,
+    figure9_fft_high_bandwidth,
+    figure10_mmm_energy,
+)
+from .figures import (
+    ascii_chart,
+    render_energy_figure,
+    render_projection_figure,
+)
+from .tables import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artefact of the paper."""
+
+    exp_id: str
+    title: str
+    runner: Callable[[], str]
+
+    def run(self) -> str:
+        return self.runner()
+
+
+# --------------------------------------------------------------- figures
+def _figure2() -> str:
+    harness = MeasurementHarness()
+    all_series = harness.fft_all_series()
+    sizes = sorted({p.log2_n for pts in all_series.values() for p in pts})
+    labels = [f"2^{n}" for n in sizes]
+
+    def table(attr: str, caption: str) -> str:
+        rows = []
+        for device, points in all_series.items():
+            by_log = {p.log2_n: p for p in points}
+            rows.append(
+                [device]
+                + [
+                    f"{getattr(by_log[n], attr):.3g}" if n in by_log else "-"
+                    for n in sizes
+                ]
+            )
+        return format_table(["device"] + labels, rows, title=caption)
+
+    return "\n\n".join(
+        [
+            table(
+                "throughput",
+                "Figure 2 (top): FFT performance, pseudo-GFLOP/s "
+                "(non-normalised).",
+            ),
+            table(
+                "per_mm2",
+                "Figure 2 (bottom): area-normalised FFT performance, "
+                "pseudo-GFLOP/s per mm2 (40nm).",
+            ),
+        ]
+    )
+
+
+def _figure3() -> str:
+    parts = ["Figure 3: FFT power consumption breakdown "
+             "(non-normalised, watts)."]
+    for device in ("Core i7-960", "LX760", "GTX285", "GTX480", "ASIC"):
+        series = fft_power_series(device)
+        rows = []
+        for pb in series:
+            rows.append(
+                [f"2^{pb.log2_n}"]
+                + [f"{pb.component(c):.1f}" for c in COMPONENT_ORDER]
+                + [f"{pb.total:.1f}"]
+            )
+        parts.append(
+            format_table(
+                ["size"] + list(COMPONENT_ORDER) + ["total"],
+                rows,
+                title=f"{device}:",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def _figure4() -> str:
+    harness = MeasurementHarness()
+    all_series = harness.fft_all_series()
+    sizes = sorted({p.log2_n for pts in all_series.values() for p in pts})
+    rows = []
+    for device, points in all_series.items():
+        by_log = {p.log2_n: p for p in points}
+        rows.append(
+            [device]
+            + [
+                f"{by_log[n].per_joule:.3g}" if n in by_log else "-"
+                for n in sizes
+            ]
+        )
+    efficiency = format_table(
+        ["device"] + [f"2^{n}" for n in sizes],
+        rows,
+        title="Figure 4 (top): FFT energy efficiency, "
+        "pseudo-GFLOPs per J (40nm).",
+    )
+    bw_rows = []
+    for sample in fft_bandwidth_series("GTX285"):
+        bw_rows.append(
+            (
+                f"2^{sample.log2_n}",
+                f"{sample.compulsory_gbps:.1f}",
+                f"{sample.measured_gbps:.1f}",
+                f"{sample.peak_gbps:.0f}",
+                "yes" if sample.compute_bound else "NO",
+            )
+        )
+    bandwidth = format_table(
+        ["size", "compulsory GB/s", "measured GB/s", "peak GB/s",
+         "compute-bound"],
+        bw_rows,
+        title="Figure 4 (bottom): GTX285 FFT bandwidth.",
+    )
+    return efficiency + "\n\n" + bandwidth
+
+
+def _figure5() -> str:
+    series = figure5_series()
+    years = sorted(next(iter(series.values())))
+    chart = ascii_chart(
+        [str(y) for y in years],
+        {name: [vals[y] for y in years] for name, vals in series.items()},
+        y_label="normalised to 2011",
+    )
+    rows = [
+        [name] + [f"{vals[y]:.3f}" for y in years]
+        for name, vals in series.items()
+    ]
+    table = format_table(
+        ["trend"] + [str(y) for y in years],
+        rows,
+        title="Figure 5: ITRS 2009 scaling projections "
+        "(normalised to 2011).",
+    )
+    return table + "\n\n" + chart
+
+
+def _scenarios() -> str:
+    parts = ["Section 6.2: projections under alternative scenarios "
+             "(FFT-1024 and MMM at f=0.9/0.99, 11nm endpoint speedups)."]
+    for name, scenario in SCENARIOS.items():
+        if name == "baseline":
+            continue
+        lines = [f"--- scenario {name}: {scenario.description}"]
+        for workload, fft_size in (("fft", 1024), ("mmm", None)):
+            for f in (0.9, 0.99):
+                result = project(workload, f, scenario, fft_size=fft_size)
+                endpoint = {
+                    s.design.short_label: s.cells[-1] for s in result.series
+                }
+                summary = "  ".join(
+                    f"{label}={cell.speedup:.1f}"
+                    f"({cell.limiter.value[:2] if cell.limiter else '--'})"
+                    if cell.point
+                    else f"{label}=infeasible"
+                    for label, cell in endpoint.items()
+                )
+                wl_label = (
+                    f"{workload}-{fft_size}" if fft_size else workload
+                )
+                lines.append(f"  {wl_label} f={f}: {summary}")
+        parts.append("\n".join(lines))
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.exp_id: exp
+    for exp in (
+        Experiment("T1", "Table 1: resource bounds per chip model",
+                   render_table1),
+        Experiment("T2", "Table 2: summary of devices", render_table2),
+        Experiment("T3", "Table 3: summary of workloads", render_table3),
+        Experiment("T4", "Table 4: MMM and BS results",
+                   lambda: render_table4(MeasurementHarness().table4())),
+        Experiment("T5", "Table 5: derived U-core parameters",
+                   render_table5),
+        Experiment("T6", "Table 6: technology scaling parameters",
+                   render_table6),
+        Experiment("F1", "Figure 1: chip models (floorplans)",
+                   render_figure1),
+        Experiment("F2", "Figure 2: FFT performance", _figure2),
+        Experiment("F3", "Figure 3: FFT power breakdown", _figure3),
+        Experiment("F4", "Figure 4: FFT efficiency and bandwidth",
+                   _figure4),
+        Experiment("F5", "Figure 5: ITRS 2009 projections", _figure5),
+        Experiment(
+            "F6",
+            "Figure 6: FFT-1024 projection",
+            lambda: render_projection_figure(
+                figure6_fft_projection(), "Figure 6: FFT-1024 projection."
+            ),
+        ),
+        Experiment(
+            "F7",
+            "Figure 7: MMM projection",
+            lambda: render_projection_figure(
+                figure7_mmm_projection(), "Figure 7: MMM projection."
+            ),
+        ),
+        Experiment(
+            "F8",
+            "Figure 8: Black-Scholes projection",
+            lambda: render_projection_figure(
+                figure8_bs_projection(),
+                "Figure 8: Black-Scholes projection.",
+            ),
+        ),
+        Experiment(
+            "F9",
+            "Figure 9: FFT-1024 at 1 TB/s",
+            lambda: render_projection_figure(
+                figure9_fft_high_bandwidth(),
+                "Figure 9: FFT-1024 projection given 1 TB/s bandwidth.",
+            ),
+        ),
+        Experiment(
+            "F10",
+            "Figure 10: MMM energy projections",
+            lambda: render_energy_figure(
+                figure10_mmm_energy(),
+                "Figure 10: MMM energy projections (normalised to BCE).",
+            ),
+        ),
+        Experiment("S6.2", "Section 6.2: alternative scenarios",
+                   _scenarios),
+        Experiment(
+            "X-ROOF",
+            "Extension: device rooflines (Section 5 compute-bound "
+            "validation, generalised)",
+            lambda: "\n\n".join(
+                render_roofline(device) for device in DEVICE_PEAKS
+            ),
+        ),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment by id (case-insensitive)."""
+    for candidate in (exp_id, exp_id.upper()):
+        if candidate in EXPERIMENTS:
+            return EXPERIMENTS[candidate]
+    raise UnknownExperimentError(
+        f"unknown experiment {exp_id!r}; available: {list(EXPERIMENTS)}"
+    )
+
+
+def run_experiment(exp_id: str) -> str:
+    """Run one experiment and return its rendered artefact."""
+    return get_experiment(exp_id).run()
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids, in paper order."""
+    return list(EXPERIMENTS)

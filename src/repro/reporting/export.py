@@ -1,0 +1,108 @@
+"""Artefact export: write every regenerated result to a directory.
+
+``export_all`` renders each registered experiment to
+``<out>/artifacts/<id>.txt`` and additionally emits machine-readable
+CSV series for the projection figures (one file per figure panel) so
+downstream plotting tools can regenerate the paper's graphics without
+touching Python.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ModelError
+from ..projection.energyproj import EnergyResult
+from ..projection.engine import ProjectionResult
+from ..projection.paperfigs import (
+    figure6_fft_projection,
+    figure7_mmm_projection,
+    figure8_bs_projection,
+    figure9_fft_high_bandwidth,
+    figure10_mmm_energy,
+)
+from .experiments import EXPERIMENTS, experiment_ids
+from .figures import series_to_csv
+
+__all__ = ["export_all", "export_artifacts", "export_figure_csvs"]
+
+#: CSV-exported projection figures: file stem -> panel factory.
+_CSV_FIGURES = {
+    "fig6_fft": figure6_fft_projection,
+    "fig7_mmm": figure7_mmm_projection,
+    "fig8_bs": figure8_bs_projection,
+    "fig9_fft_1tbs": figure9_fft_high_bandwidth,
+}
+
+
+def _panel_csv(result: ProjectionResult) -> str:
+    return series_to_csv(
+        "node",
+        result.node_labels(),
+        {s.label: s.speedups() for s in result.series},
+    )
+
+
+def _energy_panel_csv(result: EnergyResult) -> str:
+    nodes = [cell.node.label for cell in result.series[0].cells]
+    return series_to_csv(
+        "node",
+        nodes,
+        {s.label: s.energies() for s in result.series},
+    )
+
+
+def export_artifacts(
+    out_dir: pathlib.Path,
+    ids: Optional[Iterable[str]] = None,
+) -> List[pathlib.Path]:
+    """Render experiments to ``<out>/artifacts/<id>.txt``."""
+    artefact_dir = out_dir / "artifacts"
+    artefact_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for exp_id in ids if ids is not None else experiment_ids():
+        if exp_id not in EXPERIMENTS:
+            raise ModelError(
+                f"unknown experiment {exp_id!r}; "
+                f"available: {experiment_ids()}"
+            )
+        path = artefact_dir / f"{exp_id.replace('.', '_')}.txt"
+        path.write_text(EXPERIMENTS[exp_id].run() + "\n")
+        written.append(path)
+    return written
+
+
+def export_figure_csvs(out_dir: pathlib.Path) -> List[pathlib.Path]:
+    """Write per-panel CSV series for Figures 6-10."""
+    csv_dir = out_dir / "csv"
+    csv_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for stem, factory in _CSV_FIGURES.items():
+        for f, result in factory().items():
+            path = csv_dir / f"{stem}_f{f}.csv"
+            path.write_text(_panel_csv(result))
+            written.append(path)
+    for f, result in figure10_mmm_energy().items():
+        path = csv_dir / f"fig10_mmm_energy_f{f}.csv"
+        path.write_text(_energy_panel_csv(result))
+        written.append(path)
+    return written
+
+
+def export_all(out_dir) -> Dict[str, List[pathlib.Path]]:
+    """Render every artefact, CSV series, and the calibration manifest.
+
+    Returns the written paths, grouped by kind.
+    """
+    from .manifest import manifest_json
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest_path = out / "calibration-manifest.json"
+    manifest_path.write_text(manifest_json() + "\n")
+    return {
+        "artifacts": export_artifacts(out),
+        "csv": export_figure_csvs(out),
+        "manifest": [manifest_path],
+    }

@@ -1,0 +1,216 @@
+"""Figure rendering: ASCII charts, panel tables, and CSV export.
+
+Figures are rendered in two complementary forms:
+
+* a *panel table* -- the exact numeric series with the binding
+  constraint per point, annotated with the paper's dashed/solid
+  encoding (``po`` = power-limited/dashed, ``ba`` = bandwidth-
+  limited/solid, ``ar`` = area-limited/points);
+* an *ASCII line chart* for quick visual shape comparison.
+
+Everything returns strings; nothing writes files except
+:func:`series_to_csv`, which returns CSV text for the caller to save.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from ..errors import ModelError
+from ..projection.energyproj import EnergyResult
+from ..projection.engine import ProjectionResult
+
+__all__ = [
+    "ascii_chart",
+    "render_projection_panel",
+    "render_projection_figure",
+    "render_energy_panel",
+    "render_energy_figure",
+    "series_to_csv",
+    "LIMITER_MARKS",
+]
+
+#: Figure 6-9 encoding: limiter -> 2-letter mark (see module docs).
+LIMITER_MARKS = {"power": "po", "bandwidth": "ba", "area": "ar"}
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render multiple series as an ASCII line chart.
+
+    Each series is drawn with its own glyph (its label's position in
+    the dict, 0-9 then a-z); collisions show the later glyph.
+    """
+    if height < 3:
+        raise ModelError(f"chart height must be >= 3, got {height}")
+    if not series:
+        raise ModelError("ascii_chart needs at least one series")
+    n_points = len(x_labels)
+    for label, values in series.items():
+        if len(values) != n_points:
+            raise ModelError(
+                f"series {label!r} has {len(values)} points but the "
+                f"x-axis has {n_points}"
+            )
+    finite = [
+        v
+        for values in series.values()
+        for v in values
+        if v == v and math.isfinite(v)
+    ]
+    if not finite:
+        raise ModelError("all series values are NaN/inf")
+    vmax = max(finite)
+    vmin = min(0.0, min(finite))
+    span = vmax - vmin or 1.0
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+    col_width = max(len(lbl) for lbl in x_labels) + 2
+    grid = [
+        [" "] * (n_points * col_width) for _ in range(height)
+    ]
+    for idx, (label, values) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for i, v in enumerate(values):
+            if v != v or not math.isfinite(v):
+                continue
+            row = height - 1 - int((v - vmin) / span * (height - 1))
+            col = i * col_width + col_width // 2
+            grid[row][col] = glyph
+    lines = []
+    for row_idx, row in enumerate(grid):
+        level = vmax - span * row_idx / (height - 1)
+        lines.append(f"{level:8.1f} |" + "".join(row).rstrip())
+    lines.append(" " * 8 + " +" + "-" * (n_points * col_width))
+    lines.append(
+        " " * 10
+        + "".join(lbl.center(col_width) for lbl in x_labels)
+    )
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]}={label}"
+        for i, label in enumerate(series)
+    )
+    header = f"[{y_label}]" if y_label else ""
+    return "\n".join(filter(None, [header, *lines, "legend: " + legend]))
+
+
+def _mark(limiter) -> str:
+    if limiter is None:
+        return "--"
+    return LIMITER_MARKS[limiter.value]
+
+
+def render_projection_panel(result: ProjectionResult) -> str:
+    """One figure panel (one f value) as an annotated numeric table."""
+    nodes = result.node_labels()
+    width = max(len(s.label) for s in result.series)
+    lines = [
+        f"{result.workload.upper()}"
+        + (f"-{result.fft_size}" if result.fft_size else "")
+        + f"  f={result.f}  scenario={result.scenario.name}",
+        " " * (width + 2)
+        + "  ".join(f"{n:>12}" for n in nodes),
+    ]
+    for s in result.series:
+        cells = []
+        for cell in s.cells:
+            if cell.point is None:
+                cells.append(f"{'infeasible':>12}")
+            else:
+                cells.append(
+                    f"{cell.speedup:8.2f}({_mark(cell.limiter)})"
+                )
+        lines.append(f"{s.label:<{width}}  " + "  ".join(cells))
+    lines.append(
+        "marks: (po)=power-limited/dashed  (ba)=bandwidth-limited/solid"
+        "  (ar)=area-limited/points"
+    )
+    return "\n".join(lines)
+
+
+def render_projection_figure(
+    panels: Dict[float, ProjectionResult],
+    title: str,
+    chart: bool = True,
+) -> str:
+    """A full Figure 6/7/8/9 rendering: all f panels + charts."""
+    parts = [title]
+    for f in sorted(panels):
+        result = panels[f]
+        parts.append("")
+        parts.append(render_projection_panel(result))
+        if chart:
+            parts.append(
+                ascii_chart(
+                    result.node_labels(),
+                    {s.label: s.speedups() for s in result.series},
+                    y_label=f"speedup, f={f}",
+                )
+            )
+    return "\n".join(parts)
+
+
+def render_energy_panel(result: EnergyResult) -> str:
+    """One Figure 10 panel as a numeric table."""
+    nodes = [cell.node.label for cell in result.series[0].cells]
+    width = max(len(s.label) for s in result.series)
+    lines = [
+        f"{result.workload.upper()} energy  f={result.f} "
+        f"(normalised to BCE energy at 40nm)",
+        " " * (width + 2) + "  ".join(f"{n:>8}" for n in nodes),
+    ]
+    for s in result.series:
+        cells = [f"{cell.energy:8.3f}" for cell in s.cells]
+        lines.append(f"{s.label:<{width}}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_energy_figure(
+    panels: Dict[float, EnergyResult], title: str, chart: bool = True
+) -> str:
+    """A full Figure 10 rendering: all f panels + charts."""
+    parts = [title]
+    for f in sorted(panels):
+        result = panels[f]
+        parts.append("")
+        parts.append(render_energy_panel(result))
+        if chart:
+            nodes = [cell.node.label for cell in result.series[0].cells]
+            parts.append(
+                ascii_chart(
+                    nodes,
+                    {s.label: s.energies() for s in result.series},
+                    y_label=f"energy, f={f}",
+                )
+            )
+    return "\n".join(parts)
+
+
+def series_to_csv(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    float_format: str = "{:.6g}",
+) -> str:
+    """Export aligned series as CSV text (header + one row per x)."""
+    labels = list(series)
+    for label in labels:
+        if len(series[label]) != len(x_values):
+            raise ModelError(
+                f"series {label!r} length {len(series[label])} != "
+                f"x length {len(x_values)}"
+            )
+    lines = [",".join([x_name] + labels)]
+    for i, x in enumerate(x_values):
+        cells = [str(x)]
+        for label in labels:
+            value = series[label][i]
+            cells.append(
+                "" if value != value else float_format.format(value)
+            )
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,117 @@
+"""Calibration manifest: every constant the reproduction rests on.
+
+Serialises the complete calibrated state -- device catalogue, BCE
+definition, Table 4/5 data, FFT anchors, roadmap, workload traffic
+parameters, and the free calibration constants with their provenance
+-- as one JSON-compatible dict.  Downstream tools (plotters,
+alternative front-ends, review scripts) can consume the model without
+importing Python, and a diff of two manifests shows exactly what a
+re-calibration changed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..devices.bce import DEFAULT_BCE
+from ..devices.catalog import DEVICES, FPGA_MM2_PER_LUT
+from ..devices.measurements import (
+    FFT_I7_ANCHORS,
+    FFT_I7_WATTS,
+    TABLE4,
+    TABLE5_PUBLISHED,
+)
+from ..devices.params import derived_table5
+from ..itrs.roadmap import ITRS_2009
+from ..workloads.registry import WORKLOADS
+
+__all__ = ["build_manifest", "manifest_json"]
+
+#: Schema identifier for consumers.
+MANIFEST_SCHEMA = "repro-hetsim/calibration-manifest/v1"
+
+
+def build_manifest() -> Dict[str, Any]:
+    """Assemble the full calibration state as plain data."""
+    devices = {
+        name: {
+            "vendor": spec.vendor,
+            "kind": spec.kind,
+            "year": spec.year,
+            "node_nm": spec.node_nm,
+            "die_area_mm2": spec.die_area_mm2,
+            "core_area_mm2": spec.core_area_mm2,
+            "clock_ghz": spec.clock_ghz,
+            "peak_bandwidth_gbps": spec.peak_bandwidth_gbps,
+            "cores": spec.cores,
+        }
+        for name, spec in DEVICES.items()
+    }
+    roadmap = [
+        {
+            "year": node.year,
+            "node_nm": node.node_nm,
+            "core_area_budget_mm2": node.core_area_budget_mm2,
+            "core_power_budget_w": node.core_power_budget_w,
+            "bandwidth_gbps": node.bandwidth_gbps,
+            "max_area_bce": node.max_area_bce,
+            "rel_power": node.rel_power,
+            "rel_bandwidth": node.rel_bandwidth,
+        }
+        for node in ITRS_2009.nodes
+    ]
+    workloads = {
+        name: {
+            "title": wl.title,
+            "unit": wl.unit,
+            "arithmetic_intensity_examples": {
+                str(size): wl.arithmetic_intensity(size)
+                for size in (64, 1024)
+                if size >= wl.min_size()
+            },
+        }
+        for name, wl in WORKLOADS.items()
+    }
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "paper": {
+            "title": (
+                "Single-Chip Heterogeneous Computing: Does the Future "
+                "Include Custom Logic, FPGAs, and GPGPUs?"
+            ),
+            "venue": "MICRO 2010",
+            "authors": ["Chung", "Milder", "Hoe", "Mai"],
+        },
+        "bce": {
+            "fast_core_r": DEFAULT_BCE.fast_core_r,
+            "alpha": DEFAULT_BCE.alpha,
+            "power_w": DEFAULT_BCE.power_w,
+            "area_mm2": DEFAULT_BCE.area_mm2,
+            "provenance": (
+                "r and area from the Atom sizing of Section 5.1; "
+                "power_w calibrated against Figures 6/7/9 axes "
+                "(docs/CALIBRATION.md #1)"
+            ),
+        },
+        "devices": devices,
+        "fpga_mm2_per_lut": FPGA_MM2_PER_LUT,
+        "table4": TABLE4,
+        "table5_published": TABLE5_PUBLISHED,
+        "table5_derived": derived_table5(),
+        "fft_anchors": {
+            "i7_throughput_gflops": FFT_I7_ANCHORS,
+            "i7_watts": FFT_I7_WATTS,
+            "provenance": (
+                "figure-read absolutes; U-core absolutes back-derived "
+                "from Table 5 (docs/CALIBRATION.md #3)"
+            ),
+        },
+        "roadmap_itrs2009": roadmap,
+        "workloads": workloads,
+    }
+
+
+def manifest_json(indent: int = 2) -> str:
+    """The manifest serialised as JSON text."""
+    return json.dumps(build_manifest(), indent=indent, sort_keys=True)

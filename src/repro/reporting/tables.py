@@ -1,0 +1,218 @@
+"""Plain-text table rendering for every table in the paper.
+
+The generic :func:`format_table` renders aligned monospace tables; the
+``render_table*`` functions regenerate the paper's Tables 1-6 from live
+library objects (never from hard-coded strings), so a change anywhere
+in the pipeline shows up in the rendered artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..devices.catalog import DEVICES
+from ..devices.measurements import TABLE4, TABLE5_PUBLISHED
+from ..devices.params import derived_table5
+from ..errors import ModelError
+from ..itrs.roadmap import ITRS_2009
+from ..workloads.registry import TABLE3_IMPLEMENTATIONS, WORKLOADS
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    The first column is left-aligned; the rest are right-aligned, which
+    suits the numeric tables this library produces.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ModelError(
+                f"row has {len(row)} cells but table has "
+                f"{len(headers)} columns: {row}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table 1: bounds on area, power, and bandwidth per chip model."""
+    rows = [
+        ("Area constraints", "n <= A", "n <= A", "n <= A"),
+        (
+            "Parallel power bounds",
+            "n <= P / r^(a/2-1)",
+            "n <= P + r",
+            "n <= P/phi + r",
+        ),
+        ("Serial power bounds", "r^(a/2) <= P", "r^(a/2) <= P",
+         "r^(a/2) <= P"),
+        (
+            "Parallel bandwidth bounds",
+            "n <= B*sqrt(r)",
+            "n <= B + r",
+            "n <= B/mu + r",
+        ),
+        ("Serial bandwidth bounds", "r <= B^2", "r <= B^2", "r <= B^2"),
+    ]
+    return format_table(
+        ["bound", "Symmetric", "Asym-offload", "Heterogeneous"],
+        rows,
+        title="Table 1: Bounds on area, power, and bandwidth.",
+    )
+
+
+def render_table2() -> str:
+    """Table 2: summary of devices, from the live catalogue."""
+
+    def opt(value, fmt="{}"):
+        return fmt.format(value) if value is not None else "-"
+
+    rows = []
+    for spec in DEVICES.values():
+        rows.append(
+            (
+                spec.name,
+                spec.year,
+                f"{spec.vendor.split(' ')[0]}/{spec.node_nm}nm",
+                opt(spec.die_area_mm2, "{:.0f}mm2"),
+                opt(spec.core_area_mm2, "{:.0f}mm2"),
+                opt(spec.clock_ghz, "{:.3g}GHz"),
+                opt(spec.peak_bandwidth_gbps, "{:.1f}GB/s"),
+            )
+        )
+    return format_table(
+        ["device", "year", "node", "die area", "core area", "clock",
+         "bandwidth"],
+        rows,
+        title="Table 2: Summary of devices.",
+    )
+
+
+def render_table3() -> str:
+    """Table 3: workload/implementation matrix."""
+    devices = list(next(iter(TABLE3_IMPLEMENTATIONS.values())))
+    rows = []
+    for workload_name, impls in TABLE3_IMPLEMENTATIONS.items():
+        title = WORKLOADS[workload_name].title
+        rows.append(
+            [title] + [impls.get(dev) or "-" for dev in devices]
+        )
+    return format_table(
+        ["workload"] + devices,
+        rows,
+        title="Table 3: Summary of workloads.",
+    )
+
+
+def render_table4(computed_rows=None) -> str:
+    """Table 4: MMM and BS results (published values by default).
+
+    Pass the output of
+    :meth:`repro.measure.MeasurementHarness.table4` to render the
+    simulated-run reproduction instead.
+    """
+    rows = []
+    if computed_rows is None:
+        for workload, table in TABLE4.items():
+            unit = "GFLOP" if workload == "mmm" else "Mopts"
+            for device, (thr, x, e) in table.items():
+                rows.append(
+                    (f"{device} [{workload}]", f"{thr:g} {unit}/s",
+                     f"{x:g}", f"{e:g}")
+                )
+    else:
+        for row in computed_rows:
+            unit = row.unit.split("/")[0]
+            rows.append(
+                (
+                    f"{row.device} [{row.workload}]",
+                    f"{row.throughput:g} {unit}/s",
+                    f"{row.per_mm2:.4g}",
+                    f"{row.per_joule:.4g}",
+                )
+            )
+    return format_table(
+        ["device [workload]", "throughput", "per mm2", "per J"],
+        rows,
+        title="Table 4: Summary of results for MMM and BS.",
+    )
+
+
+def render_table5(derived: bool = True) -> str:
+    """Table 5: U-core parameters, derived (default) or as published."""
+    source = derived_table5() if derived else {
+        d: {k: (p, m) for k, (p, m) in row.items()}
+        for d, row in TABLE5_PUBLISHED.items()
+    }
+    columns = ["mmm", "bs", "fft-64", "fft-1024", "fft-16384"]
+    rows: List[Sequence[str]] = []
+    for device, params in source.items():
+        phi_cells = [
+            f"{params[c][0]:.2f}" if c in params else "-" for c in columns
+        ]
+        mu_cells = [
+            f"{params[c][1]:.3g}" if c in params else "-" for c in columns
+        ]
+        rows.append([f"{device} phi"] + phi_cells)
+        rows.append([f"{device} mu"] + mu_cells)
+    origin = "derived from measurements" if derived else "as published"
+    return format_table(
+        ["device/param"] + columns,
+        rows,
+        title=f"Table 5: U-core parameters ({origin}).",
+    )
+
+
+def render_table6() -> str:
+    """Table 6: technology-scaling parameters, from the live roadmap."""
+    rows = []
+    for node in ITRS_2009.nodes:
+        rows.append(
+            (
+                node.label,
+                node.year,
+                f"{node.core_area_budget_mm2:g}",
+                f"{node.core_power_budget_w:g}",
+                f"{node.bandwidth_gbps:g}",
+                f"{node.max_area_bce:g}",
+                f"{node.rel_power:g}x",
+                f"{node.rel_bandwidth:g}x",
+            )
+        )
+    return format_table(
+        ["node", "year", "die mm2", "power W", "BW GB/s", "max BCE",
+         "rel pwr", "rel BW"],
+        rows,
+        title="Table 6: Parameters assumed in technology scaling.",
+    )

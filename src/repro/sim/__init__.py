@@ -1,0 +1,10 @@
+"""Execution-timeline simulation (operational twin of the model)."""
+
+from .engine import ChipSimulator, ExecutionTrace, TraceEvent, WorkPhase
+
+__all__ = [
+    "ChipSimulator",
+    "ExecutionTrace",
+    "TraceEvent",
+    "WorkPhase",
+]

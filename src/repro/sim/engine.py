@@ -1,0 +1,212 @@
+"""Execution-timeline simulator: the analytical model, run forward.
+
+The paper's formulas are closed-form steady-state statements.  This
+module provides their operational twin: a small discrete-phase
+simulator that *executes* a program (a sequence of serial/parallel
+work items, in BCE work units) on a resolved design point, tracking
+time, instantaneous power, energy, and off-chip traffic, with the
+bandwidth ceiling enforced as a throughput clamp per phase.
+
+Its purpose is cross-validation: for any design point and any phase
+mix, the simulated wall-clock speedup must equal the analytical
+speedup and the integrated energy must equal the Figure 10 energy
+model (tests assert both to floating-point accuracy).  It also gives
+downstream users an execution trace to inspect -- including stalls,
+which the closed form can only express as a lower aggregate rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.chip import ChipModel
+from ..core.constraints import Budget
+from ..core.optimizer import DesignPoint
+from ..errors import ModelError
+
+__all__ = ["WorkPhase", "TraceEvent", "ExecutionTrace", "ChipSimulator"]
+
+
+@dataclass(frozen=True)
+class WorkPhase:
+    """One program phase: an amount of work, serial or parallel.
+
+    ``work`` is in BCE work units: one BCE core retires one unit per
+    unit time.  The default program for a parallel fraction ``f`` is
+    ``[WorkPhase(1-f, serial=True), WorkPhase(f, serial=False)]``.
+    """
+
+    work: float
+    serial: bool
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ModelError(f"work must be >= 0, got {self.work}")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed phase in the timeline."""
+
+    start: float
+    duration: float
+    phase: WorkPhase
+    throughput: float
+    power: float
+    offchip_rate: float
+    bandwidth_stalled: bool
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def energy(self) -> float:
+        return self.power * self.duration
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """Complete run: events plus aggregate statistics."""
+
+    events: Tuple[TraceEvent, ...]
+    baseline_time: float
+
+    @property
+    def total_time(self) -> float:
+        return sum(e.duration for e in self.events)
+
+    @property
+    def total_energy(self) -> float:
+        return sum(e.energy for e in self.events)
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup vs one BCE running the same program."""
+        return self.baseline_time / self.total_time
+
+    @property
+    def average_power(self) -> float:
+        return self.total_energy / self.total_time
+
+    @property
+    def peak_power(self) -> float:
+        return max(e.power for e in self.events)
+
+    def stalled_time(self) -> float:
+        """Time spent in bandwidth-clamped phases."""
+        return sum(
+            e.duration for e in self.events if e.bandwidth_stalled
+        )
+
+
+class ChipSimulator:
+    """Executes phase programs on a resolved design point.
+
+    Args:
+        chip: the machine organisation.
+        point: an optimizer design point (fixes n and r).
+        budget: the budget the point was resolved under (supplies the
+            bandwidth ceiling and alpha).
+        rel_power: ITRS circuit power factor for the node (scales all
+            power draw, as in the energy model).
+    """
+
+    def __init__(
+        self,
+        chip: ChipModel,
+        point: DesignPoint,
+        budget: Budget,
+        rel_power: float = 1.0,
+    ):
+        if rel_power <= 0:
+            raise ModelError(
+                f"rel_power must be positive, got {rel_power}"
+            )
+        self.chip = chip
+        self.point = point
+        self.budget = budget
+        self.rel_power = rel_power
+
+    # ---------------------------------------------------------- phases
+    def _serial_rate_and_power(self) -> Tuple[float, float, float]:
+        rate = self.chip.perf_seq(self.point.r)
+        power = self.chip.serial_power(self.point.r, self.budget.alpha)
+        # Bandwidth scales linearly with performance (Section 3.2).
+        offchip = rate
+        return rate, power, offchip
+
+    def _parallel_rate_and_power(self) -> Tuple[float, float, float, bool]:
+        n, r = self.point.n, self.point.r
+        raw_rate = self.chip.parallel_perf(n, r)
+        power = self.chip.parallel_power(n, r, self.budget.alpha)
+        stalled = False
+        rate = raw_rate
+        if (
+            math.isfinite(self.budget.bandwidth)
+            and raw_rate > self.budget.bandwidth * (1.0 + 1e-9)
+        ):
+            # The pins cannot feed the fabric: the fabric idles between
+            # transfers.  Throughput clamps to the ceiling and active
+            # power scales with the duty cycle (idle slices gate off).
+            duty = self.budget.bandwidth / raw_rate
+            rate = self.budget.bandwidth
+            power *= duty
+            stalled = True
+        return rate, power, rate, stalled
+
+    # ------------------------------------------------------------- run
+    def run(self, phases: Sequence[WorkPhase]) -> ExecutionTrace:
+        """Execute a phase program; returns the full trace."""
+        if not phases:
+            raise ModelError("program needs at least one phase")
+        events: List[TraceEvent] = []
+        clock = 0.0
+        baseline = 0.0
+        for phase in phases:
+            baseline += phase.work  # one BCE: one unit per unit time
+            if phase.work == 0.0:
+                continue
+            if phase.serial:
+                rate, power, offchip = self._serial_rate_and_power()
+                stalled = False
+            else:
+                if self.point.n <= self.point.r and (
+                    self.chip.model_id not in ("symmetric", "dynamic")
+                ):
+                    raise ModelError(
+                        f"{self.chip.label} design point has no "
+                        f"parallel fabric for a parallel phase"
+                    )
+                rate, power, offchip, stalled = (
+                    self._parallel_rate_and_power()
+                )
+            duration = phase.work / rate
+            events.append(
+                TraceEvent(
+                    start=clock,
+                    duration=duration,
+                    phase=phase,
+                    throughput=rate,
+                    power=power * self.rel_power,
+                    offchip_rate=offchip,
+                    bandwidth_stalled=stalled,
+                )
+            )
+            clock += duration
+        if not events:
+            raise ModelError("program contained no non-empty phases")
+        return ExecutionTrace(events=tuple(events), baseline_time=baseline)
+
+    def run_fraction(self, f: float) -> ExecutionTrace:
+        """Run the canonical two-phase program for parallel fraction f."""
+        if not 0.0 <= f <= 1.0:
+            raise ModelError(f"f must be within [0, 1], got {f}")
+        phases = []
+        if f < 1.0:
+            phases.append(WorkPhase(1.0 - f, serial=True))
+        if f > 0.0:
+            phases.append(WorkPhase(f, serial=False))
+        return self.run(phases)

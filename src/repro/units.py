@@ -1,0 +1,115 @@
+"""Units, conversion helpers, and technology-node arithmetic.
+
+The paper expresses every model quantity relative to a Base Core
+Equivalent (BCE): areas in BCE cores, power in BCE active power, and
+bandwidth in BCE compulsory bandwidth.  This module provides the raw
+physical-unit helpers used to convert measured values (mm^2, watts,
+GB/s, GFLOP/s) into those relative units, plus the area/power scaling
+factors used to normalise devices fabricated in different technology
+nodes onto a common node (Section 5 of the paper normalises everything
+to 40/45 nm before comparing devices).
+"""
+
+from __future__ import annotations
+
+from .errors import ModelError
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "KNOWN_NODES_NM",
+    "RELATIVE_POWER_PER_TRANSISTOR",
+    "area_scale_factor",
+    "power_scale_factor",
+    "gflops",
+    "gbytes_per_sec",
+    "seconds_per_op",
+]
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+#: Technology nodes (nm) referenced anywhere in the paper: the measured
+#: devices (65/55/45/40 nm) and the ITRS projection nodes (40 -> 11 nm).
+KNOWN_NODES_NM = (65, 55, 45, 40, 32, 22, 16, 11)
+
+#: Switching power per transistor relative to the 40 nm node.  Values for
+#: 40-11 nm are Table 6 of the paper ("Rel. pwr per transistor"); values
+#: for the older measured nodes (65/55/45 nm) extend the same ITRS 2009
+#: trend backwards and are used only to normalise measured device power
+#: onto the 40 nm baseline.
+RELATIVE_POWER_PER_TRANSISTOR = {
+    65: 1.80,
+    55: 1.40,
+    45: 1.10,
+    40: 1.00,
+    32: 0.75,
+    22: 0.50,
+    16: 0.36,
+    11: 0.25,
+}
+
+
+def _check_node(node_nm: float) -> None:
+    if node_nm <= 0:
+        raise ModelError(f"technology node must be positive, got {node_nm}")
+
+
+def area_scale_factor(from_nm: float, to_nm: float) -> float:
+    """Factor by which a block's area changes moving between nodes.
+
+    Transistor density doubles roughly per full node; equivalently,
+    printed area scales with the square of the feature-size ratio.  A
+    65 nm ASIC block re-printed at 40 nm occupies
+    ``area * area_scale_factor(65, 40) ~= area * 0.379``.
+    """
+    _check_node(from_nm)
+    _check_node(to_nm)
+    return (to_nm / from_nm) ** 2
+
+
+def power_scale_factor(from_nm: float, to_nm: float) -> float:
+    """Factor by which a block's switching power changes between nodes.
+
+    Uses the ITRS-derived relative power-per-transistor trend
+    (:data:`RELATIVE_POWER_PER_TRANSISTOR`).  Nodes must be members of
+    :data:`KNOWN_NODES_NM`; there is no interpolation because the paper
+    only ever compares devices at these nodes.
+    """
+    try:
+        return (
+            RELATIVE_POWER_PER_TRANSISTOR[to_nm]
+            / RELATIVE_POWER_PER_TRANSISTOR[from_nm]
+        )
+    except KeyError as exc:
+        raise ModelError(
+            f"unknown technology node {exc.args[0]} nm; known nodes are "
+            f"{sorted(RELATIVE_POWER_PER_TRANSISTOR)}"
+        ) from None
+
+
+def gflops(ops: float, seconds: float) -> float:
+    """Throughput in GFLOP/s for `ops` floating-point operations."""
+    if seconds <= 0:
+        raise ModelError(f"elapsed time must be positive, got {seconds}")
+    return ops / seconds / GIGA
+
+
+def gbytes_per_sec(nbytes: float, seconds: float) -> float:
+    """Bandwidth in GB/s for `nbytes` transferred in `seconds`."""
+    if seconds <= 0:
+        raise ModelError(f"elapsed time must be positive, got {seconds}")
+    return nbytes / seconds / GIGA
+
+
+def seconds_per_op(throughput_per_sec: float) -> float:
+    """Invert a throughput (units/s) into a per-unit latency."""
+    if throughput_per_sec <= 0:
+        raise ModelError(
+            f"throughput must be positive, got {throughput_per_sec}"
+        )
+    return 1.0 / throughput_per_sec

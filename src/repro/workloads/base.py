@@ -1,0 +1,121 @@
+"""Workload abstraction: operation counts and arithmetic intensity.
+
+The model consumes exactly two workload properties (Section 3.2 and the
+footnotes of Section 6):
+
+* an **operation count** for a given problem size, which defines the
+  "pseudo-FLOPs" (or options) that performance is measured in, and
+* a **compulsory byte count** -- the off-chip traffic a computation must
+  incur even with perfect on-chip reuse -- whose ratio to the operation
+  count is the arithmetic intensity.
+
+Concrete workloads also implement :meth:`Workload.run`, a functional
+reference kernel used by tests and the measurement harness to validate
+the counts from first principles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ModelError
+
+__all__ = ["KernelRun", "Workload"]
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Outcome of executing a reference kernel once.
+
+    Attributes:
+        workload: workload name.
+        size: problem size the kernel ran at.
+        ops: operations performed (pseudo-FLOPs or options).
+        compulsory_bytes: minimum off-chip traffic for this run.
+        output: kernel output (for validation against references).
+    """
+
+    workload: str
+    size: int
+    ops: float
+    compulsory_bytes: float
+    output: Any
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operations per compulsory byte."""
+        return self.ops / self.compulsory_bytes
+
+
+class Workload(ABC):
+    """A kernel characterised by op and compulsory-byte counts."""
+
+    #: registry key, e.g. ``"fft"``.
+    name: str = "abstract"
+    #: human-readable name as printed in the paper's tables.
+    title: str = "abstract workload"
+    #: unit of work performance is reported in (``"flop"``/``"option"``).
+    unit: str = "flop"
+
+    def _check_size(self, size: int) -> int:
+        if size < self.min_size():
+            raise ModelError(
+                f"{self.name} requires size >= {self.min_size()}, "
+                f"got {size}"
+            )
+        return size
+
+    def min_size(self) -> int:
+        """Smallest meaningful problem size."""
+        return 1
+
+    @abstractmethod
+    def ops(self, size: int) -> float:
+        """Operations required at problem size ``size``."""
+
+    @abstractmethod
+    def compulsory_bytes(self, size: int) -> float:
+        """Minimum off-chip bytes moved at problem size ``size``."""
+
+    @abstractmethod
+    def run(self, size: int, rng: Any = None) -> KernelRun:
+        """Execute the reference kernel (functional implementation)."""
+
+    def arithmetic_intensity(self, size: int) -> float:
+        """Operations per compulsory byte (flops/byte)."""
+        return self.ops(size) / self.compulsory_bytes(size)
+
+    def bytes_per_op(self, size: int) -> float:
+        """Compulsory bytes per operation -- the paper's AI reciprocal."""
+        return 1.0 / self.arithmetic_intensity(size)
+
+    def work_units(self, size: int) -> float:
+        """Work in the unit throughput is denominated in.
+
+        For FLOP-denominated workloads this equals :meth:`ops`; for
+        Black-Scholes, whose throughput is options/s, it is the option
+        count.  Bandwidth conversions must use this so that
+        ``bytes_per_work_unit * throughput`` is a traffic rate.
+        """
+        return self.ops(size)
+
+    def bytes_per_work_unit(self, size: int) -> float:
+        """Compulsory bytes per throughput-unit of work.
+
+        This is the quantity the Section 6 projections use to convert a
+        device's measured rate into bandwidth demand: 0.32 bytes/flop
+        for FFT-1024, 0.0313 bytes/flop for block-128 MMM, and
+        10 bytes/option for Black-Scholes.
+        """
+        return self.compulsory_bytes(size) / self.work_units(size)
+
+    def performance_unit(self, giga: bool = True) -> str:
+        """Label for throughput, e.g. ``"GFLOP/s"`` or ``"Mopts/s"``."""
+        if self.unit == "flop":
+            return "GFLOP/s" if giga else "FLOP/s"
+        return "Mopts/s" if giga else "options/s"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.name}>"

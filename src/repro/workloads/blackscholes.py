@@ -1,0 +1,156 @@
+"""Black-Scholes option pricing workload.
+
+The paper prices European options with the closed-form Black-Scholes
+formula (PARSEC's ``blackscholes`` on the CPU, Nvidia reference code on
+the GPU, a generated arithmetic pipeline on the FPGA/ASIC).  Throughput
+is reported in options per second, and the compulsory traffic is
+**10 bytes per option** (Section 6): five single-precision inputs
+(spot, strike, rate, volatility, expiry) amortised by batching both
+call and put outputs per record, as PARSEC's record layout does.
+
+The reference kernel prices calls and puts in closed form using a
+vectorised normal CDF built from :func:`math.erf` semantics on numpy
+arrays -- no scipy dependency -- and is validated in tests against
+put-call parity, monotonicity, and known values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import KernelRun, Workload
+
+__all__ = [
+    "BlackScholesWorkload",
+    "OptionBatch",
+    "black_scholes_price",
+    "norm_cdf",
+]
+
+#: compulsory off-chip traffic per priced option (paper, Section 6).
+BYTES_PER_OPTION = 10.0
+
+#: Approximate floating-point work per option in our reference kernel:
+#: ~20 elementary arithmetic ops plus two exp/log/sqrt/erf groups
+#: costed at polynomial-expansion rates.  Used only when converting
+#: option throughput to a flop-denominated rate for cross-workload
+#: comparisons; the model itself works in options.
+OPS_PER_OPTION = 50.0
+
+
+def norm_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF, vectorised: ``0.5 * (1 + erf(x / sqrt 2))``."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * (1.0 + np.vectorize(math.erf)(x / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class OptionBatch:
+    """A batch of European option parameters (all arrays same length)."""
+
+    spot: np.ndarray
+    strike: np.ndarray
+    rate: np.ndarray
+    volatility: np.ndarray
+    expiry: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.spot),
+            len(self.strike),
+            len(self.rate),
+            len(self.volatility),
+            len(self.expiry),
+        }
+        if len(lengths) != 1:
+            raise ModelError(
+                f"option parameter arrays must share a length, "
+                f"got lengths {sorted(lengths)}"
+            )
+        if np.any(self.spot <= 0) or np.any(self.strike <= 0):
+            raise ModelError("spot and strike prices must be positive")
+        if np.any(self.volatility <= 0) or np.any(self.expiry <= 0):
+            raise ModelError("volatility and expiry must be positive")
+
+    def __len__(self) -> int:
+        return len(self.spot)
+
+    @classmethod
+    def random(cls, count: int,
+               rng: Optional[np.random.Generator] = None) -> "OptionBatch":
+        """PARSEC-style random batch: realistic parameter ranges."""
+        if count < 1:
+            raise ModelError(f"batch needs at least one option, got {count}")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        return cls(
+            spot=rng.uniform(5.0, 200.0, count),
+            strike=rng.uniform(5.0, 200.0, count),
+            rate=rng.uniform(0.01, 0.1, count),
+            volatility=rng.uniform(0.05, 0.65, count),
+            expiry=rng.uniform(0.05, 2.0, count),
+        )
+
+
+def black_scholes_price(batch: OptionBatch):
+    """Closed-form call and put prices for a batch.
+
+    Returns:
+        ``(call, put)`` numpy arrays.
+    """
+    sqrt_t = np.sqrt(batch.expiry)
+    sigma_sqrt_t = batch.volatility * sqrt_t
+    d1 = (
+        np.log(batch.spot / batch.strike)
+        + (batch.rate + 0.5 * batch.volatility**2) * batch.expiry
+    ) / sigma_sqrt_t
+    d2 = d1 - sigma_sqrt_t
+    discounted_strike = batch.strike * np.exp(-batch.rate * batch.expiry)
+    call = batch.spot * norm_cdf(d1) - discounted_strike * norm_cdf(d2)
+    put = discounted_strike * norm_cdf(-d2) - batch.spot * norm_cdf(-d1)
+    return call, put
+
+
+class BlackScholesWorkload(Workload):
+    """Throughput-mode European option pricing (Black-Scholes)."""
+
+    name = "bs"
+    title = "Black-Scholes (BS)"
+    unit = "option"
+
+    def min_size(self) -> int:
+        return 1
+
+    def ops(self, size: int) -> float:
+        """Approximate flops for ``size`` options (see module docs)."""
+        self._check_size(size)
+        return OPS_PER_OPTION * size
+
+    def compulsory_bytes(self, size: int) -> float:
+        """``10 bytes / option`` (paper, Section 6)."""
+        self._check_size(size)
+        return BYTES_PER_OPTION * size
+
+    def work_units(self, size: int) -> float:
+        """Throughput is denominated in options, not flops."""
+        self._check_size(size)
+        return float(size)
+
+    def run(self, size: int,
+            rng: Optional[np.random.Generator] = None) -> KernelRun:
+        """Price a random batch with the closed-form kernel."""
+        self._check_size(size)
+        batch = OptionBatch.random(size, rng)
+        call, put = black_scholes_price(batch)
+        return KernelRun(
+            workload=self.name,
+            size=size,
+            ops=self.ops(size),
+            compulsory_bytes=self.compulsory_bytes(size),
+            output=(call, put),
+        )

@@ -1,0 +1,134 @@
+"""Fast Fourier Transform workload (single precision, complex).
+
+Performance for FFT is reported in "pseudo-GFLOP/s" with the standard
+radix-2 operation count ``5 * N * log2(N)`` (Figure 2's caption).  The
+compulsory traffic for one throughput-mode transform of N complex
+single-precision points is ``16 * N`` bytes: 8N in (read) and 8N out
+(write).  Arithmetic intensity is therefore (footnote 2):
+
+    AI(N) = 5 N log2 N / (16 N) = 0.3125 * log2 N   [flops/byte]
+
+The paper's projections use FFT-1024, i.e. 0.32 bytes/flop.
+
+The reference kernel is an iterative radix-2 decimation-in-time
+Cooley-Tukey FFT implemented directly on numpy arrays (no calls into
+``numpy.fft``), so tests can validate it against ``numpy.fft.fft`` and
+against algebraic FFT properties (linearity, Parseval, impulse).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import KernelRun, Workload
+
+__all__ = ["FFTWorkload", "fft_radix2", "bit_reverse_permutation"]
+
+#: complex64 element size in bytes (single-precision complex).
+_COMPLEX_BYTES = 8
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses ``log2(n)``-bit indices."""
+    if n < 1 or n & (n - 1):
+        raise ModelError(f"FFT size must be a power of two, got {n}")
+    bits = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        reversed_indices = (reversed_indices << 1) | (indices & 1)
+        indices >>= 1
+    return reversed_indices
+
+
+def fft_radix2(x: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 DIT FFT of a power-of-two-length vector.
+
+    Implements the textbook Cooley-Tukey dataflow: bit-reverse the
+    input, then ``log2(N)`` butterfly stages with stage-local twiddle
+    factors.  Works on (and returns) ``complex64`` to match the paper's
+    single-precision setting.
+    """
+    x = np.asarray(x)
+    n = x.shape[0]
+    if n < 1 or n & (n - 1):
+        raise ModelError(f"FFT size must be a power of two, got {n}")
+    out = x.astype(np.complex64)[bit_reverse_permutation(n)].copy()
+    stages = n.bit_length() - 1
+    for stage in range(1, stages + 1):
+        span = 1 << stage  # butterfly group size at this stage
+        half = span >> 1
+        # One twiddle per butterfly lane, shared by every group.
+        twiddle = np.exp(
+            -2j * np.pi * np.arange(half) / span
+        ).astype(np.complex64)
+        work = out.reshape(n // span, span)
+        evens = work[:, :half]
+        odds = work[:, half:] * twiddle
+        work[:, :half], work[:, half:] = evens + odds, evens - odds
+    return out
+
+
+class FFTWorkload(Workload):
+    """Throughput-mode single-precision complex FFT."""
+
+    name = "fft"
+    title = "Fast Fourier Transform (FFT)"
+    unit = "flop"
+
+    #: FFT sizes whose U-core parameters Table 5 reports.
+    TABLE5_SIZES = (64, 1024, 16384)
+    #: size assumed by the Section 6 projections.
+    PROJECTION_SIZE = 1024
+
+    def min_size(self) -> int:
+        return 2
+
+    def _check_pow2(self, size: int) -> None:
+        self._check_size(size)
+        if size & (size - 1):
+            raise ModelError(
+                f"FFT size must be a power of two, got {size}"
+            )
+
+    def ops(self, size: int) -> float:
+        """Pseudo-FLOPs of one transform: ``5 N log2 N``."""
+        self._check_pow2(size)
+        return 5.0 * size * math.log2(size)
+
+    def compulsory_bytes(self, size: int) -> float:
+        """Streaming traffic of one transform: 8N in + 8N out."""
+        self._check_pow2(size)
+        return 2.0 * _COMPLEX_BYTES * size
+
+    def arithmetic_intensity(self, size: int) -> float:
+        """``0.3125 * log2 N`` flops per byte (paper footnote 2)."""
+        self._check_pow2(size)
+        return 0.3125 * math.log2(size)
+
+    def run(self, size: int,
+            rng: Optional[np.random.Generator] = None) -> KernelRun:
+        """Transform one random complex vector with the real kernel."""
+        self._check_pow2(size)
+        if rng is None:
+            rng = np.random.default_rng(0)
+        x = (
+            rng.standard_normal(size) + 1j * rng.standard_normal(size)
+        ).astype(np.complex64)
+        y = fft_radix2(x)
+        return KernelRun(
+            workload=self.name,
+            size=size,
+            ops=self.ops(size),
+            compulsory_bytes=self.compulsory_bytes(size),
+            output=y,
+        )
+
+    @staticmethod
+    def reference(x: np.ndarray) -> np.ndarray:
+        """Ground-truth transform used by tests (delegates to numpy)."""
+        return np.fft.fft(np.asarray(x, dtype=np.complex128))

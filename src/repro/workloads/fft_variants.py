@@ -1,0 +1,126 @@
+"""FFT algorithm variants: radix-4 and real-input transforms.
+
+The paper's FFT datapoints come from Spiral, whose strength is
+exploring a *space* of FFT algorithms rather than one fixed dataflow.
+This module adds the two variants most relevant to hardware and SIMD
+implementations, both validated against ``numpy.fft`` in the tests:
+
+* :func:`fft_radix4` -- recursive radix-4 decimation-in-time (fewer
+  twiddle multiplications than radix-2: the j-multiples are free);
+  falls back to a radix-2 stage when ``log2 N`` is odd.
+* :func:`rfft_packed` -- real-input FFT of length N via one complex
+  FFT of length N/2 (the classic packing trick), returning the
+  ``N/2 + 1`` non-redundant bins.
+
+Operation counts: radix-4 needs ~25% fewer real multiplies than
+radix-2 (the pseudo-FLOP metric 5N·log2 N is *algorithm-independent*
+by definition, which is why the paper can compare devices running
+different FFT algorithms); the real transform halves both work and
+compulsory traffic, captured by :func:`rfft_ops` / :func:`rfft_bytes`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ModelError
+from .fft import fft_radix2
+
+__all__ = [
+    "fft_radix4",
+    "rfft_packed",
+    "rfft_ops",
+    "rfft_bytes",
+]
+
+
+def _check_pow2(n: int) -> None:
+    if n < 1 or n & (n - 1):
+        raise ModelError(f"FFT size must be a power of two, got {n}")
+
+
+def fft_radix4(x: np.ndarray) -> np.ndarray:
+    """Recursive radix-4 DIT FFT (radix-2 stage when log2 N is odd)."""
+    x = np.asarray(x, dtype=np.complex64)
+    n = x.shape[0]
+    _check_pow2(n)
+    if n == 1:
+        return x.copy()
+    if n == 2:
+        return np.array(
+            [x[0] + x[1], x[0] - x[1]], dtype=np.complex64
+        )
+    if n % 4:
+        # log2 N odd: peel one radix-2 stage, recurse on halves.
+        evens = fft_radix4(x[0::2])
+        odds = fft_radix4(x[1::2])
+        twiddle = np.exp(
+            -2j * np.pi * np.arange(n // 2) / n
+        ).astype(np.complex64)
+        odds = odds * twiddle
+        return np.concatenate([evens + odds, evens - odds])
+    quarter = n // 4
+    f0 = fft_radix4(x[0::4])
+    f1 = fft_radix4(x[1::4])
+    f2 = fft_radix4(x[2::4])
+    f3 = fft_radix4(x[3::4])
+    k = np.arange(quarter)
+    w1 = np.exp(-2j * np.pi * k / n).astype(np.complex64)
+    w2 = (w1 * w1).astype(np.complex64)
+    w3 = (w2 * w1).astype(np.complex64)
+    a = f0
+    b = w1 * f1
+    c = w2 * f2
+    d = w3 * f3
+    out = np.empty(n, dtype=np.complex64)
+    out[0 * quarter:1 * quarter] = a + b + c + d
+    out[1 * quarter:2 * quarter] = a - 1j * b - c + 1j * d
+    out[2 * quarter:3 * quarter] = a - b + c - d
+    out[3 * quarter:4 * quarter] = a + 1j * b - c - 1j * d
+    return out
+
+
+def rfft_packed(x: np.ndarray) -> np.ndarray:
+    """Real-input FFT via one half-length complex FFT.
+
+    Packs even samples into the real part and odd samples into the
+    imaginary part of an N/2-point complex vector, transforms once,
+    then untangles the spectra.  Returns bins ``0 .. N/2`` (the rest
+    are conjugate-symmetric).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    n = x.shape[0]
+    _check_pow2(n)
+    if n < 4:
+        raise ModelError(
+            f"packed real FFT needs at least 4 points, got {n}"
+        )
+    half = n // 2
+    packed = (x[0::2] + 1j * x[1::2]).astype(np.complex64)
+    z = fft_radix2(packed)
+    # Unpack: Z[k] = E[k] + jO[k] with E/O the even/odd spectra.
+    z_conj = np.conj(np.roll(z[::-1], 1))  # Z*[(half - k) mod half]
+    even_spec = 0.5 * (z + z_conj)
+    odd_spec = -0.5j * (z - z_conj)
+    k = np.arange(half)
+    twiddle = np.exp(-2j * np.pi * k / n)
+    out = np.empty(half + 1, dtype=np.complex64)
+    out[:half] = even_spec + twiddle * odd_spec
+    out[half] = even_spec[0] - odd_spec[0]  # Nyquist bin
+    return out
+
+
+def rfft_ops(n: int) -> float:
+    """Pseudo-FLOPs of a real transform: half the complex count."""
+    _check_pow2(n)
+    if n < 4:
+        raise ModelError(f"real FFT size must be >= 4, got {n}")
+    return 0.5 * 5.0 * n * math.log2(n)
+
+
+def rfft_bytes(n: int) -> float:
+    """Compulsory traffic: 4N bytes in (real), ~4N out (half spectrum)."""
+    _check_pow2(n)
+    return 4.0 * n + 8.0 * (n // 2 + 1)

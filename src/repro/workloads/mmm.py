@@ -1,0 +1,128 @@
+"""Dense Matrix-Matrix Multiplication workload (single precision).
+
+MMM performs ``2 * N^3`` flops on ``N x N`` matrices.  With the operand
+matrices blocked at ``b x b`` tiles held on chip, every tile of A and B
+is streamed from memory once per tile-row/column pass, giving
+``2 * 4 * N^2 * (N / b)`` compulsory bytes and therefore (footnote 3):
+
+    AI(b) = 2 N^3 / (8 N^3 / b) = b / 4   [flops/byte]
+
+The paper blocks at ``b = 128``, i.e. 0.0313 bytes/flop, and *exempts*
+the ASIC MMM U-core from the bandwidth bound entirely because its 40 nm
+design sustains blocks of N >= 2048 (AI >= 512 flops/byte).
+
+The reference kernel is a cache-blocked triple loop over numpy tile
+``dot`` products -- structurally the algorithm whose traffic the AI
+formula models -- validated against ``numpy.matmul``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import KernelRun, Workload
+
+__all__ = ["MMMWorkload", "blocked_matmul"]
+
+_FLOAT_BYTES = 4
+
+
+def blocked_matmul(a: np.ndarray, b: np.ndarray,
+                   block: int = 128) -> np.ndarray:
+    """Multiply square matrices using ``block x block`` tiles.
+
+    The k-loop is innermost over tiles so each C tile accumulates in
+    "on-chip" storage while A and B tiles stream through -- the access
+    pattern behind the paper's compulsory-bandwidth model for MMM.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ModelError("blocked_matmul expects 2-D matrices")
+    n, inner = a.shape
+    inner_b, m = b.shape
+    if inner != inner_b:
+        raise ModelError(
+            f"incompatible shapes for matmul: {a.shape} x {b.shape}"
+        )
+    if block < 1:
+        raise ModelError(f"block size must be >= 1, got {block}")
+    c = np.zeros((n, m), dtype=np.result_type(a, b, np.float32))
+    for i0 in range(0, n, block):
+        i1 = min(i0 + block, n)
+        for j0 in range(0, m, block):
+            j1 = min(j0 + block, m)
+            tile = c[i0:i1, j0:j1]
+            for k0 in range(0, inner, block):
+                k1 = min(k0 + block, inner)
+                tile += a[i0:i1, k0:k1] @ b[k0:k1, j0:j1]
+    return c
+
+
+class MMMWorkload(Workload):
+    """Throughput-mode single-precision dense matrix multiplication."""
+
+    name = "mmm"
+    title = "Dense Matrix Multiplication (MMM)"
+    unit = "flop"
+
+    #: tile edge assumed by the paper when computing compulsory traffic.
+    DEFAULT_BLOCK = 128
+
+    def __init__(self, block: int = DEFAULT_BLOCK):
+        if block < 1:
+            raise ModelError(f"block size must be >= 1, got {block}")
+        self.block = block
+
+    def min_size(self) -> int:
+        return 1
+
+    def ops(self, size: int) -> float:
+        """Flops of one ``N x N`` multiply: ``2 N^3``."""
+        self._check_size(size)
+        return 2.0 * float(size) ** 3
+
+    def compulsory_bytes(self, size: int) -> float:
+        """Traffic with on-chip tiles of edge ``min(block, N)``.
+
+        ``2 * 4 * N^2 * (N / b)`` bytes: both operand matrices are
+        re-streamed once per tile pass.  When the whole problem fits a
+        single tile (``N <= b``) this degenerates to reading A and B
+        once, ``8 N^2`` bytes.
+        """
+        self._check_size(size)
+        effective_block = min(self.block, size)
+        passes = size / effective_block
+        return 2.0 * _FLOAT_BYTES * float(size) ** 2 * passes
+
+    def arithmetic_intensity(self, size: int) -> float:
+        """``min(block, N) / 4`` flops per byte (paper footnote 3)."""
+        self._check_size(size)
+        return min(self.block, size) / 4.0
+
+    def run(self, size: int,
+            rng: Optional[np.random.Generator] = None) -> KernelRun:
+        """Multiply two random matrices with the blocked kernel."""
+        self._check_size(size)
+        if rng is None:
+            rng = np.random.default_rng(0)
+        a = rng.standard_normal((size, size)).astype(np.float32)
+        b = rng.standard_normal((size, size)).astype(np.float32)
+        c = blocked_matmul(a, b, self.block)
+        return KernelRun(
+            workload=self.name,
+            size=size,
+            ops=self.ops(size),
+            compulsory_bytes=self.compulsory_bytes(size),
+            output=c,
+        )
+
+    @staticmethod
+    def reference(a: np.ndarray, b: np.ndarray) -> Any:
+        """Ground-truth product used by tests (delegates to numpy)."""
+        return np.asarray(a, dtype=np.float64) @ np.asarray(
+            b, dtype=np.float64
+        )

@@ -1,0 +1,92 @@
+"""Workload registry (Table 3's rows, as code).
+
+Maps the paper's three workload names onto their :class:`Workload`
+implementations and records which device each workload was implemented
+with in the original study (Table 3), so reports can regenerate that
+table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import UnknownWorkloadError
+from .base import Workload
+from .blackscholes import BlackScholesWorkload
+from .fft import FFTWorkload
+from .mmm import MMMWorkload
+from .spmv import SpMVWorkload
+from .stencil import StencilWorkload
+
+__all__ = [
+    "WORKLOADS",
+    "EXTENSION_WORKLOADS",
+    "TABLE3_IMPLEMENTATIONS",
+    "get_workload",
+    "workload_names",
+    "all_workload_names",
+]
+
+#: The paper's workloads (Table 3), keyed by registry name.
+WORKLOADS: Dict[str, Workload] = {
+    wl.name: wl
+    for wl in (MMMWorkload(), FFTWorkload(), BlackScholesWorkload())
+}
+
+#: Extension workloads beyond the paper's three.  They share the same
+#: abstraction (ops + compulsory traffic + reference kernel) but have
+#: no published calibration data -- users supply their own U-core
+#: measurements to project them.
+EXTENSION_WORKLOADS: Dict[str, Workload] = {
+    wl.name: wl for wl in (SpMVWorkload(), StencilWorkload())
+}
+
+#: Table 3 of the paper: which implementation each device ran.
+#: ``None`` marks combinations the authors could not obtain.
+TABLE3_IMPLEMENTATIONS: Dict[str, Dict[str, str]] = {
+    "mmm": {
+        "Core i7-960": "MKL 10.2.3",
+        "GTX285": "CUBLAS 2.3",
+        "GTX480": "CUBLAS 3.0/3.1beta",
+        "R5870": "CAL++",
+        "LX760": "Bluespec (by hand)",
+        "ASIC": "Bluespec (by hand)",
+    },
+    "fft": {
+        "Core i7-960": "Spiral",
+        "GTX285": "CUFFT 2.3/3.0/3.1beta",
+        "GTX480": "CUFFT 3.0/3.1beta",
+        "R5870": None,
+        "LX760": "Verilog (Spiral-generated)",
+        "ASIC": "Verilog (Spiral-generated)",
+    },
+    "bs": {
+        "Core i7-960": "PARSEC (modified)",
+        "GTX285": "CUDA 2.3",
+        "GTX480": "CUDA 3.1 ref.",
+        "R5870": None,
+        "LX760": "Verilog (generated)",
+        "ASIC": "Verilog (generated)",
+    },
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (paper or extension registry)."""
+    if name in WORKLOADS:
+        return WORKLOADS[name]
+    if name in EXTENSION_WORKLOADS:
+        return EXTENSION_WORKLOADS[name]
+    raise UnknownWorkloadError(
+        f"unknown workload {name!r}; available: {all_workload_names()}"
+    )
+
+
+def workload_names() -> List[str]:
+    """The paper's workload names, in presentation order."""
+    return list(WORKLOADS)
+
+
+def all_workload_names() -> List[str]:
+    """Paper workloads followed by extension workloads."""
+    return list(WORKLOADS) + list(EXTENSION_WORKLOADS)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsymmetricOffloadCMP,
+    Budget,
+    HeterogeneousChip,
+    SymmetricCMP,
+    UCore,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for kernel tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def basic_budget():
+    """A small, all-constraints-finite budget."""
+    return Budget(area=19.0, power=10.0, bandwidth=42.0)
+
+
+@pytest.fixture
+def roomy_budget():
+    """A budget where nothing binds except area."""
+    return Budget(area=64.0, power=1e9, bandwidth=1e9)
+
+
+@pytest.fixture
+def asic_like():
+    """A custom-logic-flavoured U-core (fast, power-hungry per slice)."""
+    return UCore(name="asic-like", mu=500.0, phi=5.0, kind="asic")
+
+
+@pytest.fixture
+def gpu_like():
+    """A GPU-flavoured U-core (moderate speed, cheap power)."""
+    return UCore(name="gpu-like", mu=3.0, phi=0.6, kind="gpu")
+
+
+@pytest.fixture
+def sym_chip():
+    return SymmetricCMP()
+
+
+@pytest.fixture
+def asym_chip():
+    return AsymmetricOffloadCMP()
+
+
+@pytest.fixture
+def het_chip(gpu_like):
+    return HeterogeneousChip(gpu_like)

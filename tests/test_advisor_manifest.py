@@ -1,0 +1,167 @@
+"""Tests for the design advisor and the calibration manifest."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.metrics import Objective
+from repro.errors import InfeasibleDesignError, ModelError
+from repro.itrs.scenarios import get_scenario
+from repro.projection.advisor import (
+    Requirement,
+    advise,
+    render_advice,
+)
+from repro.reporting.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    manifest_json,
+)
+
+
+class TestRequirement:
+    def test_defaults(self):
+        req = Requirement("mmm", 0.99)
+        assert req.node_nm == 40
+        assert req.objective is Objective.MAX_SPEEDUP
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Requirement("mmm", 1.5)
+
+
+class TestAdvise:
+    def test_ranked_and_complete(self):
+        recs = advise(Requirement("mmm", 0.99, node_nm=22))
+        assert [r.rank for r in recs] == list(range(1, len(recs) + 1))
+        assert {r.label for r in recs} == {
+            "SymCMP", "AsymCMP", "LX760", "GTX285", "GTX480", "R5870",
+            "ASIC",
+        }
+
+    def test_mmm_speed_winner_is_asic(self):
+        recs = advise(Requirement("mmm", 0.999, node_nm=11))
+        assert recs[0].label == "ASIC"
+        assert "power-limited" in recs[0].rationale
+
+    def test_bandwidth_tie_broken_by_energy(self):
+        # At the FFT bandwidth ceiling several fabrics tie on speedup;
+        # the recommendation must order the tie group by energy.
+        recs = advise(Requirement("fft", 0.99, node_nm=22))
+        tied = [
+            r for r in recs
+            if r.point.speedup == pytest.approx(
+                recs[0].point.speedup, rel=0.02
+            )
+        ]
+        assert len(tied) >= 3
+        energies = [r.energy for r in tied]
+        assert energies == sorted(energies)
+        assert any(
+            "saves" in r.rationale or "ties the leader" in r.rationale
+            for r in tied[1:]
+        )
+
+    def test_energy_objective_changes_design_points(self):
+        speed = advise(Requirement("mmm", 0.9, node_nm=40))
+        frugal = advise(
+            Requirement(
+                "mmm", 0.9, node_nm=40, objective=Objective.MIN_ENERGY
+            )
+        )
+        speed_asic = next(r for r in speed if r.label == "ASIC")
+        frugal_asic = next(r for r in frugal if r.label == "ASIC")
+        assert frugal_asic.point.r <= speed_asic.point.r
+        assert frugal_asic.energy <= speed_asic.energy
+
+    def test_scenario_aware(self):
+        lean = advise(
+            Requirement(
+                "fft", 0.99, node_nm=11,
+                scenario=get_scenario("low-power"),
+            )
+        )
+        assert lean[0].label == "ASIC"
+        # Under 10W only the ASIC reaches the bandwidth ceiling.
+        assert "bandwidth-limited" in lean[0].rationale
+        runners = [r for r in lean if r.label in ("GTX285", "LX760")]
+        assert all("power-limited" in r.rationale for r in runners)
+
+    def test_infeasible_requirement(self):
+        # A die smaller than one BCE cannot host any design.
+        from repro.itrs.roadmap import ITRS_2009
+        from repro.itrs.scenarios import Scenario
+
+        sliver = Scenario(
+            name="sliver",
+            description="sub-BCE die",
+            roadmap=ITRS_2009.with_overrides(area_factor=0.04),
+        )
+        with pytest.raises(InfeasibleDesignError):
+            advise(Requirement("mmm", 0.99, node_nm=40,
+                               scenario=sliver))
+
+    def test_render(self):
+        text = render_advice(advise(Requirement("bs", 0.9)))
+        assert text.startswith("1. ")
+        assert "energy" in text
+
+
+class TestManifest:
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        return build_manifest()
+
+    def test_schema_marker(self, manifest):
+        assert manifest["schema"] == MANIFEST_SCHEMA
+
+    def test_json_round_trip(self):
+        parsed = json.loads(manifest_json())
+        assert parsed["bce"]["power_w"] == 10.0
+
+    def test_tables_present(self, manifest):
+        assert manifest["table4"]["mmm"]["R5870"][0] == 1491.0
+        assert manifest["table5_published"]["ASIC"]["mmm"] == (
+            0.79, 27.4,
+        )
+
+    def test_derived_matches_published_within_rounding(self, manifest):
+        for device, row in manifest["table5_published"].items():
+            for key, (phi_pub, mu_pub) in row.items():
+                phi, mu = manifest["table5_derived"][device][key]
+                assert mu == pytest.approx(mu_pub, rel=0.02)
+                assert phi == pytest.approx(phi_pub, rel=0.02)
+
+    def test_roadmap_rows(self, manifest):
+        roadmap = manifest["roadmap_itrs2009"]
+        assert len(roadmap) == 5
+        assert roadmap[-1]["node_nm"] == 11
+        assert roadmap[-1]["max_area_bce"] == 298.0
+
+    def test_provenance_recorded(self, manifest):
+        assert "CALIBRATION.md" in manifest["bce"]["provenance"]
+        assert "CALIBRATION.md" in manifest["fft_anchors"]["provenance"]
+
+
+class TestCliCommands:
+    def test_advise_command(self, capsys):
+        assert main(
+            ["advise", "--workload", "fft", "--f", "0.99",
+             "--node", "22"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1. " in out
+        assert "ties the leader" in out
+
+    def test_advise_with_objective(self, capsys):
+        assert main(
+            ["advise", "--workload", "mmm", "--f", "0.9",
+             "--objective", "min-energy"]
+        ) == 0
+        assert "energy" in capsys.readouterr().out
+
+    def test_manifest_command(self, capsys):
+        assert main(["manifest"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["schema"] == MANIFEST_SCHEMA

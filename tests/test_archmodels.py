@@ -1,0 +1,121 @@
+"""Tests for the peak-throughput models and rooflines."""
+
+import pytest
+
+from repro.archmodels.peaks import (
+    DEVICE_PEAKS,
+    ComputePeak,
+    efficiency_table,
+    measured_efficiency,
+    peak_gflops,
+    sanity_check_device,
+)
+from repro.archmodels.roofline import render_roofline, roofline_points
+from repro.errors import CalibrationError, ModelError
+
+
+class TestPeaks:
+    def test_i7_sse_peak(self):
+        # 4 cores x 4-wide SSE x (add + mul) x 3.2 GHz = 102.4 GFLOP/s.
+        assert peak_gflops("Core i7-960") == pytest.approx(102.4)
+
+    def test_gtx285_peak(self):
+        # 30 SMs x 8 lanes x 3 flops x 1.476 GHz ~ 1063 GFLOP/s.
+        assert peak_gflops("GTX285") == pytest.approx(1062.7, rel=1e-3)
+
+    def test_gtx480_peak(self):
+        assert peak_gflops("GTX480") == pytest.approx(1344.0)
+
+    def test_unknown_device(self):
+        with pytest.raises(CalibrationError):
+            peak_gflops("LX760")  # FPGA peak is design-dependent
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ComputePeak(device="x", units=0, lanes=4,
+                        flops_per_lane_cycle=2.0, clock_ghz=1.0)
+
+
+class TestEfficiency:
+    def test_no_measurement_exceeds_peak(self):
+        for device in DEVICE_PEAKS:
+            sanity_check_device(device)
+
+    def test_mkl_near_peak(self):
+        # MKL SGEMM on Nehalem famously runs >90% of SSE peak.
+        assert measured_efficiency("Core i7-960", "mmm") > 0.90
+
+    def test_cublas_era_efficiency(self):
+        # 2009-2010 CUBLAS SGEMM: 40-60% of theoretical GPU peak.
+        for device in ("GTX285", "GTX480", "R5870"):
+            eff = measured_efficiency(device, "mmm")
+            assert 0.3 < eff < 0.7, (device, eff)
+
+    def test_table_covers_all_modelled_devices(self):
+        table = efficiency_table()
+        assert set(table) == set(DEVICE_PEAKS)
+        assert all(0 < v <= 1 for v in table.values())
+
+    def test_non_flop_workload_rejected(self):
+        with pytest.raises(CalibrationError):
+            measured_efficiency("GTX285", "bs")
+
+
+class TestRoofline:
+    def test_mmm_compute_bound_everywhere(self):
+        # Block-128 MMM clears every modelled ridge point.
+        for device in DEVICE_PEAKS:
+            points = {
+                p.workload: p for p in roofline_points(device)
+            }
+            assert points["mmm"].compute_bound, device
+
+    def test_fft_bandwidth_bound_on_gpus(self):
+        # At 3.1 flops/byte, FFT-1024 sits under the slanted roof on
+        # every GPU (their ridges are at 6.7-17.7 flops/byte).
+        for device in ("GTX285", "GTX480", "R5870"):
+            points = {
+                p.workload: p for p in roofline_points(device)
+            }
+            assert not points["fft"].compute_bound, device
+
+    def test_attainable_is_min_of_roofs(self):
+        from repro.devices.catalog import get_device
+
+        points = {
+            p.workload: p for p in roofline_points("GTX285")
+        }
+        fft = points["fft"]
+        bw = get_device("GTX285").peak_bandwidth_gbps
+        assert fft.attainable_gflops == pytest.approx(
+            fft.intensity_flops_per_byte * bw
+        )
+
+    def test_measured_below_attainable(self):
+        for device in DEVICE_PEAKS:
+            for point in roofline_points(device):
+                if point.measured_gflops is None:
+                    continue
+                assert point.measured_gflops <= (
+                    point.attainable_gflops * (1 + 1e-9)
+                ), (device, point.workload)
+
+    def test_render(self):
+        text = render_roofline("GTX480")
+        assert "ridge" in text
+        assert "compute-bound" in text
+        assert "bandwidth-bound" in text
+
+    def test_no_bandwidth_device_rejected(self):
+        with pytest.raises(CalibrationError):
+            roofline_points("LX760")
+
+    def test_size_override(self):
+        # Tiny MMM (N=16 < block) drops the intensity to N/4.
+        points = {
+            p.workload: p
+            for p in roofline_points("GTX285", sizes={"mmm": 16})
+        }
+        assert points["mmm"].intensity_flops_per_byte == pytest.approx(
+            4.0
+        )

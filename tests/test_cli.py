@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_speedup_arguments(self):
+        args = build_parser().parse_args(
+            ["speedup", "--workload", "fft", "--f", "0.99"]
+        )
+        assert args.workload == "fft"
+        assert args.f == 0.99
+        assert args.fft_size == 1024
+        assert args.scenario == "baseline"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T5" in out
+        assert "F10" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "T6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "T1", "T2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+
+    def test_run_unknown_id_fails_cleanly(self, capsys):
+        assert main(["run", "F99"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_speedup_command(self, capsys):
+        code = main(
+            ["speedup", "--workload", "bs", "--f", "0.9"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ASIC" in out
+        assert "(ba)" in out
+
+    def test_speedup_with_scenario(self, capsys):
+        code = main(
+            [
+                "speedup", "--workload", "fft", "--f", "0.99",
+                "--scenario", "high-bandwidth",
+            ]
+        )
+        assert code == 0
+        assert "scenario=high-bandwidth" in capsys.readouterr().out
+
+    def test_bad_f_value_fails_cleanly(self, capsys):
+        assert main(["speedup", "--workload", "fft", "--f", "1.5"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_scenario_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["speedup", "--workload", "fft", "--f", "0.5",
+                  "--scenario", "utopia"])
+
+
+class TestFullRun:
+    def test_all_experiments_via_cli(self, capsys):
+        """`repro-hetsim all` regenerates every artefact cleanly."""
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 5", "Figure 6", "Figure 10",
+                       "Roofline", "chip models"):
+            assert marker in out

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.amdahl."""
+
+import math
+
+import pytest
+
+from repro.core.amdahl import (
+    MultiPhaseWorkload,
+    Phase,
+    amdahl_limit,
+    amdahl_speedup,
+    check_fraction,
+    gustafson_speedup,
+    serial_fraction_for_target,
+)
+from repro.errors import ModelError
+
+
+class TestCheckFraction:
+    def test_accepts_bounds(self):
+        assert check_fraction(0.0) == 0.0
+        assert check_fraction(1.0) == 1.0
+        assert check_fraction(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 2.0, -1e9])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ModelError):
+            check_fraction(bad)
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ModelError, match="phase fraction"):
+            check_fraction(-1.0, "phase fraction")
+
+
+class TestAmdahlSpeedup:
+    def test_no_parallel_fraction_gives_unity(self):
+        assert amdahl_speedup(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_all_parallel_equals_factor(self):
+        assert amdahl_speedup(1.0, 7.0) == pytest.approx(7.0)
+
+    def test_textbook_example(self):
+        # Half the program sped up 2x -> 1 / (0.25 + 0.5) = 4/3.
+        assert amdahl_speedup(0.5, 2.0) == pytest.approx(4.0 / 3.0)
+
+    def test_speedup_factor_below_one_slows_down(self):
+        assert amdahl_speedup(1.0, 0.5) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ModelError):
+            amdahl_speedup(0.5, 0.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelError):
+            amdahl_speedup(1.5, 2.0)
+
+
+class TestAmdahlLimit:
+    def test_limit_is_inverse_serial_fraction(self):
+        assert amdahl_limit(0.9) == pytest.approx(10.0)
+        assert amdahl_limit(0.99) == pytest.approx(100.0)
+
+    def test_fully_parallel_is_unbounded(self):
+        assert math.isinf(amdahl_limit(1.0))
+
+    def test_limit_dominates_any_finite_factor(self):
+        f = 0.95
+        assert amdahl_speedup(f, 1e12) <= amdahl_limit(f) + 1e-9
+
+
+class TestGustafson:
+    def test_serial_only(self):
+        assert gustafson_speedup(0.0, 64) == pytest.approx(1.0)
+
+    def test_linear_in_processors_when_fully_parallel(self):
+        assert gustafson_speedup(1.0, 64) == pytest.approx(64.0)
+
+    def test_exceeds_amdahl_for_same_inputs(self):
+        # Scaled speedup is far more optimistic than fixed-work speedup.
+        f, n = 0.9, 128
+        assert gustafson_speedup(f, n) > amdahl_speedup(f, n)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ModelError):
+            gustafson_speedup(0.5, 0)
+
+
+class TestSerialFractionForTarget:
+    def test_round_trip(self):
+        f = serial_fraction_for_target(10.0, 50.0)
+        assert amdahl_speedup(f, 50.0) == pytest.approx(10.0)
+
+    def test_target_of_one_needs_no_parallelism(self):
+        assert serial_fraction_for_target(1.0, 10.0) == pytest.approx(0.0)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ModelError):
+            serial_fraction_for_target(20.0, 10.0)
+
+    def test_rejects_sub_unity_target(self):
+        with pytest.raises(ModelError):
+            serial_fraction_for_target(0.5, 10.0)
+
+    def test_rejects_useless_accelerator(self):
+        with pytest.raises(ModelError):
+            serial_fraction_for_target(2.0, 1.0)
+
+
+class TestPhase:
+    def test_valid_phase(self):
+        p = Phase(0.25, 8.0)
+        assert p.fraction == 0.25
+        assert p.speedup == 8.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelError):
+            Phase(1.5, 2.0)
+
+    def test_rejects_nonpositive_speedup(self):
+        with pytest.raises(ModelError):
+            Phase(0.5, 0.0)
+
+
+class TestMultiPhaseWorkload:
+    def test_matches_two_phase_amdahl(self):
+        w = MultiPhaseWorkload.two_phase(0.9, 10.0)
+        assert w.speedup() == pytest.approx(amdahl_speedup(0.9, 10.0))
+
+    def test_three_phase_example(self):
+        w = MultiPhaseWorkload.from_pairs(
+            [(0.1, 1.0), (0.6, 8.0), (0.3, 100.0)]
+        )
+        expected = 1.0 / (0.1 + 0.6 / 8.0 + 0.3 / 100.0)
+        assert w.speedup() == pytest.approx(expected)
+
+    def test_time_is_reciprocal_of_speedup(self):
+        w = MultiPhaseWorkload.from_pairs([(0.5, 2.0), (0.5, 4.0)])
+        assert w.time() * w.speedup() == pytest.approx(1.0)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            MultiPhaseWorkload.from_pairs([(0.5, 2.0), (0.3, 4.0)])
+
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(ModelError):
+            MultiPhaseWorkload([])
+
+    def test_rescale_scales_named_phase(self):
+        w = MultiPhaseWorkload.from_pairs([(0.5, 1.0), (0.5, 10.0)])
+        w2 = w.rescale([1.0, 2.0])
+        assert w2.phases[1].speedup == pytest.approx(20.0)
+        assert w2.speedup() > w.speedup()
+
+    def test_rescale_length_mismatch(self):
+        w = MultiPhaseWorkload.two_phase(0.5, 2.0)
+        with pytest.raises(ModelError):
+            w.rescale([1.0])
+
+    def test_serial_speedup_parameter(self):
+        w = MultiPhaseWorkload.two_phase(0.5, 4.0, serial_speedup=2.0)
+        expected = 1.0 / (0.5 / 2.0 + 0.5 / 4.0)
+        assert w.speedup() == pytest.approx(expected)

@@ -1,0 +1,217 @@
+"""Unit tests for repro.core.chip (Table 1 bounds per chip model)."""
+
+import math
+
+import pytest
+
+from repro.core.chip import (
+    AsymmetricCMP,
+    AsymmetricOffloadCMP,
+    DynamicCMP,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.constraints import Budget, LimitingFactor
+from repro.core.ucore import UCore
+
+
+@pytest.fixture
+def budget():
+    return Budget(area=19.0, power=10.0, bandwidth=42.0)
+
+
+class TestSymmetricBounds:
+    def test_area_bound(self, budget, sym_chip):
+        assert sym_chip.bound_area(budget, 4) == pytest.approx(19.0)
+
+    def test_power_bound_formula(self, budget, sym_chip):
+        # n <= P / r^(alpha/2 - 1)
+        r = 4.0
+        expected = 10.0 / r ** (1.75 / 2 - 1)
+        assert sym_chip.bound_power(budget, r) == pytest.approx(expected)
+
+    def test_power_bound_r1_equals_p(self, budget, sym_chip):
+        assert sym_chip.bound_power(budget, 1) == pytest.approx(10.0)
+
+    def test_bandwidth_bound_formula(self, budget, sym_chip):
+        assert sym_chip.bound_bandwidth(budget, 4) == pytest.approx(
+            42.0 * 2.0
+        )
+
+    def test_bandwidth_infinite(self, sym_chip):
+        b = Budget(area=19.0, power=10.0)
+        assert math.isinf(sym_chip.bound_bandwidth(b, 4))
+
+    def test_parallel_power_consistency(self, sym_chip):
+        # At the power bound, aggregate parallel power equals P.
+        budget = Budget(area=1e9, power=10.0)
+        r = 4.0
+        n = sym_chip.bound_power(budget, r)
+        assert sym_chip.parallel_power(n, r, 1.75) == pytest.approx(10.0)
+
+    def test_parallel_perf(self, sym_chip):
+        assert sym_chip.parallel_perf(16, 4) == pytest.approx(8.0)
+
+
+class TestOffloadBounds:
+    def test_power_bound(self, budget, asym_chip):
+        assert asym_chip.bound_power(budget, 4) == pytest.approx(14.0)
+
+    def test_bandwidth_bound(self, budget, asym_chip):
+        assert asym_chip.bound_bandwidth(budget, 4) == pytest.approx(46.0)
+
+    def test_parallel_power_is_bce_count(self, asym_chip):
+        assert asym_chip.parallel_power(20, 4, 1.75) == pytest.approx(16.0)
+
+    def test_parallel_power_consistency(self, asym_chip):
+        budget = Budget(area=1e9, power=10.0)
+        n = asym_chip.bound_power(budget, 4)
+        assert asym_chip.parallel_power(n, 4, 1.75) == pytest.approx(10.0)
+
+
+class TestAsymmetricNonOffload:
+    def test_parallel_power_includes_fast_core(self):
+        chip = AsymmetricCMP()
+        expected = 16.0 + 4.0**0.875
+        assert chip.parallel_power(20, 4, 1.75) == pytest.approx(expected)
+
+    def test_power_bound_tighter_than_offload(self, budget):
+        on = AsymmetricCMP()
+        off = AsymmetricOffloadCMP()
+        assert on.bound_power(budget, 4) < off.bound_power(budget, 4)
+
+    def test_parallel_perf_includes_fast_core(self):
+        chip = AsymmetricCMP()
+        assert chip.parallel_perf(20, 4) == pytest.approx(18.0)
+
+
+class TestHeterogeneousBounds:
+    def test_power_bound(self, budget):
+        chip = HeterogeneousChip(UCore(name="u", mu=4.0, phi=0.5))
+        assert chip.bound_power(budget, 4) == pytest.approx(24.0)
+
+    def test_bandwidth_bound(self, budget):
+        chip = HeterogeneousChip(UCore(name="u", mu=4.0, phi=0.5))
+        assert chip.bound_bandwidth(budget, 4) == pytest.approx(14.5)
+
+    def test_low_phi_relaxes_power(self, budget):
+        tight = HeterogeneousChip(UCore(name="a", mu=4.0, phi=1.0))
+        loose = HeterogeneousChip(UCore(name="b", mu=4.0, phi=0.25))
+        assert loose.bound_power(budget, 4) > tight.bound_power(budget, 4)
+
+    def test_high_mu_tightens_bandwidth(self, budget):
+        slow = HeterogeneousChip(UCore(name="a", mu=2.0, phi=0.5))
+        fast = HeterogeneousChip(UCore(name="b", mu=500.0, phi=0.5))
+        assert fast.bound_bandwidth(budget, 4) < slow.bound_bandwidth(
+            budget, 4
+        )
+
+    def test_parallel_power_consistency(self, budget):
+        chip = HeterogeneousChip(UCore(name="u", mu=4.0, phi=0.5))
+        n = chip.bound_power(budget, 4)
+        assert chip.parallel_power(n, 4, 1.75) == pytest.approx(10.0)
+
+    def test_parallel_bandwidth_consistency(self, budget):
+        chip = HeterogeneousChip(UCore(name="u", mu=4.0, phi=0.5))
+        n = chip.bound_bandwidth(budget, 4)
+        # mu * (n - r) should equal the bandwidth budget.
+        assert chip.ucore.mu * (n - 4) == pytest.approx(42.0)
+
+    def test_label_is_ucore_name(self):
+        chip = HeterogeneousChip(UCore(name="ASIC", mu=27.4, phi=0.79))
+        assert chip.label == "ASIC"
+
+
+class TestDynamic:
+    def test_bounds_are_budget_values(self, budget):
+        chip = DynamicCMP()
+        assert chip.bound_power(budget, 4) == pytest.approx(10.0)
+        assert chip.bound_bandwidth(budget, 4) == pytest.approx(42.0)
+
+    def test_parallel_power_perf(self):
+        chip = DynamicCMP()
+        assert chip.parallel_power(32, 1, 1.75) == pytest.approx(32.0)
+        assert chip.parallel_perf(32, 1) == pytest.approx(32.0)
+
+
+class TestSerialFeasibility:
+    def test_max_serial_r_combines_bounds(self, budget, sym_chip):
+        expected = min(10.0 ** (2 / 1.75), 42.0**2, 19.0)
+        assert sym_chip.max_serial_r(budget) == pytest.approx(expected)
+
+    def test_serial_feasible_boundary(self, budget, sym_chip):
+        r_max = sym_chip.max_serial_r(budget)
+        assert sym_chip.serial_feasible(budget, r_max)
+        assert not sym_chip.serial_feasible(budget, r_max + 0.01)
+
+    def test_tight_bandwidth_limits_r(self, sym_chip):
+        # B = 2 -> r <= 4 even with lavish power.
+        b = Budget(area=100.0, power=1e9, bandwidth=2.0)
+        assert sym_chip.max_serial_r(b) == pytest.approx(4.0)
+
+    def test_area_caps_r(self, sym_chip):
+        b = Budget(area=3.0, power=1e9)
+        assert sym_chip.max_serial_r(b) == pytest.approx(3.0)
+
+    def test_bounds_returns_boundset(self, budget, sym_chip):
+        bs = sym_chip.bounds(budget, 2)
+        assert bs.n_effective <= 19.0
+        assert bs.limiter in LimitingFactor
+
+
+class TestHeterogeneousAssisted:
+    """The fast-core-stays-on variant (ablation of the paper's §3.3
+    assumption)."""
+
+    def _chips(self, mu=4.0, phi=0.5):
+        from repro.core.chip import HeterogeneousAssistedChip
+
+        ucore = UCore(name="u", mu=mu, phi=phi)
+        return (
+            HeterogeneousChip(ucore),
+            HeterogeneousAssistedChip(ucore),
+        )
+
+    def test_speedup_includes_fast_core(self):
+        off, on = self._chips()
+        f, n, r = 0.9, 20.0, 4.0
+        # Parallel rate gains perf_seq(r) = 2.
+        expected = 1.0 / (0.1 / 2.0 + 0.9 / (4.0 * 16.0 + 2.0))
+        assert on.speedup(f, n, r) == pytest.approx(expected)
+        assert on.speedup(f, n, r) > off.speedup(f, n, r)
+
+    def test_power_bound_subtracts_fast_core(self, budget):
+        off, on = self._chips()
+        # off: P/phi + r; on: (P - r^(alpha/2))/phi + r.
+        r = 4.0
+        expected = (10.0 - 4.0**0.875) / 0.5 + 4.0
+        assert on.bound_power(budget, r) == pytest.approx(expected)
+        assert on.bound_power(budget, r) < off.bound_power(budget, r)
+
+    def test_bandwidth_bound_subtracts_fast_core(self, budget):
+        _, on = self._chips()
+        expected = (42.0 - 2.0) / 4.0 + 4.0
+        assert on.bound_bandwidth(budget, 4.0) == pytest.approx(expected)
+
+    def test_power_exhausted_by_core_alone(self):
+        _, on = self._chips()
+        tiny = Budget(area=19.0, power=1.5)
+        # r = 4 costs 4^0.875 ~ 3.36 > 1.5: no fabric headroom at all.
+        assert on.bound_power(tiny, 4.0) == pytest.approx(4.0)
+
+    def test_parallel_power_and_perf(self):
+        _, on = self._chips()
+        assert on.parallel_power(20.0, 4.0, 1.75) == pytest.approx(
+            0.5 * 16.0 + 4.0**0.875
+        )
+        assert on.parallel_perf(20.0, 4.0) == pytest.approx(
+            4.0 * 16.0 + 2.0
+        )
+
+    def test_label(self):
+        _, on = self._chips()
+        assert on.label == "u+core"
+
+    def test_serial_only(self):
+        _, on = self._chips()
+        assert on.speedup(0.0, 20.0, 4.0) == pytest.approx(2.0)

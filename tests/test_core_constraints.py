@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.constraints (Budget, BoundSet)."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import BoundSet, Budget, LimitingFactor
+from repro.errors import ModelError
+
+
+class TestBudget:
+    def test_defaults(self):
+        b = Budget(area=10.0, power=5.0)
+        assert math.isinf(b.bandwidth)
+        assert b.alpha == 1.75
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(area=0.0, power=1.0),
+            dict(area=1.0, power=0.0),
+            dict(area=1.0, power=1.0, bandwidth=0.0),
+            dict(area=1.0, power=1.0, alpha=0.5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelError):
+            Budget(**kwargs)
+
+    def test_without_bandwidth(self):
+        b = Budget(area=10.0, power=5.0, bandwidth=3.0)
+        lifted = b.without_bandwidth()
+        assert math.isinf(lifted.bandwidth)
+        assert lifted.area == b.area
+        assert lifted.power == b.power
+        assert b.bandwidth == 3.0  # original unchanged
+
+    def test_scaled(self):
+        b = Budget(area=10.0, power=5.0, bandwidth=4.0)
+        s = b.scaled(area=2.0, power=0.5, bandwidth=3.0)
+        assert s.area == pytest.approx(20.0)
+        assert s.power == pytest.approx(2.5)
+        assert s.bandwidth == pytest.approx(12.0)
+
+    def test_scaled_keeps_infinite_bandwidth(self):
+        b = Budget(area=10.0, power=5.0)
+        assert math.isinf(b.scaled(bandwidth=2.0).bandwidth)
+
+    def test_frozen(self):
+        b = Budget(area=1.0, power=1.0)
+        with pytest.raises(AttributeError):
+            b.area = 5.0
+
+
+class TestBoundSet:
+    def test_effective_is_minimum(self):
+        bs = BoundSet(n_area=19.0, n_power=12.0, n_bandwidth=30.0)
+        assert bs.n_effective == pytest.approx(12.0)
+
+    def test_limiter_power(self):
+        bs = BoundSet(n_area=19.0, n_power=12.0, n_bandwidth=30.0)
+        assert bs.limiter is LimitingFactor.POWER
+
+    def test_limiter_area(self):
+        bs = BoundSet(n_area=10.0, n_power=12.0, n_bandwidth=30.0)
+        assert bs.limiter is LimitingFactor.AREA
+
+    def test_limiter_bandwidth(self):
+        bs = BoundSet(n_area=19.0, n_power=12.0, n_bandwidth=8.0)
+        assert bs.limiter is LimitingFactor.BANDWIDTH
+
+    def test_tie_prefers_bandwidth(self):
+        # A point on two ceilings reports the harder constraint.
+        bs = BoundSet(n_area=10.0, n_power=10.0, n_bandwidth=10.0)
+        assert bs.limiter is LimitingFactor.BANDWIDTH
+
+    def test_tie_power_vs_area(self):
+        bs = BoundSet(n_area=10.0, n_power=10.0, n_bandwidth=math.inf)
+        assert bs.limiter is LimitingFactor.POWER
+
+    def test_infinite_bandwidth_never_limits(self):
+        bs = BoundSet(n_area=5.0, n_power=9.0, n_bandwidth=math.inf)
+        assert bs.limiter is LimitingFactor.AREA
+
+
+class TestLimitingFactor:
+    def test_figure_styles(self):
+        assert "dashed" in LimitingFactor.POWER.figure_style
+        assert "solid" in LimitingFactor.BANDWIDTH.figure_style
+        assert "points" in LimitingFactor.AREA.figure_style
+
+    def test_values_are_stable(self):
+        # Figure annotations and CSV exports depend on these strings.
+        assert LimitingFactor.AREA.value == "area"
+        assert LimitingFactor.POWER.value == "power"
+        assert LimitingFactor.BANDWIDTH.value == "bandwidth"

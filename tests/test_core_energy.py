@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.energy (Figure 10's model)."""
+
+import pytest
+
+from repro.core.chip import (
+    AsymmetricOffloadCMP,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.energy import (
+    design_energy,
+    energy_of_point,
+    parallel_energy,
+    serial_energy,
+)
+from repro.core.optimizer import evaluate_design
+from repro.core.constraints import Budget
+from repro.core.ucore import UCore
+from repro.errors import ModelError
+
+
+class TestSerialEnergy:
+    def test_bce_baseline(self, sym_chip):
+        # All-serial run on a 1-BCE core costs exactly BCE energy.
+        assert serial_energy(0.0, 1.0, 1.75, sym_chip) == pytest.approx(
+            1.0
+        )
+
+    def test_closed_form(self, sym_chip):
+        # (1-f) * r^((alpha-1)/2) under Pollack's law.
+        f, r, alpha = 0.25, 9.0, 1.75
+        expected = 0.75 * r ** ((alpha - 1) / 2)
+        assert serial_energy(f, r, alpha, sym_chip) == pytest.approx(
+            expected
+        )
+
+    def test_fully_parallel_run_has_no_serial_energy(self, sym_chip):
+        assert serial_energy(1.0, 16.0, 1.75, sym_chip) == 0.0
+
+    def test_bigger_core_wastes_energy(self, sym_chip):
+        # alpha > 1 makes big sequential cores energy-inefficient.
+        e_small = serial_energy(0.0, 1.0, 1.75, sym_chip)
+        e_big = serial_energy(0.0, 16.0, 1.75, sym_chip)
+        assert e_big > e_small
+
+
+class TestParallelEnergy:
+    def test_heterogeneous_is_phi_over_mu(self, gpu_like):
+        # The paper's structural fact: n cancels out.
+        chip = HeterogeneousChip(gpu_like)
+        f = 0.8
+        expected = f * gpu_like.phi / gpu_like.mu
+        for n in (8.0, 64.0, 512.0):
+            assert parallel_energy(
+                f, n, 2.0, 1.75, chip
+            ) == pytest.approx(expected)
+
+    def test_symmetric_closed_form(self, sym_chip):
+        f, n, r, alpha = 0.8, 32.0, 4.0, 1.75
+        expected = f * r ** ((alpha - 1) / 2)
+        assert parallel_energy(f, n, r, alpha, sym_chip) == pytest.approx(
+            expected
+        )
+
+    def test_offload_parallel_energy_is_f(self, asym_chip):
+        assert parallel_energy(
+            0.7, 32.0, 4.0, 1.75, asym_chip
+        ) == pytest.approx(0.7)
+
+    def test_serial_run_has_no_parallel_energy(self, het_chip):
+        assert parallel_energy(0.0, 32.0, 4.0, 1.75, het_chip) == 0.0
+
+    def test_no_fabric_raises(self, gpu_like):
+        chip = HeterogeneousChip(gpu_like)
+        with pytest.raises(ModelError):
+            parallel_energy(0.5, 4.0, 4.0, 1.75, chip)
+
+
+class TestDesignEnergy:
+    def test_bce_reference_is_one(self, sym_chip):
+        assert design_energy(sym_chip, 0.5, 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_symmetric_energy_independent_of_f(self, sym_chip):
+        # rel_power * r^((alpha-1)/2) regardless of f (Amdahl fixed work).
+        energies = [
+            design_energy(sym_chip, f, 32.0, 4.0) for f in (0.1, 0.5, 0.9)
+        ]
+        assert max(energies) == pytest.approx(min(energies))
+
+    def test_rel_power_scales_linearly(self, het_chip):
+        e1 = design_energy(het_chip, 0.9, 32.0, 2.0, rel_power=1.0)
+        e2 = design_energy(het_chip, 0.9, 32.0, 2.0, rel_power=0.25)
+        assert e2 == pytest.approx(0.25 * e1)
+
+    def test_efficient_ucore_cuts_energy(self):
+        efficient = HeterogeneousChip(UCore(name="a", mu=27.4, phi=0.79))
+        inefficient = AsymmetricOffloadCMP()
+        f, n, r = 0.99, 19.0, 2.0
+        assert design_energy(efficient, f, n, r) < design_energy(
+            inefficient, f, n, r
+        )
+
+    def test_rejects_nonpositive_rel_power(self, sym_chip):
+        with pytest.raises(ModelError):
+            design_energy(sym_chip, 0.5, 4.0, 2.0, rel_power=0.0)
+
+    def test_energy_of_point_matches_design_energy(self, het_chip):
+        budget = Budget(area=19.0, power=10.0, bandwidth=42.0)
+        point = evaluate_design(het_chip, 0.9, budget, 2)
+        assert energy_of_point(het_chip, point) == pytest.approx(
+            design_energy(het_chip, 0.9, point.n, point.r)
+        )

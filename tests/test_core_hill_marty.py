@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.hill_marty speedup formulas."""
+
+import math
+
+import pytest
+
+from repro.core.hill_marty import (
+    check_resources,
+    speedup_asymmetric,
+    speedup_asymmetric_offload,
+    speedup_dynamic,
+    speedup_symmetric,
+)
+from repro.errors import ModelError
+
+
+class TestCheckResources:
+    def test_accepts_equal(self):
+        check_resources(4.0, 4.0)
+
+    def test_rejects_small_r(self):
+        with pytest.raises(ModelError):
+            check_resources(4.0, 0.5)
+
+    def test_rejects_n_below_r(self):
+        with pytest.raises(ModelError):
+            check_resources(2.0, 4.0)
+
+
+class TestSymmetric:
+    def test_single_bce_chip_is_baseline(self):
+        assert speedup_symmetric(0.5, 1, 1) == pytest.approx(1.0)
+
+    def test_fully_serial_equals_perf_seq(self):
+        assert speedup_symmetric(0.0, 16, 4) == pytest.approx(2.0)
+
+    def test_fully_parallel_uses_all_cores(self):
+        # n=16, r=4: 4 cores of perf 2 -> aggregate 8.
+        assert speedup_symmetric(1.0, 16, 4) == pytest.approx(8.0)
+
+    def test_hill_marty_formula_exact(self):
+        f, n, r = 0.9, 64, 4
+        expected = 1.0 / (
+            (1 - f) / math.sqrt(r) + f / ((n / r) * math.sqrt(r))
+        )
+        assert speedup_symmetric(f, n, r) == pytest.approx(expected)
+
+    def test_bce_sea_matches_classic_amdahl(self):
+        # r=1: n BCE cores, classic Amdahl with s=n.
+        f, n = 0.95, 256
+        assert speedup_symmetric(f, n, 1) == pytest.approx(
+            1.0 / ((1 - f) + f / n)
+        )
+
+    def test_custom_perf_law(self):
+        # Linear perf law turns symmetric into perfect scaling.
+        assert speedup_symmetric(
+            1.0, 16, 4, perf_seq=lambda r: r
+        ) == pytest.approx(16.0)
+
+
+class TestAsymmetric:
+    def test_fast_core_helps_in_parallel(self):
+        f, n, r = 0.9, 64, 4
+        expected = 1.0 / (
+            (1 - f) / 2.0 + f / (2.0 + 60.0)
+        )
+        assert speedup_asymmetric(f, n, r) == pytest.approx(expected)
+
+    def test_beats_offload_variant(self):
+        # Keeping the fast core on during parallel sections is a strict
+        # performance win (it is a power loss, handled elsewhere).
+        f, n, r = 0.9, 64, 4
+        assert speedup_asymmetric(f, n, r) > speedup_asymmetric_offload(
+            f, n, r
+        )
+
+    def test_all_serial(self):
+        assert speedup_asymmetric(0.0, 64, 9) == pytest.approx(3.0)
+
+
+class TestAsymmetricOffload:
+    def test_paper_formula_exact(self):
+        f, n, r = 0.99, 32, 4
+        expected = 1.0 / ((1 - f) / 2.0 + f / 28.0)
+        assert speedup_asymmetric_offload(f, n, r) == pytest.approx(
+            expected
+        )
+
+    def test_serial_only_returns_perf_seq(self):
+        assert speedup_asymmetric_offload(0.0, 4, 4) == pytest.approx(2.0)
+
+    def test_needs_parallel_resources(self):
+        with pytest.raises(ModelError):
+            speedup_asymmetric_offload(0.5, 4, 4)
+
+    def test_more_bces_always_help(self):
+        s1 = speedup_asymmetric_offload(0.9, 32, 4)
+        s2 = speedup_asymmetric_offload(0.9, 64, 4)
+        assert s2 > s1
+
+
+class TestDynamic:
+    def test_serial_uses_all_resources(self):
+        assert speedup_dynamic(0.0, 64, 1) == pytest.approx(8.0)
+
+    def test_parallel_uses_all_bces(self):
+        assert speedup_dynamic(1.0, 64, 1) == pytest.approx(64.0)
+
+    def test_dominates_other_models(self):
+        # The dynamic machine is an upper bound on the others for any
+        # shared (f, n, r).
+        f, n, r = 0.9, 64, 4
+        dyn = speedup_dynamic(f, n, r)
+        assert dyn >= speedup_symmetric(f, n, r)
+        assert dyn >= speedup_asymmetric(f, n, r)
+        assert dyn >= speedup_asymmetric_offload(f, n, r)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("func", [
+        speedup_symmetric,
+        speedup_asymmetric,
+        speedup_asymmetric_offload,
+        speedup_dynamic,
+    ])
+    def test_rejects_bad_fraction(self, func):
+        with pytest.raises(ModelError):
+            func(1.5, 16, 2)
+
+    @pytest.mark.parametrize("func", [
+        speedup_symmetric,
+        speedup_asymmetric,
+        speedup_asymmetric_offload,
+        speedup_dynamic,
+    ])
+    def test_rejects_n_below_r(self, func):
+        with pytest.raises(ModelError):
+            func(0.5, 2, 4)

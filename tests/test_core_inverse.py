@@ -1,0 +1,151 @@
+"""Tests for inverse model queries (required_f / crossover / bandwidth)."""
+
+import math
+
+import pytest
+
+from repro.core.chip import (
+    AsymmetricOffloadCMP,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.constraints import Budget
+from repro.core.inverse import (
+    crossover_f,
+    required_bandwidth,
+    required_f,
+)
+from repro.core.optimizer import optimize
+from repro.core.ucore import UCore
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def asic_chip():
+    return HeterogeneousChip(UCore(name="asic", mu=27.4, phi=0.79))
+
+
+@pytest.fixture
+def budget():
+    return Budget(area=75.0, power=20.0, bandwidth=110.0)
+
+
+class TestRequiredF:
+    def test_solution_achieves_target(self, asic_chip, budget):
+        f = required_f(asic_chip, 50.0, budget)
+        assert optimize(asic_chip, f, budget).speedup == pytest.approx(
+            50.0, rel=1e-6
+        )
+
+    def test_slightly_less_f_misses_target(self, asic_chip, budget):
+        f = required_f(asic_chip, 50.0, budget)
+        assert optimize(
+            asic_chip, max(f - 1e-3, 0.0), budget
+        ).speedup < 50.0
+
+    def test_trivial_target(self, asic_chip, budget):
+        assert required_f(asic_chip, 1.0, budget) == 0.0
+
+    def test_paper_conclusion1_magnitude(self, asic_chip, budget):
+        # Getting a 5x edge over the f=0.9 CMP out of U-cores needs
+        # parallelism well above 0.9 (conclusion 1, inverted).
+        cmp_best = optimize(AsymmetricOffloadCMP(), 0.9, budget).speedup
+        f = required_f(asic_chip, 5 * cmp_best, budget)
+        assert f > 0.9
+
+    def test_unreachable_target(self, asic_chip, budget):
+        with pytest.raises(ModelError, match="cannot reach"):
+            required_f(asic_chip, 1e9, budget)
+
+    def test_bad_target(self, asic_chip, budget):
+        with pytest.raises(ModelError):
+            required_f(asic_chip, 0.0, budget)
+
+    def test_monotone_in_target(self, asic_chip, budget):
+        f_small = required_f(asic_chip, 10.0, budget)
+        f_large = required_f(asic_chip, 60.0, budget)
+        assert f_small < f_large
+
+
+class TestCrossoverF:
+    def test_challenger_leads_at_solution(self, asic_chip, budget):
+        incumbent = AsymmetricOffloadCMP()
+        f = crossover_f(asic_chip, incumbent, budget, advantage=2.0)
+        assert 0 < f < 1
+        lead = (
+            optimize(asic_chip, f, budget).speedup
+            / optimize(incumbent, f, budget).speedup
+        )
+        assert lead == pytest.approx(2.0, rel=1e-3)
+
+    def test_self_crossover_at_zero(self, asic_chip, budget):
+        assert crossover_f(asic_chip, asic_chip, budget) == 0.0
+
+    def test_higher_advantage_needs_more_f(self, asic_chip, budget):
+        incumbent = SymmetricCMP()
+        f1 = crossover_f(asic_chip, incumbent, budget, advantage=1.5)
+        f2 = crossover_f(asic_chip, incumbent, budget, advantage=3.0)
+        assert f1 < f2
+
+    def test_never_leads(self, budget):
+        slow = HeterogeneousChip(UCore(name="slow", mu=0.2, phi=1.0))
+        with pytest.raises(ModelError, match="never leads"):
+            crossover_f(slow, AsymmetricOffloadCMP(), budget,
+                        advantage=2.0)
+
+    def test_separate_budgets(self, asic_chip, budget):
+        # A bandwidth-exempt challenger crosses earlier.
+        incumbent = AsymmetricOffloadCMP()
+        f_shared = crossover_f(
+            asic_chip, incumbent, budget, advantage=3.0
+        )
+        f_exempt = crossover_f(
+            asic_chip,
+            incumbent,
+            budget,
+            advantage=3.0,
+            challenger_budget=budget.without_bandwidth(),
+        )
+        assert f_exempt <= f_shared
+
+    def test_bad_advantage(self, asic_chip, budget):
+        with pytest.raises(ModelError):
+            crossover_f(asic_chip, asic_chip, budget, advantage=0.0)
+
+
+class TestRequiredBandwidth:
+    def test_solution_achieves_target(self, asic_chip):
+        tight = Budget(area=75.0, power=20.0, bandwidth=10.0)
+        target = 100.0
+        needed = required_bandwidth(asic_chip, 0.99, target, tight)
+        assert needed > tight.bandwidth
+        scaled = tight.scaled(bandwidth=needed / tight.bandwidth)
+        assert optimize(
+            asic_chip, 0.99, scaled
+        ).speedup == pytest.approx(target, rel=1e-4)
+
+    def test_already_sufficient(self, asic_chip, budget):
+        needed = required_bandwidth(asic_chip, 0.99, 2.0, budget)
+        assert needed < budget.bandwidth
+
+    def test_power_wall_unreachable(self, asic_chip):
+        # Beyond the power-bound plateau no bandwidth helps.
+        tight = Budget(area=75.0, power=5.0, bandwidth=10.0)
+        ceiling = optimize(
+            asic_chip, 0.99, tight.scaled(bandwidth=1e6)
+        ).speedup
+        with pytest.raises(ModelError, match="power or area binds"):
+            required_bandwidth(asic_chip, 0.99, 2 * ceiling, tight)
+
+    def test_infinite_bandwidth_rejected(self, asic_chip):
+        with pytest.raises(ModelError):
+            required_bandwidth(
+                asic_chip, 0.99, 10.0, Budget(area=75.0, power=20.0)
+            )
+
+    def test_monotone_in_target(self, asic_chip):
+        tight = Budget(area=75.0, power=20.0, bandwidth=10.0)
+        b1 = required_bandwidth(asic_chip, 0.99, 30.0, tight)
+        b2 = required_bandwidth(asic_chip, 0.99, 90.0, tight)
+        assert b1 < b2
+        assert math.isfinite(b2)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.metrics (alternative objectives)."""
+
+import pytest
+
+from repro.core.chip import HeterogeneousChip, SymmetricCMP
+from repro.core.constraints import Budget
+from repro.core.metrics import (
+    Objective,
+    average_power_metric,
+    energy_delay_metric,
+    energy_metric,
+    optimize_for,
+    perf_per_watt_metric,
+    speedup_metric,
+)
+from repro.core.optimizer import evaluate_design, optimize
+from repro.core.ucore import UCore
+from repro.errors import InfeasibleDesignError
+
+
+@pytest.fixture
+def point_and_chip(gpu_like, basic_budget):
+    chip = HeterogeneousChip(gpu_like)
+    point = evaluate_design(chip, 0.9, basic_budget, 2)
+    return chip, point
+
+
+class TestMetricValues:
+    def test_speedup_metric_passthrough(self, point_and_chip):
+        chip, point = point_and_chip
+        assert speedup_metric(chip, point) == point.speedup
+
+    def test_energy_delay_definition(self, point_and_chip):
+        chip, point = point_and_chip
+        assert energy_delay_metric(chip, point) == pytest.approx(
+            energy_metric(chip, point) / point.speedup
+        )
+
+    def test_average_power_definition(self, point_and_chip):
+        chip, point = point_and_chip
+        assert average_power_metric(chip, point) == pytest.approx(
+            energy_metric(chip, point) * point.speedup
+        )
+
+    def test_perf_per_watt_definition(self, point_and_chip):
+        chip, point = point_and_chip
+        expected = point.speedup / average_power_metric(chip, point)
+        assert perf_per_watt_metric(chip, point) == pytest.approx(expected)
+
+    def test_bce_reference_point(self):
+        # One BCE: speedup 1, energy 1, EDP 1, power 1, perf/W 1.
+        chip = SymmetricCMP()
+        point = evaluate_design(chip, 0.5, Budget(area=1, power=1), 1)
+        assert speedup_metric(chip, point) == pytest.approx(1.0)
+        assert energy_metric(chip, point) == pytest.approx(1.0)
+        assert energy_delay_metric(chip, point) == pytest.approx(1.0)
+        assert perf_per_watt_metric(chip, point) == pytest.approx(1.0)
+
+
+class TestOptimizeFor:
+    def test_default_matches_optimize(self, gpu_like, basic_budget):
+        chip = HeterogeneousChip(gpu_like)
+        a = optimize(chip, 0.9, basic_budget)
+        b = optimize_for(chip, 0.9, basic_budget, Objective.MAX_SPEEDUP)
+        assert a.speedup == pytest.approx(b.speedup)
+
+    def test_min_energy_prefers_smaller_core(self, basic_budget):
+        # Energy-optimal sequential core is no larger than perf-optimal:
+        # serial watts grow superlinearly while serial time shrinks
+        # sublinearly.
+        chip = HeterogeneousChip(UCore(name="u", mu=30.0, phi=0.8))
+        perf_point = optimize_for(
+            chip, 0.5, basic_budget, Objective.MAX_SPEEDUP
+        )
+        energy_point = optimize_for(
+            chip, 0.5, basic_budget, Objective.MIN_ENERGY
+        )
+        assert energy_point.r <= perf_point.r
+        assert energy_metric(chip, energy_point) <= energy_metric(
+            chip, perf_point
+        )
+
+    def test_min_energy_picks_r1(self, basic_budget):
+        # With Pollack + alpha > 1, pure energy minimisation always
+        # lands on the smallest sequential core.
+        chip = HeterogeneousChip(UCore(name="u", mu=30.0, phi=0.8))
+        point = optimize_for(
+            chip, 0.5, basic_budget, Objective.MIN_ENERGY
+        )
+        assert point.r == 1
+
+    def test_edp_between_speedup_and_energy(self, basic_budget):
+        chip = HeterogeneousChip(UCore(name="u", mu=30.0, phi=0.8))
+        r_perf = optimize_for(
+            chip, 0.5, basic_budget, Objective.MAX_SPEEDUP
+        ).r
+        r_energy = optimize_for(
+            chip, 0.5, basic_budget, Objective.MIN_ENERGY
+        ).r
+        r_edp = optimize_for(
+            chip, 0.5, basic_budget, Objective.MIN_ENERGY_DELAY
+        ).r
+        assert r_energy <= r_edp <= r_perf
+
+    def test_infeasible_raises(self, gpu_like):
+        chip = HeterogeneousChip(gpu_like)
+        with pytest.raises(InfeasibleDesignError):
+            optimize_for(chip, 0.9, Budget(area=1.0, power=1e9))
+
+    def test_perf_per_watt_favours_efficient_fabric(self, basic_budget):
+        asic = HeterogeneousChip(UCore(name="asic", mu=27.4, phi=0.79))
+        point = optimize_for(
+            asic, 0.99, basic_budget, Objective.MAX_PERF_PER_WATT
+        )
+        assert perf_per_watt_metric(asic, point) > 1.0

@@ -1,0 +1,177 @@
+"""Tests for variable-parallelism profiles (Section 7 extension)."""
+
+import math
+
+import pytest
+
+from repro.core.chip import (
+    AsymmetricOffloadCMP,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.constraints import Budget
+from repro.core.hill_marty import speedup_asymmetric_offload
+from repro.core.profiles import (
+    ParallelismProfile,
+    WidthSegment,
+    optimize_profile,
+    profile_speedup,
+)
+from repro.core.ucore import UCore, speedup_heterogeneous
+from repro.errors import ModelError
+
+
+class TestWidthSegment:
+    def test_valid(self):
+        s = WidthSegment(0.5, 64.0)
+        assert s.fraction == 0.5
+        assert s.width == 64.0
+
+    def test_serial_segment(self):
+        assert WidthSegment(0.1, 1.0).width == 1.0
+
+    def test_rejects_subunit_width(self):
+        with pytest.raises(ModelError):
+            WidthSegment(0.5, 0.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelError):
+            WidthSegment(1.5, 2.0)
+
+
+class TestProfileConstruction:
+    def test_two_phase_structure(self):
+        p = ParallelismProfile.two_phase(0.9)
+        assert p.serial_fraction == pytest.approx(0.1)
+        assert p.equivalent_f() == pytest.approx(0.9)
+
+    def test_two_phase_degenerate_cases(self):
+        assert ParallelismProfile.two_phase(0.0).serial_fraction == 1.0
+        assert ParallelismProfile.two_phase(1.0).serial_fraction == 0.0
+
+    def test_fractions_must_sum(self):
+        with pytest.raises(ModelError):
+            ParallelismProfile.from_pairs([(0.5, 1.0), (0.4, 8.0)])
+
+    def test_geometric_profile(self):
+        p = ParallelismProfile.geometric(0.9, max_width=256, levels=8)
+        widths = [s.width for s in p.segments if s.width > 1.0]
+        assert len(widths) == 8
+        assert widths[0] == pytest.approx(2.0)
+        assert widths[-1] == pytest.approx(256.0)
+        assert p.equivalent_f() == pytest.approx(0.9)
+
+    def test_geometric_validation(self):
+        with pytest.raises(ModelError):
+            ParallelismProfile.geometric(0.9, max_width=1.0)
+        with pytest.raises(ModelError):
+            ParallelismProfile.geometric(0.9, max_width=64, levels=0)
+
+    def test_mean_width(self):
+        p = ParallelismProfile.from_pairs([(0.5, 4.0), (0.5, 8.0)])
+        assert p.mean_width() == pytest.approx(6.0)
+
+    def test_mean_width_all_infinite(self):
+        p = ParallelismProfile.two_phase(1.0)
+        assert math.isinf(p.mean_width())
+
+
+class TestProfileSpeedup:
+    def test_two_phase_matches_closed_form(self, gpu_like):
+        # An unbounded-width profile reproduces the Section 3.3 formula.
+        chip = HeterogeneousChip(gpu_like)
+        profile = ParallelismProfile.two_phase(0.9)
+        f, n, r = 0.9, 32.0, 4.0
+        assert profile_speedup(chip, profile, n, r) == pytest.approx(
+            speedup_heterogeneous(f, n, r, gpu_like)
+        )
+
+    def test_asym_offload_two_phase(self):
+        chip = AsymmetricOffloadCMP()
+        profile = ParallelismProfile.two_phase(0.99)
+        assert profile_speedup(chip, profile, 64, 4) == pytest.approx(
+            speedup_asymmetric_offload(0.99, 64, 4)
+        )
+
+    def test_width_caps_fabric(self):
+        # A width-8 segment cannot use a 1000x fabric.
+        fast = HeterogeneousChip(UCore(name="big", mu=1000.0, phi=1.0))
+        profile = ParallelismProfile.from_pairs([(0.5, 1.0), (0.5, 8.0)])
+        speedup = profile_speedup(fast, profile, 16, 2)
+        ceiling = 1.0 / (0.5 / math.sqrt(2) + 0.5 / 8.0)
+        assert speedup == pytest.approx(ceiling)
+
+    def test_narrow_profile_erases_asic_advantage(self):
+        # The paper's 'suitability' point: on narrow parallelism a
+        # huge-mu ASIC buys nothing over a modest GPU fabric.
+        asic = HeterogeneousChip(UCore(name="asic", mu=500.0, phi=5.0))
+        gpu = HeterogeneousChip(UCore(name="gpu", mu=3.0, phi=0.6))
+        narrow = ParallelismProfile.from_pairs(
+            [(0.01, 1.0), (0.99, 6.0)]
+        )
+        wide = ParallelismProfile.two_phase(0.99)
+        n, r = 34.0, 2.0
+        assert profile_speedup(asic, narrow, n, r) == pytest.approx(
+            profile_speedup(gpu, narrow, n, r), rel=1e-9
+        )
+        assert profile_speedup(asic, wide, n, r) > 2 * profile_speedup(
+            gpu, wide, n, r
+        )
+
+    def test_symmetric_single_core_profile(self):
+        chip = SymmetricCMP()
+        profile = ParallelismProfile.from_pairs([(0.5, 1.0), (0.5, 4.0)])
+        # n == r: the lone core serves both segment kinds.
+        speedup = profile_speedup(chip, profile, 4.0, 4.0)
+        assert speedup == pytest.approx(2.0)
+
+    def test_offload_chip_needs_fabric(self, gpu_like):
+        chip = HeterogeneousChip(gpu_like)
+        profile = ParallelismProfile.two_phase(0.5)
+        with pytest.raises(ModelError):
+            profile_speedup(chip, profile, 4.0, 4.0)
+
+    def test_n_below_r_rejected(self, gpu_like):
+        chip = HeterogeneousChip(gpu_like)
+        with pytest.raises(ModelError):
+            profile_speedup(
+                chip, ParallelismProfile.two_phase(0.5), 2.0, 4.0
+            )
+
+
+class TestOptimizeProfile:
+    def test_matches_standard_optimizer_on_two_phase(self, gpu_like):
+        from repro.core.optimizer import optimize
+
+        chip = HeterogeneousChip(gpu_like)
+        budget = Budget(area=37.0, power=13.3, bandwidth=46.0)
+        speedup, r, n = optimize_profile(
+            chip, ParallelismProfile.two_phase(0.9), budget
+        )
+        standard = optimize(chip, 0.9, budget)
+        assert speedup == pytest.approx(standard.speedup)
+        assert r == standard.r
+
+    def test_profile_shifts_optimum_to_bigger_core(self):
+        # Bounded-width parallel work devalues fabric, so the optimal
+        # core grows (or at least never shrinks).
+        chip = HeterogeneousChip(UCore(name="u", mu=30.0, phi=0.8))
+        budget = Budget(area=64.0, power=20.0)
+        _, r_wide, _ = optimize_profile(
+            chip, ParallelismProfile.two_phase(0.9), budget
+        )
+        _, r_narrow, _ = optimize_profile(
+            chip,
+            ParallelismProfile.from_pairs([(0.1, 1.0), (0.9, 4.0)]),
+            budget,
+        )
+        assert r_narrow >= r_wide
+
+    def test_infeasible(self, gpu_like):
+        chip = HeterogeneousChip(gpu_like)
+        with pytest.raises(ModelError):
+            optimize_profile(
+                chip,
+                ParallelismProfile.two_phase(0.9),
+                Budget(area=1.0, power=1e9),
+            )

@@ -1,0 +1,151 @@
+"""Tests for the Section 6.3 serial-phase U-core roles."""
+
+import math
+
+import pytest
+
+from repro.core.chip import HeterogeneousChip
+from repro.core.constraints import Budget
+from repro.core.optimizer import optimize
+from repro.core.power import seq_power
+from repro.core.serial_offload import (
+    iso_performance_design,
+    serial_offload_power,
+    speedup_with_serial_offload,
+)
+from repro.core.ucore import UCore, speedup_heterogeneous
+from repro.errors import InfeasibleDesignError, ModelError
+
+
+@pytest.fixture
+def asic():
+    return UCore(name="asic", mu=27.4, phi=0.79, kind="asic")
+
+
+@pytest.fixture
+def budget():
+    return Budget(area=19.0, power=10.0, bandwidth=85.0)
+
+
+class TestIsoPerformance:
+    def test_floor_of_one_returns_fastest(self, asic, budget):
+        chip = HeterogeneousChip(asic)
+        result = iso_performance_design(chip, 0.9, budget, 1.0)
+        assert result.chosen.speedup == pytest.approx(
+            result.fastest.speedup
+        )
+
+    def test_small_sacrifice_big_power_saving(self, asic, budget):
+        chip = HeterogeneousChip(asic)
+        result = iso_performance_design(chip, 0.9, budget, 0.95)
+        # Keeping >= 95% of speedup...
+        assert result.chosen.speedup >= 0.95 * result.fastest.speedup
+        # ...with a genuinely smaller core and meaningful serial-power
+        # savings (super-linear power law makes this lopsided).
+        assert result.chosen.r < result.fastest.r
+        assert result.power_saving > 0
+        assert result.energy_ratio < 1.0
+
+    def test_power_saving_matches_power_law(self, asic, budget):
+        chip = HeterogeneousChip(asic)
+        result = iso_performance_design(chip, 0.9, budget, 0.9)
+        expected = seq_power(result.fastest.r, budget.alpha) - seq_power(
+            result.chosen.r, budget.alpha
+        )
+        assert result.power_saving == pytest.approx(expected)
+
+    def test_lower_floor_never_larger_core(self, asic, budget):
+        chip = HeterogeneousChip(asic)
+        r_tight = iso_performance_design(chip, 0.9, budget, 0.99).chosen.r
+        r_loose = iso_performance_design(chip, 0.9, budget, 0.80).chosen.r
+        assert r_loose <= r_tight
+
+    def test_floor_validation(self, asic, budget):
+        chip = HeterogeneousChip(asic)
+        with pytest.raises(ModelError):
+            iso_performance_design(chip, 0.9, budget, 0.0)
+        with pytest.raises(ModelError):
+            iso_performance_design(chip, 0.9, budget, 1.5)
+
+    def test_infeasible_budget(self, asic):
+        chip = HeterogeneousChip(asic)
+        with pytest.raises(InfeasibleDesignError):
+            iso_performance_design(
+                chip, 0.9, Budget(area=1.0, power=1e9), 0.9
+            )
+
+
+class TestSerialOffloadSpeedup:
+    def test_zero_offload_matches_baseline(self, asic):
+        f, n, r = 0.9, 19.0, 4.0
+        assert speedup_with_serial_offload(
+            f, n, r, asic, f_serial_offload=0.0
+        ) == pytest.approx(speedup_heterogeneous(f, n, r, asic))
+
+    def test_conservation_core_slows_run_slightly(self, asic):
+        # mu_serial = 1 < perf_seq(r): offloaded serial code is slower,
+        # the point is power, not time.
+        f, n, r = 0.5, 19.0, 4.0
+        base = speedup_with_serial_offload(f, n, r, asic, 0.0)
+        offloaded = speedup_with_serial_offload(f, n, r, asic, 0.5)
+        assert offloaded < base
+
+    def test_fast_serial_ucore_helps(self, asic):
+        # mu_serial > perf_seq(r): offload accelerates serial code
+        # (the paper's "increasing sequential processor performance at
+        # a lower energy cost").
+        f, n, r = 0.5, 19.0, 4.0
+        base = speedup_with_serial_offload(f, n, r, asic, 0.0)
+        accelerated = speedup_with_serial_offload(
+            f, n, r, asic, 0.5, mu_serial=8.0
+        )
+        assert accelerated > base
+
+    def test_fully_serial_program(self, asic):
+        # f = 0: pure serial with half the code on a mu_serial=2 core.
+        speedup = speedup_with_serial_offload(
+            0.0, 4.0, 4.0, asic, 0.5, mu_serial=2.0
+        )
+        expected = 1.0 / (0.5 / 2.0 + 0.5 / 2.0)
+        assert speedup == pytest.approx(expected)
+
+    def test_validation(self, asic):
+        with pytest.raises(ModelError):
+            speedup_with_serial_offload(0.5, 19, 4, asic, 1.5)
+        with pytest.raises(ModelError):
+            speedup_with_serial_offload(0.5, 19, 4, asic, 0.5,
+                                        mu_serial=0.0)
+        with pytest.raises(ModelError):
+            speedup_with_serial_offload(0.5, 4, 4, asic, 0.5)
+
+
+class TestSerialOffloadPower:
+    def test_no_offload_is_core_power(self, asic):
+        assert serial_offload_power(4.0, asic, 0.0) == pytest.approx(
+            seq_power(4.0, 1.75)
+        )
+
+    def test_full_offload_is_ucore_power(self, asic):
+        assert serial_offload_power(4.0, asic, 1.0) == pytest.approx(
+            asic.phi
+        )
+
+    def test_low_phi_ucore_cuts_average_power(self):
+        fpga = UCore(name="fpga", mu=2.0, phi=0.3)
+        base = serial_offload_power(8.0, fpga, 0.0)
+        half = serial_offload_power(8.0, fpga, 0.5)
+        assert half < base
+
+    def test_monotone_in_offload_fraction_for_cheap_ucore(self):
+        fpga = UCore(name="fpga", mu=2.0, phi=0.3)
+        values = [
+            serial_offload_power(8.0, fpga, x)
+            for x in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self, asic):
+        with pytest.raises(ModelError):
+            serial_offload_power(4.0, asic, 2.0)
+        with pytest.raises(ModelError):
+            serial_offload_power(4.0, asic, 0.5, mu_serial=-1.0)

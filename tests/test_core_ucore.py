@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.ucore."""
+
+import math
+
+import pytest
+
+from repro.core.hill_marty import speedup_asymmetric_offload
+from repro.core.ucore import UCore, speedup_heterogeneous
+from repro.errors import ModelError
+
+
+class TestUCore:
+    def test_construction(self):
+        u = UCore(name="asic", mu=27.4, phi=0.79, kind="asic",
+                  workload="mmm")
+        assert u.name == "asic"
+        assert u.mu == 27.4
+        assert u.phi == 0.79
+
+    @pytest.mark.parametrize("mu,phi", [(0.0, 1.0), (-1.0, 1.0),
+                                        (1.0, 0.0), (1.0, -2.0)])
+    def test_rejects_nonpositive_parameters(self, mu, phi):
+        with pytest.raises(ModelError):
+            UCore(name="bad", mu=mu, phi=phi)
+
+    def test_efficiency_gain(self):
+        u = UCore(name="u", mu=10.0, phi=0.5)
+        assert u.efficiency_gain == pytest.approx(20.0)
+
+    def test_frozen(self):
+        u = UCore(name="u", mu=1.0, phi=1.0)
+        with pytest.raises(AttributeError):
+            u.mu = 2.0
+
+    def test_scaled_returns_new_ucore(self):
+        u = UCore(name="fpga", mu=2.0, phi=0.3)
+        faster = u.scaled(perf_factor=4.0)
+        assert faster.mu == pytest.approx(8.0)
+        assert faster.phi == pytest.approx(0.3)
+        assert u.mu == 2.0  # original untouched
+
+    def test_scaled_rejects_nonpositive(self):
+        u = UCore(name="u", mu=1.0, phi=1.0)
+        with pytest.raises(ModelError):
+            u.scaled(perf_factor=0.0)
+
+    def test_describe_mentions_parameters(self):
+        u = UCore(name="gpu", mu=3.41, phi=0.74, workload="mmm")
+        text = u.describe()
+        assert "gpu" in text
+        assert "mmm" in text
+        assert "3.41" in text
+
+
+class TestHeterogeneousSpeedup:
+    def test_paper_formula_exact(self):
+        u = UCore(name="u", mu=5.0, phi=1.0)
+        f, n, r = 0.99, 32, 4
+        expected = 1.0 / ((1 - f) / 2.0 + f / (5.0 * 28.0))
+        assert speedup_heterogeneous(f, n, r, u) == pytest.approx(expected)
+
+    def test_mu_one_equals_asymmetric_offload(self):
+        # A mu=1 U-core is exactly a sea of BCEs with the fast core off.
+        u = UCore(name="bce-fabric", mu=1.0, phi=1.0)
+        f, n, r = 0.9, 64, 4
+        assert speedup_heterogeneous(f, n, r, u) == pytest.approx(
+            speedup_asymmetric_offload(f, n, r)
+        )
+
+    def test_serial_only_ignores_ucore(self):
+        u = UCore(name="u", mu=100.0, phi=1.0)
+        assert speedup_heterogeneous(0.0, 16, 9, u) == pytest.approx(3.0)
+
+    def test_all_parallel(self):
+        u = UCore(name="u", mu=10.0, phi=1.0)
+        assert speedup_heterogeneous(1.0, 11, 1, u) == pytest.approx(100.0)
+
+    def test_needs_fabric_when_parallel(self):
+        u = UCore(name="u", mu=10.0, phi=1.0)
+        with pytest.raises(ModelError):
+            speedup_heterogeneous(0.5, 4, 4, u)
+
+    def test_speedup_monotonic_in_mu(self):
+        f, n, r = 0.95, 32, 2
+        speeds = [
+            speedup_heterogeneous(
+                f, n, r, UCore(name="u", mu=mu, phi=1.0)
+            )
+            for mu in (1.0, 2.0, 8.0, 64.0)
+        ]
+        assert speeds == sorted(speeds)
+        assert speeds[0] < speeds[-1]
+
+    def test_amdahl_ceiling(self):
+        # No mu can beat the serial-fraction ceiling f -> 1/(1-f)*perf.
+        u = UCore(name="u", mu=1e12, phi=1.0)
+        f, n, r = 0.9, 1e6, 4
+        ceiling = math.sqrt(r) / (1 - f)
+        assert speedup_heterogeneous(f, n, r, u) <= ceiling + 1e-6

@@ -1,0 +1,155 @@
+"""Tests for the BCE derivation (Section 5.1 sizing and unit budgets)."""
+
+import math
+
+import pytest
+
+from repro.devices.bce import (
+    ATOM_AREA_MM2,
+    BCE,
+    DEFAULT_BCE,
+    DEFAULT_BCE_POWER_W,
+    DEFAULT_FAST_CORE_R,
+)
+from repro.devices.catalog import get_device
+from repro.devices.measurements import get_measurement
+from repro.errors import CalibrationError
+from repro.workloads.registry import get_workload
+
+
+class TestSizing:
+    def test_default_r_is_two(self):
+        assert DEFAULT_FAST_CORE_R == 2
+        assert DEFAULT_BCE.fast_core_r == 2
+
+    def test_bce_area_from_atom(self):
+        # 26mm2 Atom minus 10% non-compute = 23.4mm2.
+        assert DEFAULT_BCE.area_mm2 == pytest.approx(
+            ATOM_AREA_MM2 * 0.9
+        )
+
+    def test_r2_matches_one_i7_core(self):
+        # The paper's sanity check: 2 BCE ~ one i7 core (193/4 mm2).
+        i7 = get_device("Core i7-960")
+        per_core = i7.core_area_mm2 / i7.cores
+        assert per_core / DEFAULT_BCE.area_mm2 == pytest.approx(
+            2.0, rel=0.05
+        )
+
+    def test_fast_core_perf_and_power(self):
+        assert DEFAULT_BCE.fast_core_perf == pytest.approx(math.sqrt(2))
+        assert DEFAULT_BCE.fast_core_power == pytest.approx(2**0.875)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            BCE(fast_core_r=0.5)
+        with pytest.raises(CalibrationError):
+            BCE(power_w=-1.0)
+
+
+class TestPowerBudget:
+    def test_100w_is_10_bce_at_40nm(self):
+        # The calibration anchor: P = 10 at 40nm.
+        assert DEFAULT_BCE_POWER_W == 10.0
+        assert DEFAULT_BCE.power_budget_bce(100.0) == pytest.approx(10.0)
+
+    def test_scaling_with_rel_power(self):
+        # At 11nm a BCE costs 0.25x the watts -> 4x the budget in BCE.
+        assert DEFAULT_BCE.power_budget_bce(
+            100.0, rel_power=0.25
+        ) == pytest.approx(40.0)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            DEFAULT_BCE.power_budget_bce(0.0)
+        with pytest.raises(CalibrationError):
+            DEFAULT_BCE.power_budget_bce(100.0, rel_power=0.0)
+
+
+class TestThroughput:
+    def test_bce_rate_is_fast_core_over_sqrt_r(self):
+        assert DEFAULT_BCE.throughput_from_fast_core(
+            96.0
+        ) == pytest.approx(96.0 / math.sqrt(2))
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            DEFAULT_BCE.throughput_from_fast_core(0.0)
+
+
+class TestBandwidthBudget:
+    def test_fft1024_bandwidth_scale(self):
+        # The DESIGN.md calibration: B ~ 42 BCE at 180 GB/s.
+        fft = get_workload("fft")
+        fast = get_measurement("Core i7-960", "fft", 1024)
+        b = DEFAULT_BCE.bandwidth_budget_bce(180.0, fft, 1024, fast, 1e9)
+        assert b == pytest.approx(41.86, rel=0.01)
+
+    def test_mmm_bandwidth_scale(self):
+        mmm = get_workload("mmm")
+        fast = get_measurement("Core i7-960", "mmm", None)
+        b = DEFAULT_BCE.bandwidth_budget_bce(180.0, mmm, 2048, fast, 1e9)
+        assert b == pytest.approx(84.85, rel=0.01)
+
+    def test_bs_bandwidth_scale(self):
+        bs = get_workload("bs")
+        fast = get_measurement("Core i7-960", "bs", None)
+        b = DEFAULT_BCE.bandwidth_budget_bce(180.0, bs, 1024, fast, 1e6)
+        assert b == pytest.approx(52.27, rel=0.01)
+
+    def test_compulsory_bandwidth_positive(self):
+        fft = get_workload("fft")
+        fast = get_measurement("Core i7-960", "fft", 1024)
+        per_bce = DEFAULT_BCE.compulsory_bandwidth_gbps(
+            fft, 1024, fast, 1e9
+        )
+        assert per_bce == pytest.approx(0.32 * 19.0 / math.sqrt(2) , rel=1e-9)
+
+    def test_validation(self):
+        fft = get_workload("fft")
+        fast = get_measurement("Core i7-960", "fft", 1024)
+        with pytest.raises(CalibrationError):
+            DEFAULT_BCE.bandwidth_budget_bce(0.0, fft, 1024, fast, 1e9)
+
+
+class TestCalibrationGuardRails:
+    """Changing the free constants must visibly move the figures.
+
+    These tests protect the calibration from silent drift: if someone
+    edits DEFAULT_BCE_POWER_W or the FFT anchors, the projection
+    endpoints shift far beyond the figure-match tolerances and the
+    shape benchmarks fail -- these tests document the mechanism.
+    """
+
+    def test_doubling_bce_watts_halves_power_budget(self):
+        from repro.devices.bce import BCE
+        from repro.itrs.roadmap import ITRS_2009
+        from repro.projection.engine import node_budget
+
+        heavy = BCE(power_w=20.0)
+        node = ITRS_2009.node(11)
+        base = node_budget(node, "mmm", None, bce=DEFAULT_BCE)
+        scaled = node_budget(node, "mmm", None, bce=heavy)
+        assert scaled.power == pytest.approx(base.power / 2)
+
+    def test_power_calibration_moves_figure7_endpoint(self):
+        from repro.devices.bce import BCE
+        from repro.projection.engine import project
+
+        baseline = project("mmm", 0.999).by_label()["ASIC"]
+        heavy = project(
+            "mmm", 0.999, bce=BCE(power_w=20.0)
+        ).by_label()["ASIC"]
+        # Half the BCE power budget -> roughly half the plateau.
+        ratio = heavy.final_speedup() / baseline.final_speedup()
+        assert 0.4 < ratio < 0.65
+
+    def test_bandwidth_unit_scales_with_fft_anchor(self):
+        # B is inversely proportional to the i7 FFT-1024 anchor; the
+        # anchored value of ~42 BCE is what pins Figure 6's plateaus.
+        from repro.projection.engine import bandwidth_bce_units
+
+        b = bandwidth_bce_units("fft", 1024, 180.0)
+        assert b == pytest.approx(
+            180.0 / (0.32 * 19.0 / math.sqrt(2)), rel=1e-6
+        )

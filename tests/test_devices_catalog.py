@@ -1,0 +1,109 @@
+"""Tests for the device catalogue and spec types (Table 2)."""
+
+import pytest
+
+from repro.devices.catalog import (
+    DEVICES,
+    FPGA_MM2_PER_LUT,
+    LX760_TOTAL_LUTS,
+    device_names,
+    fpga_area_mm2,
+    get_device,
+)
+from repro.devices.specs import DeviceKind, DeviceSpec, Measurement
+from repro.errors import ModelError, UnknownDeviceError
+
+
+class TestCatalog:
+    def test_table2_devices_present(self):
+        assert device_names() == [
+            "Core i7-960", "GTX285", "GTX480", "R5870", "LX760", "ASIC",
+        ]
+
+    def test_core_i7_row(self):
+        i7 = get_device("Core i7-960")
+        assert i7.node_nm == 45
+        assert i7.die_area_mm2 == 263.0
+        assert i7.core_area_mm2 == 193.0
+        assert i7.cores == 4
+        assert i7.clock_ghz == 3.2
+        assert i7.peak_bandwidth_gbps == 32.0
+
+    def test_gtx480_row(self):
+        gpu = get_device("GTX480")
+        assert gpu.node_nm == 40
+        assert gpu.core_area_mm2 == 422.0
+        assert gpu.peak_bandwidth_gbps == pytest.approx(177.4)
+
+    def test_r5870_noncompute_assumption(self):
+        # 25% non-compute overhead assumed by the paper.
+        r5870 = get_device("R5870")
+        assert r5870.core_area_mm2 == pytest.approx(334.0 * 0.75)
+
+    def test_kinds(self):
+        assert get_device("Core i7-960").kind == DeviceKind.CPU
+        assert get_device("GTX285").kind == DeviceKind.GPU
+        assert get_device("LX760").kind == DeviceKind.FPGA
+        assert get_device("ASIC").kind == DeviceKind.ASIC
+
+    def test_unknown_device(self):
+        with pytest.raises(UnknownDeviceError):
+            get_device("GTX580")
+
+    def test_noncompute_area(self):
+        i7 = get_device("Core i7-960")
+        assert i7.noncompute_area_mm2 == pytest.approx(70.0)
+        assert get_device("ASIC").noncompute_area_mm2 is None
+
+
+class TestFPGAAreaModel:
+    def test_per_lut_constant(self):
+        assert FPGA_MM2_PER_LUT == pytest.approx(0.00191)
+
+    def test_full_device_area(self):
+        assert get_device("LX760").core_area_mm2 == pytest.approx(
+            LX760_TOTAL_LUTS * FPGA_MM2_PER_LUT
+        )
+
+    def test_design_area(self):
+        assert fpga_area_mm2(100_000) == pytest.approx(191.0)
+
+    def test_rejects_zero_luts(self):
+        with pytest.raises(UnknownDeviceError):
+            fpga_area_mm2(0)
+
+
+class TestSpecValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ModelError):
+            DeviceSpec(name="x", vendor="v", kind="quantum", year=2020,
+                       node_nm=40)
+
+    def test_bad_area(self):
+        with pytest.raises(ModelError):
+            DeviceSpec(name="x", vendor="v", kind="cpu", year=2020,
+                       node_nm=40, die_area_mm2=-1.0)
+
+
+class TestMeasurementType:
+    def test_derived_ratios(self):
+        m = Measurement(device="d", workload="mmm", throughput=100.0,
+                        area_mm2=50.0, watts=20.0, unit="GFLOP/s")
+        assert m.perf_per_mm2 == pytest.approx(2.0)
+        assert m.perf_per_joule == pytest.approx(5.0)
+
+    def test_key(self):
+        m = Measurement(device="d", workload="fft", throughput=1.0,
+                        area_mm2=1.0, watts=1.0, unit="GFLOP/s",
+                        size=1024)
+        assert m.key() == ("d", "fft", 1024)
+
+    @pytest.mark.parametrize("field,value", [
+        ("throughput", 0.0), ("area_mm2", -1.0), ("watts", 0.0),
+    ])
+    def test_validation(self, field, value):
+        kwargs = dict(device="d", workload="mmm", throughput=1.0,
+                      area_mm2=1.0, watts=1.0, unit="GFLOP/s")
+        kwargs[field] = value
+        with pytest.raises(ModelError):
+            Measurement(**kwargs)

@@ -1,0 +1,173 @@
+"""Tests for U-core parameter derivation -- the Table 5 reproduction.
+
+The central calibration claim of the reproduction: running the paper's
+Section 5.1 formulas over the measurement dataset reproduces the
+printed Table 5.  MMM and BS parameters must match within the printed
+rounding (the published table rounds to 2-3 significant figures); FFT
+parameters must match exactly because the dataset is back-derived from
+them.
+"""
+
+import math
+
+import pytest
+
+from repro.devices.bce import DEFAULT_BCE
+from repro.devices.measurements import (
+    TABLE5_PUBLISHED,
+    all_measurements,
+    get_measurement,
+    measurements_for,
+)
+from repro.devices.params import (
+    derive_mu,
+    derive_phi,
+    derive_ucore,
+    derived_table5,
+    published_table5,
+    ucore_for,
+)
+from repro.errors import CalibrationError
+
+
+class TestFormulas:
+    def test_mu_footnote_formula(self):
+        # mu = x_u / (x_i7 * sqrt(r)), Table 4 MMM GTX285 row.
+        assert derive_mu(2.40, 0.50, 2) == pytest.approx(3.394, rel=1e-3)
+
+    def test_phi_footnote_formula(self):
+        mu = derive_mu(2.40, 0.50, 2)
+        phi = derive_phi(mu, 1.14, 6.78, 2, 1.75)
+        assert phi == pytest.approx(0.74, rel=1e-2)
+
+    def test_mu_of_bce_equivalent_fabric(self):
+        # A fabric with the BCE's own per-area performance has mu = 1:
+        # x_bce = x_i7 * sqrt(r).
+        x_i7 = 0.5
+        x_bce = x_i7 * math.sqrt(2)
+        assert derive_mu(x_bce, x_i7, 2) == pytest.approx(1.0)
+
+    def test_phi_of_bce_equivalent_fabric(self):
+        # A fabric matching the BCE's efficiency has phi = mu.
+        x_i7, e_i7, r, alpha = 0.5, 1.14, 2, 1.75
+        e_bce = e_i7 / r ** ((1 - alpha) / 2)
+        mu = 3.0
+        assert derive_phi(mu, e_i7, e_bce, r, alpha) == pytest.approx(mu)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            derive_mu(0.0, 1.0, 2)
+        with pytest.raises(CalibrationError):
+            derive_mu(1.0, 1.0, 0.5)
+        with pytest.raises(CalibrationError):
+            derive_phi(1.0, 1.0, 0.0, 2, 1.75)
+
+
+class TestTable5Reproduction:
+    def test_full_coverage(self):
+        derived = derived_table5()
+        for device, row in TABLE5_PUBLISHED.items():
+            assert set(derived[device]) == set(row)
+
+    @pytest.mark.parametrize("device", list(TABLE5_PUBLISHED))
+    def test_matches_published_within_rounding(self, device):
+        derived = derived_table5()[device]
+        for key, (phi_pub, mu_pub) in TABLE5_PUBLISHED[device].items():
+            phi, mu = derived[key]
+            assert mu == pytest.approx(mu_pub, rel=0.02), (device, key)
+            assert phi == pytest.approx(phi_pub, rel=0.02), (device, key)
+
+    def test_fft_parameters_exact(self):
+        # FFT records are back-derived, so the round trip is exact.
+        derived = derived_table5()
+        for device in ("GTX285", "GTX480", "LX760", "ASIC"):
+            for key, (phi_pub, mu_pub) in TABLE5_PUBLISHED[device].items():
+                if not key.startswith("fft-"):
+                    continue
+                phi, mu = derived[device][key]
+                assert mu == pytest.approx(mu_pub, rel=1e-9)
+                assert phi == pytest.approx(phi_pub, rel=1e-9)
+
+    def test_published_accessor_is_a_copy(self):
+        table = published_table5()
+        table["ASIC"]["mmm"] = (0.0, 0.0)
+        assert TABLE5_PUBLISHED["ASIC"]["mmm"] == (0.79, 27.4)
+
+
+class TestUcoreFor:
+    def test_asic_mmm(self):
+        u = ucore_for("ASIC", "mmm")
+        assert u.mu == pytest.approx(27.4, rel=0.02)
+        assert u.phi == pytest.approx(0.79, rel=0.02)
+        assert u.kind == "asic"
+        assert u.workload == "mmm"
+
+    def test_fft_requires_anchor_size(self):
+        with pytest.raises(CalibrationError):
+            ucore_for("ASIC", "fft", 2048)
+
+    def test_fft_workload_label_includes_size(self):
+        u = ucore_for("LX760", "fft", 1024)
+        assert u.workload == "fft-1024"
+
+    def test_missing_combination(self):
+        with pytest.raises(CalibrationError):
+            ucore_for("R5870", "bs")
+
+    def test_asic_bs_efficiency_dominates(self):
+        # Custom logic's headline property: the biggest perf/W gain,
+        # ~100x over a BCE and ~3.4x over the best GPU (Table 4's
+        # 642.5 vs 189 Mopts/J).
+        asic = ucore_for("ASIC", "bs")
+        gpu = ucore_for("GTX285", "bs")
+        assert asic.efficiency_gain > 100.0
+        assert asic.efficiency_gain > 3.0 * gpu.efficiency_gain
+
+
+class TestDeriveUcoreValidation:
+    def test_workload_mismatch(self):
+        a = get_measurement("ASIC", "mmm")
+        b = get_measurement("Core i7-960", "bs")
+        with pytest.raises(CalibrationError):
+            derive_ucore(a, b, DEFAULT_BCE)
+
+    def test_size_mismatch(self):
+        a = get_measurement("ASIC", "fft", 64)
+        b = get_measurement("Core i7-960", "fft", 1024)
+        with pytest.raises(CalibrationError):
+            derive_ucore(a, b, DEFAULT_BCE)
+
+
+class TestMeasurementDataset:
+    def test_table4_round_trips(self):
+        # Each record's derived columns reproduce Table 4 exactly.
+        m = get_measurement("R5870", "mmm")
+        assert m.perf_per_mm2 == pytest.approx(5.95)
+        assert m.perf_per_joule == pytest.approx(9.87)
+
+    def test_fft_anchor_sizes_present(self):
+        for size in (64, 1024, 16384):
+            assert get_measurement("GTX285", "fft", size).size == size
+
+    def test_measurements_for_workload(self):
+        mmm = measurements_for("mmm")
+        assert {m.device for m in mmm} == {
+            "Core i7-960", "GTX285", "GTX480", "R5870", "LX760", "ASIC",
+        }
+
+    def test_missing_measurement_raises_with_hint(self):
+        with pytest.raises(CalibrationError, match="available keys"):
+            get_measurement("R5870", "fft", 1024)
+
+    def test_dataset_is_copied(self):
+        table = all_measurements()
+        table.clear()
+        assert all_measurements()
+
+    def test_implied_i7_areas_match_die_facts(self):
+        # Table 4's normalised columns imply the i7 areas the paper
+        # states: ~193mm2 (the full core+cache area).
+        mmm = get_measurement("Core i7-960", "mmm")
+        bs = get_measurement("Core i7-960", "bs")
+        assert mmm.area_mm2 == pytest.approx(193.0, rel=0.01)
+        assert bs.area_mm2 == pytest.approx(193.0, rel=0.02)

@@ -1,0 +1,93 @@
+"""Tests for technology-node normalisation (Section 5 conventions)."""
+
+import pytest
+
+from repro.devices.scaling import (
+    BASELINE_NODE_NM,
+    denormalize_power,
+    normalize_raw_measurement,
+    normalized_area_factor,
+    normalized_power_factor,
+)
+from repro.devices.specs import Measurement
+from repro.errors import ModelError
+from repro.units import (
+    RELATIVE_POWER_PER_TRANSISTOR,
+    area_scale_factor,
+    power_scale_factor,
+)
+
+
+class TestUnitScaling:
+    def test_area_scale_is_quadratic(self):
+        assert area_scale_factor(65, 40) == pytest.approx((40 / 65) ** 2)
+
+    def test_area_scale_identity(self):
+        assert area_scale_factor(40, 40) == pytest.approx(1.0)
+
+    def test_area_scale_roundtrip(self):
+        assert area_scale_factor(65, 40) * area_scale_factor(
+            40, 65
+        ) == pytest.approx(1.0)
+
+    def test_power_scale_uses_itrs_trend(self):
+        assert power_scale_factor(40, 11) == pytest.approx(0.25)
+        assert power_scale_factor(40, 22) == pytest.approx(0.50)
+
+    def test_power_scale_unknown_node(self):
+        with pytest.raises(ModelError):
+            power_scale_factor(40, 28)
+
+    def test_rel_power_monotone_decreasing(self):
+        nodes = sorted(RELATIVE_POWER_PER_TRANSISTOR, reverse=True)
+        values = [RELATIVE_POWER_PER_TRANSISTOR[n] for n in nodes]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPaperNormalisation:
+    def test_same_generation_bucket(self):
+        # The paper treats 40nm and 45nm as one generation: the i7's
+        # 193mm2 core area enters Table 4 unscaled (96/0.50 = 192mm2).
+        assert normalized_area_factor(45) == pytest.approx(1.0)
+        assert normalized_power_factor(45) == pytest.approx(1.0)
+        assert normalized_area_factor(40) == pytest.approx(1.0)
+
+    def test_gtx285_area_normalisation_matches_table4(self):
+        # 338mm2 at 55nm -> ~178.8mm2 at 40nm; Table 4 implies
+        # 425 / 2.40 = 177mm2.
+        normalized = 338.0 * normalized_area_factor(55)
+        assert normalized == pytest.approx(425.0 / 2.40, rel=0.02)
+
+    def test_65nm_asic_shrinks(self):
+        factor = normalized_area_factor(65)
+        assert factor == pytest.approx((40 / 65) ** 2)
+        assert factor < 0.4
+
+    def test_power_factor_for_old_nodes_below_one(self):
+        assert normalized_power_factor(65) < 1.0
+        assert normalized_power_factor(55) < 1.0
+
+    def test_baseline_constant(self):
+        assert BASELINE_NODE_NM == 40
+
+
+class TestMeasurementNormalisation:
+    def test_normalize_raw(self):
+        raw = Measurement(device="ASIC", workload="mmm", throughput=694.0,
+                          area_mm2=95.0, watts=24.6, unit="GFLOP/s")
+        norm = normalize_raw_measurement(raw, node_nm=65)
+        assert norm.throughput == raw.throughput  # rate unchanged
+        assert norm.area_mm2 == pytest.approx(
+            95.0 * (40 / 65) ** 2
+        )
+        assert norm.watts < raw.watts
+
+    def test_denormalize_power_roundtrip(self):
+        norm_watts = 13.7
+        raw = denormalize_power(norm_watts, node_nm=65)
+        factor = normalized_power_factor(65)
+        assert raw * factor == pytest.approx(norm_watts)
+        assert raw > norm_watts
+
+    def test_denormalize_same_generation_is_identity(self):
+        assert denormalize_power(85.0, node_nm=45) == pytest.approx(85.0)

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the extension modules.
+
+Covers the inverse solvers, Pareto frontier, parallelism profiles, and
+the serial-offload model with randomly drawn machines -- invariants
+rather than fixed examples.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chip import HeterogeneousChip
+from repro.core.constraints import Budget
+from repro.core.inverse import required_f
+from repro.core.optimizer import optimize
+from repro.core.profiles import ParallelismProfile, profile_speedup
+from repro.core.serial_offload import (
+    serial_offload_power,
+    speedup_with_serial_offload,
+)
+from repro.core.ucore import UCore, speedup_heterogeneous
+from repro.errors import ModelError
+from repro.projection.pareto import ParetoPoint, pareto_frontier
+from repro.projection.designs import standard_designs
+
+mus = st.floats(min_value=0.5, max_value=500.0)
+phis = st.floats(min_value=0.1, max_value=5.0)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+def _chip(mu, phi):
+    return HeterogeneousChip(UCore(name="u", mu=mu, phi=phi))
+
+
+class TestInverseProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(mu=mus, phi=phis, target=st.floats(1.5, 30.0))
+    def test_required_f_is_tight(self, mu, phi, target):
+        chip = _chip(mu, phi)
+        budget = Budget(area=75.0, power=20.0, bandwidth=110.0)
+        try:
+            f = required_f(chip, target, budget)
+        except ModelError:
+            # Target unreachable for this machine; fine.
+            return
+        achieved = optimize(chip, f, budget).speedup
+        assert achieved >= target * (1 - 1e-6)
+        if f > 1e-6:
+            below = optimize(chip, f * 0.98, budget).speedup
+            assert below <= achieved + 1e-9
+
+
+class TestParetoProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seeds=st.lists(
+            st.tuples(
+                st.floats(1.0, 100.0), st.floats(0.01, 3.0)
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_frontier_nondominated_and_stable(self, seeds):
+        design = standard_designs("mmm")[0]
+        points = [
+            ParetoPoint(design=design, r=1, n=10,
+                        speedup=s, energy=e)
+            for s, e in seeds
+        ]
+        frontier = pareto_frontier(points)
+        # Non-domination.
+        for fp in frontier:
+            assert not any(p.dominates(fp) for p in points)
+        # Every non-frontier point is dominated or duplicates one.
+        frontier_set = {(p.speedup, p.energy) for p in frontier}
+        for p in points:
+            if (p.speedup, p.energy) in frontier_set:
+                continue
+            assert any(fp.dominates(p) for fp in frontier)
+        # Adding dominated points never changes the frontier.
+        worst = ParetoPoint(
+            design=design, r=1, n=10,
+            speedup=min(s for s, _ in seeds) / 2,
+            energy=max(e for _, e in seeds) * 2,
+        )
+        again = pareto_frontier(points + [worst])
+        assert {(p.speedup, p.energy) for p in again} == frontier_set
+
+
+class TestProfileProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(f=st.floats(0.05, 0.95), mu=mus, width=st.floats(1.0, 1e5))
+    def test_bounded_width_never_beats_unbounded(self, f, mu, width):
+        chip = _chip(mu, 1.0)
+        n, r = 34.0, 2.0
+        bounded = ParallelismProfile.from_pairs(
+            [(1 - f, 1.0), (f, max(width, 1.0))]
+        )
+        unbounded = ParallelismProfile.two_phase(f)
+        assert profile_speedup(
+            chip, bounded, n, r
+        ) <= profile_speedup(chip, unbounded, n, r) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(f=st.floats(0.05, 0.95), mu=mus)
+    def test_unbounded_profile_equals_closed_form(self, f, mu):
+        chip = _chip(mu, 1.0)
+        n, r = 34.0, 2.0
+        assert profile_speedup(
+            chip, ParallelismProfile.two_phase(f), n, r
+        ) == pytest.approx(
+            speedup_heterogeneous(f, n, r, chip.ucore), rel=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        f=st.floats(0.05, 0.95),
+        mu=mus,
+        w1=st.floats(1.0, 1e4),
+        w2=st.floats(1.0, 1e4),
+    )
+    def test_monotone_in_width(self, f, mu, w1, w2):
+        chip = _chip(mu, 1.0)
+        n, r = 34.0, 2.0
+        lo, hi = sorted((w1, w2))
+        s_lo = profile_speedup(
+            chip,
+            ParallelismProfile.from_pairs([(1 - f, 1.0), (f, lo)]),
+            n, r,
+        )
+        s_hi = profile_speedup(
+            chip,
+            ParallelismProfile.from_pairs([(1 - f, 1.0), (f, hi)]),
+            n, r,
+        )
+        assert s_hi + 1e-9 >= s_lo
+
+
+class TestSerialOffloadProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        r=st.floats(1.0, 16.0),
+        phi=st.floats(0.05, 0.95),
+        x1=fractions,
+        x2=fractions,
+    )
+    def test_power_monotone_for_cheap_ucore(self, r, phi, x1, x2):
+        # Offloading more serial work to a sub-BCE-power U-core never
+        # raises average serial power.
+        ucore = UCore(name="u", mu=2.0, phi=phi)
+        lo, hi = sorted((x1, x2))
+        p_lo = serial_offload_power(r, ucore, lo)
+        p_hi = serial_offload_power(r, ucore, hi)
+        assert p_hi <= p_lo + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(r=st.floats(1.0, 16.0), mu=mus, offload=fractions)
+    def test_offload_speedup_bounded_by_components(self, r, mu, offload):
+        # With mu_serial = 1, the serial phase never runs faster than
+        # the fast core alone nor slower than the U-core alone.
+        ucore = UCore(name="u", mu=mu, phi=1.0)
+        speedup = speedup_with_serial_offload(
+            0.0, r + 8, r, ucore, offload
+        )
+        fast_only = math.sqrt(r)
+        assert min(1.0, fast_only) - 1e-9 <= speedup
+        assert speedup <= max(1.0, fast_only) + 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the hardware-pipeline cost model (Section 4 methodology)."""
+
+import pytest
+
+from repro.devices.measurements import get_measurement
+from repro.errors import ModelError
+from repro.hls.costmodel import (
+    BLACK_SCHOLES_DATAFLOW,
+    DEFAULT_LUT_COSTS,
+    LX760_FABRIC,
+    MMM_PE_DATAFLOW,
+    Dataflow,
+    FabricSpec,
+    scale_design,
+)
+
+
+class TestDataflow:
+    def test_lut_accounting(self):
+        df = Dataflow(name="toy", operators={"add": 2, "mul": 1})
+        expected = 2 * DEFAULT_LUT_COSTS["add"] + DEFAULT_LUT_COSTS["mul"]
+        assert df.luts() == expected
+
+    def test_custom_costs(self):
+        df = Dataflow(name="toy", operators={"add": 1})
+        assert df.luts({"add": 99}) == 99
+
+    def test_unknown_operator(self):
+        df = Dataflow(name="toy", operators={"fma512": 1})
+        with pytest.raises(ModelError, match="fma512"):
+            df.luts()
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Dataflow(name="empty", operators={})
+        with pytest.raises(ModelError):
+            Dataflow(name="neg", operators={"add": -1})
+        with pytest.raises(ModelError):
+            Dataflow(name="bad", operators={"add": 1},
+                     results_per_cycle=0.0)
+
+
+class TestFabric:
+    def test_clock_derates_with_utilization(self):
+        clocks = [LX760_FABRIC.clock_at(u) for u in (0.0, 0.4, 0.8)]
+        assert clocks == sorted(clocks, reverse=True)
+        assert clocks[0] == LX760_FABRIC.base_clock_ghz
+
+    def test_clock_validation(self):
+        with pytest.raises(ModelError):
+            LX760_FABRIC.clock_at(1.5)
+
+    def test_fabric_validation(self):
+        with pytest.raises(ModelError):
+            FabricSpec(name="x", capacity_luts=0, base_clock_ghz=0.2)
+        with pytest.raises(ModelError):
+            FabricSpec(name="x", capacity_luts=100,
+                       base_clock_ghz=0.2, max_utilization=0.0)
+
+
+class TestScaleDesign:
+    def test_bs_matches_table4_within_structural_accuracy(self):
+        design = scale_design(BLACK_SCHOLES_DATAFLOW, LX760_FABRIC)
+        measured = get_measurement("LX760", "bs").throughput  # Mopts/s
+        generated_mopts = design.throughput_per_sec / 1e6
+        assert 0.5 * measured < generated_mopts < 1.5 * measured
+
+    def test_mmm_matches_table4_within_structural_accuracy(self):
+        design = scale_design(MMM_PE_DATAFLOW, LX760_FABRIC)
+        measured = get_measurement("LX760", "mmm").throughput  # GFLOP/s
+        generated_gflops = design.throughput_per_sec / 1e9
+        assert 0.5 * measured < generated_gflops < 1.5 * measured
+
+    def test_scaling_stops_before_capacity(self):
+        design = scale_design(BLACK_SCHOLES_DATAFLOW, LX760_FABRIC)
+        assert design.utilization <= LX760_FABRIC.max_utilization
+        assert design.copies >= 1
+
+    def test_another_copy_would_not_help(self):
+        # The chosen copy count beats its neighbours (timing closure).
+        design = scale_design(MMM_PE_DATAFLOW, LX760_FABRIC)
+        per_copy = MMM_PE_DATAFLOW.luts()
+
+        def throughput(copies):
+            util = copies * per_copy / LX760_FABRIC.capacity_luts
+            if util > LX760_FABRIC.max_utilization:
+                return 0.0
+            return (
+                copies * 2.0 * LX760_FABRIC.clock_at(util) * 1e9
+            )
+
+        assert design.throughput_per_sec >= throughput(
+            design.copies - 1
+        )
+        assert design.throughput_per_sec >= throughput(
+            design.copies + 1
+        )
+
+    def test_too_big_for_fabric(self):
+        monster = Dataflow(
+            name="monster", operators={"div": 100_000}
+        )
+        with pytest.raises(ModelError, match="offers"):
+            scale_design(monster, LX760_FABRIC)
+
+    def test_area_uses_paper_per_lut_model(self):
+        design = scale_design(BLACK_SCHOLES_DATAFLOW, LX760_FABRIC)
+        assert design.area_mm2 == pytest.approx(
+            design.luts_used * 0.00191
+        )
+
+    def test_congestion_tradeoff_visible(self):
+        # A zero-congestion fabric always packs to the ceiling; a
+        # heavily congested one stops earlier.
+        easy = FabricSpec(name="easy", capacity_luts=474_240,
+                          base_clock_ghz=0.22, congestion_exponent=0.0)
+        hard = FabricSpec(name="hard", capacity_luts=474_240,
+                          base_clock_ghz=0.22, congestion_exponent=3.0)
+        easy_design = scale_design(BLACK_SCHOLES_DATAFLOW, easy)
+        hard_design = scale_design(BLACK_SCHOLES_DATAFLOW, hard)
+        assert hard_design.copies < easy_design.copies

@@ -1,0 +1,191 @@
+"""Tests for the ITRS roadmap (Table 6, Figure 5) and scenarios."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.itrs.roadmap import ITRS_2009, NodeParams, Roadmap, figure5_series
+from repro.itrs.scenarios import (
+    BASELINE,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
+
+
+class TestTable6:
+    def test_five_nodes(self):
+        assert ITRS_2009.node_labels() == [
+            "40nm", "32nm", "22nm", "16nm", "11nm",
+        ]
+
+    def test_years(self):
+        assert [n.year for n in ITRS_2009.nodes] == [
+            2011, 2013, 2016, 2019, 2022,
+        ]
+
+    def test_constant_budgets(self):
+        for node in ITRS_2009.nodes:
+            assert node.core_area_budget_mm2 == 432.0
+            assert node.core_power_budget_w == 100.0
+
+    def test_bce_capacity_column(self):
+        assert [n.max_area_bce for n in ITRS_2009.nodes] == [
+            19.0, 37.0, 75.0, 149.0, 298.0,
+        ]
+
+    def test_rel_power_column(self):
+        assert [n.rel_power for n in ITRS_2009.nodes] == [
+            1.0, 0.75, 0.5, 0.36, 0.25,
+        ]
+
+    def test_bandwidth_column_is_180_times_rel(self):
+        for node in ITRS_2009.nodes:
+            assert node.bandwidth_gbps == pytest.approx(
+                180.0 * node.rel_bandwidth
+            )
+
+    def test_bandwidth_values(self):
+        assert [n.bandwidth_gbps for n in ITRS_2009.nodes] == [
+            180.0, 198.0, 234.0, 234.0, 252.0,
+        ]
+
+    def test_node_lookup(self):
+        assert ITRS_2009.node(22).year == 2016
+        with pytest.raises(ModelError):
+            ITRS_2009.node(28)
+
+    def test_node_validation(self):
+        with pytest.raises(ModelError):
+            NodeParams(2011, 40, -1.0, 100.0, 180.0, 19.0, 1.0, 1.0)
+
+    def test_paper_headline_trends(self):
+        # Power per transistor falls only ~4-5x while density rises
+        # ~16x; bandwidth grows < 1.5x.
+        first, last = ITRS_2009.nodes[0], ITRS_2009.nodes[-1]
+        assert last.max_area_bce / first.max_area_bce > 15
+        assert first.rel_power / last.rel_power <= 5
+        assert last.rel_bandwidth < 1.5
+
+
+class TestOverrides:
+    def test_bandwidth_override_keeps_growth(self):
+        roadmap = ITRS_2009.with_overrides(bandwidth_gbps_at_start=1000.0)
+        assert [n.bandwidth_gbps for n in roadmap.nodes] == [
+            pytest.approx(1000.0 * rel)
+            for rel in (1.0, 1.1, 1.3, 1.3, 1.4)
+        ]
+
+    def test_power_override(self):
+        roadmap = ITRS_2009.with_overrides(power_budget_w=10.0)
+        assert all(
+            n.core_power_budget_w == 10.0 for n in roadmap.nodes
+        )
+
+    def test_area_factor_scales_bce(self):
+        roadmap = ITRS_2009.with_overrides(area_factor=0.5)
+        assert roadmap.nodes[0].max_area_bce == pytest.approx(9.5)
+        assert roadmap.nodes[0].core_area_budget_mm2 == pytest.approx(216.0)
+
+    def test_original_untouched(self):
+        ITRS_2009.with_overrides(power_budget_w=1.0)
+        assert ITRS_2009.nodes[0].core_power_budget_w == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ITRS_2009.with_overrides(area_factor=0.0)
+        with pytest.raises(ModelError):
+            ITRS_2009.with_overrides(bandwidth_gbps_at_start=-5.0)
+        with pytest.raises(ModelError):
+            Roadmap(())
+
+
+class TestFigure5:
+    def test_series_present(self):
+        series = figure5_series()
+        assert set(series) == {
+            "pins", "vdd", "gate_capacitance", "combined_power",
+        }
+
+    def test_normalised_to_2011(self):
+        series = figure5_series()
+        for name, values in series.items():
+            assert values[2011] == pytest.approx(1.0), name
+
+    def test_combined_power_identity(self):
+        # combined = vdd^2 * cgate, by construction and physics.
+        series = figure5_series()
+        for year in series["vdd"]:
+            assert series["combined_power"][year] == pytest.approx(
+                series["vdd"][year] ** 2
+                * series["gate_capacitance"][year]
+            )
+
+    def test_combined_matches_table6_rel_power(self):
+        series = figure5_series()
+        for node in ITRS_2009.nodes:
+            assert series["combined_power"][node.year] == pytest.approx(
+                node.rel_power, rel=1e-3
+            )
+
+    def test_pins_grow_slowly(self):
+        pins = figure5_series()["pins"]
+        values = [pins[y] for y in sorted(pins)]
+        assert values == sorted(values)
+        assert values[-1] < 1.5
+
+    def test_vdd_and_cgate_decline(self):
+        series = figure5_series()
+        for name in ("vdd", "gate_capacitance", "combined_power"):
+            values = [series[name][y] for y in sorted(series[name])]
+            assert values == sorted(values, reverse=True), name
+
+
+class TestScenarios:
+    def test_registry_names(self):
+        assert scenario_names() == [
+            "baseline", "low-bandwidth", "high-bandwidth", "half-area",
+            "double-power", "low-power", "high-alpha",
+        ]
+
+    def test_baseline_is_table6(self):
+        assert BASELINE.roadmap.nodes == ITRS_2009.nodes
+        assert BASELINE.alpha == 1.75
+
+    def test_scenario1_low_bandwidth(self):
+        s = get_scenario("low-bandwidth")
+        assert s.roadmap.nodes[0].bandwidth_gbps == pytest.approx(90.0)
+
+    def test_scenario2_high_bandwidth(self):
+        s = get_scenario("high-bandwidth")
+        assert s.roadmap.nodes[0].bandwidth_gbps == pytest.approx(1000.0)
+
+    def test_scenario3_half_area(self):
+        s = get_scenario("half-area")
+        assert s.roadmap.nodes[0].core_area_budget_mm2 == pytest.approx(
+            216.0
+        )
+
+    def test_scenarios_4_and_5_power(self):
+        assert get_scenario(
+            "double-power"
+        ).roadmap.nodes[0].core_power_budget_w == 200.0
+        assert get_scenario(
+            "low-power"
+        ).roadmap.nodes[0].core_power_budget_w == 10.0
+
+    def test_scenario6_alpha(self):
+        s = get_scenario("high-alpha")
+        assert s.alpha == 2.25
+        assert s.roadmap.nodes == ITRS_2009.nodes
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ModelError):
+            get_scenario("free-lunch")
+
+    def test_scenario_validation(self):
+        with pytest.raises(ModelError):
+            Scenario(name="bad", description="", alpha=0.5)
+
+    def test_all_scenarios_registered(self):
+        assert len(SCENARIOS) == 7

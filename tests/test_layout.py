@@ -1,0 +1,172 @@
+"""Tests for the chip layout substrate (tiles, floorplans, Figure 1)."""
+
+import pytest
+
+from repro.core.chip import (
+    AsymmetricOffloadCMP,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.optimizer import optimize
+from repro.core.power import seq_power
+from repro.devices.params import ucore_for
+from repro.errors import ModelError
+from repro.itrs.roadmap import ITRS_2009
+from repro.layout.floorplan import (
+    NONCOMPUTE_FRACTION,
+    build_floorplan,
+)
+from repro.layout.render import render_figure1, render_floorplan
+from repro.layout.tiles import Tile, TileKind, make_tile
+from repro.projection.engine import node_budget
+
+
+@pytest.fixture
+def node40():
+    return ITRS_2009.node(40)
+
+
+@pytest.fixture
+def het_plan(node40):
+    chip = HeterogeneousChip(ucore_for("ASIC", "fft", 1024))
+    budget = node_budget(node40, "fft", 1024)
+    point = optimize(chip, 0.99, budget)
+    return chip, point, build_floorplan(chip, point, node40)
+
+
+class TestTiles:
+    def test_fast_core_gated_in_parallel(self):
+        tile = make_tile(TileKind.FAST_CORE, bce_units=4)
+        assert tile.active_serial and not tile.active_parallel
+
+    def test_bce_core_gated_in_serial(self):
+        tile = make_tile(TileKind.BCE_CORE)
+        assert tile.active_parallel and not tile.active_serial
+
+    def test_noncompute_always_on(self):
+        tile = make_tile(TileKind.NONCOMPUTE, bce_units=144.0)
+        assert tile.active_serial and tile.active_parallel
+        assert tile.bce_equiv == 0.0
+        assert tile.area_mm2 == 144.0
+
+    def test_density_scale_shrinks_tiles(self):
+        at40 = make_tile(TileKind.UCORE, bce_units=4, density_scale=1.0)
+        at11 = make_tile(
+            TileKind.UCORE, bce_units=4, density_scale=1 / 16
+        )
+        assert at11.area_mm2 == pytest.approx(at40.area_mm2 / 16)
+
+    def test_glyphs(self):
+        assert make_tile(TileKind.FAST_CORE, 2).glyph == "F"
+        assert make_tile(TileKind.NONCOMPUTE, 1.0).glyph == "."
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            make_tile("npu", 1)
+        with pytest.raises(ModelError):
+            make_tile(TileKind.BCE_CORE, bce_units=0)
+        with pytest.raises(ModelError):
+            Tile(TileKind.BCE_CORE, "x", -1.0, 1.0, False, True)
+
+
+class TestFloorplan:
+    def test_heterogeneous_structure(self, het_plan):
+        _, point, plan = het_plan
+        assert len(plan.tiles_of(TileKind.FAST_CORE)) == 1
+        assert len(plan.tiles_of(TileKind.UCORE)) == 1
+        assert len(plan.tiles_of(TileKind.NONCOMPUTE)) == 1
+
+    def test_bce_accounting_matches_design_point(self, het_plan):
+        _, point, plan = het_plan
+        assert plan.total_bce == pytest.approx(point.n)
+
+    def test_compute_area_within_budget(self, het_plan, node40):
+        _, _, plan = het_plan
+        assert plan.compute_area_mm2 <= node40.core_area_budget_mm2 * (
+            1 + 1e-9
+        )
+
+    def test_noncompute_reserve(self, het_plan):
+        _, _, plan = het_plan
+        assert plan.noncompute_area_mm2 == pytest.approx(
+            plan.die_area_mm2 * NONCOMPUTE_FRACTION
+        )
+
+    def test_asym_builds_bce_tiles(self, node40):
+        chip = AsymmetricOffloadCMP()
+        budget = node_budget(node40, "mmm", None)
+        point = optimize(chip, 0.99, budget)
+        plan = build_floorplan(chip, point, node40)
+        bces = plan.tiles_of(TileKind.BCE_CORE)
+        assert len(bces) >= int(point.n - point.r)
+        assert plan.total_bce == pytest.approx(point.n, abs=1e-6)
+
+    def test_symmetric_core_count(self, node40):
+        chip = SymmetricCMP()
+        budget = node_budget(node40, "mmm", None)
+        point = optimize(chip, 0.9, budget)
+        plan = build_floorplan(chip, point, node40)
+        cores = plan.tiles_of(TileKind.FAST_CORE)
+        assert len(cores) == max(int(point.n / point.r), 1)
+        # Exactly one core serves the serial phase.
+        assert sum(1 for t in cores if t.active_serial) == 1
+        assert all(t.active_parallel for t in cores)
+
+    def test_denser_nodes_fit_more_bce(self):
+        chip = HeterogeneousChip(ucore_for("ASIC", "mmm"))
+        plans = {}
+        for node_nm in (40, 11):
+            node = ITRS_2009.node(node_nm)
+            budget = node_budget(
+                node, "mmm", None, bandwidth_exempt=True
+            )
+            point = optimize(chip, 0.999, budget)
+            plans[node_nm] = build_floorplan(chip, point, node)
+        assert plans[11].total_bce > plans[40].total_bce
+        # Both dies are the same physical size.
+        assert plans[11].die_area_mm2 == plans[40].die_area_mm2
+
+
+class TestPhasePower:
+    def test_serial_power_matches_model(self, het_plan):
+        chip, point, plan = het_plan
+        assert plan.phase_power_bce("serial") == pytest.approx(
+            seq_power(point.r, 1.75)
+        )
+
+    def test_parallel_power_matches_model(self, het_plan):
+        chip, point, plan = het_plan
+        expected = chip.parallel_power(point.n, point.r, 1.75)
+        assert plan.phase_power_bce(
+            "parallel", ucore_phi=chip.ucore.phi
+        ) == pytest.approx(expected)
+
+    def test_bad_phase(self, het_plan):
+        _, _, plan = het_plan
+        with pytest.raises(ModelError):
+            plan.phase_power_bce("sleep")
+
+
+class TestRendering:
+    def test_floorplan_grid(self, het_plan):
+        _, _, plan = het_plan
+        text = render_floorplan(plan)
+        assert "F" in text and "u" in text and "." in text
+        assert "die 576mm2" in text
+
+    def test_grid_validation(self, het_plan):
+        _, _, plan = het_plan
+        with pytest.raises(ModelError):
+            render_floorplan(plan, grid_width=4)
+
+    def test_figure1_has_three_models(self):
+        text = render_figure1()
+        assert "(a) Symmetric" in text
+        assert "(b) Asymmetric" in text
+        assert "(c) Heterogeneous" in text
+        assert text.count("+--") == 6  # two borders per floorplan
+
+    def test_figure1_via_registry(self):
+        from repro.reporting.experiments import run_experiment
+
+        assert "chip models" in run_experiment("F1")

@@ -1,0 +1,100 @@
+"""Tests for the per-size FFT calibration curves."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.measure.calibration import (
+    DEVICE_FFT_LOG2_RANGES,
+    FFT_SIZE_RANGE,
+    fft_device_curve,
+    fft_device_log2_sizes,
+    fft_mu_phi,
+    i7_fft_throughput,
+)
+
+
+class TestI7Curve:
+    def test_anchor_values(self):
+        assert i7_fft_throughput(6) == pytest.approx(15.0)
+        assert i7_fft_throughput(10) == pytest.approx(19.0)
+        assert i7_fft_throughput(14) == pytest.approx(24.0)
+
+    def test_covers_figure2_sweep(self):
+        for size in FFT_SIZE_RANGE:
+            assert i7_fft_throughput(size.bit_length() - 1) > 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CalibrationError):
+            i7_fft_throughput(3)
+        with pytest.raises(CalibrationError):
+            i7_fft_throughput(21)
+
+    def test_cache_rolloff_after_peak(self):
+        assert i7_fft_throughput(20) < i7_fft_throughput(14)
+
+
+class TestMuPhiInterpolation:
+    def test_exact_at_anchors(self):
+        mu, phi = fft_mu_phi("GTX285", 10)
+        assert mu == pytest.approx(2.88)
+        assert phi == pytest.approx(0.63)
+
+    def test_interpolates_between_anchors(self):
+        mu_6, _ = fft_mu_phi("GTX285", 6)
+        mu_8, _ = fft_mu_phi("GTX285", 8)
+        mu_10, _ = fft_mu_phi("GTX285", 10)
+        assert mu_6 < mu_8 < mu_10
+        assert mu_8 == pytest.approx((mu_6 + mu_10) / 2)
+
+    def test_clamps_outside_anchor_range(self):
+        assert fft_mu_phi("ASIC", 4) == fft_mu_phi("ASIC", 6)
+        assert fft_mu_phi("ASIC", 20) == fft_mu_phi("ASIC", 14)
+
+    def test_unknown_device(self):
+        with pytest.raises(CalibrationError):
+            fft_mu_phi("Core i9", 10)
+
+    def test_device_without_fft_anchors(self):
+        with pytest.raises(CalibrationError):
+            fft_mu_phi("R5870", 10)
+
+
+class TestDeviceCurves:
+    def test_ranges_match_figure3(self):
+        assert DEVICE_FFT_LOG2_RANGES["Core i7-960"] == (5, 19)
+        assert DEVICE_FFT_LOG2_RANGES["ASIC"] == (5, 13)
+        assert fft_device_log2_sizes("LX760") == list(range(4, 15))
+
+    def test_i7_curve_passthrough(self):
+        curve = fft_device_curve("Core i7-960", 10)
+        assert curve["throughput"] == pytest.approx(19.0)
+        assert curve["area_mm2"] == pytest.approx(193.0)
+        assert curve["watts"] == pytest.approx(85.0)
+
+    def test_asic_dominates_everyone_per_area(self):
+        for log2_n in range(6, 14):
+            asic = fft_device_curve("ASIC", log2_n)
+            for other in ("Core i7-960", "GTX285", "GTX480", "LX760"):
+                o = fft_device_curve(other, log2_n)
+                assert (
+                    asic["throughput"] / asic["area_mm2"]
+                    > o["throughput"] / o["area_mm2"]
+                )
+
+    def test_ucore_curve_consistent_with_mu(self):
+        # x_u / (x_i7 * sqrt(2)) must recover the interpolated mu.
+        curve = fft_device_curve("GTX480", 12)
+        i7 = fft_device_curve("Core i7-960", 12)
+        x_u = curve["throughput"] / curve["area_mm2"]
+        x_i7 = i7["throughput"] / i7["area_mm2"]
+        mu, _ = fft_mu_phi("GTX480", 12)
+        assert x_u / (x_i7 * 2**0.5) == pytest.approx(mu)
+
+    def test_asic_area_grows_with_size(self):
+        small = fft_device_curve("ASIC", 6)["area_mm2"]
+        large = fft_device_curve("ASIC", 13)["area_mm2"]
+        assert small < large
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(CalibrationError):
+            fft_device_curve("GTX285", 25)

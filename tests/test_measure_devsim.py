@@ -1,0 +1,111 @@
+"""Tests for the simulated device executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ModelError
+from repro.measure.devsim import SimulatedDevice, simulated_device
+
+
+class TestConstruction:
+    def test_factory(self):
+        dev = simulated_device("GTX285")
+        assert isinstance(dev, SimulatedDevice)
+        assert dev.name == "GTX285"
+
+    def test_unknown_device(self):
+        from repro.errors import UnknownDeviceError
+
+        with pytest.raises(UnknownDeviceError):
+            simulated_device("GTX999")
+
+
+class TestThroughputCurve:
+    def test_mmm_matches_table4(self):
+        curve = simulated_device("R5870").throughput_curve("mmm")
+        assert curve["throughput"] == pytest.approx(1491.0)
+        assert curve["unit"] == "GFLOP/s"
+
+    def test_bs_matches_table4(self):
+        curve = simulated_device("ASIC").throughput_curve("bs")
+        assert curve["throughput"] == pytest.approx(25532.0)
+        assert curve["unit"] == "Mopts/s"
+
+    def test_fft_needs_size(self):
+        with pytest.raises(ModelError):
+            simulated_device("GTX285").throughput_curve("fft")
+
+    def test_fft_out_of_measured_range(self):
+        # The ASIC was only measured to 2^13.
+        with pytest.raises(CalibrationError):
+            simulated_device("ASIC").throughput_curve("fft", 2**16)
+
+    def test_fft_rejects_non_power_of_two(self):
+        with pytest.raises(ModelError):
+            simulated_device("GTX285").throughput_curve("fft", 1000)
+
+    def test_unsupported_pair(self):
+        with pytest.raises(CalibrationError):
+            simulated_device("R5870").throughput_curve("bs")
+
+
+class TestRun:
+    def test_timing_follows_throughput(self):
+        dev = simulated_device("GTX285")
+        run = dev.run("fft", 1024, execute_kernel=False)
+        expected_seconds = (5 * 1024 * 10) / (run.throughput * 1e9)
+        assert run.seconds == pytest.approx(expected_seconds)
+
+    def test_batch_scales_time_linearly(self):
+        dev = simulated_device("GTX285")
+        one = dev.run("fft", 1024, batch=1, execute_kernel=False)
+        many = dev.run("fft", 1024, batch=64, execute_kernel=False)
+        assert many.seconds == pytest.approx(64 * one.seconds)
+        assert many.throughput == pytest.approx(one.throughput)
+
+    def test_energy_is_power_times_time(self):
+        run = simulated_device("ASIC").run("bs", 4096,
+                                           execute_kernel=False)
+        assert run.joules == pytest.approx(run.watts * run.seconds)
+
+    def test_offchip_traffic_rate(self):
+        # Compulsory bytes at the sustained rate: FFT-1024 = 0.32 B/flop.
+        run = simulated_device("GTX480").run("fft", 1024,
+                                             execute_kernel=False)
+        assert run.offchip_gbps == pytest.approx(0.32 * run.throughput)
+
+    def test_kernel_execution_produces_output(self, rng):
+        run = simulated_device("Core i7-960").run("fft", 64, rng=rng)
+        assert run.kernel.output is not None
+        assert len(run.kernel.output) == 64
+
+    def test_raw_watts_exceed_normalised_for_old_nodes(self):
+        run = simulated_device("GTX285").run("fft", 1024,
+                                             execute_kernel=False)
+        assert run.raw_watts > run.watts  # 55nm device
+
+    def test_raw_watts_equal_normalised_at_40nm(self):
+        run = simulated_device("GTX480").run("fft", 1024,
+                                             execute_kernel=False)
+        assert run.raw_watts == pytest.approx(run.watts)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ModelError):
+            simulated_device("ASIC").run("bs", 16, batch=0)
+
+
+class TestAsMeasurement:
+    def test_roundtrip_fields(self):
+        run = simulated_device("LX760").run("mmm", 256,
+                                            execute_kernel=False)
+        m = run.as_measurement()
+        assert m.device == "LX760"
+        assert m.workload == "mmm"
+        assert m.size is None  # MMM records carry no size
+        assert m.throughput == pytest.approx(204.0)
+        assert m.perf_per_mm2 == pytest.approx(0.53)
+
+    def test_fft_measurement_keeps_size(self):
+        run = simulated_device("GTX285").run("fft", 1024,
+                                             execute_kernel=False)
+        assert run.as_measurement().size == 1024

@@ -1,0 +1,103 @@
+"""Tests for the end-to-end measurement harness."""
+
+import pytest
+
+from repro.devices.measurements import TABLE4, TABLE5_PUBLISHED
+from repro.errors import CalibrationError
+from repro.measure.harness import MeasurementHarness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return MeasurementHarness()
+
+
+class TestTable4Reproduction:
+    def test_row_count(self, harness):
+        rows = harness.table4()
+        expected = sum(len(v) for v in TABLE4.values())
+        assert len(rows) == expected
+
+    def test_all_rows_match_published(self, harness):
+        published = harness.table4_published()
+        for row in harness.table4():
+            thr, x, e = published[row.workload][row.device]
+            assert row.throughput == pytest.approx(thr)
+            assert row.per_mm2 == pytest.approx(x, rel=1e-6)
+            assert row.per_joule == pytest.approx(e, rel=1e-6)
+
+    def test_r5870_wins_absolute_mmm(self, harness):
+        # "For MMM, the R5870 GPU performed the best, achieving nearly
+        # 1.5 TeraFLOPs."
+        mmm = [r for r in harness.table4() if r.workload == "mmm"]
+        best = max(mmm, key=lambda r: r.throughput)
+        assert best.device == "R5870"
+        assert best.throughput == pytest.approx(1491.0)
+
+    def test_asic_wins_normalised_columns(self, harness):
+        for workload in ("mmm", "bs"):
+            rows = [r for r in harness.table4() if r.workload == workload]
+            assert max(rows, key=lambda r: r.per_mm2).device == "ASIC"
+            assert max(rows, key=lambda r: r.per_joule).device == "ASIC"
+
+
+class TestFFTSeries:
+    def test_series_devices(self, harness):
+        series = harness.fft_all_series()
+        assert set(series) == {
+            "Core i7-960", "LX760", "GTX285", "GTX480", "ASIC",
+        }
+
+    def test_asic_100x_per_area_over_flexible(self, harness):
+        # "the ASIC FFT cores achieve nearly 100X improvement over the
+        # flexible cores (FPGA, GPU), and nearly 1000X over the Core i7"
+        series = harness.fft_all_series()
+        at_1024 = {
+            dev: next(p for p in pts if p.log2_n == 10)
+            for dev, pts in series.items()
+        }
+        asic = at_1024["ASIC"].per_mm2
+        assert asic / at_1024["GTX285"].per_mm2 > 50
+        assert asic / at_1024["Core i7-960"].per_mm2 > 500
+
+    def test_asic_energy_efficiency_order(self, harness):
+        # Figure 4 top: ASIC ~2 orders over the i7, ~10x over GPUs/FPGA.
+        series = harness.fft_all_series()
+        at_1024 = {
+            dev: next(p for p in pts if p.log2_n == 10)
+            for dev, pts in series.items()
+        }
+        asic = at_1024["ASIC"].per_joule
+        assert asic / at_1024["Core i7-960"].per_joule > 50
+        assert asic / at_1024["GTX285"].per_joule > 5
+
+
+class TestDerivationLoop:
+    @pytest.mark.parametrize("device,workload,size,key", [
+        ("ASIC", "mmm", None, "mmm"),
+        ("GTX285", "bs", None, "bs"),
+        ("LX760", "fft", 1024, "fft-1024"),
+        ("GTX480", "fft", 64, "fft-64"),
+    ])
+    def test_simulated_runs_reproduce_table5(
+        self, harness, device, workload, size, key
+    ):
+        ucore = harness.derive_ucore_from_runs(device, workload, size)
+        phi_pub, mu_pub = TABLE5_PUBLISHED[device][key]
+        assert ucore.mu == pytest.approx(mu_pub, rel=0.02)
+        assert ucore.phi == pytest.approx(phi_pub, rel=0.02)
+
+
+class TestValidation:
+    def test_unknown_workload_devices(self, harness):
+        with pytest.raises(CalibrationError):
+            harness.devices_for("spmv")
+
+    def test_observe_needs_size_for_fft(self, harness):
+        with pytest.raises(CalibrationError):
+            harness.observe("GTX285", "fft")
+
+    def test_kernel_execution_mode(self):
+        h = MeasurementHarness(execute_kernels=True)
+        run = h.observe("Core i7-960", "fft", 64)
+        assert run.kernel.output is not None

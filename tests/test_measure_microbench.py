@@ -1,0 +1,119 @@
+"""Tests for the Section 4.2 power-isolation microbenchmark suite."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.measure.microbench import (
+    STANDARD_SUITE,
+    Microbenchmark,
+    MicrobenchReading,
+    isolate_compute_power,
+    run_suite,
+    solve_components,
+)
+from repro.measure.powermodel import COMPONENT_ORDER, breakdown_for
+
+
+class TestMicrobenchmark:
+    def test_vector_order(self):
+        mb = Microbenchmark("x", {"core_dynamic": 0.5, "unknown": 1.0})
+        vec = mb.vector()
+        assert vec[COMPONENT_ORDER.index("core_dynamic")] == 0.5
+        assert vec[COMPONENT_ORDER.index("unknown")] == 1.0
+        assert sum(vec) == 1.5
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(CalibrationError):
+            Microbenchmark("bad", {"warp_scheduler": 1.0})
+
+    def test_activation_range(self):
+        with pytest.raises(CalibrationError):
+            Microbenchmark("bad", {"core_dynamic": 1.5})
+
+    def test_standard_suite_is_full_rank(self):
+        import numpy as np
+
+        matrix = np.array([mb.vector() for mb in STANDARD_SUITE])
+        assert np.linalg.matrix_rank(matrix) == len(COMPONENT_ORDER)
+
+
+class TestRunSuite:
+    def test_readings_per_benchmark(self):
+        readings = run_suite("GTX285", 10)
+        assert len(readings) == len(STANDARD_SUITE)
+
+    def test_full_kernel_reading_is_total(self):
+        readings = {
+            r.benchmark.name: r.watts for r in run_suite("GTX480", 10)
+        }
+        assert readings["full-kernel"] == pytest.approx(
+            breakdown_for("GTX480", 10).total
+        )
+
+    def test_idle_below_full(self):
+        readings = {
+            r.benchmark.name: r.watts for r in run_suite("GTX285", 12)
+        }
+        assert readings["idle"] < readings["memory-stream"]
+        assert readings["memory-stream"] < readings["full-kernel"]
+
+    def test_noise_is_reproducible(self):
+        a = run_suite("GTX285", 10, noise_sigma=1.0, seed=5)
+        b = run_suite("GTX285", 10, noise_sigma=1.0, seed=5)
+        assert [r.watts for r in a] == [r.watts for r in b]
+
+
+class TestSolveComponents:
+    def test_recovers_ground_truth_exactly(self):
+        truth = breakdown_for("GTX285", 10)
+        solved = solve_components(run_suite("GTX285", 10))
+        for component in COMPONENT_ORDER:
+            assert solved[component] == pytest.approx(
+                truth.component(component), rel=1e-9
+            )
+
+    def test_robust_to_probe_noise(self):
+        truth = breakdown_for("GTX480", 10)
+        solved = solve_components(
+            run_suite("GTX480", 10, noise_sigma=0.5, seed=1)
+        )
+        for component in COMPONENT_ORDER:
+            assert solved[component] == pytest.approx(
+                truth.component(component), abs=2.5
+            )
+
+    def test_rank_deficient_suite_rejected(self):
+        # Without the power-gated idle stimuli, statics are inseparable
+        # -- the very reason Figure 3 carries an "Unknown" bucket.
+        degenerate = [
+            mb
+            for mb in STANDARD_SUITE
+            if mb.name not in ("idle-cores-gated", "idle-uncore-gated")
+        ]
+        readings = run_suite("GTX285", 10, suite=degenerate)
+        with pytest.raises(CalibrationError, match="rank"):
+            solve_components(readings)
+
+    def test_empty_readings_rejected(self):
+        with pytest.raises(CalibrationError):
+            solve_components([])
+
+    def test_reading_type(self):
+        reading = run_suite("ASIC", 10)[0]
+        assert isinstance(reading, MicrobenchReading)
+        assert reading.watts >= 0
+
+
+class TestIsolateComputePower:
+    def test_matches_breakdown_core_terms(self):
+        truth = breakdown_for("GTX285", 10)
+        isolated = isolate_compute_power("GTX285", 10)
+        assert isolated == pytest.approx(
+            truth.core_dynamic + truth.core_leakage, rel=1e-9
+        )
+
+    def test_compute_power_below_wall_power(self):
+        for device in ("GTX285", "GTX480"):
+            isolated = isolate_compute_power(device, 10)
+            total = breakdown_for(device, 10).total
+            assert 0 < isolated < total

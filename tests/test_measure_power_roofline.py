@@ -1,0 +1,127 @@
+"""Tests for the power-breakdown and bandwidth-validation models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.measure.powermodel import (
+    BREAKDOWN_FRACTIONS,
+    COMPONENT_ORDER,
+    breakdown_for,
+    fft_power_series,
+)
+from repro.measure.roofline import (
+    GTX285_ONCHIP_LIMIT_LOG2,
+    compulsory_bandwidth_gbps,
+    fft_bandwidth_series,
+    is_compute_bound,
+)
+
+
+class TestPowerBreakdown:
+    def test_fractions_sum_to_one(self):
+        for kind, fractions in BREAKDOWN_FRACTIONS.items():
+            assert sum(fractions.values()) == pytest.approx(1.0), kind
+
+    def test_components_sum_to_total(self):
+        pb = breakdown_for("GTX480", 10)
+        parts = sum(pb.component(c) for c in COMPONENT_ORDER)
+        assert parts == pytest.approx(pb.total)
+
+    def test_total_is_raw_power(self):
+        from repro.measure.devsim import simulated_device
+
+        pb = breakdown_for("GTX285", 10)
+        run = simulated_device("GTX285").run("fft", 1024,
+                                             execute_kernel=False)
+        assert pb.total == pytest.approx(run.raw_watts)
+
+    def test_asic_mostly_core_dynamic(self):
+        pb = breakdown_for("ASIC", 10)
+        assert pb.core_dynamic / pb.total == pytest.approx(0.70)
+
+    def test_fpga_heavy_leakage(self):
+        fpga = breakdown_for("LX760", 10)
+        gpu = breakdown_for("GTX480", 10)
+        assert fpga.core_leakage / fpga.total > gpu.core_leakage / gpu.total
+
+    def test_series_covers_measured_sizes(self):
+        series = fft_power_series("ASIC")
+        assert [pb.log2_n for pb in series] == list(range(5, 14))
+
+    def test_unknown_component(self):
+        pb = breakdown_for("ASIC", 10)
+        with pytest.raises(ModelError):
+            pb.component("magic_smoke")
+
+    def test_figure3_envelope_cpu_vs_asic(self):
+        # Figure 3's headline: the i7 burns ~an order of magnitude more
+        # raw watts than the ASIC FFT core.
+        cpu = breakdown_for("Core i7-960", 10)
+        asic = breakdown_for("ASIC", 10)
+        assert cpu.total > 5 * asic.total
+
+
+class TestComputeBound:
+    def test_under_margin(self):
+        assert is_compute_bound(100.0, 159.0)
+
+    def test_over_margin(self):
+        assert not is_compute_bound(155.0, 159.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            is_compute_bound(1.0, 0.0)
+        with pytest.raises(ModelError):
+            is_compute_bound(1.0, 10.0, margin=0.0)
+
+
+class TestCompulsoryBandwidth:
+    def test_fft_1024(self):
+        # 0.32 bytes/flop at 100 GFLOP/s -> 32 GB/s.
+        assert compulsory_bandwidth_gbps(
+            "fft", 1024, 100.0, "GFLOP/s"
+        ) == pytest.approx(32.0)
+
+    def test_bs(self):
+        # 10 bytes/option at 10756 Mopts/s -> 107.56 GB/s.
+        assert compulsory_bandwidth_gbps(
+            "bs", 4096, 10756.0, "Mopts/s"
+        ) == pytest.approx(107.56)
+
+    def test_unknown_unit(self):
+        with pytest.raises(ModelError):
+            compulsory_bandwidth_gbps("fft", 1024, 1.0, "TFLOP/s")
+
+
+class TestFigure4Bandwidth:
+    def test_compulsory_until_onchip_limit(self):
+        series = fft_bandwidth_series("GTX285")
+        for sample in series:
+            if sample.log2_n < GTX285_ONCHIP_LIMIT_LOG2:
+                assert sample.measured_gbps == pytest.approx(
+                    sample.compulsory_gbps
+                )
+
+    def test_above_compulsory_when_spilled(self):
+        series = fft_bandwidth_series("GTX285")
+        spilled = [
+            s for s in series if s.log2_n >= GTX285_ONCHIP_LIMIT_LOG2
+        ]
+        assert spilled
+        for sample in spilled:
+            assert sample.measured_gbps > sample.compulsory_gbps
+
+    def test_always_compute_bound(self):
+        # The paper's validation: the GTX285 never saturates its pins.
+        for sample in fft_bandwidth_series("GTX285"):
+            assert sample.compute_bound is True
+
+    def test_gtx480_counters_unavailable(self):
+        # The paper could not measure GTX480 bandwidth counters.
+        for sample in fft_bandwidth_series("GTX480"):
+            assert sample.measured_gbps is None
+            assert sample.compute_bound is None
+
+    def test_peak_is_catalog_bandwidth(self):
+        sample = fft_bandwidth_series("GTX285")[0]
+        assert sample.peak_gbps == pytest.approx(159.0)

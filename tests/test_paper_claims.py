@@ -1,0 +1,376 @@
+"""Integration tests: the paper's qualitative claims, asserted.
+
+Each test pins one sentence of Sections 6.1-6.3 / the conclusions to a
+property of the projection output.  These are the "shape" acceptance
+criteria of the reproduction: who wins, by roughly what factor, where
+designs hit which wall -- not absolute numbers.
+"""
+
+import pytest
+
+from repro.core.constraints import LimitingFactor
+from repro.itrs.scenarios import get_scenario
+from repro.projection.energyproj import project_energy
+from repro.projection.engine import project
+
+
+def final_speedups(result):
+    """Design label -> speedup at the last (11nm) node."""
+    return {
+        s.design.short_label: s.cells[-1].speedup for s in result.series
+    }
+
+
+def first_speedups(result):
+    """Design label -> speedup at the first (40nm) node."""
+    return {
+        s.design.short_label: s.cells[0].speedup for s in result.series
+    }
+
+
+def final_limiters(result):
+    return {
+        s.design.short_label: s.cells[-1].limiter for s in result.series
+    }
+
+
+def cmp_max(speedups):
+    return max(speedups["SymCMP"], speedups["AsymCMP"])
+
+
+def het_labels(result):
+    return [
+        s.design.short_label
+        for s in result.series
+        if s.design.index >= 2
+    ]
+
+
+class TestConclusion1SufficientParallelism:
+    """(1) sufficient parallelism must exist before U-cores offer
+    significant performance gains (f >= 0.90)."""
+
+    @pytest.mark.parametrize("workload,size", [
+        ("fft", 1024), ("mmm", None), ("bs", None),
+    ])
+    def test_no_significant_gain_at_f_half(self, workload, size):
+        result = project(workload, 0.5, fft_size=size)
+        speeds = final_speedups(result)
+        best_het = max(speeds[label] for label in het_labels(result))
+        assert best_het / cmp_max(speeds) < 2.0
+
+    @pytest.mark.parametrize("workload,size", [
+        ("fft", 1024), ("mmm", None), ("bs", None),
+    ])
+    def test_pronounced_gain_at_f_090(self, workload, size):
+        # The gap is widest before the bandwidth ceiling flattens
+        # everything (late nodes); assert it at 40nm, where Figures
+        # 6-8 show HETs at ~2-4x the CMPs.
+        result = project(workload, 0.9, fft_size=size)
+        speeds = first_speedups(result)
+        best_het = max(speeds[label] for label in het_labels(result))
+        assert best_het / cmp_max(speeds) > 1.5
+
+    def test_gap_widens_with_f(self):
+        gaps = []
+        for f in (0.5, 0.9, 0.99):
+            speeds = final_speedups(project("mmm", f))
+            gaps.append(speeds["ASIC"] / cmp_max(speeds))
+        assert gaps[0] < gaps[1] < gaps[2]
+
+
+class TestConclusion2BandwidthFirstOrder:
+    """(2) off-chip bandwidth has a first-order effect: flexible
+    U-cores keep up with custom logic when bandwidth limits."""
+
+    def test_fft_asic_bandwidth_limited_everywhere(self):
+        result = project("fft", 0.99)
+        asic = result.by_label()["ASIC"]
+        assert all(
+            lim is LimitingFactor.BANDWIDTH for lim in asic.limiters()
+        )
+
+    def test_fft_flexible_cores_reach_asic_performance(self):
+        # "the FPGA design reaches ASIC-like bandwidth-limited
+        # performance as early as 32nm -- and similarly for the GPU
+        # designs, around 22nm and 16nm."
+        result = project("fft", 0.99)
+        speeds = final_speedups(result)
+        for flexible in ("LX760", "GTX285", "GTX480"):
+            assert speeds[flexible] == pytest.approx(
+                speeds["ASIC"], rel=1e-6
+            ), flexible
+
+    def test_fft_flexible_converge_by_22nm(self):
+        result = project("fft", 0.99)
+        by_label = result.by_label()
+        asic_at = {
+            cell.node.node_nm: cell.speedup
+            for cell in by_label["ASIC"].cells
+        }
+        for flexible in ("LX760", "GTX285", "GTX480"):
+            cell_22 = next(
+                c for c in by_label[flexible].cells
+                if c.node.node_nm == 22
+            )
+            assert cell_22.speedup == pytest.approx(
+                asic_at[22], rel=1e-6
+            ), flexible
+
+    def test_bs_hets_converge_to_bandwidth_limit(self):
+        result = project("bs", 0.9)
+        limiters = final_limiters(result)
+        for label in ("LX760", "GTX285", "ASIC"):
+            assert limiters[label] is LimitingFactor.BANDWIDTH
+
+    def test_mmm_asic_never_bandwidth_limited(self):
+        # High arithmetic intensity (+ the paper's explicit exemption).
+        for f in (0.5, 0.9, 0.99, 0.999):
+            asic = project("mmm", f).by_label()["ASIC"]
+            assert all(
+                lim is not LimitingFactor.BANDWIDTH
+                for lim in asic.limiters()
+            )
+
+
+class TestConclusion3FlexibleCompetitive:
+    """(3) flexible U-cores are competitive with custom logic at
+    moderate-to-high parallelism even when bandwidth is no concern."""
+
+    def test_mmm_within_factor_two_to_five_below_f999(self):
+        for f in (0.9, 0.99):
+            speeds = final_speedups(project("mmm", f))
+            best_flexible = max(
+                speeds["LX760"], speeds["GTX285"], speeds["GTX480"],
+                speeds["R5870"],
+            )
+            ratio = speeds["ASIC"] / best_flexible
+            assert ratio < 5.0, f
+
+    def test_mmm_asic_pulls_away_at_f999(self):
+        speeds = final_speedups(project("mmm", 0.999))
+        best_flexible = max(
+            speeds["LX760"], speeds["GTX285"], speeds["GTX480"],
+            speeds["R5870"],
+        )
+        assert speeds["ASIC"] / best_flexible > 5.0
+
+
+class TestConclusion4EnergyGoal:
+    """(4) U-cores, especially custom logic, are more broadly useful
+    when energy is the goal."""
+
+    def test_asic_energy_win_exceeds_speedup_win_at_f09(self):
+        f = 0.9
+        speeds = final_speedups(project("mmm", f))
+        energies = {
+            s.design.short_label: s.energies()[-1]
+            for s in project_energy("mmm", f).series
+        }
+        speed_ratio = speeds["ASIC"] / speeds["GTX480"]
+        energy_ratio = energies["GTX480"] / energies["ASIC"]
+        assert energy_ratio > speed_ratio
+
+    def test_asic_saves_energy_even_at_moderate_f(self):
+        # "at even moderate levels of parallelism (f=0.9-0.99), the
+        # ASIC still achieves a significant reduction in energy
+        # relative to the other U-cores."
+        for f in (0.9, 0.99):
+            by_label = project_energy("mmm", f).by_label()
+            asic = by_label["ASIC"].energies()[0]
+            for other in ("LX760", "GTX285", "GTX480", "R5870"):
+                assert asic < 0.8 * by_label[other].energies()[0]
+
+    def test_energy_saving_limited_at_low_f(self):
+        by_label = project_energy("mmm", 0.5).by_label()
+        asic = by_label["ASIC"].energies()[0]
+        sym = by_label["SymCMP"].energies()[0]
+        assert asic > 0.3 * sym  # no order-of-magnitude win
+
+
+class TestSection61Details:
+    def test_mmm_area_to_power_transition(self):
+        # "most designs are initially area-limited in 40nm ... but
+        # transition to becoming power-limited 22nm and after."
+        result = project("mmm", 0.99)
+        at_40 = [s.cells[0].limiter for s in result.series
+                 if s.design.index >= 2]
+        at_11 = [s.cells[-1].limiter for s in result.series
+                 if s.design.index >= 2]
+        assert any(lim is LimitingFactor.AREA for lim in at_40)
+        assert all(
+            lim in (LimitingFactor.POWER, LimitingFactor.BANDWIDTH)
+            for lim in at_11
+        )
+
+    def test_fft_f999_bandwidth_caps_everything(self):
+        result = project("fft", 0.999)
+        limiters = final_limiters(result)
+        for label in ("LX760", "GTX285", "GTX480", "ASIC"):
+            assert limiters[label] is LimitingFactor.BANDWIDTH
+
+    def test_bs_cmps_within_2x_at_low_f(self):
+        # "without sufficient parallelism (f <= 0.5), even the
+        # conventional CMPs achieve speedups within a factor of two of
+        # the ASIC."
+        speeds = final_speedups(project("bs", 0.5))
+        assert speeds["ASIC"] / cmp_max(speeds) < 2.0
+
+
+class TestSection62Scenarios:
+    def test_scenario1_fft_cmps_close_gap(self):
+        # At 90 GB/s the bandwidth ceiling is so low that CMPs come
+        # within ~2x of the ASIC by 22nm at any f.
+        scenario = get_scenario("low-bandwidth")
+        result = project("fft", 0.99, scenario)
+        at_22 = {
+            s.design.short_label: next(
+                c.speedup for c in s.cells if c.node.node_nm == 22
+            )
+            for s in result.series
+        }
+        assert at_22["ASIC"] / max(
+            at_22["SymCMP"], at_22["AsymCMP"]
+        ) < 2.6
+
+    def test_scenario1_bs_gap_persists(self):
+        # "In BS, the large gap between HETs and CMPs still exists
+        # because the CMPs are unable to achieve close to bandwidth-
+        # limited performance" -- true while power still pins the CMPs
+        # (early/mid nodes); by 11nm even CMP power reaches the low
+        # ceiling.
+        scenario = get_scenario("low-bandwidth")
+        result = project("bs", 0.9, scenario)
+        speeds = first_speedups(result)
+        assert speeds["ASIC"] / cmp_max(speeds) > 1.5
+        mid = {
+            s.design.short_label: s.cells[2].speedup
+            for s in result.series
+        }
+        assert mid["ASIC"] / max(mid["SymCMP"], mid["AsymCMP"]) > 1.3
+
+    def test_scenario2_designs_go_power_limited(self):
+        scenario = get_scenario("high-bandwidth")
+        result = project("fft", 0.99, scenario)
+        limiters = final_limiters(result)
+        for label in ("LX760", "GTX285", "GTX480"):
+            assert limiters[label] is LimitingFactor.POWER
+
+    def test_scenario2_asic_still_bandwidth_limited(self):
+        scenario = get_scenario("high-bandwidth")
+        result = project("fft", 0.99, scenario)
+        asic = result.by_label()["ASIC"]
+        assert asic.cells[0].limiter is LimitingFactor.BANDWIDTH
+
+    def test_scenario2_asic_2x_only_at_extreme_f(self):
+        scenario = get_scenario("high-bandwidth")
+        ratio_999 = None
+        speeds = final_speedups(project("fft", 0.999, scenario))
+        others = [speeds["LX760"], speeds["GTX285"], speeds["GTX480"]]
+        ratio_999 = speeds["ASIC"] / max(others)
+        speeds9 = final_speedups(project("fft", 0.9, scenario))
+        others9 = [speeds9["LX760"], speeds9["GTX285"],
+                   speeds9["GTX480"]]
+        ratio_9 = speeds9["ASIC"] / max(others9)
+        assert ratio_999 > 1.15
+        assert ratio_999 > ratio_9
+
+    def test_scenario3_later_nodes_unaffected(self):
+        # "in the later nodes (<=22nm), most designs achieve similar
+        # performance to the original area budget" (power-limited
+        # anyway).
+        base = project("mmm", 0.99)
+        half = project("mmm", 0.99, get_scenario("half-area"))
+        for label in ("GTX285", "GTX480", "ASIC"):
+            base_final = base.by_label()[label].cells[-1].speedup
+            half_final = half.by_label()[label].cells[-1].speedup
+            assert half_final == pytest.approx(base_final, rel=0.05), label
+
+    def test_scenario3_early_nodes_hurt(self):
+        base = project("mmm", 0.99)
+        half = project("mmm", 0.99, get_scenario("half-area"))
+        for label in ("GTX285", "ASIC"):
+            assert (
+                half.by_label()[label].cells[0].speedup
+                < base.by_label()[label].cells[0].speedup
+            ), label
+
+    def test_scenario4_cmps_close_gap_under_200w(self):
+        base_speeds = final_speedups(project("fft", 0.9))
+        rich_speeds = final_speedups(
+            project("fft", 0.9, get_scenario("double-power"))
+        )
+        base_gap = max(
+            base_speeds[lbl]
+            for lbl in ("LX760", "GTX285", "GTX480", "ASIC")
+        ) / cmp_max(base_speeds)
+        rich_gap = max(
+            rich_speeds[lbl]
+            for lbl in ("LX760", "GTX285", "GTX480", "ASIC")
+        ) / cmp_max(rich_speeds)
+        assert rich_gap < base_gap
+
+    def test_scenario5_asic_advantage_at_10w(self):
+        # Only ASIC HETs approach bandwidth-limited performance under
+        # a 10W budget.
+        scenario = get_scenario("low-power")
+        result = project("fft", 0.99, scenario)
+        limiters = final_limiters(result)
+        assert limiters["ASIC"] is LimitingFactor.BANDWIDTH
+        for label in ("LX760", "GTX285", "GTX480"):
+            assert limiters[label] is LimitingFactor.POWER
+        speeds = final_speedups(result)
+        assert speeds["ASIC"] > 1.5 * speeds["GTX285"]
+
+    def test_scenario6_low_f_speedups_collapse(self):
+        # alpha = 2.25 shrinks the affordable sequential core
+        # (r <= P^(2/alpha)), hurting low-parallelism speedups.  The
+        # squeeze is felt where the power budget is tight -- the early
+        # nodes; by 11nm P has quadrupled and the serial bound clears
+        # the r <= 16 sweep ceiling again.
+        base = first_speedups(project("fft", 0.5))
+        high = first_speedups(
+            project("fft", 0.5, get_scenario("high-alpha"))
+        )
+        assert high["ASIC"] < 0.9 * base["ASIC"]
+        assert high["SymCMP"] < 0.95 * base["SymCMP"]
+
+    def test_scenario6_high_f_less_affected(self):
+        base = final_speedups(project("fft", 0.999))
+        high = final_speedups(
+            project("fft", 0.999, get_scenario("high-alpha"))
+        )
+        assert high["ASIC"] > 0.9 * base["ASIC"]
+
+
+class TestSection63SequentialPowerDiscussion:
+    """§6.3: 'custom logic and other low-power U-cores could
+    potentially be used to reduce sequential power or to efficiently
+    improve sequential processing performance' -- made quantitative."""
+
+    def test_iso_performance_power_reduction(self):
+        # Giving up <=5% of the f=0.9 FFT speedup at 40nm budgets buys
+        # a much smaller (cooler) sequential core.
+        from repro.core.chip import HeterogeneousChip
+        from repro.core.serial_offload import iso_performance_design
+        from repro.devices.params import ucore_for
+        from repro.itrs.roadmap import ITRS_2009
+        from repro.projection.engine import node_budget
+
+        chip = HeterogeneousChip(ucore_for("ASIC", "fft", 1024))
+        budget = node_budget(ITRS_2009.node(40), "fft", 1024)
+        result = iso_performance_design(chip, 0.9, budget, 0.95)
+        assert result.chosen.r < result.fastest.r
+        assert result.power_saving > 1.0  # more than a whole BCE
+        assert result.energy_ratio < 1.0
+
+    def test_conservation_core_serial_power(self):
+        # Offloading half the serial phase to a low-phi FPGA slice cuts
+        # the serial phase's average power substantially.
+        from repro.core.serial_offload import serial_offload_power
+        from repro.devices.params import ucore_for
+
+        fpga = ucore_for("LX760", "fft", 1024)  # phi ~ 0.29
+        full_core = serial_offload_power(13.0, fpga, 0.0)
+        half_offloaded = serial_offload_power(13.0, fpga, 0.5)
+        assert half_offloaded < 0.5 * full_core

@@ -1,0 +1,236 @@
+"""Tests for energy projections (Figure 10) and the mixing extension."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import Budget
+from repro.devices.params import ucore_for
+from repro.errors import InfeasibleDesignError, ModelError
+from repro.projection.energyproj import project_energy
+from repro.projection.mixing import MixedChip, MixPhase
+
+
+class TestEnergyProjection:
+    def test_structure(self):
+        result = project_energy("mmm", 0.9)
+        assert len(result.series) == 7
+        assert all(len(s.cells) == 5 for s in result.series)
+
+    def test_energy_declines_across_nodes(self):
+        result = project_energy("mmm", 0.9)
+        for series in result.series:
+            energies = series.energies()
+            assert energies == sorted(energies, reverse=True), (
+                series.label
+            )
+
+    def test_asic_most_efficient_at_high_f(self):
+        result = project_energy("mmm", 0.99)
+        by_label = result.by_label()
+        asic_final = by_label["ASIC"].energies()[-1]
+        for label, series in by_label.items():
+            if label != "ASIC":
+                assert asic_final < series.energies()[-1], label
+
+    def test_low_f_limited_by_sequential_core(self):
+        # "At low levels of parallelism the opportunity to reduce the
+        # energy consumed is limited by the sequential core": the ASIC
+        # saves little relative to the AsymCMP at f=0.5 versus f=0.99.
+        e_low = project_energy("mmm", 0.5).by_label()
+        e_high = project_energy("mmm", 0.99).by_label()
+        gain_low = (
+            e_low["AsymCMP"].energies()[0] / e_low["ASIC"].energies()[0]
+        )
+        gain_high = (
+            e_high["AsymCMP"].energies()[0]
+            / e_high["ASIC"].energies()[0]
+        )
+        assert gain_high > 5 * gain_low
+
+    def test_speedup_recorded(self):
+        result = project_energy("bs", 0.9)
+        for series in result.series:
+            for cell in series.cells:
+                assert cell.speedup > 0
+
+    def test_fft_defaults_size(self):
+        result = project_energy("fft", 0.9)
+        assert result.fft_size == 1024
+
+
+class TestMixedChip:
+    @pytest.fixture
+    def fabrics(self):
+        return {
+            "asic-mmm": (ucore_for("ASIC", "mmm"), 8.0),
+            "gpu-fft": (ucore_for("GTX285", "fft", 1024), 8.0),
+        }
+
+    @pytest.fixture
+    def budget(self):
+        return Budget(area=20.0, power=10.0, bandwidth=42.0)
+
+    def test_total_area(self, fabrics):
+        chip = MixedChip(r=2.0, fabrics=fabrics)
+        assert chip.total_area == pytest.approx(18.0)
+
+    def test_execute_three_phase_program(self, fabrics, budget):
+        chip = MixedChip(r=2.0, fabrics=fabrics)
+        phases = [
+            MixPhase(0.1, "serial"),
+            MixPhase(0.5, "asic-mmm"),
+            MixPhase(0.4, "gpu-fft"),
+        ]
+        speedup, outcomes = chip.execute(phases, budget)
+        assert speedup > 1.0
+        assert len(outcomes) == 3
+        total_time = sum(o.time for o in outcomes)
+        assert speedup == pytest.approx(1.0 / total_time)
+
+    def test_on_demand_power_gating(self, fabrics, budget):
+        # Each phase is checked alone: the chip may hold far more
+        # fabric than the power budget could light simultaneously.
+        big = {
+            name: (ucore, 15.0) for name, (ucore, _) in fabrics.items()
+        }
+        chip = MixedChip(r=2.0, fabrics=big)
+        budget32 = Budget(area=32.0, power=10.0, bandwidth=42.0)
+        speedup, _ = chip.execute(
+            [MixPhase(0.5, "asic-mmm"), MixPhase(0.5, "gpu-fft")],
+            budget32,
+        )
+        assert speedup > 1.0
+
+    def test_area_budget_enforced(self, fabrics):
+        chip = MixedChip(r=2.0, fabrics=fabrics)
+        with pytest.raises(InfeasibleDesignError):
+            chip.execute(
+                [MixPhase(1.0, "asic-mmm")],
+                Budget(area=10.0, power=10.0),
+            )
+
+    def test_specialised_beats_single_fabric_program(self, budget):
+        # A mixed chip running each phase on its best fabric beats
+        # forcing both phases onto the GPU fabric alone.
+        asic_mmm = ucore_for("ASIC", "mmm")
+        gpu_fft = ucore_for("GTX285", "fft", 1024)
+        mixed = MixedChip(
+            r=2.0,
+            fabrics={"asic": (asic_mmm, 8.0), "gpu": (gpu_fft, 8.0)},
+        )
+        gpu_only = MixedChip(
+            r=2.0,
+            fabrics={"gpu-mmm": (ucore_for("GTX285", "mmm"), 8.0),
+                     "gpu": (gpu_fft, 8.0)},
+        )
+        phases_mixed = [
+            MixPhase(0.1, "serial"),
+            MixPhase(0.6, "asic"),
+            MixPhase(0.3, "gpu"),
+        ]
+        phases_gpu = [
+            MixPhase(0.1, "serial"),
+            MixPhase(0.6, "gpu-mmm"),
+            MixPhase(0.3, "gpu"),
+        ]
+        s_mixed, _ = mixed.execute(phases_mixed, budget)
+        s_gpu, _ = gpu_only.execute(phases_gpu, budget)
+        assert s_mixed > s_gpu
+
+    def test_fraction_sum_checked(self, fabrics, budget):
+        chip = MixedChip(r=2.0, fabrics=fabrics)
+        with pytest.raises(ModelError):
+            chip.execute([MixPhase(0.5, "serial")], budget)
+
+    def test_unknown_fabric(self, fabrics, budget):
+        chip = MixedChip(r=2.0, fabrics=fabrics)
+        with pytest.raises(ModelError):
+            chip.execute(
+                [MixPhase(0.5, "serial"), MixPhase(0.5, "npu")], budget
+            )
+
+    def test_reserved_fabric_name(self):
+        with pytest.raises(ModelError):
+            MixedChip(
+                r=2.0,
+                fabrics={"serial": (ucore_for("ASIC", "mmm"), 4.0)},
+            )
+
+    def test_serial_power_checked(self, fabrics):
+        chip = MixedChip(r=16.0, fabrics=fabrics)
+        tiny_power = Budget(area=40.0, power=2.0)
+        with pytest.raises(InfeasibleDesignError):
+            chip.execute([MixPhase(1.0, "serial")], tiny_power)
+
+    def test_energy(self, fabrics, budget):
+        chip = MixedChip(r=2.0, fabrics=fabrics)
+        phases = [MixPhase(0.5, "serial"), MixPhase(0.5, "asic-mmm")]
+        energy = chip.energy(phases, budget)
+        assert energy > 0
+        assert chip.energy(phases, budget, rel_power=0.5) == (
+            pytest.approx(energy * 0.5)
+        )
+
+    def test_bandwidth_clamps_fabric(self, budget):
+        asic_fft = ucore_for("ASIC", "fft", 1024)  # mu ~ 489
+        chip = MixedChip(r=2.0, fabrics={"asic": (asic_fft, 10.0)})
+        _, outcomes = chip.execute(
+            [MixPhase(0.5, "serial"), MixPhase(0.5, "asic")], budget
+        )
+        fabric_outcome = outcomes[1]
+        assert fabric_outcome.limiter.value == "bandwidth"
+        assert fabric_outcome.perf == pytest.approx(
+            budget.bandwidth, rel=1e-9
+        )
+
+
+class TestMixedChipProperties:
+    """Hypothesis cross-validation for the mixing extension."""
+
+    def test_single_fabric_matches_closed_form(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.core.ucore import speedup_heterogeneous
+
+        @settings(max_examples=30, deadline=None)
+        @given(
+            f=st.floats(0.05, 0.95),
+            mu=st.floats(0.5, 100.0),
+            phi=st.floats(0.1, 2.0),
+            area=st.floats(1.0, 30.0),
+        )
+        def check(f, mu, phi, area):
+            from repro.core.ucore import UCore
+
+            ucore = UCore(name="u", mu=mu, phi=phi)
+            r = 2.0
+            chip = MixedChip(r=r, fabrics={"fab": (ucore, area)})
+            budget = Budget(area=r + area, power=1e9, bandwidth=1e9)
+            speedup, _ = chip.execute(
+                [MixPhase(1 - f, "serial"), MixPhase(f, "fab")],
+                budget,
+            )
+            expected = speedup_heterogeneous(f, r + area, r, ucore)
+            assert speedup == pytest.approx(expected, rel=1e-9)
+
+        check()
+
+    def test_energy_matches_figure10_model_single_fabric(self):
+        from repro.core.chip import HeterogeneousChip
+        from repro.core.energy import design_energy
+        from repro.core.ucore import UCore
+
+        ucore = UCore(name="u", mu=27.4, phi=0.79)
+        r, area, f = 2.0, 12.0, 0.9
+        chip = MixedChip(r=r, fabrics={"fab": (ucore, area)})
+        budget = Budget(area=r + area, power=1e9, bandwidth=1e9)
+        energy = chip.energy(
+            [MixPhase(1 - f, "serial"), MixPhase(f, "fab")],
+            budget,
+            rel_power=0.5,
+        )
+        expected = design_energy(
+            HeterogeneousChip(ucore), f, r + area, r, rel_power=0.5
+        )
+        assert energy == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,148 @@
+"""Tests for the projection engine and design lists."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import LimitingFactor
+from repro.errors import ModelError
+from repro.itrs.roadmap import ITRS_2009
+from repro.itrs.scenarios import BASELINE, get_scenario
+from repro.projection.designs import design_labels, standard_designs
+from repro.projection.engine import (
+    PAPER_F_VALUES,
+    bandwidth_bce_units,
+    node_budget,
+    project,
+)
+
+
+class TestStandardDesigns:
+    def test_mmm_has_all_seven(self):
+        labels = design_labels("mmm")
+        assert labels == [
+            "(0) SymCMP", "(1) AsymCMP", "(2) LX760", "(3) GTX285",
+            "(4) GTX480", "(5) R5870", "(6) ASIC",
+        ]
+
+    def test_fft_skips_r5870(self):
+        labels = design_labels("fft", 1024)
+        assert "(5) R5870" not in labels
+        assert len(labels) == 6
+
+    def test_bs_design_set(self):
+        labels = design_labels("bs")
+        assert labels == [
+            "(0) SymCMP", "(1) AsymCMP", "(2) LX760", "(3) GTX285",
+            "(6) ASIC",
+        ]
+
+    def test_asic_mmm_bandwidth_exempt(self):
+        designs = {d.short_label: d for d in standard_designs("mmm")}
+        assert designs["ASIC"].bandwidth_exempt
+        assert not designs["R5870"].bandwidth_exempt
+
+    def test_asic_fft_not_exempt(self):
+        designs = {
+            d.short_label: d for d in standard_designs("fft", 1024)
+        }
+        assert not designs["ASIC"].bandwidth_exempt
+
+    def test_fft_needs_size(self):
+        with pytest.raises(ModelError):
+            standard_designs("fft")
+
+    def test_unknown_workload(self):
+        with pytest.raises(ModelError):
+            standard_designs("spmv")
+
+    def test_short_label(self):
+        d = standard_designs("mmm")[6]
+        assert d.label == "(6) ASIC"
+        assert d.short_label == "ASIC"
+
+
+class TestNodeBudget:
+    def test_40nm_baseline_budget(self):
+        node = ITRS_2009.node(40)
+        budget = node_budget(node, "fft", 1024)
+        assert budget.area == pytest.approx(19.0)
+        assert budget.power == pytest.approx(10.0)
+        assert budget.bandwidth == pytest.approx(41.86, rel=0.01)
+        assert budget.alpha == 1.75
+
+    def test_11nm_power_grows_4x(self):
+        node = ITRS_2009.node(11)
+        budget = node_budget(node, "fft", 1024)
+        assert budget.power == pytest.approx(40.0)
+
+    def test_bandwidth_exempt(self):
+        node = ITRS_2009.node(40)
+        budget = node_budget(node, "mmm", None, bandwidth_exempt=True)
+        assert math.isinf(budget.bandwidth)
+
+    def test_alpha_from_scenario(self):
+        node = ITRS_2009.node(40)
+        budget = node_budget(
+            node, "fft", 1024, scenario=get_scenario("high-alpha")
+        )
+        assert budget.alpha == 2.25
+
+    def test_bandwidth_units_scale_with_gbps(self):
+        b1 = bandwidth_bce_units("fft", 1024, 180.0)
+        b2 = bandwidth_bce_units("fft", 1024, 360.0)
+        assert b2 == pytest.approx(2 * b1)
+
+    def test_mmm_bandwidth_unit_value(self):
+        assert bandwidth_bce_units("mmm", None, 180.0) == pytest.approx(
+            84.85, rel=0.01
+        )
+
+    def test_bs_bandwidth_unit_value(self):
+        assert bandwidth_bce_units("bs", None, 180.0) == pytest.approx(
+            52.27, rel=0.01
+        )
+
+
+class TestProject:
+    def test_result_structure(self):
+        result = project("fft", 0.9)
+        assert result.workload == "fft"
+        assert result.fft_size == 1024  # defaulted
+        assert result.f == 0.9
+        assert result.scenario is BASELINE
+        assert result.node_labels() == ITRS_2009.node_labels()
+        assert len(result.series) == 6
+
+    def test_speedups_grow_across_nodes(self):
+        result = project("mmm", 0.99)
+        for series in result.series:
+            speedups = series.speedups()
+            assert speedups == sorted(speedups), series.label
+
+    def test_winner_is_asic(self):
+        for workload in ("mmm", "bs"):
+            result = project(workload, 0.99)
+            assert result.winner().design.short_label == "ASIC"
+
+    def test_by_label(self):
+        result = project("bs", 0.5)
+        assert set(result.by_label()) == {
+            "SymCMP", "AsymCMP", "LX760", "GTX285", "ASIC",
+        }
+
+    def test_infeasible_cells_are_none(self):
+        # Under the 10W scenario some designs cannot even power r=1
+        # fabric... all designs should still produce a result object.
+        result = project("fft", 0.99, get_scenario("low-power"))
+        assert len(result.series) == 6
+
+    def test_paper_f_values(self):
+        assert PAPER_F_VALUES == (0.5, 0.9, 0.99, 0.999)
+
+    def test_limiters_recorded(self):
+        result = project("fft", 0.999)
+        asic = result.by_label()["ASIC"]
+        assert all(
+            lim is LimitingFactor.BANDWIDTH for lim in asic.limiters()
+        )

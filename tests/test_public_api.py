@@ -1,0 +1,49 @@
+"""Smoke tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", [
+        "repro.core", "repro.devices", "repro.workloads",
+        "repro.measure", "repro.itrs", "repro.projection",
+        "repro.reporting", "repro.cli", "repro.units", "repro.errors",
+        "repro.layout", "repro.sim",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestQuickstartFlow:
+    def test_readme_quickstart(self):
+        """The exact flow documented in the package docstring."""
+        asic = repro.ucore_for("ASIC", "fft", 1024)
+        chip = repro.HeterogeneousChip(asic)
+        budget = repro.Budget(area=19, power=10, bandwidth=42)
+        best = repro.optimize(chip, f=0.99, budget=budget)
+        assert best.speedup > 30
+        assert best.limiter is repro.LimitingFactor.BANDWIDTH
+        assert "ASIC" in best.describe()
+
+    def test_projection_flow(self):
+        result = repro.project("mmm", 0.99)
+        assert result.winner().design.short_label == "ASIC"
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ModelError, repro.ReproError)
+        assert issubclass(repro.CalibrationError, repro.ReproError)
+        assert issubclass(repro.InfeasibleDesignError, repro.ReproError)
+        assert issubclass(repro.UnknownDeviceError, KeyError)

@@ -1,0 +1,176 @@
+"""Tests for table/figure rendering and the experiment registry."""
+
+import pytest
+
+from repro.errors import ModelError, UnknownExperimentError
+from repro.measure.harness import MeasurementHarness
+from repro.projection.engine import project
+from repro.projection.energyproj import project_energy
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+from repro.reporting.figures import (
+    ascii_chart,
+    render_energy_panel,
+    render_projection_panel,
+    series_to_csv,
+)
+from repro.reporting.tables import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_title(self):
+        text = format_table(["x"], [("1",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ModelError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestPaperTables:
+    def test_table1_formulas(self):
+        text = render_table1()
+        assert "n <= P/phi + r" in text
+        assert "n <= B/mu + r" in text
+        assert "r <= B^2" in text
+
+    def test_table2_devices(self):
+        text = render_table2()
+        for device in ("Core i7-960", "GTX285", "GTX480", "R5870",
+                       "LX760", "ASIC"):
+            assert device in text
+        assert "263mm2" in text
+
+    def test_table3_implementations(self):
+        text = render_table3()
+        assert "Spiral" in text
+        assert "CUBLAS" in text
+
+    def test_table4_published(self):
+        text = render_table4()
+        assert "1491" in text  # R5870 MMM GFLOP/s
+        assert "25532" in text  # ASIC BS Mopts/s
+
+    def test_table4_from_harness(self):
+        text = render_table4(MeasurementHarness().table4())
+        assert "1491" in text
+
+    def test_table5_both_sources(self):
+        derived = render_table5(derived=True)
+        published = render_table5(derived=False)
+        assert "derived" in derived
+        assert "published" in published
+        assert "27.3" in derived  # full-precision ASIC MMM mu
+        assert "27.4" in published
+
+    def test_table6_roadmap(self):
+        text = render_table6()
+        assert "40nm" in text and "11nm" in text
+        assert "298" in text
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        text = ascii_chart(
+            ["a", "b", "c"],
+            {"one": [1.0, 2.0, 3.0], "two": [3.0, 2.0, 1.0]},
+        )
+        assert "legend:" in text
+        assert "0=one" in text
+        assert "1=two" in text
+
+    def test_nan_values_skipped(self):
+        text = ascii_chart(["a", "b"], {"s": [1.0, float("nan")]})
+        assert "legend" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            ascii_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ModelError):
+            ascii_chart(["a"], {"s": [float("nan")]})
+
+    def test_height_validation(self):
+        with pytest.raises(ModelError):
+            ascii_chart(["a"], {"s": [1.0]}, height=1)
+
+
+class TestPanelRendering:
+    def test_projection_panel(self):
+        text = render_projection_panel(project("bs", 0.9))
+        assert "BS" in text
+        assert "(ba)" in text  # bandwidth-limited marks
+        assert "ASIC" in text
+
+    def test_energy_panel(self):
+        text = render_energy_panel(project_energy("mmm", 0.9))
+        assert "MMM energy" in text
+        assert "40nm" in text
+
+
+class TestCsv:
+    def test_round_trip_shape(self):
+        csv = series_to_csv("node", ["40nm", "32nm"],
+                            {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "node,a,b"
+        assert lines[1] == "40nm,1,3"
+        assert len(lines) == 3
+
+    def test_nan_rendered_empty(self):
+        csv = series_to_csv("x", [1], {"a": [float("nan")]})
+        assert csv.strip().splitlines()[1] == "1,"
+
+    def test_length_check(self):
+        with pytest.raises(ModelError):
+            series_to_csv("x", [1, 2], {"a": [1.0]})
+
+
+class TestExperimentRegistry:
+    def test_all_artefacts_registered(self):
+        assert experiment_ids() == [
+            "T1", "T2", "T3", "T4", "T5", "T6",
+            "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+            "F10", "S6.2", "X-ROOF",
+        ]
+
+    def test_case_insensitive_lookup(self):
+        assert get_experiment("t5").exp_id == "T5"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownExperimentError):
+            get_experiment("F99")
+
+    @pytest.mark.parametrize("exp_id", ["T1", "T2", "T3", "T6", "F5"])
+    def test_cheap_experiments_run(self, exp_id):
+        output = run_experiment(exp_id)
+        assert len(output) > 50
+        assert EXPERIMENTS[exp_id].title
+
+    def test_f8_runs(self):
+        output = run_experiment("F8")
+        assert "Black-Scholes" in output
+        assert "bandwidth-limited" in output

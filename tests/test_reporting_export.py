@@ -1,0 +1,166 @@
+"""Tests for the artefact/CSV export layer and new CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ModelError
+from repro.reporting.export import (
+    export_all,
+    export_artifacts,
+    export_figure_csvs,
+)
+
+
+class TestExportArtifacts:
+    def test_subset_export(self, tmp_path):
+        written = export_artifacts(tmp_path, ids=["T1", "T6"])
+        assert [p.name for p in written] == ["T1.txt", "T6.txt"]
+        assert "Bounds on area" in (tmp_path / "artifacts" / "T1.txt").read_text()
+
+    def test_dotted_id_sanitised(self, tmp_path):
+        written = export_artifacts(tmp_path, ids=["S6.2"])
+        assert written[0].name == "S6_2.txt"
+
+    def test_unknown_id(self, tmp_path):
+        with pytest.raises(ModelError):
+            export_artifacts(tmp_path, ids=["F99"])
+
+
+class TestExportCsv:
+    @pytest.fixture(scope="class")
+    def csv_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("export")
+        export_figure_csvs(out)
+        return out / "csv"
+
+    def test_panel_files_written(self, csv_dir):
+        names = {p.name for p in csv_dir.iterdir()}
+        assert "fig6_fft_f0.99.csv" in names
+        assert "fig7_mmm_f0.999.csv" in names
+        assert "fig8_bs_f0.9.csv" in names
+        assert "fig10_mmm_energy_f0.5.csv" in names
+
+    def test_csv_structure(self, csv_dir):
+        lines = (csv_dir / "fig6_fft_f0.99.csv").read_text().splitlines()
+        assert lines[0].startswith("node,(0) SymCMP,(1) AsymCMP")
+        assert len(lines) == 6  # header + five nodes
+        assert lines[1].startswith("40nm,")
+
+    def test_csv_values_match_projection(self, csv_dir):
+        from repro.projection.engine import project
+
+        lines = (csv_dir / "fig8_bs_f0.9.csv").read_text().splitlines()
+        final = lines[-1].split(",")
+        result = project("bs", 0.9)
+        expected = result.series[-1].final_speedup()
+        assert float(final[-1]) == pytest.approx(expected, rel=1e-4)
+
+
+class TestExportAll:
+    def test_groups(self, tmp_path):
+        written = export_all(tmp_path)
+        assert len(written["artifacts"]) == 18
+        assert len(written["csv"]) == 17  # 4+4+2+4 panels + 3 energy
+        assert written["manifest"][0].name == "calibration-manifest.json"
+
+
+class TestNewCliCommands:
+    def test_export_command(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["export", "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert (out / "artifacts" / "F6.txt").exists()
+
+    def test_pareto_command(self, capsys):
+        assert main(
+            ["pareto", "--workload", "bs", "--f", "0.9", "--node", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "ASIC" in out
+
+    def test_sensitivity_command(self, capsys):
+        assert main(
+            [
+                "sensitivity", "--workload", "bs", "--f", "0.9",
+                "--trials", "20",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "win rate" in out
+
+    def test_calibrate_command(self, capsys):
+        assert main(
+            [
+                "calibrate", "--name", "NPU", "--workload", "mmm",
+                "--throughput", "600", "--area", "20", "--watts", "18",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NPU" in out
+        assert "mu=" in out
+
+    def test_calibrate_fft_uses_size(self, capsys):
+        assert main(
+            [
+                "calibrate", "--name", "NPU", "--workload", "fft",
+                "--fft-size", "1024", "--throughput", "100",
+                "--area", "50", "--watts", "30",
+            ]
+        ) == 0
+        assert "FFT-1024" in capsys.readouterr().out
+
+    def test_calibrate_rejects_nonsense(self, capsys):
+        assert main(
+            [
+                "calibrate", "--name", "NPU", "--workload", "mmm",
+                "--throughput", "-1", "--area", "20", "--watts", "18",
+            ]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFloorplanTraceCommands:
+    def test_floorplan_command(self, capsys):
+        assert main(
+            [
+                "floorplan", "--workload", "mmm", "--f", "0.99",
+                "--node", "22", "--design", "R5870",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "R5870 @ 22nm" in out
+        assert "die 576mm2" in out
+
+    def test_trace_command(self, capsys):
+        assert main(
+            [
+                "trace", "--workload", "fft", "--f", "0.99",
+                "--node", "11", "--design", "GTX285",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulated: speedup" in out
+        assert "parallel" in out
+
+    def test_unknown_design_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "trace", "--workload", "bs", "--f", "0.9",
+                "--design", "R5870",  # no BS data for the R5870
+            ]
+        ) == 1
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_trace_speedup_matches_projection(self, capsys):
+        from repro.projection.engine import project
+
+        assert main(
+            [
+                "trace", "--workload", "mmm", "--f", "0.9",
+                "--node", "40", "--design", "ASIC",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = project("mmm", 0.9).by_label()["ASIC"].cells[0]
+        assert f"{expected.speedup:.2f}x" in out

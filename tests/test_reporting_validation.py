@@ -1,0 +1,54 @@
+"""Tests for the self-validation report and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.validation import (
+    ClaimResult,
+    render_validation_report,
+    validate_claims,
+)
+
+
+class TestValidateClaims:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return validate_claims()
+
+    def test_all_claims_hold(self, results):
+        failing = [r.claim_id for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_claim_ids(self, results):
+        assert [r.claim_id for r in results] == [
+            "C1", "C2", "C3", "C4", "S6.1",
+        ]
+
+    def test_evidence_is_quantitative(self, results):
+        for r in results:
+            assert any(ch.isdigit() for ch in r.evidence), r.claim_id
+
+
+class TestRenderReport:
+    def test_report_structure(self):
+        text = render_validation_report()
+        assert "PASS" in text
+        assert "5/5 claims hold." in text
+        assert "FAIL" not in text
+
+    def test_render_with_failure(self):
+        fake = [
+            ClaimResult("X1", "made-up claim", False, "evidence: 0"),
+            ClaimResult("X2", "true claim", True, "evidence: 1"),
+        ]
+        text = render_validation_report(fake)
+        assert "[FAIL] X1" in text
+        assert "1/2 claims hold." in text
+        assert "1 FAILED" in text
+
+
+class TestCliValidate:
+    def test_exit_zero_when_all_pass(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 claims hold." in out

@@ -1,0 +1,171 @@
+"""Tests for the execution-timeline simulator (model cross-validation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chip import (
+    AsymmetricOffloadCMP,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.constraints import Budget
+from repro.core.energy import design_energy
+from repro.core.optimizer import evaluate_design, optimize
+from repro.core.ucore import UCore
+from repro.errors import ModelError
+from repro.sim.engine import ChipSimulator, WorkPhase
+
+
+@pytest.fixture
+def het_setup():
+    chip = HeterogeneousChip(UCore(name="asic", mu=27.4, phi=0.79))
+    budget = Budget(area=19.0, power=10.0, bandwidth=42.0)
+    point = optimize(chip, 0.99, budget)
+    return chip, point, budget
+
+
+class TestCrossValidation:
+    """Simulated wall-clock results equal the closed-form model."""
+
+    @pytest.mark.parametrize("f", [0.0, 0.5, 0.9, 0.99, 0.999, 1.0])
+    def test_speedup_matches_analytical(self, het_setup, f):
+        chip, _, budget = het_setup
+        point = optimize(chip, f, budget)
+        sim = ChipSimulator(chip, point, budget)
+        assert sim.run_fraction(f).speedup == pytest.approx(
+            point.speedup, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("f", [0.1, 0.5, 0.9, 0.99])
+    def test_energy_matches_figure10_model(self, het_setup, f):
+        chip, _, budget = het_setup
+        point = optimize(chip, f, budget)
+        for rel_power in (1.0, 0.25):
+            sim = ChipSimulator(chip, point, budget, rel_power)
+            trace = sim.run_fraction(f)
+            expected = design_energy(
+                chip, f, point.n, point.r,
+                alpha=budget.alpha, rel_power=rel_power,
+            )
+            assert trace.total_energy == pytest.approx(
+                expected, rel=1e-12
+            )
+
+    @pytest.mark.parametrize("chip_cls", [
+        SymmetricCMP, AsymmetricOffloadCMP,
+    ])
+    def test_cmp_models_cross_validate(self, chip_cls):
+        chip = chip_cls()
+        budget = Budget(area=64.0, power=20.0, bandwidth=100.0)
+        point = optimize(chip, 0.9, budget)
+        sim = ChipSimulator(chip, point, budget)
+        trace = sim.run_fraction(0.9)
+        assert trace.speedup == pytest.approx(point.speedup, rel=1e-12)
+        assert trace.total_energy == pytest.approx(
+            design_energy(chip, 0.9, point.n, point.r), rel=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        f=st.floats(0.0, 1.0),
+        mu=st.floats(0.5, 200.0),
+        phi=st.floats(0.1, 5.0),
+    )
+    def test_cross_validation_property(self, f, mu, phi):
+        chip = HeterogeneousChip(UCore(name="u", mu=mu, phi=phi))
+        budget = Budget(area=37.0, power=13.3, bandwidth=60.0)
+        point = optimize(chip, f, budget)
+        trace = ChipSimulator(chip, point, budget).run_fraction(f)
+        assert trace.speedup == pytest.approx(point.speedup, rel=1e-9)
+
+
+class TestBandwidthStalls:
+    def test_optimizer_points_never_stall(self, het_setup):
+        # The bandwidth bound already clamps n, so resolved points run
+        # at full duty cycle.
+        chip, point, budget = het_setup
+        trace = ChipSimulator(chip, point, budget).run_fraction(0.99)
+        assert trace.stalled_time() == 0.0
+
+    def test_overbuilt_fabric_stalls(self):
+        # Hand-build a point with fabric beyond the bandwidth ceiling.
+        chip = HeterogeneousChip(UCore(name="asic", mu=500.0, phi=1.0))
+        generous = Budget(area=64.0, power=1e6, bandwidth=1e9)
+        point = evaluate_design(chip, 0.99, generous, 2)
+        tight = Budget(area=64.0, power=1e6, bandwidth=50.0)
+        trace = ChipSimulator(chip, point, tight).run_fraction(0.99)
+        assert trace.stalled_time() > 0
+        parallel_event = [
+            e for e in trace.events if not e.phase.serial
+        ][0]
+        assert parallel_event.throughput == pytest.approx(50.0)
+        assert parallel_event.bandwidth_stalled
+
+    def test_stall_reduces_power_via_duty_cycle(self):
+        chip = HeterogeneousChip(UCore(name="asic", mu=500.0, phi=1.0))
+        generous = Budget(area=64.0, power=1e6, bandwidth=1e9)
+        point = evaluate_design(chip, 1.0, generous, 2)
+        tight = Budget(area=64.0, power=1e6, bandwidth=50.0)
+        trace = ChipSimulator(chip, point, tight).run_fraction(1.0)
+        raw_power = chip.parallel_power(point.n, point.r, 1.75)
+        assert trace.events[0].power < raw_power
+
+
+class TestTraceStructure:
+    def test_events_are_contiguous(self, het_setup):
+        chip, point, budget = het_setup
+        trace = ChipSimulator(chip, point, budget).run_fraction(0.9)
+        assert trace.events[0].start == 0.0
+        assert trace.events[1].start == pytest.approx(
+            trace.events[0].end
+        )
+        assert trace.total_time == pytest.approx(trace.events[-1].end)
+
+    def test_custom_phase_program(self, het_setup):
+        chip, point, budget = het_setup
+        sim = ChipSimulator(chip, point, budget)
+        trace = sim.run(
+            [
+                WorkPhase(0.2, serial=True),
+                WorkPhase(0.5, serial=False),
+                WorkPhase(0.1, serial=True),
+                WorkPhase(0.2, serial=False),
+            ]
+        )
+        assert len(trace.events) == 4
+        assert trace.baseline_time == pytest.approx(1.0)
+
+    def test_average_and_peak_power(self, het_setup):
+        chip, point, budget = het_setup
+        trace = ChipSimulator(chip, point, budget).run_fraction(0.9)
+        assert trace.average_power <= trace.peak_power
+        assert trace.average_power > 0
+
+    def test_zero_work_phases_skipped(self, het_setup):
+        chip, point, budget = het_setup
+        sim = ChipSimulator(chip, point, budget)
+        trace = sim.run(
+            [WorkPhase(0.0, serial=True), WorkPhase(1.0, serial=False)]
+        )
+        assert len(trace.events) == 1
+
+    def test_validation(self, het_setup):
+        chip, point, budget = het_setup
+        sim = ChipSimulator(chip, point, budget)
+        with pytest.raises(ModelError):
+            sim.run([])
+        with pytest.raises(ModelError):
+            sim.run_fraction(1.5)
+        with pytest.raises(ModelError):
+            WorkPhase(-0.1, serial=True)
+        with pytest.raises(ModelError):
+            ChipSimulator(chip, point, budget, rel_power=0.0)
+
+    def test_no_fabric_parallel_phase_rejected(self):
+        chip = HeterogeneousChip(UCore(name="u", mu=3.0, phi=0.6))
+        budget = Budget(area=8.0, power=1e9)
+        point = evaluate_design(chip, 0.0, budget, 8)
+        sim = ChipSimulator(chip, point, budget)
+        with pytest.raises(ModelError):
+            sim.run([WorkPhase(1.0, serial=False)])

@@ -1,0 +1,64 @@
+"""docs/TUTORIAL.md regression: every number in the walk-through.
+
+The tutorial derives one Figure 6 point by hand; if any calibration or
+model change moves these values, the doc must be updated -- this test
+is the tripwire.
+"""
+
+import pytest
+
+from repro import HeterogeneousChip, optimize
+from repro.core.constraints import LimitingFactor
+from repro.devices import DEFAULT_BCE, ucore_for
+from repro.itrs.roadmap import ITRS_2009
+from repro.projection.engine import node_budget
+
+
+class TestTutorialNumbers:
+    def test_step0_units(self):
+        assert DEFAULT_BCE.fast_core_r == 2
+        assert DEFAULT_BCE.power_w == 10.0
+
+    def test_step1_asic_parameters(self):
+        asic = ucore_for("ASIC", "fft", 1024)
+        assert round(asic.mu) == 489
+        assert round(asic.phi, 2) == 4.96
+
+    def test_step2_22nm_budgets(self):
+        budget = node_budget(ITRS_2009.node(22), "fft", 1024)
+        assert budget.area == 75.0
+        assert budget.power == pytest.approx(20.0)
+        assert budget.bandwidth == pytest.approx(54.4, abs=0.05)
+
+    def test_step3_design_point(self):
+        asic = ucore_for("ASIC", "fft", 1024)
+        budget = node_budget(ITRS_2009.node(22), "fft", 1024)
+        point = optimize(HeterogeneousChip(asic), f=0.99, budget=budget)
+        assert point.r == 16
+        assert point.n == pytest.approx(16.11, abs=0.01)
+        assert point.speedup == pytest.approx(48.3, abs=0.05)
+        assert point.limiter is LimitingFactor.BANDWIDTH
+        # The hand formula: 1 / (0.01/4 + 0.99/B).
+        manual = 1.0 / (0.01 / 4.0 + 0.99 / budget.bandwidth)
+        assert point.speedup == pytest.approx(manual, rel=1e-9)
+
+    def test_step4_gpu_ties_on_speedup(self):
+        budget = node_budget(ITRS_2009.node(22), "fft", 1024)
+        asic = optimize(
+            HeterogeneousChip(ucore_for("ASIC", "fft", 1024)),
+            f=0.99, budget=budget,
+        )
+        gpu = optimize(
+            HeterogeneousChip(ucore_for("GTX285", "fft", 1024)),
+            f=0.99, budget=budget,
+        )
+        assert gpu.speedup == pytest.approx(asic.speedup, rel=1e-9)
+
+    def test_step4_energy_tiebreak(self):
+        asic = ucore_for("ASIC", "fft", 1024)
+        gpu = ucore_for("GTX285", "fft", 1024)
+        asic_term = 0.99 * asic.phi / asic.mu
+        gpu_term = 0.99 * gpu.phi / gpu.mu
+        assert asic_term == pytest.approx(0.0100, abs=5e-4)
+        assert gpu_term == pytest.approx(0.217, abs=5e-3)
+        assert asic_term < gpu_term

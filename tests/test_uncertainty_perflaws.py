@@ -1,0 +1,188 @@
+"""Tests for uncertainty propagation and alternative perf laws."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.chip import HeterogeneousChip, SymmetricCMP
+from repro.core.constraints import Budget
+from repro.core.optimizer import optimize
+from repro.core.perflaws import (
+    linear,
+    logarithmic,
+    pollack,
+    power_law,
+    tabulated,
+    validate_law,
+)
+from repro.core.ucore import UCore
+from repro.devices.measurements import get_measurement
+from repro.devices.uncertainty import (
+    MeasurementError,
+    propagate_errors,
+)
+from repro.errors import CalibrationError, ModelError
+
+
+class TestMeasurementError:
+    def test_x_and_e_combination(self):
+        err = MeasurementError(throughput=0.03, area=0.04, power=0.12)
+        assert err.x_rel == pytest.approx(0.05)
+        assert err.e_rel == pytest.approx(math.hypot(0.03, 0.12))
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            MeasurementError(throughput=-0.1)
+
+
+class TestPropagation:
+    @pytest.fixture
+    def pair(self):
+        return (
+            get_measurement("GTX285", "mmm"),
+            get_measurement("Core i7-960", "mmm"),
+        )
+
+    def test_central_values_match_derivation(self, pair):
+        ucore_meas, fast_meas = pair
+        result = propagate_errors(
+            ucore_meas, fast_meas,
+            MeasurementError(0.02, 0.05, 0.1),
+            MeasurementError(0.02, 0.05, 0.1),
+        )
+        assert result.mu == pytest.approx(3.394, rel=1e-3)
+        assert result.phi == pytest.approx(0.74, rel=1e-2)
+
+    def test_zero_error_in_zero_error_out(self, pair):
+        result = propagate_errors(
+            *pair, MeasurementError(), MeasurementError()
+        )
+        assert result.mu_rel_error == 0.0
+        assert result.phi_rel_error == 0.0
+
+    def test_phi_immune_to_throughput_error(self, pair):
+        # Structural fact: phi is a pure power-per-area ratio --
+        # throughput cancels out of its error budget entirely.
+        result = propagate_errors(
+            *pair,
+            MeasurementError(throughput=0.5),
+            MeasurementError(throughput=0.5),
+        )
+        assert result.phi_rel_error == 0.0
+        assert result.mu_rel_error > 0.0
+
+    def test_monte_carlo_cross_check(self, pair):
+        """Analytic propagation agrees with sampling (small errors)."""
+        ucore_meas, fast_meas = pair
+        err = MeasurementError(throughput=0.03, area=0.05, power=0.04)
+        analytic = propagate_errors(ucore_meas, fast_meas, err, err)
+        rng = np.random.default_rng(0)
+        samples_mu, samples_phi = [], []
+        from repro.devices.params import derive_mu, derive_phi
+
+        for _ in range(4000):
+            def draw(meas):
+                thr = meas.throughput * rng.lognormal(0, err.throughput)
+                area = meas.area_mm2 * rng.lognormal(0, err.area)
+                watts = meas.watts * rng.lognormal(0, err.power)
+                return thr / area, thr / watts
+
+            x_u, e_u = draw(ucore_meas)
+            x_f, e_f = draw(fast_meas)
+            mu = derive_mu(x_u, x_f, 2)
+            samples_mu.append(mu)
+            samples_phi.append(derive_phi(mu, e_f, e_u, 2, 1.75))
+        mc_mu_rel = np.std(samples_mu) / np.mean(samples_mu)
+        mc_phi_rel = np.std(samples_phi) / np.mean(samples_phi)
+        assert mc_mu_rel == pytest.approx(
+            analytic.mu_rel_error, rel=0.15
+        )
+        assert mc_phi_rel == pytest.approx(
+            analytic.phi_rel_error, rel=0.15
+        )
+
+    def test_intervals_and_describe(self, pair):
+        result = propagate_errors(
+            *pair,
+            MeasurementError(0.0, 0.1, 0.0),
+            MeasurementError(),
+        )
+        lo, hi = result.mu_interval
+        assert lo < result.mu < hi
+        assert "%" in result.describe()
+
+
+class TestPerfLaws:
+    def test_pollack_matches_core_default(self):
+        from repro.core.power import pollack_perf
+
+        for r in (1.0, 2.0, 9.0):
+            assert pollack(r) == pollack_perf(r)
+
+    def test_power_law_family(self):
+        assert power_law(0.5)(4.0) == pytest.approx(2.0)
+        assert power_law(1.0)(4.0) == pytest.approx(4.0)
+        with pytest.raises(ModelError):
+            power_law(0.0)
+        with pytest.raises(ModelError):
+            power_law(1.5)
+
+    def test_logarithmic(self):
+        assert logarithmic(1.0) == pytest.approx(1.0)
+        assert logarithmic(8.0) == pytest.approx(4.0)
+
+    def test_all_builtin_laws_validate(self):
+        for law in (pollack, logarithmic, linear, power_law(0.3)):
+            validate_law(law)
+
+    def test_validate_rejects_broken_anchor(self):
+        with pytest.raises(ModelError, match="r=1"):
+            validate_law(lambda r: 2 * r)
+
+    def test_validate_rejects_decreasing(self):
+        with pytest.raises(ModelError, match="decreases"):
+            validate_law(lambda r: 1.0 if r < 2 else 0.5)
+
+    def test_tabulated_interpolation(self):
+        law = tabulated([(1.0, 1.0), (4.0, 1.8), (16.0, 3.0)])
+        assert law(1.0) == pytest.approx(1.0)
+        assert law(4.0) == pytest.approx(1.8)
+        # Log-linear midpoint between r=4 and r=16 at r=8.
+        assert law(8.0) == pytest.approx(
+            1.8 * (3.0 / 1.8) ** 0.5
+        )
+        # Clamped beyond the table.
+        assert law(64.0) == pytest.approx(3.0)
+        validate_law(law)
+
+    def test_tabulated_validation(self):
+        with pytest.raises(ModelError):
+            tabulated([(2.0, 2.0)])
+        with pytest.raises(ModelError):
+            tabulated([(1.0, 1.0), (4.0, 0.9)])
+
+
+class TestLawsInsideChips:
+    def test_pessimistic_law_devalues_big_cores(self):
+        budget = Budget(area=64.0, power=1e9)
+        optimistic = SymmetricCMP(perf_seq=linear)
+        pessimistic = SymmetricCMP(perf_seq=logarithmic)
+        r_opt = optimize(optimistic, 0.5, budget).r
+        r_pes = optimize(pessimistic, 0.5, budget).r
+        assert r_pes <= r_opt
+
+    def test_het_chip_with_custom_law(self):
+        chip = HeterogeneousChip(
+            UCore(name="u", mu=30.0, phi=0.8), perf_seq=power_law(0.3)
+        )
+        budget = Budget(area=19.0, power=10.0)
+        point = optimize(chip, 0.5, budget)
+        assert point.speedup > 1.0
+        # The weaker serial law lowers low-f speedups vs Pollack.
+        pollack_chip = HeterogeneousChip(
+            UCore(name="u", mu=30.0, phi=0.8)
+        )
+        assert point.speedup < optimize(
+            pollack_chip, 0.5, budget
+        ).speedup

@@ -1,0 +1,75 @@
+"""Tests for the units helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_prefixes(self):
+        assert units.GIGA == 1e9
+        assert units.MEGA == 1e6
+        assert units.TERA == 1e12
+
+    def test_gflops(self):
+        assert units.gflops(5e9, 1.0) == pytest.approx(5.0)
+        assert units.gflops(1e9, 0.5) == pytest.approx(2.0)
+
+    def test_gbytes_per_sec(self):
+        assert units.gbytes_per_sec(32e9, 2.0) == pytest.approx(16.0)
+
+    def test_seconds_per_op(self):
+        assert units.seconds_per_op(4.0) == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("func,args", [
+        (units.gflops, (1.0, 0.0)),
+        (units.gbytes_per_sec, (1.0, -1.0)),
+        (units.seconds_per_op, (0.0,)),
+    ])
+    def test_validation(self, func, args):
+        with pytest.raises(errors.ModelError):
+            func(*args)
+
+    def test_known_nodes(self):
+        assert units.KNOWN_NODES_NM == (65, 55, 45, 40, 32, 22, 16, 11)
+        assert set(units.RELATIVE_POWER_PER_TRANSISTOR) == set(
+            units.KNOWN_NODES_NM
+        )
+
+    def test_area_scale_validation(self):
+        with pytest.raises(errors.ModelError):
+            units.area_scale_factor(0, 40)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ModelError,
+        errors.CalibrationError,
+        errors.InfeasibleDesignError,
+        errors.UnknownDeviceError,
+        errors.UnknownWorkloadError,
+        errors.UnknownExperimentError,
+    ])
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_lookup_errors_are_keyerrors(self):
+        # API ergonomics: dict-style lookups can be caught as KeyError.
+        for exc in (
+            errors.UnknownDeviceError,
+            errors.UnknownWorkloadError,
+            errors.UnknownExperimentError,
+        ):
+            assert issubclass(exc, KeyError)
+
+    def test_one_catch_all_boundary(self):
+        # A caller can guard an API boundary with one except clause.
+        from repro.devices import get_device
+        from repro.workloads import get_workload
+
+        for call in (
+            lambda: get_device("nonexistent"),
+            lambda: get_workload("nonexistent"),
+        ):
+            with pytest.raises(errors.ReproError):
+                call()

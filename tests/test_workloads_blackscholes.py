@@ -1,0 +1,161 @@
+"""Tests for the Black-Scholes workload: pricing kernel + traffic."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.workloads.blackscholes import (
+    BlackScholesWorkload,
+    OptionBatch,
+    black_scholes_price,
+    norm_cdf,
+)
+
+
+def single_option(spot, strike, rate, vol, expiry):
+    return OptionBatch(
+        spot=np.array([spot]),
+        strike=np.array([strike]),
+        rate=np.array([rate]),
+        volatility=np.array([vol]),
+        expiry=np.array([expiry]),
+    )
+
+
+@pytest.fixture
+def bs():
+    return BlackScholesWorkload()
+
+
+class TestNormCdf:
+    def test_symmetry_point(self):
+        assert norm_cdf(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # Phi(1.96) ~ 0.975.
+        assert norm_cdf(np.array([1.96]))[0] == pytest.approx(
+            0.975, abs=1e-3
+        )
+
+    def test_complementarity(self, rng):
+        x = rng.standard_normal(100)
+        np.testing.assert_allclose(
+            norm_cdf(x) + norm_cdf(-x), 1.0, atol=1e-12
+        )
+
+    def test_monotone(self):
+        x = np.linspace(-5, 5, 101)
+        assert np.all(np.diff(norm_cdf(x)) >= 0)
+
+
+class TestPricing:
+    def test_known_value(self):
+        # Classic textbook case: S=100, K=100, r=5%, sigma=20%, T=1.
+        call, put = black_scholes_price(
+            single_option(100.0, 100.0, 0.05, 0.2, 1.0)
+        )
+        assert call[0] == pytest.approx(10.4506, abs=1e-3)
+        assert put[0] == pytest.approx(5.5735, abs=1e-3)
+
+    def test_deep_in_the_money_call(self):
+        call, _ = black_scholes_price(
+            single_option(1000.0, 1.0, 0.05, 0.2, 1.0)
+        )
+        intrinsic = 1000.0 - 1.0 * math.exp(-0.05)
+        assert call[0] == pytest.approx(intrinsic, rel=1e-6)
+
+    def test_deep_out_of_the_money_call(self):
+        call, _ = black_scholes_price(
+            single_option(1.0, 1000.0, 0.05, 0.2, 1.0)
+        )
+        assert call[0] == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        spot=st.floats(5.0, 200.0),
+        strike=st.floats(5.0, 200.0),
+        rate=st.floats(0.001, 0.15),
+        vol=st.floats(0.05, 0.9),
+        expiry=st.floats(0.05, 3.0),
+    )
+    def test_put_call_parity(self, spot, strike, rate, vol, expiry):
+        call, put = black_scholes_price(
+            single_option(spot, strike, rate, vol, expiry)
+        )
+        lhs = call[0] - put[0]
+        rhs = spot - strike * math.exp(-rate * expiry)
+        assert lhs == pytest.approx(rhs, abs=1e-8 * max(1.0, abs(rhs)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        spot=st.floats(20.0, 180.0),
+        vol1=st.floats(0.05, 0.5),
+        vol2=st.floats(0.5001, 1.2),
+    )
+    def test_call_price_increases_with_volatility(self, spot, vol1, vol2):
+        lo, _ = black_scholes_price(
+            single_option(spot, 100.0, 0.05, vol1, 1.0)
+        )
+        hi, _ = black_scholes_price(
+            single_option(spot, 100.0, 0.05, vol2, 1.0)
+        )
+        assert hi[0] > lo[0]
+
+    def test_call_within_no_arbitrage_bounds(self, rng):
+        batch = OptionBatch.random(500, rng)
+        call, put = black_scholes_price(batch)
+        discounted = batch.strike * np.exp(-batch.rate * batch.expiry)
+        assert np.all(call >= np.maximum(batch.spot - discounted, 0) - 1e-9)
+        assert np.all(call <= batch.spot + 1e-9)
+        assert np.all(put >= 0 - 1e-9)
+        assert np.all(put <= discounted + 1e-9)
+
+
+class TestOptionBatch:
+    def test_random_batch_shapes(self, rng):
+        batch = OptionBatch.random(64, rng)
+        assert len(batch) == 64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            OptionBatch(
+                spot=np.ones(3),
+                strike=np.ones(4),
+                rate=np.ones(3) * 0.05,
+                volatility=np.ones(3) * 0.2,
+                expiry=np.ones(3),
+            )
+
+    def test_nonpositive_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            single_option(-1.0, 100.0, 0.05, 0.2, 1.0)
+        with pytest.raises(ModelError):
+            single_option(100.0, 100.0, 0.05, 0.0, 1.0)
+
+    def test_random_needs_positive_count(self):
+        with pytest.raises(ModelError):
+            OptionBatch.random(0)
+
+
+class TestTrafficModel:
+    def test_paper_bytes_per_option(self, bs):
+        assert bs.bytes_per_work_unit(1000) == pytest.approx(10.0)
+
+    def test_work_units_are_options(self, bs):
+        assert bs.work_units(4096) == 4096
+
+    def test_ops_scale_linearly(self, bs):
+        assert bs.ops(200) == pytest.approx(2 * bs.ops(100))
+
+    def test_unit_label(self, bs):
+        assert bs.performance_unit() == "Mopts/s"
+
+    def test_run(self, bs, rng):
+        result = bs.run(256, rng)
+        call, put = result.output
+        assert len(call) == 256
+        assert result.compulsory_bytes == pytest.approx(2560.0)

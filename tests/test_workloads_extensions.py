@@ -1,0 +1,209 @@
+"""Tests for the extension workloads: SpMV and the Jacobi stencil."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.workloads.spmv import (
+    CSRMatrix,
+    SpMVWorkload,
+    csr_from_dense,
+    csr_matvec,
+)
+from repro.workloads.stencil import (
+    StencilWorkload,
+    jacobi_step,
+    jacobi_sweeps,
+)
+
+
+class TestCSR:
+    def test_round_trip_matches_dense(self, rng):
+        dense = np.where(
+            rng.random((20, 20)) < 0.3,
+            rng.standard_normal((20, 20)),
+            0.0,
+        ).astype(np.float32)
+        x = rng.standard_normal(20).astype(np.float32)
+        np.testing.assert_allclose(
+            csr_matvec(csr_from_dense(dense), x),
+            dense @ x,
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_identity_matrix(self):
+        eye = np.eye(8, dtype=np.float32)
+        x = np.arange(8, dtype=np.float32)
+        np.testing.assert_allclose(
+            csr_matvec(csr_from_dense(eye), x), x
+        )
+
+    def test_zero_matrix(self):
+        zero = np.zeros((5, 5), dtype=np.float32)
+        csr = csr_from_dense(zero)
+        assert csr.nnz == 0
+        np.testing.assert_allclose(
+            csr_matvec(csr, np.ones(5)), np.zeros(5)
+        )
+
+    def test_rectangular(self, rng):
+        dense = rng.standard_normal((4, 7)).astype(np.float32)
+        x = rng.standard_normal(7).astype(np.float32)
+        np.testing.assert_allclose(
+            csr_matvec(csr_from_dense(dense), x), dense @ x, rtol=1e-4
+        )
+
+    def test_dimension_mismatch(self):
+        csr = csr_from_dense(np.eye(4))
+        with pytest.raises(ModelError):
+            csr_matvec(csr, np.ones(5))
+
+    def test_csr_validation(self):
+        with pytest.raises(ModelError):
+            CSRMatrix(
+                shape=(2, 2),
+                values=np.ones(1, dtype=np.float32),
+                col_indices=np.zeros(1, dtype=np.int64),
+                row_pointers=np.array([0, 1]),  # wrong length
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 25),
+        density=st.floats(0.05, 0.9),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_matches_dense_property(self, n, density, seed):
+        rng = np.random.default_rng(seed)
+        dense = np.where(
+            rng.random((n, n)) < density,
+            rng.standard_normal((n, n)),
+            0.0,
+        ).astype(np.float32)
+        x = rng.standard_normal(n).astype(np.float32)
+        np.testing.assert_allclose(
+            csr_matvec(csr_from_dense(dense), x),
+            dense @ x,
+            rtol=1e-3,
+            atol=1e-3,
+        )
+
+
+class TestSpMVModel:
+    def test_low_fixed_intensity(self):
+        spmv = SpMVWorkload()
+        ai_small = spmv.arithmetic_intensity(512)
+        ai_large = spmv.arithmetic_intensity(65536)
+        # Low (~1/6 flop/byte) and nearly size-independent.
+        assert 0.1 < ai_small < 0.3
+        assert ai_large == pytest.approx(ai_small, rel=0.1)
+
+    def test_far_leaner_than_paper_kernels(self):
+        from repro.workloads.registry import get_workload
+
+        spmv = SpMVWorkload()
+        assert get_workload("fft").arithmetic_intensity(
+            1024
+        ) > 10 * spmv.arithmetic_intensity(1024)
+
+    def test_run_produces_correct_product(self, rng):
+        result = SpMVWorkload().run(32, rng)
+        matrix, x, y = result.output
+        dense = np.zeros(matrix.shape, dtype=np.float64)
+        for i in range(matrix.shape[0]):
+            start, end = (
+                matrix.row_pointers[i], matrix.row_pointers[i + 1],
+            )
+            dense[i, matrix.col_indices[start:end]] = matrix.values[
+                start:end
+            ]
+        np.testing.assert_allclose(y, dense @ x, rtol=1e-4, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SpMVWorkload(nnz_per_row=0)
+        with pytest.raises(ModelError):
+            SpMVWorkload().ops(1)
+
+
+class TestJacobi:
+    def test_interior_update(self):
+        grid = np.zeros((3, 3), dtype=np.float32)
+        grid[0, 1] = grid[2, 1] = grid[1, 0] = grid[1, 2] = 1.0
+        out = jacobi_step(grid)
+        assert out[1, 1] == pytest.approx(1.0)
+
+    def test_boundary_fixed(self, rng):
+        grid = rng.standard_normal((8, 8)).astype(np.float32)
+        out = jacobi_step(grid)
+        np.testing.assert_array_equal(out[0, :], grid[0, :])
+        np.testing.assert_array_equal(out[:, -1], grid[:, -1])
+
+    def test_constant_grid_is_fixed_point(self):
+        grid = np.full((10, 10), 3.5, dtype=np.float32)
+        np.testing.assert_allclose(jacobi_sweeps(grid, 5), grid)
+
+    def test_matches_loop_reference(self, rng):
+        grid = rng.standard_normal((6, 6)).astype(np.float32)
+        fast = jacobi_step(grid)
+        slow = grid.copy()
+        for i in range(1, 5):
+            for j in range(1, 5):
+                slow[i, j] = 0.25 * (
+                    grid[i - 1, j] + grid[i + 1, j]
+                    + grid[i, j - 1] + grid[i, j + 1]
+                )
+        np.testing.assert_allclose(fast, slow, rtol=1e-6)
+
+    def test_converges_toward_interior_smoothing(self, rng):
+        # Repeated sweeps shrink the interior residual.
+        grid = rng.standard_normal((16, 16)).astype(np.float32)
+        def residual(g):
+            return float(np.abs(g[1:-1, 1:-1] - jacobi_step(g)[1:-1, 1:-1]).max())
+        assert residual(jacobi_sweeps(grid, 50)) < residual(grid)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            jacobi_step(np.zeros((2, 5)))
+        with pytest.raises(ModelError):
+            jacobi_sweeps(np.zeros((5, 5)), 0)
+
+
+class TestStencilModel:
+    def test_intensity_scales_with_temporal_block(self):
+        assert StencilWorkload(temporal_block=1).arithmetic_intensity(
+            64
+        ) == pytest.approx(5.0 / 8.0)
+        assert StencilWorkload(temporal_block=16).arithmetic_intensity(
+            64
+        ) == pytest.approx(10.0)
+
+    def test_intensity_consistent_with_counts(self):
+        wl = StencilWorkload(temporal_block=4)
+        assert wl.arithmetic_intensity(32) == pytest.approx(
+            wl.ops(32) / wl.compulsory_bytes(32)
+        )
+
+    def test_sits_between_spmv_and_mmm(self):
+        from repro.workloads.registry import get_workload
+
+        stencil = StencilWorkload(temporal_block=8)
+        assert (
+            SpMVWorkload().arithmetic_intensity(1024)
+            < stencil.arithmetic_intensity(1024)
+            < get_workload("mmm").arithmetic_intensity(1024)
+        )
+
+    def test_run(self, rng):
+        result = StencilWorkload(temporal_block=3).run(16, rng)
+        assert result.output.shape == (16, 16)
+        assert result.ops == pytest.approx(5 * 16 * 16 * 3)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            StencilWorkload(temporal_block=0)
+        with pytest.raises(ModelError):
+            StencilWorkload().ops(2)

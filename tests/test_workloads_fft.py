@@ -1,0 +1,162 @@
+"""Tests for the FFT workload: real kernel correctness + traffic model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.workloads.fft import (
+    FFTWorkload,
+    bit_reverse_permutation,
+    fft_radix2,
+)
+
+sizes = st.sampled_from([2, 4, 8, 16, 32, 64, 128, 256, 512, 1024])
+
+
+@pytest.fixture
+def fft():
+    return FFTWorkload()
+
+
+class TestBitReversal:
+    def test_size_8(self):
+        assert list(bit_reverse_permutation(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_size_2(self):
+        assert list(bit_reverse_permutation(2)) == [0, 1]
+
+    def test_is_involution(self):
+        perm = bit_reverse_permutation(64)
+        assert list(perm[perm]) == list(range(64))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ModelError):
+            bit_reverse_permutation(12)
+
+
+class TestKernelCorrectness:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256, 1024])
+    def test_matches_numpy(self, n, rng):
+        x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(
+            np.complex64
+        )
+        ours = fft_radix2(x)
+        reference = np.fft.fft(x.astype(np.complex128))
+        np.testing.assert_allclose(ours, reference, rtol=2e-3, atol=2e-3)
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(16, dtype=np.complex64)
+        x[0] = 1.0
+        np.testing.assert_allclose(
+            fft_radix2(x), np.ones(16), rtol=1e-6, atol=1e-6
+        )
+
+    def test_constant_gives_dc_only(self):
+        x = np.ones(32, dtype=np.complex64)
+        y = fft_radix2(x)
+        assert y[0] == pytest.approx(32.0)
+        np.testing.assert_allclose(y[1:], 0.0, atol=1e-4)
+
+    def test_pure_tone_lands_in_one_bin(self):
+        n, k = 64, 5
+        x = np.exp(2j * np.pi * k * np.arange(n) / n)
+        y = fft_radix2(x)
+        assert abs(y[k]) == pytest.approx(n, rel=1e-4)
+        mask = np.ones(n, dtype=bool)
+        mask[k] = False
+        assert np.max(np.abs(y[mask])) < 1e-2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ModelError):
+            fft_radix2(np.zeros(10))
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=sizes, seed=st.integers(0, 2**31 - 1))
+    def test_linearity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(n).astype(np.complex64)
+        b = rng.standard_normal(n).astype(np.complex64)
+        lhs = fft_radix2(2.0 * a + 3.0 * b)
+        rhs = 2.0 * fft_radix2(a) + 3.0 * fft_radix2(b)
+        np.testing.assert_allclose(lhs, rhs, rtol=5e-3, atol=5e-3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=sizes, seed=st.integers(0, 2**31 - 1))
+    def test_parseval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(
+            np.complex64
+        )
+        time_energy = float(np.sum(np.abs(x) ** 2))
+        freq_energy = float(np.sum(np.abs(fft_radix2(x)) ** 2)) / n
+        assert freq_energy == pytest.approx(time_energy, rel=1e-3)
+
+
+class TestTrafficModel:
+    def test_pseudo_flops_formula(self, fft):
+        assert fft.ops(1024) == pytest.approx(5 * 1024 * 10)
+
+    def test_compulsory_bytes(self, fft):
+        # 8 bytes in + 8 bytes out per complex64 point.
+        assert fft.compulsory_bytes(1024) == pytest.approx(16 * 1024)
+
+    def test_paper_footnote2_intensity(self, fft):
+        # AI = 0.3125 * log2 N; 0.32 bytes/flop at N=1024.
+        assert fft.arithmetic_intensity(1024) == pytest.approx(3.125)
+        assert fft.bytes_per_work_unit(1024) == pytest.approx(0.32)
+
+    def test_intensity_consistency(self, fft):
+        for n in (64, 1024, 16384):
+            assert fft.arithmetic_intensity(n) == pytest.approx(
+                fft.ops(n) / fft.compulsory_bytes(n)
+            )
+
+    def test_intensity_grows_with_size(self, fft):
+        assert fft.arithmetic_intensity(2**20) > fft.arithmetic_intensity(
+            2**4
+        )
+
+    def test_rejects_non_power_of_two(self, fft):
+        with pytest.raises(ModelError):
+            fft.ops(100)
+
+    def test_rejects_too_small(self, fft):
+        with pytest.raises(ModelError):
+            fft.compulsory_bytes(1)
+
+
+class TestRun:
+    def test_run_produces_correct_output(self, fft, rng):
+        result = fft.run(64, rng)
+        assert result.workload == "fft"
+        assert result.size == 64
+        assert result.ops == fft.ops(64)
+        reference = np.fft.fft(np.zeros(64))  # shape check only
+        assert result.output.shape == reference.shape
+
+    def test_run_output_is_true_transform(self, fft):
+        # Same seed -> reproducible input; verify the output transform.
+        result = fft.run(128)
+        rng = np.random.default_rng(0)
+        x = (
+            rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        ).astype(np.complex64)
+        np.testing.assert_allclose(
+            result.output, np.fft.fft(x.astype(np.complex128)),
+            rtol=2e-3, atol=2e-3,
+        )
+
+    def test_kernel_run_intensity_property(self, fft):
+        run = fft.run(256)
+        assert run.arithmetic_intensity == pytest.approx(
+            fft.arithmetic_intensity(256)
+        )
+
+    def test_table5_sizes_constant(self, fft):
+        assert fft.TABLE5_SIZES == (64, 1024, 16384)
+        assert fft.PROJECTION_SIZE == 1024
+        assert math.log2(fft.PROJECTION_SIZE) == 10

@@ -1,0 +1,121 @@
+"""Tests for the FFT algorithm variants (radix-4, real-input)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.workloads.fft import FFTWorkload, fft_radix2
+from repro.workloads.fft_variants import (
+    fft_radix4,
+    rfft_bytes,
+    rfft_ops,
+    rfft_packed,
+)
+
+pow2 = st.sampled_from([4, 8, 16, 32, 64, 128, 256, 512, 1024])
+
+
+class TestRadix4:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 1024, 2048])
+    def test_matches_numpy(self, n, rng):
+        x = (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ).astype(np.complex64)
+        np.testing.assert_allclose(
+            fft_radix4(x),
+            np.fft.fft(x.astype(np.complex128)),
+            rtol=5e-3,
+            atol=5e-3,
+        )
+
+    @pytest.mark.parametrize("n", [8, 32, 128, 512, 2048])
+    def test_odd_log2_sizes_use_radix2_peel(self, n, rng):
+        # These sizes are not powers of four; the fallback must agree
+        # with the radix-2 kernel bit for bit (same arithmetic order is
+        # not guaranteed, so compare numerically).
+        x = (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ).astype(np.complex64)
+        np.testing.assert_allclose(
+            fft_radix4(x), fft_radix2(x), rtol=5e-3, atol=5e-3
+        )
+
+    def test_impulse(self):
+        x = np.zeros(64, dtype=np.complex64)
+        x[0] = 1.0
+        np.testing.assert_allclose(
+            fft_radix4(x), np.ones(64), atol=1e-5
+        )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ModelError):
+            fft_radix4(np.zeros(12))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=pow2, seed=st.integers(0, 2**31 - 1))
+    def test_agrees_with_radix2_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ).astype(np.complex64)
+        np.testing.assert_allclose(
+            fft_radix4(x), fft_radix2(x), rtol=1e-2, atol=1e-2
+        )
+
+
+class TestRealFFT:
+    @pytest.mark.parametrize("n", [4, 8, 16, 64, 256, 1024])
+    def test_matches_numpy_rfft(self, n, rng):
+        x = rng.standard_normal(n).astype(np.float32)
+        np.testing.assert_allclose(
+            rfft_packed(x),
+            np.fft.rfft(x.astype(np.float64)),
+            rtol=5e-3,
+            atol=5e-3,
+        )
+
+    def test_output_length(self, rng):
+        x = rng.standard_normal(64).astype(np.float32)
+        assert len(rfft_packed(x)) == 33
+
+    def test_dc_and_nyquist_are_real(self, rng):
+        x = rng.standard_normal(128).astype(np.float32)
+        out = rfft_packed(x)
+        assert abs(out[0].imag) < 1e-4
+        assert abs(out[-1].imag) < 1e-4
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ModelError):
+            rfft_packed(np.zeros(2, dtype=np.float32))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ModelError):
+            rfft_packed(np.zeros(24, dtype=np.float32))
+
+
+class TestRealTransformCosts:
+    def test_half_the_complex_work(self):
+        wl = FFTWorkload()
+        for n in (64, 1024):
+            assert rfft_ops(n) == pytest.approx(0.5 * wl.ops(n))
+
+    def test_traffic_roughly_halved(self):
+        wl = FFTWorkload()
+        for n in (64, 1024, 16384):
+            assert rfft_bytes(n) < 0.6 * wl.compulsory_bytes(n)
+
+    def test_intensity_close_to_complex(self):
+        # Work and traffic halve together: intensity stays comparable.
+        wl = FFTWorkload()
+        for n in (256, 4096):
+            real_ai = rfft_ops(n) / rfft_bytes(n)
+            complex_ai = wl.arithmetic_intensity(n)
+            assert real_ai == pytest.approx(complex_ai, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            rfft_ops(2)
+        with pytest.raises(ModelError):
+            rfft_bytes(100)

@@ -1,0 +1,122 @@
+"""Tests for the MMM workload: blocked kernel + traffic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.workloads.mmm import MMMWorkload, blocked_matmul
+
+
+@pytest.fixture
+def mmm():
+    return MMMWorkload()
+
+
+class TestBlockedMatmul:
+    @pytest.mark.parametrize("n,block", [(4, 2), (16, 4), (100, 32),
+                                         (129, 128), (64, 64)])
+    def test_matches_numpy(self, n, block, rng):
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        b = rng.standard_normal((n, n)).astype(np.float32)
+        ours = blocked_matmul(a, b, block)
+        np.testing.assert_allclose(ours, a @ b, rtol=1e-3, atol=1e-3)
+
+    def test_identity(self, rng):
+        a = rng.standard_normal((32, 32)).astype(np.float32)
+        np.testing.assert_allclose(
+            blocked_matmul(a, np.eye(32, dtype=np.float32), 8),
+            a,
+            rtol=1e-6,
+        )
+
+    def test_non_square_shapes(self, rng):
+        a = rng.standard_normal((10, 20)).astype(np.float32)
+        b = rng.standard_normal((20, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            blocked_matmul(a, b, 7), a @ b, rtol=1e-4, atol=1e-4
+        )
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ModelError):
+            blocked_matmul(np.zeros((3, 4)), np.zeros((5, 3)))
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ModelError):
+            blocked_matmul(np.zeros(4), np.zeros((4, 4)))
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ModelError):
+            blocked_matmul(np.zeros((4, 4)), np.zeros((4, 4)), block=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 40),
+        block=st.integers(1, 48),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_block_size_never_changes_result(self, n, block, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        b = rng.standard_normal((n, n)).astype(np.float32)
+        np.testing.assert_allclose(
+            blocked_matmul(a, b, block),
+            blocked_matmul(a, b, max(n, 1)),
+            rtol=1e-3,
+            atol=1e-3,
+        )
+
+
+class TestTrafficModel:
+    def test_flop_count(self, mmm):
+        assert mmm.ops(128) == pytest.approx(2 * 128**3)
+
+    def test_paper_footnote3_intensity(self, mmm):
+        # Block 128 -> AI = 32 flops/byte = 0.03125 bytes/flop.
+        assert mmm.arithmetic_intensity(2048) == pytest.approx(32.0)
+        assert mmm.bytes_per_work_unit(2048) == pytest.approx(0.03125)
+
+    def test_intensity_capped_by_problem_size(self, mmm):
+        # Problems smaller than a tile get AI = N/4.
+        assert mmm.arithmetic_intensity(64) == pytest.approx(16.0)
+
+    def test_intensity_consistent_with_bytes(self, mmm):
+        for n in (32, 128, 512, 2048):
+            assert mmm.arithmetic_intensity(n) == pytest.approx(
+                mmm.ops(n) / mmm.compulsory_bytes(n)
+            )
+
+    def test_bigger_block_cuts_traffic(self):
+        small = MMMWorkload(block=32)
+        large = MMMWorkload(block=256)
+        assert large.compulsory_bytes(1024) < small.compulsory_bytes(1024)
+
+    def test_single_tile_degenerates_to_one_read(self, mmm):
+        # N <= block: read A and B once = 8 N^2 bytes.
+        assert mmm.compulsory_bytes(64) == pytest.approx(8 * 64**2)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ModelError):
+            MMMWorkload(block=0)
+
+    def test_rejects_bad_size(self, mmm):
+        with pytest.raises(ModelError):
+            mmm.ops(0)
+
+
+class TestRun:
+    def test_run_output_matches_reference(self, mmm):
+        result = mmm.run(48)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((48, 48)).astype(np.float32)
+        b = rng.standard_normal((48, 48)).astype(np.float32)
+        np.testing.assert_allclose(
+            result.output, a @ b, rtol=1e-3, atol=1e-3
+        )
+
+    def test_run_metadata(self, mmm, rng):
+        result = mmm.run(16, rng)
+        assert result.workload == "mmm"
+        assert result.ops == mmm.ops(16)
+        assert result.compulsory_bytes == mmm.compulsory_bytes(16)

@@ -1,0 +1,79 @@
+"""Tests for the workload registry and base abstractions."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    TABLE3_IMPLEMENTATIONS,
+    WORKLOADS,
+    all_workload_names,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_three_workloads(self):
+        assert workload_names() == ["mmm", "fft", "bs"]
+
+    def test_get_workload_returns_instances(self):
+        for name in workload_names():
+            wl = get_workload(name)
+            assert isinstance(wl, Workload)
+            assert wl.name == name
+
+    def test_unknown_workload(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("raytrace")
+
+    def test_singletons(self):
+        assert get_workload("fft") is get_workload("fft")
+
+    def test_extension_workloads_resolvable(self):
+        assert all_workload_names() == [
+            "mmm", "fft", "bs", "spmv", "stencil",
+        ]
+        assert get_workload("spmv").name == "spmv"
+        assert get_workload("stencil").name == "stencil"
+
+    def test_extensions_not_in_paper_set(self):
+        assert "spmv" not in workload_names()
+
+
+class TestTable3:
+    def test_covers_all_workloads(self):
+        assert set(TABLE3_IMPLEMENTATIONS) == set(WORKLOADS)
+
+    def test_missing_combinations_match_paper(self):
+        # The paper could not obtain FFT/BS for the R5870 and BS for
+        # the GTX480 row is a CUDA reference (present).
+        assert TABLE3_IMPLEMENTATIONS["fft"]["R5870"] is None
+        assert TABLE3_IMPLEMENTATIONS["bs"]["R5870"] is None
+        assert TABLE3_IMPLEMENTATIONS["mmm"]["R5870"] == "CAL++"
+
+    def test_spiral_generated_fft_hardware(self):
+        assert "Spiral" in TABLE3_IMPLEMENTATIONS["fft"]["ASIC"]
+
+
+class TestBaseHelpers:
+    def test_performance_unit_flop(self):
+        assert get_workload("mmm").performance_unit() == "GFLOP/s"
+        assert get_workload("mmm").performance_unit(giga=False) == "FLOP/s"
+
+    def test_bytes_per_op_reciprocal(self):
+        fft = get_workload("fft")
+        assert fft.bytes_per_op(1024) == pytest.approx(
+            1.0 / fft.arithmetic_intensity(1024)
+        )
+
+    def test_work_units_default_is_ops(self):
+        mmm = get_workload("mmm")
+        assert mmm.work_units(64) == mmm.ops(64)
+
+    def test_kernel_run_intensity(self):
+        bs = get_workload("bs")
+        run = bs.run(100)
+        assert run.arithmetic_intensity == pytest.approx(
+            bs.ops(100) / bs.compulsory_bytes(100)
+        )
