@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	$(PYTHON) -m pytest tests/test_perf_smoke.py -m perfbench -q
+
+bench-projection:
+	$(PYTHON) benchmarks/bench_perf_grid.py
 
 artifacts:
 	$(PYTHON) -m repro.cli export --out results/

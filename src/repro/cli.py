@@ -182,6 +182,29 @@ def build_parser() -> argparse.ArgumentParser:
         "manifest",
         help="print the calibration manifest as JSON",
     )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the Figure 6-9 projection campaign across a worker pool",
+    )
+    campaign.add_argument(
+        "--figures", nargs="+", default=["F6", "F7", "F8", "F9"],
+        metavar="FIG",
+        help="figure panels to project (default: F6 F7 F8 F9)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count (default: CPU count; 1 forces serial)",
+    )
+    campaign.add_argument(
+        "--executor", default="process",
+        choices=("process", "thread", "serial"),
+        help="pool flavour (default: process)",
+    )
+    campaign.add_argument(
+        "--method", default="batch", choices=("batch", "scalar"),
+        help="projection path per panel (default: batch)",
+    )
     return parser
 
 
@@ -372,6 +395,40 @@ def _cmd_trace(workload: str, f: float, node_nm: int,
     return "\n".join(lines)
 
 
+def _cmd_campaign(figures: List[str], jobs: Optional[int],
+                  executor: str, method: str) -> str:
+    import time
+
+    from .perf.grid import run_campaign
+
+    start = time.perf_counter()
+    results = run_campaign(
+        figures, jobs=jobs, executor=executor, method=method
+    )
+    elapsed = time.perf_counter() - start
+    rows = []
+    for task, result in results.items():
+        winner = result.winner()
+        rows.append(
+            (
+                task.figure,
+                task.workload + (f"-{task.fft_size}" if task.fft_size else ""),
+                f"{task.f:g}",
+                task.scenario,
+                winner.design.short_label,
+                f"{winner.final_speedup():.1f}x",
+            )
+        )
+    return format_table(
+        ["figure", "workload", "f", "scenario", "winner", "final speedup"],
+        rows,
+        title=(
+            f"Campaign: {len(results)} panels in {elapsed:.2f}s "
+            f"({executor}, jobs={jobs or 'auto'}, method={method})"
+        ),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -440,6 +497,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .reporting.manifest import manifest_json
 
             output = manifest_json()
+        elif args.command == "campaign":
+            output = _cmd_campaign(
+                args.figures, args.jobs, args.executor, args.method
+            )
         else:  # pragma: no cover - argparse enforces choices
             parser.error(f"unknown command {args.command!r}")
             return 2

@@ -71,6 +71,13 @@ class Budget:
     alpha: float = 1.75
 
     def __post_init__(self) -> None:
+        # NaN passes every `<= 0` comparison, would poison the bound
+        # arithmetic downstream, and breaks the reflexivity cache keys
+        # rely on (NaN != NaN defeats memoization and frozen-dataclass
+        # equality) -- reject it up front, field by field.
+        for name in ("area", "power", "bandwidth", "alpha"):
+            if math.isnan(getattr(self, name)):
+                raise ModelError(f"{name} budget must not be NaN")
         if self.area <= 0:
             raise ModelError(f"area budget must be positive, got {self.area}")
         if self.power <= 0:
@@ -122,6 +129,14 @@ class BoundSet:
     n_area: float
     n_power: float
     n_bandwidth: float
+
+    def __post_init__(self) -> None:
+        # A NaN bound would make `limiter` order-dependent and break
+        # hash-key reflexivity; every Table 1 expression over a valid
+        # Budget is NaN-free, so a NaN here is always an upstream bug.
+        for name in ("n_area", "n_power", "n_bandwidth"):
+            if math.isnan(getattr(self, name)):
+                raise ModelError(f"{name} bound must not be NaN")
 
     @property
     def n_effective(self) -> float:

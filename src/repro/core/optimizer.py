@@ -19,6 +19,7 @@ the optimizer:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
@@ -26,6 +27,7 @@ from ..errors import InfeasibleDesignError, ModelError
 from .amdahl import check_fraction
 from .chip import ChipModel
 from .constraints import BoundSet, Budget, LimitingFactor
+from .power import max_r_for_serial_bandwidth, max_r_for_serial_power
 
 __all__ = [
     "DEFAULT_R_MAX",
@@ -77,15 +79,51 @@ class DesignPoint:
         )
 
 
+def _binding_serial_bound(chip: ChipModel, budget: Budget) -> str:
+    """Name the serial bound that forbids even an r = 1 core."""
+    r_power = max_r_for_serial_power(budget.power, budget.alpha)
+    r_bw = (
+        max_r_for_serial_bandwidth(budget.bandwidth)
+        if math.isfinite(budget.bandwidth)
+        else math.inf
+    )
+    bounds = {
+        "serial power (r^(alpha/2) <= P)": r_power,
+        "serial bandwidth (sqrt(r) <= B)": r_bw,
+        "area (r <= A)": budget.area,
+    }
+    return min(bounds, key=bounds.get)
+
+
 def feasible_r_values(
     chip: ChipModel,
     budget: Budget,
     r_max: int = DEFAULT_R_MAX,
 ) -> List[int]:
-    """Integer sequential-core sizes satisfying the serial bounds."""
+    """Integer sequential-core sizes satisfying the serial bounds.
+
+    Raises:
+        InfeasibleDesignError: the serial bounds forbid even the
+            minimum r = 1 core (ceiling below 1, negative, or NaN).
+            An empty sweep used to be returned silently here, leaving
+            callers to fail later with a less specific message; the
+            guard names the binding serial bound instead.
+    """
     if r_max < 1:
         raise ModelError(f"r_max must be >= 1, got {r_max}")
     ceiling = chip.max_serial_r(budget)
+    if math.isnan(ceiling):  # cannot arise from a valid Budget
+
+        raise InfeasibleDesignError(
+            f"serial bounds for {chip.label} under {budget} evaluated "
+            f"to NaN; check any custom max_serial_r override"
+        )
+    if ceiling < 1:
+        raise InfeasibleDesignError(
+            f"no feasible sequential core for {chip.label} under "
+            f"{budget}: max_serial_r = {ceiling:.4g} < 1, bound by "
+            f"{_binding_serial_bound(chip, budget)}"
+        )
     return [r for r in range(1, r_max + 1) if r <= ceiling]
 
 

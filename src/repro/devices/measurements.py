@@ -24,6 +24,7 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CalibrationError
+from ..perf.cache import cached
 from .bce import DEFAULT_BCE
 from .catalog import get_device
 from .specs import Measurement
@@ -232,12 +233,17 @@ def all_measurements() -> Dict[Tuple[str, str, Optional[int]], Measurement]:
     return dict(_ALL)
 
 
+@cached(maxsize=256)
 def get_measurement(device: str, workload: str,
                     size: Optional[int] = None) -> Measurement:
     """Look up one measurement record.
 
     FFT lookups require one of the anchor sizes; MMM/BS lookups take no
     size (the paper reports a single throughput-mode figure for them).
+
+    Memoized: the hot projection path calls this once per (device,
+    workload, size) instead of copying the full measurement table on
+    every budget derivation.
     """
     table = all_measurements()
     try:

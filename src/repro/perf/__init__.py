@@ -1,0 +1,54 @@
+"""Batched, cached, parallel evaluation of the projection model.
+
+The scalar model in :mod:`repro.core` is the *reference
+implementation*: one (chip, budget, f) cell at a time, pure Python,
+easy to audit against the paper's formulas.  This package is the
+*production path* layered on top of it:
+
+* :mod:`repro.perf.batch` -- NumPy-vectorized r-sweeps
+  (:func:`sweep_designs_batch`, :func:`optimize_batch`) that evaluate
+  every candidate ``r`` across every node of a roadmap as array
+  operations, bit-for-bit identical to the scalar sweep.
+* :mod:`repro.perf.cache` -- a clearable memoization registry used by
+  the budget/measurement derivations
+  (:func:`~repro.projection.engine.node_budget` and friends), so
+  repeated figure panels share derived budgets.
+* :mod:`repro.perf.grid` -- :class:`ProjectionGrid`, a
+  ``concurrent.futures`` driver that fans a full figure campaign
+  (all workloads x f values x scenarios) across a process or thread
+  pool.
+
+``benchmarks/bench_perf_grid.py`` tracks the speedup of each layer
+over the scalar path in ``BENCH_projection.json``.
+"""
+
+from .batch import optimize_batch, sweep_designs_batch
+from .cache import cache_stats, cached, clear_caches, registered_caches
+
+__all__ = [
+    "optimize_batch",
+    "sweep_designs_batch",
+    "cached",
+    "clear_caches",
+    "cache_stats",
+    "registered_caches",
+    # provided lazily by repro.perf.grid (see __getattr__):
+    "GridTask",
+    "ProjectionGrid",
+    "figure_campaign",
+    "run_campaign",
+]
+
+_GRID_NAMES = ("GridTask", "ProjectionGrid", "figure_campaign",
+               "run_campaign")
+
+
+def __getattr__(name):
+    # Lazy: grid imports the projection engine, which itself imports
+    # this package for the cache layer -- resolving grid on first use
+    # keeps the import graph acyclic.
+    if name in _GRID_NAMES:
+        from . import grid
+
+        return getattr(grid, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,83 @@
+"""Memoization layer for the projection hot path.
+
+The scalar projection stack re-derives the same intermediate values
+over and over: every (design, node, f) cell of a figure recomputes the
+node's :class:`~repro.core.constraints.Budget`, which in turn re-runs
+the workload lookup and the bandwidth-unit conversion, and every
+bandwidth conversion re-fetches the same calibrated measurement.  All
+of these are pure functions of hashable inputs (frozen dataclasses,
+strings, numbers), so a figure campaign -- dozens of panels sharing
+five nodes and three workloads -- can share one derivation per
+distinct input tuple.
+
+This module provides a thin wrapper over :func:`functools.lru_cache`
+that keeps a registry of every cache it creates, so the whole layer
+can be cleared (:func:`clear_caches`) and inspected
+(:func:`cache_stats`) in one call.  Benchmarks clear the registry
+between timed runs; tests use it to prove both cache *hits* (repeated
+panels are served from memory) and cache *correctness* (changing any
+input -- a different BCE calibration, a perturbed scenario -- produces
+a different key and therefore a fresh derivation, never a stale one).
+
+Caches are keyed on **all** arguments, including defaults captured at
+call time, so two calls that differ in any input never share an entry.
+NaN arguments are never cached usefully (NaN != NaN, so each lookup
+misses) but they are also never *wrong* -- the miss falls through to
+the underlying function.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, TypeVar
+
+__all__ = ["cached", "clear_caches", "cache_stats", "registered_caches"]
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Every cache created by :func:`cached`, keyed by qualified name.
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def cached(maxsize: int = 1024) -> Callable[[_F], _F]:
+    """An :func:`functools.lru_cache` that registers itself.
+
+    The wrapped function gains the usual ``cache_info``/``cache_clear``
+    attributes plus ``uncached``, the original function -- callers that
+    must bypass memoization (the benchmark's seed-faithful scalar path)
+    call ``fn.uncached(...)`` directly.
+    """
+
+    def decorate(func: _F) -> _F:
+        wrapper = functools.lru_cache(maxsize=maxsize)(func)
+        wrapper.uncached = func
+        name = f"{func.__module__}.{func.__qualname__}"
+        _REGISTRY[name] = wrapper
+        return wrapper
+
+    return decorate
+
+
+def registered_caches() -> List[str]:
+    """Qualified names of every registered cache."""
+    return sorted(_REGISTRY)
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (benchmarks do this between runs)."""
+    for wrapper in _REGISTRY.values():
+        wrapper.cache_clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counters for every registered cache."""
+    stats = {}
+    for name, wrapper in _REGISTRY.items():
+        info = wrapper.cache_info()
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "maxsize": info.maxsize,
+            "currsize": info.currsize,
+        }
+    return stats

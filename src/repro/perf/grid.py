@@ -1,0 +1,178 @@
+"""Parallel figure-campaign driver.
+
+A *campaign* is the set of projection panels behind the paper's
+headline figures: every (workload, parallel fraction, scenario)
+combination of Figures 6-9.  Panels are independent of each other, so
+the driver fans them across a ``concurrent.futures`` pool -- processes
+by default (each panel is CPU-bound Python + NumPy), threads or
+in-process serial execution on request.
+
+Tasks are plain frozen dataclasses of primitives (workload name,
+scenario *name*, f, size), so they pickle cheaply into worker
+processes; each worker resolves the scenario and runs
+:func:`repro.projection.engine.project` locally, warming its own
+budget caches.
+
+The CLI exposes this as ``repro-hetsim campaign --jobs N``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..itrs.scenarios import get_scenario
+from ..projection.engine import PAPER_F_VALUES, ProjectionResult, project
+from ..projection.paperfigs import FIGURE8_F_VALUES
+
+__all__ = [
+    "GridTask",
+    "ProjectionGrid",
+    "figure_campaign",
+    "run_campaign",
+    "CAMPAIGN_FIGURES",
+]
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One projection panel: a (figure, workload, f, scenario) cell."""
+
+    figure: str
+    workload: str
+    f: float
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+
+    def describe(self) -> str:
+        size = f"-{self.fft_size}" if self.fft_size else ""
+        return (
+            f"{self.figure}: {self.workload}{size} f={self.f} "
+            f"({self.scenario})"
+        )
+
+
+#: figure id -> (workload, scenario, fft_size, f values), Figures 6-9.
+CAMPAIGN_FIGURES: Dict[str, Tuple[str, str, Optional[int], Tuple[float, ...]]] = {
+    "F6": ("fft", "baseline", 1024, PAPER_F_VALUES),
+    "F7": ("mmm", "baseline", None, PAPER_F_VALUES),
+    "F8": ("bs", "baseline", None, FIGURE8_F_VALUES),
+    "F9": ("fft", "high-bandwidth", 1024, PAPER_F_VALUES),
+}
+
+
+def figure_campaign(
+    figures: Sequence[str] = ("F6", "F7", "F8", "F9"),
+) -> Tuple[GridTask, ...]:
+    """The panel list for the requested figures, in paper order."""
+    tasks = []
+    for figure in figures:
+        try:
+            workload, scenario, fft_size, f_values = CAMPAIGN_FIGURES[figure]
+        except KeyError:
+            raise ModelError(
+                f"unknown campaign figure {figure!r}; "
+                f"available: {sorted(CAMPAIGN_FIGURES)}"
+            ) from None
+        for f in f_values:
+            tasks.append(
+                GridTask(
+                    figure=figure,
+                    workload=workload,
+                    f=f,
+                    scenario=scenario,
+                    fft_size=fft_size,
+                )
+            )
+    return tuple(tasks)
+
+
+def run_task(task: GridTask, method: str = "batch") -> ProjectionResult:
+    """Resolve one panel (module-level so it pickles into workers)."""
+    return project(
+        task.workload,
+        task.f,
+        get_scenario(task.scenario),
+        fft_size=task.fft_size,
+        method=method,
+    )
+
+
+class ProjectionGrid:
+    """Fan projection panels across a worker pool.
+
+    Args:
+        jobs: worker count; ``None`` uses the CPU count, ``1`` forces
+            in-process serial execution regardless of ``executor``.
+        executor: ``"process"`` (default), ``"thread"``, or
+            ``"serial"``.  Processes sidestep the GIL for the
+            CPU-bound panels; threads are useful when the results must
+            share in-process caches; serial is the zero-overhead
+            baseline for small campaigns.
+        method: projection path passed through to
+            :func:`~repro.projection.engine.project` (``"batch"`` or
+            ``"scalar"``).
+    """
+
+    _EXECUTORS = ("process", "thread", "serial")
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        executor: str = "process",
+        method: str = "batch",
+    ):
+        if executor not in self._EXECUTORS:
+            raise ModelError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {self._EXECUTORS}"
+            )
+        if jobs is not None and jobs < 1:
+            raise ModelError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.executor = executor
+        self.method = method
+
+    def run(
+        self, tasks: Sequence[GridTask]
+    ) -> Dict[GridTask, ProjectionResult]:
+        """Resolve every task; results keyed by task, in input order."""
+        tasks = list(tasks)
+        if not tasks:
+            return {}
+        jobs = min(self.jobs, len(tasks))
+        if jobs == 1 or self.executor == "serial":
+            results = [run_task(task, self.method) for task in tasks]
+        else:
+            pool_cls = (
+                ProcessPoolExecutor
+                if self.executor == "process"
+                else ThreadPoolExecutor
+            )
+            # One chunk per worker: panels are ~ms-scale, so per-task
+            # dispatch latency would otherwise dominate the pool.
+            chunksize = -(-len(tasks) // jobs)
+            with pool_cls(max_workers=jobs) as pool:
+                results = list(
+                    pool.map(
+                        run_task,
+                        tasks,
+                        [self.method] * len(tasks),
+                        chunksize=chunksize,
+                    )
+                )
+        return dict(zip(tasks, results))
+
+
+def run_campaign(
+    figures: Sequence[str] = ("F6", "F7", "F8", "F9"),
+    jobs: Optional[int] = None,
+    executor: str = "process",
+    method: str = "batch",
+) -> Dict[GridTask, ProjectionResult]:
+    """One-call campaign: build the task list and run the grid."""
+    grid = ProjectionGrid(jobs=jobs, executor=executor, method=method)
+    return grid.run(figure_campaign(figures))

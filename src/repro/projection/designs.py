@@ -24,7 +24,7 @@ bandwidth ceiling (Section 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..core.chip import AsymmetricOffloadCMP, ChipModel, SymmetricCMP
 from ..core.chip import HeterogeneousChip
@@ -32,6 +32,7 @@ from ..devices.bce import BCE, DEFAULT_BCE
 from ..devices.measurements import TABLE5_PUBLISHED, fft_table5_key
 from ..devices.params import ucore_for
 from ..errors import ModelError
+from ..perf.cache import cached
 
 __all__ = ["DesignSpec", "standard_designs", "design_labels"]
 
@@ -80,7 +81,19 @@ def standard_designs(
 
     U-core parameters are derived from the calibrated measurement set
     (the full Section 5.1 pipeline), not read from the printed table.
+    The derivation is memoized per (workload, size, BCE); callers get a
+    fresh list each time, but the specs (and their chip models, which
+    the optimizers treat as read-only) are shared.
     """
+    return list(_standard_designs(workload, fft_size, bce))
+
+
+@cached(maxsize=64)
+def _standard_designs(
+    workload: str,
+    fft_size: Optional[int],
+    bce: BCE,
+) -> "Tuple[DesignSpec, ...]":
     if workload not in ("mmm", "fft", "bs"):
         raise ModelError(
             f"no standard design list for workload {workload!r}"
@@ -108,7 +121,7 @@ def standard_designs(
                 bandwidth_exempt=(device == "ASIC" and workload == "mmm"),
             )
         )
-    return designs
+    return tuple(designs)
 
 
 def design_labels(workload: str,

@@ -14,11 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.energy import design_energy
-from ..core.optimizer import DEFAULT_R_MAX, optimize
+from ..core.optimizer import DEFAULT_R_MAX
 from ..devices.bce import BCE, DEFAULT_BCE
-from ..errors import InfeasibleDesignError
 from ..itrs.roadmap import NodeParams
 from ..itrs.scenarios import BASELINE, Scenario
+from ..perf.batch import optimize_batch
 from .designs import DesignSpec, standard_designs
 from .engine import node_budget
 
@@ -77,21 +77,20 @@ def project_energy(
         fft_size = 1024
     if designs is None:
         designs = standard_designs(workload_name, fft_size, bce)
+    nodes = scenario.roadmap.nodes
     all_series = []
     for design in designs:
-        cells = []
-        for node in scenario.roadmap.nodes:
-            budget = node_budget(
-                node,
-                workload_name,
-                fft_size,
-                scenario,
-                bce,
-                bandwidth_exempt=design.bandwidth_exempt,
+        budgets = [
+            node_budget(
+                node, workload_name, fft_size, scenario, bce,
+                design.bandwidth_exempt,
             )
-            try:
-                point = optimize(design.chip, f, budget, r_max)
-            except InfeasibleDesignError:
+            for node in nodes
+        ]
+        points = optimize_batch(design.chip, f, budgets, r_max)
+        cells = []
+        for node, point in zip(nodes, points):
+            if point is None:
                 cells.append(
                     EnergyCell(
                         node=node,

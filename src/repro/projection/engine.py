@@ -6,6 +6,17 @@ r-sweep optimizer for every design, and records the winning design
 point together with its binding constraint -- one
 :class:`ProjectionCell` per (design, node), assembled into the series
 that Figures 6-9 plot.
+
+Two execution paths produce identical results (the differential tests
+assert full ``DesignPoint`` equality):
+
+* ``method="batch"`` (the default): budget derivations are memoized
+  (:mod:`repro.perf.cache`) and each design's whole roadmap is
+  resolved by one NumPy-vectorized sweep
+  (:func:`repro.perf.batch.optimize_batch`).
+* ``method="scalar"``: the original reference path -- per-cell budget
+  derivation (uncached) and the pure-Python r-sweep.  Benchmarks use
+  it as the baseline; keep it when auditing against the paper.
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from ..devices.params import FAST_CORE_DEVICE
 from ..errors import InfeasibleDesignError, ModelError
 from ..itrs.roadmap import NodeParams
 from ..itrs.scenarios import BASELINE, Scenario
+from ..perf.batch import optimize_batch
+from ..perf.cache import cached
 from ..workloads.registry import get_workload
 from .designs import DesignSpec, standard_designs
 
@@ -101,6 +114,7 @@ class ProjectionResult:
         return max(self.series, key=lambda s: s.final_speedup())
 
 
+@cached(maxsize=512)
 def bandwidth_bce_units(
     workload_name: str,
     size: Optional[int],
@@ -112,6 +126,10 @@ def bandwidth_bce_units(
     Uses the workload's bytes-per-op at the given size and the BCE's
     absolute throughput derived from the fast-core (Core i7)
     measurement, as Section 3.2 prescribes.
+
+    Memoized on all arguments (``bce`` is a frozen dataclass, so a
+    recalibrated BCE is a distinct key); ``bandwidth_bce_units.uncached``
+    is the raw derivation.
     """
     workload = get_workload(workload_name)
     fast = get_measurement(FAST_CORE_DEVICE, workload_name, size)
@@ -133,21 +151,20 @@ def bandwidth_bce_units(
     )
 
 
-def node_budget(
+def _node_budget_with(
+    bw_units,
     node: NodeParams,
     workload_name: str,
     size: Optional[int],
-    scenario: Scenario = BASELINE,
-    bce: BCE = DEFAULT_BCE,
-    bandwidth_exempt: bool = False,
+    scenario: Scenario,
+    bce: BCE,
+    bandwidth_exempt: bool,
 ) -> Budget:
-    """BCE-unit budget for one node, workload, and scenario."""
+    """Shared budget derivation; ``bw_units`` picks cached vs raw."""
     bandwidth = (
         math.inf
         if bandwidth_exempt
-        else bandwidth_bce_units(
-            workload_name, size, node.bandwidth_gbps, bce
-        )
+        else bw_units(workload_name, size, node.bandwidth_gbps, bce)
     )
     return Budget(
         area=node.max_area_bce,
@@ -159,6 +176,48 @@ def node_budget(
     )
 
 
+@cached(maxsize=4096)
+def node_budget(
+    node: NodeParams,
+    workload_name: str,
+    size: Optional[int],
+    scenario: Scenario = BASELINE,
+    bce: BCE = DEFAULT_BCE,
+    bandwidth_exempt: bool = False,
+) -> Budget:
+    """BCE-unit budget for one node, workload, and scenario.
+
+    Memoized on every argument -- ``node``, ``bce`` and the returned
+    :class:`Budget` are frozen dataclasses, so any change to the BCE
+    calibration, the scenario, or a node parameter produces a fresh
+    key (and therefore a fresh derivation, never a stale budget).
+    ``node_budget.uncached`` bypasses memoization entirely, including
+    the nested bandwidth-unit cache (benchmarks use it to time the
+    seed-faithful scalar path).
+    """
+    return _node_budget_with(
+        bandwidth_bce_units, node, workload_name, size, scenario, bce,
+        bandwidth_exempt,
+    )
+
+
+def _node_budget_uncached(
+    node: NodeParams,
+    workload_name: str,
+    size: Optional[int],
+    scenario: Scenario = BASELINE,
+    bce: BCE = DEFAULT_BCE,
+    bandwidth_exempt: bool = False,
+) -> Budget:
+    return _node_budget_with(
+        bandwidth_bce_units.uncached, node, workload_name, size, scenario,
+        bce, bandwidth_exempt,
+    )
+
+
+node_budget.uncached = _node_budget_uncached
+
+
 def project(
     workload_name: str,
     f: float,
@@ -167,6 +226,7 @@ def project(
     designs: Optional[Sequence[DesignSpec]] = None,
     bce: BCE = DEFAULT_BCE,
     r_max: int = DEFAULT_R_MAX,
+    method: str = "batch",
 ) -> ProjectionResult:
     """Project every design across the scenario's nodes (one panel).
 
@@ -176,31 +236,49 @@ def project(
     Designs that are infeasible at a node (e.g. under the 10 W
     scenario's serial power bound) produce cells with ``point=None``
     rather than failing the whole projection.
+
+    ``method`` selects the execution path: ``"batch"`` (default)
+    memoizes budgets and vectorizes each design's roadmap sweep;
+    ``"scalar"`` is the uncached pure-Python reference.  Both return
+    identical results.
     """
+    if method not in ("batch", "scalar"):
+        raise ModelError(
+            f"unknown projection method {method!r}; "
+            f"expected 'batch' or 'scalar'"
+        )
     if workload_name == "fft" and fft_size is None:
         fft_size = 1024
     if designs is None:
         designs = standard_designs(workload_name, fft_size, bce)
+    nodes = scenario.roadmap.nodes
     all_series = []
     for design in designs:
-        cells = []
-        for node in scenario.roadmap.nodes:
-            budget = node_budget(
-                node,
-                workload_name,
-                fft_size,
-                scenario,
-                bce,
-                bandwidth_exempt=design.bandwidth_exempt,
-            )
-            try:
-                point = optimize(design.chip, f, budget, r_max)
-            except InfeasibleDesignError:
-                point = None
-            cells.append(ProjectionCell(node=node, point=point))
-        all_series.append(
-            ProjectionSeries(design=design, cells=tuple(cells))
+        if method == "batch":
+            budgets = [
+                node_budget(
+                    node, workload_name, fft_size, scenario, bce,
+                    design.bandwidth_exempt,
+                )
+                for node in nodes
+            ]
+            points = optimize_batch(design.chip, f, budgets, r_max)
+        else:
+            points = []
+            for node in nodes:
+                budget = node_budget.uncached(
+                    node, workload_name, fft_size, scenario, bce,
+                    design.bandwidth_exempt,
+                )
+                try:
+                    points.append(optimize(design.chip, f, budget, r_max))
+                except InfeasibleDesignError:
+                    points.append(None)
+        cells = tuple(
+            ProjectionCell(node=node, point=point)
+            for node, point in zip(nodes, points)
         )
+        all_series.append(ProjectionSeries(design=design, cells=cells))
     return ProjectionResult(
         workload=workload_name,
         fft_size=fft_size,

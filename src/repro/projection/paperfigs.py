@@ -19,6 +19,7 @@ __all__ = [
     "figure8_bs_projection",
     "figure9_fft_high_bandwidth",
     "figure10_mmm_energy",
+    "all_projection_figures",
     "FIGURE8_F_VALUES",
     "FIGURE10_F_VALUES",
 ]
@@ -62,3 +63,25 @@ def figure10_mmm_energy() -> Dict[float, EnergyResult]:
     return {
         f: project_energy("mmm", f, BASELINE) for f in FIGURE10_F_VALUES
     }
+
+
+def all_projection_figures(
+    jobs: int = 1,
+    executor: str = "serial",
+) -> Dict[str, Dict[float, ProjectionResult]]:
+    """Figures 6-9 in one pass, optionally across a worker pool.
+
+    Same data as the four per-figure constructors above, resolved
+    through :func:`repro.perf.grid.run_campaign` -- pass ``jobs`` and
+    ``executor="process"`` to fan the panels out.
+    """
+    # Imported here: perf.grid reads this module's f-value constants.
+    from ..perf.grid import run_campaign
+
+    results = run_campaign(
+        jobs=jobs, executor=executor
+    )
+    figures: Dict[str, Dict[float, ProjectionResult]] = {}
+    for task, result in results.items():
+        figures.setdefault(task.figure, {})[task.f] = result
+    return figures

@@ -14,10 +14,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..core.energy import design_energy
-from ..core.optimizer import DEFAULT_R_MAX, sweep_designs
+from ..core.optimizer import DEFAULT_R_MAX
 from ..devices.bce import BCE, DEFAULT_BCE
-from ..errors import ModelError
+from ..errors import InfeasibleDesignError, ModelError
 from ..itrs.scenarios import BASELINE, Scenario
+from ..perf.batch import sweep_designs_batch
 from .designs import DesignSpec, standard_designs
 from .engine import node_budget
 
@@ -66,9 +67,15 @@ def design_space_points(
     for design in designs:
         budget = node_budget(
             node, workload, fft_size, scenario, bce,
-            bandwidth_exempt=design.bandwidth_exempt,
+            design.bandwidth_exempt,
         )
-        for dp in sweep_designs(design.chip, f, budget, r_max):
+        try:
+            sweep = sweep_designs_batch(design.chip, f, budget, r_max)
+        except InfeasibleDesignError:
+            # The serial bounds forbid even r = 1 for this design at
+            # this node; it simply contributes no candidate points.
+            continue
+        for dp in sweep:
             energy = design_energy(
                 design.chip, f, dp.n, dp.r,
                 alpha=scenario.alpha, rel_power=node.rel_power,

@@ -23,6 +23,17 @@ class TestParser:
         assert args.fft_size == 1024
         assert args.scenario == "baseline"
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.figures == ["F6", "F7", "F8", "F9"]
+        assert args.jobs is None
+        assert args.executor == "process"
+        assert args.method == "batch"
+
+    def test_campaign_rejects_bad_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--executor", "gpu"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -74,6 +85,26 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["speedup", "--workload", "fft", "--f", "0.5",
                   "--scenario", "utopia"])
+
+    def test_campaign_serial(self, capsys):
+        code = main(
+            ["campaign", "--figures", "F8", "--executor", "serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 panels" in out
+        assert "ASIC" in out
+
+    def test_campaign_jobs_flag(self, capsys):
+        code = main(
+            ["campaign", "--figures", "F6", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_campaign_unknown_figure_fails_cleanly(self, capsys):
+        assert main(["campaign", "--figures", "F42"]) == 1
+        assert "F42" in capsys.readouterr().err
 
 
 class TestFullRun:

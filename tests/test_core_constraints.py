@@ -51,6 +51,25 @@ class TestBudget:
         with pytest.raises(AttributeError):
             b.area = 5.0
 
+    @pytest.mark.parametrize(
+        "field", ["area", "power", "bandwidth", "alpha"]
+    )
+    def test_nan_rejected(self, field):
+        # NaN slips through `<= 0` validation and, worse, breaks hash
+        # reflexivity for the budget caches -- refuse it outright.
+        kwargs = dict(area=10.0, power=5.0, bandwidth=3.0, alpha=1.75)
+        kwargs[field] = math.nan
+        with pytest.raises(ModelError, match="NaN"):
+            Budget(**kwargs)
+
+    def test_hashable_cache_key(self):
+        a = Budget(area=10.0, power=5.0, bandwidth=3.0)
+        b = Budget(area=10.0, power=5.0, bandwidth=3.0)
+        c = Budget(area=10.0, power=5.0, bandwidth=4.0)
+        assert hash(a) == hash(b)
+        assert a == b
+        assert len({a, b, c}) == 2
+
 
 class TestBoundSet:
     def test_effective_is_minimum(self):
@@ -81,6 +100,24 @@ class TestBoundSet:
     def test_infinite_bandwidth_never_limits(self):
         bs = BoundSet(n_area=5.0, n_power=9.0, n_bandwidth=math.inf)
         assert bs.limiter is LimitingFactor.AREA
+
+    @pytest.mark.parametrize(
+        "field", ["n_area", "n_power", "n_bandwidth"]
+    )
+    def test_nan_rejected(self, field):
+        kwargs = dict(n_area=1.0, n_power=2.0, n_bandwidth=3.0)
+        kwargs[field] = math.nan
+        with pytest.raises(ModelError, match="NaN"):
+            BoundSet(**kwargs)
+
+    def test_frozen_and_hashable(self):
+        bs = BoundSet(n_area=1.0, n_power=2.0, n_bandwidth=3.0)
+        with pytest.raises(AttributeError):
+            bs.n_area = 9.0
+        assert bs == BoundSet(n_area=1.0, n_power=2.0, n_bandwidth=3.0)
+        assert hash(bs) == hash(
+            BoundSet(n_area=1.0, n_power=2.0, n_bandwidth=3.0)
+        )
 
 
 class TestLimitingFactor:

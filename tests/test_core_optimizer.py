@@ -23,6 +23,41 @@ class TestFeasibleR:
             range(1, 17)
         )
 
+    def test_no_serial_core_raises_named_error(self, sym_chip):
+        # P = 0.5 -> max_serial_r < 1: not even a single-BCE core fits
+        # the serial power bound.
+        budget = Budget(area=100.0, power=0.5)
+        with pytest.raises(InfeasibleDesignError) as exc:
+            feasible_r_values(sym_chip, budget)
+        assert "serial power" in str(exc.value)
+
+    def test_binding_bandwidth_bound_is_named(self, sym_chip):
+        # B = 0.2 -> sqrt(r) <= 0.2 -> r <= 0.04: bandwidth binds.
+        budget = Budget(area=100.0, power=1e9, bandwidth=0.2)
+        with pytest.raises(InfeasibleDesignError) as exc:
+            feasible_r_values(sym_chip, budget)
+        assert "serial bandwidth" in str(exc.value)
+
+    def test_binding_area_bound_is_named(self, sym_chip):
+        budget = Budget(area=0.5, power=1e9)
+        with pytest.raises(InfeasibleDesignError) as exc:
+            feasible_r_values(sym_chip, budget)
+        assert "area" in str(exc.value)
+
+    def test_guard_reaches_optimize(self, sym_chip):
+        budget = Budget(area=100.0, power=0.5)
+        with pytest.raises(InfeasibleDesignError):
+            optimize(sym_chip, 0.9, budget)
+
+    def test_nan_ceiling_from_custom_override(self, roomy_budget):
+        class BrokenChip(SymmetricCMP):
+            def max_serial_r(self, budget):
+                return math.nan
+
+        with pytest.raises(InfeasibleDesignError) as exc:
+            feasible_r_values(BrokenChip(), roomy_budget)
+        assert "NaN" in str(exc.value)
+
     def test_serial_power_truncates(self, sym_chip):
         # P = 10 -> r <= 13.9, so 14..16 are excluded.
         budget = Budget(area=100.0, power=10.0)

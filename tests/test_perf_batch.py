@@ -1,0 +1,169 @@
+"""Differential tests: the batched sweep must match the scalar one.
+
+Bit-for-bit equality is the contract -- every ``DesignPoint`` field,
+including the floats, compared with ``==`` (no tolerance).  The grid
+covers all standard designs, every roadmap node of every scenario the
+paper studies, and the paper's f values; infeasible cells must map a
+scalar ``InfeasibleDesignError`` (or exhausted candidate list) to a
+batch ``None``.  A hypothesis property extends the same check to
+random budgets far off the calibrated grid.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chip import (
+    AsymmetricCMP,
+    AsymmetricOffloadCMP,
+    DynamicCMP,
+    HeterogeneousAssistedChip,
+    HeterogeneousChip,
+    SymmetricCMP,
+)
+from repro.core.constraints import Budget
+from repro.core.optimizer import optimize, sweep_designs
+from repro.core.ucore import UCore
+from repro.errors import InfeasibleDesignError
+from repro.itrs.scenarios import get_scenario, scenario_names
+from repro.perf.batch import optimize_batch, sweep_designs_batch
+from repro.projection.designs import standard_designs
+from repro.projection.engine import node_budget
+
+WORKLOADS = (("fft", 1024), ("mmm", None), ("bs", None))
+F_VALUES = (0.0, 0.5, 0.9, 0.99, 0.999, 1.0)
+
+
+def _all_chips():
+    """One instance of every chip model, including U-core variants."""
+    gpu = UCore(name="gpu-like", mu=3.0, phi=0.6, kind="gpu")
+    asic = UCore(name="asic-like", mu=500.0, phi=5.0, kind="asic")
+    return [
+        SymmetricCMP(),
+        AsymmetricCMP(),
+        AsymmetricOffloadCMP(),
+        DynamicCMP(),
+        HeterogeneousChip(gpu),
+        HeterogeneousChip(asic),
+        HeterogeneousAssistedChip(gpu),
+    ]
+
+
+def _scalar_optimize(chip, f, budget):
+    """Scalar optimize with infeasibility mapped to None (batch's
+    convention)."""
+    try:
+        return optimize(chip, f, budget)
+    except InfeasibleDesignError:
+        return None
+
+
+class TestOptimizeBatchMatchesScalar:
+    @pytest.mark.parametrize("scenario_name", scenario_names())
+    @pytest.mark.parametrize("workload,size", WORKLOADS)
+    @pytest.mark.parametrize("f", (0.5, 0.99, 0.999))
+    def test_paper_grid(self, scenario_name, workload, size, f):
+        """Every standard design at every node, full point equality."""
+        scenario = get_scenario(scenario_name)
+        for design in standard_designs(workload, size):
+            budgets = [
+                node_budget(
+                    node, workload, size, scenario,
+                    bandwidth_exempt=design.bandwidth_exempt,
+                )
+                for node in scenario.roadmap.nodes
+            ]
+            batch = optimize_batch(design.chip, f, budgets)
+            scalar = [
+                _scalar_optimize(design.chip, f, b) for b in budgets
+            ]
+            assert batch == scalar
+
+    def test_infeasible_budgets_map_to_none(self):
+        """Cells where the scalar path raises must come back as None,
+        without aborting the feasible cells around them."""
+        chip = HeterogeneousChip(
+            UCore(name="gpu-like", mu=3.0, phi=0.6, kind="gpu")
+        )
+        budgets = [
+            Budget(area=19.0, power=10.0, bandwidth=42.0),  # feasible
+            Budget(area=100.0, power=0.5),  # serial power forbids r=1
+            Budget(area=1.0, power=1e9),  # no room for any U-core
+            Budget(area=100.0, power=1e9, bandwidth=0.2),  # serial bw
+        ]
+        points = optimize_batch(chip, 0.99, budgets)
+        assert points[0] is not None
+        assert points[1] is None
+        assert points[2] is None
+        assert points[3] is None
+        assert points == [
+            _scalar_optimize(chip, 0.99, b) for b in budgets
+        ]
+
+    @pytest.mark.parametrize("f", F_VALUES)
+    def test_edge_fractions_all_models(self, f, basic_budget,
+                                       roomy_budget):
+        for chip in _all_chips():
+            for budget in (basic_budget, roomy_budget):
+                assert optimize_batch(chip, f, [budget]) == [
+                    _scalar_optimize(chip, f, budget)
+                ]
+
+    def test_infinite_speedup_point_survives(self):
+        """f=1 with a huge budget: speedup=inf is a result, not None."""
+        budget = Budget(area=1e6, power=1e6, bandwidth=1e6)
+        [point] = optimize_batch(SymmetricCMP(), 1.0, [budget])
+        assert point is not None
+        assert point == optimize(SymmetricCMP(), 1.0, budget)
+
+    def test_empty_budget_list(self):
+        assert optimize_batch(SymmetricCMP(), 0.5, []) == []
+
+    def test_explicit_r_values(self, basic_budget):
+        chip = AsymmetricOffloadCMP()
+        r_values = [1.0, 2.0, 4.0, 7.5, 16.0]
+        batch = optimize_batch(
+            chip, 0.9, [basic_budget], r_values=r_values
+        )
+        scalar = optimize(chip, 0.9, basic_budget, r_values=r_values)
+        assert batch == [scalar]
+
+
+class TestSweepMatchesScalar:
+    @pytest.mark.parametrize("f", (0.0, 0.5, 0.999, 1.0))
+    def test_all_models(self, f, basic_budget, roomy_budget):
+        for chip in _all_chips():
+            for budget in (basic_budget, roomy_budget):
+                assert sweep_designs_batch(chip, f, budget) == (
+                    sweep_designs(chip, f, budget)
+                )
+
+    def test_order_is_ascending_r(self, basic_budget):
+        points = sweep_designs_batch(SymmetricCMP(), 0.9, basic_budget)
+        assert [p.r for p in points] == sorted(p.r for p in points)
+
+
+@given(
+    area=st.floats(0.5, 1e4),
+    power=st.floats(0.5, 1e4),
+    bandwidth=st.one_of(
+        st.just(math.inf), st.floats(0.5, 1e4)
+    ),
+    alpha=st.floats(1.0, 3.0),
+    f=st.sampled_from(F_VALUES),
+    chip_index=st.integers(0, len(_all_chips()) - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_random_budget_parity(area, power, bandwidth, alpha, f,
+                              chip_index):
+    """optimize_batch == optimize on arbitrary budgets, or both
+    infeasible."""
+    budget = Budget(
+        area=area, power=power, bandwidth=bandwidth, alpha=alpha
+    )
+    chip = _all_chips()[chip_index]
+    assert optimize_batch(chip, f, [budget]) == [
+        _scalar_optimize(chip, f, budget)
+    ]

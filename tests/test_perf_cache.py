@@ -1,0 +1,183 @@
+"""Memoization layer: hits on repeats, never a stale value.
+
+The cache keys are frozen dataclasses (Budget, BCE, NodeParams,
+Scenario), so "invalidation" is structural: any recalibration produces
+a *different key*, and a stale hit is impossible by construction.
+These tests pin that property, plus the registry plumbing
+(clear_caches / cache_stats / the ``.uncached`` escape hatch).
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.devices.bce import BCE, DEFAULT_BCE
+from repro.devices.measurements import get_measurement
+from repro.itrs.scenarios import BASELINE, Scenario, get_scenario
+from repro.perf.cache import (
+    cache_stats,
+    cached,
+    clear_caches,
+    registered_caches,
+)
+from repro.projection.engine import bandwidth_bce_units, node_budget
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Each test starts and ends with cold caches."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _node():
+    return BASELINE.roadmap.nodes[0]
+
+
+class TestCachedDecorator:
+    def test_repeat_calls_hit(self):
+        calls = []
+
+        @cached(maxsize=8)
+        def double(x):
+            calls.append(x)
+            return 2 * x
+
+        assert double(3) == 6
+        assert double(3) == 6
+        assert calls == [3]
+
+    def test_uncached_attribute_bypasses(self):
+        calls = []
+
+        @cached(maxsize=8)
+        def double(x):
+            calls.append(x)
+            return 2 * x
+
+        double(3)
+        double.uncached(3)
+        double.uncached(3)
+        assert calls == [3, 3, 3]
+
+    def test_registry_and_clear(self):
+        @cached(maxsize=8)
+        def triple(x):
+            return 3 * x
+
+        name = f"{triple.__module__}.{triple.__qualname__}"
+        assert name in registered_caches()
+        triple(1)
+        assert cache_stats()[name]["currsize"] == 1
+        clear_caches()
+        assert cache_stats()[name]["currsize"] == 0
+
+
+class TestProjectionCaches:
+    def test_node_budget_hits_on_repeat(self):
+        node = _node()
+        before = cache_stats()
+        a = node_budget(node, "mmm", None, BASELINE, DEFAULT_BCE, False)
+        b = node_budget(node, "mmm", None, BASELINE, DEFAULT_BCE, False)
+        after = cache_stats()
+        key = next(
+            k for k in after if k.endswith("node_budget")
+        )
+        assert a == b
+        assert after[key]["hits"] == before[key]["hits"] + 1
+
+    def test_uncached_matches_cached(self):
+        node = _node()
+        assert node_budget(
+            node, "fft", 1024, BASELINE, DEFAULT_BCE, False
+        ) == node_budget.uncached(
+            node, "fft", 1024, BASELINE, DEFAULT_BCE, False
+        )
+
+    def test_modified_bce_is_a_fresh_key(self):
+        """Recalibrating the BCE must never serve the old budget."""
+        node = _node()
+        base = node_budget(node, "mmm", None, BASELINE, DEFAULT_BCE,
+                           False)
+        hot_bce = dataclasses.replace(
+            DEFAULT_BCE, power_w=DEFAULT_BCE.power_w * 2
+        )
+        hot = node_budget(node, "mmm", None, BASELINE, hot_bce, False)
+        assert hot != base
+        assert hot.power == pytest.approx(base.power / 2)
+        # The original key still resolves to the original value.
+        assert node_budget(
+            node, "mmm", None, BASELINE, DEFAULT_BCE, False
+        ) == base
+
+    def test_modified_scenario_is_a_fresh_key(self):
+        node = _node()
+        base = node_budget(node, "mmm", None, BASELINE, DEFAULT_BCE,
+                           False)
+        hot = dataclasses.replace(BASELINE, alpha=2.5)
+        assert node_budget(
+            node, "mmm", None, hot, DEFAULT_BCE, False
+        ).alpha == 2.5
+        assert node_budget(
+            node, "mmm", None, BASELINE, DEFAULT_BCE, False
+        ).alpha == base.alpha
+
+    def test_distinct_scenarios_distinct_budgets(self):
+        node_40 = BASELINE.roadmap.nodes[0]
+        low = get_scenario("low-power")
+        low_node = low.roadmap.nodes[0]
+        base = node_budget(node_40, "mmm", None, BASELINE)
+        capped = node_budget(low_node, "mmm", None, low)
+        assert capped.power < base.power
+
+    def test_bandwidth_units_cache_counts(self):
+        bandwidth_bce_units("mmm", None, 200.0)
+        bandwidth_bce_units("mmm", None, 200.0)
+        stats = cache_stats()
+        key = next(
+            k for k in stats if k.endswith("bandwidth_bce_units")
+        )
+        assert stats[key]["hits"] >= 1
+        assert stats[key]["misses"] >= 1
+
+    def test_get_measurement_cached_identity(self):
+        a = get_measurement("ASIC", "mmm")
+        b = get_measurement("ASIC", "mmm")
+        assert a is b  # cache returns the identical record
+
+
+class TestKeyHygiene:
+    def test_budget_nan_rejected_before_caching(self):
+        """NaN keys break lru_cache reflexivity; Budget refuses them."""
+        from repro.core.constraints import Budget
+        from repro.errors import ModelError
+
+        for field in ("area", "power", "bandwidth", "alpha"):
+            kwargs = dict(area=10.0, power=5.0, bandwidth=3.0,
+                          alpha=1.75)
+            kwargs[field] = math.nan
+            with pytest.raises(ModelError):
+                Budget(**kwargs)
+
+    def test_cache_key_dataclasses_hashable(self):
+        from repro.core.constraints import BoundSet, Budget
+
+        node = _node()
+        for obj in (
+            Budget(area=1.0, power=1.0),
+            BoundSet(n_area=1.0, n_power=2.0, n_bandwidth=3.0),
+            DEFAULT_BCE,
+            BASELINE,
+            node,
+        ):
+            assert hash(obj) == hash(obj)
+
+    def test_equal_budgets_share_a_cache_slot(self):
+        from repro.core.constraints import Budget
+
+        a = Budget(area=10.0, power=5.0, bandwidth=3.0)
+        b = Budget(area=10.0, power=5.0, bandwidth=3.0)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,110 @@
+"""ProjectionGrid: campaign construction and executor equivalence."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perf.grid import (
+    CAMPAIGN_FIGURES,
+    GridTask,
+    ProjectionGrid,
+    figure_campaign,
+    run_campaign,
+    run_task,
+)
+from repro.projection.engine import PAPER_F_VALUES
+
+
+class TestFigureCampaign:
+    def test_default_campaign_shape(self):
+        tasks = figure_campaign()
+        assert len(tasks) == 14  # 4 + 4 + 2 + 4 panels
+        assert [t.figure for t in tasks[:4]] == ["F6"] * 4
+        assert {t.figure for t in tasks} == set(CAMPAIGN_FIGURES)
+
+    def test_single_figure(self):
+        tasks = figure_campaign(["F9"])
+        assert all(t.figure == "F9" for t in tasks)
+        assert all(t.scenario == "high-bandwidth" for t in tasks)
+        assert tuple(t.f for t in tasks) == PAPER_F_VALUES
+
+    def test_unknown_figure(self):
+        with pytest.raises(ModelError, match="F11"):
+            figure_campaign(["F6", "F11"])
+
+    def test_tasks_are_hashable_and_descriptive(self):
+        task = figure_campaign(["F6"])[0]
+        assert task in {task}
+        assert "fft-1024" in task.describe()
+
+
+class TestProjectionGrid:
+    def test_invalid_executor(self):
+        with pytest.raises(ModelError, match="executor"):
+            ProjectionGrid(executor="gpu")
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ModelError, match="jobs"):
+            ProjectionGrid(jobs=0)
+
+    def test_empty_task_list(self):
+        assert ProjectionGrid(executor="serial").run([]) == {}
+
+    def test_serial_results_keyed_in_order(self):
+        tasks = figure_campaign(["F8"])
+        results = ProjectionGrid(executor="serial").run(tasks)
+        assert list(results) == list(tasks)
+        for task, result in results.items():
+            assert result.workload == task.workload
+            assert result.f == task.f
+            assert result.scenario.name == task.scenario
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pool_matches_serial(self, executor):
+        """Every executor produces the same ProjectionResults."""
+        tasks = figure_campaign(["F8"])
+        serial = ProjectionGrid(executor="serial").run(tasks)
+        pooled = ProjectionGrid(jobs=2, executor=executor).run(tasks)
+        for task in tasks:
+            a, b = serial[task], pooled[task]
+            for sa, sb in zip(a.series, b.series):
+                assert [c.point for c in sa.cells] == [
+                    c.point for c in sb.cells
+                ]
+
+    def test_jobs_one_is_serial(self):
+        grid = ProjectionGrid(jobs=1, executor="process")
+        tasks = figure_campaign(["F8"])[:1]
+        assert len(grid.run(tasks)) == 1
+
+    def test_scalar_method_matches_batch(self):
+        task = GridTask(
+            figure="F7", workload="mmm", f=0.99, scenario="baseline"
+        )
+        a, b = run_task(task, "batch"), run_task(task, "scalar")
+        for sa, sb in zip(a.series, b.series):
+            assert [c.point for c in sa.cells] == [
+                c.point for c in sb.cells
+            ]
+
+
+def test_run_campaign_one_call():
+    results = run_campaign(["F8"], executor="serial")
+    assert len(results) == 2
+    for result in results.values():
+        assert result.winner() is not None
+
+
+def test_all_projection_figures_matches_constructors():
+    from repro.projection.paperfigs import (
+        all_projection_figures,
+        figure8_bs_projection,
+    )
+
+    figures = all_projection_figures()
+    assert set(figures) == {"F6", "F7", "F8", "F9"}
+    direct = figure8_bs_projection()
+    for f, result in figures["F8"].items():
+        for sa, sb in zip(result.series, direct[f].series):
+            assert [c.point for c in sa.cells] == [
+                c.point for c in sb.cells
+            ]
