@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -14,10 +14,16 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-quick:
-	$(PYTHON) -m pytest tests/test_perf_smoke.py -m perfbench -q
+	$(PYTHON) -m pytest tests/test_perf_smoke.py tests/test_service_smoke.py -m perfbench -q
 
 bench-projection:
 	$(PYTHON) benchmarks/bench_perf_grid.py
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service_load.py
+
+serve:
+	$(PYTHON) -m repro.cli serve
 
 artifacts:
 	$(PYTHON) -m repro.cli export --out results/

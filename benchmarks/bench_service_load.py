@@ -1,0 +1,228 @@
+"""Async load benchmark for the serving layer.
+
+Drives a closed-loop client fleet against a real socket server
+(:func:`repro.service.http.start_server` on an ephemeral port) and
+records end-to-end request latency plus the dispatcher's batching
+counters.  Two phases:
+
+* **cold** -- every request is unique, so each one must reach the
+  micro-batcher.  Concurrent requests for the same design family
+  coalesce into shared NumPy grid calls; this phase is what pins the
+  ``batch_efficiency > 1`` acceptance number.
+* **warm** -- the same request mix replayed, so the LRU answers from
+  cache and the dispatcher sees no new work.
+
+Results land in ``BENCH_service.json`` at the repo root with p50/p99
+latency per phase.  Run as a script
+(``python benchmarks/bench_service_load.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.service.app import ModelService, ServiceConfig
+from repro.service.http import start_server
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: Concurrent closed-loop clients.
+CLIENTS = 16
+#: The request mix: every roadmap node for three design families, three
+#: endpoints.  54 unique requests; each client walks a rotated view so
+#: compatible requests land in the same coalescing window.
+NODES = (40, 32, 22, 16, 11)
+DESIGNS = ("ASIC", "GTX480", "SymCMP")
+WORKLOAD, F = "mmm", 0.99
+
+
+def _request_mix() -> List[Tuple[str, dict]]:
+    mix: List[Tuple[str, dict]] = []
+    for design in DESIGNS:
+        for nm in NODES:
+            mix.append(
+                (
+                    "/v1/speedup",
+                    {"workload": WORKLOAD, "f": F, "design": design,
+                     "node_nm": nm},
+                )
+            )
+        mix.append(
+            ("/v1/sweep", {"workload": WORKLOAD, "f": F, "design": design})
+        )
+    for nm in NODES:
+        mix.append(
+            ("/v1/optimize", {"workload": WORKLOAD, "f": F, "node_nm": nm})
+        )
+    return mix
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def _latency_summary(samples: List[float]) -> dict:
+    return {
+        "requests": len(samples),
+        "mean_ms": 1e3 * sum(samples) / len(samples),
+        "p50_ms": 1e3 * _percentile(samples, 0.50),
+        "p99_ms": 1e3 * _percentile(samples, 0.99),
+        "max_ms": 1e3 * max(samples),
+    }
+
+
+async def _client(
+    port: int, jobs: List[Tuple[str, dict]], latencies: List[float]
+) -> None:
+    """One keep-alive connection issuing its jobs back-to-back."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for path, body in jobs:
+            payload = json.dumps(body).encode()
+            head = (
+                f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n"
+            )
+            start = time.perf_counter()
+            writer.write(head.encode() + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value)
+            await reader.readexactly(length)
+            latencies.append(time.perf_counter() - start)
+            assert status == 200, f"{path} -> {status}"
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _run_phase(port: int, mix: List[Tuple[str, dict]]) -> dict:
+    """All clients sweep the mix concurrently (rotated per client)."""
+    latencies: List[float] = []
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client(
+                port,
+                mix[i % len(mix):] + mix[:i % len(mix)],
+                latencies,
+            )
+            for i in range(CLIENTS)
+        )
+    )
+    wall = time.perf_counter() - start
+    summary = _latency_summary(latencies)
+    summary["wall_s"] = wall
+    summary["throughput_rps"] = len(latencies) / wall
+    return summary
+
+
+async def _run_load() -> dict:
+    service = ModelService(
+        ServiceConfig(batch_window_ms=2.0, max_inflight=16,
+                      queue_depth=512)
+    )
+    server = await start_server(service, port=0)
+    port = server.sockets[0].getsockname()[1]
+    mix = _request_mix()
+    try:
+        cold = await _run_phase(port, mix)
+        after_cold = service.metrics.snapshot()
+        warm = await _run_phase(port, mix)
+        final = service.metrics.snapshot()
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.close()
+
+    batching = after_cold["batching"]
+    return {
+        "benchmark": "serving-layer closed-loop load",
+        "clients": CLIENTS,
+        "unique_requests": len(mix),
+        "phases": {"cold": cold, "warm": warm},
+        "batching": {
+            "dispatches": batching["dispatches"],
+            "items": batching["items"],
+            "max_batch": batching["max_batch"],
+            "efficiency": batching["efficiency"],
+        },
+        "cache": final["cache"],
+        "config": {
+            "batch_window_ms": service.config.batch_window_ms,
+            "max_inflight": service.config.max_inflight,
+        },
+        "machine": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "regenerate": "python benchmarks/bench_service_load.py",
+    }
+
+
+def run_benchmark() -> dict:
+    return asyncio.run(_run_load())
+
+
+def test_service_load():
+    """Coalescing must actually happen under concurrent load, and the
+    warm (fully cached) phase must be faster than the cold one."""
+    payload = run_benchmark()
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    efficiency = payload["batching"]["efficiency"]
+    assert efficiency is not None and efficiency > 1, (
+        f"dispatcher never coalesced: {payload['batching']}"
+    )
+    assert payload["phases"]["warm"]["p50_ms"] <= (
+        payload["phases"]["cold"]["p50_ms"]
+    )
+
+
+def main() -> int:
+    payload = run_benchmark()
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, phase in payload["phases"].items():
+        print(
+            f"  {name:<5}: {phase['requests']} requests, "
+            f"p50 {phase['p50_ms']:.2f} ms, "
+            f"p99 {phase['p99_ms']:.2f} ms, "
+            f"{phase['throughput_rps']:.0f} req/s"
+        )
+    batching = payload["batching"]
+    print(
+        f"  batching: {batching['items']} evaluations in "
+        f"{batching['dispatches']} dispatches "
+        f"(efficiency {batching['efficiency']:.2f}x, "
+        f"max batch {batching['max_batch']})"
+    )
+    print(f"wrote {OUTPUT_PATH}")
+    if not batching["efficiency"] or batching["efficiency"] <= 1:
+        print("FAIL: batch efficiency <= 1", file=sys.stderr)
+        return 1
+    print(f"PASS: batch efficiency {batching['efficiency']:.2f}x > 1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

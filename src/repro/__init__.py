@@ -29,6 +29,7 @@ Subpackages:
     itrs:        ITRS 2009 roadmap and Section 6.2 scenarios.
     projection:  node-by-node projections (Figures 6-10).
     reporting:   text tables, ASCII figures, experiment registry.
+    service:     asyncio model-serving layer (HTTP JSON API).
 """
 
 from . import (
@@ -39,10 +40,12 @@ from . import (
     itrs,
     layout,
     projection,
+    service,
     sim,
     units,
     workloads,
 )
+from ._version import __version__
 from .core import (
     Budget,
     DesignPoint,
@@ -63,8 +66,6 @@ from .errors import (
 )
 from .projection import project
 
-__version__ = "1.0.0"
-
 __all__ = [
     "archmodels",
     "core",
@@ -73,6 +74,7 @@ __all__ = [
     "itrs",
     "layout",
     "projection",
+    "service",
     "sim",
     "units",
     "workloads",

@@ -16,8 +16,24 @@ Usage::
 The one-off subcommands answer designer questions without writing
 code: ``speedup`` projects a workload across the roadmap, ``pareto``
 prints the speedup/energy frontier at one node, ``sensitivity``
-Monte-Carlos the winner under parameter noise, and ``calibrate``
-derives (mu, phi) for a user-measured accelerator.
+Monte-Carlos the winner under parameter noise, ``calibrate`` derives
+(mu, phi) for a user-measured accelerator, and ``serve`` exposes the
+model as an HTTP JSON API (see :mod:`repro.service`).
+
+Exit codes are stable so scripts can branch on the failure class:
+
+====  ===============================================================
+code  meaning
+====  ===============================================================
+0     success
+1     runtime failure (e.g. a claim-validation mismatch)
+2     usage or validation error (bad arguments, unknown names)
+3     infeasible design (the budgets admit no design point)
+4     calibration error (inconsistent or insufficient measured data)
+====  ===============================================================
+
+Every intentional error prints a one-line ``error: ...`` message to
+stderr -- never a traceback.
 """
 
 from __future__ import annotations
@@ -26,11 +42,21 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ._version import __version__
 from .core.metrics import Objective
 from .devices.measurements import get_measurement
 from .devices.params import FAST_CORE_DEVICE, derive_ucore
 from .devices.specs import Measurement
-from .errors import ReproError
+from .errors import (
+    CalibrationError,
+    InfeasibleDesignError,
+    ModelError,
+    ReproError,
+    ServiceError,
+    UnknownDeviceError,
+    UnknownExperimentError,
+    UnknownWorkloadError,
+)
 from .itrs.scenarios import get_scenario, scenario_names
 from .projection.engine import project
 from .projection.pareto import design_space_points, pareto_frontier
@@ -45,7 +71,34 @@ from .reporting.figures import render_projection_panel
 from .reporting.tables import format_table
 from .reporting.validation import render_validation_report, validate_claims
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "exit_code_for"]
+
+#: Stable exit codes (documented in the module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INFEASIBLE = 3
+EXIT_CALIBRATION = 4
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """Map an intentional library error to its stable exit code."""
+    if isinstance(
+        exc,
+        (
+            ModelError,
+            UnknownDeviceError,
+            UnknownWorkloadError,
+            UnknownExperimentError,
+            ServiceError,
+        ),
+    ):
+        return EXIT_USAGE
+    if isinstance(exc, InfeasibleDesignError):
+        return EXIT_INFEASIBLE
+    if isinstance(exc, CalibrationError):
+        return EXIT_CALIBRATION
+    return EXIT_FAILURE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce Chung et al., 'Single-Chip Heterogeneous "
             "Computing' (MICRO 2010): tables, figures, projections."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -205,6 +262,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="batch", choices=("batch", "scalar"),
         help="projection path per panel (default: batch)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the model as an HTTP JSON API (repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (default 8080; 0 = ephemeral)")
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batching coalescing window in ms (default 2)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="maximum concurrently evaluating requests (default 8)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="requests allowed to wait before 429 shedding (default 64)",
+    )
+    serve.add_argument(
+        "--timeout-s", type=float, default=10.0,
+        help="per-request evaluation deadline before 503 (default 10)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU response-cache capacity in entries (default 1024)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads for NumPy grid evaluation (default 2)",
+    )
     return parser
 
 
@@ -337,7 +427,7 @@ def _resolve_design(workload: str, f: float, node_nm: int,
     try:
         design = designs[design_label]
     except KeyError:
-        raise ReproError(
+        raise ModelError(
             f"unknown design {design_label!r} for {workload}; "
             f"available: {sorted(designs)}"
         ) from None
@@ -501,12 +591,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = _cmd_campaign(
                 args.figures, args.jobs, args.executor, args.method
             )
+        elif args.command == "serve":
+            from .service.app import ServiceConfig
+            from .service.http import run_server
+
+            run_server(
+                ServiceConfig(
+                    host=args.host,
+                    port=args.port,
+                    batch_window_ms=args.batch_window_ms,
+                    max_inflight=args.max_inflight,
+                    queue_depth=args.queue_depth,
+                    request_timeout_s=args.timeout_s,
+                    cache_size=args.cache_size,
+                    workers=args.workers,
+                )
+            )
+            output = "server stopped"
         else:  # pragma: no cover - argparse enforces choices
             parser.error(f"unknown command {args.command!r}")
             return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     try:
         print(output)
     except BrokenPipeError:  # e.g. `repro-hetsim all | head`

@@ -15,6 +15,11 @@ __all__ = [
     "UnknownDeviceError",
     "UnknownWorkloadError",
     "UnknownExperimentError",
+    "ServiceError",
+    "BadRequestError",
+    "UnprocessableRequestError",
+    "TooManyRequestsError",
+    "ServiceTimeoutError",
 ]
 
 
@@ -48,3 +53,39 @@ class UnknownWorkloadError(ReproError, KeyError):
 
 class UnknownExperimentError(ReproError, KeyError):
     """An experiment id was not found in the experiment index."""
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer failures (:mod:`repro.service`).
+
+    Each subclass carries the HTTP status code the server responds
+    with, so the transport layer maps exceptions to responses without
+    a lookup table.
+    """
+
+    #: HTTP status the server answers with when this error escapes.
+    http_status = 500
+
+
+class BadRequestError(ServiceError):
+    """The request body is not valid JSON or fails schema validation."""
+
+    http_status = 400
+
+
+class UnprocessableRequestError(ServiceError):
+    """The request parsed, but the model cannot satisfy it."""
+
+    http_status = 422
+
+
+class TooManyRequestsError(ServiceError):
+    """The admission queue is full; the request was shed unprocessed."""
+
+    http_status = 429
+
+
+class ServiceTimeoutError(ServiceError):
+    """The request exceeded the per-request evaluation deadline."""
+
+    http_status = 503

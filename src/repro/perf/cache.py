@@ -10,47 +10,161 @@ strings, numbers), so a figure campaign -- dozens of panels sharing
 five nodes and three workloads -- can share one derivation per
 distinct input tuple.
 
-This module provides a thin wrapper over :func:`functools.lru_cache`
-that keeps a registry of every cache it creates, so the whole layer
-can be cleared (:func:`clear_caches`) and inspected
-(:func:`cache_stats`) in one call.  Benchmarks clear the registry
-between timed runs; tests use it to prove both cache *hits* (repeated
-panels are served from memory) and cache *correctness* (changing any
-input -- a different BCE calibration, a perturbed scenario -- produces
-a different key and therefore a fresh derivation, never a stale one).
+This module provides :class:`LRUCache`, a lock-guarded LRU mapping
+with ``functools.lru_cache``-style hit/miss counters, and
+:func:`cached`, a decorator built on it that keeps a registry of every
+cache it creates so the whole layer can be cleared
+(:func:`clear_caches`) and inspected (:func:`cache_stats`) in one
+call.  Unlike a bare ``functools.lru_cache``, the counters and the
+recency list are updated under one :class:`threading.Lock`, so the
+statistics stay exact when the serving layer
+(:mod:`repro.service`) drives the cached derivations from a thread
+pool.  Benchmarks clear the registry between timed runs; tests use it
+to prove both cache *hits* (repeated panels are served from memory)
+and cache *correctness* (changing any input -- a different BCE
+calibration, a perturbed scenario -- produces a different key and
+therefore a fresh derivation, never a stale one).
 
 Caches are keyed on **all** arguments, including defaults captured at
 call time, so two calls that differ in any input never share an entry.
 NaN arguments are never cached usefully (NaN != NaN, so each lookup
 misses) but they are also never *wrong* -- the miss falls through to
-the underlying function.
+the underlying function.  Two threads that miss the same key at the
+same time both compute it (the underlying functions are pure, so the
+duplicate work is harmless); the counters still account for every
+call.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Callable, Dict, List, TypeVar
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, NamedTuple, Tuple, TypeVar
 
-__all__ = ["cached", "clear_caches", "cache_stats", "registered_caches"]
+__all__ = [
+    "CacheInfo",
+    "LRUCache",
+    "cached",
+    "clear_caches",
+    "cache_stats",
+    "registered_caches",
+]
 
 _F = TypeVar("_F", bound=Callable)
 
 #: Every cache created by :func:`cached`, keyed by qualified name.
 _REGISTRY: Dict[str, Callable] = {}
 
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISSING = object()
+
+
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-compatible statistics snapshot."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class LRUCache:
+    """A thread-safe LRU mapping with exact hit/miss counters.
+
+    Lookups, insertions, evictions and the counters all happen under
+    one lock, so concurrent readers never corrupt the recency order
+    and ``info()`` never under- or over-counts -- the invariant
+    ``hits + misses == lookups`` holds under any interleaving.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, key: Any) -> Tuple[bool, Any]:
+        """``(found, value)`` for ``key``, updating counters/recency."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def store(self, key: Any, value: Any) -> None:
+        """Insert ``key``, evicting the least-recently-used overflow."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> CacheInfo:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheInfo(
+                self._hits, self._misses, self.maxsize, len(self._data)
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+def _make_key(args: tuple, kwargs: dict) -> Any:
+    """Hashable key over positional + keyword arguments.
+
+    Like ``functools.lru_cache``, the positional and keyword spellings
+    of the same call produce distinct keys; that costs an occasional
+    duplicate entry, never a wrong hit.
+    """
+    if kwargs:
+        return args, tuple(sorted(kwargs.items()))
+    return args
+
 
 def cached(maxsize: int = 1024) -> Callable[[_F], _F]:
-    """An :func:`functools.lru_cache` that registers itself.
+    """A registered, thread-safe LRU memoizer.
 
-    The wrapped function gains the usual ``cache_info``/``cache_clear``
-    attributes plus ``uncached``, the original function -- callers that
-    must bypass memoization (the benchmark's seed-faithful scalar path)
-    call ``fn.uncached(...)`` directly.
+    The wrapped function gains ``cache_info``/``cache_clear``
+    attributes (compatible with the :func:`functools.lru_cache`
+    interface), ``cache`` (the underlying :class:`LRUCache`), and
+    ``uncached``, the original function -- callers that must bypass
+    memoization (the benchmark's seed-faithful scalar path) call
+    ``fn.uncached(...)`` directly.
     """
 
     def decorate(func: _F) -> _F:
-        wrapper = functools.lru_cache(maxsize=maxsize)(func)
+        cache = LRUCache(maxsize=maxsize)
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            key = _make_key(args, kwargs)
+            found, value = cache.lookup(key)
+            if found:
+                return value
+            value = func(*args, **kwargs)
+            cache.store(key, value)
+            return value
+
         wrapper.uncached = func
+        wrapper.cache = cache
+        wrapper.cache_info = cache.info
+        wrapper.cache_clear = cache.clear
         name = f"{func.__module__}.{func.__qualname__}"
         _REGISTRY[name] = wrapper
         return wrapper

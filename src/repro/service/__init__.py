@@ -1,0 +1,64 @@
+"""Model serving: the paper's projections as a network API.
+
+A stdlib-only (asyncio + the existing NumPy) HTTP JSON server that
+turns the batched projection engine into a request/response service:
+
+* ``POST /v1/speedup``  -- one (design, node) design point.
+* ``POST /v1/sweep``    -- a design's full roadmap r-sweep.
+* ``POST /v1/optimize`` -- the best design under one node's Table 1
+  budgets (bit-identical to :func:`repro.perf.batch.optimize_batch`).
+* ``GET /healthz``      -- liveness + version.
+* ``GET /metrics``      -- latency / cache-hit / batch-size counters.
+
+The layer's core is the **micro-batching dispatcher**
+(:class:`MicroBatcher`): concurrent in-flight requests for the same
+(chip, f) are coalesced within a small time window and evaluated as a
+single NumPy grid call, then de-multiplexed to their callers -- the
+same shape as inference-server request batching.  Layered around it:
+an LRU response cache keyed on the frozen request dataclasses
+(:class:`ResponseCache`), a semaphore admission limiter with
+per-request timeouts and 429/503 shedding, and structured JSON access
+logs (logger ``repro.service.access``).
+
+Start a server from the CLI::
+
+    repro-hetsim serve --port 8080 --batch-window-ms 2 --max-inflight 8
+
+or in-process::
+
+    from repro.service import ModelService, ServiceConfig, start_server
+    service = ModelService(ServiceConfig(port=8080))
+    server = await start_server(service)
+"""
+
+from .app import ModelService, ServiceConfig
+from .batching import MicroBatcher
+from .http import run_server, start_server
+from .metrics import ServiceMetrics
+from .respcache import ResponseCache
+from .schemas import (
+    OptimizeRequest,
+    SpeedupRequest,
+    SweepRequest,
+    design_point_payload,
+    parse_optimize,
+    parse_speedup,
+    parse_sweep,
+)
+
+__all__ = [
+    "ModelService",
+    "ServiceConfig",
+    "MicroBatcher",
+    "ServiceMetrics",
+    "ResponseCache",
+    "SpeedupRequest",
+    "SweepRequest",
+    "OptimizeRequest",
+    "parse_speedup",
+    "parse_sweep",
+    "parse_optimize",
+    "design_point_payload",
+    "run_server",
+    "start_server",
+]

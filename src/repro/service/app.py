@@ -1,0 +1,410 @@
+"""Transport-independent request handling for the serving layer.
+
+:class:`ModelService` owns the whole request lifecycle:
+
+1. **Route** -- ``GET /healthz``, ``GET /metrics``, and the three
+   model endpoints (``/v1/speedup``, ``/v1/sweep``, ``/v1/optimize``).
+2. **Parse** -- strict JSON-schema validation into frozen request
+   dataclasses (400 on any violation).
+3. **Cache** -- an LRU keyed on the request dataclass; a hit is
+   answered immediately and never reaches the dispatcher.
+4. **Admit** -- a semaphore caps concurrent evaluations; when the
+   wait queue is full the request is shed with 429, and an admitted
+   request that exceeds the evaluation deadline gets 503.
+5. **Evaluate** -- budgets resolve through the memoized
+   :func:`~repro.projection.engine.node_budget` and the r-sweep runs
+   through the :class:`~repro.service.batching.MicroBatcher`, so
+   concurrent compatible requests share one NumPy grid call.
+6. **Account** -- per-request structured JSON access logs and the
+   :class:`~repro.service.metrics.ServiceMetrics` counters behind
+   ``GET /metrics``.
+
+The class is deliberately transport-free (``handle(method, path,
+body) -> (status, payload)``) so tests drive the full lifecycle
+in-process; :mod:`repro.service.http` adds the asyncio socket layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .._version import __version__
+from ..core.optimizer import optimize
+from ..devices.bce import DEFAULT_BCE
+from ..errors import (
+    BadRequestError,
+    InfeasibleDesignError,
+    ModelError,
+    ReproError,
+    ServiceError,
+    ServiceTimeoutError,
+    TooManyRequestsError,
+)
+from ..itrs.scenarios import get_scenario
+from ..projection.designs import DesignSpec, standard_designs
+from ..projection.engine import node_budget
+from .batching import MicroBatcher
+from .metrics import ServiceMetrics
+from .respcache import ResponseCache
+from .schemas import (
+    OptimizeRequest,
+    SpeedupRequest,
+    SweepRequest,
+    design_point_payload,
+    parse_optimize,
+    parse_speedup,
+    parse_sweep,
+    request_payload,
+)
+
+__all__ = ["ServiceConfig", "ModelService"]
+
+_access_log = logging.getLogger("repro.service.access")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one server instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Width of the micro-batching coalescing window.  0 still
+    #: coalesces requests arriving in the same event-loop tick.
+    batch_window_ms: float = 2.0
+    #: Maximum concurrently evaluating requests.
+    max_inflight: int = 8
+    #: Requests allowed to wait for a slot before 429 shedding.
+    queue_depth: int = 64
+    #: Per-request evaluation deadline (seconds) before 503.
+    request_timeout_s: float = 10.0
+    #: LRU response-cache capacity (entries).
+    cache_size: int = 1024
+    #: Worker threads evaluating NumPy grid calls off the event loop.
+    workers: int = 2
+
+
+class ModelService:
+    """The serving layer's request broker (transport-independent).
+
+    One instance per server; use it from a single event loop (the
+    admission semaphore binds to the first loop that awaits it).
+    Call :meth:`close` when done to release the worker threads.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.cache = ResponseCache(maxsize=self.config.cache_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self.batcher = MicroBatcher(
+            window_s=self.config.batch_window_ms / 1000.0,
+            executor=self._executor,
+            metrics=self.metrics,
+        )
+        self._semaphore = asyncio.Semaphore(self.config.max_inflight)
+        self._waiting = 0
+
+    def close(self) -> None:
+        """Release the worker threads (idempotent)."""
+        self._executor.shutdown(wait=False)
+
+    # -- entry point -------------------------------------------------------
+
+    async def handle(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Answer one request: ``(http_status, json_payload)``.
+
+        Never raises for request-level failures -- every error becomes
+        a ``{"error", "message"}`` payload with the matching status.
+        """
+        start = time.perf_counter()
+        path = path.split("?", 1)[0]
+        cache_state: Optional[bool] = None
+        try:
+            status, payload, cache_state = await self._dispatch(
+                method, path, body
+            )
+        except ServiceError as exc:
+            status, payload = exc.http_status, _error_payload(exc)
+        except InfeasibleDesignError as exc:
+            # Parsed fine, but the budgets admit no design: 422, with
+            # the model's binding-bound message passed through.
+            status, payload = 422, _error_payload(exc)
+        except ReproError as exc:
+            # Any other intentional model error is a client error.
+            status, payload = 400, _error_payload(exc)
+        latency = time.perf_counter() - start
+        self.metrics.record_request(path, status, latency, cache_state)
+        self._log_access(method, path, status, latency, cache_state)
+        return status, payload
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Optional[bool]]:
+        if path == "/healthz":
+            self._require_method(method, "GET", path)
+            return 200, self._healthz(), None
+        if path == "/metrics":
+            self._require_method(method, "GET", path)
+            return 200, self.metrics.snapshot(), None
+        if path == "/v1/speedup":
+            self._require_method(method, "POST", path)
+            request = parse_speedup(_decode_json(body))
+            return await self._cached_eval(request, self._eval_speedup)
+        if path == "/v1/sweep":
+            self._require_method(method, "POST", path)
+            request = parse_sweep(_decode_json(body))
+            return await self._cached_eval(request, self._eval_sweep)
+        if path == "/v1/optimize":
+            self._require_method(method, "POST", path)
+            request = parse_optimize(_decode_json(body))
+            return await self._cached_eval(request, self._eval_optimize)
+        raise _NotFoundError(f"no route for {path!r}")
+
+    @staticmethod
+    def _require_method(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _MethodNotAllowedError(
+                f"{path} only accepts {expected}, got {method}"
+            )
+
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": self.metrics.snapshot()["uptime_s"],
+        }
+
+    # -- cache + admission -------------------------------------------------
+
+    async def _cached_eval(
+        self, request, evaluator
+    ) -> Tuple[int, Dict[str, Any], bool]:
+        hit = self.cache.get(request)
+        if hit is not None:
+            return 200, hit, True
+        payload = await self._admit_and_run(evaluator, request)
+        self.cache.put(request, payload)
+        return 200, payload, False
+
+    async def _admit_and_run(self, evaluator, request) -> Dict[str, Any]:
+        if (
+            self._semaphore.locked()
+            and self._waiting >= self.config.queue_depth
+        ):
+            self.metrics.record_shed()
+            raise TooManyRequestsError(
+                f"server at capacity: {self.config.max_inflight} "
+                f"in flight and {self._waiting} queued "
+                f"(queue_depth={self.config.queue_depth})"
+            )
+        self._waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._waiting -= 1
+        self.metrics.inflight_started()
+        try:
+            return await asyncio.wait_for(
+                evaluator(request), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.metrics.record_timeout()
+            raise ServiceTimeoutError(
+                f"evaluation exceeded the "
+                f"{self.config.request_timeout_s:g}s deadline"
+            ) from None
+        finally:
+            self.metrics.inflight_finished()
+            self._semaphore.release()
+
+    # -- evaluators --------------------------------------------------------
+
+    def _find_design(self, workload: str, fft_size, label: str) -> DesignSpec:
+        designs = {
+            d.short_label: d for d in standard_designs(workload, fft_size)
+        }
+        try:
+            return designs[label]
+        except KeyError:
+            raise BadRequestError(
+                f"unknown design {label!r} for workload {workload!r}; "
+                f"available: {sorted(designs)}"
+            ) from None
+
+    def _node(self, scenario, node_nm: Optional[int]):
+        if node_nm is None:
+            return scenario.roadmap.nodes[-1]
+        try:
+            return scenario.roadmap.node(node_nm)
+        except ModelError as exc:
+            raise BadRequestError(str(exc)) from None
+
+    async def _eval_speedup(self, req: SpeedupRequest) -> Dict[str, Any]:
+        scenario = get_scenario(req.scenario)
+        design = self._find_design(req.workload, req.fft_size, req.design)
+        node = self._node(scenario, req.node_nm)
+        budget = node_budget(
+            node, req.workload, req.fft_size, scenario, DEFAULT_BCE,
+            design.bandwidth_exempt,
+        )
+        point = await self.batcher.evaluate(
+            design.chip, req.f, budget, req.r_max
+        )
+        if point is None:
+            # Re-run the scalar path to raise the exact binding-bound
+            # message (error path only; the happy path never pays this).
+            optimize(design.chip, req.f, budget, req.r_max)
+            raise InfeasibleDesignError(
+                f"no feasible design for {design.label} under {budget}"
+            )  # pragma: no cover - optimize() raises first
+        return {
+            "request": request_payload(req),
+            "node": node.label,
+            "point": design_point_payload(point),
+        }
+
+    async def _eval_sweep(self, req: SweepRequest) -> Dict[str, Any]:
+        scenario = get_scenario(req.scenario)
+        design = self._find_design(req.workload, req.fft_size, req.design)
+        nodes = scenario.roadmap.nodes
+        budgets = [
+            node_budget(
+                node, req.workload, req.fft_size, scenario,
+                DEFAULT_BCE, design.bandwidth_exempt,
+            )
+            for node in nodes
+        ]
+        points = await asyncio.gather(
+            *(
+                self.batcher.evaluate(design.chip, req.f, b, req.r_max)
+                for b in budgets
+            )
+        )
+        cells = []
+        for node, point in zip(nodes, points):
+            cells.append(
+                {
+                    "node": node.label,
+                    "node_nm": node.node_nm,
+                    "feasible": point is not None,
+                    "point": (
+                        design_point_payload(point) if point else None
+                    ),
+                }
+            )
+        return {
+            "request": request_payload(req),
+            "design": design.label,
+            "cells": cells,
+        }
+
+    async def _eval_optimize(self, req: OptimizeRequest) -> Dict[str, Any]:
+        scenario = get_scenario(req.scenario)
+        node = self._node(scenario, req.node_nm)
+        designs = standard_designs(req.workload, req.fft_size)
+        budgets = [
+            node_budget(
+                node, req.workload, req.fft_size, scenario,
+                DEFAULT_BCE, design.bandwidth_exempt,
+            )
+            for design in designs
+        ]
+        points = await asyncio.gather(
+            *(
+                self.batcher.evaluate(d.chip, req.f, b, req.r_max)
+                for d, b in zip(designs, budgets)
+            )
+        )
+        candidates = []
+        best = None
+        for design, point in zip(designs, points):
+            candidates.append(
+                {
+                    "design": design.label,
+                    "feasible": point is not None,
+                    "point": (
+                        design_point_payload(point) if point else None
+                    ),
+                }
+            )
+            if point is not None and (
+                best is None or point.speedup > best[1].speedup
+            ):
+                best = (design, point)
+        if best is None:
+            raise InfeasibleDesignError(
+                f"no design is feasible for {req.workload} at "
+                f"{node.label} under scenario {scenario.name!r}"
+            )
+        return {
+            "request": request_payload(req),
+            "node": node.label,
+            "winner": {
+                "design": best[0].label,
+                "point": design_point_payload(best[1]),
+            },
+            "candidates": candidates,
+        }
+
+    # -- logging -----------------------------------------------------------
+
+    def _log_access(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        latency: float,
+        cache_state: Optional[bool],
+    ) -> None:
+        if not _access_log.isEnabledFor(logging.INFO):
+            return
+        _access_log.info(
+            json.dumps(
+                {
+                    "ts": time.time(),
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "latency_ms": round(latency * 1e3, 3),
+                    "cache": (
+                        None
+                        if cache_state is None
+                        else ("hit" if cache_state else "miss")
+                    ),
+                },
+                separators=(",", ":"),
+            )
+        )
+
+
+class _NotFoundError(ServiceError):
+    http_status = 404
+
+
+class _MethodNotAllowedError(ServiceError):
+    http_status = 405
+
+
+def _decode_json(body: bytes) -> Any:
+    if not body:
+        raise BadRequestError("request body is empty; expected JSON")
+    try:
+        return json.loads(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BadRequestError(f"request body is not valid JSON: {exc}")
+
+
+def _error_payload(exc: Exception) -> Dict[str, Any]:
+    name = type(exc).__name__.lstrip("_")
+    return {"error": name, "message": str(exc)}

@@ -1,0 +1,131 @@
+"""Micro-batching dispatcher: coalesce requests into one grid call.
+
+The serving hot path is the same shape as an inference server: many
+concurrent, small, identical-model queries.  The batched engine
+(:func:`repro.perf.batch.optimize_batch`) already evaluates *many
+budgets* for one (chip, f) as a single NumPy grid operation, and each
+budget's row of that grid is computed independently (elementwise ops
+broadcast per-row), so stacking unrelated requests into one call
+returns bit-identical results to evaluating them one at a time.
+
+The dispatcher exploits this: the first in-flight request for a
+(chip, f, r_max) key opens a *batch window* (``--batch-window-ms``);
+every further request for the same key that arrives inside the window
+appends its budget to the pending batch; when the window closes the
+whole batch is evaluated by **one** ``optimize_batch`` call on a
+worker thread and the per-budget results are de-multiplexed back to
+their callers' futures.  A roadmap sweep is itself a natural batch --
+its five node budgets share one key and always coalesce -- and
+concurrent users querying the same design at different nodes merge
+the same way.
+
+Chips are keyed by identity (``id``): the standard design lists are
+memoized, so equal queries share one chip object, while two distinct
+chips that merely share a label (the mmm and fft ASICs, say) can
+never be coalesced into the wrong grid.  The batch holds a reference
+to its chip, so the id cannot be recycled while the key is live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.chip import ChipModel
+from ..core.constraints import Budget
+from ..core.optimizer import DEFAULT_R_MAX, DesignPoint
+from ..perf.batch import optimize_batch
+from .metrics import ServiceMetrics
+
+__all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _Batch:
+    """One open batch window: a chip/f pair plus queued budgets."""
+
+    chip: ChipModel
+    f: float
+    r_max: int
+    items: List[Tuple[Budget, "asyncio.Future"]] = field(
+        default_factory=list
+    )
+
+
+class MicroBatcher:
+    """Coalesce same-(chip, f, r_max) evaluations into one grid call."""
+
+    def __init__(
+        self,
+        window_s: float = 0.002,
+        executor=None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        self.window_s = window_s
+        self._executor = executor
+        self._metrics = metrics or ServiceMetrics()
+        self._pending: Dict[tuple, _Batch] = {}
+        #: Lifetime totals, independent of the metrics sink (tests).
+        self.dispatch_count = 0
+        self.item_count = 0
+
+    def pending_keys(self) -> List[tuple]:
+        """Keys with an open batch window (diagnostics/tests)."""
+        return list(self._pending)
+
+    async def evaluate(
+        self,
+        chip: ChipModel,
+        f: float,
+        budget: Budget,
+        r_max: int = DEFAULT_R_MAX,
+    ) -> Optional[DesignPoint]:
+        """One budget's best design point, via the shared batch.
+
+        Equivalent to ``optimize_batch(chip, f, [budget], r_max)[0]``
+        -- including the ``None``-for-infeasible convention -- except
+        concurrent callers share one grid evaluation.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        key = (id(chip), f, r_max)
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _Batch(chip=chip, f=f, r_max=r_max)
+            self._pending[key] = batch
+            loop.create_task(self._flush_after(key, batch))
+        batch.items.append((budget, future))
+        return await future
+
+    async def _flush_after(self, key: tuple, batch: _Batch) -> None:
+        await asyncio.sleep(self.window_s)
+        self._pending.pop(key, None)
+        budgets = [budget for budget, _ in batch.items]
+        loop = asyncio.get_running_loop()
+        try:
+            if self._executor is None:
+                points = optimize_batch(
+                    batch.chip, batch.f, budgets, batch.r_max
+                )
+            else:
+                points = await loop.run_in_executor(
+                    self._executor,
+                    optimize_batch,
+                    batch.chip,
+                    batch.f,
+                    budgets,
+                    batch.r_max,
+                )
+        except Exception as exc:
+            for _, future in batch.items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.dispatch_count += 1
+        self.item_count += len(batch.items)
+        self._metrics.record_batch(len(batch.items))
+        for (_, future), point in zip(batch.items, points):
+            # A caller that timed out meanwhile has a cancelled future.
+            if not future.done():
+                future.set_result(point)

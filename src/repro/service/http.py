@@ -1,0 +1,209 @@
+"""Stdlib-asyncio HTTP/1.1 transport for :class:`ModelService`.
+
+No web framework: requests are parsed straight off the asyncio stream
+(request line, headers, ``Content-Length`` body) and answered with
+JSON.  The subset implemented is exactly what the API needs --
+``GET``/``POST``, keep-alive, ``Connection: close`` -- plus defensive
+limits (header and body size caps) so a malformed client cannot wedge
+the loop.  Everything model-shaped lives in
+:mod:`repro.service.app`; this module only moves bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Optional, Tuple
+
+from .app import ModelService, ServiceConfig
+
+__all__ = ["start_server", "run_server"]
+
+#: Hard cap on request bodies (1 MiB is orders beyond any valid query).
+MAX_BODY_BYTES = 1 << 20
+#: Hard cap on the header block.
+MAX_HEADER_BYTES = 16 << 10
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_log = logging.getLogger("repro.service")
+
+
+class _ProtocolError(Exception):
+    """Malformed HTTP from the client; answered then disconnected."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, dict, bytes]]:
+    """One request off the wire: (method, path, headers, body).
+
+    Returns None on a clean EOF between requests (keep-alive close).
+    """
+    try:
+        request_line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise _ProtocolError(400, "request line too long")
+    if not request_line:
+        return None
+    try:
+        method, path, _version = (
+            request_line.decode("latin-1").strip().split(" ", 2)
+        )
+    except ValueError:
+        raise _ProtocolError(400, "malformed request line")
+
+    headers = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise _ProtocolError(400, "header block too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise _ProtocolError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _ProtocolError(400, f"bad Content-Length {length_text!r}")
+    if length < 0:
+        raise _ProtocolError(400, f"bad Content-Length {length}")
+    if length > MAX_BODY_BYTES:
+        raise _ProtocolError(
+            413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def _encode_response(
+    status: int, payload: dict, keep_alive: bool
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _handle_connection(
+    service: ModelService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except _ProtocolError as exc:
+                writer.write(
+                    _encode_response(
+                        exc.status,
+                        {"error": "ProtocolError", "message": str(exc)},
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return  # client hung up mid-request
+            if request is None:
+                return  # clean keep-alive close
+            method, path, headers, body = request
+            status, payload = await service.handle(method, path, body)
+            keep_alive = (
+                headers.get("connection", "keep-alive").lower()
+                != "close"
+            )
+            writer.write(_encode_response(status, payload, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client vanished; nothing to answer
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_server(
+    service: ModelService,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> "asyncio.base_events.Server":
+    """Bind and start serving; host/port default to the config's.
+
+    Pass ``port=0`` to bind an ephemeral port (tests do); read the
+    actual address back from ``server.sockets[0].getsockname()``.
+    """
+    config = service.config
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w),
+        config.host if host is None else host,
+        config.port if port is None else port,
+    )
+
+
+def run_server(config: Optional[ServiceConfig] = None) -> None:
+    """Blocking entry point used by ``repro-hetsim serve``.
+
+    Configures stdout logging for the structured access log and serves
+    until interrupted.
+    """
+    config = config or ServiceConfig()
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+
+    async def _main() -> None:
+        service = ModelService(config)
+        server = await start_server(service)
+        sock = server.sockets[0].getsockname()
+        _log.info(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": sock[0],
+                    "port": sock[1],
+                    "batch_window_ms": config.batch_window_ms,
+                    "max_inflight": config.max_inflight,
+                }
+            )
+        )
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            service.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        _log.info(json.dumps({"event": "shutdown"}))

@@ -1,0 +1,140 @@
+"""Service counters: requests, latency, cache hits, batch sizes.
+
+One :class:`ServiceMetrics` instance per server, updated from both the
+asyncio event loop (request accounting) and the dispatcher's worker
+threads (batch accounting), so every mutation happens under one lock.
+``GET /metrics`` serialises :meth:`ServiceMetrics.snapshot` as JSON.
+
+Latency quantiles are computed over a bounded window of the most
+recent samples per endpoint -- a serving-horizon estimate, not an
+all-time histogram, which is what you want on a long-lived process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Any, Dict, Optional
+
+__all__ = ["ServiceMetrics"]
+
+
+def _percentile(samples: list, q: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters for the serving layer."""
+
+    def __init__(self, latency_window: int = 2048):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests: "Counter[tuple]" = Counter()
+        self._latencies: Dict[str, deque] = {}
+        self._latency_window = latency_window
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._batches = 0
+        self._batched_items = 0
+        self._max_batch = 0
+        self._shed = 0
+        self._timeouts = 0
+        self._inflight = 0
+
+    # -- request lifecycle -------------------------------------------------
+
+    def record_request(
+        self,
+        endpoint: str,
+        status: int,
+        latency_s: float,
+        cache_hit: Optional[bool] = None,
+    ) -> None:
+        """Account one finished request."""
+        with self._lock:
+            self._requests[(endpoint, status)] += 1
+            window = self._latencies.setdefault(
+                endpoint, deque(maxlen=self._latency_window)
+            )
+            window.append(latency_s)
+            if cache_hit is True:
+                self._cache_hits += 1
+            elif cache_hit is False:
+                self._cache_misses += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self._shed += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self._timeouts += 1
+
+    def inflight_started(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def inflight_finished(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    # -- dispatcher --------------------------------------------------------
+
+    def record_batch(self, n_items: int) -> None:
+        """Account one micro-batch flush of ``n_items`` coalesced calls."""
+        with self._lock:
+            self._batches += 1
+            self._batched_items += n_items
+            self._max_batch = max(self._max_batch, n_items)
+
+    # -- export ------------------------------------------------------------
+
+    @property
+    def batch_efficiency(self) -> Optional[float]:
+        """Coalesced evaluations per model dispatch (> 1 is a win)."""
+        with self._lock:
+            if not self._batches:
+                return None
+            return self._batched_items / self._batches
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of every counter."""
+        with self._lock:
+            requests = {}
+            for (endpoint, status), count in sorted(self._requests.items()):
+                requests.setdefault(endpoint, {})[str(status)] = count
+            latency = {}
+            for endpoint, window in self._latencies.items():
+                samples = list(window)
+                latency[endpoint] = {
+                    "count": len(samples),
+                    "mean_ms": 1e3 * sum(samples) / len(samples),
+                    "p50_ms": 1e3 * _percentile(samples, 0.50),
+                    "p99_ms": 1e3 * _percentile(samples, 0.99),
+                }
+            batches = self._batches
+            efficiency = (
+                self._batched_items / batches if batches else None
+            )
+            return {
+                "uptime_s": time.monotonic() - self._started,
+                "inflight": self._inflight,
+                "requests": requests,
+                "latency": latency,
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                },
+                "batching": {
+                    "dispatches": batches,
+                    "items": self._batched_items,
+                    "max_batch": self._max_batch,
+                    "efficiency": efficiency,
+                },
+                "shed": self._shed,
+                "timeouts": self._timeouts,
+            }

@@ -1,0 +1,259 @@
+"""Request/response schemas for the serving layer.
+
+Requests are **frozen dataclasses**: hashable, comparable, and
+therefore directly usable as LRU response-cache keys -- two requests
+that differ in any field can never share a cache slot, the same
+structural-invalidation property the :mod:`repro.perf.cache` layer
+relies on.
+
+Parsing is strict: unknown fields, wrong types, and out-of-domain
+values all raise :class:`~repro.errors.BadRequestError` (HTTP 400)
+with a message naming the offending field, so a client never gets a
+silently-defaulted answer to a misspelled query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.optimizer import DEFAULT_R_MAX, DesignPoint
+from ..errors import BadRequestError
+from ..itrs.scenarios import scenario_names
+
+__all__ = [
+    "SpeedupRequest",
+    "SweepRequest",
+    "OptimizeRequest",
+    "parse_speedup",
+    "parse_sweep",
+    "parse_optimize",
+    "design_point_payload",
+    "request_payload",
+]
+
+#: Workloads the standard design lists cover.
+VALID_WORKLOADS = ("mmm", "fft", "bs")
+
+#: FFT problem size applied when the request omits ``fft_size``.
+DEFAULT_FFT_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class SpeedupRequest:
+    """``POST /v1/speedup``: one (design, node) design point."""
+
+    workload: str
+    f: float
+    design: str
+    node_nm: int = 40
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+    r_max: int = DEFAULT_R_MAX
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """``POST /v1/sweep``: one design across the scenario's roadmap."""
+
+    workload: str
+    f: float
+    design: str
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+    r_max: int = DEFAULT_R_MAX
+
+
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """``POST /v1/optimize``: best design under one node's budgets.
+
+    ``node_nm=None`` means the scenario roadmap's final (smallest)
+    node -- the paper's headline comparison point.
+    """
+
+    workload: str
+    f: float
+    node_nm: Optional[int] = None
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+    r_max: int = DEFAULT_R_MAX
+
+
+def _require_mapping(body: Any) -> Mapping:
+    if not isinstance(body, Mapping):
+        raise BadRequestError(
+            f"request body must be a JSON object, got "
+            f"{type(body).__name__}"
+        )
+    return body
+
+
+def _reject_unknown(body: Mapping, allowed: frozenset) -> None:
+    unknown = sorted(set(body) - allowed)
+    if unknown:
+        raise BadRequestError(
+            f"unknown field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _get_str(body: Mapping, field: str, *, default: Any = None,
+             required: bool = False) -> Any:
+    if field not in body:
+        if required:
+            raise BadRequestError(f"missing required field {field!r}")
+        return default
+    value = body[field]
+    if not isinstance(value, str):
+        raise BadRequestError(
+            f"field {field!r} must be a string, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _get_number(body: Mapping, field: str, *, default: Any = None,
+                required: bool = False) -> Any:
+    if field not in body:
+        if required:
+            raise BadRequestError(f"missing required field {field!r}")
+        return default
+    value = body[field]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(
+            f"field {field!r} must be a number, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _get_int(body: Mapping, field: str, *, default: Any = None,
+             minimum: int = 1) -> Any:
+    if field not in body:
+        return default
+    value = body[field]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(
+            f"field {field!r} must be an integer, got "
+            f"{type(value).__name__}"
+        )
+    if value < minimum:
+        raise BadRequestError(
+            f"field {field!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _parse_common(body: Mapping) -> Dict[str, Any]:
+    """Fields shared by all three endpoints, validated."""
+    workload = _get_str(body, "workload", required=True)
+    if workload not in VALID_WORKLOADS:
+        raise BadRequestError(
+            f"unknown workload {workload!r}; "
+            f"available: {list(VALID_WORKLOADS)}"
+        )
+    f = _get_number(body, "f", required=True)
+    if not 0.0 <= f <= 1.0:
+        raise BadRequestError(
+            f"field 'f' must be a parallel fraction in [0, 1], got {f}"
+        )
+    scenario = _get_str(body, "scenario", default="baseline")
+    if scenario not in scenario_names():
+        raise BadRequestError(
+            f"unknown scenario {scenario!r}; "
+            f"available: {scenario_names()}"
+        )
+    fft_size = _get_int(body, "fft_size", default=None)
+    if workload == "fft":
+        if fft_size is None:
+            fft_size = DEFAULT_FFT_SIZE
+    elif fft_size is not None:
+        raise BadRequestError(
+            f"field 'fft_size' only applies to the fft workload, "
+            f"not {workload!r}"
+        )
+    r_max = _get_int(body, "r_max", default=DEFAULT_R_MAX)
+    return {
+        "workload": workload,
+        "f": float(f),
+        "scenario": scenario,
+        "fft_size": fft_size,
+        "r_max": r_max,
+    }
+
+
+_SPEEDUP_FIELDS = frozenset(
+    {"workload", "f", "design", "node_nm", "scenario", "fft_size",
+     "r_max"}
+)
+_SWEEP_FIELDS = frozenset(
+    {"workload", "f", "design", "scenario", "fft_size", "r_max"}
+)
+_OPTIMIZE_FIELDS = frozenset(
+    {"workload", "f", "node_nm", "scenario", "fft_size", "r_max"}
+)
+
+
+def parse_speedup(body: Any) -> SpeedupRequest:
+    """Validate a ``/v1/speedup`` body into a frozen request."""
+    body = _require_mapping(body)
+    _reject_unknown(body, _SPEEDUP_FIELDS)
+    common = _parse_common(body)
+    design = _get_str(body, "design", required=True)
+    node_nm = _get_int(body, "node_nm", default=40)
+    return SpeedupRequest(design=design, node_nm=node_nm, **common)
+
+
+def parse_sweep(body: Any) -> SweepRequest:
+    """Validate a ``/v1/sweep`` body into a frozen request."""
+    body = _require_mapping(body)
+    _reject_unknown(body, _SWEEP_FIELDS)
+    common = _parse_common(body)
+    design = _get_str(body, "design", required=True)
+    return SweepRequest(design=design, **common)
+
+
+def parse_optimize(body: Any) -> OptimizeRequest:
+    """Validate a ``/v1/optimize`` body into a frozen request."""
+    body = _require_mapping(body)
+    _reject_unknown(body, _OPTIMIZE_FIELDS)
+    common = _parse_common(body)
+    node_nm = _get_int(body, "node_nm", default=None)
+    return OptimizeRequest(node_nm=node_nm, **common)
+
+
+def design_point_payload(point: DesignPoint) -> Dict[str, Any]:
+    """A :class:`DesignPoint` as a JSON-ready dict.
+
+    Floats are passed through untouched -- ``json`` round-trips Python
+    floats exactly (``repr`` shortest-round-trip), which is what lets
+    the bit-identical acceptance test compare served numbers against a
+    direct :func:`repro.perf.batch.optimize_batch` call.
+    """
+    return {
+        "label": point.label,
+        "model_id": point.model_id,
+        "f": point.f,
+        "r": point.r,
+        "n": point.n,
+        "speedup": point.speedup,
+        "limiter": point.limiter.value,
+        "parallel_resources": point.parallel_resources,
+        "bounds": {
+            "n_area": point.bounds.n_area,
+            "n_power": _json_number(point.bounds.n_power),
+            "n_bandwidth": _json_number(point.bounds.n_bandwidth),
+        },
+    }
+
+
+def _json_number(value: float) -> Any:
+    # JSON has no Infinity; bandwidth-exempt bounds serialise as null.
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    return value
+
+
+def request_payload(request: Any) -> Dict[str, Any]:
+    """Echo a parsed request back to the client (canonicalised)."""
+    return asdict(request)

@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import sys
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, exit_code_for, main
+from repro.errors import (
+    CalibrationError,
+    InfeasibleDesignError,
+    ModelError,
+    ReproError,
+    ServiceTimeoutError,
+    UnknownExperimentError,
+    UnknownWorkloadError,
+)
 
 
 class TestParser:
@@ -34,6 +45,62 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--executor", "gpu"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.batch_window_ms == 2.0
+        assert args.max_inflight == 8
+        assert args.queue_depth == 64
+        assert args.timeout_s == 10.0
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9999", "--batch-window-ms", "5",
+             "--max-inflight", "2"]
+        )
+        assert args.port == 9999
+        assert args.batch_window_ms == 5.0
+        assert args.max_inflight == 2
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """ReproError subclasses map to stable exit codes (no tracebacks)."""
+
+    @pytest.mark.parametrize("exc, code", [
+        (ModelError("bad f"), 2),
+        (UnknownWorkloadError("nope"), 2),
+        (UnknownExperimentError("F99"), 2),
+        (ServiceTimeoutError("deadline"), 2),
+        (InfeasibleDesignError("no design"), 3),
+        (CalibrationError("inconsistent"), 4),
+        (ReproError("anything else"), 1),
+    ])
+    def test_mapping(self, exc, code):
+        assert exit_code_for(exc) == code
+
+    def test_validation_error_exits_2_via_entrypoint(self, capsys):
+        """The console entry point raises SystemExit with the code."""
+        with pytest.raises(SystemExit) as excinfo:
+            sys.exit(main(["speedup", "--workload", "fft", "--f", "2"]))
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_one_line_message_not_traceback(self, capsys):
+        assert main(["run", "F99"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -54,7 +121,7 @@ class TestCommands:
         assert "Table 2" in out
 
     def test_run_unknown_id_fails_cleanly(self, capsys):
-        assert main(["run", "F99"]) == 1
+        assert main(["run", "F99"]) == 2
         err = capsys.readouterr().err
         assert "error" in err
 
@@ -78,7 +145,7 @@ class TestCommands:
         assert "scenario=high-bandwidth" in capsys.readouterr().out
 
     def test_bad_f_value_fails_cleanly(self, capsys):
-        assert main(["speedup", "--workload", "fft", "--f", "1.5"]) == 1
+        assert main(["speedup", "--workload", "fft", "--f", "1.5"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_bad_scenario_rejected_by_argparse(self):
@@ -103,7 +170,7 @@ class TestCommands:
         assert "jobs=2" in capsys.readouterr().out
 
     def test_campaign_unknown_figure_fails_cleanly(self, capsys):
-        assert main(["campaign", "--figures", "F42"]) == 1
+        assert main(["campaign", "--figures", "F42"]) == 2
         assert "F42" in capsys.readouterr().err
 
 

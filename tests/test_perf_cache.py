@@ -148,6 +148,101 @@ class TestProjectionCaches:
         assert a is b  # cache returns the identical record
 
 
+class TestThreadSafety:
+    """The serving layer hammers these caches from worker threads."""
+
+    def test_concurrent_hits_and_misses_account_exactly(self):
+        import threading
+
+        n_threads, calls_per_thread, n_keys = 8, 200, 16
+        total = n_threads * calls_per_thread
+
+        @cached(maxsize=n_keys)
+        def probe(x):
+            return x * x
+
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(seed):
+            barrier.wait()
+            try:
+                for i in range(calls_per_thread):
+                    key = (seed + i) % n_keys
+                    assert probe(key) == key * key
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,))
+            for s in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        info = probe.cache_info()
+        # Under the lock nothing is lost: every call is either a hit
+        # or a miss, and the LRU never exceeds its capacity.
+        assert info.hits + info.misses == total
+        assert info.currsize <= n_keys
+        # All keys fit, so at most one miss per distinct key survives
+        # (no double-compute races leaking into the counters).
+        assert info.misses <= n_keys * n_threads
+
+    def test_concurrent_node_budget_consistent(self):
+        import threading
+
+        node = _node()
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            value = node_budget(
+                node, "mmm", None, BASELINE, DEFAULT_BCE, False
+            )
+            with lock:
+                results.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 1
+
+    def test_clear_during_concurrent_reads_is_safe(self):
+        import threading
+
+        @cached(maxsize=32)
+        def probe(x):
+            return -x
+
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                if probe(7) != -7:  # pragma: no cover - failure path
+                    errors.append(AssertionError("stale value"))
+                    return
+
+        def clearer():
+            for _ in range(100):
+                probe.cache_clear()
+            stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
 class TestKeyHygiene:
     def test_budget_nan_rejected_before_caching(self):
         """NaN keys break lru_cache reflexivity; Budget refuses them."""

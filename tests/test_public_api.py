@@ -19,7 +19,7 @@ class TestExports:
         "repro.core", "repro.devices", "repro.workloads",
         "repro.measure", "repro.itrs", "repro.projection",
         "repro.reporting", "repro.cli", "repro.units", "repro.errors",
-        "repro.layout", "repro.sim",
+        "repro.layout", "repro.sim", "repro.perf", "repro.service",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)

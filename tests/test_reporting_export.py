@@ -116,7 +116,7 @@ class TestNewCliCommands:
                 "calibrate", "--name", "NPU", "--workload", "mmm",
                 "--throughput", "-1", "--area", "20", "--watts", "18",
             ]
-        ) == 1
+        ) == 2
         assert "error" in capsys.readouterr().err
 
 
@@ -149,7 +149,7 @@ class TestFloorplanTraceCommands:
                 "trace", "--workload", "bs", "--f", "0.9",
                 "--design", "R5870",  # no BS data for the R5870
             ]
-        ) == 1
+        ) == 2
         assert "unknown design" in capsys.readouterr().err
 
     def test_trace_speedup_matches_projection(self, capsys):

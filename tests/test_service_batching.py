@@ -1,0 +1,207 @@
+"""Micro-batching dispatcher: coalescing, demux, and error paths.
+
+The acceptance property is *bit-identical demultiplexing*: whatever
+gets coalesced, each caller receives exactly the DesignPoint a direct
+``optimize_batch(chip, f, [its budget])`` call would return.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.constraints import Budget
+from repro.errors import ModelError
+from repro.itrs.scenarios import BASELINE
+from repro.perf.batch import optimize_batch
+from repro.projection.designs import standard_designs
+from repro.projection.engine import node_budget
+from repro.service.batching import MicroBatcher
+
+
+def _mmm_designs():
+    return {d.short_label: d for d in standard_designs("mmm")}
+
+
+def _roadmap_budgets(design):
+    return [
+        node_budget(
+            node, "mmm", None, BASELINE,
+            bandwidth_exempt=design.bandwidth_exempt,
+        )
+        for node in BASELINE.roadmap.nodes
+    ]
+
+
+class TestCoalescing:
+    def test_same_key_concurrent_requests_share_one_dispatch(self):
+        design = _mmm_designs()["ASIC"]
+        budgets = _roadmap_budgets(design)
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.005)
+            points = await asyncio.gather(
+                *(
+                    batcher.evaluate(design.chip, 0.99, b)
+                    for b in budgets
+                )
+            )
+            return batcher, points
+
+        batcher, points = asyncio.run(main())
+        assert batcher.dispatch_count == 1
+        assert batcher.item_count == len(budgets)
+        direct = optimize_batch(design.chip, 0.99, budgets)
+        assert points == direct
+
+    def test_zero_window_still_coalesces_one_tick(self):
+        design = _mmm_designs()["ASIC"]
+        budgets = _roadmap_budgets(design)
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.0)
+            await asyncio.gather(
+                *(
+                    batcher.evaluate(design.chip, 0.99, b)
+                    for b in budgets
+                )
+            )
+            return batcher
+
+        batcher = asyncio.run(main())
+        assert batcher.dispatch_count == 1
+
+    def test_different_f_values_do_not_coalesce(self):
+        design = _mmm_designs()["ASIC"]
+        budget = _roadmap_budgets(design)[0]
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.005)
+            await asyncio.gather(
+                batcher.evaluate(design.chip, 0.9, budget),
+                batcher.evaluate(design.chip, 0.99, budget),
+            )
+            return batcher
+
+        batcher = asyncio.run(main())
+        assert batcher.dispatch_count == 2
+
+    def test_different_chips_do_not_coalesce(self):
+        designs = _mmm_designs()
+        asic, sym = designs["ASIC"], designs["SymCMP"]
+        budget = node_budget(BASELINE.roadmap.nodes[0], "mmm", None)
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.005)
+            points = await asyncio.gather(
+                batcher.evaluate(asic.chip, 0.99, budget),
+                batcher.evaluate(sym.chip, 0.99, budget),
+            )
+            return batcher, points
+
+        batcher, points = asyncio.run(main())
+        assert batcher.dispatch_count == 2
+        assert points[0].label == "ASIC"
+        assert points[1].label == "SymCMP"
+
+    def test_requests_after_window_get_a_fresh_batch(self):
+        design = _mmm_designs()["ASIC"]
+        budget = _roadmap_budgets(design)[0]
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.001)
+            first = await batcher.evaluate(design.chip, 0.99, budget)
+            second = await batcher.evaluate(design.chip, 0.99, budget)
+            return batcher, first, second
+
+        batcher, first, second = asyncio.run(main())
+        assert batcher.dispatch_count == 2
+        assert first == second
+
+
+class TestDemux:
+    def test_each_caller_gets_its_own_budget_result(self):
+        """Interleave two designs x five nodes; nothing crosses wires."""
+        designs = _mmm_designs()
+        pairs = [
+            (designs[label], b)
+            for label in ("ASIC", "GTX285")
+            for b in _roadmap_budgets(designs[label])
+        ]
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.005)
+            return await asyncio.gather(
+                *(
+                    batcher.evaluate(d.chip, 0.999, b)
+                    for d, b in pairs
+                )
+            )
+
+        points = asyncio.run(main())
+        for (design, budget), point in zip(pairs, points):
+            direct = optimize_batch(design.chip, 0.999, [budget])[0]
+            assert point == direct
+
+    def test_infeasible_budget_yields_none(self):
+        design = _mmm_designs()["ASIC"]
+        tight = Budget(area=0.5, power=0.25, bandwidth=0.5)
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.0)
+            return await batcher.evaluate(design.chip, 0.99, tight)
+
+        assert asyncio.run(main()) is None
+
+
+class TestErrors:
+    def test_model_error_propagates_to_every_caller(self):
+        design = _mmm_designs()["ASIC"]
+        budget = _roadmap_budgets(design)[0]
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.005)
+            results = await asyncio.gather(
+                batcher.evaluate(design.chip, -1.0, budget),
+                batcher.evaluate(design.chip, -1.0, budget),
+                return_exceptions=True,
+            )
+            return batcher, results
+
+        batcher, results = asyncio.run(main())
+        assert batcher.dispatch_count == 0  # the flush failed
+        assert all(isinstance(r, ModelError) for r in results)
+
+    def test_pending_key_cleared_after_flush(self):
+        design = _mmm_designs()["ASIC"]
+        budget = _roadmap_budgets(design)[0]
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.0)
+            await batcher.evaluate(design.chip, 0.99, budget)
+            return batcher.pending_keys()
+
+        assert asyncio.run(main()) == []
+
+
+class TestMetricsAccounting:
+    def test_batch_sizes_recorded(self):
+        from repro.service.metrics import ServiceMetrics
+
+        design = _mmm_designs()["ASIC"]
+        budgets = _roadmap_budgets(design)
+        metrics = ServiceMetrics()
+
+        async def main():
+            batcher = MicroBatcher(window_s=0.005, metrics=metrics)
+            await asyncio.gather(
+                *(
+                    batcher.evaluate(design.chip, 0.99, b)
+                    for b in budgets
+                )
+            )
+
+        asyncio.run(main())
+        snap = metrics.snapshot()["batching"]
+        assert snap["dispatches"] == 1
+        assert snap["items"] == len(budgets)
+        assert snap["efficiency"] == pytest.approx(len(budgets))

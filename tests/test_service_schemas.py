@@ -1,0 +1,168 @@
+"""Request schema validation: strict parsing into frozen dataclasses."""
+
+import json
+
+import pytest
+
+from repro.errors import BadRequestError
+from repro.service.schemas import (
+    OptimizeRequest,
+    SpeedupRequest,
+    SweepRequest,
+    design_point_payload,
+    parse_optimize,
+    parse_speedup,
+    parse_sweep,
+)
+
+
+class TestParseSpeedup:
+    def test_defaults_applied(self):
+        req = parse_speedup(
+            {"workload": "fft", "f": 0.99, "design": "ASIC"}
+        )
+        assert req == SpeedupRequest(
+            workload="fft", f=0.99, design="ASIC", node_nm=40,
+            scenario="baseline", fft_size=1024, r_max=16,
+        )
+
+    def test_explicit_fields(self):
+        req = parse_speedup(
+            {
+                "workload": "mmm", "f": 0.5, "design": "SymCMP",
+                "node_nm": 22, "scenario": "low-power", "r_max": 8,
+            }
+        )
+        assert req.node_nm == 22
+        assert req.scenario == "low-power"
+        assert req.r_max == 8
+        assert req.fft_size is None
+
+    def test_missing_required_fields(self):
+        with pytest.raises(BadRequestError, match="workload"):
+            parse_speedup({"f": 0.5, "design": "ASIC"})
+        with pytest.raises(BadRequestError, match="'f'"):
+            parse_speedup({"workload": "mmm", "design": "ASIC"})
+        with pytest.raises(BadRequestError, match="design"):
+            parse_speedup({"workload": "mmm", "f": 0.5})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(BadRequestError, match="wrkload"):
+            parse_speedup(
+                {"wrkload": "mmm", "f": 0.5, "design": "ASIC"}
+            )
+
+    def test_unknown_workload(self):
+        with pytest.raises(BadRequestError, match="spmv"):
+            parse_speedup({"workload": "spmv", "f": 0.5, "design": "x"})
+
+    def test_f_out_of_range(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(BadRequestError, match="fraction"):
+                parse_speedup(
+                    {"workload": "mmm", "f": bad, "design": "ASIC"}
+                )
+
+    def test_f_wrong_type(self):
+        with pytest.raises(BadRequestError, match="number"):
+            parse_speedup(
+                {"workload": "mmm", "f": "0.5", "design": "ASIC"}
+            )
+        with pytest.raises(BadRequestError, match="number"):
+            parse_speedup(
+                {"workload": "mmm", "f": True, "design": "ASIC"}
+            )
+
+    def test_fft_size_only_for_fft(self):
+        with pytest.raises(BadRequestError, match="fft_size"):
+            parse_speedup(
+                {
+                    "workload": "mmm", "f": 0.5, "design": "ASIC",
+                    "fft_size": 1024,
+                }
+            )
+
+    def test_unknown_scenario(self):
+        with pytest.raises(BadRequestError, match="utopia"):
+            parse_speedup(
+                {
+                    "workload": "mmm", "f": 0.5, "design": "ASIC",
+                    "scenario": "utopia",
+                }
+            )
+
+    def test_r_max_must_be_positive_int(self):
+        with pytest.raises(BadRequestError, match="r_max"):
+            parse_speedup(
+                {"workload": "mmm", "f": 0.5, "design": "ASIC",
+                 "r_max": 0}
+            )
+        with pytest.raises(BadRequestError, match="r_max"):
+            parse_speedup(
+                {"workload": "mmm", "f": 0.5, "design": "ASIC",
+                 "r_max": 2.5}
+            )
+
+    def test_body_must_be_object(self):
+        with pytest.raises(BadRequestError, match="JSON object"):
+            parse_speedup([1, 2, 3])
+
+
+class TestParseSweepAndOptimize:
+    def test_sweep_has_no_node(self):
+        req = parse_sweep({"workload": "bs", "f": 0.9, "design": "ASIC"})
+        assert req == SweepRequest(workload="bs", f=0.9, design="ASIC")
+        with pytest.raises(BadRequestError, match="node_nm"):
+            parse_sweep(
+                {"workload": "bs", "f": 0.9, "design": "ASIC",
+                 "node_nm": 22}
+            )
+
+    def test_optimize_node_defaults_to_none(self):
+        req = parse_optimize({"workload": "mmm", "f": 0.999})
+        assert req == OptimizeRequest(workload="mmm", f=0.999)
+        assert req.node_nm is None
+
+    def test_optimize_has_no_design_field(self):
+        with pytest.raises(BadRequestError, match="design"):
+            parse_optimize(
+                {"workload": "mmm", "f": 0.9, "design": "ASIC"}
+            )
+
+
+class TestRequestDataclasses:
+    def test_frozen_and_hashable(self):
+        a = parse_speedup({"workload": "fft", "f": 0.99, "design": "ASIC"})
+        b = parse_speedup({"workload": "fft", "f": 0.99, "design": "ASIC"})
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+        with pytest.raises(Exception):
+            a.f = 0.5
+
+    def test_different_endpoints_never_collide(self):
+        """A sweep and an optimize with equal fields are distinct keys."""
+        sweep = SweepRequest(workload="mmm", f=0.9, design="ASIC")
+        speedup = SpeedupRequest(workload="mmm", f=0.9, design="ASIC")
+        assert sweep != speedup
+
+
+class TestDesignPointPayload:
+    def test_round_trips_floats_exactly(self, het_chip, basic_budget):
+        from repro.core.optimizer import optimize
+
+        point = optimize(het_chip, 0.99, basic_budget)
+        payload = design_point_payload(point)
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["speedup"] == point.speedup
+        assert decoded["r"] == point.r
+        assert decoded["n"] == point.n
+        assert decoded["limiter"] == point.limiter.value
+
+    def test_infinite_bound_serialises_null(self, het_chip):
+        from repro.core.constraints import Budget
+        from repro.core.optimizer import optimize
+
+        point = optimize(het_chip, 0.9, Budget(area=16, power=1e9))
+        payload = design_point_payload(point)
+        assert payload["bounds"]["n_bandwidth"] is None
+        json.dumps(payload)  # must stay strict-JSON serialisable
