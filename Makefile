@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection bench-service serve artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -21,6 +21,9 @@ bench-projection:
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service_load.py
+
+bench-campaign:
+	$(PYTHON) benchmarks/bench_campaign_store.py
 
 serve:
 	$(PYTHON) -m repro.cli serve

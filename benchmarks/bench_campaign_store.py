@@ -1,0 +1,128 @@
+"""Wall-clock benchmark: cold campaign vs store-resumed campaign.
+
+Runs a heterogeneous campaign (the Figure 8 panels, a Pareto sweep,
+and a Monte-Carlo sensitivity batch) twice against the same
+content-addressed :class:`repro.campaign.store.ResultStore`:
+
+* ``cold`` -- empty store, every task executes.
+* ``resumed`` -- second invocation over the now-populated store; every
+  task is served from disk, which is the ``--resume`` path a user hits
+  after killing a long campaign.
+
+The resumed run must (a) execute zero tasks, (b) return bit-identical
+results, and (c) be faster than the cold run -- the store read
+amortizes the model evaluation away, so a resume that is *slower*
+than recomputing would make checkpointing pointless.
+
+Results land in ``BENCH_campaign.json`` at the repo root.
+
+Run as a script (``python benchmarks/bench_campaign_store.py``) or
+through pytest (``pytest benchmarks/bench_campaign_store.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, ParetoTask, SensitivityTask
+from repro.campaign.store import ResultStore
+from repro.perf.cache import clear_caches
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_campaign.json"
+REPEATS = 3
+
+SPEC = CampaignSpec(
+    name="bench",
+    figures=("F8",),
+    pareto=(
+        ParetoTask(workload="mmm", f=0.99, node_nm=22),
+        ParetoTask(workload="fft", f=0.99, node_nm=22, fft_size=1024),
+    ),
+    sensitivity=(
+        SensitivityTask(workload="mmm", f=0.99, node_nm=11, trials=200),
+        SensitivityTask(workload="bs", f=0.9, node_nm=11, trials=200),
+    ),
+)
+
+
+def _time_campaign(store_dir: Path) -> dict:
+    """One cold + one resumed pass over a fresh store directory."""
+    store = ResultStore(store_dir)
+    runner = CampaignRunner(store=store, executor="serial")
+
+    clear_caches()
+    start = time.perf_counter()
+    cold = runner.run(SPEC)
+    cold_s = time.perf_counter() - start
+
+    clear_caches()
+    start = time.perf_counter()
+    resumed = runner.run(SPEC)
+    resumed_s = time.perf_counter() - start
+
+    assert (cold.executed, cold.cached) == (len(SPEC.tasks()), 0)
+    assert (resumed.executed, resumed.cached) == (0, len(SPEC.tasks()))
+    assert resumed.results_json() == cold.results_json()
+    return {"cold_s": cold_s, "resumed_s": resumed_s}
+
+
+def run_benchmark() -> dict:
+    """Best-of-N cold and resumed timings over fresh stores."""
+    cold_times, resumed_times = [], []
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as root:
+        for i in range(REPEATS):
+            timing = _time_campaign(Path(root) / f"rep{i}")
+            cold_times.append(timing["cold_s"])
+            resumed_times.append(timing["resumed_s"])
+    cold, resumed = min(cold_times), min(resumed_times)
+    return {
+        "schema_version": 1,
+        "model_version": __version__,
+        "benchmark": "campaign store cold vs resumed",
+        "tasks": len(SPEC.tasks()),
+        "repeats": REPEATS,
+        "cold": {"best_s": cold, "times_s": cold_times},
+        "resumed": {"best_s": resumed, "times_s": resumed_times},
+        "resume_speedup": cold / resumed,
+        "machine": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "regenerate": "python benchmarks/bench_campaign_store.py",
+    }
+
+
+def test_resumed_campaign_beats_cold():
+    """Serving from the store must beat re-executing the model."""
+    payload = run_benchmark()
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert payload["resume_speedup"] > 1, (
+        f"resume is slower than recomputing: {payload['resume_speedup']:.2f}x"
+    )
+
+
+def main() -> int:
+    payload = run_benchmark()
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"campaign: {payload['tasks']} tasks, best of {REPEATS}")
+    print(f"  cold    : {payload['cold']['best_s'] * 1000:8.1f} ms")
+    print(f"  resumed : {payload['resumed']['best_s'] * 1000:8.1f} ms")
+    print(f"  resume speedup: {payload['resume_speedup']:.2f}x")
+    print(f"wrote {OUTPUT_PATH}")
+    if payload["resume_speedup"] <= 1:
+        print("FAIL: resume is slower than recomputing", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro._version import __version__
 from repro.perf.cache import clear_caches
 from repro.perf.grid import ProjectionGrid, figure_campaign
 
@@ -89,6 +90,8 @@ def run_benchmark(jobs: Optional[int] = None) -> dict:
     }
     best_mode = max(speedups, key=speedups.get)
     return {
+        "schema_version": 1,
+        "model_version": __version__,
         "benchmark": "figure 6-9 projection campaign",
         "figures": list(FIGURES),
         "panels": panels,

@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 from typing import List, Tuple
 
+from repro._version import __version__
 from repro.service.app import ModelService, ServiceConfig
 from repro.service.http import start_server
 
@@ -158,6 +159,8 @@ async def _run_load() -> dict:
 
     batching = after_cold["batching"]
     return {
+        "schema_version": 1,
+        "model_version": __version__,
         "benchmark": "serving-layer closed-loop load",
         "clients": CLIENTS,
         "unique_requests": len(mix),

@@ -1,0 +1,262 @@
+"""Async campaign jobs for the serving layer.
+
+:class:`JobManager` runs campaigns *off the request path*: the service
+answers ``POST /v1/jobs`` immediately with a queued
+:class:`JobRecord`, a dedicated background thread drains the campaign
+through a :class:`~repro.campaign.runner.CampaignRunner` (thread pool
+inside the runner -- the work is NumPy-heavy, so it releases the GIL,
+and the request event loop never blocks), and ``GET /v1/jobs/{id}``
+polls progress until the job settles.
+
+All jobs of one manager share one
+:class:`~repro.campaign.store.ResultStore`, so a re-submitted spec --
+after a crash, a redeploy, or an identical request from another
+client -- resumes instead of recomputing; the store's hit/miss
+counters surface in ``GET /metrics``.
+
+Thread safety: records are mutated only under the manager lock and
+exposed to the event loop via snapshot payloads, never live objects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .runner import CampaignRunner, TaskOutcome
+from .spec import CampaignSpec
+from .store import ResultStore
+
+__all__ = ["JobState", "JobRecord", "JobManager"]
+
+
+class JobState:
+    """The lifecycle states of a campaign job (string constants)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+    TERMINAL = (SUCCEEDED, FAILED)
+
+
+@dataclass
+class JobRecord:
+    """One submitted campaign and its observable progress."""
+
+    job_id: str
+    spec: CampaignSpec
+    state: str = JobState.QUEUED
+    created_unix: float = field(default_factory=time.time)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    total: int = 0
+    done: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    error: Optional[str] = None
+    #: Per-task summaries (hash/kind/status), filled as tasks settle.
+    tasks: List[Dict[str, Any]] = field(default_factory=list)
+    #: Full result payloads, present once the job succeeds.
+    results: Optional[List[Dict[str, Any]]] = None
+
+
+class JobManager:
+    """Submit, execute, and observe campaign jobs.
+
+    Args:
+        store: shared result store; ``None`` builds one rooted at
+            ``store_dir`` (or an ephemeral temp directory).
+        store_dir: root for a manager-owned store when ``store`` is
+            not given.
+        task_workers: width of each campaign's internal thread pool.
+        metrics: optional :class:`~repro.service.metrics.ServiceMetrics`
+            observing job lifecycle events.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        store_dir: Optional[str] = None,
+        task_workers: int = 2,
+        metrics: Optional[Any] = None,
+    ):
+        self.store = store if store is not None else ResultStore(store_dir)
+        self.task_workers = task_workers
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._seq = 0
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> JobRecord:
+        """Queue a campaign; returns the (already-registered) record."""
+        spec.tasks()  # validate eagerly so bad specs fail the POST
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is closed")
+            self._seq += 1
+            job_id = f"job-{self._seq:04d}-{spec.spec_hash()[:8]}"
+            record = JobRecord(job_id=job_id, spec=spec)
+            self._jobs[job_id] = record
+            self._order.append(job_id)
+            thread = threading.Thread(
+                target=self._run, args=(record,),
+                name=f"repro-job-{self._seq}", daemon=True,
+            )
+            self._threads.append(thread)
+        if self.metrics is not None:
+            self.metrics.record_job(JobState.QUEUED)
+        thread.start()
+        return record
+
+    def _run(self, record: JobRecord) -> None:
+        with self._lock:
+            record.state = JobState.RUNNING
+            record.started_unix = time.time()
+
+        def _progress(outcome: TaskOutcome, done: int, total: int) -> None:
+            with self._lock:
+                record.total = total
+                record.done = done
+                record.executed += outcome.status == "executed"
+                record.cached += outcome.status == "cached"
+                record.failed += outcome.status == "failed"
+                record.tasks.append(
+                    {
+                        "hash": outcome.hash,
+                        "kind": outcome.task.kind,
+                        "status": outcome.status,
+                        "attempts": outcome.attempts,
+                        "error": outcome.error,
+                    }
+                )
+
+        runner = CampaignRunner(
+            store=self.store,
+            workers=self.task_workers,
+            executor="thread",
+            progress=_progress,
+        )
+        try:
+            report = runner.run(record.spec)
+        except Exception as exc:  # job-level failure (not per-task)
+            with self._lock:
+                record.state = JobState.FAILED
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.finished_unix = time.time()
+            if self.metrics is not None:
+                self.metrics.record_job(JobState.FAILED)
+            return
+        with self._lock:
+            record.finished_unix = time.time()
+            record.total = len(report.outcomes)
+            record.done = len(report.outcomes)
+            if report.ok:
+                record.state = JobState.SUCCEEDED
+                record.results = [o.result for o in report.outcomes]
+            else:
+                record.state = JobState.FAILED
+                record.error = (
+                    f"{report.failed} of {len(report.outcomes)} tasks "
+                    f"failed"
+                )
+        if self.metrics is not None:
+            self.metrics.record_job(record.state)
+
+    # -- observation -------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def payload(
+        self, record: JobRecord, include_results: bool = True
+    ) -> Dict[str, Any]:
+        """A JSON-ready snapshot of one job."""
+        with self._lock:
+            payload = {
+                "job_id": record.job_id,
+                "state": record.state,
+                "spec": record.spec.payload(),
+                "spec_hash": record.spec.spec_hash(),
+                "created_unix": record.created_unix,
+                "started_unix": record.started_unix,
+                "finished_unix": record.finished_unix,
+                "progress": {
+                    "total": record.total,
+                    "done": record.done,
+                    "executed": record.executed,
+                    "cached": record.cached,
+                    "failed": record.failed,
+                },
+                "tasks": list(record.tasks),
+                "error": record.error,
+            }
+            if include_results and record.results is not None:
+                payload["results"] = record.results
+            return payload
+
+    def list_payload(self) -> List[Dict[str, Any]]:
+        """Snapshots of every job, oldest first, without results."""
+        with self._lock:
+            order = list(self._order)
+        return [
+            self.payload(self._jobs[job_id], include_results=False)
+            for job_id in order
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/metrics`` section: job states + store counters."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for record in self._jobs.values():
+                states[record.state] = states.get(record.state, 0) + 1
+            total = len(self._jobs)
+        return {
+            "total": total,
+            "states": states,
+            "store": self.store.stats_payload(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every job thread; True when all have finished."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+            if thread.is_alive():
+                return False
+        return True
+
+    def close(self, drain_timeout_s: float = 5.0) -> None:
+        """Stop accepting jobs, drain the running ones, flush the store.
+
+        Jobs still running after ``drain_timeout_s`` are abandoned (the
+        store keeps whatever they checkpointed, so a restart resumes
+        them); idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.join(timeout=drain_timeout_s)
+        self.store.flush()

@@ -1,0 +1,495 @@
+"""Campaign execution: worker pools, retries, checkpoints, resume.
+
+:class:`CampaignRunner` drains a :class:`~repro.campaign.spec.CampaignSpec`
+through a worker pool (processes by default, threads or in-process
+serial on request), persisting every completed task into a
+:class:`~repro.campaign.store.ResultStore` *as it finishes* -- the
+store is the checkpoint.  Killing a campaign at any point loses at
+most the tasks currently in flight; re-running with ``resume=True``
+answers finished tasks from the store (counted as ``cached``) and
+executes only the remainder.  Because every task is a deterministic
+pure function of its fields, a resumed campaign's results are
+bit-identical to an uninterrupted run's.
+
+Failure handling is per task: an exception inside a task is retried
+up to ``retries`` times with exponential backoff
+(``backoff_base_s * 2**attempt``, capped), and a task that exhausts
+its retries is reported as ``failed`` without aborting the rest of
+the campaign.
+
+Alongside the store, the runner maintains a *checkpoint manifest*
+(``manifest-<spec_hash[:16]>.json`` at the store root): the spec, the
+model version, and the hash of every completed task.  The manifest is
+advisory -- resume correctness derives from the store itself -- but it
+makes a half-finished campaign inspectable without replaying it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .._version import __version__
+from ..errors import ModelError
+from ..itrs.scenarios import get_scenario
+from ..projection.engine import project
+from ..projection.pareto import design_space_points, pareto_frontier
+from ..projection.sensitivity import SensitivityConfig, run_sensitivity
+from .spec import (
+    CampaignSpec,
+    CampaignTask,
+    FigureTask,
+    ParetoTask,
+    SensitivityTask,
+    canonical_json,
+    task_hash,
+)
+from .store import ResultStore
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignReport",
+    "TaskOutcome",
+    "execute_task",
+]
+
+_EXECUTORS = ("process", "thread", "serial")
+
+
+# -- task evaluation (module-level so it pickles into workers) -------------
+
+
+def _figure_payload(task: FigureTask) -> Dict[str, Any]:
+    result = project(
+        task.workload,
+        task.f,
+        get_scenario(task.scenario),
+        fft_size=task.fft_size,
+        method=task.method,
+    )
+    series = []
+    for line in result.series:
+        cells = []
+        for cell in line.cells:
+            cells.append(
+                {
+                    "node": cell.node.label,
+                    "node_nm": cell.node.node_nm,
+                    "feasible": cell.point is not None,
+                    "r": cell.point.r if cell.point else None,
+                    "n": cell.point.n if cell.point else None,
+                    "speedup": (
+                        cell.point.speedup if cell.point else None
+                    ),
+                    "limiter": (
+                        cell.limiter.value if cell.limiter else None
+                    ),
+                }
+            )
+        series.append(
+            {
+                "design": line.design.label,
+                "short_label": line.design.short_label,
+                "cells": cells,
+            }
+        )
+    winner = result.winner()
+    return {
+        "kind": "figure",
+        "task": asdict(task),
+        "nodes": result.node_labels(),
+        "series": series,
+        "winner": {
+            "design": winner.design.short_label,
+            "final_speedup": winner.final_speedup(),
+        },
+    }
+
+
+def _pareto_payload(task: ParetoTask) -> Dict[str, Any]:
+    points = design_space_points(
+        task.workload,
+        task.f,
+        task.node_nm,
+        get_scenario(task.scenario),
+        fft_size=task.fft_size,
+        r_max=task.r_max,
+    )
+    frontier = pareto_frontier(points)
+    return {
+        "kind": "pareto",
+        "task": asdict(task),
+        "candidates": len(points),
+        "frontier": [
+            {
+                "design": p.design.short_label,
+                "r": p.r,
+                "n": p.n,
+                "speedup": p.speedup,
+                "energy": p.energy,
+            }
+            for p in frontier
+        ],
+    }
+
+
+def _sensitivity_payload(task: SensitivityTask) -> Dict[str, Any]:
+    summary = run_sensitivity(
+        task.workload,
+        task.f,
+        task.node_nm,
+        get_scenario(task.scenario),
+        fft_size=task.fft_size,
+        config=SensitivityConfig(
+            mu_sigma=task.mu_sigma,
+            phi_sigma=task.phi_sigma,
+            bandwidth_sigma=task.bandwidth_sigma,
+            power_sigma=task.power_sigma,
+            trials=task.trials,
+            seed=task.seed,
+        ),
+        r_max=task.r_max,
+    )
+    payload: Dict[str, Any] = {
+        "kind": "sensitivity",
+        "task": asdict(task),
+    }
+    payload.update(summary.payload())
+    return payload
+
+
+def execute_task(task: CampaignTask) -> Dict[str, Any]:
+    """Evaluate one campaign task into its JSON-ready result payload.
+
+    Deterministic: the payload depends only on the task's fields (and
+    the model itself), never on wall-clock, ordering, or worker count.
+    """
+    if isinstance(task, FigureTask):
+        return _figure_payload(task)
+    if isinstance(task, ParetoTask):
+        return _pareto_payload(task)
+    if isinstance(task, SensitivityTask):
+        return _sensitivity_payload(task)
+    raise ModelError(f"unknown campaign task type {type(task).__name__}")
+
+
+def _run_with_retries(
+    task: CampaignTask,
+    retries: int,
+    backoff_base_s: float,
+    backoff_cap_s: float,
+) -> Tuple[Dict[str, Any], int]:
+    """``(payload, attempts)``; raises the last error when exhausted."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return execute_task(task), attempts
+        except Exception:
+            if attempts > retries:
+                raise
+            delay = min(
+                backoff_cap_s, backoff_base_s * (2 ** (attempts - 1))
+            )
+            if delay > 0:
+                time.sleep(delay)
+
+
+# -- outcomes and reports --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """How one task of a campaign concluded.
+
+    ``status`` is ``"executed"`` (freshly computed this run),
+    ``"cached"`` (answered by the result store), or ``"failed"``
+    (retries exhausted; ``error`` holds the message and ``result`` is
+    None).
+    """
+
+    task: CampaignTask
+    hash: str
+    status: str
+    result: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignReport:
+    """Everything a finished (or failed) campaign run produced."""
+
+    spec: CampaignSpec
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "executed")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def results(self) -> Dict[CampaignTask, Dict[str, Any]]:
+        """Successful results keyed by task, in spec order."""
+        return {
+            o.task: o.result
+            for o in self.outcomes
+            if o.result is not None
+        }
+
+    def results_json(self) -> str:
+        """Canonical JSON of the ordered results (bit-comparable)."""
+        return canonical_json(
+            [o.result for o in self.outcomes if o.result is not None]
+        )
+
+
+# -- the runner ------------------------------------------------------------
+
+
+class CampaignRunner:
+    """Execute campaign specs durably across a worker pool.
+
+    Args:
+        store: result store used for checkpointing and resume; ``None``
+            creates an ephemeral one (no durability across processes).
+        workers: pool width; ``None`` uses the CPU count, ``1`` forces
+            in-process serial execution.
+        executor: ``"process"`` (default), ``"thread"``, or
+            ``"serial"``.
+        retries: per-task retry budget on top of the first attempt.
+        backoff_base_s / backoff_cap_s: exponential-backoff schedule
+            between attempts (``base * 2**attempt``, capped).
+        resume: when True (default), tasks whose results are already
+            in the store are *not* re-executed.
+        progress: optional callback invoked after every settled task
+            with ``(outcome, done_count, total_count)``; exceptions in
+            the callback are the caller's problem (it runs inline).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: Optional[int] = None,
+        executor: str = "process",
+        retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        resume: bool = True,
+        progress: Optional[
+            Callable[[TaskOutcome, int, int], None]
+        ] = None,
+    ):
+        if executor not in _EXECUTORS:
+            raise ModelError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {_EXECUTORS}"
+            )
+        if workers is not None and workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ModelError(f"retries must be >= 0, got {retries}")
+        self.store = store if store is not None else ResultStore()
+        self.workers = (
+            workers if workers is not None else (os.cpu_count() or 1)
+        )
+        self.executor = executor
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.resume = resume
+        self.progress = progress
+
+    # -- manifest ----------------------------------------------------------
+
+    def manifest_path(self, spec: CampaignSpec) -> "os.PathLike":
+        """Where the checkpoint manifest for ``spec`` lives."""
+        return (
+            self.store.directory
+            / f"manifest-{spec.spec_hash()[:16]}.json"
+        )
+
+    def _write_manifest(
+        self,
+        spec: CampaignSpec,
+        hashes: Sequence[str],
+        completed: Sequence[str],
+    ) -> None:
+        payload = {
+            "spec": spec.payload(),
+            "spec_hash": spec.spec_hash(),
+            "model_version": __version__,
+            "total": len(hashes),
+            "tasks": list(hashes),
+            "completed": sorted(completed),
+        }
+        path = self.manifest_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+
+    def read_manifest(self, spec: CampaignSpec) -> Optional[Dict[str, Any]]:
+        """The last checkpoint manifest for ``spec``, if any."""
+        try:
+            raw = self.manifest_path(spec).read_text(encoding="utf-8")
+            return json.loads(raw)
+        except (OSError, ValueError):
+            return None
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, spec: CampaignSpec) -> CampaignReport:
+        """Drain ``spec``: resume from the store, execute the rest.
+
+        Completed tasks are persisted (and the manifest updated) as
+        they finish, so an interrupted run checkpoints everything that
+        completed before the interruption.
+        """
+        start = time.perf_counter()
+        tasks = spec.tasks()
+        hashes = [task_hash(task) for task in tasks]
+        outcomes: Dict[str, TaskOutcome] = {}
+        completed: List[str] = []
+
+        pending: List[Tuple[CampaignTask, str]] = []
+        for task, digest in zip(tasks, hashes):
+            hit = self.store.get(digest) if self.resume else None
+            if hit is not None:
+                outcomes[digest] = TaskOutcome(
+                    task=task, hash=digest, status="cached", result=hit
+                )
+                completed.append(digest)
+            else:
+                pending.append((task, digest))
+
+        self._write_manifest(spec, hashes, completed)
+        total = len(tasks)
+
+        def _settle(outcome: TaskOutcome) -> None:
+            outcomes[outcome.hash] = outcome
+            if outcome.result is not None:
+                self.store.put(outcome.hash, outcome.result)
+                completed.append(outcome.hash)
+                self._write_manifest(spec, hashes, completed)
+            if self.progress is not None:
+                self.progress(outcome, len(outcomes), total)
+
+        if self.progress is not None:
+            done = 0
+            for outcome in outcomes.values():
+                done += 1
+                self.progress(outcome, done, total)
+
+        if pending:
+            workers = min(self.workers, len(pending))
+            if workers == 1 or self.executor == "serial":
+                self._run_serial(pending, _settle)
+            else:
+                self._run_pooled(pending, workers, _settle)
+
+        report = CampaignReport(
+            spec=spec,
+            outcomes=[outcomes[digest] for digest in hashes],
+            elapsed_s=time.perf_counter() - start,
+        )
+        return report
+
+    def _attempt(
+        self, task: CampaignTask
+    ) -> Tuple[Dict[str, Any], int]:
+        return _run_with_retries(
+            task, self.retries, self.backoff_base_s, self.backoff_cap_s
+        )
+
+    def _run_serial(
+        self,
+        pending: Sequence[Tuple[CampaignTask, str]],
+        settle: Callable[[TaskOutcome], None],
+    ) -> None:
+        for task, digest in pending:
+            settle(self._outcome_for(task, digest, self._attempt))
+
+    def _run_pooled(
+        self,
+        pending: Sequence[Tuple[CampaignTask, str]],
+        workers: int,
+        settle: Callable[[TaskOutcome], None],
+    ) -> None:
+        pool_cls = (
+            ProcessPoolExecutor
+            if self.executor == "process"
+            else ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _run_with_retries,
+                    task,
+                    self.retries,
+                    self.backoff_base_s,
+                    self.backoff_cap_s,
+                ): (task, digest)
+                for task, digest in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    task, digest = futures[future]
+                    settle(
+                        self._outcome_for(
+                            task, digest, lambda _t: future.result()
+                        )
+                    )
+
+    def _outcome_for(
+        self,
+        task: CampaignTask,
+        digest: str,
+        attempt: Callable[[CampaignTask], Tuple[Dict[str, Any], int]],
+    ) -> TaskOutcome:
+        try:
+            payload, attempts = attempt(task)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            return TaskOutcome(
+                task=task,
+                hash=digest,
+                status="failed",
+                attempts=self.retries + 1,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return TaskOutcome(
+            task=task,
+            hash=digest,
+            status="executed",
+            result=payload,
+            attempts=attempts,
+        )

@@ -1,0 +1,279 @@
+"""Declarative campaign specifications and content-addressed tasks.
+
+A :class:`CampaignSpec` names *what* to compute -- figure panels,
+Pareto sweeps, Monte-Carlo sensitivity batches -- without saying how
+or where.  :meth:`CampaignSpec.tasks` expands it into a flat,
+deterministically ordered tuple of frozen task dataclasses; the
+expansion is a (degenerate) DAG: every task is independent, so a
+runner may execute them in any order and the report still comes back
+in spec order.
+
+Tasks are built exclusively from hashable primitives (strings, ints,
+floats, ``None``), which buys three properties at once:
+
+* they pickle cheaply into worker processes,
+* they key dictionaries and sets directly, and
+* they have a *stable content hash* (:func:`task_hash`) -- the SHA-256
+  of their canonical JSON form -- which the
+  :class:`~repro.campaign.store.ResultStore` uses as the storage key.
+
+Two tasks that differ in any field hash differently, so a result can
+never be served for the wrong inputs; two spellings of the same task
+hash identically across processes and Python versions (no dependence
+on ``hash()`` randomisation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..errors import ModelError
+from ..core.optimizer import DEFAULT_R_MAX
+from ..itrs.scenarios import scenario_names
+from ..perf.grid import CAMPAIGN_FIGURES
+
+__all__ = [
+    "FigureTask",
+    "ParetoTask",
+    "SensitivityTask",
+    "CampaignTask",
+    "CampaignSpec",
+    "task_hash",
+    "canonical_json",
+    "sha256_text",
+]
+
+#: Workloads the standard design lists cover (mirrors the service).
+_VALID_WORKLOADS = ("mmm", "fft", "bs")
+
+#: Upper bound on Monte-Carlo trials accepted from a remote spec, so a
+#: single job cannot pin a worker indefinitely.
+MAX_SENSITIVITY_TRIALS = 100_000
+
+
+@dataclass(frozen=True)
+class FigureTask:
+    """One projection panel of a paper figure (Figures 6-9)."""
+
+    kind: str = field(default="figure", init=False)
+    figure: str = "F6"
+    workload: str = "fft"
+    f: float = 0.99
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+    method: str = "batch"
+
+
+@dataclass(frozen=True)
+class ParetoTask:
+    """One speedup/energy frontier sweep at a single node."""
+
+    kind: str = field(default="pareto", init=False)
+    workload: str = "mmm"
+    f: float = 0.99
+    node_nm: int = 22
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+    r_max: int = DEFAULT_R_MAX
+
+
+@dataclass(frozen=True)
+class SensitivityTask:
+    """One Monte-Carlo winner analysis under parameter noise."""
+
+    kind: str = field(default="sensitivity", init=False)
+    workload: str = "mmm"
+    f: float = 0.99
+    node_nm: int = 11
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+    trials: int = 200
+    mu_sigma: float = 0.3
+    phi_sigma: float = 0.3
+    bandwidth_sigma: float = 0.2
+    power_sigma: float = 0.2
+    seed: int = 2010
+    r_max: int = DEFAULT_R_MAX
+
+
+CampaignTask = Union[FigureTask, ParetoTask, SensitivityTask]
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialisation hashes and checksums are taken over.
+
+    Sorted keys, no whitespace, ``repr``-shortest floats: byte-stable
+    for any JSON-representable value across processes and runs.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def sha256_text(text: str) -> str:
+    """SHA-256 hex digest of a text string (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def task_hash(task: CampaignTask) -> str:
+    """SHA-256 content hash of a task's canonical JSON form."""
+    return sha256_text(canonical_json(asdict(task)))
+
+
+def _validated(task: CampaignTask) -> CampaignTask:
+    """Reject out-of-domain task fields with a precise message."""
+    if task.workload not in _VALID_WORKLOADS:
+        raise ModelError(
+            f"unknown workload {task.workload!r}; "
+            f"available: {list(_VALID_WORKLOADS)}"
+        )
+    if not 0.0 <= task.f <= 1.0:
+        raise ModelError(
+            f"'f' must be a parallel fraction in [0, 1], got {task.f}"
+        )
+    if task.scenario not in scenario_names():
+        raise ModelError(
+            f"unknown scenario {task.scenario!r}; "
+            f"available: {scenario_names()}"
+        )
+    if task.workload != "fft" and task.fft_size is not None:
+        raise ModelError(
+            f"'fft_size' only applies to the fft workload, "
+            f"not {task.workload!r}"
+        )
+    if isinstance(task, SensitivityTask):
+        if not 1 <= task.trials <= MAX_SENSITIVITY_TRIALS:
+            raise ModelError(
+                f"'trials' must be in [1, {MAX_SENSITIVITY_TRIALS}], "
+                f"got {task.trials}"
+            )
+    return task
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What a campaign computes, independent of how it is executed.
+
+    ``figures`` expand through the same
+    :data:`~repro.perf.grid.CAMPAIGN_FIGURES` index the parallel grid
+    driver uses; ``pareto`` and ``sensitivity`` carry explicit task
+    tuples.  The expansion order is deterministic -- figures in the
+    given order, then Pareto sweeps, then sensitivity batches -- so a
+    resumed campaign reports results in exactly the order of the
+    original one.
+    """
+
+    name: str = "campaign"
+    figures: Tuple[str, ...] = ()
+    pareto: Tuple[ParetoTask, ...] = ()
+    sensitivity: Tuple[SensitivityTask, ...] = ()
+    method: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("batch", "scalar"):
+            raise ModelError(
+                f"unknown projection method {self.method!r}; "
+                f"expected 'batch' or 'scalar'"
+            )
+        if not (self.figures or self.pareto or self.sensitivity):
+            raise ModelError(
+                "empty campaign: give at least one figure, pareto, or "
+                "sensitivity entry"
+            )
+
+    def tasks(self) -> Tuple[CampaignTask, ...]:
+        """Expand into the deterministic task list (validated)."""
+        tasks = []
+        for figure in self.figures:
+            try:
+                workload, scenario, fft_size, f_values = (
+                    CAMPAIGN_FIGURES[figure]
+                )
+            except KeyError:
+                raise ModelError(
+                    f"unknown campaign figure {figure!r}; "
+                    f"available: {sorted(CAMPAIGN_FIGURES)}"
+                ) from None
+            for f in f_values:
+                tasks.append(
+                    FigureTask(
+                        figure=figure,
+                        workload=workload,
+                        f=f,
+                        scenario=scenario,
+                        fft_size=fft_size,
+                        method=self.method,
+                    )
+                )
+        tasks.extend(self.pareto)
+        tasks.extend(self.sensitivity)
+        return tuple(_validated(task) for task in tasks)
+
+    def spec_hash(self) -> str:
+        """SHA-256 over the spec's canonical JSON form."""
+        return hashlib.sha256(
+            canonical_json(self.payload()).encode("utf-8")
+        ).hexdigest()
+
+    def payload(self) -> Dict[str, Any]:
+        """A JSON-ready view (round-trips through :meth:`from_payload`)."""
+        return {
+            "name": self.name,
+            "figures": list(self.figures),
+            "pareto": [asdict(t) for t in self.pareto],
+            "sensitivity": [asdict(t) for t in self.sensitivity],
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`payload` output (lenient kinds)."""
+        if not isinstance(payload, Mapping):
+            raise ModelError(
+                f"campaign payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        known = {"name", "figures", "pareto", "sensitivity", "method"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelError(
+                f"unknown campaign field(s) {unknown}; "
+                f"allowed: {sorted(known)}"
+            )
+
+        def _items(key: str, factory):
+            entries = payload.get(key, ())
+            if not isinstance(entries, (list, tuple)):
+                raise ModelError(f"{key!r} must be a list")
+            out = []
+            for entry in entries:
+                if not isinstance(entry, Mapping):
+                    raise ModelError(
+                        f"{key!r} entries must be objects, got "
+                        f"{type(entry).__name__}"
+                    )
+                fields = dict(entry)
+                fields.pop("kind", None)
+                try:
+                    out.append(factory(**fields))
+                except TypeError as exc:
+                    raise ModelError(
+                        f"bad {key!r} entry: {exc}"
+                    ) from None
+            return tuple(out)
+
+        figures = payload.get("figures", ())
+        if not isinstance(figures, (list, tuple)) or not all(
+            isinstance(fig, str) for fig in figures
+        ):
+            raise ModelError("'figures' must be a list of figure ids")
+        return cls(
+            name=str(payload.get("name", "campaign")),
+            figures=tuple(figures),
+            pareto=_items("pareto", ParetoTask),
+            sensitivity=_items("sensitivity", SensitivityTask),
+            method=str(payload.get("method", "batch")),
+        )

@@ -242,7 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign",
-        help="run the Figure 6-9 projection campaign across a worker pool",
+        help=(
+            "run the Figure 6-9 projection campaign as a durable, "
+            "resumable job (repro.campaign)"
+        ),
     )
     campaign.add_argument(
         "--figures", nargs="+", default=["F6", "F7", "F8", "F9"],
@@ -254,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count (default: CPU count; 1 forces serial)",
     )
     campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="synonym for --jobs (the campaign subsystem's name)",
+    )
+    campaign.add_argument(
         "--executor", default="process",
         choices=("process", "thread", "serial"),
         help="pool flavour (default: process)",
@@ -261,6 +268,25 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--method", default="batch", choices=("batch", "scalar"),
         help="projection path per panel (default: batch)",
+    )
+    campaign.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=(
+            "content-addressed result store root; completed panels "
+            "checkpoint here (default: a throwaway temp directory)"
+        ),
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "answer panels already in the store instead of "
+            "re-executing them (requires --store-dir to be useful)"
+        ),
+    )
+    campaign.add_argument(
+        "--retries", type=int, default=2,
+        help="per-panel retry budget with exponential backoff "
+             "(default: 2)",
     )
 
     serve = sub.add_parser(
@@ -294,6 +320,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=2,
         help="worker threads for NumPy grid evaluation (default 2)",
+    )
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=(
+            "campaign result store backing POST /v1/jobs "
+            "(default: a throwaway temp directory)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout-s", type=float, default=5.0,
+        help=(
+            "graceful-shutdown budget after SIGTERM/SIGINT before "
+            "open connections are dropped (default 5)"
+        ),
     )
     return parser
 
@@ -486,37 +526,61 @@ def _cmd_trace(workload: str, f: float, node_nm: int,
 
 
 def _cmd_campaign(figures: List[str], jobs: Optional[int],
-                  executor: str, method: str) -> str:
-    import time
+                  executor: str, method: str,
+                  store_dir: Optional[str] = None,
+                  resume: bool = False, retries: int = 2) -> str:
+    from .campaign.runner import CampaignRunner
+    from .campaign.spec import CampaignSpec
+    from .campaign.store import ResultStore
 
-    from .perf.grid import run_campaign
-
-    start = time.perf_counter()
-    results = run_campaign(
-        figures, jobs=jobs, executor=executor, method=method
+    spec = CampaignSpec(
+        name="cli-figures", figures=tuple(figures), method=method
     )
-    elapsed = time.perf_counter() - start
+    runner = CampaignRunner(
+        store=ResultStore(store_dir),
+        workers=jobs,
+        executor=executor,
+        retries=retries,
+        resume=resume,
+    )
+    report = runner.run(spec)
     rows = []
-    for task, result in results.items():
-        winner = result.winner()
+    failures = []
+    for outcome in report.outcomes:
+        task = outcome.task
+        if outcome.status == "failed":
+            failures.append(f"  {task.figure} f={task.f:g}: {outcome.error}")
+            continue
+        winner = outcome.result["winner"]
         rows.append(
             (
                 task.figure,
                 task.workload + (f"-{task.fft_size}" if task.fft_size else ""),
                 f"{task.f:g}",
                 task.scenario,
-                winner.design.short_label,
-                f"{winner.final_speedup():.1f}x",
+                winner["design"],
+                f"{winner['final_speedup']:.1f}x",
+                outcome.status,
             )
         )
-    return format_table(
-        ["figure", "workload", "f", "scenario", "winner", "final speedup"],
+    table = format_table(
+        ["figure", "workload", "f", "scenario", "winner",
+         "final speedup", "status"],
         rows,
         title=(
-            f"Campaign: {len(results)} panels in {elapsed:.2f}s "
-            f"({executor}, jobs={jobs or 'auto'}, method={method})"
+            f"Campaign: {len(report.outcomes)} panels in "
+            f"{report.elapsed_s:.2f}s "
+            f"({executor}, jobs={jobs or 'auto'}, method={method}; "
+            f"{report.executed} executed, {report.cached} resumed)"
         ),
     )
+    lines = [table]
+    if not runner.store.is_ephemeral:
+        lines.append(f"store: {runner.store.directory}")
+    if failures:
+        lines.append(f"{len(failures)} panel(s) failed:")
+        lines.extend(failures)
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -589,7 +653,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = manifest_json()
         elif args.command == "campaign":
             output = _cmd_campaign(
-                args.figures, args.jobs, args.executor, args.method
+                args.figures,
+                args.workers if args.workers is not None else args.jobs,
+                args.executor,
+                args.method,
+                store_dir=args.store_dir,
+                resume=args.resume,
+                retries=args.retries,
             )
         elif args.command == "serve":
             from .service.app import ServiceConfig
@@ -605,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     request_timeout_s=args.timeout_s,
                     cache_size=args.cache_size,
                     workers=args.workers,
+                    store_dir=args.store_dir,
+                    drain_timeout_s=args.drain_timeout_s,
                 )
             )
             output = "server stopped"

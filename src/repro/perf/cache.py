@@ -48,6 +48,7 @@ __all__ = [
     "cached",
     "clear_caches",
     "cache_stats",
+    "cache_summary",
     "registered_caches",
 ]
 
@@ -195,3 +196,19 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
             "currsize": info.currsize,
         }
     return stats
+
+
+def cache_summary() -> Dict[str, int]:
+    """Layer-wide totals across every registered cache.
+
+    The compact form the serving layer embeds in ``GET /metrics``
+    (the per-cache breakdown stays available via :func:`cache_stats`).
+    """
+    totals = {"caches": 0, "hits": 0, "misses": 0, "entries": 0}
+    for wrapper in _REGISTRY.values():
+        info = wrapper.cache_info()
+        totals["caches"] += 1
+        totals["hits"] += info.hits
+        totals["misses"] += info.misses
+        totals["entries"] += info.currsize
+    return totals

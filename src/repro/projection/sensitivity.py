@@ -93,6 +93,39 @@ class SensitivitySummary:
     def most_frequent_winner(self) -> str:
         return max(self.win_counts, key=self.win_counts.get)
 
+    def payload(self) -> Dict[str, object]:
+        """JSON-ready summary (NaN becomes ``None``).
+
+        This is the serialization the campaign layer checkpoints into
+        its content-addressed store (:mod:`repro.campaign`), so the
+        dict must stay canonical-JSON safe: plain types only, no
+        non-finite floats, labels in sorted order.
+        """
+
+        def finite(value: float) -> Optional[float]:
+            return value if math.isfinite(value) else None
+
+        labels = sorted(self.speedups)
+        return {
+            "trials": self.trials,
+            "win_counts": {
+                label: self.win_counts.get(label, 0) for label in labels
+            },
+            "win_rates": {
+                label: self.win_rate(label) for label in labels
+            },
+            "median_speedups": {
+                label: finite(self.median_speedup(label))
+                for label in labels
+            },
+            "spreads": {
+                label: finite(self.spread(label)) for label in labels
+            },
+            "speedups": {
+                label: list(self.speedups[label]) for label in labels
+            },
+        }
+
 
 def _perturbed_design(
     design: DesignSpec, rng: np.random.Generator, config: SensitivityConfig

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from .._version import __version__
+from ..campaign.jobs import JobManager
 from ..core.optimizer import optimize
 from ..devices.bce import DEFAULT_BCE
 from ..errors import (
@@ -57,6 +58,7 @@ from .schemas import (
     SpeedupRequest,
     SweepRequest,
     design_point_payload,
+    parse_job,
     parse_optimize,
     parse_speedup,
     parse_sweep,
@@ -87,6 +89,14 @@ class ServiceConfig:
     cache_size: int = 1024
     #: Worker threads evaluating NumPy grid calls off the event loop.
     workers: int = 2
+    #: Root of the campaign result store backing ``POST /v1/jobs``;
+    #: None keeps job results in an ephemeral temporary directory.
+    store_dir: Optional[str] = None
+    #: Worker threads per background campaign job.
+    job_task_workers: int = 2
+    #: Graceful-shutdown budget: seconds to drain open connections and
+    #: running jobs after SIGTERM/SIGINT before exiting anyway.
+    drain_timeout_s: float = 5.0
 
 
 class ModelService:
@@ -112,9 +122,16 @@ class ModelService:
         )
         self._semaphore = asyncio.Semaphore(self.config.max_inflight)
         self._waiting = 0
+        self.jobs = JobManager(
+            store_dir=self.config.store_dir,
+            task_workers=self.config.job_task_workers,
+            metrics=self.metrics,
+        )
 
     def close(self) -> None:
-        """Release the worker threads (idempotent)."""
+        """Drain jobs, flush the campaign store, release the worker
+        threads (idempotent)."""
+        self.jobs.close(drain_timeout_s=self.config.drain_timeout_s)
         self._executor.shutdown(wait=False)
 
     # -- entry point -------------------------------------------------------
@@ -156,7 +173,23 @@ class ModelService:
             return 200, self._healthz(), None
         if path == "/metrics":
             self._require_method(method, "GET", path)
-            return 200, self.metrics.snapshot(), None
+            snapshot = self.metrics.snapshot()
+            snapshot["campaign"] = self.jobs.stats()
+            return 200, snapshot, None
+        if path == "/v1/jobs":
+            if method == "POST":
+                spec = parse_job(_decode_json(body))
+                record = self.jobs.submit(spec)
+                return 202, self.jobs.payload(record), None
+            self._require_method(method, "GET", path)
+            return 200, {"jobs": self.jobs.list_payload()}, None
+        if path.startswith("/v1/jobs/"):
+            self._require_method(method, "GET", path)
+            job_id = path[len("/v1/jobs/"):]
+            record = self.jobs.get(job_id)
+            if record is None:
+                raise _NotFoundError(f"no job {job_id!r}")
+            return 200, self.jobs.payload(record), None
         if path == "/v1/speedup":
             self._require_method(method, "POST", path)
             request = parse_speedup(_decode_json(body))

@@ -14,11 +14,12 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-from typing import Optional, Tuple
+import signal
+from typing import Optional, Set, Tuple
 
 from .app import ModelService, ServiceConfig
 
-__all__ = ["start_server", "run_server"]
+__all__ = ["start_server", "run_server", "serve_until"]
 
 #: Hard cap on request bodies (1 MiB is orders beyond any valid query).
 MAX_BODY_BYTES = 1 << 20
@@ -173,35 +174,99 @@ async def start_server(
     )
 
 
+async def serve_until(
+    service: ModelService,
+    stop: "asyncio.Event",
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    ready: Optional["asyncio.Event"] = None,
+) -> None:
+    """Serve until ``stop`` is set, then shut down gracefully.
+
+    Graceful means: stop accepting new connections, give the
+    connections already open up to ``config.drain_timeout_s`` to
+    finish their in-flight requests, then close the service -- which
+    drains running campaign jobs and flushes the campaign store --
+    before returning.  Connections still open after the drain budget
+    are cancelled rather than waited on forever.
+
+    ``ready`` (if given) is set once the listening socket is bound;
+    tests use it to connect before triggering ``stop``.
+    """
+    config = service.config
+    connections: Set["asyncio.Task"] = set()
+
+    async def _tracked(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        connections.add(task)
+        try:
+            await _handle_connection(service, reader, writer)
+        finally:
+            connections.discard(task)
+
+    server = await asyncio.start_server(
+        _tracked,
+        config.host if host is None else host,
+        config.port if port is None else port,
+    )
+    sock = server.sockets[0].getsockname()
+    _log.info(
+        json.dumps(
+            {
+                "event": "listening",
+                "host": sock[0],
+                "port": sock[1],
+                "batch_window_ms": config.batch_window_ms,
+                "max_inflight": config.max_inflight,
+            }
+        )
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        await stop.wait()
+    finally:
+        _log.info(
+            json.dumps(
+                {"event": "draining", "connections": len(connections)}
+            )
+        )
+        server.close()
+        await server.wait_closed()
+        if connections:
+            _, still_open = await asyncio.wait(
+                connections, timeout=config.drain_timeout_s
+            )
+            for task in still_open:
+                task.cancel()
+        service.close()
+        _log.info(json.dumps({"event": "shutdown"}))
+
+
 def run_server(config: Optional[ServiceConfig] = None) -> None:
     """Blocking entry point used by ``repro-hetsim serve``.
 
     Configures stdout logging for the structured access log and serves
-    until interrupted.
+    until SIGTERM/SIGINT, then drains in-flight requests and flushes
+    the campaign store before exiting (see :func:`serve_until`).
     """
     config = config or ServiceConfig()
     logging.basicConfig(level=logging.INFO, format="%(message)s")
 
     async def _main() -> None:
         service = ModelService(config)
-        server = await start_server(service)
-        sock = server.sockets[0].getsockname()
-        _log.info(
-            json.dumps(
-                {
-                    "event": "listening",
-                    "host": sock[0],
-                    "port": sock[1],
-                    "batch_window_ms": config.batch_window_ms,
-                    "max_inflight": config.max_inflight,
-                }
-            )
-        )
-        try:
-            async with server:
-                await server.serve_forever()
-        finally:
-            service.close()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                # Platforms without loop signal support fall back to
+                # the KeyboardInterrupt path below.
+                pass
+        await serve_until(service, stop)
 
     try:
         asyncio.run(_main())

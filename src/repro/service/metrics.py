@@ -17,6 +17,8 @@ import time
 from collections import Counter, deque
 from typing import Any, Dict, Optional
 
+from ..perf.cache import cache_summary
+
 __all__ = ["ServiceMetrics"]
 
 
@@ -44,6 +46,7 @@ class ServiceMetrics:
         self._shed = 0
         self._timeouts = 0
         self._inflight = 0
+        self._job_events: "Counter[str]" = Counter()
 
     # -- request lifecycle -------------------------------------------------
 
@@ -81,6 +84,13 @@ class ServiceMetrics:
     def inflight_finished(self) -> None:
         with self._lock:
             self._inflight -= 1
+
+    # -- campaign jobs -----------------------------------------------------
+
+    def record_job(self, state: str) -> None:
+        """Account one job lifecycle event (queued/succeeded/failed)."""
+        with self._lock:
+            self._job_events[state] += 1
 
     # -- dispatcher --------------------------------------------------------
 
@@ -137,4 +147,9 @@ class ServiceMetrics:
                 },
                 "shed": self._shed,
                 "timeouts": self._timeouts,
+                "jobs": dict(self._job_events),
+                # Model-layer memoization totals (repro.perf.cache):
+                # distinct from the response cache above, which counts
+                # whole answered requests.
+                "perf_cache": cache_summary(),
             }

@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Mapping, Optional
 
+from ..campaign.spec import CampaignSpec
 from ..core.optimizer import DEFAULT_R_MAX, DesignPoint
-from ..errors import BadRequestError
+from ..errors import BadRequestError, ModelError
 from ..itrs.scenarios import scenario_names
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "parse_speedup",
     "parse_sweep",
     "parse_optimize",
+    "parse_job",
     "design_point_payload",
     "request_payload",
 ]
@@ -220,6 +222,24 @@ def parse_optimize(body: Any) -> OptimizeRequest:
     common = _parse_common(body)
     node_nm = _get_int(body, "node_nm", default=None)
     return OptimizeRequest(node_nm=node_nm, **common)
+
+
+def parse_job(body: Any) -> CampaignSpec:
+    """Validate a ``POST /v1/jobs`` body into a campaign spec.
+
+    The body *is* a :meth:`~repro.campaign.spec.CampaignSpec.payload`
+    document -- ``{"figures": [...], "pareto": [...], "sensitivity":
+    [...]}`` -- validated strictly: unknown fields, unknown figures,
+    out-of-domain workloads/fractions/scenarios and oversized trial
+    counts all map to HTTP 400 with the model's message.
+    """
+    body = _require_mapping(body)
+    try:
+        spec = CampaignSpec.from_payload(body)
+        spec.tasks()  # expand now so bad figures/fields fail the POST
+    except ModelError as exc:
+        raise BadRequestError(str(exc)) from None
+    return spec
 
 
 def design_point_payload(point: DesignPoint) -> Dict[str, Any]:

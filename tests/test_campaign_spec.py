@@ -1,0 +1,147 @@
+"""CampaignSpec expansion, task hashing, and payload round-trips."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    FigureTask,
+    ParetoTask,
+    SensitivityTask,
+    canonical_json,
+    task_hash,
+)
+from repro.errors import ModelError
+from repro.perf.grid import CAMPAIGN_FIGURES
+from repro.projection.engine import PAPER_F_VALUES
+
+
+class TestExpansion:
+    def test_figures_expand_in_paper_order(self):
+        spec = CampaignSpec(figures=("F6", "F7"))
+        tasks = spec.tasks()
+        assert len(tasks) == 2 * len(PAPER_F_VALUES)
+        assert [t.figure for t in tasks[:4]] == ["F6"] * 4
+        assert tuple(t.f for t in tasks[:4]) == PAPER_F_VALUES
+        assert all(t.kind == "figure" for t in tasks)
+
+    def test_mixed_spec_orders_figures_pareto_sensitivity(self):
+        spec = CampaignSpec(
+            figures=("F8",),
+            pareto=(ParetoTask(workload="mmm", f=0.99),),
+            sensitivity=(SensitivityTask(workload="bs", f=0.9, trials=5),),
+        )
+        kinds = [t.kind for t in spec.tasks()]
+        assert kinds == ["figure", "figure", "pareto", "sensitivity"]
+
+    def test_expansion_is_deterministic(self):
+        spec = CampaignSpec(figures=("F6", "F8"))
+        assert spec.tasks() == spec.tasks()
+        assert [task_hash(t) for t in spec.tasks()] == [
+            task_hash(t) for t in CampaignSpec(figures=("F6", "F8")).tasks()
+        ]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ModelError, match="F42"):
+            CampaignSpec(figures=("F42",)).tasks()
+        assert sorted(CAMPAIGN_FIGURES) == ["F6", "F7", "F8", "F9"]
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ModelError, match="empty campaign"):
+            CampaignSpec()
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ModelError, match="method"):
+            CampaignSpec(figures=("F6",), method="quantum")
+
+    @pytest.mark.parametrize("task", [
+        ParetoTask(workload="nope", f=0.5),
+        ParetoTask(workload="mmm", f=1.5),
+        ParetoTask(workload="mmm", f=0.5, scenario="utopia"),
+        ParetoTask(workload="mmm", f=0.5, fft_size=1024),
+        SensitivityTask(workload="mmm", f=0.5, trials=0),
+    ])
+    def test_out_of_domain_task_fields_rejected(self, task):
+        spec = (
+            CampaignSpec(pareto=(task,))
+            if isinstance(task, ParetoTask)
+            else CampaignSpec(sensitivity=(task,))
+        )
+        with pytest.raises(ModelError):
+            spec.tasks()
+
+
+class TestHashing:
+    def test_hash_is_stable_across_instances(self):
+        a = FigureTask(figure="F6", workload="fft", f=0.99,
+                       fft_size=1024)
+        b = FigureTask(figure="F6", workload="fft", f=0.99,
+                       fft_size=1024)
+        assert a == b
+        assert task_hash(a) == task_hash(b)
+        assert len(task_hash(a)) == 64  # sha256 hex
+
+    def test_any_field_change_changes_the_hash(self):
+        base = SensitivityTask(workload="mmm", f=0.99, trials=10)
+        variants = [
+            SensitivityTask(workload="bs", f=0.99, trials=10),
+            SensitivityTask(workload="mmm", f=0.9, trials=10),
+            SensitivityTask(workload="mmm", f=0.99, trials=11),
+            SensitivityTask(workload="mmm", f=0.99, trials=10, seed=1),
+            SensitivityTask(workload="mmm", f=0.99, trials=10,
+                            mu_sigma=0.4),
+        ]
+        hashes = {task_hash(t) for t in [base, *variants]}
+        assert len(hashes) == len(variants) + 1
+
+    def test_different_kinds_never_collide(self):
+        # Same field values, different task kind => different hash.
+        pareto = ParetoTask(workload="mmm", f=0.99, node_nm=11)
+        sens = SensitivityTask(workload="mmm", f=0.99, node_nm=11)
+        assert task_hash(pareto) != task_hash(sens)
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_json({"b": 1, "a": [1.5, None]})
+        assert text == '{"a":[1.5,null],"b":1}'
+
+    def test_spec_hash_tracks_content(self):
+        a = CampaignSpec(figures=("F6",))
+        b = CampaignSpec(figures=("F6",))
+        c = CampaignSpec(figures=("F7",))
+        assert a.spec_hash() == b.spec_hash()
+        assert a.spec_hash() != c.spec_hash()
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_preserves_tasks(self):
+        spec = CampaignSpec(
+            name="rt",
+            figures=("F9",),
+            pareto=(ParetoTask(workload="fft", f=0.5, fft_size=256),),
+            sensitivity=(
+                SensitivityTask(workload="mmm", f=0.99, trials=7,
+                                seed=42),
+            ),
+            method="scalar",
+        )
+        rebuilt = CampaignSpec.from_payload(spec.payload())
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_unknown_payload_field_rejected(self):
+        with pytest.raises(ModelError, match="sensitivty"):
+            CampaignSpec.from_payload(
+                {"figures": ["F6"], "sensitivty": []}
+            )
+
+    def test_bad_entry_shape_rejected(self):
+        with pytest.raises(ModelError, match="pareto"):
+            CampaignSpec.from_payload({"pareto": ["not-an-object"]})
+        with pytest.raises(ModelError, match="pareto"):
+            CampaignSpec.from_payload(
+                {"pareto": [{"workload": "mmm", "f": 0.5,
+                             "bogus_field": 1}]}
+            )
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ModelError, match="mapping"):
+            CampaignSpec.from_payload([1, 2, 3])

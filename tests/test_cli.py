@@ -45,6 +45,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--executor", "gpu"])
 
+    def test_campaign_store_flags(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.workers is None
+        assert args.store_dir is None
+        assert args.resume is False
+        assert args.retries == 2
+        args = build_parser().parse_args(
+            ["campaign", "--workers", "3", "--store-dir", "/tmp/s",
+             "--resume", "--retries", "0"]
+        )
+        assert args.workers == 3
+        assert args.store_dir == "/tmp/s"
+        assert args.resume is True
+        assert args.retries == 0
+
+    def test_serve_store_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.store_dir is None
+        assert args.drain_timeout_s == 5.0
+        args = build_parser().parse_args(
+            ["serve", "--store-dir", "/tmp/s", "--drain-timeout-s", "2"]
+        )
+        assert args.store_dir == "/tmp/s"
+        assert args.drain_timeout_s == 2.0
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.host == "127.0.0.1"
@@ -172,6 +197,20 @@ class TestCommands:
     def test_campaign_unknown_figure_fails_cleanly(self, capsys):
         assert main(["campaign", "--figures", "F42"]) == 2
         assert "F42" in capsys.readouterr().err
+
+    def test_campaign_resume_roundtrip(self, tmp_path, capsys):
+        """A second --resume run serves every panel from the store."""
+        store = str(tmp_path / "store")
+        argv = ["campaign", "--figures", "F8", "--executor", "serial",
+                "--store-dir", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 resumed" in first
+        assert store in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 resumed" in second
+        assert "cached" in second
 
 
 class TestFullRun:
