@@ -20,11 +20,13 @@ exposed to the event loop via snapshot payloads, never live objects.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..obs.context import attach, current_context, detach, extract, inject
 from .runner import CampaignRunner, TaskOutcome
 from .spec import CampaignSpec
 from .store import ResultStore
@@ -50,6 +52,12 @@ class JobRecord:
     job_id: str
     spec: CampaignSpec
     state: str = JobState.QUEUED
+    #: The ``X-Request-Id`` of the submitting request, when the job
+    #: arrived over HTTP; correlates the job with access logs/spans.
+    request_id: Optional[str] = None
+    #: The submitting request's trace id; the job's campaign spans
+    #: join this trace.
+    trace_id: Optional[str] = None
     created_unix: float = field(default_factory=time.time)
     started_unix: Optional[float] = None
     finished_unix: Optional[float] = None
@@ -84,8 +92,13 @@ class JobManager:
         store_dir: Optional[str] = None,
         task_workers: int = 2,
         metrics: Optional[Any] = None,
+        registry: Optional[Any] = None,
     ):
-        self.store = store if store is not None else ResultStore(store_dir)
+        self.store = (
+            store
+            if store is not None
+            else ResultStore(store_dir, registry=registry)
+        )
         self.task_workers = task_workers
         self.metrics = metrics
         self._lock = threading.Lock()
@@ -97,19 +110,32 @@ class JobManager:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, spec: CampaignSpec) -> JobRecord:
-        """Queue a campaign; returns the (already-registered) record."""
+    def submit(
+        self, spec: CampaignSpec, request_id: Optional[str] = None
+    ) -> JobRecord:
+        """Queue a campaign; returns the (already-registered) record.
+
+        The submitting request's trace context (when there is one) is
+        captured here and re-installed in the job thread, so the
+        campaign's spans land in the submitting request's trace.
+        """
         spec.tasks()  # validate eagerly so bad specs fail the POST
+        context = current_context()
         with self._lock:
             if self._closed:
                 raise RuntimeError("job manager is closed")
             self._seq += 1
             job_id = f"job-{self._seq:04d}-{spec.spec_hash()[:8]}"
-            record = JobRecord(job_id=job_id, spec=spec)
+            record = JobRecord(
+                job_id=job_id,
+                spec=spec,
+                request_id=request_id,
+                trace_id=context.trace_id if context else None,
+            )
             self._jobs[job_id] = record
             self._order.append(job_id)
             thread = threading.Thread(
-                target=self._run, args=(record,),
+                target=self._run, args=(record, inject(context)),
                 name=f"repro-job-{self._seq}", daemon=True,
             )
             self._threads.append(thread)
@@ -118,7 +144,19 @@ class JobManager:
         thread.start()
         return record
 
-    def _run(self, record: JobRecord) -> None:
+    def _run(
+        self, record: JobRecord, carrier: Optional[Dict[str, str]] = None
+    ) -> None:
+        # Re-install the submitting request's trace context: the job
+        # thread was spawned bare, so the carrier is explicit.
+        token = attach(extract(carrier)) if carrier else None
+        try:
+            self._run_traced(record)
+        finally:
+            if token is not None:
+                detach(token)
+
+    def _run_traced(self, record: JobRecord) -> None:
         with self._lock:
             record.state = JobState.RUNNING
             record.started_unix = time.time()
@@ -186,6 +224,8 @@ class JobManager:
             payload = {
                 "job_id": record.job_id,
                 "state": record.state,
+                "request_id": record.request_id,
+                "trace_id": record.trace_id,
                 "spec": record.spec.payload(),
                 "spec_hash": record.spec.spec_hash(),
                 "created_unix": record.created_unix,
@@ -228,6 +268,31 @@ class JobManager:
         }
 
     # -- lifecycle ---------------------------------------------------------
+
+    def is_open(self) -> bool:
+        """True while the manager still accepts job submissions."""
+        with self._lock:
+            return not self._closed
+
+    def store_ok(self) -> bool:
+        """True when the result store's root is usable on disk.
+
+        The readiness half of ``GET /healthz``: a store whose volume
+        vanished means accepted jobs would lose their checkpoints.
+        A root that does not exist yet is fine as long as its nearest
+        existing ancestor is a writable directory (``put`` creates
+        the rest on demand).
+        """
+        try:
+            root = self.store.directory
+        except OSError:
+            return False
+        if root.is_dir():
+            return os.access(root, os.W_OK)
+        parent = root.parent
+        while not parent.exists() and parent != parent.parent:
+            parent = parent.parent
+        return parent.is_dir() and os.access(parent, os.W_OK)
 
     def join(self, timeout: Optional[float] = None) -> bool:
         """Wait for every job thread; True when all have finished."""

@@ -41,6 +41,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from .._version import __version__
 from ..errors import ModelError
 from ..itrs.scenarios import get_scenario
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..projection.engine import project
 from ..projection.pareto import design_space_points, pareto_frontier
 from ..projection.sensitivity import SensitivityConfig, run_sensitivity
@@ -204,6 +206,26 @@ def _run_with_retries(
                 time.sleep(delay)
 
 
+def _timed_run(
+    task: CampaignTask,
+    retries: int,
+    backoff_base_s: float,
+    backoff_cap_s: float,
+) -> Tuple[Dict[str, Any], int, float]:
+    """``(payload, attempts, started_unix)`` -- the worker-side entry.
+
+    ``started_unix`` is stamped when the worker actually picks the
+    task up; the parent subtracts its own submit timestamp to expose
+    queue wait on the task's span.  Wall-clock is the one clock both
+    sides of a process pool share.
+    """
+    started_unix = time.time()
+    payload, attempts = _run_with_retries(
+        task, retries, backoff_base_s, backoff_cap_s
+    )
+    return payload, attempts, started_unix
+
+
 # -- outcomes and reports --------------------------------------------------
 
 
@@ -319,6 +341,10 @@ class CampaignRunner:
         self.backoff_cap_s = backoff_cap_s
         self.resume = resume
         self.progress = progress
+        self._task_counter = get_registry().counter(
+            "repro_campaign_tasks_total",
+            "Campaign task outcomes by status",
+        )
 
     # -- manifest ----------------------------------------------------------
 
@@ -368,10 +394,39 @@ class CampaignRunner:
         Completed tasks are persisted (and the manifest updated) as
         they finish, so an interrupted run checkpoints everything that
         completed before the interruption.
+
+        Tracing: the whole run is one ``campaign.run`` span -- joined
+        to the submitting request's trace when the caller attached one
+        (``POST /v1/jobs``), a fresh trace otherwise (the CLI) -- and
+        every task settles as a ``campaign.task`` child carrying its
+        status, attempts, and (for pooled executors) queue wait.
         """
         start = time.perf_counter()
         tasks = spec.tasks()
         hashes = [task_hash(task) for task in tasks]
+        with get_tracer().span(
+            "campaign.run",
+            attributes={
+                "spec_hash": spec.spec_hash()[:16],
+                "executor": self.executor,
+                "total": len(tasks),
+            },
+        ) as root:
+            report = self._execute(spec, tasks, hashes)
+            root.set_attribute("executed", report.executed)
+            root.set_attribute("cached", report.cached)
+            root.set_attribute("failed", report.failed)
+            if not report.ok:
+                root.status = "error"
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    def _execute(
+        self,
+        spec: CampaignSpec,
+        tasks: Sequence[CampaignTask],
+        hashes: Sequence[str],
+    ) -> CampaignReport:
         outcomes: Dict[str, TaskOutcome] = {}
         completed: List[str] = []
 
@@ -383,18 +438,31 @@ class CampaignRunner:
                     task=task, hash=digest, status="cached", result=hit
                 )
                 completed.append(digest)
+                self._task_counter.inc(status="cached")
+                self._task_span(outcomes[digest]).finish()
             else:
                 pending.append((task, digest))
 
         self._write_manifest(spec, hashes, completed)
         total = len(tasks)
 
-        def _settle(outcome: TaskOutcome) -> None:
-            outcomes[outcome.hash] = outcome
-            if outcome.result is not None:
-                self.store.put(outcome.hash, outcome.result)
-                completed.append(outcome.hash)
-                self._write_manifest(spec, hashes, completed)
+        def _settle(
+            outcome: TaskOutcome,
+            submitted: Optional[Tuple[float, float]] = None,
+            started_unix: Optional[float] = None,
+        ) -> None:
+            span = self._task_span(outcome, submitted, started_unix)
+            with span:
+                if outcome.status == "failed":
+                    span.status = "error"
+                outcomes[outcome.hash] = outcome
+                if outcome.result is not None:
+                    # store.put's serialize phase nests under the
+                    # task span via the attached context.
+                    self.store.put(outcome.hash, outcome.result)
+                    completed.append(outcome.hash)
+                    self._write_manifest(spec, hashes, completed)
+            self._task_counter.inc(status=outcome.status)
             if self.progress is not None:
                 self.progress(outcome, len(outcomes), total)
 
@@ -411,33 +479,62 @@ class CampaignRunner:
             else:
                 self._run_pooled(pending, workers, _settle)
 
-        report = CampaignReport(
+        return CampaignReport(
             spec=spec,
             outcomes=[outcomes[digest] for digest in hashes],
-            elapsed_s=time.perf_counter() - start,
         )
-        return report
+
+    def _task_span(
+        self,
+        outcome: TaskOutcome,
+        submitted: Optional[Tuple[float, float]] = None,
+        started_unix: Optional[float] = None,
+    ):
+        """One task's settle span, backdated to its submit instant."""
+        span = get_tracer().span(
+            "campaign.task",
+            attributes={
+                "hash": outcome.hash[:16],
+                "kind": outcome.task.kind,
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+            },
+        )
+        if submitted is not None:
+            span.backdate(*submitted)
+            if started_unix is not None:
+                span.set_attribute(
+                    "queue_wait_ms",
+                    round(
+                        max(0.0, started_unix - submitted[0]) * 1e3, 3
+                    ),
+                )
+        return span
 
     def _attempt(
         self, task: CampaignTask
-    ) -> Tuple[Dict[str, Any], int]:
-        return _run_with_retries(
+    ) -> Tuple[Dict[str, Any], int, float]:
+        return _timed_run(
             task, self.retries, self.backoff_base_s, self.backoff_cap_s
         )
 
     def _run_serial(
         self,
         pending: Sequence[Tuple[CampaignTask, str]],
-        settle: Callable[[TaskOutcome], None],
+        settle: Callable[..., None],
     ) -> None:
         for task, digest in pending:
-            settle(self._outcome_for(task, digest, self._attempt))
+            submitted = (time.time(), time.perf_counter())
+            outcome, started_unix = self._outcome_for(
+                task, digest, self._attempt
+            )
+            settle(outcome, submitted, started_unix)
 
     def _run_pooled(
         self,
         pending: Sequence[Tuple[CampaignTask, str]],
         workers: int,
-        settle: Callable[[TaskOutcome], None],
+        settle: Callable[..., None],
     ) -> None:
         pool_cls = (
             ProcessPoolExecutor
@@ -445,51 +542,62 @@ class CampaignRunner:
             else ThreadPoolExecutor
         )
         with pool_cls(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _run_with_retries,
+            futures = {}
+            for task, digest in pending:
+                future = pool.submit(
+                    _timed_run,
                     task,
                     self.retries,
                     self.backoff_base_s,
                     self.backoff_cap_s,
-                ): (task, digest)
-                for task, digest in pending
-            }
+                )
+                futures[future] = (
+                    task,
+                    digest,
+                    (time.time(), time.perf_counter()),
+                )
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(
                     remaining, return_when=FIRST_COMPLETED
                 )
                 for future in done:
-                    task, digest = futures[future]
-                    settle(
-                        self._outcome_for(
-                            task, digest, lambda _t: future.result()
-                        )
+                    task, digest, submitted = futures[future]
+                    outcome, started_unix = self._outcome_for(
+                        task, digest, lambda _t: future.result()
                     )
+                    settle(outcome, submitted, started_unix)
 
     def _outcome_for(
         self,
         task: CampaignTask,
         digest: str,
-        attempt: Callable[[CampaignTask], Tuple[Dict[str, Any], int]],
-    ) -> TaskOutcome:
+        attempt: Callable[
+            [CampaignTask], Tuple[Dict[str, Any], int, float]
+        ],
+    ) -> Tuple[TaskOutcome, Optional[float]]:
         try:
-            payload, attempts = attempt(task)
+            payload, attempts, started_unix = attempt(task)
         except KeyboardInterrupt:
             raise
         except Exception as exc:
-            return TaskOutcome(
+            return (
+                TaskOutcome(
+                    task=task,
+                    hash=digest,
+                    status="failed",
+                    attempts=self.retries + 1,
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+                None,
+            )
+        return (
+            TaskOutcome(
                 task=task,
                 hash=digest,
-                status="failed",
-                attempts=self.retries + 1,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        return TaskOutcome(
-            task=task,
-            hash=digest,
-            status="executed",
-            result=payload,
-            attempts=attempts,
+                status="executed",
+                result=payload,
+                attempts=attempts,
+            ),
+            started_unix,
         )

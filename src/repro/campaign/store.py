@@ -41,6 +41,9 @@ from typing import Any, Dict, List, NamedTuple, Optional
 
 from .._version import __version__
 from ..errors import ModelError
+from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import get_registry as _global_registry
+from ..obs.profiling import profile_block
 from .spec import canonical_json, sha256_text
 
 __all__ = ["ResultStore", "StoreStats"]
@@ -71,6 +74,7 @@ class ResultStore:
         self,
         directory: Optional[os.PathLike] = None,
         model_version: str = __version__,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self._directory = Path(directory) if directory is not None else None
         self._ephemeral = directory is None
@@ -80,6 +84,15 @@ class ResultStore:
         self._misses = 0
         self._writes = 0
         self._corrupt = 0
+        # Mirror every count into the shared obs registry (instruments
+        # are get-or-create, so several stores simply add up there;
+        # the per-instance fields above stay exact for stats()).
+        self._events = (
+            registry if registry is not None else _global_registry()
+        ).counter(
+            "repro_campaign_store_events_total",
+            "Campaign result-store lookups and writes by result",
+        )
 
     # -- layout ------------------------------------------------------------
 
@@ -122,12 +135,15 @@ class ResultStore:
         except OSError:
             with self._lock:
                 self._misses += 1
+            self._events.inc(result="miss")
             return None
         result = self._verify(raw, task_hash)
         if result is None:
             with self._lock:
                 self._corrupt += 1
                 self._misses += 1
+            self._events.inc(result="corrupt")
+            self._events.inc(result="miss")
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - racing unlink is fine
@@ -135,6 +151,7 @@ class ResultStore:
             return None
         with self._lock:
             self._hits += 1
+        self._events.inc(result="hit")
         return result
 
     def contains(self, task_hash: str) -> bool:
@@ -147,15 +164,16 @@ class ResultStore:
         The result must be JSON-representable (campaign payloads are);
         the envelope embeds a checksum over its canonical form.
         """
-        body = canonical_json(result)
-        envelope = canonical_json(
-            {
-                "task_hash": task_hash,
-                "model_version": self.model_version,
-                "checksum": sha256_text(body),
-                "result": json.loads(body),
-            }
-        )
+        with profile_block("campaign.store.serialize"):
+            body = canonical_json(result)
+            envelope = canonical_json(
+                {
+                    "task_hash": task_hash,
+                    "model_version": self.model_version,
+                    "checksum": sha256_text(body),
+                    "result": json.loads(body),
+                }
+            )
         path = self.path_for(task_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -175,6 +193,7 @@ class ResultStore:
             raise
         with self._lock:
             self._writes += 1
+        self._events.inc(result="write")
         return path
 
     def _verify(self, raw: str, task_hash: str) -> Optional[Any]:

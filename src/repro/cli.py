@@ -288,6 +288,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-panel retry budget with exponential backoff "
              "(default: 2)",
     )
+    campaign.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help=(
+            "append every finished span (campaign.run, per-task, "
+            "store writes) as one JSON line to PATH"
+        ),
+    )
+    campaign.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help=(
+            "structured-log level (DEBUG/INFO/WARNING/ERROR; "
+            "default: $REPRO_LOG_LEVEL or INFO)"
+        ),
+    )
+
+    metrics_dump = sub.add_parser(
+        "metrics-dump",
+        help=(
+            "print the process-wide metrics registry "
+            "(repro.obs; counters, gauges, phase histograms)"
+        ),
+    )
+    metrics_dump.add_argument(
+        "--format", default="json", choices=("json", "prom"),
+        dest="dump_format",
+        help="output form: JSON snapshot or Prometheus text "
+             "exposition (default: json)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -333,6 +361,21 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "graceful-shutdown budget after SIGTERM/SIGINT before "
             "open connections are dropped (default 5)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help=(
+            "append every finished span as one JSON line to PATH "
+            "(the in-memory buffer behind GET /v1/traces stays on "
+            "either way)"
+        ),
+    )
+    serve.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help=(
+            "structured access/lifecycle log level (DEBUG/INFO/"
+            "WARNING/ERROR; default: $REPRO_LOG_LEVEL or INFO)"
         ),
     )
     return parser
@@ -525,14 +568,45 @@ def _cmd_trace(workload: str, f: float, node_nm: int,
     return "\n".join(lines)
 
 
+def _checked_level(level: Optional[str]) -> Optional[str]:
+    """Validate a --log-level value; bad names exit with code 2."""
+    if level is not None:
+        from .obs.logging import resolve_level
+
+        try:
+            resolve_level(level)
+        except ValueError as exc:
+            raise ModelError(str(exc)) from None
+    return level
+
+
+def _cmd_metrics_dump(dump_format: str) -> str:
+    import json as _json
+
+    from .obs.metrics import get_registry
+    from .perf import cache as _cache  # noqa: F401 - registers gauges
+
+    registry = get_registry()
+    if dump_format == "prom":
+        return registry.render_prometheus().rstrip("\n")
+    return _json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+
+
 def _cmd_campaign(figures: List[str], jobs: Optional[int],
                   executor: str, method: str,
                   store_dir: Optional[str] = None,
-                  resume: bool = False, retries: int = 2) -> str:
+                  resume: bool = False, retries: int = 2,
+                  trace_file: Optional[str] = None,
+                  log_level: Optional[str] = None) -> str:
     from .campaign.runner import CampaignRunner
     from .campaign.spec import CampaignSpec
     from .campaign.store import ResultStore
+    from .obs.logging import configure_logging
+    from .obs.trace import configure_tracer
 
+    configure_logging(log_level)
+    if trace_file is not None:
+        configure_tracer(trace_file)
     spec = CampaignSpec(
         name="cli-figures", figures=tuple(figures), method=method
     )
@@ -660,7 +734,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 store_dir=args.store_dir,
                 resume=args.resume,
                 retries=args.retries,
+                trace_file=args.trace_file,
+                log_level=_checked_level(args.log_level),
             )
+        elif args.command == "metrics-dump":
+            output = _cmd_metrics_dump(args.dump_format)
         elif args.command == "serve":
             from .service.app import ServiceConfig
             from .service.http import run_server
@@ -677,6 +755,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     workers=args.workers,
                     store_dir=args.store_dir,
                     drain_timeout_s=args.drain_timeout_s,
+                    trace_file=args.trace_file,
+                    log_level=_checked_level(args.log_level),
                 )
             )
             output = "server stopped"

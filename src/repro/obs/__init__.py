@@ -1,0 +1,99 @@
+"""repro.obs -- zero-dependency observability for the whole runtime.
+
+The source paper decomposes where a chip's area and power budgets go;
+this subsystem is the same accounting for the reproduction's own
+runtime: where does the wall-clock of a speedup evaluation go, which
+layer answered a request, and what did one campaign task actually
+cost.  Three coordinated pieces:
+
+* **Tracing** (:mod:`repro.obs.trace`, :mod:`repro.obs.context`) --
+  spans with parent/child linkage propagated across asyncio tasks
+  (contextvars), dispatcher threads and campaign process pools
+  (explicit carriers); exported to an in-process ring buffer
+  (``GET /v1/traces``) and optionally to a JSONL file.
+* **Metrics** (:mod:`repro.obs.metrics`) -- one process-wide
+  :class:`MetricsRegistry` of counters, gauges and bounded-window
+  histograms that the service, the perf cache and the campaign store
+  all register into; rendered as JSON (``GET /metrics``,
+  ``repro-hetsim metrics-dump``) and Prometheus text
+  (``GET /metrics?format=prom``).
+* **Profiling** (:mod:`repro.obs.profiling`) -- ``@timed`` /
+  ``profile_block`` hooks on the hot paths, feeding per-phase
+  wall-time into spans, the registry, and the ``BENCH_*.json``
+  writers.
+
+Structured JSON logging with trace correlation lives in
+:mod:`repro.obs.logging`.  Everything is stdlib-only.
+"""
+
+from .context import (
+    SpanContext,
+    attach,
+    current_context,
+    detach,
+    extract,
+    inject,
+    new_span_id,
+    new_trace_id,
+)
+from .logging import (
+    JsonLogFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+    resolve_level,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    render_merged,
+    validate_prometheus,
+)
+from .profiling import (
+    phase_totals,
+    profile_block,
+    reset_phase_totals,
+    timed,
+)
+from .trace import Span, Tracer, configure_tracer, get_tracer
+
+__all__ = [
+    # context
+    "SpanContext",
+    "attach",
+    "current_context",
+    "detach",
+    "extract",
+    "inject",
+    "new_span_id",
+    "new_trace_id",
+    # trace
+    "Span",
+    "Tracer",
+    "configure_tracer",
+    "get_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "percentile",
+    "render_merged",
+    "validate_prometheus",
+    # profiling
+    "phase_totals",
+    "profile_block",
+    "reset_phase_totals",
+    "timed",
+    # logging
+    "JsonLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "resolve_level",
+]

@@ -1,0 +1,111 @@
+"""Structured JSON logging with automatic trace correlation.
+
+Every log line is one JSON object: timestamp, level, logger name, the
+``event`` (the log message), any structured fields passed via
+``extra={"data": {...}}``, and -- whenever the caller is inside a span
+-- the enclosing ``trace_id``/``span_id``, so an access-log line and
+the spans of the request it describes join on one id.
+
+:func:`configure_logging` wires a stdlib handler with
+:class:`JsonLogFormatter` onto the ``repro`` logger tree.  The level
+resolves, in order: the explicit argument (the ``--log-level`` CLI
+flag), the ``REPRO_LOG_LEVEL`` environment variable, then ``INFO``.
+Nothing here depends on anything outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from .context import current_context
+
+__all__ = [
+    "JsonLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "resolve_level",
+]
+
+#: Environment override for the log level (CLI flag wins).
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+
+_ROOT_LOGGER = "repro"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as one compact JSON line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        data = getattr(record, "data", None)
+        if isinstance(data, dict):
+            payload.update(data)
+        context = current_context()
+        if context is not None:
+            payload.setdefault("trace_id", context.trace_id)
+            payload.setdefault("span_id", context.span_id)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = str(record.exc_info[1])
+        return json.dumps(payload, separators=(",", ":"), default=str)
+
+
+def resolve_level(level: Optional[str] = None) -> int:
+    """CLI flag > ``REPRO_LOG_LEVEL`` env var > INFO."""
+    name = level or os.environ.get(ENV_LOG_LEVEL) or "INFO"
+    resolved = logging.getLevelName(str(name).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {name!r}")
+    return resolved
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    stream=None,
+) -> logging.Logger:
+    """Attach one JSON handler to the ``repro`` logger tree.
+
+    Idempotent: reconfiguring replaces the handler this function
+    installed earlier rather than stacking duplicates.  Returns the
+    root ``repro`` logger.
+    """
+    logger = logging.getLogger(_ROOT_LOGGER)
+    logger.setLevel(resolve_level(level))
+    handler = logging.StreamHandler(stream or sys.stdout)
+    handler.setFormatter(JsonLogFormatter())
+    handler.set_name("repro-obs-json")
+    for existing in list(logger.handlers):
+        if existing.get_name() == handler.get_name():
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> "logging.Logger":
+    """A logger under the ``repro`` tree (``repro.<name>``)."""
+    if name == _ROOT_LOGGER or name.startswith(_ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_LOGGER}.{name}")
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """One structured line: ``event`` plus flat key/value fields."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"data": fields})

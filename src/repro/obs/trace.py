@@ -1,0 +1,285 @@
+"""Spans, the tracer, and span export (ring buffer + JSONL).
+
+A :class:`Span` is one timed operation: a name, a trace/span id pair,
+an optional parent span id, wall-clock start, duration, a status and a
+flat attribute dict.  A :class:`Tracer` creates spans (parenting them
+on the current :mod:`repro.obs.context` automatically), keeps the most
+recent ones in a bounded in-process ring buffer (served by
+``GET /v1/traces``), and optionally appends every finished span as one
+JSON line to a trace file (``repro-hetsim serve --trace-file`` /
+``campaign --trace-file``).
+
+Foreign spans -- built by campaign pool workers in another process and
+shipped home as payload dicts -- enter the same buffer/file through
+:meth:`Tracer.record`, so one trace's spans end up queryable in one
+place no matter which substrate executed them.
+
+The module-level tracer (:func:`get_tracer`) is what the service, the
+campaign runner and the profiling hooks share; tests build private
+:class:`Tracer` instances to assert in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional
+
+from .context import (
+    SpanContext,
+    attach,
+    current_context,
+    detach,
+    new_span_id,
+    new_trace_id,
+)
+
+__all__ = ["Span", "Tracer", "get_tracer", "configure_tracer"]
+
+#: Default ring-buffer capacity (spans, newest win).
+DEFAULT_BUFFER_SIZE = 4096
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    Use as a context manager (the usual way, via
+    :meth:`Tracer.span`) or drive :meth:`finish` manually.  Mutating
+    accessors are not thread-safe; a span belongs to the one logical
+    flow that created it.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_unix",
+        "duration_s",
+        "status",
+        "attributes",
+        "_start_perf",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        tracer: "Tracer",
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_unix = time.time()
+        self.duration_s: Optional[float] = None
+        self.status = "ok"
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self._start_perf = time.perf_counter()
+        self._tracer = tracer
+        self._token = None
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def backdate(self, start_unix: float, start_perf: float) -> "Span":
+        """Rebase the span's start to an earlier instant.
+
+        For spans created at *settle* time for work that was queued
+        earlier (the campaign runner's per-task spans): the span then
+        covers submit-to-settle, and queue wait becomes visible.
+        """
+        self.start_unix = start_unix
+        self._start_perf = start_perf
+        return self
+
+    def finish(self, status: Optional[str] = None) -> None:
+        """Stamp the duration and hand the span to the tracer (once)."""
+        if self.duration_s is not None:
+            return
+        self.duration_s = time.perf_counter() - self._start_perf
+        if status is not None:
+            self.status = status
+        self._tracer.record(self.payload())
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON-ready export form (one JSONL line / buffer entry)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "duration_ms": (
+                None
+                if self.duration_s is None
+                else round(self.duration_s * 1e3, 6)
+            ),
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+    def __enter__(self) -> "Span":
+        self._token = attach(self.context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            detach(self._token)
+            self._token = None
+        self.finish("error" if exc_type is not None else None)
+
+
+class Tracer:
+    """Creates spans and owns their export (ring buffer + JSONL file).
+
+    Thread-safe: spans finish on the event loop, on dispatcher worker
+    threads, and on the campaign runner's settle path; the buffer and
+    the file handle are guarded by one lock.
+    """
+
+    def __init__(
+        self,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+        export_path: Optional[str] = None,
+    ):
+        self._lock = threading.Lock()
+        self._buffer: "deque[Dict[str, Any]]" = deque(maxlen=buffer_size)
+        self._export_path = export_path
+        self._exported = 0
+
+    # -- span creation -----------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[SpanContext] = None,
+        trace_id: Optional[str] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """A new span, parented on ``parent`` or the current context.
+
+        With neither a parent nor an enclosing span, the span starts a
+        fresh trace (or joins ``trace_id`` when given -- the serving
+        layer uses that to honour client-supplied request ids).
+        """
+        parent = parent if parent is not None else current_context()
+        if parent is not None:
+            trace = parent.trace_id
+            parent_id: Optional[str] = parent.span_id
+        else:
+            trace = trace_id or new_trace_id()
+            parent_id = None
+        return Span(
+            name=name,
+            trace_id=trace,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            tracer=self,
+            attributes=attributes,
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def record(self, payload: Dict[str, Any]) -> None:
+        """Accept one finished span payload (local or from a worker)."""
+        with self._lock:
+            self._buffer.append(payload)
+            self._exported += 1
+            if self._export_path is not None:
+                line = json.dumps(payload, separators=(",", ":"))
+                with open(
+                    self._export_path, "a", encoding="utf-8"
+                ) as handle:
+                    handle.write(line + "\n")
+
+    def set_export_path(self, path: Optional[str]) -> None:
+        """Start (or stop, with None) appending spans to a JSONL file."""
+        with self._lock:
+            self._export_path = path
+
+    @property
+    def export_path(self) -> Optional[str]:
+        with self._lock:
+            return self._export_path
+
+    # -- query -------------------------------------------------------------
+
+    def spans(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Buffered spans, oldest first, optionally filtered/capped.
+
+        ``limit`` keeps the *newest* N after filtering -- the tail is
+        what an operator debugging a live server wants.
+        """
+        with self._lock:
+            spans = list(self._buffer)
+        if trace_id is not None:
+            spans = [s for s in spans if s.get("trace_id") == trace_id]
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return spans
+
+    def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every buffered span of one trace, oldest first."""
+        return self.spans(trace_id=trace_id)
+
+    def clear(self) -> None:
+        """Drop the buffer (tests; the JSONL file is left alone)."""
+        with self._lock:
+            self._buffer.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Buffer occupancy and lifetime export count."""
+        with self._lock:
+            return {
+                "buffered": len(self._buffer),
+                "capacity": self._buffer.maxlen,
+                "exported": self._exported,
+                "export_path": self._export_path,
+            }
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.spans())
+
+
+#: The process-wide tracer shared by the service/campaign/perf layers.
+_GLOBAL = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide shared tracer."""
+    return _GLOBAL
+
+
+def configure_tracer(
+    trace_file: Optional[str] = None,
+    buffer_size: Optional[int] = None,
+) -> Tracer:
+    """(Re)configure the global tracer; returns it.
+
+    ``buffer_size`` rebuilds the ring buffer (keeping the newest
+    spans); ``trace_file`` switches JSONL export on (or off via None
+    -- pass the current path to leave it untouched).
+    """
+    with _GLOBAL._lock:
+        if buffer_size is not None:
+            _GLOBAL._buffer = deque(
+                _GLOBAL._buffer, maxlen=buffer_size
+            )
+        _GLOBAL._export_path = trace_file
+    return _GLOBAL

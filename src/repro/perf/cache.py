@@ -49,6 +49,7 @@ __all__ = [
     "clear_caches",
     "cache_stats",
     "cache_summary",
+    "register_cache_metrics",
     "registered_caches",
 ]
 
@@ -212,3 +213,35 @@ def cache_summary() -> Dict[str, int]:
         totals["misses"] += info.misses
         totals["entries"] += info.currsize
     return totals
+
+
+def register_cache_metrics(registry=None):
+    """Expose the layer-wide totals as callback gauges in ``registry``.
+
+    The gauges read :func:`cache_summary` lazily at export time, so
+    the registry (``GET /metrics?format=prom``, ``repro-hetsim
+    metrics-dump``) always reflects the live totals without a second
+    set of counters.  Defaults to the process-wide obs registry;
+    idempotent per registry (gauges are get-or-create by name).
+    """
+    from ..obs.metrics import get_registry
+
+    registry = registry if registry is not None else get_registry()
+    descriptions = {
+        "caches": "Registered memoization caches in repro.perf.cache",
+        "hits": "Memoization hits across every registered cache",
+        "misses": "Memoization misses across every registered cache",
+        "entries": "Entries currently held across every cache",
+    }
+    for key, help_text in descriptions.items():
+        registry.gauge(
+            f"repro_perf_cache_{key}",
+            help_text,
+            callback=lambda k=key: cache_summary()[k],
+        )
+    return registry
+
+
+# The process-wide registry always carries the perf-cache collectors;
+# per-service registries opt in via register_cache_metrics(registry).
+register_cache_metrics()

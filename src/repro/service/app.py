@@ -29,13 +29,19 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import re
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from .._version import __version__
 from ..campaign.jobs import JobManager
+from ..obs.context import new_span_id
+from ..obs.logging import get_logger, log_event
+from ..obs.metrics import get_registry, render_merged
+from ..obs.trace import get_tracer
 from ..core.optimizer import optimize
 from ..devices.bce import DEFAULT_BCE
 from ..errors import (
@@ -67,7 +73,14 @@ from .schemas import (
 
 __all__ = ["ServiceConfig", "ModelService"]
 
-_access_log = logging.getLogger("repro.service.access")
+_access_log = get_logger("service.access")
+
+#: Client request ids that can double as W3C-shaped trace ids.
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+
+#: Request-id header values are echoed back; cap and sanitise them so
+#: a hostile client cannot smuggle header-splitting bytes through us.
+_REQUEST_ID_SAFE_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
 
 
 @dataclass(frozen=True)
@@ -97,6 +110,12 @@ class ServiceConfig:
     #: Graceful-shutdown budget: seconds to drain open connections and
     #: running jobs after SIGTERM/SIGINT before exiting anyway.
     drain_timeout_s: float = 5.0
+    #: Append every finished span as one JSON line to this file
+    #: (``serve --trace-file``); None keeps spans in memory only.
+    trace_file: Optional[str] = None
+    #: Log level for the structured JSON logs (``--log-level`` /
+    #: ``REPRO_LOG_LEVEL``); None resolves through the environment.
+    log_level: Optional[str] = None
 
 
 class ModelService:
@@ -110,6 +129,11 @@ class ModelService:
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics()
+        #: The per-instance obs registry backing both /metrics forms.
+        self.registry = self.metrics.registry
+        self.tracer = get_tracer()
+        if self.config.trace_file is not None:
+            self.tracer.set_export_path(self.config.trace_file)
         self.cache = ResponseCache(maxsize=self.config.cache_size)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
@@ -126,6 +150,7 @@ class ModelService:
             store_dir=self.config.store_dir,
             task_workers=self.config.job_task_workers,
             metrics=self.metrics,
+            registry=self.registry,
         )
 
     def close(self) -> None:
@@ -141,45 +166,126 @@ class ModelService:
     ) -> Tuple[int, Dict[str, Any]]:
         """Answer one request: ``(http_status, json_payload)``.
 
-        Never raises for request-level failures -- every error becomes
-        a ``{"error", "message"}`` payload with the matching status.
+        The historical two-tuple form; the transport uses
+        :meth:`handle_request`, which also returns response headers
+        (``X-Request-Id``/``X-Trace-Id`` echo).
         """
-        start = time.perf_counter()
-        path = path.split("?", 1)[0]
-        cache_state: Optional[bool] = None
-        try:
-            status, payload, cache_state = await self._dispatch(
-                method, path, body
-            )
-        except ServiceError as exc:
-            status, payload = exc.http_status, _error_payload(exc)
-        except InfeasibleDesignError as exc:
-            # Parsed fine, but the budgets admit no design: 422, with
-            # the model's binding-bound message passed through.
-            status, payload = 422, _error_payload(exc)
-        except ReproError as exc:
-            # Any other intentional model error is a client error.
-            status, payload = 400, _error_payload(exc)
-        latency = time.perf_counter() - start
-        self.metrics.record_request(path, status, latency, cache_state)
-        self._log_access(method, path, status, latency, cache_state)
+        status, payload, _headers = await self.handle_request(
+            method, path, body
+        )
         return status, payload
 
+    async def handle_request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """Answer one request: ``(status, payload, response_headers)``.
+
+        ``payload`` is a JSON-ready dict for every endpoint except the
+        Prometheus exposition, which is pre-rendered text (the
+        transport picks the content type by payload type).  Never
+        raises for request-level failures -- every error becomes a
+        ``{"error", "message"}`` payload with the matching status.
+
+        Each request runs inside a root span: the trace id honours a
+        client-supplied ``X-Request-Id`` when it is already a 32-hex
+        trace id, else a fresh trace is started and the request id
+        (generated if absent) rides along as a span attribute and a
+        response header.
+        """
+        start = time.perf_counter()
+        headers = headers or {}
+        request_id, trace_id = self._request_identity(headers)
+        path, _, query_text = path.partition("?")
+        query = parse_qs(query_text) if query_text else {}
+        cache_state: Optional[bool] = None
+        span = self.tracer.span(
+            "http.request",
+            trace_id=trace_id,
+            attributes={
+                "method": method,
+                "path": path,
+                "request_id": request_id,
+            },
+        )
+        with span:
+            try:
+                status, payload, cache_state = await self._dispatch(
+                    method, path, body, query, request_id
+                )
+            except ServiceError as exc:
+                status, payload = exc.http_status, _error_payload(exc)
+            except InfeasibleDesignError as exc:
+                # Parsed fine, but the budgets admit no design: 422,
+                # with the model's binding-bound message passed through.
+                status, payload = 422, _error_payload(exc)
+            except ReproError as exc:
+                # Any other intentional model error is a client error.
+                status, payload = 400, _error_payload(exc)
+            span.set_attribute("status", status)
+            if cache_state is not None:
+                span.set_attribute(
+                    "cache", "hit" if cache_state else "miss"
+                )
+        latency = time.perf_counter() - start
+        self.metrics.record_request(path, status, latency, cache_state)
+        self._log_access(
+            method, path, status, latency, cache_state,
+            request_id=request_id, trace_id=span.trace_id,
+        )
+        response_headers = {
+            "X-Request-Id": request_id,
+            "X-Trace-Id": span.trace_id,
+        }
+        return status, payload, response_headers
+
+    @staticmethod
+    def _request_identity(
+        headers: Dict[str, str]
+    ) -> Tuple[str, Optional[str]]:
+        """``(request_id, trace_id)`` for one request.
+
+        A client-supplied ``X-Request-Id`` is echoed back verbatim
+        when it is header-safe (else replaced); when it is shaped like
+        a trace id it *becomes* the trace id, so a caller can stitch
+        our spans into its own trace.
+        """
+        supplied = headers.get("x-request-id", "").strip()
+        if supplied and _TRACE_ID_RE.match(supplied):
+            return supplied, supplied
+        if supplied and _REQUEST_ID_SAFE_RE.match(supplied):
+            return supplied, None
+        return new_span_id(), None
+
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any], Optional[bool]]:
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        query: Dict[str, Any],
+        request_id: str,
+    ) -> Tuple[int, Any, Optional[bool]]:
         if path == "/healthz":
             self._require_method(method, "GET", path)
-            return 200, self._healthz(), None
+            return self._healthz() + (None,)
         if path == "/metrics":
             self._require_method(method, "GET", path)
+            if query.get("format", [""])[0] == "prom":
+                text = render_merged(self.registry, get_registry())
+                return 200, text, None
             snapshot = self.metrics.snapshot()
             snapshot["campaign"] = self.jobs.stats()
             return 200, snapshot, None
+        if path == "/v1/traces":
+            self._require_method(method, "GET", path)
+            return 200, self._traces(query), None
         if path == "/v1/jobs":
             if method == "POST":
                 spec = parse_job(_decode_json(body))
-                record = self.jobs.submit(spec)
+                record = self.jobs.submit(spec, request_id=request_id)
                 return 202, self.jobs.payload(record), None
             self._require_method(method, "GET", path)
             return 200, {"jobs": self.jobs.list_payload()}, None
@@ -211,11 +317,47 @@ class ModelService:
                 f"{path} only accepts {expected}, got {method}"
             )
 
-    def _healthz(self) -> Dict[str, Any]:
-        return {
-            "status": "ok",
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness *and* readiness: can this instance actually serve?
+
+        ``store`` checks the campaign store is open and its root is
+        reachable; ``dispatcher`` checks the evaluation thread pool is
+        still accepting work.  Any failed check degrades the answer to
+        503 so load balancers stop routing here while the process is
+        shutting down (or its disk has gone away).
+        """
+        checks = {
+            "store": self.jobs.is_open() and self.jobs.store_ok(),
+            "dispatcher": not getattr(
+                self._executor, "_shutdown", False
+            ),
+        }
+        healthy = all(checks.values())
+        payload = {
+            "status": "ok" if healthy else "degraded",
             "version": __version__,
             "uptime_s": self.metrics.snapshot()["uptime_s"],
+            "checks": checks,
+        }
+        return (200 if healthy else 503), payload
+
+    def _traces(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``GET /v1/traces`` payload: buffered spans, filtered."""
+        trace_id = query.get("trace_id", [None])[0]
+        limit_text = query.get("limit", [None])[0]
+        limit = None
+        if limit_text is not None:
+            try:
+                limit = max(0, int(limit_text))
+            except ValueError:
+                raise BadRequestError(
+                    f"limit must be an integer, got {limit_text!r}"
+                ) from None
+        spans = self.tracer.spans(trace_id=trace_id, limit=limit)
+        return {
+            "spans": spans,
+            "count": len(spans),
+            "buffer": self.tracer.stats(),
         }
 
     # -- cache + admission -------------------------------------------------
@@ -399,25 +541,24 @@ class ModelService:
         status: int,
         latency: float,
         cache_state: Optional[bool],
+        request_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
-        if not _access_log.isEnabledFor(logging.INFO):
-            return
-        _access_log.info(
-            json.dumps(
-                {
-                    "ts": time.time(),
-                    "method": method,
-                    "path": path,
-                    "status": status,
-                    "latency_ms": round(latency * 1e3, 3),
-                    "cache": (
-                        None
-                        if cache_state is None
-                        else ("hit" if cache_state else "miss")
-                    ),
-                },
-                separators=(",", ":"),
-            )
+        log_event(
+            _access_log,
+            "access",
+            level=logging.INFO,
+            method=method,
+            path=path,
+            status=status,
+            latency_ms=round(latency * 1e3, 3),
+            cache=(
+                None
+                if cache_state is None
+                else ("hit" if cache_state else "miss")
+            ),
+            request_id=request_id,
+            trace_id=trace_id,
         )
 
 

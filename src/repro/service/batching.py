@@ -35,10 +35,27 @@ from typing import Dict, List, Optional, Tuple
 from ..core.chip import ChipModel
 from ..core.constraints import Budget
 from ..core.optimizer import DEFAULT_R_MAX, DesignPoint
+from ..obs.context import attach, detach, extract, inject
+from ..obs.trace import Span, get_tracer
 from ..perf.batch import optimize_batch
 from .metrics import ServiceMetrics
 
 __all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _Item:
+    """One queued evaluation: its budget, future, and trace hooks.
+
+    ``carrier`` snapshots the caller's trace context at enqueue time
+    (the flush runs in a different task and thread); ``wait_span``
+    times the caller's coalesce-to-demux wait inside its own trace.
+    """
+
+    budget: Budget
+    future: "asyncio.Future"
+    carrier: Optional[Dict[str, str]] = None
+    wait_span: Optional[Span] = None
 
 
 @dataclass
@@ -48,9 +65,7 @@ class _Batch:
     chip: ChipModel
     f: float
     r_max: int
-    items: List[Tuple[Budget, "asyncio.Future"]] = field(
-        default_factory=list
-    )
+    items: List[_Item] = field(default_factory=list)
 
 
 class MicroBatcher:
@@ -86,46 +101,134 @@ class MicroBatcher:
         Equivalent to ``optimize_batch(chip, f, [budget], r_max)[0]``
         -- including the ``None``-for-infeasible convention -- except
         concurrent callers share one grid evaluation.
+
+        Tracing: each caller gets a ``batch.wait`` span inside its own
+        trace (enqueue to demux); the flush itself runs as one
+        ``batch.dispatch`` span parented on the caller that *opened*
+        the window, with every coalesced trace id recorded in its
+        ``links`` attribute -- one grid call, many traces, all
+        cross-referenced.
         """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
         key = (id(chip), f, r_max)
+        carrier = inject()
+        wait_span = None
+        if carrier is not None:
+            wait_span = get_tracer().span(
+                "batch.wait", attributes={"f": f, "r_max": r_max}
+            )
         batch = self._pending.get(key)
         if batch is None:
             batch = _Batch(chip=chip, f=f, r_max=r_max)
             self._pending[key] = batch
             loop.create_task(self._flush_after(key, batch))
-        batch.items.append((budget, future))
-        return await future
+        batch.items.append(
+            _Item(
+                budget=budget,
+                future=future,
+                carrier=carrier,
+                wait_span=wait_span,
+            )
+        )
+        try:
+            return await future
+        finally:
+            if wait_span is not None:
+                wait_span.set_attribute("batch_size", len(batch.items))
+                if future.cancelled() or not future.done():
+                    status = "cancelled"
+                elif future.exception() is not None:
+                    status = "error"
+                else:
+                    status = None
+                wait_span.finish(status)
+
+    def _dispatch_span(self, batch: _Batch) -> Optional[Span]:
+        """The ``batch.dispatch`` span for one flush, if anyone traced.
+
+        Parented on the window opener's context (the first traced
+        item); the other coalesced callers' trace ids go into the
+        ``links`` attribute so their traces point at this span too.
+        """
+        traced = [i.carrier for i in batch.items if i.carrier]
+        if not traced:
+            return None
+        span = get_tracer().span(
+            "batch.dispatch",
+            parent=extract(traced[0]),
+            attributes={
+                "chip": batch.chip.label,
+                "f": batch.f,
+                "r_max": batch.r_max,
+                "batch_size": len(batch.items),
+            },
+        )
+        links = sorted(
+            {c["trace_id"] for c in traced}
+            - {span.trace_id}
+        )
+        if links:
+            span.set_attribute("links", links)
+        return span
+
+    @staticmethod
+    def _eval_in_thread(
+        carrier: Optional[Dict[str, str]],
+        chip: ChipModel,
+        f: float,
+        budgets: List[Budget],
+        r_max: int,
+    ) -> List[Optional[DesignPoint]]:
+        """Run the grid call on a pool thread under the batch's trace.
+
+        ``run_in_executor`` does not carry contextvars into the pool
+        thread, so the dispatch span's context crosses as an explicit
+        carrier -- this is what parents the grid-eval profiling span
+        (``perf.optimize_batch``) under ``batch.dispatch``.
+        """
+        token = attach(extract(carrier)) if carrier else None
+        try:
+            return optimize_batch(chip, f, budgets, r_max)
+        finally:
+            if token is not None:
+                detach(token)
 
     async def _flush_after(self, key: tuple, batch: _Batch) -> None:
         await asyncio.sleep(self.window_s)
         self._pending.pop(key, None)
-        budgets = [budget for budget, _ in batch.items]
+        budgets = [item.budget for item in batch.items]
         loop = asyncio.get_running_loop()
+        span = self._dispatch_span(batch)
+        carrier = inject(span.context) if span is not None else None
         try:
             if self._executor is None:
-                points = optimize_batch(
-                    batch.chip, batch.f, budgets, batch.r_max
+                points = self._eval_in_thread(
+                    carrier, batch.chip, batch.f, budgets, batch.r_max
                 )
             else:
                 points = await loop.run_in_executor(
                     self._executor,
-                    optimize_batch,
+                    self._eval_in_thread,
+                    carrier,
                     batch.chip,
                     batch.f,
                     budgets,
                     batch.r_max,
                 )
         except Exception as exc:
-            for _, future in batch.items:
-                if not future.done():
-                    future.set_exception(exc)
+            if span is not None:
+                span.finish("error")
+            for item in batch.items:
+                if not item.future.done():
+                    item.future.set_exception(exc)
             return
         self.dispatch_count += 1
         self.item_count += len(batch.items)
         self._metrics.record_batch(len(batch.items))
-        for (_, future), point in zip(batch.items, points):
+        for item, point in zip(batch.items, points):
             # A caller that timed out meanwhile has a cancelled future.
-            if not future.done():
-                future.set_result(point)
+            if not item.future.done():
+                item.future.set_result(point)
+        if span is not None:
+            span.finish()

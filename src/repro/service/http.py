@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import asyncio
 import json
-import logging
 import signal
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from ..obs.logging import configure_logging, get_logger, log_event
 from .app import ModelService, ServiceConfig
 
 __all__ = ["start_server", "run_server", "serve_until"]
@@ -38,7 +38,10 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
-_log = logging.getLogger("repro.service")
+_log = get_logger("service")
+
+#: Content type of the Prometheus text exposition (format 0.0.4).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _ProtocolError(Exception):
@@ -99,17 +102,33 @@ async def _read_request(
 
 
 def _encode_response(
-    status: int, payload: dict, keep_alive: bool
+    status: int,
+    payload,
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
+    """Serialize one response; ``str`` payloads ship as plain text.
+
+    The only text payload today is the Prometheus exposition
+    (``GET /metrics?format=prom``), which scrapers expect under the
+    0.0.4 text content type, not JSON.
+    """
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = PROM_CONTENT_TYPE
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        f"\r\n"
-    )
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + body
 
 
@@ -137,12 +156,18 @@ async def _handle_connection(
             if request is None:
                 return  # clean keep-alive close
             method, path, headers, body = request
-            status, payload = await service.handle(method, path, body)
+            status, payload, response_headers = (
+                await service.handle_request(method, path, body, headers)
+            )
             keep_alive = (
                 headers.get("connection", "keep-alive").lower()
                 != "close"
             )
-            writer.write(_encode_response(status, payload, keep_alive))
+            writer.write(
+                _encode_response(
+                    status, payload, keep_alive, response_headers
+                )
+            )
             await writer.drain()
             if not keep_alive:
                 return
@@ -212,27 +237,21 @@ async def serve_until(
         config.port if port is None else port,
     )
     sock = server.sockets[0].getsockname()
-    _log.info(
-        json.dumps(
-            {
-                "event": "listening",
-                "host": sock[0],
-                "port": sock[1],
-                "batch_window_ms": config.batch_window_ms,
-                "max_inflight": config.max_inflight,
-            }
-        )
+    log_event(
+        _log,
+        "listening",
+        host=sock[0],
+        port=sock[1],
+        batch_window_ms=config.batch_window_ms,
+        max_inflight=config.max_inflight,
+        trace_file=config.trace_file,
     )
     if ready is not None:
         ready.set()
     try:
         await stop.wait()
     finally:
-        _log.info(
-            json.dumps(
-                {"event": "draining", "connections": len(connections)}
-            )
-        )
+        log_event(_log, "draining", connections=len(connections))
         server.close()
         await server.wait_closed()
         if connections:
@@ -242,18 +261,19 @@ async def serve_until(
             for task in still_open:
                 task.cancel()
         service.close()
-        _log.info(json.dumps({"event": "shutdown"}))
+        log_event(_log, "shutdown")
 
 
 def run_server(config: Optional[ServiceConfig] = None) -> None:
     """Blocking entry point used by ``repro-hetsim serve``.
 
-    Configures stdout logging for the structured access log and serves
-    until SIGTERM/SIGINT, then drains in-flight requests and flushes
-    the campaign store before exiting (see :func:`serve_until`).
+    Configures the structured JSON log (level from ``--log-level`` /
+    ``REPRO_LOG_LEVEL``) and serves until SIGTERM/SIGINT, then drains
+    in-flight requests and flushes the campaign store before exiting
+    (see :func:`serve_until`).
     """
     config = config or ServiceConfig()
-    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    configure_logging(config.log_level)
 
     async def _main() -> None:
         service = ModelService(config)
@@ -271,4 +291,4 @@ def run_server(config: Optional[ServiceConfig] = None) -> None:
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        _log.info(json.dumps({"event": "shutdown"}))
+        log_event(_log, "shutdown")

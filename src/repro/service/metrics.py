@@ -1,52 +1,117 @@
-"""Service counters: requests, latency, cache hits, batch sizes.
+"""Service counters, rebuilt on the unified obs metrics registry.
 
-One :class:`ServiceMetrics` instance per server, updated from both the
-asyncio event loop (request accounting) and the dispatcher's worker
-threads (batch accounting), so every mutation happens under one lock.
-``GET /metrics`` serialises :meth:`ServiceMetrics.snapshot` as JSON.
+:class:`ServiceMetrics` keeps its historical role -- the serving
+layer's accountant, snapshotted as JSON by ``GET /metrics`` -- but the
+numbers now live in :class:`~repro.obs.metrics.MetricsRegistry`
+instruments instead of private fields.  That buys two things with one
+set of increments:
+
+* the existing JSON ``/metrics`` shape (reconstructed by
+  :meth:`snapshot`, unchanged for existing consumers and tests);
+* the Prometheus text exposition (``GET /metrics?format=prom``) --
+  every instrument renders itself, labelled by endpoint/status/state.
+
+Each service instance owns a private registry, so two services in one
+process (tests spin up dozens) never bleed counts into each other;
+the process-wide registry (profiling phases, perf-cache collectors)
+is merged in at render time by the app layer.
 
 Latency quantiles are computed over a bounded window of the most
-recent samples per endpoint -- a serving-horizon estimate, not an
-all-time histogram, which is what you want on a long-lived process.
+recent samples per endpoint and interpolate linearly between ranks
+(:func:`repro.obs.metrics.percentile`) -- the seed's nearest-rank
+rule biased p99 low on small windows, where the top rank was simply
+unreachable.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import Counter, deque
 from typing import Any, Dict, Optional
 
-from ..perf.cache import cache_summary
+from ..obs.metrics import MetricsRegistry, percentile
+from ..perf.cache import cache_summary, register_cache_metrics
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["ServiceMetrics", "_percentile"]
 
 
 def _percentile(samples: list, q: float) -> float:
-    """Nearest-rank percentile of a non-empty list."""
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
-    return ordered[rank]
+    """Interpolated percentile (kept under the seed's private name).
+
+    Delegates to :func:`repro.obs.metrics.percentile`; see there for
+    the empty/one-sample semantics and the small-window rationale.
+    """
+    return percentile(samples, q)
 
 
 class ServiceMetrics:
-    """Thread-safe counters for the serving layer."""
+    """Thread-safe counters for the serving layer.
 
-    def __init__(self, latency_window: int = 2048):
+    Args:
+        latency_window: samples kept per endpoint for quantiles.
+        registry: the instrument sink; ``None`` creates a private
+            registry (one per service instance).
+    """
+
+    def __init__(
+        self,
+        latency_window: int = 2048,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._started = time.monotonic()
-        self._requests: "Counter[tuple]" = Counter()
-        self._latencies: Dict[str, deque] = {}
         self._latency_window = latency_window
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._batches = 0
-        self._batched_items = 0
-        self._max_batch = 0
-        self._shed = 0
-        self._timeouts = 0
-        self._inflight = 0
-        self._job_events: "Counter[str]" = Counter()
+        r = self.registry
+        self._requests = r.counter(
+            "repro_service_requests_total",
+            "Finished requests by endpoint and HTTP status",
+        )
+        self._latency = r.histogram(
+            "repro_service_request_seconds",
+            "Request latency by endpoint (bounded window)",
+            window=latency_window,
+        )
+        self._resp_cache = r.counter(
+            "repro_service_response_cache_total",
+            "Response-cache lookups by result",
+        )
+        self._shed = r.counter(
+            "repro_service_shed_total",
+            "Requests shed with 429 at the admission queue",
+        )
+        self._timeouts = r.counter(
+            "repro_service_timeouts_total",
+            "Requests that exceeded the evaluation deadline (503)",
+        )
+        self._inflight = r.gauge(
+            "repro_service_inflight",
+            "Requests currently holding an evaluation slot",
+        )
+        self._batches = r.counter(
+            "repro_service_batch_dispatches_total",
+            "Micro-batch flushes (one optimize_batch grid call each)",
+        )
+        self._batched_items = r.counter(
+            "repro_service_batched_items_total",
+            "Evaluations coalesced across all micro-batches",
+        )
+        self._max_batch = r.gauge(
+            "repro_service_max_batch_items",
+            "Largest micro-batch coalesced so far",
+        )
+        self._jobs = r.counter(
+            "repro_service_jobs_total",
+            "Campaign job lifecycle events by state",
+        )
+        r.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since this service instance started",
+            callback=lambda: time.monotonic() - self._started,
+        )
+        # The perf-layer memoization totals render from this registry
+        # too (callback gauges; no double bookkeeping).
+        register_cache_metrics(r)
 
     # -- request lifecycle -------------------------------------------------
 
@@ -58,98 +123,99 @@ class ServiceMetrics:
         cache_hit: Optional[bool] = None,
     ) -> None:
         """Account one finished request."""
-        with self._lock:
-            self._requests[(endpoint, status)] += 1
-            window = self._latencies.setdefault(
-                endpoint, deque(maxlen=self._latency_window)
-            )
-            window.append(latency_s)
-            if cache_hit is True:
-                self._cache_hits += 1
-            elif cache_hit is False:
-                self._cache_misses += 1
+        self._requests.inc(endpoint=endpoint, status=str(status))
+        self._latency.observe(latency_s, endpoint=endpoint)
+        if cache_hit is True:
+            self._resp_cache.inc(result="hit")
+        elif cache_hit is False:
+            self._resp_cache.inc(result="miss")
 
     def record_shed(self) -> None:
-        with self._lock:
-            self._shed += 1
+        self._shed.inc()
 
     def record_timeout(self) -> None:
-        with self._lock:
-            self._timeouts += 1
+        self._timeouts.inc()
 
     def inflight_started(self) -> None:
-        with self._lock:
-            self._inflight += 1
+        self._inflight.inc()
 
     def inflight_finished(self) -> None:
-        with self._lock:
-            self._inflight -= 1
+        self._inflight.dec()
 
     # -- campaign jobs -----------------------------------------------------
 
     def record_job(self, state: str) -> None:
         """Account one job lifecycle event (queued/succeeded/failed)."""
-        with self._lock:
-            self._job_events[state] += 1
+        self._jobs.inc(state=state)
 
     # -- dispatcher --------------------------------------------------------
 
     def record_batch(self, n_items: int) -> None:
         """Account one micro-batch flush of ``n_items`` coalesced calls."""
+        self._batches.inc()
+        self._batched_items.inc(n_items)
         with self._lock:
-            self._batches += 1
-            self._batched_items += n_items
-            self._max_batch = max(self._max_batch, n_items)
+            if n_items > self._max_batch.value():
+                self._max_batch.set(n_items)
 
     # -- export ------------------------------------------------------------
 
     @property
     def batch_efficiency(self) -> Optional[float]:
         """Coalesced evaluations per model dispatch (> 1 is a win)."""
-        with self._lock:
-            if not self._batches:
-                return None
-            return self._batched_items / self._batches
+        batches = self._batches.value()
+        if not batches:
+            return None
+        return self._batched_items.value() / batches
 
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-ready view of every counter."""
-        with self._lock:
-            requests = {}
-            for (endpoint, status), count in sorted(self._requests.items()):
-                requests.setdefault(endpoint, {})[str(status)] = count
-            latency = {}
-            for endpoint, window in self._latencies.items():
-                samples = list(window)
-                latency[endpoint] = {
-                    "count": len(samples),
-                    "mean_ms": 1e3 * sum(samples) / len(samples),
-                    "p50_ms": 1e3 * _percentile(samples, 0.50),
-                    "p99_ms": 1e3 * _percentile(samples, 0.99),
-                }
-            batches = self._batches
-            efficiency = (
-                self._batched_items / batches if batches else None
-            )
-            return {
-                "uptime_s": time.monotonic() - self._started,
-                "inflight": self._inflight,
-                "requests": requests,
-                "latency": latency,
-                "cache": {
-                    "hits": self._cache_hits,
-                    "misses": self._cache_misses,
-                },
-                "batching": {
-                    "dispatches": batches,
-                    "items": self._batched_items,
-                    "max_batch": self._max_batch,
-                    "efficiency": efficiency,
-                },
-                "shed": self._shed,
-                "timeouts": self._timeouts,
-                "jobs": dict(self._job_events),
-                # Model-layer memoization totals (repro.perf.cache):
-                # distinct from the response cache above, which counts
-                # whole answered requests.
-                "perf_cache": cache_summary(),
+        """A JSON-ready view of every counter (the historical shape)."""
+        requests: Dict[str, Dict[str, int]] = {}
+        for labels, count in self._requests.series():
+            if not labels:
+                continue  # the zero placeholder of an untouched counter
+            requests.setdefault(labels["endpoint"], {})[
+                labels["status"]
+            ] = int(count)
+        latency = {}
+        for labels in self._latency.label_sets():
+            endpoint = labels["endpoint"]
+            samples = self._latency.window_values(endpoint=endpoint)
+            if not samples:
+                continue
+            latency[endpoint] = {
+                "count": len(samples),
+                "mean_ms": 1e3 * sum(samples) / len(samples),
+                "p50_ms": 1e3 * percentile(samples, 0.50),
+                "p99_ms": 1e3 * percentile(samples, 0.99),
             }
+        batches = int(self._batches.value())
+        items = int(self._batched_items.value())
+        jobs = {
+            labels["state"]: int(count)
+            for labels, count in self._jobs.series()
+            if labels
+        }
+        return {
+            "uptime_s": time.monotonic() - self._started,
+            "inflight": int(self._inflight.value()),
+            "requests": requests,
+            "latency": latency,
+            "cache": {
+                "hits": int(self._resp_cache.value(result="hit")),
+                "misses": int(self._resp_cache.value(result="miss")),
+            },
+            "batching": {
+                "dispatches": batches,
+                "items": items,
+                "max_batch": int(self._max_batch.value()),
+                "efficiency": items / batches if batches else None,
+            },
+            "shed": int(self._shed.value()),
+            "timeouts": int(self._timeouts.value()),
+            "jobs": jobs,
+            # Model-layer memoization totals (repro.perf.cache):
+            # distinct from the response cache above, which counts
+            # whole answered requests.
+            "perf_cache": cache_summary(),
+        }
