@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign serve artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-history bench-check serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -24,6 +24,15 @@ bench-service:
 
 bench-campaign:
 	$(PYTHON) benchmarks/bench_campaign_store.py
+
+# Run all three benchmark writers once; each appends an envelope-stamped
+# row to BENCH_history.jsonl alongside its BENCH_*.json snapshot.
+bench-history: bench-projection bench-service bench-campaign
+
+# Gate the newest history rows against their rolling baselines.  Stays
+# green (no-baseline verdicts) until >= 3 comparable runs exist.
+bench-check:
+	$(PYTHON) -m repro.cli bench-check --history BENCH_history.jsonl
 
 serve:
 	$(PYTHON) -m repro.cli serve

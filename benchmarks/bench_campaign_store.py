@@ -14,7 +14,9 @@ results, and (c) be faster than the cold run -- the store read
 amortizes the model evaluation away, so a resume that is *slower*
 than recomputing would make checkpointing pointless.
 
-Results land in ``BENCH_campaign.json`` at the repo root.
+Results land in ``BENCH_campaign.json`` at the repo root, plus an
+envelope-stamped history row in ``BENCH_history.jsonl`` (benchmark
+``campaign_store``) for ``repro-hetsim bench-check``.
 
 Run as a script (``python benchmarks/bench_campaign_store.py``) or
 through pytest (``pytest benchmarks/bench_campaign_store.py``).
@@ -22,7 +24,6 @@ through pytest (``pytest benchmarks/bench_campaign_store.py``).
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -34,11 +35,22 @@ from repro._version import __version__
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec, ParetoTask, SensitivityTask
 from repro.campaign.store import ResultStore
+from repro.obs.history import DEFAULT_HISTORY_NAME, record_benchmark
 from repro.perf.cache import clear_caches
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_campaign.json"
+HISTORY_PATH = REPO_ROOT / DEFAULT_HISTORY_NAME
+BENCHMARK_NAME = "campaign_store"
 REPEATS = 3
+
+
+def _record(payload: dict) -> None:
+    """Write the snapshot and its joinable history row (one envelope)."""
+    record_benchmark(
+        payload, benchmark=BENCHMARK_NAME, snapshot_path=OUTPUT_PATH,
+        history_path=HISTORY_PATH, timestamp=time.time(),
+    )
 
 SPEC = CampaignSpec(
     name="bench",
@@ -104,7 +116,7 @@ def run_benchmark() -> dict:
 def test_resumed_campaign_beats_cold():
     """Serving from the store must beat re-executing the model."""
     payload = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _record(payload)
     assert payload["resume_speedup"] > 1, (
         f"resume is slower than recomputing: {payload['resume_speedup']:.2f}x"
     )
@@ -112,7 +124,7 @@ def test_resumed_campaign_beats_cold():
 
 def main() -> int:
     payload = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _record(payload)
     print(f"campaign: {payload['tasks']} tasks, best of {REPEATS}")
     print(f"  cold    : {payload['cold']['best_s'] * 1000:8.1f} ms")
     print(f"  resumed : {payload['resumed']['best_s'] * 1000:8.1f} ms")

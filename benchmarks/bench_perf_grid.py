@@ -12,7 +12,10 @@ through each execution mode:
   across a :class:`repro.perf.grid.ProjectionGrid` process pool
   (including pool spawn, so the number is an honest cold-start cost).
 
-Results land in ``BENCH_projection.json`` at the repo root.  The
+Results land in ``BENCH_projection.json`` at the repo root, plus one
+envelope-stamped history row appended to ``BENCH_history.jsonl``
+(benchmark ``projection``) for the regression sentinel
+(``repro-hetsim bench-check``).  The
 optimized path must beat the scalar baseline by at least
 ``REQUIRED_SPEEDUP``; at this campaign size the vectorized serial path
 is usually the fastest configuration (each panel costs ~0.5 ms, below
@@ -26,7 +29,6 @@ before every repetition, so no mode inherits another's warm state.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -37,12 +39,15 @@ from typing import Optional
 import numpy as np
 
 from repro._version import __version__
+from repro.obs.history import DEFAULT_HISTORY_NAME, record_benchmark
 from repro.obs.profiling import phase_totals, reset_phase_totals
 from repro.perf.cache import clear_caches
 from repro.perf.grid import ProjectionGrid, figure_campaign
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_projection.json"
+HISTORY_PATH = REPO_ROOT / DEFAULT_HISTORY_NAME
+BENCHMARK_NAME = "projection"
 FIGURES = ("F6", "F7", "F8", "F9")
 REQUIRED_SPEEDUP = 5.0
 REPEATS = 5
@@ -121,10 +126,18 @@ def run_benchmark(jobs: Optional[int] = None) -> dict:
     }
 
 
+def _record(payload: dict) -> None:
+    """Write the snapshot and its joinable history row (one envelope)."""
+    record_benchmark(
+        payload, benchmark=BENCHMARK_NAME, snapshot_path=OUTPUT_PATH,
+        history_path=HISTORY_PATH, timestamp=time.time(),
+    )
+
+
 def test_batched_campaign_speedup():
     """The optimized path must beat the seed scalar path by >= 5x."""
     payload = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _record(payload)
     assert payload["best_speedup"] >= REQUIRED_SPEEDUP, (
         f"best mode {payload['best_mode']} is only "
         f"{payload['best_speedup']:.2f}x over scalar "
@@ -134,7 +147,7 @@ def test_batched_campaign_speedup():
 
 def main() -> int:
     payload = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _record(payload)
     base = payload["modes"]["scalar_serial"]["best_s"]
     print(f"campaign: {payload['panels']} panels, best of {REPEATS}")
     print(f"  scalar_serial : {base * 1000:8.1f} ms  (baseline)")

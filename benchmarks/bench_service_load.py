@@ -13,7 +13,9 @@ counters.  Two phases:
   cache and the dispatcher sees no new work.
 
 Results land in ``BENCH_service.json`` at the repo root with p50/p99
-latency per phase.  Run as a script
+latency per phase, plus an envelope-stamped history row in
+``BENCH_history.jsonl`` (benchmark ``service_load``) for
+``repro-hetsim bench-check``.  Run as a script
 (``python benchmarks/bench_service_load.py``) or through pytest.
 """
 
@@ -29,11 +31,22 @@ from pathlib import Path
 from typing import List, Tuple
 
 from repro._version import __version__
+from repro.obs.history import DEFAULT_HISTORY_NAME, record_benchmark
 from repro.service.app import ModelService, ServiceConfig
 from repro.service.http import start_server
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
+HISTORY_PATH = REPO_ROOT / DEFAULT_HISTORY_NAME
+BENCHMARK_NAME = "service_load"
+
+
+def _record(payload: dict) -> None:
+    """Write the snapshot and its joinable history row (one envelope)."""
+    record_benchmark(
+        payload, benchmark=BENCHMARK_NAME, snapshot_path=OUTPUT_PATH,
+        history_path=HISTORY_PATH, timestamp=time.time(),
+    )
 
 #: Concurrent closed-loop clients.
 CLIENTS = 16
@@ -192,7 +205,7 @@ def test_service_load():
     """Coalescing must actually happen under concurrent load, and the
     warm (fully cached) phase must be faster than the cold one."""
     payload = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _record(payload)
     efficiency = payload["batching"]["efficiency"]
     assert efficiency is not None and efficiency > 1, (
         f"dispatcher never coalesced: {payload['batching']}"
@@ -204,7 +217,7 @@ def test_service_load():
 
 def main() -> int:
     payload = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _record(payload)
     for name, phase in payload["phases"].items():
         print(
             f"  {name:<5}: {phase['requests']} requests, "

@@ -30,6 +30,7 @@ code  meaning
 2     usage or validation error (bad arguments, unknown names)
 3     infeasible design (the budgets admit no design point)
 4     calibration error (inconsistent or insufficient measured data)
+5     benchmark regression gate failure (``bench-check``)
 ====  ===============================================================
 
 Every intentional error prints a one-line ``error: ...`` message to
@@ -79,6 +80,7 @@ EXIT_FAILURE = 1
 EXIT_USAGE = 2
 EXIT_INFEASIBLE = 3
 EXIT_CALIBRATION = 4
+EXIT_REGRESSION = 5
 
 
 def exit_code_for(exc: ReproError) -> int:
@@ -301,6 +303,59 @@ def build_parser() -> argparse.ArgumentParser:
             "structured-log level (DEBUG/INFO/WARNING/ERROR; "
             "default: $REPRO_LOG_LEVEL or INFO)"
         ),
+    )
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help=(
+            "gate the newest benchmark runs against their rolling "
+            "history baseline (repro.obs.regress)"
+        ),
+    )
+    bench_check.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="PATH",
+        help=(
+            "append-only JSONL run store written by the BENCH_* "
+            "writers (default: BENCH_history.jsonl)"
+        ),
+    )
+    bench_check.add_argument(
+        "--benchmark", default=None, metavar="NAME",
+        help="check one benchmark only (default: every benchmark "
+             "present in the history)",
+    )
+    bench_check.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-baseline width in runs (default 5)",
+    )
+    bench_check.add_argument(
+        "--min-runs", type=int, default=3,
+        help=(
+            "comparable runs required before a verdict; below this "
+            "every metric reports no-baseline and the gate stays "
+            "open (default 3)"
+        ),
+    )
+    bench_check.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help=(
+            "relative slack around the bootstrap interval for "
+            "directional (time/rate) metrics; two-sided model "
+            "outputs always gate on any drift (default 0.10)"
+        ),
+    )
+    bench_check.add_argument(
+        "--seed", type=int, default=2010,
+        help="bootstrap RNG seed; fixed seed = bit-identical "
+             "verdicts (default 2010)",
+    )
+    bench_check.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI bootstrap mode)",
+    )
+    bench_check.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the full verdict payload as JSON to PATH",
     )
 
     metrics_dump = sub.add_parser(
@@ -584,12 +639,52 @@ def _cmd_metrics_dump(dump_format: str) -> str:
     import json as _json
 
     from .obs.metrics import get_registry
+    from .obs.slo import get_slo_tracker
     from .perf import cache as _cache  # noqa: F401 - registers gauges
 
+    # Materialise the SLO/error-budget families (and refresh their
+    # gauges) so the dump shows the same shape a server scrape would.
+    get_slo_tracker().refresh_gauges()
     registry = get_registry()
     if dump_format == "prom":
         return registry.render_prometheus().rstrip("\n")
     return _json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+
+
+def _cmd_bench_check(history: str, benchmark: Optional[str],
+                     window: int, min_runs: int, tolerance: float,
+                     seed: int, warn_only: bool,
+                     json_out: Optional[str]) -> "tuple[str, int]":
+    """Gate the newest runs against their history; returns
+    ``(report text, exit code)``."""
+    import pathlib
+
+    from .obs.regress import check_history
+
+    path = pathlib.Path(history)
+    if not path.exists():
+        if warn_only:
+            return (
+                f"bench-check: no history at {path} yet (warn-only)",
+                EXIT_OK,
+            )
+        raise ModelError(
+            f"no benchmark history at {path}; run the BENCH_* writers "
+            f"first (make bench-history) or pass --warn-only"
+        )
+    report = check_history(
+        path, benchmark=benchmark, window=window, min_runs=min_runs,
+        tolerance=tolerance, seed=seed,
+    )
+    if json_out is not None:
+        pathlib.Path(json_out).write_text(report.to_json() + "\n")
+    output = report.render()
+    if report.failures and warn_only:
+        output += "\n(warn-only: exit 0 despite gated failures)"
+    code = (
+        EXIT_REGRESSION if report.failures and not warn_only else EXIT_OK
+    )
+    return output, code
 
 
 def _cmd_campaign(figures: List[str], jobs: Optional[int],
@@ -739,6 +834,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         elif args.command == "metrics-dump":
             output = _cmd_metrics_dump(args.dump_format)
+        elif args.command == "bench-check":
+            output, code = _cmd_bench_check(
+                args.history, args.benchmark, args.window,
+                args.min_runs, args.tolerance, args.seed,
+                args.warn_only, args.json_out,
+            )
+            print(output)
+            return code
         elif args.command == "serve":
             from .service.app import ServiceConfig
             from .service.http import run_server

@@ -53,11 +53,30 @@ from .metrics import (
     render_merged,
     validate_prometheus,
 )
+from .history import (
+    HistoryStore,
+    envelope,
+    extract_metrics,
+    host_fingerprint,
+    record_benchmark,
+)
 from .profiling import (
     phase_totals,
     profile_block,
     reset_phase_totals,
     timed,
+)
+from .regress import (
+    MetricVerdict,
+    RegressionReport,
+    bootstrap_ci,
+    check_history,
+    select_baseline,
+)
+from .slo import (
+    SLObjective,
+    SLOTracker,
+    get_slo_tracker,
 )
 from .trace import Span, Tracer, configure_tracer, get_tracer
 
@@ -90,6 +109,21 @@ __all__ = [
     "profile_block",
     "reset_phase_totals",
     "timed",
+    # history + regression sentinel
+    "HistoryStore",
+    "envelope",
+    "extract_metrics",
+    "host_fingerprint",
+    "record_benchmark",
+    "MetricVerdict",
+    "RegressionReport",
+    "bootstrap_ci",
+    "check_history",
+    "select_baseline",
+    # SLOs
+    "SLObjective",
+    "SLOTracker",
+    "get_slo_tracker",
     # logging
     "JsonLogFormatter",
     "configure_logging",

@@ -1,0 +1,312 @@
+"""Append-only benchmark run history (``BENCH_history.jsonl``).
+
+The ``BENCH_*.json`` snapshots answer "what did the last run measure";
+they are overwritten in place, so they cannot answer "did this commit
+make the model slower" -- the question the regression sentinel
+(:mod:`repro.obs.regress`) exists for.  This module closes the gap
+with one append-only JSONL file at the repo root: every benchmark
+writer records one *history row* per run alongside its snapshot.
+
+A row is joinable with its snapshot through a shared **envelope**::
+
+    {"git_sha": "45002c5...", "host_fingerprint": "1f0c2a9b3d44",
+     "schema_version": 1, "model_version": "1.0.0",
+     "timestamp_unix": 1754380000.0, "run_id": 7}
+
+* ``git_sha`` -- the commit the run measured (read from ``.git``
+  without shelling out; ``None`` outside a checkout).
+* ``host_fingerprint`` -- a stable hash of the machine's identity
+  (OS, arch, CPU count, Python minor).  Baseline selection only
+  compares runs from the same fingerprint -- cross-machine timings
+  are not comparable.
+* ``schema_version`` -- of the *history row format* (this module);
+  the regression checker skips rows from older majors.
+* ``timestamp_unix`` -- passed in by the caller, never sampled here,
+  so replayed/backfilled runs keep their original wall-clock.
+* ``run_id`` -- monotonically increasing per history file; assigned
+  at append time.
+
+Rows carry a flat ``metrics`` dict extracted from the snapshot
+payload (:func:`extract_metrics`): numeric leaves only, dotted paths,
+with machine/config/provenance keys excluded so the regression
+checker never "detects" a CPU-count change as a perf regression.
+Everything is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .._version import __version__
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_NAME",
+    "host_fingerprint",
+    "git_sha",
+    "envelope",
+    "extract_metrics",
+    "HistoryStore",
+    "record_benchmark",
+]
+
+#: Version of the history-row format written by this module.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Canonical history file name at the repo root.
+DEFAULT_HISTORY_NAME = "BENCH_history.jsonl"
+
+#: Top-level payload keys that never contain benchmark metrics.
+_EXCLUDED_SECTIONS = frozenset({"machine", "config", "envelope"})
+
+#: Leaf keys that are configuration or provenance, not measurements.
+_EXCLUDED_LEAVES = frozenset(
+    {
+        "schema_version",
+        "model_version",
+        "repeats",
+        "required_speedup",
+        "panels",
+        "clients",
+        "unique_requests",
+        "tasks",
+        "jobs",
+        "seed",
+        "trials",
+    }
+)
+
+
+def host_fingerprint() -> str:
+    """A stable 12-hex id for "this kind of machine".
+
+    Hashes the slow-moving identity of the host: OS, architecture,
+    CPU count, and the Python ``major.minor``.  Two runs share a
+    fingerprint iff their wall-clock numbers are worth comparing;
+    a container rebuild with the same shape keeps the fingerprint.
+    """
+    major, minor = platform.python_version_tuple()[:2]
+    basis = "|".join(
+        (
+            platform.system(),
+            platform.machine(),
+            str(os.cpu_count() or 0),
+            f"{major}.{minor}",
+        )
+    )
+    return hashlib.sha256(basis.encode()).hexdigest()[:12]
+
+
+def git_sha(root: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The checked-out commit sha, read straight from ``.git``.
+
+    Walks up from ``root`` (default: the current directory) to the
+    nearest ``.git``, then resolves ``HEAD`` through loose refs and
+    ``packed-refs``.  Returns ``None`` when no repository is found or
+    the ref cannot be resolved -- history rows outside a checkout
+    simply carry ``"git_sha": null``.
+    """
+    directory = Path(root or Path.cwd()).resolve()
+    for candidate in (directory, *directory.parents):
+        git_dir = candidate / ".git"
+        if git_dir.is_dir():
+            return _resolve_head(git_dir)
+        if git_dir.is_file():  # worktree: "gitdir: <path>"
+            try:
+                text = git_dir.read_text().strip()
+            except OSError:
+                return None
+            if text.startswith("gitdir:"):
+                return _resolve_head(Path(text.split(":", 1)[1].strip()))
+    return None
+
+
+def _resolve_head(git_dir: Path) -> Optional[str]:
+    try:
+        head = (git_dir / "HEAD").read_text().strip()
+    except OSError:
+        return None
+    if not head.startswith("ref:"):
+        return head or None  # detached HEAD holds the sha directly
+    ref = head.split(":", 1)[1].strip()
+    loose = git_dir / ref
+    try:
+        return loose.read_text().strip()
+    except OSError:
+        pass
+    try:
+        for line in (git_dir / "packed-refs").read_text().splitlines():
+            if line.startswith("#") or line.startswith("^"):
+                continue
+            parts = line.split()
+            if len(parts) == 2 and parts[1] == ref:
+                return parts[0]
+    except OSError:
+        pass
+    return None
+
+
+def envelope(
+    timestamp: float,
+    root: Optional[Union[str, Path]] = None,
+    run_id: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The common provenance stamp shared by snapshots and history rows.
+
+    ``timestamp`` is required and always caller-supplied -- the
+    envelope never reads the clock itself, so backfilled or replayed
+    runs keep their original wall-clock.  ``run_id`` is normally left
+    ``None`` and assigned by :meth:`HistoryStore.append`.
+    """
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "model_version": __version__,
+        "git_sha": git_sha(root),
+        "host_fingerprint": host_fingerprint(),
+        "timestamp_unix": float(timestamp),
+        "run_id": run_id,
+    }
+
+
+def extract_metrics(
+    payload: Dict[str, Any], prefix: str = ""
+) -> Dict[str, float]:
+    """Flatten a benchmark payload to ``{dotted.path: number}``.
+
+    Keeps every int/float leaf (bools excluded) that is not
+    machine/config/provenance metadata; nested dicts flatten with
+    dotted keys.  Lists are skipped -- per-repetition samples
+    (``times_s``) are already summarised by their ``best_s``/``mean_s``
+    siblings, and cross-*run* distributions are what the regression
+    checker bootstraps over.
+    """
+    metrics: Dict[str, float] = {}
+    for key, value in payload.items():
+        if not prefix and key in _EXCLUDED_SECTIONS:
+            continue
+        if key in _EXCLUDED_LEAVES:
+            continue
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            metrics[path] = float(value)
+        elif isinstance(value, dict):
+            metrics.update(extract_metrics(value, path))
+    return metrics
+
+
+class HistoryStore:
+    """One append-only JSONL file of benchmark history rows.
+
+    Reads are tolerant: a corrupt or truncated line (a crashed writer,
+    a bad merge) is counted in :attr:`corrupt_lines` and skipped, never
+    fatal -- losing one row must not brick the regression gate.
+    Appends are serialised through an ``O_APPEND`` write of one
+    complete line, which is atomic for the line sizes involved.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.corrupt_lines = 0
+
+    def rows(
+        self,
+        benchmark: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Every parseable row, in file order, optionally filtered."""
+        self.corrupt_lines = 0
+        rows: List[Dict[str, Any]] = []
+        if not self.path.exists():
+            return rows
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    self.corrupt_lines += 1
+                    continue
+                if not isinstance(row, dict):
+                    self.corrupt_lines += 1
+                    continue
+                if benchmark is not None and row.get("benchmark") != benchmark:
+                    continue
+                if fingerprint is not None and (
+                    row.get("envelope", {}).get("host_fingerprint")
+                    != fingerprint
+                ):
+                    continue
+                rows.append(row)
+        return rows
+
+    def last_run_id(self) -> int:
+        """The highest run id in the file (0 when empty/missing)."""
+        last = 0
+        for row in self.rows():
+            run_id = row.get("envelope", {}).get("run_id")
+            if isinstance(run_id, int) and run_id > last:
+                last = run_id
+        return last
+
+    def next_run_id(self) -> int:
+        return self.last_run_id() + 1
+
+    def append(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one history row, assigning a monotonic run id.
+
+        A row arriving with ``run_id: None`` gets the next id; a
+        pre-assigned id (the caller stamped the snapshot first) is
+        kept when it is still ahead of the file, else bumped so ids
+        never repeat or go backwards.
+        """
+        env = row.setdefault("envelope", {})
+        floor = self.next_run_id()
+        run_id = env.get("run_id")
+        if not isinstance(run_id, int) or run_id < floor:
+            env["run_id"] = floor
+        line = json.dumps(row, separators=(",", ":"), sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return row
+
+
+def record_benchmark(
+    payload: Dict[str, Any],
+    benchmark: str,
+    snapshot_path: Union[str, Path],
+    history_path: Union[str, Path],
+    timestamp: float,
+) -> Dict[str, Any]:
+    """Write one run's snapshot *and* its history row, joinably.
+
+    The shared helper behind all ``BENCH_*.json`` writers: stamps one
+    :func:`envelope` (with the run id pre-assigned from the history
+    file) into the snapshot payload, writes the snapshot, then appends
+    the matching history row ``{"benchmark", "envelope", "metrics"}``.
+    Returns the history row.
+    """
+    snapshot_path = Path(snapshot_path)
+    store = HistoryStore(history_path)
+    stamp = envelope(
+        timestamp, root=snapshot_path.parent, run_id=store.next_run_id()
+    )
+    payload["envelope"] = stamp
+    snapshot_path.write_text(json.dumps(payload, indent=2) + "\n")
+    row = {
+        "benchmark": benchmark,
+        "envelope": dict(stamp),
+        "metrics": extract_metrics(payload),
+    }
+    return store.append(row)

@@ -485,14 +485,20 @@ _VALID_TYPES = (
 )
 
 
-def validate_prometheus(text: str) -> List[str]:
+def validate_prometheus(
+    text: str, required: Optional[Sequence[str]] = None
+) -> List[str]:
     """Check ``text`` against the Prometheus text format; returns the
     sample metric names.
 
     Raises ``ValueError`` naming the first offending line.  Covers the
     rules a scrape would trip over: sample syntax, label-pair syntax,
     parseable values, ``# TYPE`` declarations that precede their
-    samples, and no duplicate TYPE lines.  CI runs this against a live
+    samples, and no duplicate TYPE lines.  ``required`` additionally
+    asserts that each named metric family is present (either as a
+    sample name, a declared type, or via its ``_sum``/``_count``/
+    ``_bucket`` series) -- the CI smoke job uses this to pin the
+    service and SLO families against a live
     ``GET /metrics?format=prom`` scrape.
     """
     if text and not text.endswith("\n"):
@@ -546,6 +552,17 @@ def validate_prometheus(text: str) -> List[str]:
                 f"line {lineno}: sample {name!r} has no TYPE declaration"
             )
         seen.append(name)
+    if required:
+        present = set(seen) | set(typed)
+        for name in seen:
+            for suffix in ("_sum", "_count", "_bucket"):
+                if name.endswith(suffix):
+                    present.add(name[: -len(suffix)])
+        missing = sorted(set(required) - present)
+        if missing:
+            raise ValueError(
+                f"exposition is missing required families: {missing}"
+            )
     return seen
 
 

@@ -1,0 +1,429 @@
+"""Statistical regression gating over the benchmark history.
+
+Turns the append-only run store (:mod:`repro.obs.history`) into a
+go/no-go signal: did the newest run of each benchmark regress against
+its own recent past on the same machine?  Three pieces:
+
+* **Baseline selection** (:func:`select_baseline`) -- the last
+  ``window`` runs that are *comparable* to the candidate: same
+  benchmark, same host fingerprint, same history schema version, and
+  strictly older (smaller run id).  Fewer than ``min_runs`` of them
+  means no verdict ("no-baseline"), never a fabricated one.
+* **Bootstrap comparison** (:func:`bootstrap_ci`) -- a seeded
+  bootstrap of the baseline *median* per metric gives a confidence
+  interval that is deterministic under a fixed seed (CI reruns agree
+  with local reruns).  The interval is widened by a relative
+  tolerance before judging, so scheduler noise on time metrics does
+  not gate, while deterministic model outputs (whose baseline CI
+  collapses to a point) flag on any bit-drift.
+* **Direction classes** (:func:`classify_metric`) -- metric names
+  choose the failure direction: time-like metrics regress *upward*
+  (``best_s``, ``p99_ms``...), rate-like metrics regress *downward*
+  (``speedup``, ``throughput_rps``...), and everything else is
+  two-sided "drift" (a projected speedup silently changing value is
+  exactly as gate-worthy as a slowdown -- the MultiAmdahl follow-ups
+  show how sensitive the optimal-allocation results are to small
+  model drift).  Load-shape counters (``dispatches``, ``hits``...)
+  are two-sided too, but judged with the relative tolerance rather
+  than epsilon -- a concurrent run legitimately batches differently
+  every time.
+
+The CLI surface is ``repro-hetsim bench-check`` (exit code 5 on a
+gated failure); CI runs it after appending to the cached history.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .history import HISTORY_SCHEMA_VERSION, HistoryStore
+
+__all__ = [
+    "LOWER_IS_BETTER",
+    "HIGHER_IS_BETTER",
+    "TWO_SIDED",
+    "TWO_SIDED_NOISY",
+    "classify_metric",
+    "bootstrap_ci",
+    "select_baseline",
+    "MetricVerdict",
+    "RegressionReport",
+    "check_rows",
+    "check_history",
+]
+
+#: Direction classes (the verdict's ``direction`` field).
+LOWER_IS_BETTER = "lower"
+HIGHER_IS_BETTER = "higher"
+TWO_SIDED = "two-sided"
+TWO_SIDED_NOISY = "two-sided-noisy"
+
+#: Name fragments marking a time-like metric (regression = larger).
+_LOWER_HINTS = (
+    "_s", "_ms", "seconds", "latency", "wall", "elapsed", "duration",
+)
+#: Name fragments marking a rate-like metric (regression = smaller).
+_HIGHER_HINTS = (
+    "speedup", "efficiency", "throughput", "rps", "hit_rate",
+)
+#: Leaf names of load-shape counters (batch sizes, cache traffic):
+#: legitimately different on every concurrent run, so they judge
+#: two-sided but with the relative tolerance, not epsilon.
+_NOISY_HINTS = (
+    "dispatches", "items", "hits", "misses", "max_batch",
+    "evictions", "requests",
+)
+
+#: Bootstrap resamples; enough for a stable 95% interval on the
+#: handful of baseline runs a rolling window holds.
+DEFAULT_RESAMPLES = 2000
+DEFAULT_ALPHA = 0.05
+DEFAULT_WINDOW = 5
+DEFAULT_MIN_RUNS = 3
+#: Relative slack added around the bootstrap interval for noisy
+#: (directional) metrics; two-sided model outputs get no slack beyond
+#: numerical epsilon, so bit-drift is caught.
+DEFAULT_TOLERANCE = 0.10
+_DRIFT_EPSILON = 1e-9
+
+#: Statuses that fail the gate.
+GATING_STATUSES = frozenset({"regressed", "drift"})
+
+
+def classify_metric(name: str) -> str:
+    """The failure direction a metric name implies.
+
+    The leaf name decides (``modes.batch_serial.best_s`` -> time-like
+    even though the path mentions a mode); rate hints win over time
+    hints so ``speedup_vs_scalar.batch_serial`` classifies as a rate.
+    """
+    leaf = name.rsplit(".", 1)[-1].lower()
+    full = name.lower()
+    if any(hint in full for hint in _HIGHER_HINTS):
+        return HIGHER_IS_BETTER
+    if any(leaf.endswith(hint) or hint in leaf for hint in _LOWER_HINTS):
+        return LOWER_IS_BETTER
+    if any(leaf == hint for hint in _NOISY_HINTS):
+        return TWO_SIDED_NOISY
+    return TWO_SIDED
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    seed: int,
+    n_resamples: int = DEFAULT_RESAMPLES,
+    alpha: float = DEFAULT_ALPHA,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI for the median of ``values``.
+
+    Deterministic: the resampling stream comes from
+    ``random.Random(seed)`` only, so a fixed seed reproduces the
+    interval bit-for-bit anywhere.  One value returns a point
+    interval; an empty sequence is a caller bug and raises.
+    """
+    import random
+
+    if not values:
+        raise ValueError("bootstrap_ci needs at least one value")
+    values = [float(v) for v in values]
+    if len(values) == 1:
+        return values[0], values[0]
+    rng = random.Random(seed)
+    n = len(values)
+    stats = sorted(
+        statistics.median(rng.choices(values, k=n))
+        for _ in range(n_resamples)
+    )
+    lo_idx = int((alpha / 2) * (n_resamples - 1))
+    hi_idx = int((1 - alpha / 2) * (n_resamples - 1))
+    return stats[lo_idx], stats[hi_idx]
+
+
+def _metric_seed(seed: int, metric: str) -> int:
+    """Decorrelate metrics while staying deterministic per (seed, name)."""
+    return seed ^ zlib.crc32(metric.encode())
+
+
+def select_baseline(
+    rows: Sequence[Dict[str, Any]],
+    candidate: Dict[str, Any],
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+) -> List[Dict[str, Any]]:
+    """The rolling baseline for ``candidate``: its last ``window``
+    comparable predecessors.
+
+    Comparable means same benchmark, same host fingerprint, same
+    history schema version, and a strictly smaller run id.  Returns
+    ``[]`` when fewer than ``min_runs`` qualify -- mixed-machine or
+    old-schema history degrades to "no baseline", never to a bogus
+    comparison.
+    """
+    env = candidate.get("envelope", {})
+    run_id = env.get("run_id") or 0
+    comparable = [
+        row
+        for row in rows
+        if row is not candidate
+        and row.get("benchmark") == candidate.get("benchmark")
+        and row.get("envelope", {}).get("host_fingerprint")
+        == env.get("host_fingerprint")
+        and row.get("envelope", {}).get("schema_version")
+        == HISTORY_SCHEMA_VERSION
+        and (row.get("envelope", {}).get("run_id") or 0) < run_id
+    ]
+    comparable.sort(key=lambda row: row["envelope"].get("run_id") or 0)
+    recent = comparable[-window:]
+    if len(recent) < min_runs:
+        return []
+    return recent
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's judgement against its rolling baseline."""
+
+    benchmark: str
+    metric: str
+    direction: str
+    status: str  # pass | improved | regressed | drift | no-baseline | missing
+    candidate: Optional[float] = None
+    baseline_lo: Optional[float] = None
+    baseline_hi: Optional[float] = None
+    baseline_runs: int = 0
+
+    @property
+    def gating(self) -> bool:
+        return self.status in GATING_STATUSES
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "metric": self.metric,
+            "direction": self.direction,
+            "status": self.status,
+            "candidate": self.candidate,
+            "baseline_lo": self.baseline_lo,
+            "baseline_hi": self.baseline_hi,
+            "baseline_runs": self.baseline_runs,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Every verdict of one ``bench-check`` invocation."""
+
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.gating]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "failures": [v.metric for v in self.failures],
+            "verdicts": [v.payload() for v in self.verdicts],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """A human-readable verdict table, failures first."""
+        if not self.verdicts:
+            return "bench-check: history holds no candidate runs"
+        lines = []
+        counts: Dict[str, int] = {}
+        for verdict in self.verdicts:
+            counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        summary = ", ".join(
+            f"{count} {status}" for status, count in sorted(counts.items())
+        )
+        state = "FAIL" if self.failures else "PASS"
+        lines.append(
+            f"bench-check: {state} ({len(self.verdicts)} metrics: {summary})"
+        )
+        ordered = sorted(
+            self.verdicts, key=lambda v: (not v.gating, v.benchmark, v.metric)
+        )
+        for verdict in ordered:
+            if verdict.status == "pass":
+                continue  # passing metrics stay on the summary line
+            span = (
+                f"[{verdict.baseline_lo:.6g}, {verdict.baseline_hi:.6g}]"
+                if verdict.baseline_lo is not None
+                else "-"
+            )
+            value = (
+                f"{verdict.candidate:.6g}"
+                if verdict.candidate is not None
+                else "-"
+            )
+            lines.append(
+                f"  {verdict.status:<11} {verdict.benchmark}:"
+                f"{verdict.metric}  value={value} baseline{span} "
+                f"({verdict.direction}, n={verdict.baseline_runs})"
+            )
+        return "\n".join(lines)
+
+
+def _judge(
+    benchmark: str,
+    metric: str,
+    candidate: float,
+    baseline_values: Sequence[float],
+    seed: int,
+    tolerance: float,
+) -> MetricVerdict:
+    direction = classify_metric(metric)
+    lo, hi = bootstrap_ci(baseline_values, seed=_metric_seed(seed, metric))
+    slack = tolerance if direction != TWO_SIDED else _DRIFT_EPSILON
+    allowed_lo = lo - abs(lo) * slack - _DRIFT_EPSILON
+    allowed_hi = hi + abs(hi) * slack + _DRIFT_EPSILON
+    if direction == LOWER_IS_BETTER:
+        if candidate > allowed_hi:
+            status = "regressed"
+        elif candidate < allowed_lo:
+            status = "improved"
+        else:
+            status = "pass"
+    elif direction == HIGHER_IS_BETTER:
+        if candidate < allowed_lo:
+            status = "regressed"
+        elif candidate > allowed_hi:
+            status = "improved"
+        else:
+            status = "pass"
+    else:  # both two-sided classes: any departure is drift
+        status = (
+            "drift"
+            if candidate < allowed_lo or candidate > allowed_hi
+            else "pass"
+        )
+    return MetricVerdict(
+        benchmark=benchmark,
+        metric=metric,
+        direction=direction,
+        status=status,
+        candidate=candidate,
+        baseline_lo=lo,
+        baseline_hi=hi,
+        baseline_runs=len(baseline_values),
+    )
+
+
+def check_rows(
+    rows: Sequence[Dict[str, Any]],
+    benchmark: Optional[str] = None,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    seed: int = 2010,
+) -> RegressionReport:
+    """Judge the newest run of each benchmark in ``rows``.
+
+    The candidate per benchmark is the row with the highest run id;
+    its baseline comes from :func:`select_baseline`.  Metrics present
+    in the candidate but absent from the baseline majority are
+    "no-baseline" (new instrumentation must not gate its own first
+    run); metrics the candidate *lost* report "missing" (warn-only --
+    renames happen, but they should be visible).
+    """
+    report = RegressionReport()
+    names = sorted(
+        {
+            row.get("benchmark")
+            for row in rows
+            if isinstance(row.get("benchmark"), str)
+        }
+    )
+    if benchmark is not None:
+        names = [name for name in names if name == benchmark]
+    for name in names:
+        bench_rows = [r for r in rows if r.get("benchmark") == name]
+        candidate = max(
+            bench_rows,
+            key=lambda row: row.get("envelope", {}).get("run_id") or 0,
+        )
+        baseline = select_baseline(
+            rows, candidate, window=window, min_runs=min_runs
+        )
+        metrics = candidate.get("metrics", {}) or {}
+        if not baseline:
+            for metric in sorted(metrics):
+                report.verdicts.append(
+                    MetricVerdict(
+                        benchmark=name,
+                        metric=metric,
+                        direction=classify_metric(metric),
+                        status="no-baseline",
+                        candidate=metrics[metric],
+                    )
+                )
+            continue
+        baseline_metrics: Dict[str, List[float]] = {}
+        for row in baseline:
+            for metric, value in (row.get("metrics", {}) or {}).items():
+                if isinstance(value, (int, float)):
+                    baseline_metrics.setdefault(metric, []).append(
+                        float(value)
+                    )
+        for metric in sorted(metrics):
+            value = metrics[metric]
+            values = baseline_metrics.get(metric, [])
+            if len(values) < min_runs:
+                report.verdicts.append(
+                    MetricVerdict(
+                        benchmark=name,
+                        metric=metric,
+                        direction=classify_metric(metric),
+                        status="no-baseline",
+                        candidate=value,
+                        baseline_runs=len(values),
+                    )
+                )
+                continue
+            report.verdicts.append(
+                _judge(name, metric, value, values, seed, tolerance)
+            )
+        for metric in sorted(set(baseline_metrics) - set(metrics)):
+            if len(baseline_metrics[metric]) >= min_runs:
+                report.verdicts.append(
+                    MetricVerdict(
+                        benchmark=name,
+                        metric=metric,
+                        direction=classify_metric(metric),
+                        status="missing",
+                        baseline_runs=len(baseline_metrics[metric]),
+                    )
+                )
+    return report
+
+
+def check_history(
+    path,
+    benchmark: Optional[str] = None,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    seed: int = 2010,
+) -> RegressionReport:
+    """:func:`check_rows` over a history file on disk."""
+    store = HistoryStore(path)
+    return check_rows(
+        store.rows(),
+        benchmark=benchmark,
+        window=window,
+        min_runs=min_runs,
+        tolerance=tolerance,
+        seed=seed,
+    )

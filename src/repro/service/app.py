@@ -2,8 +2,9 @@
 
 :class:`ModelService` owns the whole request lifecycle:
 
-1. **Route** -- ``GET /healthz``, ``GET /metrics``, and the three
-   model endpoints (``/v1/speedup``, ``/v1/sweep``, ``/v1/optimize``).
+1. **Route** -- ``GET /healthz``, ``GET /metrics``, ``GET /v1/slo``,
+   and the three model endpoints (``/v1/speedup``, ``/v1/sweep``,
+   ``/v1/optimize``).
 2. **Parse** -- strict JSON-schema validation into frozen request
    dataclasses (400 on any violation).
 3. **Cache** -- an LRU keyed on the request dataclass; a hit is
@@ -41,6 +42,7 @@ from ..campaign.jobs import JobManager
 from ..obs.context import new_span_id
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import get_registry, render_merged
+from ..obs.slo import SLObjective, SLOTracker
 from ..obs.trace import get_tracer
 from ..core.optimizer import optimize
 from ..devices.bce import DEFAULT_BCE
@@ -116,6 +118,9 @@ class ServiceConfig:
     #: Log level for the structured JSON logs (``--log-level`` /
     #: ``REPRO_LOG_LEVEL``); None resolves through the environment.
     log_level: Optional[str] = None
+    #: Declarative latency/error objectives per endpoint; None takes
+    #: :data:`repro.obs.slo.DEFAULT_OBJECTIVES`.
+    slo_objectives: Optional[Tuple["SLObjective", ...]] = None
 
 
 class ModelService:
@@ -146,6 +151,12 @@ class ModelService:
         )
         self._semaphore = asyncio.Semaphore(self.config.max_inflight)
         self._waiting = 0
+        #: Per-instance SLO accounting; its repro_slo_* gauges render
+        #: through the same registry as the request counters.
+        self.slo = SLOTracker(
+            objectives=self.config.slo_objectives,
+            registry=self.registry,
+        )
         self.jobs = JobManager(
             store_dir=self.config.store_dir,
             task_workers=self.config.job_task_workers,
@@ -232,6 +243,7 @@ class ModelService:
                 )
         latency = time.perf_counter() - start
         self.metrics.record_request(path, status, latency, cache_state)
+        self.slo.record(path, latency, error=status >= 500)
         self._log_access(
             method, path, status, latency, cache_state,
             request_id=request_id, trace_id=span.trace_id,
@@ -274,11 +286,16 @@ class ModelService:
         if path == "/metrics":
             self._require_method(method, "GET", path)
             if query.get("format", [""])[0] == "prom":
+                self.slo.refresh_gauges()
                 text = render_merged(self.registry, get_registry())
                 return 200, text, None
             snapshot = self.metrics.snapshot()
             snapshot["campaign"] = self.jobs.stats()
+            snapshot["slo"] = self.slo.snapshot()
             return 200, snapshot, None
+        if path == "/v1/slo":
+            self._require_method(method, "GET", path)
+            return 200, self.slo.snapshot(), None
         if path == "/v1/traces":
             self._require_method(method, "GET", path)
             return 200, self._traces(query), None
@@ -338,6 +355,10 @@ class ModelService:
             "version": __version__,
             "uptime_s": self.metrics.snapshot()["uptime_s"],
             "checks": checks,
+            # Informational only: a burning SLO means "stop deploying",
+            # not "stop routing", so it never degrades the 200/503
+            # readiness contract above.
+            "slo": self.slo.overall_status(),
         }
         return (200 if healthy else 503), payload
 

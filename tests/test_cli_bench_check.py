@@ -1,0 +1,127 @@
+"""``repro-hetsim bench-check``: exit codes, warn-only mode, the
+verdict JSON artifact, and the rendered report naming offenders.
+"""
+
+import json
+
+from repro.cli import EXIT_REGRESSION, main
+from repro.obs.history import HISTORY_SCHEMA_VERSION, HistoryStore
+
+FINGERPRINT = "f" * 12
+
+
+def _write_history(path, candidate_best_s=1.0, n_baseline=5):
+    store = HistoryStore(path)
+    times = (1.00, 0.98, 1.02, 0.99, 1.01)
+    for i in range(n_baseline):
+        store.append({
+            "benchmark": "projection",
+            "envelope": {
+                "host_fingerprint": FINGERPRINT,
+                "schema_version": HISTORY_SCHEMA_VERSION,
+                "run_id": None,
+            },
+            "metrics": {"modes.batch.best_s": times[i % len(times)]},
+        })
+    store.append({
+        "benchmark": "projection",
+        "envelope": {
+            "host_fingerprint": FINGERPRINT,
+            "schema_version": HISTORY_SCHEMA_VERSION,
+            "run_id": None,
+        },
+        "metrics": {"modes.batch.best_s": candidate_best_s},
+    })
+    return path
+
+
+class TestBenchCheckCommand:
+    def test_stable_history_exits_zero(self, tmp_path, capsys):
+        history = _write_history(tmp_path / "h.jsonl")
+        code = main(["bench-check", "--history", str(history)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exits_five_and_names_metric(self, tmp_path,
+                                                    capsys):
+        history = _write_history(
+            tmp_path / "h.jsonl", candidate_best_s=1.3
+        )
+        code = main(["bench-check", "--history", str(history)])
+        assert code == EXIT_REGRESSION == 5
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "modes.batch.best_s" in out
+
+    def test_warn_only_downgrades_to_zero(self, tmp_path, capsys):
+        history = _write_history(
+            tmp_path / "h.jsonl", candidate_best_s=1.3
+        )
+        code = main(
+            ["bench-check", "--history", str(history), "--warn-only"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out  # the failure is still visible
+        assert "warn-only" in out
+
+    def test_missing_history_is_model_error(self, tmp_path, capsys):
+        code = main(
+            ["bench-check", "--history", str(tmp_path / "absent.jsonl")]
+        )
+        assert code == 2
+
+    def test_missing_history_warn_only_is_zero(self, tmp_path, capsys):
+        code = main([
+            "bench-check", "--history",
+            str(tmp_path / "absent.jsonl"), "--warn-only",
+        ])
+        assert code == 0
+        assert "no history" in capsys.readouterr().out
+
+    def test_short_history_stays_open(self, tmp_path, capsys):
+        # Fewer than --min-runs comparable baselines: every verdict is
+        # "no-baseline" and the gate does not fire -- this is the CI
+        # bootstrap mode while the cache accumulates runs.
+        history = _write_history(
+            tmp_path / "h.jsonl", candidate_best_s=1.3, n_baseline=2
+        )
+        code = main(["bench-check", "--history", str(history)])
+        assert code == 0
+        assert "no-baseline" in capsys.readouterr().out
+
+    def test_json_out_artifact(self, tmp_path, capsys):
+        history = _write_history(
+            tmp_path / "h.jsonl", candidate_best_s=1.3
+        )
+        verdicts = tmp_path / "verdicts.json"
+        code = main([
+            "bench-check", "--history", str(history),
+            "--json-out", str(verdicts),
+        ])
+        assert code == 5
+        payload = json.loads(verdicts.read_text())
+        assert payload["ok"] is False
+        assert payload["failures"] == ["modes.batch.best_s"]
+        assert payload["verdicts"][0]["baseline_runs"] == 5
+
+    def test_benchmark_filter(self, tmp_path, capsys):
+        history = _write_history(
+            tmp_path / "h.jsonl", candidate_best_s=1.3
+        )
+        code = main([
+            "bench-check", "--history", str(history),
+            "--benchmark", "does-not-exist",
+        ])
+        assert code == 0
+        assert "no candidate runs" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_gate(self, tmp_path, capsys):
+        history = _write_history(
+            tmp_path / "h.jsonl", candidate_best_s=1.3
+        )
+        code = main([
+            "bench-check", "--history", str(history),
+            "--tolerance", "0.5",
+        ])
+        assert code == 0

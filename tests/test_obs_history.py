@@ -1,0 +1,221 @@
+"""The append-only benchmark history (``repro.obs.history``):
+envelopes, run-id monotonicity, corrupt-line tolerance, and the
+snapshot/history join performed by :func:`record_benchmark`.
+"""
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryStore,
+    envelope,
+    extract_metrics,
+    git_sha,
+    host_fingerprint,
+    record_benchmark,
+)
+
+
+class TestHostFingerprint:
+    def test_stable_and_short(self):
+        first, second = host_fingerprint(), host_fingerprint()
+        assert first == second
+        assert len(first) == 12
+        int(first, 16)  # hex
+
+
+class TestGitSha:
+    def test_resolves_loose_ref(self, tmp_path):
+        git = tmp_path / ".git"
+        (git / "refs" / "heads").mkdir(parents=True)
+        (git / "HEAD").write_text("ref: refs/heads/main\n")
+        (git / "refs" / "heads" / "main").write_text("a" * 40 + "\n")
+        assert git_sha(tmp_path) == "a" * 40
+
+    def test_resolves_packed_ref(self, tmp_path):
+        git = tmp_path / ".git"
+        git.mkdir()
+        (git / "HEAD").write_text("ref: refs/heads/main\n")
+        (git / "packed-refs").write_text(
+            "# pack-refs with: peeled fully-peeled sorted\n"
+            + "b" * 40
+            + " refs/heads/main\n"
+        )
+        assert git_sha(tmp_path) == "b" * 40
+
+    def test_detached_head(self, tmp_path):
+        git = tmp_path / ".git"
+        git.mkdir()
+        (git / "HEAD").write_text("c" * 40 + "\n")
+        assert git_sha(tmp_path) == "c" * 40
+
+    def test_walks_up_from_subdirectory(self, tmp_path):
+        git = tmp_path / ".git"
+        git.mkdir()
+        (git / "HEAD").write_text("d" * 40 + "\n")
+        nested = tmp_path / "src" / "deep"
+        nested.mkdir(parents=True)
+        assert git_sha(nested) == "d" * 40
+
+    def test_no_repository_is_none(self, tmp_path):
+        assert git_sha(tmp_path) is None
+
+    def test_this_checkout_resolves(self):
+        sha = git_sha()
+        assert sha is not None and len(sha) == 40
+
+
+class TestEnvelope:
+    def test_fields(self):
+        env = envelope(timestamp=1754380000.5)
+        assert env["schema_version"] == HISTORY_SCHEMA_VERSION
+        assert env["model_version"] == __version__
+        assert env["host_fingerprint"] == host_fingerprint()
+        assert env["timestamp_unix"] == 1754380000.5
+        assert env["run_id"] is None
+
+    def test_timestamp_is_caller_supplied(self):
+        # Backfilled runs keep their wall-clock: the envelope never
+        # samples the clock itself.
+        assert envelope(timestamp=42)["timestamp_unix"] == 42.0
+
+
+class TestExtractMetrics:
+    PAYLOAD = {
+        "schema_version": 2,
+        "model_version": "1.0.0",
+        "best_speedup": 7.5,
+        "repeats": 5,
+        "modes": {
+            "batch_serial": {
+                "best_s": 0.12,
+                "times_s": [0.12, 0.13],
+                "jobs": 1,
+            },
+        },
+        "machine": {"cpus": 8},
+        "config": {"batch_window_ms": 2.0},
+        "envelope": {"run_id": 3},
+        "ok": True,
+    }
+
+    def test_flattens_numeric_leaves(self):
+        metrics = extract_metrics(self.PAYLOAD)
+        assert metrics["best_speedup"] == 7.5
+        assert metrics["modes.batch_serial.best_s"] == 0.12
+
+    def test_excludes_provenance_and_machine(self):
+        metrics = extract_metrics(self.PAYLOAD)
+        for absent in (
+            "schema_version",
+            "model_version",
+            "repeats",
+            "modes.batch_serial.jobs",  # config leaf, not a measurement
+            "machine.cpus",
+            "config.batch_window_ms",
+            "envelope.run_id",
+        ):
+            assert absent not in metrics
+
+    def test_skips_bools_and_lists(self):
+        metrics = extract_metrics(self.PAYLOAD)
+        assert "ok" not in metrics
+        assert "modes.batch_serial.times_s" not in metrics
+
+
+class TestHistoryStore:
+    def test_missing_file_reads_empty(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        assert store.rows() == []
+        assert store.last_run_id() == 0
+
+    def test_append_assigns_monotonic_ids(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        ids = [
+            store.append({"benchmark": "b", "envelope": {}})["envelope"][
+                "run_id"
+            ]
+            for _ in range(3)
+        ]
+        assert ids == [1, 2, 3]
+
+    def test_stale_preassigned_id_is_bumped(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        store.append({"benchmark": "b", "envelope": {"run_id": 5}})
+        row = store.append({"benchmark": "b", "envelope": {"run_id": 2}})
+        assert row["envelope"]["run_id"] == 6
+
+    def test_corrupt_lines_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = HistoryStore(path)
+        store.append({"benchmark": "b", "envelope": {}})
+        with open(path, "a") as handle:
+            handle.write("{truncated\n")
+            handle.write("[1, 2]\n")
+        store.append({"benchmark": "b", "envelope": {}})
+        rows = store.rows()
+        assert len(rows) == 2
+        assert store.corrupt_lines == 2
+        assert rows[-1]["envelope"]["run_id"] == 2
+
+    def test_filters(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        store.append(
+            {"benchmark": "a", "envelope": {"host_fingerprint": "f1"}}
+        )
+        store.append(
+            {"benchmark": "b", "envelope": {"host_fingerprint": "f2"}}
+        )
+        assert len(store.rows(benchmark="a")) == 1
+        assert len(store.rows(fingerprint="f2")) == 1
+        assert store.rows(benchmark="a", fingerprint="f2") == []
+
+
+class TestRecordBenchmark:
+    def test_snapshot_and_row_share_envelope(self, tmp_path):
+        snapshot = tmp_path / "BENCH_x.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        payload = {"schema_version": 1, "best_s": 0.5}
+        row = record_benchmark(
+            payload,
+            benchmark="x",
+            snapshot_path=snapshot,
+            history_path=history,
+            timestamp=123.0,
+        )
+        written = json.loads(snapshot.read_text())
+        assert written["envelope"] == row["envelope"]
+        assert row["envelope"]["run_id"] == 1
+        assert row["envelope"]["timestamp_unix"] == 123.0
+        assert row["metrics"] == {"best_s": 0.5}
+        assert HistoryStore(history).rows()[0]["benchmark"] == "x"
+
+    def test_run_ids_advance_across_runs(self, tmp_path):
+        snapshot = tmp_path / "BENCH_x.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        for expected in (1, 2, 3):
+            row = record_benchmark(
+                {"best_s": 0.5},
+                benchmark="x",
+                snapshot_path=snapshot,
+                history_path=history,
+                timestamp=float(expected),
+            )
+            assert row["envelope"]["run_id"] == expected
+
+    def test_benchmark_writers_share_one_id_sequence(self, tmp_path):
+        history = tmp_path / "BENCH_history.jsonl"
+        a = record_benchmark(
+            {"best_s": 1.0}, benchmark="a",
+            snapshot_path=tmp_path / "a.json",
+            history_path=history, timestamp=1.0,
+        )
+        b = record_benchmark(
+            {"best_s": 2.0}, benchmark="b",
+            snapshot_path=tmp_path / "b.json",
+            history_path=history, timestamp=2.0,
+        )
+        assert (a["envelope"]["run_id"], b["envelope"]["run_id"]) == (1, 2)

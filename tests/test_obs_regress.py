@@ -1,0 +1,282 @@
+"""The regression sentinel (``repro.obs.regress``): direction
+classes, bootstrap determinism, baseline selection over mixed
+histories, and end-to-end verdicts including the injected-slowdown
+acceptance scenario.
+"""
+
+import pytest
+
+from repro.obs.history import HISTORY_SCHEMA_VERSION
+from repro.obs.regress import (
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    TWO_SIDED,
+    TWO_SIDED_NOISY,
+    bootstrap_ci,
+    check_rows,
+    classify_metric,
+    select_baseline,
+)
+
+FINGERPRINT = "f" * 12
+
+
+def _row(run_id, metrics, benchmark="projection",
+         fingerprint=FINGERPRINT, schema=HISTORY_SCHEMA_VERSION):
+    return {
+        "benchmark": benchmark,
+        "envelope": {
+            "run_id": run_id,
+            "host_fingerprint": fingerprint,
+            "schema_version": schema,
+            "git_sha": "a" * 40,
+            "timestamp_unix": float(run_id),
+        },
+        "metrics": dict(metrics),
+    }
+
+
+#: Five stable baseline runs of a time-like metric (~1.0 s) plus a
+#: deterministic model output that must stay bit-identical.
+BASELINE_TIMES = (1.00, 0.98, 1.02, 0.99, 1.01)
+
+
+def _history(candidate_metrics, n_baseline=5):
+    rows = [
+        _row(i + 1, {
+            "modes.batch.best_s": BASELINE_TIMES[i % len(BASELINE_TIMES)],
+            "best_speedup": 7.5,
+            "paper.f8.asic_speedup": 46.75,
+        })
+        for i in range(n_baseline)
+    ]
+    rows.append(_row(n_baseline + 1, candidate_metrics))
+    return rows
+
+
+class TestClassifyMetric:
+    @pytest.mark.parametrize("name", [
+        "modes.batch_serial.best_s",
+        "phases.cold.p99_ms",
+        "cold.mean_s",
+        "wall_seconds",
+        "request_latency",
+    ])
+    def test_time_like_is_lower(self, name):
+        assert classify_metric(name) == LOWER_IS_BETTER
+
+    @pytest.mark.parametrize("name", [
+        "best_speedup",
+        "speedup_vs_scalar.batch_serial",
+        "batching.efficiency",
+        "phases.cold.throughput_rps",
+        "cache.hit_rate",
+    ])
+    def test_rate_like_is_higher(self, name):
+        assert classify_metric(name) == HIGHER_IS_BETTER
+
+    def test_rate_hint_beats_time_suffix(self):
+        # "resume_speedup" would match "_s"-ish leaf rules badly;
+        # the rate hint must win.
+        assert classify_metric("resume_speedup") == HIGHER_IS_BETTER
+
+    def test_model_outputs_are_two_sided(self):
+        assert classify_metric("paper.f8.asic_speedup") == HIGHER_IS_BETTER
+        assert classify_metric("paper.f8.energy_ratio") == TWO_SIDED
+
+    def test_load_shape_counters_are_noisy_two_sided(self):
+        for name in ("batching.dispatches", "batching.items",
+                     "cache.hits", "cache.misses",
+                     "batching.max_batch"):
+            assert classify_metric(name) == TWO_SIDED_NOISY
+
+
+class TestBootstrapCI:
+    def test_deterministic_under_fixed_seed(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_interval_brackets_median(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95]
+        lo, hi = bootstrap_ci(values, seed=7)
+        assert lo <= 1.0 <= hi
+        assert min(values) <= lo <= hi <= max(values)
+
+    def test_single_value_is_point_interval(self):
+        assert bootstrap_ci([2.5], seed=0) == (2.5, 2.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], seed=0)
+
+
+class TestSelectBaseline:
+    def test_needs_min_runs(self):
+        rows = _history({"modes.batch.best_s": 1.0}, n_baseline=2)
+        assert select_baseline(rows, rows[-1], min_runs=3) == []
+
+    def test_other_fingerprints_excluded(self):
+        rows = [
+            _row(i + 1, {"m": 1.0},
+                 fingerprint=FINGERPRINT if i % 2 else "other")
+            for i in range(6)
+        ]
+        candidate = _row(7, {"m": 1.0})
+        baseline = select_baseline(rows, candidate, min_runs=1)
+        assert len(baseline) == 3
+        assert all(
+            r["envelope"]["host_fingerprint"] == FINGERPRINT
+            for r in baseline
+        )
+
+    def test_old_schema_rows_excluded(self):
+        rows = [
+            _row(i + 1, {"m": 1.0},
+                 schema=HISTORY_SCHEMA_VERSION if i % 2 else 0)
+            for i in range(6)
+        ]
+        baseline = select_baseline(rows, _row(7, {"m": 1.0}), min_runs=1)
+        assert len(baseline) == 3
+
+    def test_only_strictly_older_runs(self):
+        rows = [_row(i + 1, {"m": 1.0}) for i in range(5)]
+        baseline = select_baseline(rows, rows[2], min_runs=1)
+        assert [r["envelope"]["run_id"] for r in baseline] == [1, 2]
+
+    def test_window_keeps_newest(self):
+        rows = [_row(i + 1, {"m": 1.0}) for i in range(10)]
+        baseline = select_baseline(rows, rows[-1], window=4, min_runs=1)
+        assert [r["envelope"]["run_id"] for r in baseline] == [6, 7, 8, 9]
+
+
+class TestCheckRows:
+    def test_stable_history_passes(self):
+        report = check_rows(_history({
+            "modes.batch.best_s": 1.0,
+            "best_speedup": 7.5,
+            "paper.f8.asic_speedup": 46.75,
+        }))
+        assert report.ok
+        assert "PASS" in report.render()
+
+    def test_injected_slowdown_fails_and_names_metric(self):
+        # The acceptance scenario: a 30% slowdown on a time metric
+        # must exit non-zero and name the offending metric.
+        report = check_rows(_history({
+            "modes.batch.best_s": 1.3,
+            "best_speedup": 7.5,
+            "paper.f8.asic_speedup": 46.75,
+        }))
+        assert not report.ok
+        assert [v.metric for v in report.failures] == [
+            "modes.batch.best_s"
+        ]
+        rendered = report.render()
+        assert "FAIL" in rendered
+        assert "modes.batch.best_s" in rendered
+
+    def test_speedup_drop_fails(self):
+        report = check_rows(_history({
+            "modes.batch.best_s": 1.0,
+            "best_speedup": 4.0,
+            "paper.f8.asic_speedup": 46.75,
+        }))
+        assert [v.metric for v in report.failures] == ["best_speedup"]
+        assert report.failures[0].direction == HIGHER_IS_BETTER
+
+    def test_faster_run_is_improved_not_failed(self):
+        report = check_rows(_history({
+            "modes.batch.best_s": 0.5,
+            "best_speedup": 7.5,
+            "paper.f8.asic_speedup": 46.75,
+        }))
+        assert report.ok
+        statuses = {v.metric: v.status for v in report.verdicts}
+        assert statuses["modes.batch.best_s"] == "improved"
+
+    def test_bit_drift_in_model_output_gates(self):
+        # asic_speedup carries a rate hint, so use a genuinely
+        # two-sided deterministic output: identical across baseline,
+        # then off by 0.1% -- far outside epsilon.
+        rows = [
+            _row(i + 1, {"paper.f8.energy_ratio": 0.25})
+            for i in range(5)
+        ]
+        rows.append(_row(6, {"paper.f8.energy_ratio": 0.25025}))
+        report = check_rows(rows)
+        assert [v.status for v in report.failures] == ["drift"]
+
+    def test_noisy_counter_gets_tolerance_slack(self):
+        # A batch count moving a few percent between concurrent runs
+        # passes; only a step change drifts.
+        rows = [
+            _row(i + 1, {"batching.dispatches": 50.0 + i})
+            for i in range(5)
+        ]
+        rows.append(_row(6, {"batching.dispatches": 56.0}))
+        assert check_rows(rows).ok
+        rows[-1] = _row(6, {"batching.dispatches": 90.0})
+        report = check_rows(rows)
+        assert [v.status for v in report.failures] == ["drift"]
+        assert report.failures[0].direction == TWO_SIDED_NOISY
+
+    def test_noise_within_tolerance_passes(self):
+        report = check_rows(_history({
+            "modes.batch.best_s": 1.05,
+            "best_speedup": 7.5,
+            "paper.f8.asic_speedup": 46.75,
+        }))
+        assert report.ok
+
+    def test_new_metric_is_no_baseline(self):
+        rows = _history({
+            "modes.batch.best_s": 1.0,
+            "best_speedup": 7.5,
+            "paper.f8.asic_speedup": 46.75,
+            "brand.new_metric": 3.0,
+        })
+        report = check_rows(rows)
+        assert report.ok
+        statuses = {v.metric: v.status for v in report.verdicts}
+        assert statuses["brand.new_metric"] == "no-baseline"
+
+    def test_lost_metric_is_missing_but_warn_only(self):
+        rows = _history({"modes.batch.best_s": 1.0})
+        report = check_rows(rows)
+        assert report.ok  # missing never gates
+        statuses = {v.metric: v.status for v in report.verdicts}
+        assert statuses["best_speedup"] == "missing"
+
+    def test_short_history_is_all_no_baseline(self):
+        report = check_rows(
+            _history({"modes.batch.best_s": 1.3}, n_baseline=2)
+        )
+        assert report.ok
+        assert {v.status for v in report.verdicts} == {"no-baseline"}
+
+    def test_deterministic_report(self):
+        rows = _history({
+            "modes.batch.best_s": 1.3,
+            "best_speedup": 7.5,
+            "paper.f8.asic_speedup": 46.75,
+        })
+        first = check_rows(rows, seed=2010).payload()
+        second = check_rows(rows, seed=2010).payload()
+        assert first == second
+
+    def test_benchmark_filter(self):
+        rows = _history({"modes.batch.best_s": 1.3,
+                         "best_speedup": 7.5,
+                         "paper.f8.asic_speedup": 46.75})
+        rows += [
+            _row(100 + i, {"cold.best_s": 1.0}, benchmark="campaign")
+            for i in range(4)
+        ]
+        report = check_rows(rows, benchmark="campaign")
+        assert report.ok
+        assert {v.benchmark for v in report.verdicts} == {"campaign"}
+
+    def test_empty_history(self):
+        report = check_rows([])
+        assert report.ok
+        assert "no candidate runs" in report.render()
