@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-history bench-check serve artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -33,6 +33,16 @@ bench-history: bench-projection bench-service bench-campaign
 # green (no-baseline verdicts) until >= 3 comparable runs exist.
 bench-check:
 	$(PYTHON) -m repro.cli bench-check --history BENCH_history.jsonl
+
+# Materialize the full design space into a memory-mapped tensor store
+# (serve it with `repro-hetsim serve --tensor-dir tensors/`).
+materialize:
+	$(PYTHON) -m repro.cli materialize build --dir tensors/
+
+# The service load benchmark includes the tensor-materialized phase;
+# this alias regenerates it (and the cold/warm baselines it is gated
+# against) in BENCH_service.json + BENCH_history.jsonl.
+bench-materialize: bench-service
 
 serve:
 	$(PYTHON) -m repro.cli serve

@@ -3,7 +3,7 @@
 Drives a closed-loop client fleet against a real socket server
 (:func:`repro.service.http.start_server` on an ephemeral port) and
 records end-to-end request latency plus the dispatcher's batching
-counters.  Two phases:
+counters.  Three phases:
 
 * **cold** -- every request is unique, so each one must reach the
   micro-batcher.  Concurrent requests for the same design family
@@ -11,6 +11,12 @@ counters.  Two phases:
   ``batch_efficiency > 1`` acceptance number.
 * **warm** -- the same request mix replayed, so the LRU answers from
   cache and the dispatcher sees no new work.
+
+* **materialized** -- the same mix against a second service backed by
+  a pre-built tensor store (``ServiceConfig.tensor_dir``).  Untraced
+  keep-alive POSTs replay pre-encoded responses from the transport
+  fast path, skipping parsing, dispatch, and the response cache
+  entirely; this phase pins the tensor-serving speedup number.
 
 Results land in ``BENCH_service.json`` at the repo root with p50/p99
 latency per phase, plus an envelope-stamped history row in
@@ -26,12 +32,14 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import List, Tuple
 
 from repro._version import __version__
 from repro.obs.history import DEFAULT_HISTORY_NAME, record_benchmark
+from repro.perf.tensorstore import build_tensor_store
 from repro.service.app import ModelService, ServiceConfig
 from repro.service.http import start_server
 
@@ -152,6 +160,35 @@ async def _run_phase(port: int, mix: List[Tuple[str, dict]]) -> dict:
     return summary
 
 
+async def _run_materialized_phase(
+    mix: List[Tuple[str, dict]], tensor_dir: str
+) -> Tuple[dict, dict]:
+    """The same mix against a tensor-backed service.
+
+    One priming sweep populates the transport fast path's byte cache
+    (mirroring the cold sweep the live service gets before its warm
+    phase); the measured sweep then replays pre-encoded responses.
+    Returns ``(phase summary, tensorstore counters)``.
+    """
+    service = ModelService(
+        ServiceConfig(batch_window_ms=2.0, max_inflight=16,
+                      queue_depth=512, tensor_dir=tensor_dir)
+    )
+    assert service.fastpath is not None, "tensor store failed to load"
+    server = await start_server(service, port=0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        await _run_phase(port, mix)  # prime the byte cache
+        materialized = await _run_phase(port, mix)
+        service._drain_fastpath()
+        counters = service.metrics.snapshot()["tensorstore"]
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.close()
+    return materialized, counters
+
+
 async def _run_load() -> dict:
     service = ModelService(
         ServiceConfig(batch_window_ms=2.0, max_inflight=16,
@@ -170,6 +207,12 @@ async def _run_load() -> dict:
         await server.wait_closed()
         service.close()
 
+    with tempfile.TemporaryDirectory(prefix="bench-tensors-") as tdir:
+        build_tensor_store(tdir, executor="thread")
+        materialized, tensor_counters = await _run_materialized_phase(
+            mix, tdir
+        )
+
     batching = after_cold["batching"]
     return {
         "schema_version": 1,
@@ -177,7 +220,12 @@ async def _run_load() -> dict:
         "benchmark": "serving-layer closed-loop load",
         "clients": CLIENTS,
         "unique_requests": len(mix),
-        "phases": {"cold": cold, "warm": warm},
+        "phases": {
+            "cold": cold,
+            "warm": warm,
+            "materialized": materialized,
+        },
+        "tensorstore": tensor_counters,
         "batching": {
             "dispatches": batching["dispatches"],
             "items": batching["items"],
@@ -202,16 +250,23 @@ def run_benchmark() -> dict:
 
 
 def test_service_load():
-    """Coalescing must actually happen under concurrent load, and the
-    warm (fully cached) phase must be faster than the cold one."""
+    """Coalescing must actually happen under concurrent load, the
+    warm (fully cached) phase must be faster than the cold one, and
+    the tensor-materialized phase must beat them both."""
     payload = run_benchmark()
     _record(payload)
     efficiency = payload["batching"]["efficiency"]
     assert efficiency is not None and efficiency > 1, (
         f"dispatcher never coalesced: {payload['batching']}"
     )
-    assert payload["phases"]["warm"]["p50_ms"] <= (
-        payload["phases"]["cold"]["p50_ms"]
+    phases = payload["phases"]
+    assert phases["warm"]["p50_ms"] <= phases["cold"]["p50_ms"]
+    assert phases["materialized"]["p50_ms"] <= phases["warm"]["p50_ms"], (
+        f"tensor serving slower than the LRU path: {phases}"
+    )
+    counters = payload["tensorstore"]
+    assert counters["hit"] > 0 and counters["fallback"] == 0, (
+        f"materialized phase fell back to live compute: {counters}"
     )
 
 
@@ -232,9 +287,21 @@ def main() -> int:
         f"(efficiency {batching['efficiency']:.2f}x, "
         f"max batch {batching['max_batch']})"
     )
+    phases = payload["phases"]
+    ratio = phases["warm"]["p50_ms"] / phases["materialized"]["p50_ms"]
+    counters = payload["tensorstore"]
+    print(
+        f"  tensorstore: {counters['hit']} hits, "
+        f"{counters['interp']} interp, "
+        f"{counters['fallback']} fallbacks; materialized p50 "
+        f"{ratio:.1f}x faster than warm"
+    )
     print(f"wrote {OUTPUT_PATH}")
     if not batching["efficiency"] or batching["efficiency"] <= 1:
         print("FAIL: batch efficiency <= 1", file=sys.stderr)
+        return 1
+    if phases["materialized"]["p50_ms"] > phases["warm"]["p50_ms"]:
+        print("FAIL: materialized p50 slower than warm", file=sys.stderr)
         return 1
     print(f"PASS: batch efficiency {batching['efficiency']:.2f}x > 1")
     return 0

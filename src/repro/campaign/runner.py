@@ -50,6 +50,7 @@ from .spec import (
     CampaignSpec,
     CampaignTask,
     FigureTask,
+    MaterializeTask,
     ParetoTask,
     SensitivityTask,
     canonical_json,
@@ -181,6 +182,12 @@ def execute_task(task: CampaignTask) -> Dict[str, Any]:
         return _pareto_payload(task)
     if isinstance(task, SensitivityTask):
         return _sensitivity_payload(task)
+    if isinstance(task, MaterializeTask):
+        # Imported lazily: the tensorstore build path imports this
+        # package back, so a top-level import would risk a cycle.
+        from ..perf.tensorstore import materialize_task_payload
+
+        return materialize_task_payload(task)
     raise ModelError(f"unknown campaign task type {type(task).__name__}")
 
 

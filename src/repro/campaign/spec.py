@@ -39,6 +39,7 @@ __all__ = [
     "FigureTask",
     "ParetoTask",
     "SensitivityTask",
+    "MaterializeTask",
     "CampaignTask",
     "CampaignSpec",
     "task_hash",
@@ -99,7 +100,36 @@ class SensitivityTask:
     r_max: int = DEFAULT_R_MAX
 
 
-CampaignTask = Union[FigureTask, ParetoTask, SensitivityTask]
+@dataclass(frozen=True)
+class MaterializeTask:
+    """One design's dense ``(node, f, r_max)`` projection block.
+
+    The unit of work behind :mod:`repro.perf.tensorstore`: evaluate
+    ``optimize`` for one (workload, design, scenario) at every node of
+    the scenario's roadmap, every parallel fraction in ``f_grid``, and
+    every ``r_max`` in ``r_grid``.  The grids are part of the task (and
+    therefore of its content hash), so a store built over a different
+    grid never resumes from stale results.
+
+    ``r_grid`` must be contiguous from 1 (``(1, 2, ..., R)``): the
+    executor answers all of its ``r_max`` values from *one* grid
+    evaluation via prefix argmax
+    (:func:`repro.perf.batch.optimize_prefix_batch`), which is only
+    bit-identical to per-``r_max`` calls over such a prefix family.
+    """
+
+    kind: str = field(default="materialize", init=False)
+    workload: str = "mmm"
+    design: str = "ASIC"
+    scenario: str = "baseline"
+    fft_size: Optional[int] = None
+    f_grid: Tuple[float, ...] = ()
+    r_grid: Tuple[int, ...] = ()
+
+
+CampaignTask = Union[
+    FigureTask, ParetoTask, SensitivityTask, MaterializeTask
+]
 
 
 def canonical_json(value: Any) -> str:
@@ -130,7 +160,9 @@ def _validated(task: CampaignTask) -> CampaignTask:
             f"unknown workload {task.workload!r}; "
             f"available: {list(_VALID_WORKLOADS)}"
         )
-    if not 0.0 <= task.f <= 1.0:
+    if isinstance(task, MaterializeTask):
+        _validate_materialize(task)
+    elif not 0.0 <= task.f <= 1.0:
         raise ModelError(
             f"'f' must be a parallel fraction in [0, 1], got {task.f}"
         )
@@ -153,6 +185,39 @@ def _validated(task: CampaignTask) -> CampaignTask:
     return task
 
 
+def _validate_materialize(task: "MaterializeTask") -> None:
+    """Grid checks specific to :class:`MaterializeTask`."""
+    if not task.f_grid:
+        raise ModelError("materialize task needs a non-empty 'f_grid'")
+    for f in task.f_grid:
+        if not 0.0 <= f <= 1.0:
+            raise ModelError(
+                f"'f_grid' values must be parallel fractions in "
+                f"[0, 1], got {f}"
+            )
+    if tuple(sorted(set(task.f_grid))) != task.f_grid:
+        raise ModelError(
+            "'f_grid' must be strictly increasing with no duplicates"
+        )
+    if not task.r_grid:
+        raise ModelError("materialize task needs a non-empty 'r_grid'")
+    if task.r_grid != tuple(range(1, len(task.r_grid) + 1)):
+        raise ModelError(
+            f"'r_grid' must be contiguous from 1 (prefix-argmax "
+            f"requires (1, 2, ..., R)), got {task.r_grid}"
+        )
+    if task.workload == "fft" and task.fft_size is None:
+        raise ModelError(
+            "materialize task for the fft workload needs an explicit "
+            "'fft_size'"
+        )
+    if not task.design or not isinstance(task.design, str):
+        raise ModelError(
+            f"materialize task needs a design label, got "
+            f"{task.design!r}"
+        )
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """What a campaign computes, independent of how it is executed.
@@ -170,6 +235,7 @@ class CampaignSpec:
     figures: Tuple[str, ...] = ()
     pareto: Tuple[ParetoTask, ...] = ()
     sensitivity: Tuple[SensitivityTask, ...] = ()
+    materialize: Tuple[MaterializeTask, ...] = ()
     method: str = "batch"
 
     def __post_init__(self) -> None:
@@ -178,10 +244,15 @@ class CampaignSpec:
                 f"unknown projection method {self.method!r}; "
                 f"expected 'batch' or 'scalar'"
             )
-        if not (self.figures or self.pareto or self.sensitivity):
+        if not (
+            self.figures
+            or self.pareto
+            or self.sensitivity
+            or self.materialize
+        ):
             raise ModelError(
-                "empty campaign: give at least one figure, pareto, or "
-                "sensitivity entry"
+                "empty campaign: give at least one figure, pareto, "
+                "sensitivity, or materialize entry"
             )
 
     def tasks(self) -> Tuple[CampaignTask, ...]:
@@ -210,6 +281,7 @@ class CampaignSpec:
                 )
         tasks.extend(self.pareto)
         tasks.extend(self.sensitivity)
+        tasks.extend(self.materialize)
         return tuple(_validated(task) for task in tasks)
 
     def spec_hash(self) -> str:
@@ -225,6 +297,9 @@ class CampaignSpec:
             "figures": list(self.figures),
             "pareto": [asdict(t) for t in self.pareto],
             "sensitivity": [asdict(t) for t in self.sensitivity],
+            "materialize": [
+                _materialize_payload(t) for t in self.materialize
+            ],
             "method": self.method,
         }
 
@@ -236,7 +311,10 @@ class CampaignSpec:
                 f"campaign payload must be a mapping, got "
                 f"{type(payload).__name__}"
             )
-        known = {"name", "figures", "pareto", "sensitivity", "method"}
+        known = {
+            "name", "figures", "pareto", "sensitivity", "materialize",
+            "method",
+        }
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ModelError(
@@ -275,5 +353,51 @@ class CampaignSpec:
             figures=tuple(figures),
             pareto=_items("pareto", ParetoTask),
             sensitivity=_items("sensitivity", SensitivityTask),
+            materialize=_items("materialize", _materialize_task),
             method=str(payload.get("method", "batch")),
         )
+
+
+def _materialize_payload(task: MaterializeTask) -> Dict[str, Any]:
+    """``asdict`` with the grids as JSON-native lists."""
+    fields = asdict(task)
+    fields["f_grid"] = list(task.f_grid)
+    fields["r_grid"] = list(task.r_grid)
+    return fields
+
+
+def _grid_tuple(key: str, values: Any, integral: bool) -> Tuple:
+    """A JSON grid list back into the task's tuple form, strictly."""
+    if not isinstance(values, (list, tuple)):
+        raise ModelError(f"{key!r} must be a list of numbers")
+    out = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            raise ModelError(
+                f"{key!r} entries must be numbers, got "
+                f"{type(value).__name__}"
+            )
+        if integral:
+            if not isinstance(value, int):
+                raise ModelError(
+                    f"{key!r} entries must be integers, got {value!r}"
+                )
+            out.append(int(value))
+        else:
+            out.append(float(value))
+    return tuple(out)
+
+
+def _materialize_task(**fields: Any) -> MaterializeTask:
+    """The ``from_payload`` factory: grids arrive as JSON lists."""
+    if "f_grid" in fields:
+        fields["f_grid"] = _grid_tuple(
+            "f_grid", fields["f_grid"], integral=False
+        )
+    if "r_grid" in fields:
+        fields["r_grid"] = _grid_tuple(
+            "r_grid", fields["r_grid"], integral=True
+        )
+    return MaterializeTask(**fields)

@@ -12,6 +12,8 @@ Usage::
     repro-hetsim sensitivity --workload mmm --f 0.99 --trials 100
     repro-hetsim calibrate --throughput 600 --area 20 --watts 18 \\
                  --workload mmm --name TensorUnit
+    repro-hetsim materialize build --dir tensors/
+    repro-hetsim serve --tensor-dir tensors/
 
 The one-off subcommands answer designer questions without writing
 code: ``speedup`` projects a workload across the roadmap, ``pareto``
@@ -358,6 +360,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full verdict payload as JSON to PATH",
     )
 
+    materialize = sub.add_parser(
+        "materialize",
+        help=(
+            "build/refresh/verify the memory-mapped projection tensor "
+            "store (repro.perf.tensorstore)"
+        ),
+    )
+    materialize.add_argument(
+        "action", choices=("build", "refresh", "verify"),
+        help=(
+            "build: materialize the full paper grid and publish "
+            "atomically; refresh: rebuild only if the store is stale "
+            "(resuming from --store-dir); verify: re-check every "
+            "checksum on disk"
+        ),
+    )
+    materialize.add_argument(
+        "--dir", required=True, metavar="DIR", dest="tensor_dir",
+        help="tensor store directory (the manifest publishes last, "
+             "atomically)",
+    )
+    materialize.add_argument(
+        "--scenario", default="baseline", choices=scenario_names(),
+        help="budget scenario to materialize (default: baseline)",
+    )
+    materialize.add_argument(
+        "--jobs", type=int, default=None,
+        help="campaign worker count (default: CPU count)",
+    )
+    materialize.add_argument(
+        "--executor", default="process",
+        choices=("process", "thread", "serial"),
+        help="campaign pool flavour (default: process)",
+    )
+    materialize.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=(
+            "content-addressed campaign result store; refresh resumes "
+            "completed tasks from here (default: a throwaway temp "
+            "directory)"
+        ),
+    )
+
     metrics_dump = sub.add_parser(
         "metrics-dump",
         help=(
@@ -409,6 +454,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "campaign result store backing POST /v1/jobs "
             "(default: a throwaway temp directory)"
+        ),
+    )
+    serve.add_argument(
+        "--tensor-dir", default=None, metavar="DIR",
+        help=(
+            "published tensor store ('repro-hetsim materialize "
+            "build'); on-grid requests answer straight from the "
+            "memory-mapped tensors, everything else falls back to "
+            "live compute"
         ),
     )
     serve.add_argument(
@@ -752,6 +806,67 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
     return "\n".join(lines)
 
 
+def _cmd_materialize(action: str, tensor_dir: str, scenario: str,
+                     jobs: Optional[int], executor: str,
+                     store_dir: Optional[str]) -> str:
+    from .campaign.store import ResultStore
+    from .perf.tensorstore import (
+        TensorStore,
+        build_tensor_store,
+        materialize_spec,
+    )
+
+    def _summary(described: dict) -> str:
+        mib = described["bytes"] / (1 << 20)
+        return (
+            f"{described['groups']} groups, "
+            f"{described['designs']} designs, "
+            f"{described['cells']} cells ({mib:.1f} MiB), "
+            f"f-grid {described['f_points']} points, "
+            f"r_max {described['r_max']}\n"
+            f"spec {described['spec_hash'][:12]} built by model "
+            f"{described['model_version']}"
+        )
+
+    if action == "verify":
+        report = TensorStore.load(tensor_dir, verify=True).verify()
+        return (
+            f"tensor store at {tensor_dir}: ok "
+            f"({report['files']} channel files verified)\n"
+            + _summary(report)
+        )
+
+    spec = materialize_spec(scenario=scenario)
+    if action == "refresh":
+        # Cheap staleness probe: a loadable store built from the same
+        # spec by this model version needs no work at all.
+        from .errors import TensorStoreError
+
+        try:
+            current = TensorStore.load(tensor_dir, verify=False)
+        except TensorStoreError:
+            pass
+        else:
+            if current.manifest["spec_hash"] == spec.spec_hash():
+                return (
+                    f"tensor store at {tensor_dir} is current; "
+                    f"nothing to do\n" + _summary(current.describe())
+                )
+    manifest = build_tensor_store(
+        tensor_dir,
+        spec=spec,
+        store=ResultStore(store_dir),
+        workers=jobs,
+        executor=executor,
+        resume=(action == "refresh"),
+    )
+    described = TensorStore.load(tensor_dir, verify=True).describe()
+    return (
+        f"materialized {len(manifest['task_hashes'])} tasks into "
+        f"{tensor_dir}\n" + _summary(described)
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -832,6 +947,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 trace_file=args.trace_file,
                 log_level=_checked_level(args.log_level),
             )
+        elif args.command == "materialize":
+            output = _cmd_materialize(
+                args.action, args.tensor_dir, args.scenario,
+                args.jobs, args.executor, args.store_dir,
+            )
         elif args.command == "metrics-dump":
             output = _cmd_metrics_dump(args.dump_format)
         elif args.command == "bench-check":
@@ -857,6 +977,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     cache_size=args.cache_size,
                     workers=args.workers,
                     store_dir=args.store_dir,
+                    tensor_dir=args.tensor_dir,
                     drain_timeout_s=args.drain_timeout_s,
                     trace_file=args.trace_file,
                     log_level=_checked_level(args.log_level),

@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "ModelError",
     "CalibrationError",
+    "TensorStoreError",
     "InfeasibleDesignError",
     "UnknownDeviceError",
     "UnknownWorkloadError",
@@ -53,6 +54,18 @@ class UnknownWorkloadError(ReproError, KeyError):
 
 class UnknownExperimentError(ReproError, KeyError):
     """An experiment id was not found in the experiment index."""
+
+
+class TensorStoreError(ReproError):
+    """A materialized tensor store is missing, corrupt, or mismatched.
+
+    Raised when a manifest fails its self-checksum, a channel file's
+    content hash does not match the manifest, or the store's grids do
+    not cover a build request.  The serving layer treats a load-time
+    failure as *quarantine*: the store is ignored and every request
+    falls back to live compute -- corruption can cost speed, never
+    correctness.
+    """
 
 
 class ServiceError(ReproError):

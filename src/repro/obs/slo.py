@@ -143,13 +143,35 @@ DEFAULT_OBJECTIVES: Tuple[SLObjective, ...] = (
 
 
 class _ObjectiveState:
-    """Mutable accounting for one objective (guarded by the tracker)."""
+    """Mutable accounting for one objective (guarded by the tracker).
 
-    __slots__ = ("events", "good_total", "bad_total", "alerting")
+    Window membership is maintained *incrementally*: each event enters
+    both window deques with its running total/bad counters bumped, and
+    pruning decrements them as events age out.  ``record`` used to
+    rescan every event inside the slow window per request -- O(events)
+    per record, quadratic over a burst -- which showed up as the single
+    largest term on the serving hot path under load.  The counters make
+    both burn-rate reads O(1) with amortized-O(1) maintenance, with
+    bit-identical results for the monotone timestamps the tracker sees.
+    """
+
+    __slots__ = (
+        "fast_events", "slow_events",
+        "fast_total", "fast_bad",
+        "slow_total", "slow_bad",
+        "good_total", "bad_total", "alerting",
+    )
 
     def __init__(self):
-        #: (timestamp, bad) pairs inside the slow window, oldest first.
-        self.events: Deque[Tuple[float, bool]] = deque()
+        #: (timestamp, bad) pairs inside each window, oldest first.
+        #: The tuples are shared between the deques, so the second
+        #: window costs pointers, not copies.
+        self.fast_events: Deque[Tuple[float, bool]] = deque()
+        self.slow_events: Deque[Tuple[float, bool]] = deque()
+        self.fast_total = 0
+        self.fast_bad = 0
+        self.slow_total = 0
+        self.slow_bad = 0
         self.good_total = 0
         self.bad_total = 0
         self.alerting = False
@@ -226,10 +248,22 @@ class SLOTracker:
     # -- recording ---------------------------------------------------------
 
     def record(
-        self, endpoint: str, latency_s: float, error: bool
+        self,
+        endpoint: str,
+        latency_s: float,
+        error: bool,
+        now: Optional[float] = None,
     ) -> None:
-        """Account one finished request against every matching objective."""
-        now = self._clock()
+        """Account one finished request against every matching objective.
+
+        ``now`` lets a deferred caller (the serving layer's fast-path
+        accounting queue) stamp the event with its *capture* time
+        rather than the drain time, so burn windows see the traffic
+        where it actually happened.  Timestamps must be non-decreasing
+        across calls, which both ``time.monotonic`` capture points and
+        in-order drains guarantee.
+        """
+        now = self._clock() if now is None else now
         fired: List[Dict[str, Any]] = []
         with self._lock:
             for objective in self.objectives:
@@ -237,8 +271,14 @@ class SLOTracker:
                     continue
                 state = self._states[objective.name]
                 bad = objective.is_bad(latency_s, error)
-                state.events.append((now, bad))
+                event = (now, bad)
+                state.fast_events.append(event)
+                state.slow_events.append(event)
+                state.fast_total += 1
+                state.slow_total += 1
                 if bad:
+                    state.fast_bad += 1
+                    state.slow_bad += 1
                     state.bad_total += 1
                 else:
                     state.good_total += 1
@@ -253,33 +293,41 @@ class SLOTracker:
             self._emit_alert(alert)
 
     def _prune(self, state: _ObjectiveState, now: float) -> None:
-        horizon = now - self.slow_window_s
-        events = state.events
-        while events and events[0][0] < horizon:
-            events.popleft()
+        fast_horizon = now - self.fast_window_s
+        events = state.fast_events
+        while events and events[0][0] < fast_horizon:
+            _, was_bad = events.popleft()
+            state.fast_total -= 1
+            if was_bad:
+                state.fast_bad -= 1
+        slow_horizon = now - self.slow_window_s
+        events = state.slow_events
+        while events and events[0][0] < slow_horizon:
+            _, was_bad = events.popleft()
+            state.slow_total -= 1
+            if was_bad:
+                state.slow_bad -= 1
 
     # -- math --------------------------------------------------------------
 
     def _window_burn(
         self, state: _ObjectiveState, objective: SLObjective,
-        window_s: float, now: float,
+        fast: bool,
     ) -> float:
         """Bad fraction over the window divided by the error budget.
 
-        An empty window (no traffic) burns nothing, and a window
-        holding fewer than ``min_window_events`` is treated the same
-        way -- too little evidence to page on.  A zero budget (target
-        1.0) burns infinitely on any bad event -- there is no
-        allowance to spend -- and nothing otherwise.
+        Reads the window's running counters (the caller prunes to
+        ``now`` first, so membership is exact).  An empty window (no
+        traffic) burns nothing, and a window holding fewer than
+        ``min_window_events`` is treated the same way -- too little
+        evidence to page on.  A zero budget (target 1.0) burns
+        infinitely on any bad event -- there is no allowance to spend
+        -- and nothing otherwise.
         """
-        horizon = now - window_s
-        total = bad = 0
-        for timestamp, is_bad in reversed(state.events):
-            if timestamp < horizon:
-                break
-            total += 1
-            if is_bad:
-                bad += 1
+        if fast:
+            total, bad = state.fast_total, state.fast_bad
+        else:
+            total, bad = state.slow_total, state.slow_bad
         if total < self.min_window_events or bad == 0:
             return 0.0
         fraction = bad / total
@@ -302,8 +350,8 @@ class SLOTracker:
     def _status_locked(
         self, objective: SLObjective, state: _ObjectiveState, now: float
     ) -> Tuple[str, float, float, float]:
-        fast = self._window_burn(state, objective, self.fast_window_s, now)
-        slow = self._window_burn(state, objective, self.slow_window_s, now)
+        fast = self._window_burn(state, objective, fast=True)
+        slow = self._window_burn(state, objective, fast=False)
         remaining = self._budget_remaining(state, objective)
         if remaining <= 0.0:
             status = STATUS_EXHAUSTED
@@ -321,11 +369,18 @@ class SLOTracker:
     def _update_locked(
         self, objective: SLObjective, state: _ObjectiveState, now: float
     ) -> Optional[Dict[str, Any]]:
-        """Refresh gauges; return an alert payload on an ok->hot edge."""
+        """Detect status edges; return an alert payload on ok->hot.
+
+        Gauges are *not* refreshed here: every export path
+        (:meth:`refresh_gauges` before a Prometheus render,
+        :meth:`snapshot` for the JSON forms) recomputes them from the
+        running counters, so per-record gauge writes would only buy
+        staleness-freedom nobody reads -- and they dominated the cost
+        of this hot-path method.
+        """
         status, fast, slow, remaining = self._status_locked(
             objective, state, now
         )
-        self._set_gauges(objective.name, status, fast, slow, remaining)
         if status == STATUS_OK:
             state.alerting = False
             return None
@@ -390,12 +445,8 @@ class SLOTracker:
             state = self._states[name]
             self._prune(state, now)
             return {
-                "fast": self._window_burn(
-                    state, objective, self.fast_window_s, now
-                ),
-                "slow": self._window_burn(
-                    state, objective, self.slow_window_s, now
-                ),
+                "fast": self._window_burn(state, objective, fast=True),
+                "slow": self._window_burn(state, objective, fast=False),
             }
 
     def error_budget_remaining(self, name: str) -> float:

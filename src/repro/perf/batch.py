@@ -45,7 +45,11 @@ from ..core.optimizer import (
 from ..core.power import pollack_perf
 from ..obs.profiling import profile_block
 
-__all__ = ["sweep_designs_batch", "optimize_batch"]
+__all__ = [
+    "sweep_designs_batch",
+    "optimize_batch",
+    "optimize_prefix_batch",
+]
 
 
 def _pow_matrix(
@@ -395,3 +399,73 @@ def optimize_batch(
                 round((perf_counter() - t0 - grid_s) * 1e3, 3),
             )
         return results
+
+
+def optimize_prefix_batch(
+    chip: ChipModel,
+    f: float,
+    budgets: Sequence[Budget],
+    r_maxes: Sequence[int],
+) -> Dict[int, List[Optional[DesignPoint]]]:
+    """One grid evaluation answering :func:`optimize_batch` for every
+    ``r_max`` in ``r_maxes`` at once.
+
+    The grid columns are r_max-independent: every bound, the
+    feasibility mask and the speedup of candidate ``r`` are elementwise
+    functions of ``(budget, r)``, and the serial-bound mask is
+    ``r <= max_serial_r`` per column.  A smaller ``r_max`` therefore
+    only *restricts the argmax to a prefix* of the same columns, so
+    ``np.argmax(score[:, :r_max])`` over one evaluation at
+    ``max(r_maxes)`` is bit-identical to a fresh
+    ``optimize_batch(..., r_max)`` call -- including first-max-wins
+    tie-breaking, which prefix slicing preserves.
+
+    Returns ``{r_max: [point-or-None per budget]}``.  The tensor
+    materializer uses this to fill a whole ``(node, r_max)`` plane with
+    one NumPy pass instead of ``len(r_maxes)`` passes.
+    """
+    budgets = list(budgets)
+    r_maxes = sorted({int(r) for r in r_maxes})
+    if not r_maxes:
+        return {}
+    if not budgets:
+        return {r: [] for r in r_maxes}
+    with profile_block("perf.optimize_prefix_batch") as phase:
+        if phase.traced:
+            phase.set_attribute("chip", chip.label)
+            phase.set_attribute("batch_size", len(budgets))
+            phase.set_attribute("r_maxes", len(r_maxes))
+        if r_maxes[0] < 1:
+            # Delegate the error to the scalar validator for an
+            # identical message (mirrors optimize_batch).
+            feasible_r_values(chip, budgets[0], r_maxes[0])
+        candidates: Sequence[float] = list(range(1, r_maxes[-1] + 1))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ceilings = np.array([chip.max_serial_r(b) for b in budgets])
+            r_arr = np.array(candidates, dtype=float)[None, :]
+            serial_ok = r_arr <= ceilings[:, None]
+            arrays = _evaluate_grid(
+                chip, f, budgets, candidates, serial_ok
+            )
+            mask, speedup = arrays[4], arrays[5]
+            score = np.where(mask, speedup, -np.inf)
+        # Winning lanes repeat across prefixes; materialise each (i, j)
+        # cell once and share the frozen DesignPoint.
+        memo: Dict[Tuple[int, int], DesignPoint] = {}
+        out: Dict[int, List[Optional[DesignPoint]]] = {}
+        for r_max in r_maxes:
+            best_j = np.argmax(score[:, :r_max], axis=1)
+            points: List[Optional[DesignPoint]] = []
+            for i in range(len(budgets)):
+                j = int(best_j[i])
+                if not mask[i, j]:
+                    points.append(None)
+                    continue
+                point = memo.get((i, j))
+                if point is None:
+                    point = memo[(i, j)] = _make_point(
+                        chip, f, candidates[j], arrays, i, j
+                    )
+                points.append(point)
+            out[r_max] = points
+        return out

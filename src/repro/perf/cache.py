@@ -58,6 +58,15 @@ _F = TypeVar("_F", bound=Callable)
 #: Every cache created by :func:`cached`, keyed by qualified name.
 _REGISTRY: Dict[str, Callable] = {}
 
+#: Guards registry-wide operations.  Each :class:`LRUCache` locks its
+#: own counters, but a *sweep* over the registry (clear, stats,
+#: summary) is not atomic with respect to another sweep: a
+#: ``clear_caches()`` racing a concurrent ``cache_stats()`` mid-serve
+#: could reset caches the reader had already tallied, yielding totals
+#: no single instant ever exhibited -- negative hit deltas between two
+#: scrapes.  Registry-wide sweeps therefore serialise on this lock.
+_REGISTRY_LOCK = threading.Lock()
+
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 _MISSING = object()
 
@@ -168,7 +177,8 @@ def cached(maxsize: int = 1024) -> Callable[[_F], _F]:
         wrapper.cache_info = cache.info
         wrapper.cache_clear = cache.clear
         name = f"{func.__module__}.{func.__qualname__}"
-        _REGISTRY[name] = wrapper
+        with _REGISTRY_LOCK:
+            _REGISTRY[name] = wrapper
         return wrapper
 
     return decorate
@@ -176,27 +186,35 @@ def cached(maxsize: int = 1024) -> Callable[[_F], _F]:
 
 def registered_caches() -> List[str]:
     """Qualified names of every registered cache."""
-    return sorted(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return sorted(_REGISTRY)
 
 
 def clear_caches() -> None:
-    """Empty every registered cache (benchmarks do this between runs)."""
-    for wrapper in _REGISTRY.values():
-        wrapper.cache_clear()
+    """Empty every registered cache (benchmarks do this between runs).
+
+    Holds the registry lock for the whole sweep so a concurrent
+    :func:`cache_stats`/:func:`cache_summary` reader observes either
+    the pre-clear or the post-clear state, never a half-cleared mix.
+    """
+    with _REGISTRY_LOCK:
+        for wrapper in _REGISTRY.values():
+            wrapper.cache_clear()
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size counters for every registered cache."""
-    stats = {}
-    for name, wrapper in _REGISTRY.items():
-        info = wrapper.cache_info()
-        stats[name] = {
-            "hits": info.hits,
-            "misses": info.misses,
-            "maxsize": info.maxsize,
-            "currsize": info.currsize,
-        }
-    return stats
+    with _REGISTRY_LOCK:
+        stats = {}
+        for name, wrapper in _REGISTRY.items():
+            info = wrapper.cache_info()
+            stats[name] = {
+                "hits": info.hits,
+                "misses": info.misses,
+                "maxsize": info.maxsize,
+                "currsize": info.currsize,
+            }
+        return stats
 
 
 def cache_summary() -> Dict[str, int]:
@@ -204,15 +222,19 @@ def cache_summary() -> Dict[str, int]:
 
     The compact form the serving layer embeds in ``GET /metrics``
     (the per-cache breakdown stays available via :func:`cache_stats`).
+    Reads under the registry lock, so the totals are atomic with
+    respect to :func:`clear_caches` and can only move backwards when a
+    clear actually happened -- never because a sweep raced one.
     """
-    totals = {"caches": 0, "hits": 0, "misses": 0, "entries": 0}
-    for wrapper in _REGISTRY.values():
-        info = wrapper.cache_info()
-        totals["caches"] += 1
-        totals["hits"] += info.hits
-        totals["misses"] += info.misses
-        totals["entries"] += info.currsize
-    return totals
+    with _REGISTRY_LOCK:
+        totals = {"caches": 0, "hits": 0, "misses": 0, "entries": 0}
+        for wrapper in _REGISTRY.values():
+            info = wrapper.cache_info()
+            totals["caches"] += 1
+            totals["hits"] += info.hits
+            totals["misses"] += info.misses
+            totals["entries"] += info.currsize
+        return totals
 
 
 def register_cache_metrics(registry=None):

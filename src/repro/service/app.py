@@ -61,6 +61,7 @@ from ..projection.engine import node_budget
 from .batching import MicroBatcher
 from .metrics import ServiceMetrics
 from .respcache import ResponseCache
+from .tensor import TensorServing, TransportFastPath
 from .schemas import (
     OptimizeRequest,
     SpeedupRequest,
@@ -121,6 +122,11 @@ class ServiceConfig:
     #: Declarative latency/error objectives per endpoint; None takes
     #: :data:`repro.obs.slo.DEFAULT_OBJECTIVES`.
     slo_objectives: Optional[Tuple["SLObjective", ...]] = None
+    #: Directory of a materialized tensor store (``repro-hetsim
+    #: materialize build``); None serves everything live.  A store
+    #: that fails its integrity checks is quarantined (served around,
+    #: reported in ``/healthz``), never trusted.
+    tensor_dir: Optional[str] = None
 
 
 class ModelService:
@@ -163,10 +169,32 @@ class ModelService:
             metrics=self.metrics,
             registry=self.registry,
         )
+        #: Materialized serving (None when --tensor-dir is not given).
+        self.tensor: Optional[TensorServing] = (
+            TensorServing.open(self.config.tensor_dir)
+            if self.config.tensor_dir is not None
+            else None
+        )
+        #: Transport byte cache; only armed over a *ready* store.
+        self.fastpath: Optional[TransportFastPath] = (
+            TransportFastPath(self)
+            if self.tensor is not None and self.tensor.ready
+            else None
+        )
+        if self.tensor is not None and self.tensor.ready:
+            built = self.tensor.built_unix()
+            if built is not None:
+                self.registry.gauge(
+                    "repro_tensorstore_build_age_seconds",
+                    "Seconds since the served tensor store was built",
+                    callback=lambda: max(0.0, time.time() - built),
+                )
 
     def close(self) -> None:
         """Drain jobs, flush the campaign store, release the worker
         threads (idempotent)."""
+        if self.fastpath is not None:
+            self.fastpath.drain()
         self.jobs.close(drain_timeout_s=self.config.drain_timeout_s)
         self._executor.shutdown(wait=False)
 
@@ -242,6 +270,10 @@ class ModelService:
                     "cache", "hit" if cache_state else "miss"
                 )
         latency = time.perf_counter() - start
+        # Deferred fast-path accounting drains first so its (older)
+        # capture timestamps reach the SLO tracker before this event's.
+        if self.fastpath is not None:
+            self.fastpath.drain()
         self.metrics.record_request(path, status, latency, cache_state)
         self.slo.record(path, latency, error=status >= 500)
         self._log_access(
@@ -282,9 +314,11 @@ class ModelService:
     ) -> Tuple[int, Any, Optional[bool]]:
         if path == "/healthz":
             self._require_method(method, "GET", path)
+            self._drain_fastpath()
             return self._healthz() + (None,)
         if path == "/metrics":
             self._require_method(method, "GET", path)
+            self._drain_fastpath()
             if query.get("format", [""])[0] == "prom":
                 self.slo.refresh_gauges()
                 text = render_merged(self.registry, get_registry())
@@ -292,9 +326,16 @@ class ModelService:
             snapshot = self.metrics.snapshot()
             snapshot["campaign"] = self.jobs.stats()
             snapshot["slo"] = self.slo.snapshot()
+            if self.tensor is not None:
+                snapshot["tensorstore"]["store"] = self.tensor.status()
+                if self.fastpath is not None:
+                    snapshot["tensorstore"]["fastpath"] = (
+                        self.fastpath.stats()
+                    )
             return 200, snapshot, None
         if path == "/v1/slo":
             self._require_method(method, "GET", path)
+            self._drain_fastpath()
             return 200, self.slo.snapshot(), None
         if path == "/v1/traces":
             self._require_method(method, "GET", path)
@@ -316,16 +357,54 @@ class ModelService:
         if path == "/v1/speedup":
             self._require_method(method, "POST", path)
             request = parse_speedup(_decode_json(body))
+            answered = self._tensor_eval(request, "speedup")
+            if answered is not None:
+                return answered
             return await self._cached_eval(request, self._eval_speedup)
         if path == "/v1/sweep":
             self._require_method(method, "POST", path)
             request = parse_sweep(_decode_json(body))
+            answered = self._tensor_eval(request, "sweep")
+            if answered is not None:
+                return answered
             return await self._cached_eval(request, self._eval_sweep)
         if path == "/v1/optimize":
             self._require_method(method, "POST", path)
             request = parse_optimize(_decode_json(body))
+            answered = self._tensor_eval(request, "optimize")
+            if answered is not None:
+                return answered
             return await self._cached_eval(request, self._eval_optimize)
         raise _NotFoundError(f"no route for {path!r}")
+
+    def _drain_fastpath(self) -> None:
+        """Flush deferred fast-path accounting before a metrics read."""
+        if self.fastpath is not None:
+            self.fastpath.drain()
+
+    def _tensor_eval(
+        self, request, kind: str
+    ) -> Optional[Tuple[int, Dict[str, Any], Optional[bool]]]:
+        """Try the materialized store; None means fall back to live.
+
+        Every attempt lands in ``repro_tensorstore_requests_total``:
+        ``hit`` (exact grid cell), ``interp`` (harmonic interpolation),
+        or ``fallback`` (the store refused -- off-grid, quarantined,
+        infeasible, or unknown names -- and the live path now owns the
+        request, including its exact error behaviour).
+        """
+        if self.tensor is None:
+            return None
+        with self.tracer.span(
+            "tensor.lookup", attributes={"endpoint": kind}
+        ) as span:
+            answered = getattr(self.tensor, f"{kind}_payload")(request)
+            outcome = "fallback" if answered is None else answered[1]
+            span.set_attribute("outcome", outcome)
+        self.metrics.record_tensor(outcome)
+        if answered is None:
+            return None
+        return 200, answered[0], None
 
     @staticmethod
     def _require_method(method: str, expected: str, path: str) -> None:
@@ -360,6 +439,11 @@ class ModelService:
             # readiness contract above.
             "slo": self.slo.overall_status(),
         }
+        if self.tensor is not None:
+            # Also informational: a quarantined tensor store costs
+            # speed (every request falls back to live compute), never
+            # correctness, so it does not flip readiness either.
+            payload["tensor"] = self.tensor.status()
         return (200 if healthy else 503), payload
 
     def _traces(self, query: Dict[str, Any]) -> Dict[str, Any]:

@@ -156,6 +156,17 @@ async def _handle_connection(
             if request is None:
                 return  # clean keep-alive close
             method, path, headers, body = request
+            if service.fastpath is not None:
+                # Materialized byte cache: untraced keep-alive POSTs
+                # on the model endpoints replay a pre-encoded response
+                # (no id headers, deferred accounting) in microseconds.
+                blob = service.fastpath.response_bytes(
+                    method, path, headers, body
+                )
+                if blob is not None:
+                    writer.write(blob)
+                    await writer.drain()
+                    continue
             status, payload, response_headers = (
                 await service.handle_request(method, path, body, headers)
             )

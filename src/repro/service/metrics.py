@@ -104,6 +104,10 @@ class ServiceMetrics:
             "repro_service_jobs_total",
             "Campaign job lifecycle events by state",
         )
+        self._tensor = r.counter(
+            "repro_tensorstore_requests_total",
+            "Materialized tensor-store lookups by outcome",
+        )
         r.gauge(
             "repro_service_uptime_seconds",
             "Seconds since this service instance started",
@@ -132,6 +136,10 @@ class ServiceMetrics:
 
     def record_shed(self) -> None:
         self._shed.inc()
+
+    def record_tensor(self, outcome: str) -> None:
+        """Account one tensor-store attempt (hit/interp/fallback)."""
+        self._tensor.inc(outcome=outcome)
 
     def record_timeout(self) -> None:
         self._timeouts.inc()
@@ -214,6 +222,13 @@ class ServiceMetrics:
             "shed": int(self._shed.value()),
             "timeouts": int(self._timeouts.value()),
             "jobs": jobs,
+            "tensorstore": {
+                "hit": int(self._tensor.value(outcome="hit")),
+                "interp": int(self._tensor.value(outcome="interp")),
+                "fallback": int(
+                    self._tensor.value(outcome="fallback")
+                ),
+            },
             # Model-layer memoization totals (repro.perf.cache):
             # distinct from the response cache above, which counts
             # whole answered requests.

@@ -5,6 +5,7 @@ import pytest
 from repro.campaign.spec import (
     CampaignSpec,
     FigureTask,
+    MaterializeTask,
     ParetoTask,
     SensitivityTask,
     canonical_json,
@@ -145,3 +146,63 @@ class TestPayloadRoundTrip:
     def test_non_mapping_rejected(self):
         with pytest.raises(ModelError, match="mapping"):
             CampaignSpec.from_payload([1, 2, 3])
+
+
+class TestMaterializeTasks:
+    def _task(self, **overrides):
+        fields = dict(
+            workload="mmm", design="ASIC", scenario="baseline",
+            fft_size=None, f_grid=(0.0, 0.5, 0.99),
+            r_grid=(1, 2, 3),
+        )
+        fields.update(overrides)
+        return MaterializeTask(**fields)
+
+    def test_round_trip_preserves_grids(self):
+        spec = CampaignSpec(name="mat", materialize=(self._task(),))
+        rebuilt = CampaignSpec.from_payload(spec.payload())
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+        [task] = rebuilt.tasks()
+        assert task.f_grid == (0.0, 0.5, 0.99)
+        assert task.r_grid == (1, 2, 3)
+
+    def test_hash_tracks_grid_content(self):
+        base = self._task()
+        assert task_hash(base) == task_hash(self._task())
+        assert task_hash(base) != task_hash(
+            self._task(f_grid=(0.0, 0.5, 0.999))
+        )
+        assert task_hash(base) != task_hash(self._task(r_grid=(1, 2)))
+
+    def test_empty_f_grid_rejected(self):
+        with pytest.raises(ModelError, match="f_grid"):
+            CampaignSpec(materialize=(self._task(f_grid=()),)).tasks()
+
+    def test_unsorted_f_grid_rejected(self):
+        with pytest.raises(ModelError, match="strictly increasing"):
+            CampaignSpec(
+                materialize=(self._task(f_grid=(0.5, 0.1)),)
+            ).tasks()
+
+    def test_out_of_range_f_rejected(self):
+        with pytest.raises(ModelError, match="parallel fraction"):
+            CampaignSpec(
+                materialize=(self._task(f_grid=(0.0, 1.5)),)
+            ).tasks()
+
+    def test_non_contiguous_r_grid_rejected(self):
+        with pytest.raises(ModelError, match="contiguous from 1"):
+            CampaignSpec(
+                materialize=(self._task(r_grid=(2, 3)),)
+            ).tasks()
+        with pytest.raises(ModelError, match="contiguous from 1"):
+            CampaignSpec(
+                materialize=(self._task(r_grid=(1, 3)),)
+            ).tasks()
+
+    def test_fft_needs_explicit_size(self):
+        with pytest.raises(ModelError, match="fft"):
+            CampaignSpec(
+                materialize=(self._task(workload="fft"),)
+            ).tasks()

@@ -221,3 +221,36 @@ class TestFullRun:
         for marker in ("Table 5", "Figure 6", "Figure 10",
                        "Roofline", "chip models"):
             assert marker in out
+
+
+class TestMaterializeCommand:
+    def test_parser_accepts_actions_and_flags(self):
+        args = build_parser().parse_args(
+            ["materialize", "build", "--dir", "tensors",
+             "--scenario", "baseline", "--jobs", "2",
+             "--executor", "thread", "--store-dir", "results"]
+        )
+        assert args.action == "build"
+        assert args.tensor_dir == "tensors"
+        assert args.store_dir == "results"
+
+    def test_parser_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["materialize", "rebuild", "--dir", "x"]
+            )
+
+    def test_serve_accepts_tensor_dir(self):
+        args = build_parser().parse_args(
+            ["serve", "--tensor-dir", "tensors"]
+        )
+        assert args.tensor_dir == "tensors"
+        assert build_parser().parse_args(["serve"]).tensor_dir is None
+
+    def test_verify_missing_store_exits_1(self, tmp_path, capsys):
+        code = main(
+            ["materialize", "verify", "--dir", str(tmp_path / "nope")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: no tensor store")

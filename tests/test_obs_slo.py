@@ -145,7 +145,8 @@ class TestBurnRateEdges:
         clock.now = 3601.0
         tracker.record("/v1/x", 0.01, error=False)
         state = tracker._states["avail"]
-        assert len(state.events) == 1
+        assert len(state.slow_events) == 1
+        assert state.slow_total == 1 and state.slow_bad == 0
         # Lifetime totals survive the prune: the budget is spent.
         assert state.bad_total == 30
         assert tracker.status("avail") == STATUS_EXHAUSTED

@@ -28,7 +28,11 @@ from repro.core.optimizer import optimize, sweep_designs
 from repro.core.ucore import UCore
 from repro.errors import InfeasibleDesignError
 from repro.itrs.scenarios import get_scenario, scenario_names
-from repro.perf.batch import optimize_batch, sweep_designs_batch
+from repro.perf.batch import (
+    optimize_batch,
+    optimize_prefix_batch,
+    sweep_designs_batch,
+)
 from repro.projection.designs import standard_designs
 from repro.projection.engine import node_budget
 
@@ -167,3 +171,64 @@ def test_random_budget_parity(area, power, bandwidth, alpha, f,
     assert optimize_batch(chip, f, [budget]) == [
         _scalar_optimize(chip, f, budget)
     ]
+
+
+class TestPrefixBatchMatchesBatch:
+    """optimize_prefix_batch must equal a fresh optimize_batch call
+    for every r_max -- same bit-for-bit contract as the scalar tests
+    above.  This is the equality the tensor materializer rests on."""
+
+    R_MAXES = tuple(range(1, 17))
+
+    @pytest.mark.parametrize("workload,size", WORKLOADS)
+    @pytest.mark.parametrize("f", (0.0, 0.5, 0.99, 0.999, 1.0))
+    def test_paper_grid_every_r_max(self, workload, size, f):
+        scenario = get_scenario("baseline")
+        for design in standard_designs(workload, size):
+            budgets = [
+                node_budget(
+                    node, workload, size, scenario,
+                    bandwidth_exempt=design.bandwidth_exempt,
+                )
+                for node in scenario.roadmap.nodes
+            ]
+            prefix = optimize_prefix_batch(
+                design.chip, f, budgets, self.R_MAXES
+            )
+            for r_max in self.R_MAXES:
+                assert prefix[r_max] == optimize_batch(
+                    design.chip, f, budgets, r_max=r_max
+                )
+
+    def test_all_models_basic_budget(self, basic_budget):
+        for chip in _all_chips():
+            prefix = optimize_prefix_batch(
+                chip, 0.9, [basic_budget], self.R_MAXES
+            )
+            for r_max in self.R_MAXES:
+                assert prefix[r_max] == optimize_batch(
+                    chip, 0.9, [basic_budget], r_max=r_max
+                )
+
+    def test_infeasible_cells_match(self):
+        chip = HeterogeneousChip(
+            UCore(name="gpu-like", mu=3.0, phi=0.6, kind="gpu")
+        )
+        budgets = [
+            Budget(area=19.0, power=10.0, bandwidth=42.0),
+            Budget(area=100.0, power=0.5),
+            Budget(area=1.0, power=1e9),
+        ]
+        prefix = optimize_prefix_batch(chip, 0.99, budgets, (1, 4, 16))
+        for r_max in (1, 4, 16):
+            assert prefix[r_max] == optimize_batch(
+                chip, 0.99, budgets, r_max=r_max
+            )
+
+    def test_empty_inputs(self):
+        assert optimize_prefix_batch(SymmetricCMP(), 0.5, [], (1, 2)) == {
+            1: [], 2: [],
+        }
+        assert optimize_prefix_batch(
+            SymmetricCMP(), 0.5, [Budget(area=10.0, power=10.0)], ()
+        ) == {}

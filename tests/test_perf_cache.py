@@ -242,6 +242,119 @@ class TestThreadSafety:
             t.join()
         assert not errors
 
+    def test_clear_waits_for_a_stats_sweep_in_flight(self):
+        """A clear racing a stats sweep serialises behind it.
+
+        Without the registry lock, ``clear_caches()`` landing in the
+        middle of a ``cache_stats()`` sweep yields totals mixing
+        pre-clear and post-clear caches -- hit counts no instant ever
+        exhibited.  Here the sweep is held open on purpose; the clear
+        must not complete until the sweep does, and the sweep must see
+        the pre-clear counters.
+        """
+        import threading
+
+        @cached(maxsize=8)
+        def probe(x):
+            return x + 1
+
+        probe(1)
+        probe(1)  # one miss, one hit on record
+        name = next(
+            n for n in registered_caches()
+            if "test_clear_waits_for_a_stats_sweep_in_flight" in n
+        )
+
+        entered = threading.Event()
+        release = threading.Event()
+        real_info = probe.cache_info
+
+        def slow_info():
+            entered.set()
+            assert release.wait(5.0)
+            return real_info()
+
+        snapshots = []
+        cleared = threading.Event()
+
+        def read_stats():
+            snapshots.append(cache_stats())
+
+        def clear_all():
+            clear_caches()
+            cleared.set()
+
+        probe.cache_info = slow_info
+        try:
+            reader = threading.Thread(target=read_stats)
+            reader.start()
+            assert entered.wait(5.0)
+            clearer = threading.Thread(target=clear_all)
+            clearer.start()
+            # The sweep holds the registry lock; the clear must block.
+            assert not cleared.wait(0.2)
+            release.set()
+            reader.join(5.0)
+            clearer.join(5.0)
+        finally:
+            probe.cache_info = real_info
+            release.set()
+        assert cleared.is_set()
+        stats = snapshots[0][name]
+        # The sweep completed against pre-clear state, atomically.
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        post = cache_stats()[name]
+        assert post["hits"] == 0 and post["misses"] == 0
+
+    def test_summary_totals_never_mix_under_clear_storm(self):
+        """Registry sweeps under concurrent serving + clears stay sane:
+        totals are never negative and always internally consistent."""
+        import threading
+
+        from repro.perf.cache import cache_summary
+
+        @cached(maxsize=16)
+        def probe_a(x):
+            return x
+
+        @cached(maxsize=16)
+        def probe_b(x):
+            return -x
+
+        stop = threading.Event()
+        errors = []
+
+        def server():
+            i = 0
+            while not stop.is_set():
+                probe_a(i % 8)
+                probe_b(i % 8)
+                i += 1
+
+        def clearer():
+            for _ in range(200):
+                clear_caches()
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                totals = cache_summary()
+                if any(v < 0 for v in totals.values()):
+                    errors.append(  # pragma: no cover - failure path
+                        AssertionError(f"negative totals: {totals}")
+                    )
+                    return
+
+        threads = [threading.Thread(target=server) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
 
 class TestKeyHygiene:
     def test_budget_nan_rejected_before_caching(self):
