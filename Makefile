@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-dse bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -25,9 +25,12 @@ bench-service:
 bench-campaign:
 	$(PYTHON) benchmarks/bench_campaign_store.py
 
-# Run all three benchmark writers once; each appends an envelope-stamped
+bench-dse:
+	$(PYTHON) benchmarks/bench_dse_sweep.py
+
+# Run all benchmark writers once; each appends an envelope-stamped
 # row to BENCH_history.jsonl alongside its BENCH_*.json snapshot.
-bench-history: bench-projection bench-service bench-campaign
+bench-history: bench-projection bench-service bench-campaign bench-dse
 
 # Gate the newest history rows against their rolling baselines.  Stays
 # green (no-baseline verdicts) until >= 3 comparable runs exist.

@@ -1,0 +1,171 @@
+"""Wall-clock benchmark: exhaustive DSE sweep vs successive halving.
+
+Expands the 1000-config acceptance space (5 chips x 4 f x 5 nodes x
+5 area scales x 2 power scales) from the ``baseline`` DSL scenario
+and reduces it to the speedup/area/power Pareto front two ways:
+
+* ``exhaustive`` -- every config is optimized at full fidelity.
+* ``halving``   -- successive halving over equivalence classes with
+  sound dominance pruning.
+
+Halving must (a) return the *same* front point-for-point (the
+exactness invariant the test suite asserts), (b) fully evaluate at
+most 25% of the configs (the ISSUE acceptance criterion, recorded
+here as ``full_eval_fraction``), and (c) not be slower than the
+exhaustive sweep -- pruning that costs more than it saves would make
+the search pointless.
+
+Results land in ``BENCH_dse.json`` at the repo root, plus an
+envelope-stamped history row in ``BENCH_history.jsonl`` (benchmark
+``dse_sweep``) for ``repro-hetsim bench-check``.
+
+Run as a script (``python benchmarks/bench_dse_sweep.py``) or
+through pytest (``pytest benchmarks/bench_dse_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.dse.dsl import builtin_scenario
+from repro.dse.engine import exhaustive_sweep, expand_configs
+from repro.dse.front import pareto_front
+from repro.dse.halving import successive_halving
+from repro.obs.history import DEFAULT_HISTORY_NAME, record_benchmark
+from repro.perf.cache import clear_caches
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_dse.json"
+HISTORY_PATH = REPO_ROOT / DEFAULT_HISTORY_NAME
+BENCHMARK_NAME = "dse_sweep"
+REPEATS = 3
+
+SCENARIO = builtin_scenario("baseline")
+AREA_GRID = (0.25, 0.5, 1.0, 2.0, 4.0)
+POWER_GRID = (0.5, 1.0)
+
+
+def _record(payload: dict) -> None:
+    """Write the snapshot and its joinable history row (one envelope)."""
+    record_benchmark(
+        payload, benchmark=BENCHMARK_NAME, snapshot_path=OUTPUT_PATH,
+        history_path=HISTORY_PATH, timestamp=time.time(),
+    )
+
+
+def _time_once() -> dict:
+    """One exhaustive + one halving pass, both from cold caches."""
+    configs = expand_configs(SCENARIO, AREA_GRID, POWER_GRID)
+
+    clear_caches()
+    start = time.perf_counter()
+    points, _ = exhaustive_sweep(configs)
+    exhaustive_front = pareto_front(points)
+    exhaustive_s = time.perf_counter() - start
+
+    clear_caches()
+    start = time.perf_counter()
+    result = successive_halving(
+        SCENARIO,
+        area_scale_grid=AREA_GRID,
+        power_scale_grid=POWER_GRID,
+    )
+    halving_s = time.perf_counter() - start
+
+    assert result.n_configs == len(configs)
+    return {
+        "exhaustive_s": exhaustive_s,
+        "halving_s": halving_s,
+        "n_configs": len(configs),
+        "front_size": len(exhaustive_front),
+        "fronts_identical": list(result.front) == exhaustive_front,
+        "full_evaluations": result.full_evaluations,
+        "rung_evaluations": result.rung_evaluations,
+        "full_eval_fraction": result.full_eval_fraction,
+    }
+
+
+def run_benchmark() -> dict:
+    """Best-of-N exhaustive and halving timings on the 1000-config space."""
+    exhaustive_times, halving_times = [], []
+    last = {}
+    for _ in range(REPEATS):
+        last = _time_once()
+        exhaustive_times.append(last["exhaustive_s"])
+        halving_times.append(last["halving_s"])
+    exhaustive, halving = min(exhaustive_times), min(halving_times)
+    return {
+        "schema_version": 1,
+        "model_version": __version__,
+        "benchmark": "dse exhaustive sweep vs successive halving",
+        "scenario": SCENARIO.name,
+        "n_configs": last["n_configs"],
+        "front_size": last["front_size"],
+        "fronts_identical": last["fronts_identical"],
+        "full_evaluations": last["full_evaluations"],
+        "rung_evaluations": last["rung_evaluations"],
+        "full_eval_fraction": last["full_eval_fraction"],
+        "repeats": REPEATS,
+        "exhaustive": {"best_s": exhaustive, "times_s": exhaustive_times},
+        "halving": {"best_s": halving, "times_s": halving_times},
+        "halving_speedup": exhaustive / halving,
+        "machine": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "regenerate": "python benchmarks/bench_dse_sweep.py",
+    }
+
+
+def test_halving_is_exact_and_cheap():
+    """Same front, <= 25% full evaluations, no slower than exhaustive."""
+    payload = run_benchmark()
+    _record(payload)
+    assert payload["fronts_identical"], "halving front != exhaustive front"
+    assert payload["full_eval_fraction"] <= 0.25, (
+        f"halving fully evaluated {payload['full_eval_fraction']:.1%} "
+        f"of the space (budget: 25%)"
+    )
+    assert payload["halving_speedup"] > 1, (
+        f"halving is slower than exhaustive: "
+        f"{payload['halving_speedup']:.2f}x"
+    )
+
+
+def main() -> int:
+    payload = run_benchmark()
+    _record(payload)
+    print(
+        f"dse: {payload['n_configs']} configs, front of "
+        f"{payload['front_size']}, best of {REPEATS}"
+    )
+    print(f"  exhaustive : {payload['exhaustive']['best_s'] * 1000:8.1f} ms")
+    print(f"  halving    : {payload['halving']['best_s'] * 1000:8.1f} ms")
+    print(
+        f"  halving: {payload['full_evaluations']} full + "
+        f"{payload['rung_evaluations']} rung evals "
+        f"({payload['full_eval_fraction']:.1%} of exhaustive), "
+        f"{payload['halving_speedup']:.2f}x faster"
+    )
+    print(f"wrote {OUTPUT_PATH}")
+    if not payload["fronts_identical"]:
+        print("FAIL: halving front != exhaustive front", file=sys.stderr)
+        return 1
+    if payload["full_eval_fraction"] > 0.25:
+        print("FAIL: halving exceeded the 25% evaluation budget",
+              file=sys.stderr)
+        return 1
+    if payload["halving_speedup"] <= 1:
+        print("FAIL: halving is slower than the exhaustive sweep",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

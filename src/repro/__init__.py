@@ -27,6 +27,7 @@ Subpackages:
     workloads:   FFT / MMM / Black-Scholes kernels and traffic models.
     measure:     simulated measurement apparatus (Section 4, Figs 2-4).
     itrs:        ITRS 2009 roadmap and Section 6.2 scenarios.
+    dse:         declarative design-space exploration (Pareto fronts).
     projection:  node-by-node projections (Figures 6-10).
     reporting:   text tables, ASCII figures, experiment registry.
     service:     asyncio model-serving layer (HTTP JSON API).
@@ -36,6 +37,7 @@ from . import (
     archmodels,
     core,
     devices,
+    dse,
     hls,
     itrs,
     layout,
@@ -70,6 +72,7 @@ __all__ = [
     "archmodels",
     "core",
     "devices",
+    "dse",
     "hls",
     "itrs",
     "layout",

@@ -25,8 +25,10 @@ from .runner import CampaignReport, CampaignRunner, TaskOutcome, execute_task
 from .spec import (
     CampaignSpec,
     FigureTask,
+    ParetoFrontTask,
     ParetoTask,
     SensitivityTask,
+    SuccessiveHalvingTask,
     task_hash,
 )
 from .store import ResultStore, StoreStats
@@ -34,8 +36,10 @@ from .store import ResultStore, StoreStats
 __all__ = [
     "CampaignSpec",
     "FigureTask",
+    "ParetoFrontTask",
     "ParetoTask",
     "SensitivityTask",
+    "SuccessiveHalvingTask",
     "task_hash",
     "ResultStore",
     "StoreStats",

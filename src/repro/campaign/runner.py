@@ -51,8 +51,10 @@ from .spec import (
     CampaignTask,
     FigureTask,
     MaterializeTask,
+    ParetoFrontTask,
     ParetoTask,
     SensitivityTask,
+    SuccessiveHalvingTask,
     canonical_json,
     task_hash,
 )
@@ -188,6 +190,15 @@ def execute_task(task: CampaignTask) -> Dict[str, Any]:
         from ..perf.tensorstore import materialize_task_payload
 
         return materialize_task_payload(task)
+    if isinstance(task, ParetoFrontTask):
+        # Lazy for the same reason: repro.dse imports campaign.spec.
+        from ..dse.engine import execute_pareto_task
+
+        return execute_pareto_task(task)
+    if isinstance(task, SuccessiveHalvingTask):
+        from ..dse.halving import execute_halving_task
+
+        return execute_halving_task(task)
     raise ModelError(f"unknown campaign task type {type(task).__name__}")
 
 

@@ -40,6 +40,8 @@ __all__ = [
     "ParetoTask",
     "SensitivityTask",
     "MaterializeTask",
+    "ParetoFrontTask",
+    "SuccessiveHalvingTask",
     "CampaignTask",
     "CampaignSpec",
     "task_hash",
@@ -53,6 +55,10 @@ _VALID_WORKLOADS = ("mmm", "fft", "bs")
 #: Upper bound on Monte-Carlo trials accepted from a remote spec, so a
 #: single job cannot pin a worker indefinitely.
 MAX_SENSITIVITY_TRIALS = 100_000
+
+#: Upper bound on the DSE config space one task may expand, so a
+#: single job cannot pin a worker indefinitely.
+MAX_DSE_CONFIGS = 200_000
 
 
 @dataclass(frozen=True)
@@ -127,8 +133,54 @@ class MaterializeTask:
     r_grid: Tuple[int, ...] = ()
 
 
+@dataclass(frozen=True)
+class ParetoFrontTask:
+    """One shard of an exhaustive DSE sweep with a pruned front.
+
+    The scenario travels as its canonical JSON form
+    (:meth:`repro.dse.dsl.DSEScenario.canonical`): a hashable string,
+    so the content hash covers the *full* scenario -- any change to a
+    chip spec, provider, or override yields a fresh store key.  The
+    budget grids scale every node budget of the scenario's roadmap;
+    ``shard``/``shards`` split the deterministic config list as
+    ``configs[shard::shards]``, and merging the per-shard fronts
+    recovers the global front (:func:`repro.dse.front.merge_fronts`).
+    """
+
+    kind: str = field(default="dse-pareto", init=False)
+    scenario_json: str = ""
+    area_scale_grid: Tuple[float, ...] = (1.0,)
+    power_scale_grid: Tuple[float, ...] = (1.0,)
+    r_max: int = DEFAULT_R_MAX
+    shard: int = 0
+    shards: int = 1
+
+
+@dataclass(frozen=True)
+class SuccessiveHalvingTask:
+    """One successive-halving search over a DSE config space.
+
+    Unsharded by design: pruning compares configs across the whole
+    space, which is exactly what makes it cheaper than the exhaustive
+    sweep.  ``rungs`` are the low-fidelity r-prefix ceilings evaluated
+    before full fidelity (strictly increasing, each <= ``r_max``).
+    """
+
+    kind: str = field(default="dse-halving", init=False)
+    scenario_json: str = ""
+    area_scale_grid: Tuple[float, ...] = (1.0,)
+    power_scale_grid: Tuple[float, ...] = (1.0,)
+    rungs: Tuple[int, ...] = (2, 4)
+    r_max: int = DEFAULT_R_MAX
+
+
 CampaignTask = Union[
-    FigureTask, ParetoTask, SensitivityTask, MaterializeTask
+    FigureTask,
+    ParetoTask,
+    SensitivityTask,
+    MaterializeTask,
+    ParetoFrontTask,
+    SuccessiveHalvingTask,
 ]
 
 
@@ -155,6 +207,9 @@ def task_hash(task: CampaignTask) -> str:
 
 def _validated(task: CampaignTask) -> CampaignTask:
     """Reject out-of-domain task fields with a precise message."""
+    if isinstance(task, (ParetoFrontTask, SuccessiveHalvingTask)):
+        _validate_dse(task)
+        return task
     if task.workload not in _VALID_WORKLOADS:
         raise ModelError(
             f"unknown workload {task.workload!r}; "
@@ -183,6 +238,94 @@ def _validated(task: CampaignTask) -> CampaignTask:
                 f"got {task.trials}"
             )
     return task
+
+
+def _validate_dse(
+    task: Union[ParetoFrontTask, SuccessiveHalvingTask]
+) -> None:
+    """Validate a DSE task eagerly, naming the offending field.
+
+    Runs the scenario JSON through the full DSL validator and bounds
+    the expanded config space, so a malformed scenario is rejected at
+    submit time (400 in the jobs API) and never reaches a runner.
+    """
+    # Imported lazily: repro.dse imports this module for the
+    # canonical-JSON helper, so a top-level import would be a cycle.
+    from ..dse.dsl import DSEScenario
+
+    if not task.scenario_json or not isinstance(task.scenario_json, str):
+        raise ModelError(
+            f"'scenario_json' must be a non-empty JSON string, "
+            f"got {task.scenario_json!r}"
+        )
+    try:
+        payload = json.loads(task.scenario_json)
+    except json.JSONDecodeError as exc:
+        raise ModelError(
+            f"'scenario_json' is not valid JSON: {exc}"
+        ) from None
+    scenario = DSEScenario.from_payload(payload)
+    for key in ("area_scale_grid", "power_scale_grid"):
+        grid = getattr(task, key)
+        if not grid:
+            raise ModelError(f"{key!r} must name at least one scale")
+        for value in grid:
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not value > 0
+            ):
+                raise ModelError(
+                    f"{key!r} entries must be positive numbers, "
+                    f"got {value!r}"
+                )
+        if tuple(sorted(set(grid))) != tuple(grid):
+            raise ModelError(
+                f"{key!r} must be strictly increasing with no "
+                f"duplicates"
+            )
+    if task.r_max < 1:
+        raise ModelError(f"'r_max' must be >= 1, got {task.r_max}")
+    n_chips = max(1, len(scenario.chips))
+    n_nodes = len(scenario.to_scenario().roadmap.nodes)
+    n_configs = (
+        n_chips
+        * n_nodes
+        * len(scenario.f_values)
+        * len(task.area_scale_grid)
+        * len(task.power_scale_grid)
+    )
+    if n_configs > MAX_DSE_CONFIGS:
+        raise ModelError(
+            f"DSE config space has {n_configs} configs, above the "
+            f"{MAX_DSE_CONFIGS} per-task limit; shard the grids"
+        )
+    if isinstance(task, ParetoFrontTask):
+        if task.shards < 1:
+            raise ModelError(
+                f"'shards' must be >= 1, got {task.shards}"
+            )
+        if not 0 <= task.shard < task.shards:
+            raise ModelError(
+                f"'shard' must be in [0, {task.shards}), "
+                f"got {task.shard}"
+            )
+    else:
+        for rung in task.rungs:
+            if isinstance(rung, bool) or not isinstance(rung, int):
+                raise ModelError(
+                    f"'rungs' entries must be integers, got {rung!r}"
+                )
+            if not 1 <= rung <= task.r_max:
+                raise ModelError(
+                    f"'rungs' entries must be in [1, r_max="
+                    f"{task.r_max}], got {rung}"
+                )
+        if tuple(sorted(set(task.rungs))) != tuple(task.rungs):
+            raise ModelError(
+                "'rungs' must be strictly increasing with no "
+                "duplicates"
+            )
 
 
 def _validate_materialize(task: "MaterializeTask") -> None:
@@ -236,6 +379,8 @@ class CampaignSpec:
     pareto: Tuple[ParetoTask, ...] = ()
     sensitivity: Tuple[SensitivityTask, ...] = ()
     materialize: Tuple[MaterializeTask, ...] = ()
+    dse_pareto: Tuple[ParetoFrontTask, ...] = ()
+    dse_halving: Tuple[SuccessiveHalvingTask, ...] = ()
     method: str = "batch"
 
     def __post_init__(self) -> None:
@@ -249,10 +394,13 @@ class CampaignSpec:
             or self.pareto
             or self.sensitivity
             or self.materialize
+            or self.dse_pareto
+            or self.dse_halving
         ):
             raise ModelError(
                 "empty campaign: give at least one figure, pareto, "
-                "sensitivity, or materialize entry"
+                "sensitivity, materialize, dse_pareto, or "
+                "dse_halving entry"
             )
 
     def tasks(self) -> Tuple[CampaignTask, ...]:
@@ -282,6 +430,8 @@ class CampaignSpec:
         tasks.extend(self.pareto)
         tasks.extend(self.sensitivity)
         tasks.extend(self.materialize)
+        tasks.extend(self.dse_pareto)
+        tasks.extend(self.dse_halving)
         return tuple(_validated(task) for task in tasks)
 
     def spec_hash(self) -> str:
@@ -300,6 +450,12 @@ class CampaignSpec:
             "materialize": [
                 _materialize_payload(t) for t in self.materialize
             ],
+            "dse_pareto": [
+                _dse_payload(t) for t in self.dse_pareto
+            ],
+            "dse_halving": [
+                _dse_payload(t) for t in self.dse_halving
+            ],
             "method": self.method,
         }
 
@@ -313,7 +469,7 @@ class CampaignSpec:
             )
         known = {
             "name", "figures", "pareto", "sensitivity", "materialize",
-            "method",
+            "dse_pareto", "dse_halving", "method",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -354,6 +510,8 @@ class CampaignSpec:
             pareto=_items("pareto", ParetoTask),
             sensitivity=_items("sensitivity", SensitivityTask),
             materialize=_items("materialize", _materialize_task),
+            dse_pareto=_items("dse_pareto", _dse_pareto_task),
+            dse_halving=_items("dse_halving", _dse_halving_task),
             method=str(payload.get("method", "batch")),
         )
 
@@ -388,6 +546,39 @@ def _grid_tuple(key: str, values: Any, integral: bool) -> Tuple:
         else:
             out.append(float(value))
     return tuple(out)
+
+
+def _dse_payload(
+    task: Union[ParetoFrontTask, SuccessiveHalvingTask]
+) -> Dict[str, Any]:
+    """``asdict`` with the grids as JSON-native lists."""
+    fields = asdict(task)
+    fields["area_scale_grid"] = list(task.area_scale_grid)
+    fields["power_scale_grid"] = list(task.power_scale_grid)
+    if isinstance(task, SuccessiveHalvingTask):
+        fields["rungs"] = list(task.rungs)
+    return fields
+
+
+def _dse_grids(fields: Dict[str, Any]) -> Dict[str, Any]:
+    for key in ("area_scale_grid", "power_scale_grid"):
+        if key in fields:
+            fields[key] = _grid_tuple(key, fields[key], integral=False)
+    return fields
+
+
+def _dse_pareto_task(**fields: Any) -> ParetoFrontTask:
+    """The ``from_payload`` factory: grids arrive as JSON lists."""
+    return ParetoFrontTask(**_dse_grids(fields))
+
+
+def _dse_halving_task(**fields: Any) -> SuccessiveHalvingTask:
+    """The ``from_payload`` factory: grids arrive as JSON lists."""
+    if "rungs" in fields:
+        fields["rungs"] = _grid_tuple(
+            "rungs", fields["rungs"], integral=True
+        )
+    return SuccessiveHalvingTask(**_dse_grids(fields))
 
 
 def _materialize_task(**fields: Any) -> MaterializeTask:

@@ -14,6 +14,9 @@ Usage::
                  --workload mmm --name TensorUnit
     repro-hetsim materialize build --dir tensors/
     repro-hetsim serve --tensor-dir tensors/
+    repro-hetsim dse list-scenarios --json
+    repro-hetsim dse run --scenario baseline --mode halving
+    repro-hetsim dse pareto --scenario-file my_scenario.json
 
 The one-off subcommands answer designer questions without writing
 code: ``speedup`` projects a workload across the roadmap, ``pareto``
@@ -401,6 +404,67 @@ def build_parser() -> argparse.ArgumentParser:
             "completed tasks from here (default: a throwaway temp "
             "directory)"
         ),
+    )
+
+    dse = sub.add_parser(
+        "dse",
+        help=(
+            "design-space exploration: declarative scenarios, "
+            "multi-U-core chips, Pareto fronts (repro.dse)"
+        ),
+    )
+    dse.add_argument(
+        "action", choices=("run", "pareto", "list-scenarios"),
+        help=(
+            "run: evaluate a scenario and summarise the front; "
+            "pareto: print the dominance-pruned front (table or "
+            "--json); list-scenarios: builtin + on-disk scenarios"
+        ),
+    )
+    dse.add_argument(
+        "--scenario", default="baseline", metavar="NAME",
+        help="builtin DSE scenario name (default: baseline)",
+    )
+    dse.add_argument(
+        "--scenario-file", default=None, metavar="PATH",
+        help="load the scenario from a DSL JSON file instead",
+    )
+    dse.add_argument(
+        "--dir", default=None, metavar="DIR", dest="scenario_dir",
+        help="directory of *.json scenario files (list-scenarios)",
+    )
+    dse.add_argument(
+        "--mode", default="exhaustive",
+        choices=("exhaustive", "halving"),
+        help=(
+            "search strategy: exhaustive sweep or successive "
+            "halving (default: exhaustive; both yield the same front)"
+        ),
+    )
+    dse.add_argument(
+        "--area-scale", nargs="+", type=float, default=[1.0],
+        metavar="X", help="area budget scale grid (default: 1.0)",
+    )
+    dse.add_argument(
+        "--power-scale", nargs="+", type=float, default=[1.0],
+        metavar="X", help="power budget scale grid (default: 1.0)",
+    )
+    dse.add_argument(
+        "--rungs", nargs="+", type=int, default=None, metavar="R",
+        help="halving fidelity rungs, strictly increasing "
+             "(default: 2 4)",
+    )
+    dse.add_argument(
+        "--r-max", type=int, default=16,
+        help="largest sequential-core size in BCEs (default 16)",
+    )
+    dse.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N front rows (default: all)",
+    )
+    dse.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit JSON instead of a table",
     )
 
     metrics_dump = sub.add_parser(
@@ -806,6 +870,163 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
     return "\n".join(lines)
 
 
+def _resolve_dse_scenario(scenario_name: str,
+                          scenario_file: Optional[str]):
+    """``--scenario-file`` wins over ``--scenario``."""
+    from .dse import builtin_scenario, load_scenario_file
+
+    if scenario_file is not None:
+        return load_scenario_file(scenario_file), scenario_file
+    return builtin_scenario(scenario_name), "builtin"
+
+
+def _dse_front_rows(front) -> List[tuple]:
+    return [
+        (
+            p.chip,
+            p.node,
+            f"{p.f:g}",
+            f"{p.area_scale:g}/{p.power_scale:g}",
+            f"{p.speedup:.2f}x",
+            f"{p.r:g}",
+            f"{p.n:g}",
+            p.limiter,
+        )
+        for p in front
+    ]
+
+
+_DSE_FRONT_HEADER = [
+    "chip", "node", "f", "area/power scale", "speedup", "r", "n",
+    "limiter",
+]
+
+
+def _cmd_dse(action: str, scenario_name: str,
+             scenario_file: Optional[str],
+             scenario_dir: Optional[str], mode: str,
+             area_scale: List[float], power_scale: List[float],
+             rungs: Optional[List[int]], r_max: int,
+             limit: Optional[int], as_json: bool) -> str:
+    import json as _json
+
+    from .dse import (
+        builtin_scenario_names,
+        builtin_scenario,
+        exhaustive_sweep,
+        expand_configs,
+        front_payload,
+        list_scenario_files,
+        load_scenario_file,
+        pareto_front,
+        scenario_summary,
+        successive_halving,
+    )
+
+    if action == "list-scenarios":
+        summaries = [
+            scenario_summary(builtin_scenario(name), "builtin")
+            for name in builtin_scenario_names()
+        ]
+        if scenario_dir is not None:
+            summaries.extend(
+                scenario_summary(load_scenario_file(path), str(path))
+                for path in list_scenario_files(scenario_dir)
+            )
+        if as_json:
+            return _json.dumps(summaries, indent=2)
+        rows = [
+            (
+                s["name"],
+                s["workload"],
+                s["provider"],
+                str(len(s["chips"])) if s["chips"] else "default",
+                ",".join(f"{f:g}" for f in s["f_values"]),
+                s["source"],
+            )
+            for s in summaries
+        ]
+        return format_table(
+            ["scenario", "workload", "provider", "chips", "f values",
+             "source"],
+            rows,
+            title=f"DSE scenarios ({len(rows)})",
+        )
+
+    scenario, source = _resolve_dse_scenario(
+        scenario_name, scenario_file
+    )
+    if mode == "halving":
+        result = successive_halving(
+            scenario,
+            area_scale_grid=tuple(area_scale),
+            power_scale_grid=tuple(power_scale),
+            rungs=tuple(rungs) if rungs is not None else (2, 4),
+            r_max=r_max,
+        )
+        front = result.front
+        stats = (
+            f"{result.n_configs} configs in {result.n_classes} "
+            f"equivalence classes; {result.full_evaluations} full + "
+            f"{result.rung_evaluations} rung evaluations "
+            f"({result.full_eval_fraction:.1%} of an exhaustive "
+            f"sweep), {result.n_infeasible} infeasible"
+        )
+    else:
+        if rungs is not None:
+            raise ModelError(
+                "--rungs only applies to --mode halving"
+            )
+        configs = expand_configs(
+            scenario,
+            area_scale_grid=tuple(area_scale),
+            power_scale_grid=tuple(power_scale),
+        )
+        points, infeasible = exhaustive_sweep(configs, r_max=r_max)
+        front = pareto_front(points)
+        stats = (
+            f"{len(configs)} configs evaluated exhaustively, "
+            f"{infeasible} infeasible"
+        )
+
+    shown = front if limit is None else front[:limit]
+    if action == "pareto":
+        if as_json:
+            payload = front_payload(front)
+            payload["scenario"] = scenario.name
+            payload["mode"] = mode
+            return _json.dumps(payload, indent=2)
+        return format_table(
+            _DSE_FRONT_HEADER,
+            _dse_front_rows(shown),
+            title=(
+                f"DSE Pareto front: {scenario.name} "
+                f"({len(shown)} of {len(front)} points shown)"
+            ),
+        )
+    if as_json:
+        return _json.dumps(
+            {
+                "scenario": scenario.name,
+                "source": source,
+                "mode": mode,
+                "stats": stats,
+                "front": front_payload(front),
+            },
+            indent=2,
+        )
+    table = format_table(
+        _DSE_FRONT_HEADER,
+        _dse_front_rows(shown),
+        title=(
+            f"DSE run: {scenario.name} ({scenario.workload}, "
+            f"provider {scenario.provider}) -- front "
+            f"{len(shown)}/{len(front)}"
+        ),
+    )
+    return f"{table}\n{stats}"
+
+
 def _cmd_materialize(action: str, tensor_dir: str, scenario: str,
                      jobs: Optional[int], executor: str,
                      store_dir: Optional[str]) -> str:
@@ -946,6 +1167,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 retries=args.retries,
                 trace_file=args.trace_file,
                 log_level=_checked_level(args.log_level),
+            )
+        elif args.command == "dse":
+            output = _cmd_dse(
+                args.action, args.scenario, args.scenario_file,
+                args.scenario_dir, args.mode, args.area_scale,
+                args.power_scale, args.rungs, args.r_max,
+                args.limit, args.as_json,
             )
         elif args.command == "materialize":
             output = _cmd_materialize(

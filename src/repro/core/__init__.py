@@ -32,6 +32,7 @@ from .hill_marty import (
     speedup_dynamic,
     speedup_symmetric,
 )
+from .multicore import MultiUCoreChip, WorkloadSegment
 from .metrics import (
     Objective,
     average_power_metric,
@@ -110,6 +111,9 @@ __all__ = [
     "speedup_asymmetric_offload",
     "speedup_dynamic",
     "speedup_symmetric",
+    # multi-u-core chips (extension)
+    "MultiUCoreChip",
+    "WorkloadSegment",
     # metrics
     "Objective",
     "average_power_metric",

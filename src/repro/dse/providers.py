@@ -1,0 +1,165 @@
+"""Pluggable performance/constraint providers for the DSE engine.
+
+The paper's projections hard-code one modelling regime: Table 1
+bounds, Pollack sequential law, and a parallel fabric whose useful
+size equals its built size.  The literature offers alternatives --
+Ginosar's sqrt(m) complexity law says ``m`` parallel processing
+elements deliver only ``sqrt(m)``-ish useful throughput once
+interconnect and coordination are paid for, and Yavits et al. model
+synchronisation drag plus a temperature ceiling that caps how much of
+a nominal power budget a dense chip can actually dissipate.
+
+A :class:`DSEProvider` packages one such regime behind three hooks the
+DSE evaluator applies around the unchanged chip models:
+
+* :meth:`transform_budget` -- rewrite the budget before the r-sweep
+  (e.g. shrink the extractable power).
+* :meth:`effective_parallel` -- map built fabric BCE ``m`` to the
+  effective fabric the speedup formula sees.
+* :meth:`perf_seq` -- the sequential performance law.
+
+The ``table1`` provider is the exact identity: the evaluator detects
+it (`identity = True`) and skips wrapping entirely, so provider-less
+and ``table1`` results are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from ..core.power import pollack_perf
+from ..errors import ModelError
+
+__all__ = [
+    "DSEProvider",
+    "Table1Provider",
+    "GinosarSqrtMProvider",
+    "YavitsProvider",
+    "PROVIDERS",
+    "get_provider",
+    "provider_names",
+]
+
+
+class DSEProvider:
+    """One modelling regime: budget transform + fabric law + seq law."""
+
+    #: registry key (e.g. ``"ginosar-sqrtm"``).
+    name: str = "abstract"
+    #: one-line provenance shown by ``dse list-scenarios``.
+    description: str = ""
+    #: True when every hook is the exact identity -- the evaluator
+    #: then uses the raw chip, guaranteeing bit-identical floats.
+    identity: bool = False
+
+    def perf_seq(self, r: float) -> float:
+        """Sequential performance of an ``r``-BCE fast core."""
+        return pollack_perf(r)
+
+    def effective_parallel(self, m: float) -> float:
+        """Effective fabric size for ``m`` built fabric BCE."""
+        return m
+
+    def transform_budget(self, budget):
+        """Budget actually available under this regime."""
+        return budget
+
+
+class Table1Provider(DSEProvider):
+    """The paper's own regime (Table 1 bounds, Pollack law) -- exact."""
+
+    name = "table1"
+    description = (
+        "Paper baseline: Table 1 bounds, Pollack sequential law, "
+        "fully effective fabric (bit-identical to repro.projection)"
+    )
+    identity = True
+
+
+class GinosarSqrtMProvider(DSEProvider):
+    """Ginosar's sqrt(m) complexity law for the parallel fabric.
+
+    Interconnect, arbitration, and programming overheads grow with
+    fabric size, so ``m`` built fabric BCE behave like ``sqrt(m)``
+    once ``m`` exceeds one BCE (below one BCE there is nothing to
+    coordinate, and the law must not *reward* tiny fabrics).
+    """
+
+    name = "ginosar-sqrtm"
+    description = (
+        "sqrt(m) effective fabric: coordination costs shrink the "
+        "useful parallel resources (Ginosar complexity model)"
+    )
+
+    def effective_parallel(self, m: float) -> float:
+        if m <= 1.0:
+            return m
+        return math.sqrt(m)
+
+
+class YavitsProvider(DSEProvider):
+    """Temperature-limited Amdahl with synchronisation drag.
+
+    Two stylised effects on top of the paper's model (Yavits, Morad
+    and Ginosar):
+
+    * a temperature ceiling makes the *extractable* power budget
+      sublinear in the nominal one -- ``P_eff = P ** 0.9`` in BCE
+      units (dense chips cannot dissipate their full nominal budget);
+    * synchronisation costs grow slowly with fabric size --
+      ``m_eff = m / (1 + beta * ln(1 + m))`` with ``beta = 0.05``.
+    """
+
+    name = "yavits"
+    description = (
+        "Temperature-limited power (P**0.9) plus synchronisation "
+        "drag m/(1+0.05*ln(1+m)) (Yavits-style Amdahl extension)"
+    )
+
+    #: synchronisation-intensity coefficient.
+    beta = 0.05
+    #: extractable-power exponent (1.0 would be the paper's model).
+    power_exponent = 0.9
+
+    def effective_parallel(self, m: float) -> float:
+        if m <= 0.0:
+            return m
+        return m / (1.0 + self.beta * math.log1p(m))
+
+    def transform_budget(self, budget):
+        from ..core.constraints import Budget
+
+        return Budget(
+            area=budget.area,
+            power=budget.power ** self.power_exponent,
+            bandwidth=budget.bandwidth,
+            alpha=budget.alpha,
+        )
+
+
+_PROVIDER_FACTORIES: Dict[str, Callable[[], DSEProvider]] = {
+    Table1Provider.name: Table1Provider,
+    GinosarSqrtMProvider.name: GinosarSqrtMProvider,
+    YavitsProvider.name: YavitsProvider,
+}
+
+#: singleton provider instances, keyed by name (all stateless).
+PROVIDERS: Dict[str, DSEProvider] = {
+    name: factory() for name, factory in _PROVIDER_FACTORIES.items()
+}
+
+
+def get_provider(name: str) -> DSEProvider:
+    """Look up a provider by registry name."""
+    try:
+        return PROVIDERS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown provider {name!r}; available: {provider_names()}"
+        ) from None
+
+
+def provider_names() -> List[str]:
+    """All registered provider names, paper baseline first."""
+    return list(PROVIDERS)

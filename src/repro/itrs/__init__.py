@@ -3,9 +3,11 @@
 from .roadmap import ITRS_2009, NodeParams, Roadmap, figure5_series
 from .scenarios import (
     BASELINE,
+    SCENARIO_OVERRIDES,
     SCENARIOS,
     Scenario,
     get_scenario,
+    scenario_from_overrides,
     scenario_names,
 )
 
@@ -15,8 +17,10 @@ __all__ = [
     "Roadmap",
     "figure5_series",
     "BASELINE",
+    "SCENARIO_OVERRIDES",
     "SCENARIOS",
     "Scenario",
     "get_scenario",
+    "scenario_from_overrides",
     "scenario_names",
 ]

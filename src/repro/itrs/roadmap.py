@@ -86,6 +86,19 @@ class Roadmap:
         if len(self._by_nm) != len(self._nodes):
             raise ModelError("duplicate technology nodes in roadmap")
 
+    def __eq__(self, other: object) -> bool:
+        # Structural equality: two roadmaps with the same node rows
+        # are the same roadmap, however they were derived.  Scenario
+        # equality (and the projection caches keyed on scenarios)
+        # relies on this, since every registered scenario now builds
+        # its roadmap through ``with_overrides``.
+        if not isinstance(other, Roadmap):
+            return NotImplemented
+        return self._nodes == other._nodes
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
     @property
     def nodes(self) -> Tuple[NodeParams, ...]:
         return self._nodes

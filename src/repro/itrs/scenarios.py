@@ -13,18 +13,33 @@ The paper re-runs its projections under six perturbed input sets:
 A :class:`Scenario` owns a derived :class:`~repro.itrs.roadmap.Roadmap`
 plus the alpha override, and is the single knob the projection engine
 takes besides the workload.
+
+Every registered scenario is built by :func:`scenario_from_overrides`
+from a plain override record in :data:`SCENARIO_OVERRIDES`.  The DSE
+scenario DSL (:mod:`repro.dse.dsl`) constructs its scenarios through
+the *same* function with the *same* override values, so a DSL
+re-expression of a paper scenario is bit-identical by construction,
+not by coincidence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from ..core.power import DEFAULT_ALPHA, SCENARIO_HIGH_ALPHA
 from ..errors import ModelError
 from .roadmap import ITRS_2009, Roadmap
 
-__all__ = ["Scenario", "BASELINE", "SCENARIOS", "get_scenario"]
+__all__ = [
+    "Scenario",
+    "BASELINE",
+    "SCENARIOS",
+    "SCENARIO_OVERRIDES",
+    "get_scenario",
+    "scenario_from_overrides",
+    "scenario_names",
+]
 
 
 @dataclass(frozen=True)
@@ -48,67 +63,86 @@ class Scenario:
             raise ModelError(f"alpha must be >= 1, got {self.alpha}")
 
 
-BASELINE = Scenario(
-    name="baseline",
-    description="Table 6 budgets: 432mm^2 / 100W / 180GB/s, alpha=1.75",
-)
+def scenario_from_overrides(
+    name: str,
+    description: str,
+    *,
+    bandwidth_gbps_at_start: Optional[float] = None,
+    power_budget_w: Optional[float] = None,
+    area_factor: float = 1.0,
+    alpha: float = DEFAULT_ALPHA,
+) -> Scenario:
+    """Build a :class:`Scenario` from plain budget overrides.
+
+    This is the single constructor behind both the registered paper
+    scenarios and the DSE DSL: identical overrides produce identical
+    roadmaps (same :meth:`Roadmap.with_overrides` call), so downstream
+    projections agree bit-for-bit.
+    """
+    roadmap = ITRS_2009.with_overrides(
+        bandwidth_gbps_at_start=bandwidth_gbps_at_start,
+        power_budget_w=power_budget_w,
+        area_factor=area_factor,
+    )
+    return Scenario(
+        name=name,
+        description=description,
+        roadmap=roadmap,
+        alpha=alpha,
+    )
+
+
+#: Override records behind each registered scenario.  Values are the
+#: keyword arguments :func:`scenario_from_overrides` accepts (besides
+#: name/description); an absent key means "paper default".
+SCENARIO_OVERRIDES: Dict[str, Mapping[str, float]] = {
+    "baseline": {},
+    "low-bandwidth": {"bandwidth_gbps_at_start": 90.0},
+    "high-bandwidth": {"bandwidth_gbps_at_start": 1000.0},
+    "half-area": {"area_factor": 0.5},
+    "double-power": {"power_budget_w": 200.0},
+    "low-power": {"power_budget_w": 10.0},
+    "high-alpha": {"alpha": SCENARIO_HIGH_ALPHA},
+}
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "baseline": (
+        "Table 6 budgets: 432mm^2 / 100W / 180GB/s, alpha=1.75"
+    ),
+    "low-bandwidth": (
+        "90 GB/s starting bandwidth: reduced off-chip "
+        "bandwidth costs (Section 6.2, scenario 1)"
+    ),
+    "high-bandwidth": (
+        "1 TB/s starting bandwidth: embedded DRAM or 3D-stacked "
+        "memory (Section 6.2, scenario 2)"
+    ),
+    "half-area": (
+        "216 mm^2 core-area budget: lower-cost manufacturing "
+        "(Section 6.2, scenario 3)"
+    ),
+    "double-power": (
+        "200 W power budget: high-end cooling and power delivery "
+        "(Section 6.2, scenario 4)"
+    ),
+    "low-power": (
+        "10 W power budget: laptops and mobile devices "
+        "(Section 6.2, scenario 5)"
+    ),
+    "high-alpha": (
+        "alpha = 2.25: a sequential core that pays more power "
+        "for performance (Section 6.2, scenario 6)"
+    ),
+}
 
 SCENARIOS: Dict[str, Scenario] = {
-    scenario.name: scenario
-    for scenario in (
-        BASELINE,
-        Scenario(
-            name="low-bandwidth",
-            description=(
-                "90 GB/s starting bandwidth: reduced off-chip "
-                "bandwidth costs (Section 6.2, scenario 1)"
-            ),
-            roadmap=ITRS_2009.with_overrides(bandwidth_gbps_at_start=90.0),
-        ),
-        Scenario(
-            name="high-bandwidth",
-            description=(
-                "1 TB/s starting bandwidth: embedded DRAM or 3D-stacked "
-                "memory (Section 6.2, scenario 2)"
-            ),
-            roadmap=ITRS_2009.with_overrides(
-                bandwidth_gbps_at_start=1000.0
-            ),
-        ),
-        Scenario(
-            name="half-area",
-            description=(
-                "216 mm^2 core-area budget: lower-cost manufacturing "
-                "(Section 6.2, scenario 3)"
-            ),
-            roadmap=ITRS_2009.with_overrides(area_factor=0.5),
-        ),
-        Scenario(
-            name="double-power",
-            description=(
-                "200 W power budget: high-end cooling and power delivery "
-                "(Section 6.2, scenario 4)"
-            ),
-            roadmap=ITRS_2009.with_overrides(power_budget_w=200.0),
-        ),
-        Scenario(
-            name="low-power",
-            description=(
-                "10 W power budget: laptops and mobile devices "
-                "(Section 6.2, scenario 5)"
-            ),
-            roadmap=ITRS_2009.with_overrides(power_budget_w=10.0),
-        ),
-        Scenario(
-            name="high-alpha",
-            description=(
-                "alpha = 2.25: a sequential core that pays more power "
-                "for performance (Section 6.2, scenario 6)"
-            ),
-            alpha=SCENARIO_HIGH_ALPHA,
-        ),
+    name: scenario_from_overrides(
+        name, _DESCRIPTIONS[name], **overrides
     )
+    for name, overrides in SCENARIO_OVERRIDES.items()
 }
+
+BASELINE = SCENARIOS["baseline"]
 
 
 def get_scenario(name: str) -> Scenario:

@@ -25,7 +25,12 @@ from ..projection.paperfigs import (
 from .experiments import EXPERIMENTS, experiment_ids
 from .figures import series_to_csv
 
-__all__ = ["export_all", "export_artifacts", "export_figure_csvs"]
+__all__ = [
+    "export_all",
+    "export_artifacts",
+    "export_dse_fronts",
+    "export_figure_csvs",
+]
 
 #: CSV-exported projection figures: file stem -> panel factory.
 _CSV_FIGURES = {
@@ -90,6 +95,51 @@ def export_figure_csvs(out_dir: pathlib.Path) -> List[pathlib.Path]:
     return written
 
 
+def export_dse_fronts(
+    out_dir: pathlib.Path,
+    scenarios: Iterable[str] = ("baseline",),
+) -> List[pathlib.Path]:
+    """Write the DSE Pareto front artifact per builtin scenario.
+
+    Each front is the dominance-pruned (speedup, area, power) set over
+    the scenario's full config space, serialised both as the canonical
+    JSON artifact (:func:`repro.dse.front.front_payload`) and as a
+    flat CSV for plotting tools.
+    """
+    import json
+
+    from ..dse import (
+        builtin_scenario,
+        exhaustive_sweep,
+        expand_configs,
+        front_payload,
+        pareto_front,
+    )
+
+    dse_dir = out_dir / "dse"
+    dse_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in scenarios:
+        scenario = builtin_scenario(name)
+        points, _ = exhaustive_sweep(expand_configs(scenario))
+        front = pareto_front(points)
+        json_path = dse_dir / f"{name}_front.json"
+        json_path.write_text(
+            json.dumps(front_payload(front), indent=2) + "\n"
+        )
+        written.append(json_path)
+        rows = ["chip,node,f,area,power,speedup,r,n,limiter"]
+        rows.extend(
+            f"{p.chip},{p.node},{p.f},{p.area},{p.power},"
+            f"{p.speedup},{p.r},{p.n},{p.limiter}"
+            for p in front
+        )
+        csv_path = dse_dir / f"{name}_front.csv"
+        csv_path.write_text("\n".join(rows) + "\n")
+        written.append(csv_path)
+    return written
+
+
 def export_all(out_dir) -> Dict[str, List[pathlib.Path]]:
     """Render every artefact, CSV series, and the calibration manifest.
 
@@ -104,5 +154,6 @@ def export_all(out_dir) -> Dict[str, List[pathlib.Path]]:
     return {
         "artifacts": export_artifacts(out),
         "csv": export_figure_csvs(out),
+        "dse": export_dse_fronts(out),
         "manifest": [manifest_path],
     }

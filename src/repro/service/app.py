@@ -67,6 +67,7 @@ from .schemas import (
     SpeedupRequest,
     SweepRequest,
     design_point_payload,
+    parse_dse,
     parse_job,
     parse_optimize,
     parse_speedup,
@@ -347,6 +348,17 @@ class ModelService:
                 return 202, self.jobs.payload(record), None
             self._require_method(method, "GET", path)
             return 200, {"jobs": self.jobs.list_payload()}, None
+        if path == "/v1/dse":
+            self._require_method(method, "POST", path)
+            try:
+                spec = parse_dse(_decode_json(body))
+            except BadRequestError:
+                self.metrics.record_dse("invalid", "rejected")
+                raise
+            mode = "halving" if spec.dse_halving else "pareto"
+            record = self.jobs.submit(spec, request_id=request_id)
+            self.metrics.record_dse(mode, "accepted")
+            return 202, self.jobs.payload(record), None
         if path.startswith("/v1/jobs/"):
             self._require_method(method, "GET", path)
             job_id = path[len("/v1/jobs/"):]

@@ -108,6 +108,10 @@ class ServiceMetrics:
             "repro_tensorstore_requests_total",
             "Materialized tensor-store lookups by outcome",
         )
+        self._dse = r.counter(
+            "repro_dse_requests_total",
+            "DSE job submissions by mode and outcome",
+        )
         r.gauge(
             "repro_service_uptime_seconds",
             "Seconds since this service instance started",
@@ -140,6 +144,15 @@ class ServiceMetrics:
     def record_tensor(self, outcome: str) -> None:
         """Account one tensor-store attempt (hit/interp/fallback)."""
         self._tensor.inc(outcome=outcome)
+
+    def record_dse(self, mode: str, outcome: str) -> None:
+        """Account one ``POST /v1/dse`` submission.
+
+        ``mode`` is the search strategy (``pareto``/``halving``, or
+        ``invalid`` when the body never parsed far enough to tell);
+        ``outcome`` is ``accepted`` (202) or ``rejected`` (400).
+        """
+        self._dse.inc(mode=mode, outcome=outcome)
 
     def record_timeout(self) -> None:
         self._timeouts.inc()
@@ -204,6 +217,11 @@ class ServiceMetrics:
             for labels, count in self._jobs.series()
             if labels
         }
+        dse = {"accepted": 0, "rejected": 0}
+        for labels, count in self._dse.series():
+            if labels:
+                outcome = labels["outcome"]
+                dse[outcome] = dse.get(outcome, 0) + int(count)
         return {
             "uptime_s": time.monotonic() - self._started,
             "inflight": int(self._inflight.value()),
@@ -222,6 +240,7 @@ class ServiceMetrics:
             "shed": int(self._shed.value()),
             "timeouts": int(self._timeouts.value()),
             "jobs": jobs,
+            "dse": dse,
             "tensorstore": {
                 "hit": int(self._tensor.value(outcome="hit")),
                 "interp": int(self._tensor.value(outcome="interp")),

@@ -30,6 +30,7 @@ __all__ = [
     "parse_sweep",
     "parse_optimize",
     "parse_job",
+    "parse_dse",
     "design_point_payload",
     "request_payload",
 ]
@@ -237,6 +238,122 @@ def parse_job(body: Any) -> CampaignSpec:
     try:
         spec = CampaignSpec.from_payload(body)
         spec.tasks()  # expand now so bad figures/fields fail the POST
+    except ModelError as exc:
+        raise BadRequestError(str(exc)) from None
+    return spec
+
+
+_DSE_FIELDS = frozenset(
+    {"scenario", "mode", "area_scale_grid", "power_scale_grid",
+     "rungs", "r_max", "shards"}
+)
+
+
+def _get_grid(body: Mapping, field: str) -> Any:
+    """A JSON number list for a budget-scale grid, or None."""
+    if field not in body:
+        return None
+    values = body[field]
+    if not isinstance(values, (list, tuple)) or not values:
+        raise BadRequestError(
+            f"field {field!r} must be a non-empty list of numbers"
+        )
+    out = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            raise BadRequestError(
+                f"field {field!r} must contain only numbers, got "
+                f"{type(value).__name__}"
+            )
+        out.append(value)
+    return tuple(out)
+
+
+def parse_dse(body: Any) -> CampaignSpec:
+    """Validate a ``POST /v1/dse`` body into a DSE campaign spec.
+
+    ``scenario`` is either a builtin scenario name or an inline
+    :meth:`~repro.dse.dsl.DSEScenario.payload` object; ``mode`` picks
+    the search (``pareto``, the sharded exhaustive sweep, or
+    ``halving``, the successive-halving search).  Validation is
+    *eager*: the scenario's DSL schema, the grids, the rungs, and the
+    config-space bound are all checked here, so a bad request gets a
+    400 naming the offending field instead of a queued job that fails
+    later.
+    """
+    from ..dse.dsl import DSEScenario, builtin_scenario
+
+    body = _require_mapping(body)
+    _reject_unknown(body, _DSE_FIELDS)
+    raw = body.get("scenario", "baseline")
+    try:
+        if isinstance(raw, str):
+            scenario = builtin_scenario(raw)
+        elif isinstance(raw, Mapping):
+            scenario = DSEScenario.from_payload(raw)
+        else:
+            raise BadRequestError(
+                f"field 'scenario' must be a builtin scenario name "
+                f"or a scenario object, got {type(raw).__name__}"
+            )
+    except ModelError as exc:
+        raise BadRequestError(f"field 'scenario': {exc}") from None
+    mode = _get_str(body, "mode", default="pareto")
+    if mode not in ("pareto", "halving"):
+        raise BadRequestError(
+            f"field 'mode' must be 'pareto' or 'halving', got {mode!r}"
+        )
+    area_grid = _get_grid(body, "area_scale_grid") or (1.0,)
+    power_grid = _get_grid(body, "power_scale_grid") or (1.0,)
+    r_max = _get_int(body, "r_max", default=DEFAULT_R_MAX)
+    scenario_json = scenario.canonical()
+    try:
+        if mode == "pareto":
+            if "rungs" in body:
+                raise BadRequestError(
+                    "field 'rungs' only applies to mode 'halving'"
+                )
+            shards = _get_int(body, "shards", default=1)
+            from ..campaign.spec import ParetoFrontTask
+
+            tasks = tuple(
+                ParetoFrontTask(
+                    scenario_json=scenario_json,
+                    area_scale_grid=area_grid,
+                    power_scale_grid=power_grid,
+                    r_max=r_max,
+                    shard=shard,
+                    shards=shards,
+                )
+                for shard in range(shards)
+            )
+            spec = CampaignSpec(
+                name=f"dse-{scenario.name}", dse_pareto=tasks
+            )
+        else:
+            if "shards" in body:
+                raise BadRequestError(
+                    "field 'shards' only applies to mode 'pareto'"
+                )
+            rungs = _get_grid(body, "rungs")
+            from ..campaign.spec import SuccessiveHalvingTask
+
+            kwargs = {} if rungs is None else {"rungs": rungs}
+            spec = CampaignSpec(
+                name=f"dse-{scenario.name}",
+                dse_halving=(
+                    SuccessiveHalvingTask(
+                        scenario_json=scenario_json,
+                        area_scale_grid=area_grid,
+                        power_scale_grid=power_grid,
+                        r_max=r_max,
+                        **kwargs,
+                    ),
+                ),
+            )
+        spec.tasks()  # full eager validation (grids, rungs, bound)
     except ModelError as exc:
         raise BadRequestError(str(exc)) from None
     return spec

@@ -1,0 +1,132 @@
+"""``repro-hetsim dse``: parser wiring, exit codes, output shapes."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dse.dsl import builtin_scenario_names
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["dse", "run"])
+        assert args.action == "run"
+        assert args.scenario == "baseline"
+        assert args.scenario_file is None
+        assert args.mode == "exhaustive"
+        assert args.area_scale == [1.0]
+        assert args.power_scale == [1.0]
+        assert args.rungs is None
+        assert args.r_max == 16
+        assert args.as_json is False
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "mutate"])
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["dse", "run", "--mode", "genetic"]
+            )
+
+    def test_grid_and_rung_flags(self):
+        args = build_parser().parse_args(
+            [
+                "dse", "pareto",
+                "--mode", "halving",
+                "--area-scale", "0.5", "1.0",
+                "--power-scale", "0.5", "1.0", "2.0",
+                "--rungs", "2", "4", "8",
+                "--r-max", "8",
+            ]
+        )
+        assert args.area_scale == [0.5, 1.0]
+        assert args.power_scale == [0.5, 1.0, 2.0]
+        assert args.rungs == [2, 4, 8]
+        assert args.r_max == 8
+
+
+class TestListScenarios:
+    def test_table_lists_every_builtin(self, capsys):
+        assert main(["dse", "list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in builtin_scenario_names():
+            assert name in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["dse", "list-scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [s["name"] for s in payload]
+        assert names == list(builtin_scenario_names())
+        assert all(s["source"] == "builtin" for s in payload)
+
+    def test_json_includes_directory_scenarios(
+        self, capsys, tmp_path
+    ):
+        (tmp_path / "mine.json").write_text(
+            json.dumps({"name": "mine", "f_values": [0.99]})
+        )
+        assert main(
+            ["dse", "list-scenarios", "--dir", str(tmp_path),
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {s["name"]: s for s in payload}
+        assert by_name["mine"]["source"] != "builtin"
+
+
+class TestRunAndPareto:
+    def test_run_prints_front_and_stats(self, capsys):
+        assert main(
+            ["dse", "run", "--scenario", "baseline",
+             "--limit", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chip" in out and "speedup" in out
+        assert "configs" in out
+
+    def test_pareto_json_is_a_front_payload(self, capsys):
+        assert main(
+            ["dse", "pareto", "--mode", "halving", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "baseline"
+        assert payload["mode"] == "halving"
+        assert payload["size"] == len(payload["points"])
+
+    def test_scenario_file_wins_over_name(self, capsys, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps({
+            "name": "tiny",
+            "f_values": [0.99],
+            "chips": [{"kind": "single", "device": "ASIC"}],
+        }))
+        assert main(
+            ["dse", "pareto", "--scenario-file", str(path),
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "tiny"
+
+
+class TestErrors:
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(
+            ["dse", "run", "--scenario", "warp-speed"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "warp-speed" in err
+
+    def test_missing_scenario_file_exits_2(self, capsys, tmp_path):
+        assert main(
+            ["dse", "run", "--scenario-file",
+             str(tmp_path / "nope.json")]
+        ) == 2
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_rungs_require_halving_mode(self, capsys):
+        assert main(["dse", "run", "--rungs", "2", "4"]) == 2
+        assert "halving" in capsys.readouterr().err

@@ -1,0 +1,135 @@
+"""Pareto-front properties: dominance, order-invariance, merging.
+
+The satellite acceptance properties: no dominated point ever sits on
+the front, and the front is invariant under evaluation order and
+shard/worker partitioning (hypothesis drives both).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.front import (
+    DSEPoint,
+    dominates,
+    front_payload,
+    merge_fronts,
+    pareto_front,
+    points_from_payload,
+)
+from repro.errors import ModelError
+
+
+def _point(i, speedup, area, power):
+    return DSEPoint(
+        config_id=f"cfg-{i}",
+        scenario="t",
+        provider="table1",
+        chip="ASIC",
+        workload="mmm",
+        f=0.99,
+        node="40nm",
+        area_scale=1.0,
+        power_scale=1.0,
+        area=area,
+        power=power,
+        speedup=speedup,
+        r=4.0,
+        n=16.0,
+        limiter="area",
+    )
+
+
+#: Small coordinate pools force plenty of ties and dominance chains.
+_coords = st.sampled_from([1.0, 2.0, 3.0, 5.0, 8.0])
+_point_lists = st.lists(
+    st.tuples(_coords, _coords, _coords), min_size=0, max_size=24
+).map(
+    lambda triples: [
+        _point(i, s, a, p) for i, (s, a, p) in enumerate(triples)
+    ]
+)
+
+
+class TestDominance:
+    def test_strictness_required(self):
+        a = _point(0, 5.0, 2.0, 2.0)
+        b = _point(1, 5.0, 2.0, 2.0)
+        assert not dominates(a, b)
+        assert dominates(_point(2, 6.0, 2.0, 2.0), a)
+        assert dominates(_point(3, 5.0, 1.0, 2.0), a)
+        assert not dominates(_point(4, 6.0, 3.0, 2.0), a)
+
+    @given(_point_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_no_dominated_point_on_the_front(self, points):
+        front = pareto_front(points)
+        for kept in front:
+            assert not any(
+                dominates(other, kept) for other in points
+            )
+
+    @given(_point_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_every_excluded_point_is_dominated(self, points):
+        front = pareto_front(points)
+        kept_ids = {p.config_id for p in front}
+        for point in points:
+            if point.config_id in kept_ids:
+                continue
+            assert any(dominates(kept, point) for kept in front)
+
+
+class TestInvariance:
+    @given(_point_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_evaluation_order_cannot_change_the_front(
+        self, points, rng
+    ):
+        baseline = pareto_front(points)
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        assert pareto_front(shuffled) == baseline
+
+    @given(_point_lists, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=200, deadline=None)
+    def test_shard_partitioning_cannot_change_the_front(
+        self, points, shards
+    ):
+        """Worker count / sharding: per-shard fronts merge exactly."""
+        baseline = pareto_front(points)
+        shard_fronts = [
+            pareto_front(points[shard::shards])
+            for shard in range(shards)
+        ]
+        assert merge_fronts(shard_fronts) == baseline
+
+    @given(_point_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_front_is_idempotent(self, points):
+        front = pareto_front(points)
+        assert pareto_front(front) == front
+
+
+class TestPayloads:
+    def test_roundtrip_through_payload(self):
+        points = [_point(0, 5.0, 2.0, 1.0), _point(1, 4.0, 1.0, 1.0)]
+        front = pareto_front(points)
+        payload = front_payload(front)
+        assert payload["size"] == len(front)
+        assert points_from_payload(payload) == front
+        # campaign task results carry the list under "front"
+        assert points_from_payload({"front": payload["points"]}) == (
+            front
+        )
+        assert points_from_payload(payload["points"]) == front
+
+    def test_bad_payloads_raise(self):
+        with pytest.raises(ModelError, match="points"):
+            points_from_payload({"size": 3})
+        with pytest.raises(ModelError, match="object"):
+            points_from_payload(42)
+        with pytest.raises(ModelError, match="objects"):
+            points_from_payload([1, 2])
+        with pytest.raises(ModelError, match="bad front point"):
+            points_from_payload([{"config_id": "x"}])

@@ -20,7 +20,7 @@ class TestExports:
         "repro.measure", "repro.itrs", "repro.projection",
         "repro.reporting", "repro.cli", "repro.units", "repro.errors",
         "repro.layout", "repro.sim", "repro.perf", "repro.service",
-        "repro.campaign",
+        "repro.campaign", "repro.dse",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)

@@ -1,0 +1,182 @@
+"""``POST /v1/dse``: submission, eager validation, DSE metrics."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.dse.front import points_from_payload
+from repro.service.app import ModelService, ServiceConfig
+from repro.service.schemas import parse_dse
+from repro.errors import BadRequestError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _body(**fields):
+    return json.dumps(fields).encode()
+
+
+async def _await_job(service, job_id, deadline_s=60.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + deadline_s
+    while loop.time() < deadline:
+        status, payload = await service.handle(
+            "GET", f"/v1/jobs/{job_id}"
+        )
+        assert status == 200
+        if payload["state"] in ("succeeded", "failed"):
+            return payload
+        await asyncio.sleep(0.02)
+    raise AssertionError("job did not finish in time")
+
+
+class TestParseDse:
+    def test_builtin_scenario_defaults(self):
+        spec = parse_dse({"scenario": "baseline"})
+        assert spec.name == "dse-baseline"
+        assert len(spec.dse_pareto) == 1
+        assert not spec.dse_halving
+
+    def test_sharded_pareto(self):
+        spec = parse_dse({"scenario": "baseline", "shards": 3})
+        assert [t.shard for t in spec.dse_pareto] == [0, 1, 2]
+        assert all(t.shards == 3 for t in spec.dse_pareto)
+
+    def test_halving_with_rungs(self):
+        spec = parse_dse(
+            {
+                "scenario": "baseline",
+                "mode": "halving",
+                "rungs": [2, 4, 8],
+            }
+        )
+        assert spec.dse_halving[0].rungs == (2, 4, 8)
+
+    @pytest.mark.parametrize(
+        "body, message",
+        [
+            ({"scenario": "warp-speed"}, "scenario"),
+            ({"scenario": 42}, "'scenario'"),
+            ({"scenario": {"name": "x", "alpha": 0}}, "alpha"),
+            ({"scenario": {"name": "x", "chipz": []}}, "chipz"),
+            ({"mode": "genetic"}, "'mode'"),
+            ({"area_scale_grid": []}, "area_scale_grid"),
+            ({"area_scale_grid": [1.0, "a"]}, "area_scale_grid"),
+            ({"area_scale_grid": [2.0, 1.0]}, "area_scale_grid"),
+            ({"rungs": [2, 4]}, "rungs"),
+            ({"mode": "halving", "shards": 2}, "shards"),
+            ({"mode": "halving", "rungs": [4, 2]}, "rungs"),
+            ({"r_max": 0}, "r_max"),
+            ({"unknown_knob": 1}, "unknown_knob"),
+        ],
+    )
+    def test_eager_400_names_the_offending_field(
+        self, body, message
+    ):
+        with pytest.raises(BadRequestError, match=message):
+            parse_dse(body)
+
+    def test_inline_scenario_payload(self):
+        spec = parse_dse(
+            {
+                "scenario": {
+                    "name": "inline",
+                    "f_values": [0.99],
+                    "chips": [
+                        {"kind": "single", "device": "ASIC"}
+                    ],
+                },
+            }
+        )
+        payload = json.loads(
+            spec.dse_pareto[0].scenario_json
+        )
+        assert payload["name"] == "inline"
+
+
+class TestEndpoint:
+    @pytest.fixture()
+    def service(self, tmp_path):
+        svc = ModelService(
+            ServiceConfig(store_dir=str(tmp_path))
+        )
+        yield svc
+        svc.close()
+
+    def test_submit_poll_and_front(self, service):
+        async def main():
+            status, payload = await service.handle(
+                "POST",
+                "/v1/dse",
+                _body(
+                    scenario={
+                        "name": "smoke",
+                        "f_values": [0.99],
+                        "chips": [
+                            {"kind": "single", "device": "ASIC"},
+                            {"kind": "single", "device": "GTX480"},
+                        ],
+                    },
+                    mode="halving",
+                ),
+            )
+            assert status == 202
+            final = await _await_job(service, payload["job_id"])
+            assert final["state"] == "succeeded"
+            (result,) = final["results"]
+            assert result["kind"] == "dse-halving"
+            front = points_from_payload(result)
+            assert front
+            assert all(p.scenario == "smoke" for p in front)
+
+        run(main())
+
+    def test_invalid_body_is_eager_400(self, service):
+        async def main():
+            status, payload = await service.handle(
+                "POST",
+                "/v1/dse",
+                _body(scenario={"name": "x", "provider": "magic"}),
+            )
+            assert status == 400
+            assert "provider" in payload["message"]
+            # nothing was queued
+            status, listing = await service.handle(
+                "GET", "/v1/jobs"
+            )
+            assert listing["jobs"] == []
+
+        run(main())
+
+    def test_method_guard(self, service):
+        async def main():
+            status, payload = await service.handle("GET", "/v1/dse")
+            assert status == 405
+
+        run(main())
+
+    def test_dse_metrics_families(self, service):
+        async def main():
+            await service.handle(
+                "POST", "/v1/dse", _body(scenario="baseline")
+            )
+            await service.handle("POST", "/v1/dse", b"{}1")
+            # wait for the job so the evaluation counter moves
+            assert service.jobs.join(timeout=60)
+            status, snap = await service.handle("GET", "/metrics")
+            assert snap["dse"]["accepted"] == 1
+            assert snap["dse"]["rejected"] == 1
+            status, text = await service.handle(
+                "GET", "/metrics?format=prom"
+            )
+            assert "repro_dse_requests_total" in text
+            assert (
+                'repro_dse_requests_total{mode="pareto",'
+                'outcome="accepted"} 1' in text
+            )
+            assert "repro_dse_configs_evaluated_total" in text
+
+        run(main())
