@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-dse bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-dse bench-cluster bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -46,6 +46,10 @@ materialize:
 # this alias regenerates it (and the cold/warm baselines it is gated
 # against) in BENCH_service.json + BENCH_history.jsonl.
 bench-materialize: bench-service
+
+# The same benchmark's cluster_1w/cluster_4w phases measure router
+# scale-out (topology-stamped in the envelope for bench-check).
+bench-cluster: bench-service
 
 serve:
 	$(PYTHON) -m repro.cli serve

@@ -18,11 +18,21 @@ counters.  Three phases:
   fast path, skipping parsing, dispatch, and the response cache
   entirely; this phase pins the tensor-serving speedup number.
 
+* **cluster_1w / cluster_4w** -- the same mix through the
+  :mod:`repro.cluster` router in front of 1 and 4 spawned worker
+  processes.  ``scaling_x`` (4-worker over 1-worker warm throughput)
+  pins the scale-out number, gated on the machine actually having the
+  cores; the per-worker cache hit rate is asserted unconditionally --
+  rendezvous sharding must keep every worker's hit rate at the
+  single-worker level, or the router is splitting cache key ranges.
+
 Results land in ``BENCH_service.json`` at the repo root with p50/p99
 latency per phase, plus an envelope-stamped history row in
 ``BENCH_history.jsonl`` (benchmark ``service_load``) for
-``repro-hetsim bench-check``.  Run as a script
-(``python benchmarks/bench_service_load.py``) or through pytest.
+``repro-hetsim bench-check``.  The envelope carries the cluster
+topology, so runs of different serving shapes never baseline each
+other.  Run as a script (``python benchmarks/bench_service_load.py``)
+or through pytest.
 """
 
 from __future__ import annotations
@@ -38,7 +48,9 @@ from pathlib import Path
 from typing import List, Tuple
 
 from repro._version import __version__
+from repro.cluster import ClusterConfig, Router, WorkerSupervisor
 from repro.obs.history import DEFAULT_HISTORY_NAME, record_benchmark
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.tensorstore import build_tensor_store
 from repro.service.app import ModelService, ServiceConfig
 from repro.service.http import start_server
@@ -48,12 +60,23 @@ OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
 HISTORY_PATH = REPO_ROOT / DEFAULT_HISTORY_NAME
 BENCHMARK_NAME = "service_load"
 
+#: Worker processes in the scale-out phase.
+CLUSTER_WORKERS = 4
+#: Cores needed before the >=3x scaling assertion is meaningful: the
+#: 4 workers plus the router and the client loop must not be fighting
+#: for the same core (the CI container has exactly one).
+SCALING_GATE_CPUS = 6
+#: Warm-phase throughput at 4 workers must reach this multiple of the
+#: 1-worker cluster run (only asserted past the CPU gate).
+SCALING_TARGET_X = 3.0
+
 
 def _record(payload: dict) -> None:
     """Write the snapshot and its joinable history row (one envelope)."""
     record_benchmark(
         payload, benchmark=BENCHMARK_NAME, snapshot_path=OUTPUT_PATH,
         history_path=HISTORY_PATH, timestamp=time.time(),
+        topology=payload.get("cluster", {}).get("topology"),
     )
 
 #: Concurrent closed-loop clients.
@@ -189,6 +212,91 @@ async def _run_materialized_phase(
     return materialized, counters
 
 
+async def _fetch_json(port: int, path: str) -> dict:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Length: 0\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    _head, _, body = raw.partition(b"\r\n\r\n")
+    return json.loads(body)
+
+
+def _warm_hit_rate(cold: dict, final: dict):
+    """Hit rate over the warm sweep only (counter delta between
+    scrapes); None for a worker that saw no warm traffic at all."""
+    hits = final.get("hits", 0) - cold.get("hits", 0)
+    misses = final.get("misses", 0) - cold.get("misses", 0)
+    total = hits + misses
+    return hits / total if total else None
+
+
+async def _run_cluster_phase(
+    workers: int, mix: List[Tuple[str, dict]]
+) -> dict:
+    """Cold + warm sweeps through the router over ``workers`` workers."""
+    config = ClusterConfig(
+        workers=workers,
+        service=ServiceConfig(batch_window_ms=2.0, max_inflight=16,
+                              queue_depth=512),
+        host="127.0.0.1",
+        port=0,
+    )
+    # Private registries: the bench boots several fleets in one
+    # process and their callback gauges must not collide.
+    supervisor = WorkerSupervisor(config, registry=MetricsRegistry())
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, supervisor.start)
+    router = Router(config, supervisor)
+    stop = asyncio.Event()
+    ready = asyncio.Event()
+    serve = asyncio.ensure_future(router.serve_until(stop, ready=ready))
+    await ready.wait()
+    try:
+        cold = await _run_phase(router.bound_port, mix)
+        after_cold = await _fetch_json(router.bound_port, "/metrics")
+        warm = await _run_phase(router.bound_port, mix)
+        final = await _fetch_json(router.bound_port, "/metrics")
+    finally:
+        stop.set()
+        await serve
+        await loop.run_in_executor(None, supervisor.stop)
+    per_worker_cache = {
+        name: payload["cache"]
+        for name, payload in final["workers"].items()
+    }
+    # Hit rate over the *warm* sweep: pure repeat traffic, so a
+    # locality-preserving router yields ~1.0 on every worker that
+    # serves a shard, regardless of how the mix split across shards.
+    warm_rates = {
+        name: _warm_hit_rate(
+            after_cold["workers"][name]["cache"], cache
+        )
+        for name, cache in sorted(per_worker_cache.items())
+        if name in after_cold["workers"]
+    }
+    return {
+        "topology": config.topology(),
+        "cold": cold,
+        "warm": warm,
+        "per_worker_cache": per_worker_cache,
+        "per_worker_warm_hit_rate": {
+            name: rate
+            for name, rate in warm_rates.items()
+            if rate is not None
+        },
+    }
+
+
 async def _run_load() -> dict:
     service = ModelService(
         ServiceConfig(batch_window_ms=2.0, max_inflight=16,
@@ -213,6 +321,12 @@ async def _run_load() -> dict:
             mix, tdir
         )
 
+    single = await _run_cluster_phase(1, mix)
+    multi = await _run_cluster_phase(CLUSTER_WORKERS, mix)
+    scaling_x = (
+        multi["warm"]["throughput_rps"] / single["warm"]["throughput_rps"]
+    )
+
     batching = after_cold["batching"]
     return {
         "schema_version": 1,
@@ -224,6 +338,18 @@ async def _run_load() -> dict:
             "cold": cold,
             "warm": warm,
             "materialized": materialized,
+            "cluster_1w": single["warm"],
+            "cluster_4w": multi["warm"],
+        },
+        "cluster": {
+            "topology": multi["topology"],
+            "scaling_x": scaling_x,
+            "scaling_gate_cpus": SCALING_GATE_CPUS,
+            "single_worker_hit_rate": single[
+                "per_worker_warm_hit_rate"
+            ]["w1"],
+            "workers_1": single,
+            "workers_4": multi,
         },
         "tensorstore": tensor_counters,
         "batching": {
@@ -268,6 +394,25 @@ def test_service_load():
     assert counters["hit"] > 0 and counters["fallback"] == 0, (
         f"materialized phase fell back to live compute: {counters}"
     )
+    cluster = payload["cluster"]
+    # Sharding must not shred cache locality: every worker's hit rate
+    # stays at the single-worker level (small epsilon for racy cold
+    # misses under concurrent clients).  Asserted on every machine.
+    baseline_rate = cluster["single_worker_hit_rate"]
+    rates = cluster["workers_4"]["per_worker_warm_hit_rate"]
+    assert rates, "no worker served warm traffic"
+    for worker, rate in rates.items():
+        assert rate >= baseline_rate - 0.05, (
+            f"{worker} warm hit rate {rate:.3f} below single-worker "
+            f"baseline {baseline_rate:.3f}"
+        )
+    # Throughput scaling needs real cores; on starved CI boxes the
+    # number is recorded but not gated.
+    if (os.cpu_count() or 0) >= SCALING_GATE_CPUS:
+        assert cluster["scaling_x"] >= SCALING_TARGET_X, (
+            f"4-worker scaling {cluster['scaling_x']:.2f}x < "
+            f"{SCALING_TARGET_X}x"
+        )
 
 
 def main() -> int:
@@ -296,7 +441,39 @@ def main() -> int:
         f"{counters['fallback']} fallbacks; materialized p50 "
         f"{ratio:.1f}x faster than warm"
     )
+    cluster = payload["cluster"]
+    gated = (os.cpu_count() or 0) >= SCALING_GATE_CPUS
+    gate_note = "gated" if gated else f"recorded only: {os.cpu_count()} cpus"
+    rates = " ".join(
+        f"{name}={rate:.2f}"
+        for name, rate in sorted(
+            cluster["workers_4"]["per_worker_warm_hit_rate"].items()
+        )
+    )
+    print(
+        f"  cluster: {cluster['topology']['workers']} workers, "
+        f"scaling {cluster['scaling_x']:.2f}x over 1 worker "
+        f"({gate_note}), per-worker warm hit rates {rates}"
+    )
     print(f"wrote {OUTPUT_PATH}")
+    baseline_rate = cluster["single_worker_hit_rate"]
+    for worker, rate in (
+        cluster["workers_4"]["per_worker_warm_hit_rate"].items()
+    ):
+        if rate < baseline_rate - 0.05:
+            print(
+                f"FAIL: {worker} warm hit rate {rate:.3f} below "
+                f"single-worker {baseline_rate:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+    if gated and cluster["scaling_x"] < SCALING_TARGET_X:
+        print(
+            f"FAIL: cluster scaling {cluster['scaling_x']:.2f}x < "
+            f"{SCALING_TARGET_X}x",
+            file=sys.stderr,
+        )
+        return 1
     if not batching["efficiency"] or batching["efficiency"] <= 1:
         print("FAIL: batch efficiency <= 1", file=sys.stderr)
         return 1

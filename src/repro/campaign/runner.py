@@ -27,7 +27,9 @@ makes a half-finished campaign inspectable without replaying it.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import tempfile
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -67,7 +69,14 @@ __all__ = [
     "execute_task",
 ]
 
-_EXECUTORS = ("process", "thread", "serial")
+_EXECUTORS = ("process", "thread", "serial", "cluster")
+
+#: Process pools always use the ``spawn`` start method: ``fork`` would
+#: inherit locks, the metrics registry, and any event loop state, and
+#: makes Linux and macOS behave differently.  Pinning it keeps worker
+#: determinism identical across platforms (and matches the serving
+#: cluster's worker processes).
+_SPAWN = multiprocessing.get_context("spawn")
 
 
 # -- task evaluation (module-level so it pickles into workers) -------------
@@ -315,8 +324,13 @@ class CampaignRunner:
             creates an ephemeral one (no durability across processes).
         workers: pool width; ``None`` uses the CPU count, ``1`` forces
             in-process serial execution.
-        executor: ``"process"`` (default), ``"thread"``, or
-            ``"serial"``.
+        executor: ``"process"`` (default), ``"thread"``, ``"serial"``,
+            or ``"cluster"`` -- the last drains the spec cooperatively
+            with any other ``--join`` process pointed at the same
+            durable store (see :mod:`repro.cluster.executor`).
+        lease_ttl_s: cluster executor only -- how long a claimed
+            task's lease may go without a heartbeat before a peer may
+            take it over.
         retries: per-task retry budget on top of the first attempt.
         backoff_base_s / backoff_cap_s: exponential-backoff schedule
             between attempts (``base * 2**attempt``, capped).
@@ -339,6 +353,7 @@ class CampaignRunner:
         progress: Optional[
             Callable[[TaskOutcome, int, int], None]
         ] = None,
+        lease_ttl_s: float = 10.0,
     ):
         if executor not in _EXECUTORS:
             raise ModelError(
@@ -349,6 +364,15 @@ class CampaignRunner:
             raise ModelError(f"workers must be >= 1, got {workers}")
         if retries < 0:
             raise ModelError(f"retries must be >= 0, got {retries}")
+        if lease_ttl_s <= 0:
+            raise ModelError(
+                f"lease_ttl_s must be positive, got {lease_ttl_s}"
+            )
+        if executor == "cluster" and (store is None or store.is_ephemeral):
+            raise ModelError(
+                "cluster executor needs a durable store directory "
+                "shared with the joined peers (pass --store-dir)"
+            )
         self.store = store if store is not None else ResultStore()
         self.workers = (
             workers if workers is not None else (os.cpu_count() or 1)
@@ -359,6 +383,7 @@ class CampaignRunner:
         self.backoff_cap_s = backoff_cap_s
         self.resume = resume
         self.progress = progress
+        self.lease_ttl_s = lease_ttl_s
         self._task_counter = get_registry().counter(
             "repro_campaign_tasks_total",
             "Campaign task outcomes by status",
@@ -389,12 +414,27 @@ class CampaignRunner:
         }
         path = self.manifest_path(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        # A private temp name, not path.with_suffix(".tmp"): joined
+        # cluster processes checkpoint the same manifest concurrently,
+        # and a shared tmp name lets one replace() steal the other's
+        # file out from under it.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent),
+            prefix=f".{path.name}-",
+            suffix=".tmp",
         )
-        os.replace(tmp, path)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def read_manifest(self, spec: CampaignSpec) -> Optional[Dict[str, Any]]:
         """The last checkpoint manifest for ``spec``, if any."""
@@ -492,7 +532,13 @@ class CampaignRunner:
 
         if pending:
             workers = min(self.workers, len(pending))
-            if workers == 1 or self.executor == "serial":
+            if self.executor == "cluster":
+                # Imported lazily: repro.cluster pulls in the serving
+                # stack, which imports this module back.
+                from ..cluster.executor import run_cluster_pending
+
+                run_cluster_pending(self, pending, _settle)
+            elif workers == 1 or self.executor == "serial":
                 self._run_serial(pending, _settle)
             else:
                 self._run_pooled(pending, workers, _settle)
@@ -554,12 +600,13 @@ class CampaignRunner:
         workers: int,
         settle: Callable[..., None],
     ) -> None:
-        pool_cls = (
-            ProcessPoolExecutor
-            if self.executor == "process"
-            else ThreadPoolExecutor
-        )
-        with pool_cls(max_workers=workers) as pool:
+        if self.executor == "process":
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=_SPAWN
+            )
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+        with pool:
             futures = {}
             for task, digest in pending:
                 future = pool.submit(

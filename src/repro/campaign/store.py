@@ -84,6 +84,7 @@ class ResultStore:
         self._misses = 0
         self._writes = 0
         self._corrupt = 0
+        self._lease_events: Dict[str, int] = {}
         # Mirror every count into the shared obs registry (instruments
         # are get-or-create, so several stores simply add up there;
         # the per-instance fields above stay exact for stats()).
@@ -256,6 +257,25 @@ class ResultStore:
     def stats_payload(self) -> Dict[str, int]:
         """The counters as a JSON-ready dict (``/metrics`` section)."""
         return dict(self.stats()._asdict())
+
+    # -- leases ------------------------------------------------------------
+
+    def record_lease_event(self, event: str) -> None:
+        """Count one lease lifecycle event (claimed/renewed/expired/...).
+
+        Lease events share the store's event family
+        (``repro_campaign_store_events_total{result="lease_<event>"}``)
+        so one scrape covers the whole claim-execute-settle path, and
+        are tallied per-instance for the campaign summary line.
+        """
+        with self._lock:
+            self._lease_events[event] = self._lease_events.get(event, 0) + 1
+        self._events.inc(result=f"lease_{event}")
+
+    def lease_stats(self) -> Dict[str, int]:
+        """Per-instance lease event counts (since construction)."""
+        with self._lock:
+            return dict(sorted(self._lease_events.items()))
 
     def __len__(self) -> int:
         return len(self.keys())

@@ -269,8 +269,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--executor", default="process",
-        choices=("process", "thread", "serial"),
-        help="pool flavour (default: process)",
+        choices=("process", "thread", "serial", "cluster"),
+        help=(
+            "pool flavour (default: process); 'cluster' drains the "
+            "campaign cooperatively with other --join processes "
+            "through store lease files"
+        ),
+    )
+    campaign.add_argument(
+        "--join", action="store_true",
+        help=(
+            "join a distributed campaign: implies --executor cluster "
+            "and --resume; every process launched with the same "
+            "--store-dir claims tasks through atomic lease files and "
+            "the final output is bit-identical to a serial run"
+        ),
+    )
+    campaign.add_argument(
+        "--lease-ttl-s", type=float, default=10.0, metavar="S",
+        help=(
+            "cluster executor: heartbeat ttl before a peer may take "
+            "over a dead worker's claimed task (default 10)"
+        ),
     )
     campaign.add_argument(
         "--method", default="batch", choices=("batch", "scalar"),
@@ -510,8 +530,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU response-cache capacity in entries (default 1024)",
     )
     serve.add_argument(
-        "--workers", type=int, default=2,
-        help="worker threads for NumPy grid evaluation (default 2)",
+        "--workers", type=int, default=1,
+        help=(
+            "worker processes (default 1 = classic single-process "
+            "serving); N>1 boots a rendezvous-hashing router on "
+            "--host/--port with N ModelService workers behind it "
+            "(repro.cluster)"
+        ),
+    )
+    serve.add_argument(
+        "--threads", type=int, default=2,
+        help="per-worker threads for NumPy grid evaluation (default 2)",
     )
     serve.add_argument(
         "--store-dir", default=None, metavar="DIR",
@@ -810,7 +839,9 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
                   store_dir: Optional[str] = None,
                   resume: bool = False, retries: int = 2,
                   trace_file: Optional[str] = None,
-                  log_level: Optional[str] = None) -> str:
+                  log_level: Optional[str] = None,
+                  join: bool = False,
+                  lease_ttl_s: float = 10.0) -> str:
     from .campaign.runner import CampaignRunner
     from .campaign.spec import CampaignSpec
     from .campaign.store import ResultStore
@@ -820,6 +851,15 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
     configure_logging(log_level)
     if trace_file is not None:
         configure_tracer(trace_file)
+    if join:
+        # --join is the distributed entry: always the cluster
+        # executor, always resuming from the shared store.
+        executor, resume = "cluster", True
+    if executor == "cluster" and store_dir is None:
+        raise ModelError(
+            "--executor cluster (or --join) requires --store-dir: "
+            "the store is how joined processes coordinate"
+        )
     spec = CampaignSpec(
         name="cli-figures", figures=tuple(figures), method=method
     )
@@ -829,6 +869,7 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
         executor=executor,
         retries=retries,
         resume=resume,
+        lease_ttl_s=lease_ttl_s,
     )
     report = runner.run(spec)
     rows = []
@@ -864,6 +905,15 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
     lines = [table]
     if not runner.store.is_ephemeral:
         lines.append(f"store: {runner.store.directory}")
+    lease_events = runner.store.lease_stats()
+    if lease_events:
+        lines.append(
+            "leases: "
+            + " ".join(
+                f"{event}={count}"
+                for event, count in lease_events.items()
+            )
+        )
     if failures:
         lines.append(f"{len(failures)} panel(s) failed:")
         lines.extend(failures)
@@ -1167,6 +1217,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 retries=args.retries,
                 trace_file=args.trace_file,
                 log_level=_checked_level(args.log_level),
+                join=args.join,
+                lease_ttl_s=args.lease_ttl_s,
             )
         elif args.command == "dse":
             output = _cmd_dse(
@@ -1192,25 +1244,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             return code
         elif args.command == "serve":
             from .service.app import ServiceConfig
-            from .service.http import run_server
 
-            run_server(
-                ServiceConfig(
-                    host=args.host,
-                    port=args.port,
-                    batch_window_ms=args.batch_window_ms,
-                    max_inflight=args.max_inflight,
-                    queue_depth=args.queue_depth,
-                    request_timeout_s=args.timeout_s,
-                    cache_size=args.cache_size,
-                    workers=args.workers,
-                    store_dir=args.store_dir,
-                    tensor_dir=args.tensor_dir,
-                    drain_timeout_s=args.drain_timeout_s,
-                    trace_file=args.trace_file,
-                    log_level=_checked_level(args.log_level),
-                )
+            service_config = ServiceConfig(
+                host=args.host,
+                port=args.port,
+                batch_window_ms=args.batch_window_ms,
+                max_inflight=args.max_inflight,
+                queue_depth=args.queue_depth,
+                request_timeout_s=args.timeout_s,
+                cache_size=args.cache_size,
+                workers=args.threads,
+                store_dir=args.store_dir,
+                tensor_dir=args.tensor_dir,
+                drain_timeout_s=args.drain_timeout_s,
+                trace_file=args.trace_file,
+                log_level=_checked_level(args.log_level),
             )
+            if args.workers > 1:
+                from .cluster import ClusterConfig, run_cluster_server
+
+                run_cluster_server(
+                    ClusterConfig(
+                        workers=args.workers,
+                        service=service_config,
+                        host=args.host,
+                        port=args.port,
+                    )
+                )
+            else:
+                from .service.http import run_server
+
+                run_server(service_config)
             output = "server stopped"
         else:  # pragma: no cover - argparse enforces choices
             parser.error(f"unknown command {args.command!r}")

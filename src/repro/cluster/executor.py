@@ -1,0 +1,137 @@
+"""The ``cluster`` campaign executor: store-leased cooperative drain.
+
+Several independently launched ``repro-hetsim campaign --join``
+processes -- on one host or many, sharing only the store filesystem --
+drain one campaign DAG together.  There is no coordinator: each
+process walks the same deterministic task list, claims unfinished
+tasks through :class:`~repro.cluster.lease.LeaseManager`, executes
+what it claims with the runner's normal retry policy, and settles
+peer-completed tasks straight from the content-addressed store.
+
+In-process parallelism stays at one task at a time (scale-out comes
+from launching more ``--join`` processes, each a full OS process with
+its own GIL); a background heartbeat thread renews the lease of the
+task currently executing, so a long task is never stolen from a live
+worker while a crashed worker's lease goes stale and is taken over.
+
+The final report is indistinguishable from a serial run's wherever it
+matters: every task settles exactly once per process (``executed`` if
+this process computed it, ``cached`` if a peer did), the manifest
+lists the same completed hashes, and ``results_json()`` is
+byte-identical -- tasks are deterministic and the store is
+last-writer-wins with identical bytes, so even a duplicated execution
+during a lease race cannot diverge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from .lease import LeaseManager
+
+__all__ = ["run_cluster_pending"]
+
+#: How often a joined process re-examines tasks it is waiting on.
+POLL_INTERVAL_S = 0.05
+
+
+def _heartbeat_loop(
+    lease: LeaseManager,
+    digest: str,
+    stop: threading.Event,
+    interval_s: float,
+) -> None:
+    while not stop.wait(interval_s):
+        if not lease.renew(digest):
+            return  # lease taken from us; the store settles the race
+
+
+def run_cluster_pending(
+    runner,
+    pending,
+    settle: Callable[..., None],
+    poll_interval_s: float = POLL_INTERVAL_S,
+    lease: Optional[LeaseManager] = None,
+) -> None:
+    """Drain ``pending`` cooperatively with any peer ``--join`` processes.
+
+    ``runner`` is the owning :class:`~repro.campaign.runner
+    .CampaignRunner` (store, retry policy, ``lease_ttl_s``);
+    ``settle`` is its per-task completion hook, called exactly once
+    per pending task from this thread.
+    """
+    store = runner.store
+    ttl_s = float(getattr(runner, "lease_ttl_s", 10.0))
+    manager = lease if lease is not None else LeaseManager(
+        store, ttl_s=ttl_s
+    )
+    heartbeat_interval = max(ttl_s / 3.0, 0.01)
+
+    def _execute_claimed(task, digest) -> None:
+        submitted = (time.time(), time.perf_counter())
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(manager, digest, stop, heartbeat_interval),
+            name=f"lease-heartbeat-{digest[:8]}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            outcome, started_unix = runner._outcome_for(
+                task, digest, runner._attempt
+            )
+        finally:
+            stop.set()
+            beat.join(timeout=heartbeat_interval * 2 + 1.0)
+        settle(outcome, submitted, started_unix)
+        manager.release(digest)
+
+    def _settle_from_peer(task, digest) -> bool:
+        """True when a peer's stored result settled this task."""
+        result = store.get(digest)
+        if result is None:
+            return False
+        from ..campaign.runner import TaskOutcome
+
+        settle(
+            TaskOutcome(
+                task=task, hash=digest, status="cached", result=result
+            ),
+            (time.time(), time.perf_counter()),
+            time.time(),
+        )
+        return True
+
+    work: Deque[Tuple[object, str]] = deque(pending)
+    try:
+        while work:
+            progressed = False
+            for _ in range(len(work)):
+                task, digest = work.popleft()
+                # A peer may have finished it since our last look.
+                if store.contains(digest):
+                    if _settle_from_peer(task, digest):
+                        progressed = True
+                        continue
+                    # contains() raced a corrupt entry; fall through
+                    # and try to claim it ourselves.
+                if manager.claim(digest):
+                    _execute_claimed(task, digest)
+                    progressed = True
+                    continue
+                # Someone owns it.  Stale owner (no heartbeat for a
+                # full ttl on our clock)?  Take it over; otherwise
+                # keep waiting on it.
+                if manager.is_stale(digest) and manager.takeover(digest):
+                    _execute_claimed(task, digest)
+                    progressed = True
+                    continue
+                work.append((task, digest))
+            if work and not progressed:
+                time.sleep(poll_interval_s)
+    finally:
+        manager.release_all()

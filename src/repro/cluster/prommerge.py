@@ -1,0 +1,122 @@
+"""Merge per-worker Prometheus expositions into one cluster scrape.
+
+Each worker process renders its own exposition (its per-instance
+service registry merged with its process-global one, exactly as the
+single-process server does).  The router cannot merge registry
+*objects* across process boundaries, so it merges *text*: every
+sample from worker ``w2`` gains a ``worker="w2"`` label, the router's
+own families gain ``worker="router"``, and each metric family is
+emitted exactly once -- one ``# HELP``/``# TYPE`` header followed by
+every instance's samples -- which is what the exposition format
+requires (a family may not repeat) and what
+:func:`repro.obs.metrics.validate_prometheus` enforces in CI.
+
+Per-worker series stay visible (sum by removing the ``worker`` label
+in PromQL gives the merged global), so dashboards can watch both one
+shard's cache hit rate and the fleet aggregate from a single scrape.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+__all__ = ["merge_expositions", "label_samples"]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r"(?P<rest> .*)$"
+)
+
+#: Suffixes that attach a sample to its declared base family.
+_FAMILY_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def _family_of(sample_name: str, declared: Dict[str, str]) -> str:
+    if sample_name in declared:
+        return sample_name
+    for suffix in _FAMILY_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared:
+                return base
+    return sample_name
+
+
+def label_samples(text: str, worker: str) -> Tuple[
+    Dict[str, Tuple[str, str]], Dict[str, List[str]]
+]:
+    """Parse one exposition into per-family headers and labelled samples.
+
+    Returns ``(families, samples)``: ``families`` maps family name to
+    its ``(help, type)`` header lines, ``samples`` maps family name to
+    its sample lines with ``worker="<worker>"`` injected as the first
+    label.  Lines that are neither comments nor well-formed samples
+    are dropped (a half-written scrape must not corrupt the merge).
+    """
+    families: Dict[str, Tuple[str, str]] = {}
+    samples: Dict[str, List[str]] = {}
+    helps: Dict[str, str] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) >= 3:
+                helps[parts[2]] = line
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) == 4:
+                types[parts[2]] = line
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        name = match.group("name")
+        labels = match.group("labels")
+        injected = f'worker="{worker}"'
+        if labels and labels != "{}":
+            new_labels = "{" + injected + "," + labels[1:]
+        else:
+            new_labels = "{" + injected + "}"
+        family = _family_of(name, types)
+        families.setdefault(
+            family,
+            (
+                helps.get(family, f"# HELP {family} {family}"),
+                types.get(family, f"# TYPE {family} untyped"),
+            ),
+        )
+        samples.setdefault(family, []).append(
+            f"{name}{new_labels}{match.group('rest')}"
+        )
+    return families, samples
+
+
+def merge_expositions(expositions: Dict[str, str]) -> str:
+    """One exposition over many: ``{worker_name: exposition_text}``.
+
+    Families are emitted in sorted order; within a family, samples
+    follow the sorted worker order, so the merged scrape is
+    deterministic for a given set of inputs.
+    """
+    merged_families: Dict[str, Tuple[str, str]] = {}
+    merged_samples: Dict[str, List[str]] = {}
+    for worker in sorted(expositions):
+        families, samples = label_samples(expositions[worker], worker)
+        for family, header in families.items():
+            merged_families.setdefault(family, header)
+        for family, lines in samples.items():
+            merged_samples.setdefault(family, []).extend(lines)
+    out: List[str] = []
+    for family in sorted(merged_families):
+        help_line, type_line = merged_families[family]
+        out.append(help_line)
+        out.append(type_line)
+        out.extend(merged_samples.get(family, []))
+    return "\n".join(out) + "\n" if out else ""

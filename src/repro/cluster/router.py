@@ -1,0 +1,575 @@
+"""Asyncio front-end proxying keep-alive HTTP/1.1 onto the worker fleet.
+
+The router is deliberately thin: it terminates client connections,
+computes each request's shard key (:func:`~repro.cluster.hashring
+.shard_key`), forwards the request to the rendezvous owner over a
+pooled keep-alive upstream connection, and relays the response.  All
+model work happens in workers; the router never parses a model
+payload.
+
+Cross-worker concerns it *does* own:
+
+* **`/metrics`** -- scatter to every live worker, answer one merged
+  view: JSON mode returns ``{"cluster", "router", "workers": {...}}``;
+  Prometheus mode merges all expositions with ``worker`` labels via
+  :func:`~repro.cluster.prommerge.merge_expositions` (router series
+  carry ``worker="router"``).
+* **`/healthz`** -- reflects fleet liveness: 200 ``ok`` with all
+  workers up, 200 ``degraded`` with some down (respawn in progress),
+  503 when none are serving.
+* **`/v1/jobs/{id}`** -- job ids are worker-local, so lookups
+  scatter-gather: the first non-404 answer wins.
+* **Traces** -- the router opens the root ``router.request`` span and
+  forwards its trace id as ``X-Request-Id`` upstream; the worker's
+  identity rule adopts a 32-hex request id as its trace id, so one
+  request is one trace across both processes with zero new protocol.
+* **Failure semantics** -- a dead upstream mid-request is retried on
+  the next-ranked worker for idempotent GETs; an in-flight POST gets
+  an honest one-line 503 (the model cannot know whether the worker
+  executed it).  Every upstream failure nudges the supervisor to
+  poll-and-respawn.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..obs.logging import get_logger, log_event
+from ..obs.metrics import MetricsRegistry, render_merged
+from ..obs.trace import get_tracer
+from ..service.app import ModelService
+from ..service.http import (
+    PROM_CONTENT_TYPE,
+    _encode_response,
+    _ProtocolError,
+    _read_request,
+)
+from .hashring import rendezvous_rank, shard_key
+from .prommerge import merge_expositions
+from .supervisor import ClusterConfig, WorkerSupervisor
+
+__all__ = ["Router", "UpstreamError"]
+
+_log = get_logger("cluster.router")
+
+#: How often the router checks worker liveness and respawns the dead.
+POLL_INTERVAL_S = 0.25
+
+#: Upstream connect timeout; workers are local processes, so short.
+CONNECT_TIMEOUT_S = 5.0
+
+
+class UpstreamError(Exception):
+    """A worker could not be reached or died mid-response."""
+
+
+async def _read_upstream_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP/1.1 response off an upstream stream."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise UpstreamError("upstream closed before responding")
+    parts = status_line.decode("latin-1").strip().split(" ", 2)
+    if len(parts) < 2:
+        raise UpstreamError(f"malformed status line {status_line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise UpstreamError(f"malformed status {parts[1]!r}")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+def _encode_upstream_request(
+    method: str, path: str, headers: Dict[str, str], body: bytes
+) -> bytes:
+    lines = [f"{method} {path} HTTP/1.1", "Host: worker"]
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: keep-alive")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _decode_payload(headers: Dict[str, str], body: bytes):
+    """An upstream body as an :func:`_encode_response` payload."""
+    content_type = headers.get("content-type", "")
+    if content_type.startswith("application/json"):
+        try:
+            return json.loads(body)
+        except ValueError:
+            return body.decode("utf-8", "replace")
+    return body.decode("utf-8", "replace")
+
+
+class Router:
+    """Shard-aware reverse proxy over a :class:`WorkerSupervisor`."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        supervisor: WorkerSupervisor,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.supervisor = supervisor
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self.tracer = get_tracer()
+        self._requests = self.registry.counter(
+            "repro_cluster_requests_total",
+            "Requests routed to serving workers by outcome",
+        )
+        self._latency = self.registry.histogram(
+            "repro_cluster_request_seconds",
+            "Router-observed request latency in seconds",
+        )
+        # Idle upstream keep-alive connections, keyed by (worker, port)
+        # so connections to a pre-respawn incarnation die with its port.
+        self._pools: Dict[
+            Tuple[str, int],
+            List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+        ] = {}
+        self._started_monotonic = time.monotonic()
+        #: The actually-bound listening port, set once serving (tests
+        #: and the embedded bench pass ``port=0``).
+        self.bound_port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # upstream plumbing
+
+    def _checkout(
+        self, worker: str, port: int
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        pool = self._pools.get((worker, port))
+        while pool:
+            reader, writer = pool.pop()
+            if not writer.is_closing():
+                return reader, writer
+        return None
+
+    def _checkin(
+        self,
+        worker: str,
+        port: int,
+        conn: Tuple[asyncio.StreamReader, asyncio.StreamWriter],
+    ) -> None:
+        self._pools.setdefault((worker, port), []).append(conn)
+
+    async def _connect(
+        self, port: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.config.host, port),
+                timeout=CONNECT_TIMEOUT_S,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise UpstreamError(f"connect to port {port} failed: {exc}")
+
+    async def _upstream_request(
+        self,
+        worker: str,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request to one worker, reusing a pooled connection.
+
+        A pooled connection that fails before any response byte is
+        retried once on a fresh connection (it merely went stale while
+        idle); failure on the fresh connection means the worker itself
+        is gone and raises :class:`UpstreamError`.
+        """
+        port = self.supervisor.ports().get(worker)
+        if port is None:
+            raise UpstreamError(f"worker {worker} has no port")
+        request_bytes = _encode_upstream_request(method, path, headers, body)
+        pooled = self._checkout(worker, port)
+        if pooled is not None:
+            reader, writer = pooled
+            try:
+                writer.write(request_bytes)
+                await writer.drain()
+                response = await _read_upstream_response(reader)
+                self._checkin(worker, port, (reader, writer))
+                return response
+            except (
+                UpstreamError,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+            ):
+                writer.close()
+                # fall through to a fresh connection
+        reader, writer = await self._connect(port)
+        try:
+            writer.write(request_bytes)
+            await writer.drain()
+            response = await _read_upstream_response(reader)
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            writer.close()
+            raise UpstreamError(f"worker {worker} died mid-request: {exc}")
+        except UpstreamError:
+            writer.close()
+            raise
+        self._checkin(worker, port, (reader, writer))
+        return response
+
+    def _alive_workers(self) -> List[str]:
+        return sorted(
+            name
+            for name, alive in self.supervisor.alive().items()
+            if alive and name in self.supervisor.ports()
+        )
+
+    # ------------------------------------------------------------------
+    # request handling
+
+    async def handle_request(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """Route one request; mirrors ``ModelService.handle_request``."""
+        start = time.perf_counter()
+        headers = dict(headers or {})
+        request_id, trace_id = ModelService._request_identity(headers)
+        bare_path = path.partition("?")[0]
+        span = self.tracer.span(
+            "router.request",
+            trace_id=trace_id,
+            attributes={
+                "method": method,
+                "path": bare_path,
+                "request_id": request_id,
+            },
+        )
+        with span:
+            # The worker adopts a 32-hex X-Request-Id as its trace id,
+            # so forwarding our trace id joins both processes' spans
+            # into one trace.
+            upstream_headers = {
+                "X-Request-Id": span.trace_id,
+                "Content-Type": headers.get(
+                    "content-type", "application/json"
+                ),
+            }
+            try:
+                status, payload, worker = await self._route(
+                    method, path, bare_path, upstream_headers, body
+                )
+            except UpstreamError as exc:
+                status, payload, worker = (
+                    503,
+                    {"error": "UpstreamError", "message": str(exc)},
+                    "none",
+                )
+                self.supervisor.poll()
+            span.set_attribute("status", status)
+            span.set_attribute("worker", worker)
+        latency = time.perf_counter() - start
+        outcome = "ok" if status < 500 else "error"
+        self._requests.inc(worker=worker, outcome=outcome)
+        self._latency.observe(latency)
+        log_event(
+            _log,
+            "router.access",
+            method=method,
+            path=bare_path,
+            status=status,
+            worker=worker,
+            latency_ms=round(latency * 1000, 3),
+            request_id=request_id,
+            trace_id=span.trace_id,
+        )
+        return status, payload, {
+            "X-Request-Id": request_id,
+            "X-Trace-Id": span.trace_id,
+        }
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        bare_path: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, object, str]:
+        """(status, payload, worker_label) for one routed request."""
+        if bare_path == "/healthz":
+            return self._healthz() + ("router",)
+        if bare_path == "/metrics":
+            return await self._metrics(path, headers) + ("router",)
+        if bare_path.startswith("/v1/jobs/"):
+            return await self._scatter_job(method, path, headers, body)
+        workers = self._alive_workers()
+        if not workers:
+            raise UpstreamError("no live workers")
+        key = shard_key(bare_path, body)
+        if key is None:
+            # No locality to preserve: any worker will do; spread by
+            # rendezvous on the path so unkeyed traffic still balances.
+            key = bare_path
+        ranked = rendezvous_rank(key, workers)
+        last_error: Optional[UpstreamError] = None
+        for attempt, worker in enumerate(ranked):
+            try:
+                status, response_headers, response_body = (
+                    await self._upstream_request(
+                        worker, method, path, headers, body
+                    )
+                )
+            except UpstreamError as exc:
+                last_error = exc
+                self.supervisor.poll()
+                if method != "GET":
+                    # Non-idempotent: the worker may or may not have
+                    # executed it; an honest 503 beats a silent retry.
+                    raise UpstreamError(
+                        f"worker {worker} failed mid-{method}: {exc}"
+                    )
+                if attempt + 1 < len(ranked):
+                    self._requests.inc(worker=worker, outcome="retried")
+                continue
+            return status, _decode_payload(
+                response_headers, response_body
+            ), worker
+        raise last_error or UpstreamError("no live workers")
+
+    def _healthz(self) -> Tuple[int, object]:
+        liveness = self.supervisor.liveness()
+        alive = liveness["alive"]
+        configured = liveness["configured"]
+        if alive == 0:
+            status, state = 503, "unavailable"
+        elif alive < configured:
+            status, state = 200, "degraded"
+        else:
+            status, state = 200, "ok"
+        return status, {
+            "status": state,
+            "role": "router",
+            "topology": self.config.topology(),
+            "cluster": liveness,
+        }
+
+    async def _metrics(
+        self, path: str, headers: Dict[str, str]
+    ) -> Tuple[int, object]:
+        workers = self._alive_workers()
+        prom = "format=prom" in path
+        responses: Dict[str, Tuple[int, Dict[str, str], bytes]] = {}
+        results = await asyncio.gather(
+            *(
+                self._upstream_request(worker, "GET", path, headers, b"")
+                for worker in workers
+            ),
+            return_exceptions=True,
+        )
+        for worker, result in zip(workers, results):
+            if isinstance(result, BaseException):
+                continue  # mid-scrape death: report the survivors
+            responses[worker] = result
+        if prom:
+            expositions = {
+                worker: body.decode("utf-8", "replace")
+                for worker, (status, _headers, body) in responses.items()
+                if status == 200
+            }
+            # The supervisor's fleet gauges (worker counts, respawns)
+            # live in its own registry; merge them into the router's
+            # series so one scrape covers routing *and* liveness.
+            expositions["router"] = render_merged(
+                self.registry, self.supervisor.registry
+            )
+            return 200, merge_expositions(expositions)
+        merged: Dict[str, object] = {
+            "cluster": {
+                "topology": self.config.topology(),
+                "liveness": self.supervisor.liveness(),
+                "uptime_s": round(
+                    time.monotonic() - self._started_monotonic, 3
+                ),
+            },
+            "router": self.registry.snapshot(),
+            "workers": {
+                worker: _decode_payload(response_headers, body)
+                for worker, (status, response_headers, body)
+                in sorted(responses.items())
+                if status == 200
+            },
+        }
+        return 200, merged
+
+    async def _scatter_job(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, object, str]:
+        """``/v1/jobs/{id}``: ids are worker-local, ask everyone."""
+        workers = self._alive_workers()
+        if not workers:
+            raise UpstreamError("no live workers")
+        fallback: Optional[Tuple[int, object, str]] = None
+        for worker in workers:
+            try:
+                status, response_headers, response_body = (
+                    await self._upstream_request(
+                        worker, method, path, headers, body
+                    )
+                )
+            except UpstreamError:
+                self.supervisor.poll()
+                continue
+            payload = _decode_payload(response_headers, response_body)
+            if status != 404:
+                return status, payload, worker
+            fallback = (status, payload, worker)
+        if fallback is None:
+            raise UpstreamError("no worker answered the job lookup")
+        return fallback
+
+    # ------------------------------------------------------------------
+    # server loop
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _ProtocolError as exc:
+                    writer.write(
+                        _encode_response(
+                            exc.status,
+                            {
+                                "error": "ProtocolError",
+                                "message": str(exc),
+                            },
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                except asyncio.IncompleteReadError:
+                    return
+                if request is None:
+                    return
+                method, path, headers, body = request
+                status, payload, response_headers = (
+                    await self.handle_request(method, path, body, headers)
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                writer.write(
+                    _encode_response(
+                        status, payload, keep_alive, response_headers
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def serve_until(
+        self,
+        stop: "asyncio.Event",
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        ready: Optional["asyncio.Event"] = None,
+    ) -> None:
+        """Serve and watch the fleet until ``stop`` is set."""
+        connections: Set["asyncio.Task"] = set()
+
+        async def _tracked(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            task = asyncio.current_task()
+            connections.add(task)
+            try:
+                await self._handle_connection(reader, writer)
+            finally:
+                connections.discard(task)
+
+        server = await asyncio.start_server(
+            _tracked,
+            self.config.host if host is None else host,
+            self.config.port if port is None else port,
+        )
+        bound = server.sockets[0].getsockname()
+        self.bound_port = bound[1]
+        log_event(
+            _log,
+            "router.listening",
+            host=bound[0],
+            port=bound[1],
+            workers=self.config.workers,
+            routing=self.config.routing,
+        )
+        if ready is not None:
+            ready.set()
+
+        async def _watchdog() -> None:
+            while not stop.is_set():
+                respawned = await asyncio.get_running_loop().run_in_executor(
+                    None, self.supervisor.poll
+                )
+                for worker in respawned:
+                    self._requests.inc(worker=worker, outcome="respawned")
+                try:
+                    await asyncio.wait_for(
+                        stop.wait(), timeout=POLL_INTERVAL_S
+                    )
+                except asyncio.TimeoutError:
+                    pass
+
+        watchdog = asyncio.ensure_future(_watchdog())
+        try:
+            await stop.wait()
+        finally:
+            watchdog.cancel()
+            server.close()
+            await server.wait_closed()
+            if connections:
+                _, still_open = await asyncio.wait(
+                    connections,
+                    timeout=self.config.service.drain_timeout_s,
+                )
+                for task in still_open:
+                    task.cancel()
+            for pool in self._pools.values():
+                for _reader, pooled_writer in pool:
+                    pooled_writer.close()
+            self._pools.clear()
+            log_event(_log, "router.shutdown")

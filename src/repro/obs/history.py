@@ -155,6 +155,7 @@ def envelope(
     timestamp: float,
     root: Optional[Union[str, Path]] = None,
     run_id: Optional[int] = None,
+    topology: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The common provenance stamp shared by snapshots and history rows.
 
@@ -162,8 +163,15 @@ def envelope(
     envelope never reads the clock itself, so backfilled or replayed
     runs keep their original wall-clock.  ``run_id`` is normally left
     ``None`` and assigned by :meth:`HistoryStore.append`.
+
+    ``topology`` describes the serving shape the run measured (worker
+    count, routing mode -- see ``ClusterConfig.topology()``); baseline
+    selection only compares runs with the same topology, so a 4-worker
+    throughput number never becomes the baseline for a single-process
+    run.  Omitted (no key at all) for topology-less benchmarks, which
+    also keeps rows from older snapshots comparable.
     """
-    return {
+    stamp = {
         "schema_version": HISTORY_SCHEMA_VERSION,
         "model_version": __version__,
         "git_sha": git_sha(root),
@@ -171,6 +179,9 @@ def envelope(
         "timestamp_unix": float(timestamp),
         "run_id": run_id,
     }
+    if topology is not None:
+        stamp["topology"] = dict(topology)
+    return stamp
 
 
 def extract_metrics(
@@ -288,6 +299,7 @@ def record_benchmark(
     snapshot_path: Union[str, Path],
     history_path: Union[str, Path],
     timestamp: float,
+    topology: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Write one run's snapshot *and* its history row, joinably.
 
@@ -295,12 +307,17 @@ def record_benchmark(
     :func:`envelope` (with the run id pre-assigned from the history
     file) into the snapshot payload, writes the snapshot, then appends
     the matching history row ``{"benchmark", "envelope", "metrics"}``.
-    Returns the history row.
+    ``topology`` (if given) rides in the envelope so the regression
+    gate never compares runs of different serving shapes.  Returns the
+    history row.
     """
     snapshot_path = Path(snapshot_path)
     store = HistoryStore(history_path)
     stamp = envelope(
-        timestamp, root=snapshot_path.parent, run_id=store.next_run_id()
+        timestamp,
+        root=snapshot_path.parent,
+        run_id=store.next_run_id(),
+        topology=topology,
     )
     payload["envelope"] = stamp
     snapshot_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -158,7 +158,9 @@ def select_baseline(
     comparable predecessors.
 
     Comparable means same benchmark, same host fingerprint, same
-    history schema version, and a strictly smaller run id.  Returns
+    history schema version, same worker topology (absent counts as a
+    topology of its own -- a 4-worker run never baselines a
+    single-process run), and a strictly smaller run id.  Returns
     ``[]`` when fewer than ``min_runs`` qualify -- mixed-machine or
     old-schema history degrades to "no baseline", never to a bogus
     comparison.
@@ -174,6 +176,8 @@ def select_baseline(
         == env.get("host_fingerprint")
         and row.get("envelope", {}).get("schema_version")
         == HISTORY_SCHEMA_VERSION
+        and row.get("envelope", {}).get("topology")
+        == env.get("topology")
         and (row.get("envelope", {}).get("run_id") or 0) < run_id
     ]
     comparable.sort(key=lambda row: row["envelope"].get("run_id") or 0)

@@ -18,6 +18,7 @@ The CLI exposes this as ``repro-hetsim campaign --jobs N``.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -147,15 +148,19 @@ class ProjectionGrid:
         if jobs == 1 or self.executor == "serial":
             results = [run_task(task, self.method) for task in tasks]
         else:
-            pool_cls = (
-                ProcessPoolExecutor
-                if self.executor == "process"
-                else ThreadPoolExecutor
-            )
+            if self.executor == "process":
+                # Start method pinned to spawn for identical behaviour
+                # on Linux/macOS (no forked locks or registry state).
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            else:
+                pool = ThreadPoolExecutor(max_workers=jobs)
             # One chunk per worker: panels are ~ms-scale, so per-task
             # dispatch latency would otherwise dominate the pool.
             chunksize = -(-len(tasks) // jobs)
-            with pool_cls(max_workers=jobs) as pool:
+            with pool:
                 results = list(
                     pool.map(
                         run_task,

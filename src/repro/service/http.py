@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import socket
 from typing import Dict, Optional, Set, Tuple
 
 from ..obs.logging import configure_logging, get_logger, log_event
@@ -196,13 +197,21 @@ async def start_server(
     service: ModelService,
     host: Optional[str] = None,
     port: Optional[int] = None,
+    sock: Optional[socket.socket] = None,
 ) -> "asyncio.base_events.Server":
     """Bind and start serving; host/port default to the config's.
 
     Pass ``port=0`` to bind an ephemeral port (tests do); read the
     actual address back from ``server.sockets[0].getsockname()``.
+    ``sock`` serves an already-bound socket instead -- cluster workers
+    bind before reporting their port to the supervisor, so the router
+    never races a worker that has not opened its listener yet.
     """
     config = service.config
+    if sock is not None:
+        return await asyncio.start_server(
+            lambda r, w: _handle_connection(service, r, w), sock=sock
+        )
     return await asyncio.start_server(
         lambda r, w: _handle_connection(service, r, w),
         config.host if host is None else host,
@@ -216,6 +225,7 @@ async def serve_until(
     host: Optional[str] = None,
     port: Optional[int] = None,
     ready: Optional["asyncio.Event"] = None,
+    sock: Optional[socket.socket] = None,
 ) -> None:
     """Serve until ``stop`` is set, then shut down gracefully.
 
@@ -242,17 +252,20 @@ async def serve_until(
         finally:
             connections.discard(task)
 
-    server = await asyncio.start_server(
-        _tracked,
-        config.host if host is None else host,
-        config.port if port is None else port,
-    )
-    sock = server.sockets[0].getsockname()
+    if sock is not None:
+        server = await asyncio.start_server(_tracked, sock=sock)
+    else:
+        server = await asyncio.start_server(
+            _tracked,
+            config.host if host is None else host,
+            config.port if port is None else port,
+        )
+    bound = server.sockets[0].getsockname()
     log_event(
         _log,
         "listening",
-        host=sock[0],
-        port=sock[1],
+        host=bound[0],
+        port=bound[1],
         batch_window_ms=config.batch_window_ms,
         max_inflight=config.max_inflight,
         trace_file=config.trace_file,

@@ -1,0 +1,123 @@
+"""Shard-key and rendezvous-hashing properties (repro.cluster.hashring)."""
+
+import json
+
+from repro.cluster.hashring import (
+    rendezvous_owner,
+    rendezvous_rank,
+    shard_key,
+    spread,
+)
+
+WORKERS = ["w1", "w2", "w3", "w4"]
+
+
+class TestShardKey:
+    def test_model_endpoint_keys_on_locality_fields(self):
+        body = json.dumps(
+            {"workload": "mmm", "f": 0.99, "design": "GTX480"}
+        ).encode()
+        key = shard_key("/v1/speedup", body)
+        assert key is not None
+        assert "mmm" in key and "GTX480" in key and "/v1/speedup" in key
+
+    def test_key_is_order_insensitive(self):
+        a = json.dumps({"workload": "mmm", "f": 0.5, "design": "ASIC"})
+        b = json.dumps({"design": "ASIC", "f": 0.5, "workload": "mmm"})
+        assert shard_key("/v1/speedup", a.encode()) == shard_key(
+            "/v1/speedup", b.encode()
+        )
+
+    def test_node_nm_never_splits_a_sweep(self):
+        """A node sweep for one design must stay on one worker so the
+        micro-batcher can still coalesce it into one grid call."""
+        keys = {
+            shard_key(
+                "/v1/speedup",
+                json.dumps(
+                    {
+                        "workload": "mmm",
+                        "f": 0.99,
+                        "design": "GTX480",
+                        "node_nm": node,
+                    }
+                ).encode(),
+            )
+            for node in (90, 65, 45, 40, 32, 22)
+        }
+        assert len(keys) == 1
+
+    def test_different_designs_get_different_keys(self):
+        def key(design):
+            return shard_key(
+                "/v1/speedup",
+                json.dumps(
+                    {"workload": "mmm", "f": 0.99, "design": design}
+                ).encode(),
+            )
+
+        assert key("GTX480") != key("ASIC")
+
+    def test_unparseable_body_routes_anywhere(self):
+        assert shard_key("/v1/speedup", b"{not json") is None
+        assert shard_key("/v1/speedup", b"\xff\xfe") is None
+
+    def test_non_object_body_routes_anywhere(self):
+        assert shard_key("/v1/speedup", b"[1, 2]") is None
+
+    def test_job_submission_keys_on_whole_body(self):
+        spec_a = json.dumps({"name": "a", "figures": ["F6"]}).encode()
+        spec_b = json.dumps({"name": "b", "figures": ["F6"]}).encode()
+        assert shard_key("/v1/jobs", spec_a) == shard_key(
+            "/v1/jobs", spec_a
+        )
+        assert shard_key("/v1/jobs", spec_a) != shard_key(
+            "/v1/jobs", spec_b
+        )
+
+    def test_unkeyed_path_returns_none(self):
+        assert shard_key("/healthz", b"") is None
+        assert shard_key("/v1/slo", b"") is None
+
+
+class TestRendezvous:
+    def test_owner_is_rank_head(self):
+        for key in ("a", "b", "c", "zebra"):
+            assert (
+                rendezvous_owner(key, WORKERS)
+                == rendezvous_rank(key, WORKERS)[0]
+            )
+
+    def test_rank_is_a_permutation(self):
+        assert sorted(rendezvous_rank("key", WORKERS)) == sorted(WORKERS)
+
+    def test_deterministic_across_input_order(self):
+        assert rendezvous_rank("key", WORKERS) == rendezvous_rank(
+            "key", list(reversed(WORKERS))
+        )
+
+    def test_owner_of_empty_fleet_is_none(self):
+        assert rendezvous_owner("key", []) is None
+
+    def test_removing_a_worker_only_remaps_its_keys(self):
+        """The defining rendezvous property: keys owned by surviving
+        workers keep their owner when one worker disappears."""
+        keys = [f"key-{i}" for i in range(200)]
+        before = {k: rendezvous_owner(k, WORKERS) for k in keys}
+        survivors = [w for w in WORKERS if w != "w3"]
+        for k in keys:
+            if before[k] != "w3":
+                assert rendezvous_owner(k, survivors) == before[k]
+
+    def test_respawned_worker_reclaims_its_keys(self):
+        keys = [f"key-{i}" for i in range(100)]
+        before = {k: rendezvous_owner(k, WORKERS) for k in keys}
+        after = {k: rendezvous_owner(k, list(WORKERS)) for k in keys}
+        assert before == after
+
+    def test_spread_is_roughly_balanced(self):
+        counts = spread([f"key-{i}" for i in range(400)], WORKERS)
+        assert sum(counts.values()) == 400
+        for worker, count in counts.items():
+            # 400 keys over 4 workers: each should get a real share.
+            assert 40 <= count <= 180, (worker, counts)

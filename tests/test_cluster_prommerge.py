@@ -1,0 +1,89 @@
+"""Cross-worker Prometheus text merge (repro.cluster.prommerge)."""
+
+from repro.cluster.prommerge import label_samples, merge_expositions
+from repro.obs.metrics import MetricsRegistry, validate_prometheus
+
+W1 = """\
+# HELP repro_requests_total Requests served
+# TYPE repro_requests_total counter
+repro_requests_total{path="/v1/speedup",status="200"} 7
+repro_requests_total 3
+# HELP repro_latency_seconds Request latency
+# TYPE repro_latency_seconds histogram
+repro_latency_seconds_count 10
+repro_latency_seconds_sum 1.25
+repro_latency_seconds_bucket{le="+Inf"} 10
+"""
+
+W2 = """\
+# HELP repro_requests_total Requests served
+# TYPE repro_requests_total counter
+repro_requests_total{path="/v1/speedup",status="200"} 2
+"""
+
+
+class TestLabelSamples:
+    def test_injects_worker_as_first_label(self):
+        _, samples = label_samples(W1, "w1")
+        lines = samples["repro_requests_total"]
+        assert (
+            'repro_requests_total{worker="w1",path="/v1/speedup",'
+            'status="200"} 7' in lines
+        )
+        assert 'repro_requests_total{worker="w1"} 3' in lines
+
+    def test_histogram_suffixes_attach_to_base_family(self):
+        families, samples = label_samples(W1, "w1")
+        assert "repro_latency_seconds" in families
+        assert "repro_latency_seconds_count" not in families
+        assert len(samples["repro_latency_seconds"]) == 3
+
+    def test_garbage_lines_are_dropped(self):
+        text = "!!! not a sample\n# EOF\nrepro_ok 1\n"
+        families, samples = label_samples(text, "w1")
+        assert list(samples) == ["repro_ok"]
+        assert samples["repro_ok"] == ['repro_ok{worker="w1"} 1']
+        assert "untyped" in families["repro_ok"][1]
+
+
+class TestMerge:
+    def test_one_header_per_family(self):
+        merged = merge_expositions({"w1": W1, "w2": W2})
+        assert (
+            merged.count("# TYPE repro_requests_total counter") == 1
+        )
+        assert merged.count("# HELP repro_requests_total") == 1
+
+    def test_every_worker_series_survives(self):
+        merged = merge_expositions({"w1": W1, "w2": W2})
+        assert 'worker="w1"' in merged and 'worker="w2"' in merged
+        assert (
+            'repro_requests_total{worker="w2",path="/v1/speedup",'
+            'status="200"} 2' in merged
+        )
+
+    def test_merge_is_deterministic(self):
+        forward = merge_expositions({"w1": W1, "w2": W2})
+        reverse = merge_expositions({"w2": W2, "w1": W1})
+        assert forward == reverse
+
+    def test_empty_input(self):
+        assert merge_expositions({}) == ""
+
+    def test_merged_real_registries_validate(self):
+        """The end-to-end property CI relies on: two real registries
+        merged under worker labels still pass validate_prometheus."""
+        expositions = {}
+        for worker in ("w1", "w2"):
+            registry = MetricsRegistry()
+            registry.counter(
+                "repro_cluster_requests_total", "Routed requests"
+            ).inc(worker=worker, outcome="ok")
+            registry.histogram(
+                "repro_request_seconds", "Latency", window=16
+            ).observe(0.01)
+            expositions[worker] = registry.render_prometheus()
+        merged = merge_expositions(expositions)
+        validate_prometheus(
+            merged, required=("repro_cluster_requests_total",)
+        )

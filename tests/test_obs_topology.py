@@ -1,0 +1,104 @@
+"""Topology stamping in benchmark envelopes and baseline selection.
+
+A 4-worker throughput number must never become the regression
+baseline for a single-process run; the envelope carries the serving
+topology and ``select_baseline`` partitions on it.
+"""
+
+import json
+
+from repro.cluster.supervisor import ClusterConfig
+from repro.obs.history import HistoryStore, envelope, record_benchmark
+from repro.obs.regress import select_baseline
+
+
+def _row(run_id, benchmark="svc", topology=None, value=1.0):
+    env = envelope(1000.0 + run_id, run_id=run_id, topology=topology)
+    return {
+        "benchmark": benchmark,
+        "envelope": env,
+        "metrics": {"throughput_rps": value},
+    }
+
+
+class TestEnvelope:
+    def test_topology_absent_by_default(self):
+        stamp = envelope(1000.0)
+        assert "topology" not in stamp
+
+    def test_topology_stamped_when_given(self):
+        stamp = envelope(
+            1000.0, topology={"workers": 4, "routing": "rendezvous"}
+        )
+        assert stamp["topology"] == {
+            "workers": 4, "routing": "rendezvous",
+        }
+
+    def test_cluster_config_is_the_stamp_source(self):
+        topology = ClusterConfig(workers=3).topology()
+        assert topology == {"workers": 3, "routing": "rendezvous"}
+
+    def test_record_benchmark_threads_topology_through(self, tmp_path):
+        snapshot = tmp_path / "BENCH_x.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        row = record_benchmark(
+            {"throughput_rps": 10.0},
+            "svc",
+            snapshot,
+            history,
+            timestamp=1000.0,
+            topology={"workers": 2, "routing": "rendezvous"},
+        )
+        assert row["envelope"]["topology"]["workers"] == 2
+        written = json.loads(snapshot.read_text())
+        assert written["envelope"]["topology"]["workers"] == 2
+        stored = HistoryStore(history).rows()[0]
+        assert stored["envelope"]["topology"]["workers"] == 2
+
+    def test_record_benchmark_without_topology_stays_clean(self, tmp_path):
+        row = record_benchmark(
+            {"throughput_rps": 10.0},
+            "svc",
+            tmp_path / "BENCH_x.json",
+            tmp_path / "BENCH_history.jsonl",
+            timestamp=1000.0,
+        )
+        assert "topology" not in row["envelope"]
+
+
+class TestBaselineSeparation:
+    def test_topologies_never_cross_baseline(self):
+        multi = {"workers": 4, "routing": "rendezvous"}
+        rows = [_row(i, topology=multi) for i in range(1, 6)]
+        rows += [_row(i) for i in range(6, 11)]  # topology-less
+
+        single_candidate = _row(20)
+        baseline = select_baseline(rows, single_candidate, min_runs=3)
+        assert baseline
+        assert all(
+            "topology" not in row["envelope"] for row in baseline
+        )
+
+        multi_candidate = _row(21, topology=multi)
+        baseline = select_baseline(rows, multi_candidate, min_runs=3)
+        assert baseline
+        assert all(
+            row["envelope"]["topology"] == multi for row in baseline
+        )
+
+    def test_different_worker_counts_are_different_topologies(self):
+        rows = [
+            _row(i, topology={"workers": 4, "routing": "rendezvous"})
+            for i in range(1, 6)
+        ]
+        candidate = _row(
+            10, topology={"workers": 2, "routing": "rendezvous"}
+        )
+        assert select_baseline(rows, candidate, min_runs=3) == []
+
+    def test_absent_topology_finds_no_multi_worker_baseline(self):
+        rows = [
+            _row(i, topology={"workers": 4, "routing": "rendezvous"})
+            for i in range(1, 6)
+        ]
+        assert select_baseline(rows, _row(10), min_runs=3) == []
