@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-dse bench-cluster bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-dse bench-stream bench-cluster bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -28,9 +28,14 @@ bench-campaign:
 bench-dse:
 	$(PYTHON) benchmarks/bench_dse_sweep.py
 
+# Streaming overhead: the same campaign quiet vs. with the telemetry
+# plane live-tailed; gated to < 5% in BENCH_stream.json.
+bench-stream:
+	$(PYTHON) benchmarks/bench_stream_events.py
+
 # Run all benchmark writers once; each appends an envelope-stamped
 # row to BENCH_history.jsonl alongside its BENCH_*.json snapshot.
-bench-history: bench-projection bench-service bench-campaign bench-dse
+bench-history: bench-projection bench-service bench-campaign bench-dse bench-stream
 
 # Gate the newest history rows against their rolling baselines.  Stays
 # green (no-baseline verdicts) until >= 3 comparable runs exist.

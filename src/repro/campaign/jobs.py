@@ -26,7 +26,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..obs.context import attach, current_context, detach, extract, inject
+from ..obs.context import (
+    SpanContext,
+    attach,
+    current_context,
+    detach,
+    extract,
+    inject,
+    new_span_id,
+    new_trace_id,
+)
+from ..obs.metrics import percentile
+from ..obs.stream import EventBus, EventPublisher
 from .runner import CampaignRunner, TaskOutcome
 from .spec import CampaignSpec
 from .store import ResultStore
@@ -71,6 +82,9 @@ class JobRecord:
     tasks: List[Dict[str, Any]] = field(default_factory=list)
     #: Full result payloads, present once the job succeeds.
     results: Optional[List[Dict[str, Any]]] = None
+    #: Submit-to-settle wall times of settled tasks (ms), in settle
+    #: order; feeds the ``task_ms`` percentiles in the job payload.
+    durations_ms: List[float] = field(default_factory=list)
 
 
 class JobManager:
@@ -84,6 +98,11 @@ class JobManager:
         task_workers: width of each campaign's internal thread pool.
         metrics: optional :class:`~repro.service.metrics.ServiceMetrics`
             observing job lifecycle events.
+        events: optional :class:`~repro.obs.stream.EventBus`; when
+            given, every job publishes its lifecycle (queued, started,
+            task settles/retries, finished) onto a stream named after
+            its ``job_id``, durably mirrored into the result store's
+            event log so cursor-0 replay survives retention trims.
     """
 
     def __init__(
@@ -93,6 +112,7 @@ class JobManager:
         task_workers: int = 2,
         metrics: Optional[Any] = None,
         registry: Optional[Any] = None,
+        events: Optional[EventBus] = None,
     ):
         self.store = (
             store
@@ -101,6 +121,7 @@ class JobManager:
         )
         self.task_workers = task_workers
         self.metrics = metrics
+        self.events = events
         self._lock = threading.Lock()
         self._jobs: Dict[str, JobRecord] = {}
         self._order: List[str] = []
@@ -119,8 +140,15 @@ class JobManager:
         captured here and re-installed in the job thread, so the
         campaign's spans land in the submitting request's trace.
         """
-        spec.tasks()  # validate eagerly so bad specs fail the POST
+        total = len(spec.tasks())  # validate eagerly: bad specs fail the POST
         context = current_context()
+        if context is None:
+            # No submitting request span (direct library use): mint a
+            # root context so the job still gets exactly one trace the
+            # stream's events and the campaign spans share.
+            context = SpanContext(
+                trace_id=new_trace_id(), span_id=new_span_id()
+            )
         with self._lock:
             if self._closed:
                 raise RuntimeError("job manager is closed")
@@ -130,7 +158,8 @@ class JobManager:
                 job_id=job_id,
                 spec=spec,
                 request_id=request_id,
-                trace_id=context.trace_id if context else None,
+                trace_id=context.trace_id,
+                total=total,
             )
             self._jobs[job_id] = record
             self._order.append(job_id)
@@ -139,6 +168,26 @@ class JobManager:
                 name=f"repro-job-{self._seq}", daemon=True,
             )
             self._threads.append(thread)
+        if self.events is not None:
+            self.events.attach_store(
+                job_id,
+                sink=lambda line, _s=job_id: (
+                    self.store.append_event_line(_s, line)
+                ),
+                reader=lambda cursor, _s=job_id: (
+                    self.store.read_event_lines(_s, cursor)
+                ),
+            )
+            self.events.publish(
+                job_id,
+                "job.queued",
+                data={
+                    "spec_hash": spec.spec_hash(),
+                    "total": total,
+                    "request_id": request_id,
+                },
+                trace_id=record.trace_id,
+            )
         if self.metrics is not None:
             self.metrics.record_job(JobState.QUEUED)
         thread.start()
@@ -160,6 +209,16 @@ class JobManager:
         with self._lock:
             record.state = JobState.RUNNING
             record.started_unix = time.time()
+        publisher: Optional[EventPublisher] = None
+        if self.events is not None:
+            publisher = EventPublisher(
+                bus=self.events,
+                stream=record.job_id,
+                trace_id=record.trace_id,
+            )
+            publisher.publish(
+                "job.started", data={"total": record.total}
+            )
 
         def _progress(outcome: TaskOutcome, done: int, total: int) -> None:
             with self._lock:
@@ -175,7 +234,40 @@ class JobManager:
                         "status": outcome.status,
                         "attempts": outcome.attempts,
                         "error": outcome.error,
+                        "span_id": outcome.span_id,
+                        "duration_ms": outcome.duration_ms,
                     }
+                )
+                if outcome.duration_ms is not None:
+                    record.durations_ms.append(outcome.duration_ms)
+            if publisher is not None:
+                if outcome.attempts > 1:
+                    publisher.publish(
+                        "task.retry",
+                        data={
+                            "hash": outcome.hash,
+                            "attempts": outcome.attempts,
+                            "status": outcome.status,
+                        },
+                        span_id=outcome.span_id,
+                        trace_id=outcome.trace_id,
+                    )
+                data: Dict[str, Any] = {
+                    "hash": outcome.hash,
+                    "kind": outcome.task.kind,
+                    "status": outcome.status,
+                    "attempts": outcome.attempts,
+                    "duration_ms": outcome.duration_ms,
+                    "done": done,
+                    "total": total,
+                }
+                if outcome.error is not None:
+                    data["error"] = outcome.error
+                publisher.publish(
+                    "task.settled",
+                    data=data,
+                    span_id=outcome.span_id,
+                    trace_id=outcome.trace_id,
                 )
 
         runner = CampaignRunner(
@@ -183,6 +275,7 @@ class JobManager:
             workers=self.task_workers,
             executor="thread",
             progress=_progress,
+            events=publisher,
         )
         try:
             report = runner.run(record.spec)
@@ -191,6 +284,7 @@ class JobManager:
                 record.state = JobState.FAILED
                 record.error = f"{type(exc).__name__}: {exc}"
                 record.finished_unix = time.time()
+            self._finish_stream(record, publisher)
             if self.metrics is not None:
                 self.metrics.record_job(JobState.FAILED)
             return
@@ -207,8 +301,28 @@ class JobManager:
                     f"{report.failed} of {len(report.outcomes)} tasks "
                     f"failed"
                 )
+        self._finish_stream(record, publisher)
         if self.metrics is not None:
             self.metrics.record_job(record.state)
+
+    def _finish_stream(
+        self, record: JobRecord, publisher: Optional[EventPublisher]
+    ) -> None:
+        """Publish the terminal ``job.finished`` event and close."""
+        if publisher is None:
+            return
+        with self._lock:
+            data = {
+                "state": record.state,
+                "done": record.done,
+                "total": record.total,
+                "executed": record.executed,
+                "cached": record.cached,
+                "failed": record.failed,
+                "error": record.error,
+            }
+        publisher.publish("job.finished", data=data)
+        publisher.bus.close(record.job_id)
 
     # -- observation -------------------------------------------------------
 
@@ -241,8 +355,24 @@ class JobManager:
                 "tasks": list(record.tasks),
                 "error": record.error,
             }
+            if record.durations_ms:
+                samples = sorted(record.durations_ms)
+                payload["task_ms"] = {
+                    "count": len(samples),
+                    "p50": round(percentile(samples, 0.5), 6),
+                    "p90": round(percentile(samples, 0.9), 6),
+                    "p99": round(percentile(samples, 0.99), 6),
+                    "max": round(samples[-1], 6),
+                }
             if include_results and record.results is not None:
                 payload["results"] = record.results
+            if self.events is not None:
+                # The cursor a poller-turned-streamer should subscribe
+                # from to see only what this snapshot does not already
+                # show.
+                payload["events_cursor"] = self.events.cursor(
+                    record.job_id
+                )
             return payload
 
     def list_payload(self) -> List[Dict[str, Any]]:

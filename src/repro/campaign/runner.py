@@ -37,13 +37,14 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .._version import __version__
 from ..errors import ModelError
 from ..itrs.scenarios import get_scenario
 from ..obs.metrics import get_registry
+from ..obs.stream import EventPublisher, bind_publisher, unbind_publisher
 from ..obs.trace import get_tracer
 from ..projection.engine import project
 from ..projection.pareto import design_space_points, pareto_frontier
@@ -253,6 +254,26 @@ def _timed_run(
     return payload, attempts, started_unix
 
 
+def _bound_timed_run(
+    publisher: EventPublisher,
+    task: CampaignTask,
+    retries: int,
+    backoff_base_s: float,
+    backoff_cap_s: float,
+) -> Tuple[Dict[str, Any], int, float]:
+    """Thread-pool entry: re-bind the campaign's event publisher.
+
+    Contextvars do not follow work items into pool threads, so the
+    ambient :func:`~repro.obs.stream.emit` target must be installed
+    explicitly for nested code (DSE rungs) to publish from workers.
+    """
+    token = bind_publisher(publisher)
+    try:
+        return _timed_run(task, retries, backoff_base_s, backoff_cap_s)
+    finally:
+        unbind_publisher(token)
+
+
 # -- outcomes and reports --------------------------------------------------
 
 
@@ -272,6 +293,12 @@ class TaskOutcome:
     result: Optional[Dict[str, Any]] = None
     attempts: int = 0
     error: Optional[str] = None
+    #: Telemetry linkage, filled in at settle time: the task's
+    #: ``campaign.task`` span identity and its submit-to-settle wall
+    #: time.  None for outcomes produced outside a traced runner.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    duration_ms: Optional[float] = None
 
 
 @dataclass
@@ -339,6 +366,14 @@ class CampaignRunner:
         progress: optional callback invoked after every settled task
             with ``(outcome, done_count, total_count)``; exceptions in
             the callback are the caller's problem (it runs inline).
+        events: optional :class:`~repro.obs.stream.EventPublisher`
+            bound as the ambient :func:`~repro.obs.stream.emit` target
+            for the duration of the run, so nested code (DSE rungs,
+            store lease accounting) publishes onto the campaign's
+            event stream.  Serial and thread executors bind it inside
+            worker tasks too; process-pool workers cannot publish live
+            events across the process boundary (their settle events
+            still stream -- settling happens in the parent).
     """
 
     def __init__(
@@ -354,6 +389,7 @@ class CampaignRunner:
             Callable[[TaskOutcome, int, int], None]
         ] = None,
         lease_ttl_s: float = 10.0,
+        events: Optional[EventPublisher] = None,
     ):
         if executor not in _EXECUTORS:
             raise ModelError(
@@ -384,6 +420,7 @@ class CampaignRunner:
         self.resume = resume
         self.progress = progress
         self.lease_ttl_s = lease_ttl_s
+        self.events = events
         self._task_counter = get_registry().counter(
             "repro_campaign_tasks_total",
             "Campaign task outcomes by status",
@@ -470,7 +507,16 @@ class CampaignRunner:
                 "total": len(tasks),
             },
         ) as root:
-            report = self._execute(spec, tasks, hashes)
+            token = (
+                bind_publisher(self.events)
+                if self.events is not None
+                else None
+            )
+            try:
+                report = self._execute(spec, tasks, hashes)
+            finally:
+                if token is not None:
+                    unbind_publisher(token)
             root.set_attribute("executed", report.executed)
             root.set_attribute("cached", report.cached)
             root.set_attribute("failed", report.failed)
@@ -497,7 +543,9 @@ class CampaignRunner:
                 )
                 completed.append(digest)
                 self._task_counter.inc(status="cached")
-                self._task_span(outcomes[digest]).finish()
+                span = self._task_span(outcomes[digest])
+                span.finish()
+                outcomes[digest] = self._enrich(outcomes[digest], span)
             else:
                 pending.append((task, digest))
 
@@ -513,13 +561,17 @@ class CampaignRunner:
             with span:
                 if outcome.status == "failed":
                     span.status = "error"
-                outcomes[outcome.hash] = outcome
                 if outcome.result is not None:
                     # store.put's serialize phase nests under the
                     # task span via the attached context.
                     self.store.put(outcome.hash, outcome.result)
                     completed.append(outcome.hash)
                     self._write_manifest(spec, hashes, completed)
+            # Enrich after the span closed so the outcome carries the
+            # final duration; the span is backdated to submit, making
+            # duration_ms submit-to-settle wall time.
+            outcome = self._enrich(outcome, span)
+            outcomes[outcome.hash] = outcome
             self._task_counter.inc(status=outcome.status)
             if self.progress is not None:
                 self.progress(outcome, len(outcomes), total)
@@ -546,6 +598,21 @@ class CampaignRunner:
         return CampaignReport(
             spec=spec,
             outcomes=[outcomes[digest] for digest in hashes],
+        )
+
+    @staticmethod
+    def _enrich(outcome: TaskOutcome, span) -> TaskOutcome:
+        """Stamp the settle span's identity and duration on an outcome."""
+        duration_ms = (
+            round(span.duration_s * 1e3, 6)
+            if span.duration_s is not None
+            else None
+        )
+        return replace(
+            outcome,
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            duration_ms=duration_ms,
         )
 
     def _task_span(
@@ -604,13 +671,24 @@ class CampaignRunner:
             pool = ProcessPoolExecutor(
                 max_workers=workers, mp_context=_SPAWN
             )
+            entry: Tuple[Callable[..., Any], Tuple[Any, ...]] = (
+                _timed_run, ()
+            )
         else:
             pool = ThreadPoolExecutor(max_workers=workers)
+            # Pool threads need the ambient publisher re-bound (a
+            # spawn-pinned process pool cannot carry it at all).
+            entry = (
+                (_bound_timed_run, (self.events,))
+                if self.events is not None
+                else (_timed_run, ())
+            )
         with pool:
             futures = {}
             for task, digest in pending:
                 future = pool.submit(
-                    _timed_run,
+                    entry[0],
+                    *entry[1],
                     task,
                     self.retries,
                     self.backoff_base_s,

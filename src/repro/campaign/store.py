@@ -44,6 +44,7 @@ from ..errors import ModelError
 from ..obs.metrics import MetricsRegistry
 from ..obs.metrics import get_registry as _global_registry
 from ..obs.profiling import profile_block
+from ..obs.stream import emit as emit_event
 from .spec import canonical_json, sha256_text
 
 __all__ = ["ResultStore", "StoreStats"]
@@ -258,6 +259,61 @@ class ResultStore:
         """The counters as a JSON-ready dict (``/metrics`` section)."""
         return dict(self.stats()._asdict())
 
+    # -- event logs --------------------------------------------------------
+
+    def event_log_path(self, stream: str) -> Path:
+        """Where ``stream``'s durable event log lives (JSONL).
+
+        Event logs ride in the store's version directory alongside the
+        content-addressed results, so a campaign's full telemetry
+        history shares the results' durability root.
+        """
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in stream
+        )
+        if not safe:
+            raise ModelError(f"malformed event stream name {stream!r}")
+        return self.directory / self.model_version / "events" / f"{safe}.jsonl"
+
+    def append_event_line(self, stream: str, line: str) -> None:
+        """Append one canonical event line to ``stream``'s log.
+
+        Lines are written exactly as published (plus a newline) so a
+        replay from this log is byte-identical to the live feed.  The
+        handle is opened per append: event volume is O(tasks) and the
+        simplicity buys crash-consistency (a torn final line is
+        skipped by :meth:`read_event_lines`).
+        """
+        path = self.event_log_path(stream)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def read_event_lines(self, stream: str, cursor: int = 0) -> List[str]:
+        """Persisted event lines of ``stream`` with ``seq >= cursor``.
+
+        Returns the canonical lines in order; a torn trailing line
+        (crash mid-append) is silently dropped, matching the store's
+        corruption-degrades-to-miss contract.
+        """
+        path = self.event_log_path(stream)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        lines: List[str] = []
+        for line in raw.splitlines():
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict) and int(doc.get("seq", -1)) >= cursor:
+                lines.append(line)
+        return lines
+
     # -- leases ------------------------------------------------------------
 
     def record_lease_event(self, event: str) -> None:
@@ -271,6 +327,9 @@ class ResultStore:
         with self._lock:
             self._lease_events[event] = self._lease_events.get(event, 0) + 1
         self._events.inc(result=f"lease_{event}")
+        # Surface lease lifecycle on the ambient event stream (no-op
+        # outside a streamed campaign).
+        emit_event("lease.event", {"event": event})
 
     def lease_stats(self) -> Dict[str, int]:
         """Per-instance lease event counts (since construction)."""

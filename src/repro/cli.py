@@ -580,6 +580,39 @@ def build_parser() -> argparse.ArgumentParser:
             "WARNING/ERROR; default: $REPRO_LOG_LEVEL or INFO)"
         ),
     )
+
+    watch = sub.add_parser(
+        "watch",
+        help=(
+            "tail a live event stream (a campaign job id, 'slo', or "
+            "the cluster router's 'cluster' stream) from a running "
+            "server"
+        ),
+    )
+    watch.add_argument(
+        "stream", metavar="STREAM",
+        help="stream name: a job id from POST /v1/jobs, 'slo', or "
+             "'cluster' (against a router)",
+    )
+    watch.add_argument(
+        "--url", default="http://127.0.0.1:8080", metavar="URL",
+        help="server base URL (default http://127.0.0.1:8080)",
+    )
+    watch.add_argument(
+        "--cursor", type=int, default=0,
+        help="first event sequence number wanted (default 0: full "
+             "replay from the durable log)",
+    )
+    watch.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the canonical JSON event lines instead of the "
+             "human rendering",
+    )
+    watch.add_argument(
+        "--timeout-s", type=float, default=None, metavar="S",
+        help="give up (exit 1) if the stream has not ended after S "
+             "seconds (default: wait forever)",
+    )
     return parser
 
 
@@ -1276,6 +1309,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
                 run_server(service_config)
             output = "server stopped"
+        elif args.command == "watch":
+            from .service.watch import watch as _watch
+
+            # watch() streams its own lines; the return value is the
+            # outcome-mirroring exit code (0 succeeded, 1 failed).
+            return _watch(
+                args.url,
+                args.stream,
+                cursor=args.cursor,
+                as_json=args.as_json,
+                timeout_s=args.timeout_s,
+            )
         else:  # pragma: no cover - argparse enforces choices
             parser.error(f"unknown command {args.command!r}")
             return 2

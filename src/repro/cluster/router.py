@@ -19,6 +19,14 @@ Cross-worker concerns it *does* own:
   503 when none are serving.
 * **`/v1/jobs/{id}`** -- job ids are worker-local, so lookups
   scatter-gather: the first non-404 answer wins.
+* **`/v1/traces`** -- a clustered trace crosses processes; the router
+  gathers every worker's span ring buffer, tags each span with its
+  ``worker`` name (its own spans as ``worker="router"``), and answers
+  one time-ordered view with fleet-wide eviction accounting.
+* **`/v1/events`** -- job event streams live on the worker that owns
+  the job; the router finds the owner and splices its response --
+  chunked SSE tail included -- through byte for byte.  The router's
+  own ``cluster`` stream (worker respawns) is served locally.
 * **Traces** -- the router opens the root ``router.request`` span and
   forwards its trace id as ``X-Request-Id`` upstream; the worker's
   identity rule adopts a 32-hex request id as its trace id, so one
@@ -36,16 +44,20 @@ import asyncio
 import json
 import time
 from typing import Dict, List, Optional, Set, Tuple
+from urllib.parse import parse_qs, quote
 
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import MetricsRegistry, render_merged
+from ..obs.stream import EventBus
 from ..obs.trace import get_tracer
 from ..service.app import ModelService
+from ..service.events import EventStreamResponse, events_payload
 from ..service.http import (
     PROM_CONTENT_TYPE,
     _encode_response,
     _ProtocolError,
     _read_request,
+    write_stream_response,
 )
 from .hashring import rendezvous_rank, shard_key
 from .prommerge import merge_expositions
@@ -148,6 +160,11 @@ class Router:
         #: The actually-bound listening port, set once serving (tests
         #: and the embedded bench pass ``port=0``).
         self.bound_port: Optional[int] = None
+        #: Cluster-lifecycle events no single worker can observe
+        #: (respawns seen by the watchdog), served from the always-open
+        #: ``cluster`` stream of a router-local bus.
+        self.events = EventBus(registry=self.registry)
+        self.events.ensure_stream("cluster")
 
     # ------------------------------------------------------------------
     # upstream plumbing
@@ -317,6 +334,12 @@ class Router:
             return self._healthz() + ("router",)
         if bare_path == "/metrics":
             return await self._metrics(path, headers) + ("router",)
+        if bare_path == "/v1/traces":
+            return await self._scatter_traces(path, headers) + ("router",)
+        if bare_path == "/v1/events":
+            # Only router-local streams reach this far; worker-owned
+            # streams are spliced raw in ``_handle_connection``.
+            return self._local_events(method, path) + ("router",)
         if bare_path.startswith("/v1/jobs/"):
             return await self._scatter_job(method, path, headers, body)
         workers = self._alive_workers()
@@ -449,6 +472,256 @@ class Router:
         return fallback
 
     # ------------------------------------------------------------------
+    # fleet-wide telemetry
+
+    async def _scatter_traces(
+        self, path: str, headers: Dict[str, str]
+    ) -> Tuple[int, object]:
+        """``GET /v1/traces``: one merged view of every ring buffer.
+
+        A clustered request's trace crosses processes -- the router's
+        ``router.request`` span and the owning worker's job and task
+        spans share one trace id but live in different buffers.  The
+        router forwards the query (trace_id / limit filters included)
+        to every live worker, tags each returned span with its
+        ``worker`` name, folds in its own buffer as ``worker="router"``,
+        and answers in global start-time order.  Eviction is summed
+        fleet-wide so a partial merged trace still says so.
+        """
+        query = parse_qs(path.partition("?")[2])
+        trace_id = query.get("trace_id", [None])[0]
+        limit_text = query.get("limit", [None])[0]
+        limit: Optional[int] = None
+        if limit_text is not None:
+            try:
+                limit = max(0, int(limit_text))
+            except ValueError:
+                return 400, {
+                    "error": "BadRequest",
+                    "message": (
+                        f"limit must be an integer, got {limit_text!r}"
+                    ),
+                }
+        workers = self._alive_workers()
+        results = await asyncio.gather(
+            *(
+                self._upstream_request(worker, "GET", path, headers, b"")
+                for worker in workers
+            ),
+            return_exceptions=True,
+        )
+        spans: List[Dict[str, object]] = []
+        buffers: Dict[str, object] = {}
+        dropped = 0
+        for worker, result in zip(workers, results):
+            if isinstance(result, BaseException):
+                continue  # mid-scrape death: merge the survivors
+            status, response_headers, response_body = result
+            if status != 200:
+                continue
+            payload = _decode_payload(response_headers, response_body)
+            if not isinstance(payload, dict):
+                continue
+            for span in payload.get("spans", []):
+                tagged = dict(span)
+                tagged["worker"] = worker
+                spans.append(tagged)
+            buffer = payload.get("buffer", {})
+            buffers[worker] = buffer
+            if isinstance(buffer, dict):
+                dropped += int(buffer.get("dropped", 0) or 0)
+        for span in self.tracer.spans(trace_id=trace_id, limit=limit):
+            tagged = dict(span)
+            tagged["worker"] = "router"
+            spans.append(tagged)
+        router_stats = self.tracer.stats()
+        dropped += int(router_stats.get("dropped", 0) or 0)
+        spans.sort(key=lambda s: s.get("start_unix", 0.0))
+        if limit is not None:
+            # Per-source limits already applied upstream; keep the
+            # *newest* ``limit`` of the merged view, matching the
+            # single-node endpoint's recency bias.
+            spans = spans[len(spans) - limit:] if limit else []
+        payload: Dict[str, object] = {
+            "spans": spans,
+            "count": len(spans),
+            "workers": buffers,
+            "router": router_stats,
+        }
+        if dropped:
+            payload["eviction"] = {
+                "dropped": dropped,
+                "note": (
+                    f"ring buffers evicted {dropped} span(s) across "
+                    f"the fleet; traces may be incomplete -- raise the "
+                    f"buffer size or export with --trace-file for a "
+                    f"full record"
+                ),
+            }
+        return 200, payload
+
+    def _local_events(
+        self, method: str, path: str
+    ) -> Tuple[int, object]:
+        """``GET /v1/events`` against the router's own bus.
+
+        Mirrors the worker endpoint's contract (job_id/stream, cursor,
+        follow, limit) for streams the router itself publishes --
+        today the always-open ``cluster`` stream of worker respawns.
+        """
+        if method != "GET":
+            return 405, {
+                "error": "MethodNotAllowed",
+                "message": "use GET for /v1/events",
+            }
+        query = parse_qs(path.partition("?")[2])
+        stream = query.get("job_id", [None])[0]
+        if stream is None:
+            stream = query.get("stream", [None])[0]
+        if not stream:
+            return 400, {
+                "error": "BadRequest",
+                "message": (
+                    "pass job_id=<job> (or stream=<name>) to select "
+                    "an event stream"
+                ),
+            }
+        cursor_text = query.get("cursor", ["0"])[0]
+        try:
+            cursor = int(cursor_text)
+        except ValueError:
+            return 400, {
+                "error": "BadRequest",
+                "message": (
+                    f"cursor must be an integer, got {cursor_text!r}"
+                ),
+            }
+        if cursor < 0:
+            return 400, {
+                "error": "BadRequest",
+                "message": f"cursor must be >= 0, got {cursor}",
+            }
+        if not self.events.known(stream):
+            return 404, {
+                "error": "NotFound",
+                "message": f"no event stream {stream!r} on the router",
+            }
+        follow = query.get("follow", ["0"])[0].lower() in (
+            "1", "true", "yes", "sse",
+        )
+        if follow:
+            return 200, EventStreamResponse(
+                self.events, stream, cursor=cursor
+            )
+        limit_text = query.get("limit", [None])[0]
+        limit: Optional[int] = None
+        if limit_text is not None:
+            try:
+                limit = max(0, int(limit_text))
+            except ValueError:
+                return 400, {
+                    "error": "BadRequest",
+                    "message": (
+                        f"limit must be an integer, got {limit_text!r}"
+                    ),
+                }
+        return 200, events_payload(
+            self.events, stream, cursor=cursor, limit=limit
+        )
+
+    async def _find_stream_owner(self, stream: str) -> Optional[str]:
+        """The worker that knows ``stream``, or ``None``.
+
+        One probe shape covers job streams and worker-local named
+        streams alike: a zero-limit batch read answers 200 from the
+        worker holding the stream and 404 everywhere else.
+        """
+        probe = f"/v1/events?stream={quote(stream, safe='')}&cursor=0&limit=0"
+        headers = {"Content-Type": "application/json"}
+        for worker in self._alive_workers():
+            try:
+                status, _headers, _body = await self._upstream_request(
+                    worker, "GET", probe, headers, b""
+                )
+            except UpstreamError:
+                self.supervisor.poll()
+                continue
+            if status == 200:
+                return worker
+        return None
+
+    async def _proxy_events(
+        self,
+        writer: asyncio.StreamWriter,
+        path: str,
+        stream: str,
+    ) -> None:
+        """Splice a worker-owned ``/v1/events`` response to the client.
+
+        The owning worker shapes the response (JSON batch or chunked
+        SSE tail); the router relays its bytes verbatim on a fresh
+        ``Connection: close`` upstream so a long tail never pins a
+        pooled connection.  A worker dying mid-tail simply ends the
+        relay -- the client reconnects with its last cursor and the
+        durable replay path fills the gap.
+        """
+        owner = await self._find_stream_owner(stream)
+        if owner is None:
+            writer.write(
+                _encode_response(
+                    404,
+                    {
+                        "error": "NotFound",
+                        "message": (
+                            f"no event stream {stream!r} on any worker"
+                        ),
+                    },
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+        try:
+            port = self.supervisor.ports().get(owner)
+            if port is None:
+                raise UpstreamError(f"worker {owner} has no port")
+            upstream_reader, upstream_writer = await self._connect(port)
+        except UpstreamError as exc:
+            self.supervisor.poll()
+            writer.write(
+                _encode_response(
+                    503,
+                    {"error": "UpstreamError", "message": str(exc)},
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+        request_bytes = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: worker\r\n"
+            f"Content-Length: 0\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        self._requests.inc(worker=owner, outcome="streamed")
+        log_event(
+            _log, "router.events_proxy", worker=owner, stream=stream
+        )
+        try:
+            upstream_writer.write(request_bytes)
+            await upstream_writer.drain()
+            while True:
+                chunk = await upstream_reader.read(65536)
+                if not chunk:
+                    return
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            upstream_writer.close()
+
+    # ------------------------------------------------------------------
     # server loop
 
     async def _handle_connection(
@@ -478,9 +751,26 @@ class Router:
                 if request is None:
                     return
                 method, path, headers, body = request
+                bare_path = path.partition("?")[0]
+                if bare_path == "/v1/events" and method == "GET":
+                    query = parse_qs(path.partition("?")[2])
+                    stream = query.get("job_id", [None])[0]
+                    if stream is None:
+                        stream = query.get("stream", [None])[0]
+                    if stream and not self.events.known(stream):
+                        # Worker-owned stream: splice the owner's raw
+                        # response (possibly an unbounded SSE tail)
+                        # instead of buffering it through _route.
+                        await self._proxy_events(writer, path, stream)
+                        return
                 status, payload, response_headers = (
                     await self.handle_request(method, path, body, headers)
                 )
+                if isinstance(payload, EventStreamResponse):
+                    await write_stream_response(
+                        writer, status, payload, response_headers
+                    )
+                    return
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
@@ -547,6 +837,13 @@ class Router:
                 )
                 for worker in respawned:
                     self._requests.inc(worker=worker, outcome="respawned")
+                    # Fleet watchers see the respawn the moment the
+                    # watchdog does, not on their next /metrics poll.
+                    self.events.publish(
+                        "cluster",
+                        "worker.respawn",
+                        data={"worker": worker},
+                    )
                 try:
                     await asyncio.wait_for(
                         stop.wait(), timeout=POLL_INTERVAL_S

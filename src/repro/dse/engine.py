@@ -35,6 +35,7 @@ from ..core.ucore import UCore
 from ..devices.bce import BCE, DEFAULT_BCE
 from ..errors import InfeasibleDesignError, ModelError
 from ..obs.metrics import get_registry
+from ..obs.stream import emit as emit_event
 from ..obs.trace import get_tracer
 from ..projection.engine import node_budget
 from .dsl import (
@@ -378,6 +379,18 @@ def execute_pareto_task(task: Any) -> Dict[str, Any]:
         shard_configs, r_max=task.r_max
     )
     front = pareto_front(points)
+    # One front update per evaluated shard on the ambient campaign
+    # stream (no-op outside a streamed campaign).
+    emit_event(
+        "dse.front",
+        {
+            "mode": "pareto",
+            "shard": task.shard,
+            "shards": task.shards,
+            "front_size": len(front),
+            "points": len(points),
+        },
+    )
     return {
         "kind": "dse-pareto",
         "task": asdict(task),

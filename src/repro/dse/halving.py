@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.optimizer import DEFAULT_R_MAX, optimize, sweep_designs
 from ..errors import InfeasibleDesignError, ModelError
+from ..obs.stream import emit as emit_event
 from ..obs.trace import get_tracer
 from .engine import (
     DSEConfig,
@@ -254,6 +255,17 @@ def successive_halving(
             if cls.alive:
                 _advance(cls, rung_r)
         pruned_total += _prune(ordered, r_max)
+        # Streamed campaigns watch the search narrow rung by rung
+        # (no-op outside a bound event stream).
+        emit_event(
+            "dse.rung",
+            {
+                "rung_r": rung_r,
+                "alive": sum(1 for c in ordered if c.alive),
+                "classes": len(ordered),
+                "pruned_total": pruned_total,
+            },
+        )
     # -- full fidelity for the survivors -----------------------------------
     survivors = [c for c in ordered if c.alive]
     points: List[DSEPoint] = []
@@ -298,6 +310,15 @@ def successive_halving(
                 )
             )
     front = pareto_front(points)
+    emit_event(
+        "dse.front",
+        {
+            "mode": "halving",
+            "front_size": len(front),
+            "points": len(points),
+            "survivor_classes": len(survivors),
+        },
+    )
     return HalvingResult(
         points=tuple(points),
         front=tuple(front),

@@ -78,6 +78,16 @@ from .slo import (
     SLOTracker,
     get_slo_tracker,
 )
+from .stream import (
+    Event,
+    EventBus,
+    EventPublisher,
+    StreamSlice,
+    bind_publisher,
+    bound_publisher,
+    emit,
+    unbind_publisher,
+)
 from .trace import Span, Tracer, configure_tracer, get_tracer
 
 __all__ = [
@@ -124,6 +134,15 @@ __all__ = [
     "SLObjective",
     "SLOTracker",
     "get_slo_tracker",
+    # event streaming
+    "Event",
+    "EventBus",
+    "EventPublisher",
+    "StreamSlice",
+    "bind_publisher",
+    "bound_publisher",
+    "emit",
+    "unbind_publisher",
     # logging
     "JsonLogFormatter",
     "configure_logging",

@@ -263,14 +263,25 @@ class Histogram(_Instrument):
         self._windows: Dict[Tuple[Tuple[str, str], ...], deque] = {}
         self._counts: Dict[Tuple[Tuple[str, str], ...], int] = {}
         self._sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        # Parallel per-sample trace ids (mostly None); kept in lockstep
+        # with the value window so the slowest sample's trace is always
+        # recoverable -- the exemplar a p99 spike links to.
+        self._exemplar_ids: Dict[Tuple[Tuple[str, str], ...], deque] = {}
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(
+        self,
+        value: float,
+        trace_id: Optional[str] = None,
+        **labels: str,
+    ) -> None:
         key = _label_key(labels)
         with self._lock:
             window = self._windows.get(key)
             if window is None:
                 window = self._windows[key] = deque(maxlen=self.window)
+                self._exemplar_ids[key] = deque(maxlen=self.window)
             window.append(float(value))
+            self._exemplar_ids[key].append(trace_id)
             self._counts[key] = self._counts.get(key, 0) + 1
             self._sums[key] = self._sums.get(key, 0.0) + float(value)
 
@@ -288,11 +299,14 @@ class Histogram(_Instrument):
             window = self._windows.get(key)
             if window is None:
                 window = self._windows[key] = deque(maxlen=self.window)
+                self._exemplar_ids[key] = deque(maxlen=self.window)
+            exemplars = self._exemplar_ids[key]
         lock, counts, sums = self._lock, self._counts, self._sums
 
         def observe(value: float) -> None:
             with lock:
                 window.append(value)
+                exemplars.append(None)
                 counts[key] = counts.get(key, 0) + 1
                 sums[key] = sums.get(key, 0.0) + value
 
@@ -304,18 +318,54 @@ class Histogram(_Instrument):
         with self._lock:
             return list(self._windows.get(key, ()))
 
+    def exemplar(self, **labels: str) -> Optional[Tuple[float, str]]:
+        """``(value, trace_id)`` of the slowest traced window sample.
+
+        The exemplar is the largest sample in the current window that
+        carried a trace id; None when nothing in the window did.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            samples = list(self._windows.get(key, ()))
+            ids = list(self._exemplar_ids.get(key, ()))
+        best: Optional[Tuple[float, str]] = None
+        for value, trace_id in zip(samples, ids):
+            if trace_id is None:
+                continue
+            if best is None or value > best[0]:
+                best = (value, trace_id)
+        return best
+
     def series_summary(
         self, **labels: str
     ) -> Dict[str, float]:
-        """count/sum/quantiles for one label set (JSON building block)."""
+        """count/sum/quantiles for one label set (JSON building block).
+
+        When any window sample carried a trace id, the summary also
+        includes an ``exemplar`` block linking the slowest such sample
+        to its trace -- a p99 spike resolves straight to
+        ``GET /v1/traces?trace_id=...``.
+        """
         key = _label_key(labels)
         with self._lock:
             samples = list(self._windows.get(key, ()))
             count = self._counts.get(key, 0)
             total = self._sums.get(key, 0.0)
+            ids = list(self._exemplar_ids.get(key, ()))
         summary = {"count": count, "sum": total}
         for q in EXPORT_QUANTILES:
             summary[f"p{int(q * 100)}"] = percentile(samples, q)
+        best: Optional[Tuple[float, str]] = None
+        for value, trace_id in zip(samples, ids):
+            if trace_id is None:
+                continue
+            if best is None or value > best[0]:
+                best = (value, trace_id)
+        if best is not None:
+            summary["exemplar"] = {
+                "value": best[0],
+                "trace_id": best[1],
+            }
         return summary
 
     def label_sets(self) -> List[Dict[str, str]]:

@@ -1,0 +1,442 @@
+"""In-process event bus with monotonic per-stream cursors.
+
+The telemetry plane's spine: every subsystem (campaign runner, job
+manager, DSE engine, SLO tracker, cluster supervisor) publishes
+structured events here, and ``GET /v1/events`` serves them back as a
+JSON batch or an SSE tail.  Three properties carry the whole design:
+
+* **Monotonic cursors** -- each stream numbers its events ``0, 1,
+  2, ...``; a cursor is "the first sequence number I still want", so
+  a dropped client that remembers ``last_seq`` resumes exactly at
+  ``cursor=last_seq + 1`` with no gap and no duplicate.
+* **Byte-identical replay** -- the canonical compact-JSON line for an
+  event is built exactly once at publish time and reused everywhere:
+  the in-memory retained log, the durable sink (the campaign
+  :class:`~repro.campaign.store.ResultStore` event log), and the SSE
+  ``data:`` payload.  Replaying from cursor 0 therefore yields the
+  same bytes a from-the-start listener saw, even across a restarted
+  reader.
+* **Non-blocking publish** -- the retained log is bounded; when it
+  overflows, the *oldest* entries are trimmed (and counted), never
+  the publisher blocked.  A late consumer whose cursor fell behind
+  the retention window either replays the trimmed prefix from the
+  durable sink (if one is attached) or receives a synthetic
+  ``stream.lagged`` event stating how many events it missed.
+
+Ambient emission (:func:`emit`) lets deeply nested code -- successive
+halving rungs, Pareto sweeps, store lease accounting -- publish into
+whatever stream the enclosing campaign bound, without threading a
+publisher through every signature.  Unbound :func:`emit` is a no-op,
+so library code stays usable outside the service.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventPublisher",
+    "StreamSlice",
+    "bind_publisher",
+    "bound_publisher",
+    "emit",
+    "unbind_publisher",
+]
+
+# Default cap on the number of events retained in memory per stream.
+# Campaigns emit O(tasks) events, so this comfortably covers the
+# service's job size cap; the durable sink covers everything beyond.
+DEFAULT_HISTORY_LIMIT = 65_536
+
+# Synthetic event kind injected when a consumer's cursor fell behind
+# the retention window and no durable reader can fill the gap.
+LAGGED_KIND = "stream.lagged"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published event and its canonical wire form.
+
+    ``line`` is the compact sorted-key JSON built at publish time; it
+    is the *only* representation that ever leaves the bus, which is
+    what makes replay byte-identical.
+    """
+
+    stream: str
+    seq: int
+    kind: str
+    line: str
+
+    @property
+    def payload(self) -> Dict[str, Any]:
+        """Decode the canonical line back into a dict."""
+        return json.loads(self.line)
+
+
+@dataclass(frozen=True)
+class StreamSlice:
+    """The result of one :meth:`EventBus.read` call."""
+
+    stream: str
+    cursor: int
+    events: Tuple[Event, ...]
+    next_cursor: int
+    closed: bool
+    #: Events between ``cursor`` and the first returned event that were
+    #: trimmed from retention and not recoverable from a durable
+    #: reader.  Non-zero means the consumer lagged.
+    dropped: int = 0
+
+
+def format_event_line(
+    stream: str,
+    seq: int,
+    kind: str,
+    unix: float,
+    data: Optional[Mapping[str, Any]],
+    trace_id: Optional[str],
+    span_id: Optional[str],
+) -> str:
+    """Build the canonical compact-JSON line for an event.
+
+    Key order is fixed by ``sort_keys`` so the same logical event
+    always serialises to the same bytes.
+    """
+    doc: Dict[str, Any] = {
+        "stream": stream,
+        "seq": seq,
+        "kind": kind,
+        "unix": round(float(unix), 6),
+    }
+    if trace_id is not None:
+        doc["trace_id"] = trace_id
+    if span_id is not None:
+        doc["span_id"] = span_id
+    if data:
+        doc["data"] = dict(data)
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class _StreamState:
+    """Per-stream bookkeeping: cursor counter, retained log, sinks."""
+
+    __slots__ = (
+        "next_seq",
+        "base",
+        "log",
+        "closed",
+        "sink",
+        "reader",
+        "trimmed",
+    )
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        # Sequence number of the first event still retained in memory.
+        self.base = 0
+        self.log: Deque[Tuple[int, str, str]] = deque()  # (seq, kind, line)
+        self.closed = False
+        self.sink: Optional[Callable[[str], None]] = None
+        self.reader: Optional[Callable[[int], Sequence[str]]] = None
+        self.trimmed = 0
+
+
+class EventBus:
+    """Thread-safe fan-in event log with per-stream monotonic cursors.
+
+    Publishing never blocks: the retained log is bounded at
+    ``history_limit`` entries per stream and trims from the front.
+    Attach a durable ``sink``/``reader`` pair (see
+    :meth:`attach_store`) to make trimmed prefixes replayable.
+    """
+
+    def __init__(
+        self,
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+        clock: Callable[[], float] = time.time,
+        registry: Optional[Any] = None,
+    ) -> None:
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self._history_limit = int(history_limit)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._streams: Dict[str, _StreamState] = {}
+        self._published = 0
+        self._trimmed = 0
+        self._counter = None
+        self._trim_counter = None
+        if registry is not None:
+            self._counter = registry.counter(
+                "repro_stream_events_total",
+                "Events published to the in-process event bus",
+            )
+            self._trim_counter = registry.counter(
+                "repro_stream_events_trimmed_total",
+                "Events trimmed from bounded stream retention windows",
+            )
+
+    # ------------------------------------------------------------------
+    # publishing
+
+    def publish(
+        self,
+        stream: str,
+        kind: str,
+        data: Optional[Mapping[str, Any]] = None,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+    ) -> Event:
+        """Append one event to ``stream`` and return it.
+
+        The canonical line is built here, once, and mirrored to the
+        durable sink (if any) before the in-memory log can trim it.
+        """
+        with self._lock:
+            state = self._streams.setdefault(stream, _StreamState())
+            if state.closed:
+                raise ValueError(f"stream {stream!r} is closed")
+            seq = state.next_seq
+            state.next_seq = seq + 1
+            line = format_event_line(
+                stream, seq, kind, self._clock(), data, trace_id, span_id
+            )
+            state.log.append((seq, kind, line))
+            while len(state.log) > self._history_limit:
+                state.log.popleft()
+                state.base += 1
+                state.trimmed += 1
+                self._trimmed += 1
+                if self._trim_counter is not None:
+                    self._trim_counter.inc()
+            self._published += 1
+            if state.sink is not None:
+                # Inside the lock so the durable log preserves sequence
+                # order across publishing threads.
+                try:
+                    state.sink(line)
+                except OSError:
+                    # A failing durable sink must never take down the
+                    # publisher; the in-memory tail still serves.
+                    pass
+        if self._counter is not None:
+            self._counter.inc(stream_kind=kind)
+        return Event(stream=stream, seq=seq, kind=kind, line=line)
+
+    def ensure_stream(self, stream: str) -> None:
+        """Create ``stream`` with no events so subscribers can attach."""
+        with self._lock:
+            self._streams.setdefault(stream, _StreamState())
+
+    def attach_store(
+        self,
+        stream: str,
+        sink: Optional[Callable[[str], None]] = None,
+        reader: Optional[Callable[[int], Sequence[str]]] = None,
+    ) -> None:
+        """Wire a durable sink/reader pair onto ``stream``.
+
+        ``sink(line)`` is called once per published event with the
+        canonical line; ``reader(cursor)`` must return the persisted
+        lines with ``seq >= cursor`` in order.  Together they make
+        replay from cursor 0 byte-identical even after the in-memory
+        window trimmed.
+        """
+        with self._lock:
+            state = self._streams.setdefault(stream, _StreamState())
+            state.sink = sink
+            state.reader = reader
+
+    def close(self, stream: str) -> None:
+        """Mark ``stream`` complete; tails drain and then terminate."""
+        with self._lock:
+            state = self._streams.setdefault(stream, _StreamState())
+            state.closed = True
+
+    # ------------------------------------------------------------------
+    # reading
+
+    def cursor(self, stream: str) -> int:
+        """The next sequence number ``stream`` will assign.
+
+        Subscribing with this cursor yields exactly the events
+        published after this call -- the "live tail" position.
+        """
+        with self._lock:
+            state = self._streams.get(stream)
+            return state.next_seq if state is not None else 0
+
+    def known(self, stream: str) -> bool:
+        with self._lock:
+            return stream in self._streams
+
+    def closed(self, stream: str) -> bool:
+        with self._lock:
+            state = self._streams.get(stream)
+            return bool(state is not None and state.closed)
+
+    def streams(self) -> List[str]:
+        with self._lock:
+            return sorted(self._streams)
+
+    def read(
+        self,
+        stream: str,
+        cursor: int = 0,
+        limit: Optional[int] = None,
+    ) -> StreamSlice:
+        """Events of ``stream`` with ``seq >= cursor``, oldest first.
+
+        If ``cursor`` predates the in-memory window, the trimmed
+        prefix is reconstructed from the durable reader when one is
+        attached; otherwise the gap is reported via ``dropped`` (and
+        surfaced to SSE consumers as a ``stream.lagged`` event).
+        """
+        if cursor < 0:
+            raise ValueError("cursor must be >= 0")
+        with self._lock:
+            state = self._streams.get(stream)
+            if state is None:
+                return StreamSlice(
+                    stream=stream, cursor=cursor, events=(),
+                    next_cursor=cursor, closed=False,
+                )
+            base = state.base
+            closed = state.closed
+            reader = state.reader
+            tail = [entry for entry in state.log if entry[0] >= cursor]
+        events: List[Event] = []
+        dropped = 0
+        if cursor < base:
+            persisted: List[Event] = []
+            if reader is not None:
+                for line in reader(cursor):
+                    doc = json.loads(line)
+                    seq = int(doc["seq"])
+                    if seq < cursor or seq >= base:
+                        continue
+                    persisted.append(
+                        Event(stream=stream, seq=seq,
+                              kind=str(doc.get("kind", "")), line=line)
+                    )
+            persisted.sort(key=lambda event: event.seq)
+            events.extend(persisted)
+            covered = {event.seq for event in persisted}
+            dropped = sum(
+                1 for seq in range(cursor, base) if seq not in covered
+            )
+        events.extend(
+            Event(stream=stream, seq=seq, kind=kind, line=line)
+            for seq, kind, line in tail
+        )
+        if limit is not None and limit >= 0 and len(events) > limit:
+            events = events[:limit]
+        next_cursor = events[-1].seq + 1 if events else max(cursor, 0)
+        if not events and cursor < base:
+            next_cursor = base
+        return StreamSlice(
+            stream=stream,
+            cursor=cursor,
+            events=tuple(events),
+            next_cursor=next_cursor,
+            closed=closed,
+            dropped=dropped,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def stats(self) -> Dict[str, Any]:
+        """Bus-wide accounting for ``/metrics`` snapshots."""
+        with self._lock:
+            return {
+                "streams": len(self._streams),
+                "published": self._published,
+                "trimmed": self._trimmed,
+                "open": sum(
+                    1 for state in self._streams.values() if not state.closed
+                ),
+            }
+
+
+# ----------------------------------------------------------------------
+# Ambient emission: nested library code publishes into whatever stream
+# the enclosing campaign bound, without plumbing a publisher through.
+
+
+@dataclass
+class EventPublisher:
+    """A bus pre-bound to one stream and its campaign trace."""
+
+    bus: EventBus
+    stream: str
+    trace_id: Optional[str] = None
+
+    def publish(
+        self,
+        kind: str,
+        data: Optional[Mapping[str, Any]] = None,
+        span_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> Event:
+        return self.bus.publish(
+            self.stream,
+            kind,
+            data=data,
+            trace_id=trace_id if trace_id is not None else self.trace_id,
+            span_id=span_id,
+        )
+
+
+_BOUND: ContextVar[Optional[EventPublisher]] = ContextVar(
+    "repro_event_publisher", default=None
+)
+
+
+def bind_publisher(publisher: Optional[EventPublisher]):
+    """Install ``publisher`` as the ambient :func:`emit` target.
+
+    Returns a token for :func:`unbind_publisher`.  Contextvar-based,
+    so asyncio tasks inherit it automatically; worker threads must
+    re-bind explicitly (the campaign runner does).
+    """
+    return _BOUND.set(publisher)
+
+
+def unbind_publisher(token) -> None:
+    _BOUND.reset(token)
+
+
+def bound_publisher() -> Optional[EventPublisher]:
+    return _BOUND.get()
+
+
+def emit(
+    kind: str,
+    data: Optional[Mapping[str, Any]] = None,
+    span_id: Optional[str] = None,
+) -> Optional[Event]:
+    """Publish into the ambiently bound stream; no-op when unbound."""
+    publisher = _BOUND.get()
+    if publisher is None:
+        return None
+    return publisher.publish(kind, data=data, span_id=span_id)

@@ -158,6 +158,8 @@ class Tracer:
         self._buffer: "deque[Dict[str, Any]]" = deque(maxlen=buffer_size)
         self._export_path = export_path
         self._exported = 0
+        self._dropped = 0
+        self._dropped_counter = None
 
     # -- span creation -----------------------------------------------------
 
@@ -193,8 +195,22 @@ class Tracer:
     # -- export ------------------------------------------------------------
 
     def record(self, payload: Dict[str, Any]) -> None:
-        """Accept one finished span payload (local or from a worker)."""
+        """Accept one finished span payload (local or from a worker).
+
+        A full ring buffer evicts its oldest span -- and *counts* it:
+        the per-tracer ``dropped`` tally surfaces in :meth:`stats` (and
+        the ``GET /v1/traces`` eviction note), and the process-wide
+        ``repro_trace_spans_dropped_total`` counter makes silent trace
+        loss alertable.
+        """
+        evicted = False
         with self._lock:
+            if (
+                self._buffer.maxlen is not None
+                and len(self._buffer) == self._buffer.maxlen
+            ):
+                evicted = True
+                self._dropped += 1
             self._buffer.append(payload)
             self._exported += 1
             if self._export_path is not None:
@@ -203,6 +219,19 @@ class Tracer:
                     self._export_path, "a", encoding="utf-8"
                 ) as handle:
                     handle.write(line + "\n")
+        if evicted:
+            if self._dropped_counter is None:
+                # Lazy: the metrics module imports nothing from here,
+                # but binding at construction would force every Tracer
+                # (including bare test instances) through the registry.
+                from .metrics import get_registry
+
+                self._dropped_counter = get_registry().counter(
+                    "repro_trace_spans_dropped_total",
+                    "Spans evicted from tracer ring buffers before "
+                    "being read",
+                )
+            self._dropped_counter.inc()
 
     def set_export_path(self, path: Optional[str]) -> None:
         """Start (or stop, with None) appending spans to a JSONL file."""
@@ -244,12 +273,13 @@ class Tracer:
             self._buffer.clear()
 
     def stats(self) -> Dict[str, Any]:
-        """Buffer occupancy and lifetime export count."""
+        """Buffer occupancy, lifetime export count, eviction tally."""
         with self._lock:
             return {
                 "buffered": len(self._buffer),
                 "capacity": self._buffer.maxlen,
                 "exported": self._exported,
+                "dropped": self._dropped,
                 "export_path": self._export_path,
             }
 

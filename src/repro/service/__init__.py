@@ -33,9 +33,17 @@ or in-process::
 
 from .app import ModelService, ServiceConfig
 from .batching import MicroBatcher
+from .events import (
+    EventStreamResponse,
+    events_payload,
+    sse_end_frame,
+    sse_frame,
+    sse_lagged_frame,
+)
 from .http import run_server, start_server
 from .metrics import ServiceMetrics
 from .respcache import ResponseCache
+from .watch import WatchState, iter_sse_frames, render_event, watch
 from .schemas import (
     OptimizeRequest,
     SpeedupRequest,
@@ -61,4 +69,13 @@ __all__ = [
     "design_point_payload",
     "run_server",
     "start_server",
+    "EventStreamResponse",
+    "events_payload",
+    "sse_frame",
+    "sse_lagged_frame",
+    "sse_end_frame",
+    "WatchState",
+    "iter_sse_frames",
+    "render_event",
+    "watch",
 ]

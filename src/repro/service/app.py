@@ -43,6 +43,7 @@ from ..obs.context import new_span_id
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import get_registry, render_merged
 from ..obs.slo import SLObjective, SLOTracker
+from ..obs.stream import EventBus
 from ..obs.trace import get_tracer
 from ..core.optimizer import optimize
 from ..devices.bce import DEFAULT_BCE
@@ -59,6 +60,7 @@ from ..itrs.scenarios import get_scenario
 from ..projection.designs import DesignSpec, standard_designs
 from ..projection.engine import node_budget
 from .batching import MicroBatcher
+from .events import EventStreamResponse, events_payload
 from .metrics import ServiceMetrics
 from .respcache import ResponseCache
 from .tensor import TensorServing, TransportFastPath
@@ -164,11 +166,17 @@ class ModelService:
             objectives=self.config.slo_objectives,
             registry=self.registry,
         )
+        #: The live telemetry plane: one stream per campaign job plus
+        #: the always-on ``slo`` stream, served by ``GET /v1/events``.
+        self.events = EventBus(registry=self.registry)
+        self.events.ensure_stream("slo")
+        self.slo.add_alert_hook(self._publish_slo_alert)
         self.jobs = JobManager(
             store_dir=self.config.store_dir,
             task_workers=self.config.job_task_workers,
             metrics=self.metrics,
             registry=self.registry,
+            events=self.events,
         )
         #: Materialized serving (None when --tensor-dir is not given).
         self.tensor: Optional[TensorServing] = (
@@ -275,7 +283,9 @@ class ModelService:
         # capture timestamps reach the SLO tracker before this event's.
         if self.fastpath is not None:
             self.fastpath.drain()
-        self.metrics.record_request(path, status, latency, cache_state)
+        self.metrics.record_request(
+            path, status, latency, cache_state, trace_id=span.trace_id
+        )
         self.slo.record(path, latency, error=status >= 500)
         self._log_access(
             method, path, status, latency, cache_state,
@@ -327,6 +337,7 @@ class ModelService:
             snapshot = self.metrics.snapshot()
             snapshot["campaign"] = self.jobs.stats()
             snapshot["slo"] = self.slo.snapshot()
+            snapshot["events"] = self.events.stats()
             if self.tensor is not None:
                 snapshot["tensorstore"]["store"] = self.tensor.status()
                 if self.fastpath is not None:
@@ -341,6 +352,9 @@ class ModelService:
         if path == "/v1/traces":
             self._require_method(method, "GET", path)
             return 200, self._traces(query), None
+        if path == "/v1/events":
+            self._require_method(method, "GET", path)
+            return self._events(query) + (None,)
         if path == "/v1/jobs":
             if method == "POST":
                 spec = parse_job(_decode_json(body))
@@ -458,6 +472,57 @@ class ModelService:
             payload["tensor"] = self.tensor.status()
         return (200 if healthy else 503), payload
 
+    def _publish_slo_alert(self, alert: Dict[str, Any]) -> None:
+        """SLO burn episodes land on the always-open ``slo`` stream."""
+        self.events.publish("slo", "slo.alert", data=alert)
+
+    def _events(self, query: Dict[str, Any]) -> Tuple[int, Any]:
+        """``GET /v1/events``: batch read or SSE tail of one stream.
+
+        ``job_id`` (or the generic ``stream``) names the stream;
+        ``cursor`` is the first sequence number wanted; ``follow=1``
+        switches from a JSON batch to a chunked SSE tail; ``limit``
+        caps a batch read.
+        """
+        stream = query.get("job_id", [None])[0]
+        if stream is None:
+            stream = query.get("stream", [None])[0]
+        if not stream:
+            raise BadRequestError(
+                "pass job_id=<job> (or stream=<name>) to select an "
+                "event stream"
+            )
+        cursor_text = query.get("cursor", ["0"])[0]
+        try:
+            cursor = int(cursor_text)
+        except ValueError:
+            raise BadRequestError(
+                f"cursor must be an integer, got {cursor_text!r}"
+            ) from None
+        if cursor < 0:
+            raise BadRequestError(f"cursor must be >= 0, got {cursor}")
+        if not self.events.known(stream):
+            raise _NotFoundError(f"no event stream {stream!r}")
+        follow = query.get("follow", ["0"])[0].lower() in (
+            "1", "true", "yes", "sse",
+        )
+        if follow:
+            return 200, EventStreamResponse(
+                self.events, stream, cursor=cursor
+            )
+        limit_text = query.get("limit", [None])[0]
+        limit = None
+        if limit_text is not None:
+            try:
+                limit = max(0, int(limit_text))
+            except ValueError:
+                raise BadRequestError(
+                    f"limit must be an integer, got {limit_text!r}"
+                ) from None
+        return 200, events_payload(
+            self.events, stream, cursor=cursor, limit=limit
+        )
+
     def _traces(self, query: Dict[str, Any]) -> Dict[str, Any]:
         """The ``GET /v1/traces`` payload: buffered spans, filtered."""
         trace_id = query.get("trace_id", [None])[0]
@@ -471,11 +536,24 @@ class ModelService:
                     f"limit must be an integer, got {limit_text!r}"
                 ) from None
         spans = self.tracer.spans(trace_id=trace_id, limit=limit)
-        return {
+        stats = self.tracer.stats()
+        payload = {
             "spans": spans,
             "count": len(spans),
-            "buffer": self.tracer.stats(),
+            "buffer": stats,
         }
+        dropped = stats.get("dropped", 0)
+        if dropped:
+            # Eviction is no longer silent: a partial trace says so.
+            payload["eviction"] = {
+                "dropped": dropped,
+                "note": (
+                    f"ring buffer evicted {dropped} span(s); traces "
+                    f"may be incomplete -- raise the buffer size or "
+                    f"export with --trace-file for a full record"
+                ),
+            }
+        return payload
 
     # -- cache + admission -------------------------------------------------
 

@@ -1,0 +1,162 @@
+"""``GET /v1/events`` -- batch reads and SSE tails of the event bus.
+
+Two delivery modes over one cursor model:
+
+* **Batch** (default): one JSON document with the events at
+  ``seq >= cursor``, the ``next_cursor`` to poll from, and the
+  canonical ``lines`` (exact published bytes) so a client can verify
+  byte-identical replay without re-serialising anything.
+* **Tail** (``follow=1``): a ``text/event-stream`` response over
+  chunked transfer encoding.  Each event ships as one SSE frame::
+
+      id: <seq>
+      event: <kind>
+      data: <canonical JSON line>
+
+  A consumer whose cursor fell behind the bounded retention window
+  (and past what the durable log can replay) first receives a
+  synthetic ``stream.lagged`` frame stating how many events it
+  missed; a closed, fully drained stream ends with a data-free
+  ``stream.end`` frame.  Because the ``data:`` payload is always the
+  canonical published line, the frame sequence for any cursor is a
+  byte-identical suffix of the frame sequence from cursor 0.
+
+The transport half (chunked encoding itself) lives in
+:mod:`repro.service.http`; this module only shapes frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, Optional
+
+from ..obs.stream import Event, EventBus
+
+__all__ = [
+    "SSE_CONTENT_TYPE",
+    "EventStreamResponse",
+    "events_payload",
+    "sse_frame",
+    "sse_lagged_frame",
+    "sse_end_frame",
+]
+
+SSE_CONTENT_TYPE = "text/event-stream"
+
+#: How often a tailing stream re-polls the bus for new events.  Short
+#: enough that a watch feels live; long enough to stay invisible next
+#: to task execution times.
+DEFAULT_POLL_INTERVAL_S = 0.025
+
+
+def sse_frame(event: Event) -> bytes:
+    """One event as an SSE frame (id + kind + canonical line)."""
+    return (
+        f"id: {event.seq}\nevent: {event.kind}\ndata: {event.line}\n\n"
+    ).encode("utf-8")
+
+
+def sse_lagged_frame(stream: str, dropped: int, resume_cursor: int) -> bytes:
+    """The synthetic frame a lagging consumer sees before the tail.
+
+    Carries no ``id:`` -- it is not part of the stream's sequence --
+    and states exactly how many events fell out of retention.
+    """
+    data = json.dumps(
+        {
+            "stream": stream,
+            "kind": "stream.lagged",
+            "dropped": dropped,
+            "resume_cursor": resume_cursor,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return f"event: stream.lagged\ndata: {data}\n\n".encode("utf-8")
+
+
+def sse_end_frame(stream: str) -> bytes:
+    """The terminal frame of a closed, fully drained stream."""
+    data = json.dumps(
+        {"stream": stream, "kind": "stream.end"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return f"event: stream.end\ndata: {data}\n\n".encode("utf-8")
+
+
+def events_payload(
+    bus: EventBus,
+    stream: str,
+    cursor: int = 0,
+    limit: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The batch-mode JSON document for one ``GET /v1/events`` read."""
+    slice_ = bus.read(stream, cursor, limit)
+    return {
+        "stream": stream,
+        "cursor": cursor,
+        "next_cursor": slice_.next_cursor,
+        "closed": slice_.closed,
+        "dropped": slice_.dropped,
+        "count": len(slice_.events),
+        "events": [event.payload for event in slice_.events],
+        "lines": [event.line for event in slice_.events],
+    }
+
+
+class EventStreamResponse:
+    """A follow-mode ``/v1/events`` response: an async frame source.
+
+    Returned as the *payload* of a handled request; the HTTP transport
+    recognises it and switches to chunked transfer encoding, pulling
+    frames from :meth:`frames` until the stream ends or the client
+    disconnects.  In-process tests iterate :meth:`frames` directly.
+    """
+
+    content_type = SSE_CONTENT_TYPE
+
+    def __init__(
+        self,
+        bus: EventBus,
+        stream: str,
+        cursor: int = 0,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+        max_events: Optional[int] = None,
+    ) -> None:
+        self.bus = bus
+        self.stream = stream
+        self.cursor = cursor
+        self.poll_interval_s = poll_interval_s
+        #: Optional hard cap on delivered events (tests; bounded tails).
+        self.max_events = max_events
+
+    async def frames(self) -> AsyncIterator[bytes]:
+        """Yield SSE frames from ``cursor`` until the stream ends."""
+        cursor = self.cursor
+        delivered = 0
+        while True:
+            slice_ = self.bus.read(self.stream, cursor)
+            if slice_.dropped:
+                yield sse_lagged_frame(
+                    self.stream,
+                    slice_.dropped,
+                    slice_.events[0].seq
+                    if slice_.events
+                    else slice_.next_cursor,
+                )
+            for event in slice_.events:
+                yield sse_frame(event)
+                delivered += 1
+                cursor = event.seq + 1
+                if (
+                    self.max_events is not None
+                    and delivered >= self.max_events
+                ):
+                    return
+            cursor = max(cursor, slice_.next_cursor)
+            if slice_.closed and cursor >= self.bus.cursor(self.stream):
+                yield sse_end_frame(self.stream)
+                return
+            await asyncio.sleep(self.poll_interval_s)

@@ -19,8 +19,14 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..obs.logging import configure_logging, get_logger, log_event
 from .app import ModelService, ServiceConfig
+from .events import EventStreamResponse
 
-__all__ = ["start_server", "run_server", "serve_until"]
+__all__ = [
+    "start_server",
+    "run_server",
+    "serve_until",
+    "write_stream_response",
+]
 
 #: Hard cap on request bodies (1 MiB is orders beyond any valid query).
 MAX_BODY_BYTES = 1 << 20
@@ -133,6 +139,42 @@ def _encode_response(
     return head.encode("latin-1") + body
 
 
+async def write_stream_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    stream: EventStreamResponse,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Ship a streaming payload as a chunked HTTP response.
+
+    Frames are pulled from ``stream.frames()`` and written as one
+    chunk each; the response always closes the connection (SSE
+    consumers reconnect with their cursor, which is the protocol's
+    resume point anyway).  A vanished client surfaces as a
+    ``ConnectionResetError``/``BrokenPipeError`` from ``drain`` and
+    propagates to the caller's connection handler.
+    """
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {stream.content_type}",
+        "Cache-Control: no-cache",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    async for chunk in stream.frames():
+        writer.write(
+            f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n"
+        )
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
 async def _handle_connection(
     service: ModelService,
     reader: asyncio.StreamReader,
@@ -171,6 +213,14 @@ async def _handle_connection(
             status, payload, response_headers = (
                 await service.handle_request(method, path, body, headers)
             )
+            if isinstance(payload, EventStreamResponse):
+                # SSE tail: chunked frames until the stream ends or
+                # the client hangs up; either way the connection is
+                # done (resume is cursor-based, not connection-based).
+                await write_stream_response(
+                    writer, status, payload, response_headers
+                )
+                return
             keep_alive = (
                 headers.get("connection", "keep-alive").lower()
                 != "close"

@@ -129,10 +129,18 @@ class ServiceMetrics:
         status: int,
         latency_s: float,
         cache_hit: Optional[bool] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
-        """Account one finished request."""
+        """Account one finished request.
+
+        ``trace_id`` (when the caller has one -- the app layer always
+        does) rides along as the latency sample's exemplar, so the
+        slowest request in the window stays resolvable to its trace.
+        """
         self._requests.inc(endpoint=endpoint, status=str(status))
-        self._latency.observe(latency_s, endpoint=endpoint)
+        self._latency.observe(
+            latency_s, trace_id=trace_id, endpoint=endpoint
+        )
         if cache_hit is True:
             self._resp_cache.inc(result="hit")
         elif cache_hit is False:
@@ -210,6 +218,12 @@ class ServiceMetrics:
                 "p50_ms": 1e3 * percentile(samples, 0.50),
                 "p99_ms": 1e3 * percentile(samples, 0.99),
             }
+            exemplar = self._latency.exemplar(endpoint=endpoint)
+            if exemplar is not None:
+                # The slowest traced sample in the window: a p99
+                # spike links straight to GET /v1/traces?trace_id=.
+                latency[endpoint]["slowest_ms"] = 1e3 * exemplar[0]
+                latency[endpoint]["slowest_trace_id"] = exemplar[1]
         batches = int(self._batches.value())
         items = int(self._batched_items.value())
         jobs = {

@@ -1,0 +1,347 @@
+"""``repro-hetsim watch`` -- a terminal tail of one event stream.
+
+The serving side of the telemetry plane (``GET /v1/events``) speaks
+SSE over chunked transfer; this module is the reference consumer: a
+stdlib ``http.client`` tail that
+
+* connects with ``follow=sse`` from any cursor,
+* parses ``id:`` / ``event:`` / ``data:`` frames off the response
+  (``http.client`` undoes the chunked framing transparently),
+* renders one human line per event -- tasks done/total, cache hits,
+  DSE front size, SLO burn state -- or the canonical JSON line
+  verbatim under ``--json``,
+* reconnects from its last cursor when the connection drops (a router
+  worker died mid-splice, say), leaning on the replay guarantee that
+  the resumed frame sequence is a byte-identical suffix.
+
+Exit status mirrors the watched outcome: 0 when the job finished
+``succeeded`` (or a generic stream ended), 1 when it ``failed``.
+``ReproError`` covers everything transport-shaped.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import quote, urlsplit
+
+from ..errors import ReproError
+
+__all__ = [
+    "SSEFrame",
+    "WatchState",
+    "iter_sse_frames",
+    "render_event",
+    "watch",
+]
+
+#: Reconnect attempts after a dropped tail before giving up.
+MAX_RECONNECTS = 5
+
+#: Pause between reconnect attempts (the worker may be respawning).
+RECONNECT_DELAY_S = 0.25
+
+
+@dataclass(frozen=True)
+class SSEFrame:
+    """One parsed SSE frame (``seq`` is ``None`` for synthetic ones)."""
+
+    seq: Optional[int]
+    kind: str
+    data: str
+
+    @property
+    def payload(self) -> Dict[str, Any]:
+        return json.loads(self.data)
+
+
+@dataclass
+class WatchState:
+    """Everything the renderer tracks across a stream's lifetime."""
+
+    stream: str = ""
+    total: Optional[int] = None
+    done: int = 0
+    failed: int = 0
+    front_size: Optional[int] = None
+    burning: List[str] = field(default_factory=list)
+    respawns: int = 0
+    dropped: int = 0
+    finished: bool = False
+    final_state: Optional[str] = None
+    #: Resume point: the next sequence number wanted on reconnect.
+    cursor: int = 0
+
+
+def _parse_frame(lines: List[str]) -> Optional[SSEFrame]:
+    """One frame from its field lines; ``None`` when data-free."""
+    seq: Optional[int] = None
+    kind = "message"
+    data: Optional[str] = None
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep:
+            continue
+        value = value[1:] if value.startswith(" ") else value
+        if name == "id":
+            try:
+                seq = int(value)
+            except ValueError:
+                seq = None
+        elif name == "event":
+            kind = value
+        elif name == "data":
+            data = value if data is None else data + "\n" + value
+    if data is None:
+        return None
+    return SSEFrame(seq=seq, kind=kind, data=data)
+
+
+def iter_sse_frames(response: Any) -> Iterator[SSEFrame]:
+    """Frames off a file-like SSE body (blank-line delimited)."""
+    pending: List[str] = []
+    while True:
+        raw = response.readline()
+        if not raw:
+            break  # upstream closed
+        line = raw.decode("utf-8", "replace").rstrip("\r\n")
+        if line:
+            pending.append(line)
+            continue
+        if pending:
+            frame = _parse_frame(pending)
+            pending = []
+            if frame is not None:
+                yield frame
+    if pending:
+        frame = _parse_frame(pending)
+        if frame is not None:
+            yield frame
+
+
+def _apply(state: WatchState, frame: SSEFrame) -> None:
+    """Fold one frame into the watch state."""
+    if frame.seq is not None:
+        state.cursor = frame.seq + 1
+    try:
+        doc = frame.payload
+    except ValueError:
+        return
+    data = doc.get("data", {})
+    kind = frame.kind
+    if kind in ("job.queued", "job.started"):
+        total = data.get("total")
+        if isinstance(total, int):
+            state.total = total
+    elif kind == "task.settled":
+        state.done = data.get("done", state.done + 1)
+        if data.get("status") == "failed":
+            state.failed += 1
+        if isinstance(data.get("total"), int):
+            state.total = data["total"]
+    elif kind == "dse.front":
+        if isinstance(data.get("front_size"), int):
+            state.front_size = data["front_size"]
+    elif kind == "slo.alert":
+        objective = str(data.get("slo", "slo"))
+        if data.get("status") in ("burning", "exhausted"):
+            if objective not in state.burning:
+                state.burning.append(objective)
+        elif objective in state.burning:
+            state.burning.remove(objective)
+    elif kind == "worker.respawn":
+        state.respawns += 1
+    elif kind == "stream.lagged":
+        state.dropped += int(doc.get("dropped", 0) or 0)
+        resume = doc.get("resume_cursor")
+        if isinstance(resume, int):
+            state.cursor = max(state.cursor, resume)
+    elif kind == "job.finished":
+        state.finished = True
+        state.final_state = data.get("state")
+        if isinstance(data.get("done"), int):
+            state.done = data["done"]
+    elif kind == "stream.end":
+        state.finished = True
+
+
+def _progress(state: WatchState) -> str:
+    parts = []
+    if state.total is not None:
+        parts.append(f"{state.done}/{state.total}")
+    if state.failed:
+        parts.append(f"{state.failed} failed")
+    if state.front_size is not None:
+        parts.append(f"front={state.front_size}")
+    if state.burning:
+        parts.append("burning:" + ",".join(sorted(state.burning)))
+    if state.respawns:
+        parts.append(f"respawns={state.respawns}")
+    return " ".join(parts)
+
+
+def render_event(state: WatchState, frame: SSEFrame) -> Optional[str]:
+    """One human line for one frame (``None`` suppresses it)."""
+    try:
+        doc = frame.payload
+    except ValueError:
+        return None
+    data = doc.get("data", {})
+    kind = frame.kind
+    prefix = f"[{state.stream}]"
+    progress = _progress(state)
+    if kind == "job.queued":
+        return f"{prefix} queued {data.get('total', '?')} task(s)"
+    if kind == "job.started":
+        return f"{prefix} started"
+    if kind == "task.retry":
+        return (
+            f"{prefix} retry attempt {data.get('attempts')} "
+            f"for {data.get('hash', '?')[:12]}"
+        )
+    if kind == "task.settled":
+        duration = data.get("duration_ms")
+        timing = (
+            f" ({duration:.1f} ms)"
+            if isinstance(duration, (int, float))
+            else ""
+        )
+        return (
+            f"{prefix} {data.get('kind', 'task')} "
+            f"{data.get('status', '?')}{timing} -- {progress}"
+        )
+    if kind == "dse.rung":
+        return (
+            f"{prefix} rung r={data.get('rung_r')}: "
+            f"{data.get('alive')}/{data.get('classes')} classes alive"
+        )
+    if kind == "dse.front":
+        return (
+            f"{prefix} front: {data.get('front_size')} point(s) "
+            f"from {data.get('points')} evaluated"
+        )
+    if kind == "slo.alert":
+        return (
+            f"{prefix} slo {data.get('slo', '?')} "
+            f"{data.get('status', '?')} (budget "
+            f"{data.get('error_budget_remaining', '?')})"
+        )
+    if kind == "worker.respawn":
+        return f"{prefix} worker {data.get('worker', '?')} respawned"
+    if kind == "lease.event":
+        return f"{prefix} lease {data.get('event', '?')}"
+    if kind == "stream.lagged":
+        return (
+            f"{prefix} lagged: {doc.get('dropped')} event(s) fell out "
+            f"of retention"
+        )
+    if kind == "job.finished":
+        summary = progress or f"{state.done} task(s)"
+        return f"{prefix} finished {data.get('state', '?')} -- {summary}"
+    if kind == "stream.end":
+        return f"{prefix} stream ended"
+    return f"{prefix} {kind}"
+
+
+def _open_tail(
+    base_url: str,
+    stream: str,
+    cursor: int,
+    timeout_s: Optional[float],
+) -> Tuple[HTTPConnection, Any]:
+    """One ``follow=sse`` connection positioned at ``cursor``."""
+    parts = urlsplit(base_url if "//" in base_url else f"//{base_url}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 8080
+    conn = HTTPConnection(host, port, timeout=timeout_s)
+    path = (
+        f"/v1/events?stream={quote(stream, safe='')}"
+        f"&cursor={cursor}&follow=sse"
+    )
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+    except (OSError, HTTPException) as exc:
+        conn.close()
+        raise ReproError(
+            f"cannot reach {host}:{port} for stream {stream!r}: {exc}"
+        ) from exc
+    if response.status != 200:
+        body = response.read().decode("utf-8", "replace")
+        conn.close()
+        try:
+            message = json.loads(body).get("message", body)
+        except ValueError:
+            message = body
+        raise ReproError(
+            f"watch of {stream!r} refused "
+            f"({response.status}): {message}"
+        )
+    return conn, response
+
+
+def watch(
+    base_url: str,
+    stream: str,
+    cursor: int = 0,
+    as_json: bool = False,
+    timeout_s: Optional[float] = None,
+    emit=print,
+) -> int:
+    """Tail ``stream`` until it ends; returns the process exit code.
+
+    Reconnects from the last delivered cursor on a dropped connection
+    (up to :data:`MAX_RECONNECTS` consecutive times); the cursor model
+    makes the resumed tail a byte-identical suffix, so the rendered
+    log never duplicates or skips an event.
+    """
+    state = WatchState(stream=stream, cursor=cursor)
+    deadline = (
+        time.monotonic() + timeout_s if timeout_s is not None else None
+    )
+    reconnects = 0
+    while True:
+        remaining: Optional[float] = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ReproError(
+                    f"watch of {stream!r} timed out after {timeout_s}s"
+                )
+        conn, response = _open_tail(
+            base_url, stream, state.cursor, remaining
+        )
+        try:
+            for frame in iter_sse_frames(response):
+                reconnects = 0
+                _apply(state, frame)
+                line = (
+                    frame.data
+                    if as_json
+                    else render_event(state, frame)
+                )
+                if line is not None:
+                    emit(line)
+                if state.finished:
+                    return (
+                        1 if state.final_state == "failed" else 0
+                    )
+        except socket.timeout:
+            raise ReproError(
+                f"watch of {stream!r} timed out after {timeout_s}s"
+            ) from None
+        except (OSError, HTTPException):
+            pass  # dropped tail: fall through to reconnect
+        finally:
+            conn.close()
+        reconnects += 1
+        if reconnects > MAX_RECONNECTS:
+            raise ReproError(
+                f"stream {stream!r} dropped {reconnects} times in a "
+                f"row; giving up (last cursor {state.cursor})"
+            )
+        time.sleep(RECONNECT_DELAY_S)

@@ -1,0 +1,491 @@
+"""GET /v1/events end to end: lifecycle, replay, SSE, watch client.
+
+Covers the streaming contract at every layer boundary: the in-process
+endpoint (``ModelService.handle_request``), the chunked SSE transport
+(a real asyncio server driven through the stdlib ``http.client``
+consumer in :mod:`repro.service.watch`), and the renderer/exit-code
+behaviour of ``repro-hetsim watch``.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.errors import ReproError
+from repro.obs.stream import EventBus
+from repro.service.app import ModelService, ServiceConfig
+from repro.service.events import EventStreamResponse
+from repro.service.http import start_server
+from repro.service.watch import (
+    SSEFrame,
+    WatchState,
+    _apply,
+    _open_tail,
+    iter_sse_frames,
+    render_event,
+    watch,
+)
+
+JOB_BODY = json.dumps({"figures": ["F8"]}).encode()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _submit(service, body=JOB_BODY):
+    status, payload, _ = await service.handle_request(
+        "POST", "/v1/jobs", body
+    )
+    assert status == 202, payload
+    return payload
+
+
+async def _wait_done(service, job_id, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, payload, _ = await service.handle_request(
+            "GET", f"/v1/jobs/{job_id}", b""
+        )
+        assert status == 200
+        if payload["state"] in ("succeeded", "failed"):
+            return payload
+        await asyncio.sleep(0.02)
+    pytest.fail(f"job {job_id} did not settle")
+
+
+async def _events(service, query):
+    status, payload, _ = await service.handle_request(
+        "GET", f"/v1/events?{query}", b""
+    )
+    return status, payload
+
+
+class TestEventEndpoint:
+    def test_campaign_lifecycle_is_one_stream_one_trace(self, tmp_path):
+        async def scenario():
+            service = ModelService(ServiceConfig(store_dir=str(tmp_path)))
+            try:
+                accepted = await _submit(service)
+                job_id = accepted["job_id"]
+                # The live-tail position; racing the queued/started
+                # events is fine, replay from 0 recovers everything.
+                assert accepted["events_cursor"] >= 0
+                await _wait_done(service, job_id)
+                status, payload = await _events(
+                    service, f"job_id={job_id}&cursor=0"
+                )
+                assert status == 200
+                return payload
+            finally:
+                service.close()
+
+        payload = run(scenario())
+        kinds = [event["kind"] for event in payload["events"]]
+        assert kinds[0] == "job.queued"
+        assert kinds[1] == "job.started"
+        assert kinds[-1] == "job.finished"
+        assert kinds.count("task.settled") == 2
+        assert payload["closed"] and payload["dropped"] == 0
+        # One trace spans the whole streamed campaign; task events
+        # carry their own span ids under it.
+        trace_ids = {e["trace_id"] for e in payload["events"]}
+        assert len(trace_ids) == 1
+        settled = [
+            e for e in payload["events"] if e["kind"] == "task.settled"
+        ]
+        assert all(e["span_id"] for e in settled)
+        assert all(
+            e["data"]["duration_ms"] > 0 for e in settled
+        )
+
+    def test_replay_from_cursor_zero_is_byte_identical(self, tmp_path):
+        async def scenario():
+            service = ModelService(ServiceConfig(store_dir=str(tmp_path)))
+            try:
+                job_id = (await _submit(service))["job_id"]
+                await _wait_done(service, job_id)
+                _, first = await _events(
+                    service, f"job_id={job_id}&cursor=0"
+                )
+                _, again = await _events(
+                    service, f"job_id={job_id}&cursor=0"
+                )
+                _, suffix = await _events(
+                    service, f"job_id={job_id}&cursor=3"
+                )
+                return first, again, suffix
+            finally:
+                service.close()
+
+        first, again, suffix = run(scenario())
+        assert first["lines"] == again["lines"]
+        assert suffix["lines"] == first["lines"][3:]
+
+    def test_job_payload_gains_cursor_and_task_percentiles(
+        self, tmp_path
+    ):
+        async def scenario():
+            service = ModelService(ServiceConfig(store_dir=str(tmp_path)))
+            try:
+                job_id = (await _submit(service))["job_id"]
+                return await _wait_done(service, job_id)
+            finally:
+                service.close()
+
+        payload = run(scenario())
+        assert payload["events_cursor"] == 5  # queued+started+2 tasks+done
+        timing = payload["task_ms"]
+        assert timing["count"] == 2
+        assert (
+            0 < timing["p50"] <= timing["p90"]
+            <= timing["p99"] <= timing["max"]
+        )
+
+    def test_bad_requests_and_unknown_streams(self, tmp_path):
+        async def scenario():
+            service = ModelService(ServiceConfig(store_dir=str(tmp_path)))
+            try:
+                results = [
+                    await _events(service, "cursor=0"),
+                    await _events(service, "stream=slo&cursor=x"),
+                    await _events(service, "stream=slo&cursor=-4"),
+                    await _events(service, "stream=nope"),
+                    await _events(service, "stream=slo&limit=x"),
+                ]
+                return results
+            finally:
+                service.close()
+
+        statuses = [status for status, _ in run(scenario())]
+        assert statuses == [400, 400, 400, 404, 400]
+
+    def test_slo_alerts_land_on_the_always_open_slo_stream(
+        self, tmp_path
+    ):
+        async def scenario():
+            service = ModelService(ServiceConfig(store_dir=str(tmp_path)))
+            try:
+                # The tracker fires its hooks once per burn episode;
+                # the service wires episodes onto the bus at startup.
+                assert (
+                    service._publish_slo_alert
+                    in service.slo._alert_hooks
+                )
+                alert = {
+                    "slo": "availability",
+                    "status": "burning",
+                    "burn_rate_fast": 20.0,
+                }
+                service._publish_slo_alert(alert)
+                return await _events(service, "stream=slo&cursor=0")
+            finally:
+                service.close()
+
+        status, payload = run(scenario())
+        assert status == 200
+        assert payload["events"][0]["kind"] == "slo.alert"
+        assert payload["events"][0]["data"]["slo"] == "availability"
+
+    def test_metrics_snapshot_counts_the_bus(self, tmp_path):
+        async def scenario():
+            service = ModelService(ServiceConfig(store_dir=str(tmp_path)))
+            try:
+                job_id = (await _submit(service))["job_id"]
+                await _wait_done(service, job_id)
+                status, payload, _ = await service.handle_request(
+                    "GET", "/metrics", b""
+                )
+                assert status == 200
+                return payload
+            finally:
+                service.close()
+
+        snapshot = run(scenario())
+        events = snapshot["events"]
+        assert events["published"] >= 5
+        assert events["streams"] >= 2  # the job stream + "slo"
+
+
+class TestDurableReplay:
+    def test_store_backed_replay_survives_retention_trim(
+        self, tmp_path
+    ):
+        """Cursor-0 replay is byte-identical even after the in-memory
+        window trimmed: the ResultStore event log fills the prefix."""
+        store = ResultStore(tmp_path)
+        bus = EventBus(history_limit=2)
+        bus.attach_store(
+            "job-x",
+            sink=lambda line: store.append_event_line("job-x", line),
+            reader=lambda cursor: store.read_event_lines("job-x", cursor),
+        )
+        lines = [
+            bus.publish("job-x", "k", data={"i": i}).line
+            for i in range(8)
+        ]
+        replay = bus.read("job-x", 0)
+        assert replay.dropped == 0
+        assert [e.line for e in replay.events] == lines
+
+    def test_replay_equals_live_tail(self, tmp_path):
+        """A from-the-start listener and a post-hoc replayer see the
+        same bytes -- the property the SSE contract advertises."""
+
+        async def scenario():
+            service = ModelService(ServiceConfig(store_dir=str(tmp_path)))
+            try:
+                accepted = await _submit(service)
+                job_id = accepted["job_id"]
+                live = EventStreamResponse(
+                    service.events, job_id, cursor=0
+                )
+                live_lines = []
+                async for frame in live.frames():
+                    text = frame.decode()
+                    if not text.startswith("id: "):
+                        continue  # synthetic lagged/end frames
+                    live_lines.append(
+                        text.split("data: ", 1)[1].strip()
+                    )
+                await _wait_done(service, job_id)
+                _, replay = await _events(
+                    service, f"job_id={job_id}&cursor=0"
+                )
+                return live_lines, replay["lines"]
+            finally:
+                service.close()
+
+        live_lines, replayed = run(scenario())
+        live_payloads = [json.loads(line) for line in live_lines]
+        assert all(
+            "seq" in doc for doc in live_payloads
+        )  # only sequenced frames collected
+        assert live_lines == replayed
+
+
+class TestBackpressure:
+    def test_lagged_consumer_gets_one_lagged_frame_then_the_tail(self):
+        """A bounded stream drops its oldest events rather than block
+        the publisher; the consumer is told exactly what it missed."""
+        bus = EventBus(history_limit=4)
+        for i in range(20):
+            bus.publish("s", "k", data={"i": i})
+        bus.close("s")
+
+        async def consume():
+            response = EventStreamResponse(bus, "s", cursor=0)
+            return [frame async for frame in response.frames()]
+
+        frames = [f.decode() for f in run(consume())]
+        assert frames[0].startswith("event: stream.lagged\n")
+        lagged = json.loads(frames[0].split("data: ", 1)[1].strip())
+        assert lagged["dropped"] == 16
+        assert lagged["resume_cursor"] == 16
+        assert [
+            json.loads(f.split("data: ", 1)[1].strip())["seq"]
+            for f in frames[1:-1]
+        ] == [16, 17, 18, 19]
+        assert frames[-1].startswith("event: stream.end\n")
+
+    def test_publisher_never_blocks_on_a_stalled_consumer(self):
+        bus = EventBus(history_limit=8)
+        start = time.monotonic()
+        for i in range(50_000):
+            bus.publish("s", "k", data={"i": i})
+        assert time.monotonic() - start < 30
+        assert bus.read("s", 0, limit=1).events[0].seq == 50_000 - 8
+
+
+class _LiveServer:
+    """A real asyncio server in a thread; the watch client dials it."""
+
+    def __init__(self, tmp_path):
+        self.service = ModelService(
+            ServiceConfig(store_dir=str(tmp_path))
+        )
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self.port = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(30), "server did not start"
+        return self
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await start_server(self.service, port=0)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        await self._stop.wait()
+        server.close()
+        await server.wait_closed()
+
+    def request(self, method, path, body=b""):
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.handle_request(method, path, body), self._loop
+        )
+        return future.result(60)
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(30)
+        self.service.close()
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    server = _LiveServer(tmp_path).start()
+    yield server
+    server.stop()
+
+
+class TestSSETransport:
+    def test_watch_tails_a_job_to_completion(self, live_server):
+        status, accepted, _ = live_server.request(
+            "POST", "/v1/jobs", JOB_BODY
+        )
+        assert status == 202
+        job_id = accepted["job_id"]
+        lines = []
+        code = watch(
+            f"http://127.0.0.1:{live_server.port}", job_id,
+            emit=lines.append, timeout_s=60,
+        )
+        assert code == 0
+        assert "queued" in lines[0]
+        assert "finished succeeded" in lines[-1]
+
+    def test_json_tail_is_byte_identical_to_batch_replay(
+        self, live_server
+    ):
+        status, accepted, _ = live_server.request(
+            "POST", "/v1/jobs", JOB_BODY
+        )
+        job_id = accepted["job_id"]
+        tailed = []
+        assert watch(
+            f"http://127.0.0.1:{live_server.port}", job_id,
+            as_json=True, emit=tailed.append, timeout_s=60,
+        ) == 0
+        status, replay, _ = live_server.request(
+            "GET", f"/v1/events?job_id={job_id}&cursor=0"
+        )
+        assert status == 200
+        assert tailed == replay["lines"]
+
+    def test_disconnect_and_cursor_resume_is_a_byte_suffix(
+        self, live_server
+    ):
+        status, accepted, _ = live_server.request(
+            "POST", "/v1/jobs", JOB_BODY
+        )
+        job_id = accepted["job_id"]
+        url = f"http://127.0.0.1:{live_server.port}"
+
+        # First connection: take two frames, then hang up mid-stream.
+        conn, response = _open_tail(url, job_id, 0, timeout_s=30)
+        first, cursor = [], 0
+        for frame in iter_sse_frames(response):
+            first.append(frame)
+            cursor = frame.seq + 1
+            if len(first) == 2:
+                break
+        conn.close()
+
+        # Resume from the cursor: the remainder, no gap, no duplicate.
+        resumed = []
+        conn, response = _open_tail(url, job_id, cursor, timeout_s=30)
+        for frame in iter_sse_frames(response):
+            if frame.kind == "stream.end":
+                break
+            resumed.append(frame)
+        conn.close()
+
+        status, replay, _ = live_server.request(
+            "GET", f"/v1/events?job_id={job_id}&cursor=0"
+        )
+        stitched = [f.data for f in first] + [f.data for f in resumed]
+        assert stitched == replay["lines"]
+        assert [f.seq for f in first + resumed] == list(
+            range(len(stitched))
+        )
+
+    def test_watch_unknown_stream_is_a_clean_error(self, live_server):
+        with pytest.raises(ReproError, match="no-such-stream"):
+            watch(
+                f"http://127.0.0.1:{live_server.port}",
+                "no-such-stream", timeout_s=10,
+            )
+
+    def test_watch_unreachable_server_is_a_clean_error(self):
+        with pytest.raises(ReproError, match="cannot reach"):
+            watch("http://127.0.0.1:1", "whatever", timeout_s=5)
+
+
+class TestWatchRendering:
+    def _frame(self, seq, event_kind, **data):
+        doc = {"stream": "j", "seq": seq, "kind": event_kind, "unix": 0.0}
+        if data:
+            doc["data"] = data
+        return SSEFrame(
+            seq=seq, kind=event_kind,
+            data=json.dumps(doc, sort_keys=True, separators=(",", ":")),
+        )
+
+    def test_failed_job_maps_to_exit_one(self):
+        state = WatchState(stream="j")
+        _apply(state, self._frame(0, "job.finished", state="failed"))
+        assert state.finished and state.final_state == "failed"
+
+    def test_progress_accumulates_across_kinds(self):
+        state = WatchState(stream="j")
+        frames = [
+            self._frame(0, "job.queued", total=4),
+            self._frame(1, "task.settled", status="executed", done=1,
+                        total=4, kind="figure", duration_ms=1.5),
+            self._frame(2, "dse.front", front_size=7, points=30),
+            self._frame(3, "worker.respawn", worker="w2"),
+            self._frame(
+                4, "slo.alert", slo="availability", status="burning"
+            ),
+        ]
+        rendered = []
+        for frame in frames:
+            _apply(state, frame)
+            rendered.append(render_event(state, frame))
+        assert state.total == 4 and state.done == 1
+        assert state.front_size == 7
+        assert state.respawns == 1
+        assert state.burning == ["availability"]
+        assert state.cursor == 5
+        assert "queued 4 task(s)" in rendered[0]
+        assert "1/4" in rendered[1]
+        assert "front: 7" in rendered[2]
+        assert "respawned" in rendered[3]
+        assert "burning" in rendered[4]
+
+    def test_lagged_frame_advances_the_resume_cursor(self):
+        state = WatchState(stream="j")
+        doc = {
+            "stream": "j", "kind": "stream.lagged",
+            "dropped": 9, "resume_cursor": 9,
+        }
+        frame = SSEFrame(
+            seq=None, kind="stream.lagged",
+            data=json.dumps(doc, sort_keys=True, separators=(",", ":")),
+        )
+        _apply(state, frame)
+        assert state.dropped == 9
+        assert state.cursor == 9
+        assert "9 event(s)" in render_event(state, frame)
