@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-dse bench-stream bench-cluster bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
+.PHONY: install test bench bench-quick bench-projection bench-service bench-campaign bench-dse bench-stream bench-profile bench-cluster bench-history bench-check materialize bench-materialize serve artifacts validate examples clean
 
 install:
 	pip install -e .[test]
@@ -33,9 +33,16 @@ bench-dse:
 bench-stream:
 	$(PYTHON) benchmarks/bench_stream_events.py
 
+# Continuous-profiler overhead: the same campaign with the stack
+# sampler off vs. on (default-on everywhere); gated to < 2% in
+# BENCH_profile.json, with the sampled run's folded profile stamped
+# into the history row for bench-check culprit attribution.
+bench-profile:
+	$(PYTHON) benchmarks/bench_profile_overhead.py
+
 # Run all benchmark writers once; each appends an envelope-stamped
 # row to BENCH_history.jsonl alongside its BENCH_*.json snapshot.
-bench-history: bench-projection bench-service bench-campaign bench-dse bench-stream
+bench-history: bench-projection bench-service bench-campaign bench-dse bench-stream bench-profile
 
 # Gate the newest history rows against their rolling baselines.  Stays
 # green (no-baseline verdicts) until >= 3 comparable runs exist.

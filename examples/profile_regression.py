@@ -1,0 +1,107 @@
+"""From a 30% slowdown to the line of code that caused it.
+
+Every benchmark writer stamps two artifacts into each
+``BENCH_history.jsonl`` row: scalar metrics (wall times, throughputs)
+and the run's own **folded profile** from the continuous sampler.
+``repro-hetsim bench-check`` gates the scalars against a rolling
+bootstrap baseline; when a gate trips, the differential profiler
+(:mod:`repro.obs.profdiff`) joins per-frame self-time between the
+candidate profile and the baseline window and names the frames that
+gained time -- the exit-5 report says not just *that* the benchmark
+regressed but *which function* did it.
+
+This script runs that whole path deterministically, no server and no
+wall clock: it synthesises six history rows exactly as
+``record_benchmark`` would have written them.  Five healthy baselines
+spend 1.00 s with a known frame mix; the sixth run is 30% slower, and
+its profile shows all of the extra time inside one frame --
+``repro.core.optimizer:optimize``.  Then it hands the rows to the real
+:func:`repro.obs.regress.check_rows` and prints what ``bench-check``
+would print.
+
+The CLI equivalent against a real history file is::
+
+    repro-hetsim bench-check --history BENCH_history.jsonl
+"""
+
+from repro.obs.history import HISTORY_SCHEMA_VERSION
+from repro.obs.prof import FoldedProfile
+from repro.obs.profdiff import render_culprit
+from repro.obs.regress import check_rows
+
+#: The frame that will eat the extra time.  Stacks are root-first,
+#: frames are ``module:func:line`` -- the profiler's folded format.
+HOT_FRAME = "repro.core.optimizer:optimize:77"
+COLD_FRAME = "repro.model.io:load_tables:9"
+
+#: Samples at 100 Hz, so counts read directly as centiseconds.
+HZ = 100.0
+
+
+def sampled_profile(hot_count: int, cold_count: int = 50) -> FoldedProfile:
+    """What the stack sampler would fold out of one benchmark run."""
+    profile = FoldedProfile(hz=HZ)
+    profile.add_stack(("repro.cli:main:1", HOT_FRAME), hot_count)
+    profile.add_stack(("repro.cli:main:1", COLD_FRAME), cold_count)
+    profile.samples = hot_count + cold_count
+    profile.duration_s = profile.samples / HZ
+    return profile
+
+
+def history_row(run_id: int, best_s: float, hot_count: int) -> dict:
+    """One BENCH_history.jsonl row, as ``record_benchmark`` writes it."""
+    return {
+        "benchmark": "campaign_wall",
+        "envelope": {
+            "run_id": run_id,
+            "host_fingerprint": "demo-host",
+            "schema_version": HISTORY_SCHEMA_VERSION,
+            "topology": None,
+        },
+        "metrics": {"best_s": best_s},
+        "profile": sampled_profile(hot_count).payload(),
+    }
+
+
+def main() -> None:
+    # Five healthy runs: 1.00 s each, the hot frame at 100 samples.
+    rows = [history_row(run_id, 1.0, 100) for run_id in range(1, 6)]
+
+    # The candidate: 30% slower overall -- and the profile records the
+    # slowdown exactly where it happened, +30 samples on the hot frame.
+    rows.append(history_row(6, 1.3, 130))
+
+    report = check_rows(rows, seed=2010)
+
+    print("== bench-check verdict")
+    print(report.render())
+    print()
+
+    assert not report.ok, "the 30% slowdown must trip the gate"
+    regressed = [v for v in report.verdicts if v.status == "regressed"]
+    assert regressed and regressed[0].metric == "best_s"
+    print(
+        f"gate tripped: campaign_wall:best_s "
+        f"{regressed[0].candidate:.2f}s vs baseline "
+        f"[{regressed[0].baseline_lo:.2f}, {regressed[0].baseline_hi:.2f}]s"
+    )
+
+    # The differential profiler names the frame, not just the metric.
+    culprits = report.attributions["campaign_wall"]
+    top = culprits[0]
+    assert top["frame"] == "repro.core.optimizer:optimize"
+    assert top["status"] == "regressed"
+    print()
+    print("== culprit frames (candidate vs baseline mean self-time)")
+    for culprit in culprits:
+        print(f"  {render_culprit(culprit)}")
+    print()
+    print(
+        f"attribution: the regression lives in {top['frame']} "
+        f"(+{top['delta_pct']:.1f}% self-time) -- the cold frame "
+        f"moved 0.000s and is not reported"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,7 @@ from .._version import __version__
 from ..errors import ModelError
 from ..itrs.scenarios import get_scenario
 from ..obs.metrics import get_registry
+from ..obs.prof import FoldedProfile, acquire_sampler, release_sampler
 from ..obs.stream import EventPublisher, bind_publisher, unbind_publisher
 from ..obs.trace import get_tracer
 from ..projection.engine import project
@@ -374,6 +375,15 @@ class CampaignRunner:
             worker tasks too; process-pool workers cannot publish live
             events across the process boundary (their settle events
             still stream -- settling happens in the parent).
+        profile: when True (default), hold the shared process sampler
+            (:func:`~repro.obs.prof.acquire_sampler`) for the run's
+            duration; the run's window lands on :attr:`last_profile`
+            tagged with the ``campaign.run`` trace id, and every
+            ``campaign.task`` settle span carries the sampler ticks
+            it consumed (``profile.samples``).  Sampling is strictly
+            parent-side: spawn-pinned process-pool workers never run
+            a sampler thread, so their stacks show up as the parent's
+            pool-wait frames, not the task bodies.
     """
 
     def __init__(
@@ -390,6 +400,7 @@ class CampaignRunner:
         ] = None,
         lease_ttl_s: float = 10.0,
         events: Optional[EventPublisher] = None,
+        profile: bool = True,
     ):
         if executor not in _EXECUTORS:
             raise ModelError(
@@ -421,6 +432,11 @@ class CampaignRunner:
         self.progress = progress
         self.lease_ttl_s = lease_ttl_s
         self.events = events
+        self.profile = profile
+        #: The sampled profile of the most recent :meth:`run` window
+        #: (None before the first run or when ``profile=False``).
+        self.last_profile: Optional[FoldedProfile] = None
+        self._sampler = None
         self._task_counter = get_registry().counter(
             "repro_campaign_tasks_total",
             "Campaign task outcomes by status",
@@ -499,29 +515,44 @@ class CampaignRunner:
         start = time.perf_counter()
         tasks = spec.tasks()
         hashes = [task_hash(task) for task in tasks]
-        with get_tracer().span(
-            "campaign.run",
-            attributes={
-                "spec_hash": spec.spec_hash()[:16],
-                "executor": self.executor,
-                "total": len(tasks),
-            },
-        ) as root:
-            token = (
-                bind_publisher(self.events)
-                if self.events is not None
-                else None
-            )
-            try:
-                report = self._execute(spec, tasks, hashes)
-            finally:
-                if token is not None:
-                    unbind_publisher(token)
-            root.set_attribute("executed", report.executed)
-            root.set_attribute("cached", report.cached)
-            root.set_attribute("failed", report.failed)
-            if not report.ok:
-                root.status = "error"
+        sampler = acquire_sampler() if self.profile else None
+        self._sampler = sampler
+        window = sampler.mark() if sampler is not None else None
+        try:
+            with get_tracer().span(
+                "campaign.run",
+                attributes={
+                    "spec_hash": spec.spec_hash()[:16],
+                    "executor": self.executor,
+                    "total": len(tasks),
+                },
+            ) as root:
+                token = (
+                    bind_publisher(self.events)
+                    if self.events is not None
+                    else None
+                )
+                try:
+                    report = self._execute(spec, tasks, hashes)
+                finally:
+                    if token is not None:
+                        unbind_publisher(token)
+                root.set_attribute("executed", report.executed)
+                root.set_attribute("cached", report.cached)
+                root.set_attribute("failed", report.failed)
+                if not report.ok:
+                    root.status = "error"
+                if sampler is not None and window is not None:
+                    self.last_profile = sampler.window_since(
+                        window, trace_id=root.trace_id
+                    )
+                    root.set_attribute(
+                        "profile.samples", self.last_profile.samples
+                    )
+        finally:
+            self._sampler = None
+            if sampler is not None:
+                release_sampler()
         report.elapsed_s = time.perf_counter() - start
         return report
 
@@ -551,6 +582,13 @@ class CampaignRunner:
 
         self._write_manifest(spec, hashes, completed)
         total = len(tasks)
+        # Settle-to-settle sampler tick deltas: how many profiler
+        # samples elapsed while this task was the newest thing to
+        # finish.  Coarse by design -- tasks overlap in a pool -- but
+        # it ties the folded profile's time axis to task cadence.
+        last_tick = [
+            self._sampler.samples if self._sampler is not None else 0
+        ]
 
         def _settle(
             outcome: TaskOutcome,
@@ -558,6 +596,12 @@ class CampaignRunner:
             started_unix: Optional[float] = None,
         ) -> None:
             span = self._task_span(outcome, submitted, started_unix)
+            if self._sampler is not None:
+                tick = self._sampler.samples
+                span.set_attribute(
+                    "profile.samples", tick - last_tick[0]
+                )
+                last_tick[0] = tick
             with span:
                 if outcome.status == "failed":
                     span.status = "error"

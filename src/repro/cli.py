@@ -14,6 +14,7 @@ Usage::
                  --workload mmm --name TensorUnit
     repro-hetsim materialize build --dir tensors/
     repro-hetsim serve --tensor-dir tensors/
+    repro-hetsim profile http://127.0.0.1:8080 --seconds 5
     repro-hetsim dse list-scenarios --json
     repro-hetsim dse run --scenario baseline --mode halving
     repro-hetsim dse pareto --scenario-file my_scenario.json
@@ -64,6 +65,7 @@ from .errors import (
     UnknownWorkloadError,
 )
 from .itrs.scenarios import get_scenario, scenario_names
+from .obs.prof import DEFAULT_HZ as PROFILE_DEFAULT_HZ
 from .projection.engine import project
 from .projection.pareto import design_space_points, pareto_frontier
 from .projection.sensitivity import SensitivityConfig, run_sensitivity
@@ -329,6 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
             "default: $REPRO_LOG_LEVEL or INFO)"
         ),
     )
+    campaign.add_argument(
+        "--no-profile", action="store_false", dest="profile",
+        help=(
+            "do not run the continuous sampling profiler for the "
+            "campaign window (on by default; parent-side only)"
+        ),
+    )
 
     bench_check = sub.add_parser(
         "bench-check",
@@ -580,6 +589,62 @@ def build_parser() -> argparse.ArgumentParser:
             "WARNING/ERROR; default: $REPRO_LOG_LEVEL or INFO)"
         ),
     )
+    serve.add_argument(
+        "--no-profile", action="store_false", dest="profile",
+        help=(
+            "disable the continuous sampling profiler "
+            "(GET /v1/profile then answers 503)"
+        ),
+    )
+    serve.add_argument(
+        "--profile-hz", type=float, default=PROFILE_DEFAULT_HZ,
+        metavar="HZ",
+        help=(
+            f"continuous profiler sampling rate "
+            f"(default {PROFILE_DEFAULT_HZ:g} Hz)"
+        ),
+    )
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help=(
+            "capture a sampled stack profile from a running server "
+            "(repro.obs.prof; table, folded stacks, or JSON)"
+        ),
+    )
+    profile_parser.add_argument(
+        "target", metavar="URL|JOB",
+        help=(
+            "server base URL (http://host:port or host:port) to "
+            "sample now, or a job id from POST /v1/jobs (resolved "
+            "against --url; a finished job reports the sampler's "
+            "full window, which contains it)"
+        ),
+    )
+    profile_parser.add_argument(
+        "--url", default="http://127.0.0.1:8080", metavar="URL",
+        help="server base URL when TARGET is a job id "
+             "(default http://127.0.0.1:8080)",
+    )
+    profile_parser.add_argument(
+        "--seconds", type=float, default=2.0, metavar="S",
+        help="capture window length (default 2; 0 = everything "
+             "since the sampler started)",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows in the self-time table (default 15)",
+    )
+    profile_parser.add_argument(
+        "--format", default="table",
+        choices=("table", "folded", "json"), dest="profile_format",
+        help="output form (default: table)",
+    )
+    profile_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the folded stacks to PATH (flamegraph.pl / "
+             "speedscope input)",
+    )
 
     watch = sub.add_parser(
         "watch",
@@ -824,11 +889,122 @@ def _cmd_metrics_dump(dump_format: str) -> str:
 
     # Materialise the SLO/error-budget families (and refresh their
     # gauges) so the dump shows the same shape a server scrape would.
-    get_slo_tracker().refresh_gauges()
+    tracker = get_slo_tracker()
+    tracker.refresh_gauges()
     registry = get_registry()
     if dump_format == "prom":
         return registry.render_prometheus().rstrip("\n")
-    return _json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    snapshot = registry.snapshot()
+    # The shaped sections a live server's /metrics JSON carries on
+    # top of the raw families: the SLO/error-budget view and the DSE
+    # submission tallies (both were silently missing from the dump).
+    snapshot["slo"] = tracker.snapshot()
+    dse = {"accepted": 0, "rejected": 0}
+    for labels, count in registry.counter(
+        "repro_dse_requests_total",
+        "DSE job submissions by mode and outcome",
+    ).series():
+        if labels:
+            outcome = labels.get("outcome", "accepted")
+            dse[outcome] = dse.get(outcome, 0) + int(count)
+    snapshot["dse"] = dse
+    return _json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+def _cmd_profile(target: str, url: str, seconds: float, top: int,
+                 profile_format: str, out: Optional[str]) -> str:
+    """Capture one sampled profile off a running server (or router).
+
+    ``target`` is either a server base URL (sampled directly) or a
+    job id (resolved against ``--url``; a live job gets a fresh
+    window, a finished one gets the sampler's full window, which
+    contains the job's run).  Against a router the capture is the
+    fleet merge with per-worker ``worker:wN`` attribution.
+    """
+    import json as _json
+    import pathlib
+    import re as _re
+    import urllib.error
+    import urllib.request
+
+    from .obs.prof import FoldedProfile
+
+    if seconds < 0 or seconds > 60:
+        raise ModelError(
+            f"--seconds must be in [0, 60], got {seconds:g}"
+        )
+
+    def _fetch(base: str, path: str):
+        full = base.rstrip("/") + path
+        try:
+            with urllib.request.urlopen(
+                full, timeout=seconds + 30.0
+            ) as response:
+                body = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = _json.loads(detail).get("message", detail)
+            except ValueError:
+                pass
+            raise ModelError(
+                f"profile capture refused ({exc.code}): {detail}"
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ModelError(f"cannot reach {full}: {exc}") from None
+        return _json.loads(body)
+
+    if "://" in target or _re.match(r"^[\w.\-]+:\d+$", target):
+        base = target if "://" in target else f"http://{target}"
+        capture_seconds = seconds
+    else:
+        base = url
+        job = _fetch(base, f"/v1/jobs/{target}")
+        state = job.get("state")
+        # A finished job cannot be re-sampled live; the sampler's
+        # full window (seconds=0) still contains its run.
+        terminal = state in ("succeeded", "failed")
+        capture_seconds = 0.0 if terminal else seconds
+
+    doc = _fetch(
+        base,
+        f"/v1/profile?seconds={capture_seconds:g}&format=json",
+    )
+    # A router answers {"workers": {...}, "merged": <payload>}; a
+    # single worker answers the payload directly.
+    merged = doc.get("merged", doc)
+    profile = FoldedProfile.from_payload(merged)
+    folded_text = profile.to_text()
+    if out is not None:
+        pathlib.Path(out).write_text(folded_text)
+
+    if profile_format == "json":
+        body = _json.dumps(doc, indent=2, sort_keys=True)
+    elif profile_format == "folded":
+        body = folded_text.rstrip("\n")
+    else:
+        rows = [
+            (
+                entry["frame"],
+                f"{entry['self_s']:.3f}s",
+                f"{entry['self_pct']:.1f}%",
+            )
+            for entry in profile.top_self(top)
+        ]
+        workers = doc.get("workers")
+        fleet = f" across {len(workers)} worker(s)" if workers else ""
+        body = format_table(
+            ["frame", "self time", "self %"],
+            rows,
+            title=(
+                f"Profile: {profile.samples} samples at "
+                f"{profile.hz:g} Hz over {profile.duration_s:.2f}s"
+                f"{fleet} ({len(profile.counts)} unique stacks)"
+            ),
+        )
+    if out is not None:
+        body += f"\nwrote folded profile to {out}"
+    return body
 
 
 def _cmd_bench_check(history: str, benchmark: Optional[str],
@@ -874,7 +1050,8 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
                   trace_file: Optional[str] = None,
                   log_level: Optional[str] = None,
                   join: bool = False,
-                  lease_ttl_s: float = 10.0) -> str:
+                  lease_ttl_s: float = 10.0,
+                  profile: bool = True) -> str:
     from .campaign.runner import CampaignRunner
     from .campaign.spec import CampaignSpec
     from .campaign.store import ResultStore
@@ -903,6 +1080,7 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
         retries=retries,
         resume=resume,
         lease_ttl_s=lease_ttl_s,
+        profile=profile,
     )
     report = runner.run(spec)
     rows = []
@@ -936,6 +1114,12 @@ def _cmd_campaign(figures: List[str], jobs: Optional[int],
         ),
     )
     lines = [table]
+    if runner.last_profile is not None and runner.last_profile.samples:
+        lines.append(
+            f"profile: {runner.last_profile.samples} samples at "
+            f"{runner.last_profile.hz:g} Hz "
+            f"({len(runner.last_profile.counts)} unique stacks)"
+        )
     if not runner.store.is_ephemeral:
         lines.append(f"store: {runner.store.directory}")
     lease_events = runner.store.lease_stats()
@@ -1252,6 +1436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 log_level=_checked_level(args.log_level),
                 join=args.join,
                 lease_ttl_s=args.lease_ttl_s,
+                profile=args.profile,
             )
         elif args.command == "dse":
             output = _cmd_dse(
@@ -1267,6 +1452,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         elif args.command == "metrics-dump":
             output = _cmd_metrics_dump(args.dump_format)
+        elif args.command == "profile":
+            output = _cmd_profile(
+                args.target, args.url, args.seconds, args.top,
+                args.profile_format, args.out,
+            )
         elif args.command == "bench-check":
             output, code = _cmd_bench_check(
                 args.history, args.benchmark, args.window,
@@ -1292,6 +1482,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 drain_timeout_s=args.drain_timeout_s,
                 trace_file=args.trace_file,
                 log_level=_checked_level(args.log_level),
+                profile=args.profile,
+                profile_hz=args.profile_hz,
             )
             if args.workers > 1:
                 from .cluster import ClusterConfig, run_cluster_server

@@ -23,6 +23,9 @@ Cross-worker concerns it *does* own:
   gathers every worker's span ring buffer, tags each span with its
   ``worker`` name (its own spans as ``worker="router"``), and answers
   one time-ordered view with fleet-wide eviction accounting.
+* **`/v1/profile`** -- concurrent sampled-profile captures on every
+  worker, merged into one folded view whose stacks carry a leading
+  ``worker:wN`` frame (the flamegraph keeps per-worker attribution).
 * **`/v1/events`** -- job event streams live on the worker that owns
   the job; the router finds the owner and splices its response --
   chunked SSE tail included -- through byte for byte.  The router's
@@ -48,12 +51,14 @@ from urllib.parse import parse_qs, quote
 
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import MetricsRegistry, render_merged
+from ..obs.prof import FoldedProfile
 from ..obs.stream import EventBus
 from ..obs.trace import get_tracer
 from ..service.app import ModelService
 from ..service.events import EventStreamResponse, events_payload
 from ..service.http import (
     PROM_CONTENT_TYPE,
+    TextPayload,
     _encode_response,
     _ProtocolError,
     _read_request,
@@ -336,6 +341,8 @@ class Router:
             return await self._metrics(path, headers) + ("router",)
         if bare_path == "/v1/traces":
             return await self._scatter_traces(path, headers) + ("router",)
+        if bare_path == "/v1/profile":
+            return await self._scatter_profile(path, headers) + ("router",)
         if bare_path == "/v1/events":
             # Only router-local streams reach this far; worker-owned
             # streams are spliced raw in ``_handle_connection``.
@@ -559,6 +566,87 @@ class Router:
                 ),
             }
         return 200, payload
+
+    async def _scatter_profile(
+        self, path: str, headers: Dict[str, str]
+    ) -> Tuple[int, object]:
+        """``GET /v1/profile``: every worker sampled, one merged view.
+
+        The capture windows run concurrently (total wall time is one
+        ``seconds``, not workers x seconds).  Each worker's folded
+        profile is tagged ``worker="wN"`` and folded into a merged
+        profile whose stacks gain a leading ``worker:wN`` frame -- the
+        per-worker attribution survives inside the flamegraph itself,
+        mirroring the ``/v1/traces`` merge.  The router process does
+        not sample; it only aggregates.
+        """
+        query = parse_qs(path.partition("?")[2])
+        seconds_text = query.get("seconds", ["1"])[0]
+        try:
+            seconds = float(seconds_text)
+        except ValueError:
+            return 400, {
+                "error": "BadRequest",
+                "message": (
+                    f"seconds must be a number, got {seconds_text!r}"
+                ),
+            }
+        if not 0.0 <= seconds <= 60.0:
+            return 400, {
+                "error": "BadRequest",
+                "message": f"seconds must be within [0, 60], got {seconds:g}",
+            }
+        fmt = query.get("format", ["json"])[0]
+        if fmt not in ("json", "folded"):
+            return 400, {
+                "error": "BadRequest",
+                "message": f"format must be 'json' or 'folded', got {fmt!r}",
+            }
+        workers = self._alive_workers()
+        if not workers:
+            raise UpstreamError("no live workers")
+        upstream_path = f"/v1/profile?seconds={seconds:g}&format=json"
+        results = await asyncio.gather(
+            *(
+                self._upstream_request(
+                    worker, "GET", upstream_path, headers, b""
+                )
+                for worker in workers
+            ),
+            return_exceptions=True,
+        )
+        merged = FoldedProfile()
+        per_worker: Dict[str, object] = {}
+        for worker, result in zip(workers, results):
+            if isinstance(result, BaseException):
+                continue  # mid-capture death: merge the survivors
+            status, response_headers, response_body = result
+            if status != 200:
+                continue
+            payload = _decode_payload(response_headers, response_body)
+            if not isinstance(payload, dict):
+                continue
+            payload["worker"] = worker
+            per_worker[worker] = payload
+            try:
+                profile = FoldedProfile.from_payload(payload)
+            except (TypeError, ValueError):
+                continue
+            merged.merge(profile, prefix=f"worker:{worker}")
+        if not per_worker:
+            return 503, {
+                "error": "UpstreamError",
+                "message": "no worker answered the profile capture",
+            }
+        if fmt == "folded":
+            return 200, TextPayload(merged.to_text())
+        doc = merged.payload()
+        doc["top"] = merged.top_self(10)
+        return 200, {
+            "seconds": seconds,
+            "workers": per_worker,
+            "merged": doc,
+        }
 
     def _local_events(
         self, method: str, path: str

@@ -60,6 +60,18 @@ from .history import (
     host_fingerprint,
     record_benchmark,
 )
+from .prof import (
+    FoldedProfile,
+    StackSampler,
+    acquire_sampler,
+    get_sampler,
+    release_sampler,
+)
+from .profdiff import (
+    attribute_regression,
+    diff_profiles,
+    render_culprit,
+)
 from .profiling import (
     phase_totals,
     profile_block,
@@ -119,6 +131,15 @@ __all__ = [
     "profile_block",
     "reset_phase_totals",
     "timed",
+    # continuous sampling profiler + differential attribution
+    "FoldedProfile",
+    "StackSampler",
+    "acquire_sampler",
+    "get_sampler",
+    "release_sampler",
+    "attribute_regression",
+    "diff_profiles",
+    "render_culprit",
     # history + regression sentinel
     "HistoryStore",
     "envelope",

@@ -62,7 +62,7 @@ HISTORY_SCHEMA_VERSION = 1
 DEFAULT_HISTORY_NAME = "BENCH_history.jsonl"
 
 #: Top-level payload keys that never contain benchmark metrics.
-_EXCLUDED_SECTIONS = frozenset({"machine", "config", "envelope"})
+_EXCLUDED_SECTIONS = frozenset({"machine", "config", "envelope", "profile"})
 
 #: Leaf keys that are configuration or provenance, not measurements.
 _EXCLUDED_LEAVES = frozenset(
@@ -300,6 +300,7 @@ def record_benchmark(
     history_path: Union[str, Path],
     timestamp: float,
     topology: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Write one run's snapshot *and* its history row, joinably.
 
@@ -308,8 +309,12 @@ def record_benchmark(
     file) into the snapshot payload, writes the snapshot, then appends
     the matching history row ``{"benchmark", "envelope", "metrics"}``.
     ``topology`` (if given) rides in the envelope so the regression
-    gate never compares runs of different serving shapes.  Returns the
-    history row.
+    gate never compares runs of different serving shapes.  ``profile``
+    (a :meth:`FoldedProfile.payload` document from the continuous
+    sampler) is stamped into both the snapshot and the row so
+    ``bench-check`` can attribute a regressed verdict to culprit
+    frames via :mod:`repro.obs.profdiff`; it is excluded from metric
+    extraction and never gates by itself.  Returns the history row.
     """
     snapshot_path = Path(snapshot_path)
     store = HistoryStore(history_path)
@@ -320,10 +325,14 @@ def record_benchmark(
         topology=topology,
     )
     payload["envelope"] = stamp
+    if profile is not None:
+        payload["profile"] = dict(profile)
     snapshot_path.write_text(json.dumps(payload, indent=2) + "\n")
     row = {
         "benchmark": benchmark,
         "envelope": dict(stamp),
         "metrics": extract_metrics(payload),
     }
+    if profile is not None:
+        row["profile"] = dict(profile)
     return store.append(row)

@@ -1,0 +1,133 @@
+"""repro.obs.profdiff -- differential profiling for bench-check.
+
+The regression sentinel (:mod:`repro.obs.regress`) can say *that* a
+benchmark drifted; this module says *which frames* did it.  Given the
+candidate run's folded profile and the baseline runs' profiles (both
+stamped into ``BENCH_history.jsonl`` rows by ``record_benchmark``),
+it joins per-frame self-time on ``module:func`` -- line numbers are
+stripped so the join survives code moving by a few lines -- and ranks
+frames by absolute self-time increase.  The top entries become the
+"culprit frames" named in the exit-5 report::
+
+    repro.core.optimizer:optimize +38.2% self-time (0.41s -> 0.57s)
+
+Baseline self-times are averaged across the baseline window, mirroring
+how the sentinel's bootstrap CI treats scalar metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .prof import FoldedProfile
+
+__all__ = [
+    "diff_profiles",
+    "attribute_regression",
+    "render_culprit",
+]
+
+#: Frames whose self-time moved by less than this many seconds are
+#: noise at sampling resolution and never reported.
+MIN_DELTA_S = 0.002
+
+
+def _mean_self_seconds(
+    profiles: Iterable[FoldedProfile],
+) -> Dict[str, float]:
+    """Per-frame self-seconds averaged across ``profiles``."""
+    totals: Dict[str, float] = {}
+    count = 0
+    for profile in profiles:
+        count += 1
+        for frame, seconds in profile.self_seconds().items():
+            totals[frame] = totals.get(frame, 0.0) + seconds
+    if count == 0:
+        return {}
+    return {frame: seconds / count for frame, seconds in totals.items()}
+
+
+def diff_profiles(
+    candidate: FoldedProfile,
+    baselines: List[FoldedProfile],
+    top: int = 5,
+    min_delta_s: float = MIN_DELTA_S,
+) -> List[Dict[str, Any]]:
+    """The top frames by self-time *increase*, candidate vs baseline.
+
+    Returns culprit documents sorted by absolute self-seconds gained,
+    descending.  Frames absent from every baseline profile are tagged
+    ``"new"``; everything else ``"regressed"``.  Frames that got
+    *faster* are not culprits and are omitted.
+    """
+    if not baselines:
+        return []
+    candidate_self = candidate.self_seconds()
+    baseline_self = _mean_self_seconds(baselines)
+    culprits: List[Dict[str, Any]] = []
+    for frame, cand_s in candidate_self.items():
+        base_s = baseline_self.get(frame, 0.0)
+        delta_s = cand_s - base_s
+        if delta_s < min_delta_s:
+            continue
+        doc: Dict[str, Any] = {
+            "frame": frame,
+            "candidate_s": round(cand_s, 6),
+            "baseline_s": round(base_s, 6),
+            "delta_s": round(delta_s, 6),
+            "status": "new" if base_s == 0.0 else "regressed",
+        }
+        if base_s > 0.0:
+            doc["delta_pct"] = round(100.0 * delta_s / base_s, 1)
+        culprits.append(doc)
+    culprits.sort(key=lambda doc: (-doc["delta_s"], doc["frame"]))
+    return culprits[:top]
+
+
+def render_culprit(culprit: Dict[str, Any]) -> str:
+    """One human line for one culprit document."""
+    frame = culprit["frame"]
+    if culprit.get("status") == "new":
+        return (
+            f"{frame} +{culprit['delta_s']:.3f}s self-time "
+            f"(new frame, absent from baseline)"
+        )
+    return (
+        f"{frame} +{culprit.get('delta_pct', 0.0):.1f}% self-time "
+        f"({culprit['baseline_s']:.3f}s -> {culprit['candidate_s']:.3f}s)"
+    )
+
+
+def _profile_of(row: Dict[str, Any]) -> Optional[FoldedProfile]:
+    doc = row.get("profile")
+    if not isinstance(doc, dict) or not doc.get("folded"):
+        return None
+    try:
+        return FoldedProfile.from_payload(doc)
+    except (TypeError, ValueError):
+        return None
+
+
+def attribute_regression(
+    candidate_row: Dict[str, Any],
+    baseline_rows: List[Dict[str, Any]],
+    top: int = 5,
+) -> List[Dict[str, Any]]:
+    """Culprit frames for one history benchmark's gating verdict.
+
+    ``candidate_row`` / ``baseline_rows`` are ``BENCH_history.jsonl``
+    rows; rows without a ``profile`` artifact are skipped, and an
+    empty list means attribution was not possible (the sentinel's
+    verdicts stand on their own either way).
+    """
+    candidate = _profile_of(candidate_row)
+    if candidate is None:
+        return []
+    baselines = [
+        profile
+        for profile in (_profile_of(row) for row in baseline_rows)
+        if profile is not None
+    ]
+    if not baselines:
+        return []
+    return diff_profiles(candidate, baselines, top=top)

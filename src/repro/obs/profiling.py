@@ -28,6 +28,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional, TypeVar
 
+from . import prof as _prof
 from .context import current_context
 from .metrics import get_registry
 from .trace import get_tracer
@@ -89,13 +90,14 @@ class profile_block:
     the phase table and histogram always record.
     """
 
-    __slots__ = ("name", "attributes", "_start", "_span")
+    __slots__ = ("name", "attributes", "_start", "_span", "_tagged")
 
     def __init__(self, name: str, **attributes: Any):
         self.name = name
         self.attributes = attributes
         self._start = 0.0
         self._span = None
+        self._tagged = False
 
     def __enter__(self) -> "profile_block":
         if current_context() is not None:
@@ -103,11 +105,21 @@ class profile_block:
                 self.name, attributes=self.attributes or None
             )
             self._span.__enter__()
+        # While the continuous sampler is live, tag this thread's
+        # samples with the phase name (a leading ``phase:`` frame in
+        # the folded output); a dict lookup and append when on, one
+        # bool check when off.
+        if _prof.tagging_active():
+            _prof.push_phase(self.name)
+            self._tagged = True
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter() - self._start
+        if self._tagged:
+            _prof.pop_phase()
+            self._tagged = False
         _record(self.name, elapsed)
         if self._span is not None:
             self._span.__exit__(exc_type, exc, tb)

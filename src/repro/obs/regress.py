@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .history import HISTORY_SCHEMA_VERSION, HistoryStore
+from .profdiff import attribute_regression, render_culprit
 
 __all__ = [
     "LOWER_IS_BETTER",
@@ -222,6 +223,12 @@ class RegressionReport:
     """Every verdict of one ``bench-check`` invocation."""
 
     verdicts: List[MetricVerdict] = field(default_factory=list)
+    #: Per-benchmark culprit frames from the differential profiler
+    #: (:mod:`repro.obs.profdiff`); only populated for benchmarks with
+    #: a gating verdict whose history rows carry profile artifacts.
+    attributions: Dict[str, List[Dict[str, Any]]] = field(
+        default_factory=dict
+    )
 
     @property
     def failures(self) -> List[MetricVerdict]:
@@ -236,6 +243,7 @@ class RegressionReport:
             "ok": self.ok,
             "failures": [v.metric for v in self.failures],
             "verdicts": [v.payload() for v in self.verdicts],
+            "attributions": self.attributions,
         }
 
     def to_json(self) -> str:
@@ -277,6 +285,13 @@ class RegressionReport:
                 f"{verdict.metric}  value={value} baseline{span} "
                 f"({verdict.direction}, n={verdict.baseline_runs})"
             )
+        for benchmark in sorted(self.attributions):
+            culprits = self.attributions[benchmark]
+            if not culprits:
+                continue
+            lines.append(f"  culprit frames ({benchmark}):")
+            for culprit in culprits:
+                lines.append(f"    {render_culprit(culprit)}")
         return "\n".join(lines)
 
 
@@ -410,6 +425,13 @@ def check_rows(
                         baseline_runs=len(baseline_metrics[metric]),
                     )
                 )
+        # A gating verdict names *that* the benchmark moved; when the
+        # candidate and its baseline carry sampled profiles, the
+        # differential profiler names *which frames* moved it.
+        if any(v.gating for v in report.verdicts if v.benchmark == name):
+            culprits = attribute_regression(candidate, baseline)
+            if culprits:
+                report.attributions[name] = culprits
     return report
 
 

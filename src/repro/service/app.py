@@ -42,6 +42,7 @@ from ..campaign.jobs import JobManager
 from ..obs.context import new_span_id
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import get_registry, render_merged
+from ..obs.prof import DEFAULT_HZ, acquire_sampler, release_sampler
 from ..obs.slo import SLObjective, SLOTracker
 from ..obs.stream import EventBus
 from ..obs.trace import get_tracer
@@ -130,6 +131,12 @@ class ServiceConfig:
     #: that fails its integrity checks is quarantined (served around,
     #: reported in ``/healthz``), never trusted.
     tensor_dir: Optional[str] = None
+    #: Continuous sampling profiler (``GET /v1/profile``).  Default-on:
+    #: the sampler costs well under the 2% overhead budget gated by
+    #: ``make bench-profile``; ``serve --no-profile`` turns it off.
+    profile: bool = True
+    #: Stack sampling rate for the continuous profiler.
+    profile_hz: float = DEFAULT_HZ
 
 
 class ModelService:
@@ -198,14 +205,27 @@ class ModelService:
                     "Seconds since the served tensor store was built",
                     callback=lambda: max(0.0, time.time() - built),
                 )
+        #: The continuous sampling profiler behind ``GET /v1/profile``.
+        #: Refcounted process-global: many services (tests build
+        #: dozens) share one sampling thread; :meth:`close` releases
+        #: this instance's reference.
+        self.sampler = (
+            acquire_sampler(self.config.profile_hz)
+            if self.config.profile
+            else None
+        )
+        self._sampler_held = self.sampler is not None
 
     def close(self) -> None:
         """Drain jobs, flush the campaign store, release the worker
-        threads (idempotent)."""
+        threads and the profiler reference (idempotent)."""
         if self.fastpath is not None:
             self.fastpath.drain()
         self.jobs.close(drain_timeout_s=self.config.drain_timeout_s)
         self._executor.shutdown(wait=False)
+        if self._sampler_held:
+            self._sampler_held = False
+            release_sampler()
 
     # -- entry point -------------------------------------------------------
 
@@ -352,6 +372,9 @@ class ModelService:
         if path == "/v1/traces":
             self._require_method(method, "GET", path)
             return 200, self._traces(query), None
+        if path == "/v1/profile":
+            self._require_method(method, "GET", path)
+            return 200, await self._profile(query), None
         if path == "/v1/events":
             self._require_method(method, "GET", path)
             return self._events(query) + (None,)
@@ -522,6 +545,52 @@ class ModelService:
         return 200, events_payload(
             self.events, stream, cursor=cursor, limit=limit
         )
+
+    async def _profile(self, query: Dict[str, Any]) -> Any:
+        """``GET /v1/profile``: one sampled window off the live process.
+
+        ``seconds`` (default 1, max 60) is the capture window --
+        request time is dominated by it by design; ``seconds=0`` skips
+        the wait and returns everything sampled since the profiler
+        started.  ``format=json`` (default) returns the folded stacks
+        plus a top-N self-time table; ``format=folded`` returns the
+        raw collapsed-stack text that flamegraph.pl and speedscope
+        ingest directly.
+        """
+        if self.sampler is None:
+            raise _ProfilerDisabledError(
+                "the continuous profiler is off on this instance "
+                "(started with --no-profile)"
+            )
+        seconds_text = query.get("seconds", ["1"])[0]
+        try:
+            seconds = float(seconds_text)
+        except ValueError:
+            raise BadRequestError(
+                f"seconds must be a number, got {seconds_text!r}"
+            ) from None
+        if not 0.0 <= seconds <= 60.0:
+            raise BadRequestError(
+                f"seconds must be within [0, 60], got {seconds:g}"
+            )
+        fmt = query.get("format", ["json"])[0]
+        if fmt not in ("json", "folded"):
+            raise BadRequestError(
+                f"format must be 'json' or 'folded', got {fmt!r}"
+            )
+        if seconds > 0:
+            mark = self.sampler.mark()
+            await asyncio.sleep(seconds)
+            profile = self.sampler.window_since(mark)
+        else:
+            profile = self.sampler.profile()
+        if fmt == "folded":
+            from .http import TextPayload  # late: http imports app
+
+            return TextPayload(profile.to_text())
+        doc = profile.payload()
+        doc["top"] = profile.top_self(10)
+        return doc
 
     def _traces(self, query: Dict[str, Any]) -> Dict[str, Any]:
         """The ``GET /v1/traces`` payload: buffered spans, filtered."""
@@ -759,6 +828,10 @@ class ModelService:
 
 class _NotFoundError(ServiceError):
     http_status = 404
+
+
+class _ProfilerDisabledError(ServiceError):
+    http_status = 503
 
 
 class _MethodNotAllowedError(ServiceError):

@@ -40,6 +40,7 @@ __all__ = [
     "sse_frame",
     "sse_lagged_frame",
     "sse_end_frame",
+    "telemetry_loss",
 ]
 
 SSE_CONTENT_TYPE = "text/event-stream"
@@ -76,14 +77,47 @@ def sse_lagged_frame(stream: str, dropped: int, resume_cursor: int) -> bytes:
     return f"event: stream.lagged\ndata: {data}\n\n".encode("utf-8")
 
 
-def sse_end_frame(stream: str) -> bytes:
-    """The terminal frame of a closed, fully drained stream."""
-    data = json.dumps(
-        {"stream": stream, "kind": "stream.end"},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+def sse_end_frame(
+    stream: str, loss: Optional[Dict[str, int]] = None
+) -> bytes:
+    """The terminal frame of a closed, fully drained stream.
+
+    ``loss`` (events trimmed from bus retention, spans evicted from
+    the trace ring -- process totals) rides along so a watch client
+    can report telemetry loss without scraping ``/metrics``.  Like the
+    lagged frame, this one carries no ``id:``: it is synthetic, not
+    part of the stream's canonical byte sequence.
+    """
+    doc: Dict[str, Any] = {"stream": stream, "kind": "stream.end"}
+    if loss:
+        doc["loss"] = {key: int(value) for key, value in loss.items()}
+    data = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return f"event: stream.end\ndata: {data}\n\n".encode("utf-8")
+
+
+def telemetry_loss(
+    bus: EventBus, since: Optional[Dict[str, int]] = None
+) -> Dict[str, int]:
+    """Telemetry loss counters for the end frame.
+
+    Absolute process totals by default; pass a ``since`` marker (an
+    earlier return value) for the loss accrued across an interval --
+    a tailing response reports the loss of *its own* lifetime, not
+    everything the process ever trimmed.
+    """
+    from ..obs.trace import get_tracer
+
+    loss = {"events_trimmed": int(bus.stats().get("trimmed", 0))}
+    try:
+        loss["trace_spans_dropped"] = int(get_tracer().stats()["dropped"])
+    except Exception:  # tracer not configured in this process
+        loss["trace_spans_dropped"] = 0
+    if since:
+        loss = {
+            key: max(0, value - int(since.get(key, 0)))
+            for key, value in loss.items()
+        }
+    return loss
 
 
 def events_payload(
@@ -131,6 +165,9 @@ class EventStreamResponse:
         self.poll_interval_s = poll_interval_s
         #: Optional hard cap on delivered events (tests; bounded tails).
         self.max_events = max_events
+        #: Loss baseline at open: the end frame reports only the loss
+        #: accrued while this response was streaming.
+        self._loss_at_open = telemetry_loss(bus)
 
     async def frames(self) -> AsyncIterator[bytes]:
         """Yield SSE frames from ``cursor`` until the stream ends."""
@@ -157,6 +194,11 @@ class EventStreamResponse:
                     return
             cursor = max(cursor, slice_.next_cursor)
             if slice_.closed and cursor >= self.bus.cursor(self.stream):
-                yield sse_end_frame(self.stream)
+                yield sse_end_frame(
+                    self.stream,
+                    loss=telemetry_loss(
+                        self.bus, since=self._loss_at_open
+                    ),
+                )
                 return
             await asyncio.sleep(self.poll_interval_s)

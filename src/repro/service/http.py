@@ -26,6 +26,7 @@ __all__ = [
     "run_server",
     "serve_until",
     "write_stream_response",
+    "TextPayload",
 ]
 
 #: Hard cap on request bodies (1 MiB is orders beyond any valid query).
@@ -49,6 +50,17 @@ _log = get_logger("service")
 
 #: Content type of the Prometheus text exposition (format 0.0.4).
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TextPayload(str):
+    """A plain-text response body with its own content type.
+
+    Handlers return one for non-Prometheus text (folded profiles from
+    ``GET /v1/profile?format=folded``); the transport ships it verbatim
+    under ``content_type`` instead of the 0.0.4 exposition type.
+    """
+
+    content_type = "text/plain; charset=utf-8"
 
 
 class _ProtocolError(Exception):
@@ -122,7 +134,7 @@ def _encode_response(
     """
     if isinstance(payload, str):
         body = payload.encode("utf-8")
-        content_type = PROM_CONTENT_TYPE
+        content_type = getattr(payload, "content_type", PROM_CONTENT_TYPE)
     else:
         body = json.dumps(payload).encode("utf-8")
         content_type = "application/json"

@@ -75,6 +75,11 @@ class WatchState:
     final_state: Optional[str] = None
     #: Resume point: the next sequence number wanted on reconnect.
     cursor: int = 0
+    #: Telemetry loss totals reported by the terminal ``stream.end``
+    #: frame: events trimmed from bus retention and spans evicted
+    #: from the trace ring on the serving process.
+    events_trimmed: int = 0
+    spans_dropped: int = 0
 
 
 def _parse_frame(lines: List[str]) -> Optional[SSEFrame]:
@@ -167,6 +172,12 @@ def _apply(state: WatchState, frame: SSEFrame) -> None:
             state.done = data["done"]
     elif kind == "stream.end":
         state.finished = True
+        loss = doc.get("loss")
+        if isinstance(loss, dict):
+            state.events_trimmed = int(loss.get("events_trimmed", 0) or 0)
+            state.spans_dropped = int(
+                loss.get("trace_spans_dropped", 0) or 0
+            )
 
 
 def _progress(state: WatchState) -> str:
@@ -243,7 +254,17 @@ def render_event(state: WatchState, frame: SSEFrame) -> Optional[str]:
         summary = progress or f"{state.done} task(s)"
         return f"{prefix} finished {data.get('state', '?')} -- {summary}"
     if kind == "stream.end":
-        return f"{prefix} stream ended"
+        loss = ""
+        if state.events_trimmed or state.spans_dropped:
+            loss = (
+                f" -- loss: {state.events_trimmed} event(s) trimmed, "
+                f"{state.spans_dropped} span(s) evicted"
+            )
+        if state.final_state is not None:
+            # The job.finished line already closed the story; add a
+            # footer only when there is loss worth reporting.
+            return f"{prefix}{loss}" if loss else None
+        return f"{prefix} stream ended{loss}"
     return f"{prefix} {kind}"
 
 
@@ -319,14 +340,19 @@ def watch(
             for frame in iter_sse_frames(response):
                 reconnects = 0
                 _apply(state, frame)
-                line = (
-                    frame.data
-                    if as_json
-                    else render_event(state, frame)
-                )
+                if as_json:
+                    # JSON mode prints only the canonical sequenced
+                    # lines; synthetic lagged/end frames are control
+                    # frames, not part of the replayable byte stream.
+                    line = frame.data if frame.seq is not None else None
+                else:
+                    line = render_event(state, frame)
                 if line is not None:
                     emit(line)
-                if state.finished:
+                if frame.kind == "stream.end":
+                    # The terminal frame (it follows job.finished
+                    # immediately) carries the loss footer; exit
+                    # status still mirrors the job's outcome.
                     return (
                         1 if state.final_state == "failed" else 0
                     )
@@ -338,6 +364,10 @@ def watch(
             pass  # dropped tail: fall through to reconnect
         finally:
             conn.close()
+        if state.finished:
+            # Upstream hung up after the outcome was known but before
+            # the terminal frame; nothing left worth reconnecting for.
+            return 1 if state.final_state == "failed" else 0
         reconnects += 1
         if reconnects > MAX_RECONNECTS:
             raise ReproError(

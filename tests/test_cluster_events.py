@@ -345,3 +345,50 @@ class TestKilledWorkerMidTail:
             conn.close()
         finally:
             harness.stop()
+
+
+class TestFleetProfile:
+    """``GET /v1/profile`` through the router: concurrent captures on
+    every worker merged into one folded view whose stacks keep
+    per-worker attribution as a leading ``worker:wN`` frame."""
+
+    def test_merged_json_capture_attributes_workers(self, cluster):
+        status, body = _request(
+            cluster.port, "GET", "/v1/profile?seconds=0&format=json"
+        )
+        assert status == 200, body
+        payload = json.loads(body)
+        workers = payload["workers"]
+        assert set(workers) <= {"w1", "w2"}
+        assert workers, "no worker answered the capture"
+        for name, doc in workers.items():
+            assert doc["worker"] == name
+            assert doc["format"] == "folded"
+        merged = payload["merged"]
+        assert merged["samples"] == sum(
+            doc["samples"] for doc in workers.values()
+        )
+        from repro.obs.prof import parse_folded_line
+
+        for line in merged["folded"]:
+            stack, _count = parse_folded_line(line)
+            assert stack[0] in ("worker:w1", "worker:w2")
+
+    def test_merged_folded_capture_is_plain_text(self, cluster):
+        status, body = _request(
+            cluster.port, "GET", "/v1/profile?seconds=0&format=folded"
+        )
+        assert status == 200, body
+        from repro.obs.prof import parse_folded_line
+
+        lines = body.decode("utf-8").splitlines()
+        assert lines
+        for line in lines:
+            stack, _count = parse_folded_line(line)
+            assert stack[0].startswith("worker:")
+
+    def test_bad_seconds_rejected_at_the_router(self, cluster):
+        status, body = _request(
+            cluster.port, "GET", "/v1/profile?seconds=120"
+        )
+        assert status == 400, body

@@ -163,9 +163,12 @@ class TestRouting:
 
         async def _direct():
             service = ModelService(ServiceConfig(batch_window_ms=0.5))
-            return await service.handle_request(
-                "POST", "/v1/speedup", SPEEDUP_BODY
-            )
+            try:
+                return await service.handle_request(
+                    "POST", "/v1/speedup", SPEEDUP_BODY
+                )
+            finally:
+                service.close()
 
         direct_status, direct_payload, _ = asyncio.run(_direct())
         assert direct_status == 200

@@ -35,4 +35,5 @@ def test_expected_examples_present():
         "mixed_chip",
         "parallelism_profiles",
         "execution_trace",
+        "profile_regression",
     } <= names

@@ -1,0 +1,434 @@
+"""The continuous profiling plane: sampler, folded profiles, diffs.
+
+Covers the determinism contract (a seeded fake clock plus fake frame
+chains produce bit-identical folded output), sampler lifecycle
+(start/stop idempotence, daemon thread, global refcounting), phase
+tagging, parent-side-only campaign sampling over a process pool, and
+the differential profiler through ``check_rows`` -- the acceptance
+path where a seeded 30% slowdown exits the gate naming the culprit
+frame.
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.obs import prof
+from repro.obs.history import HISTORY_SCHEMA_VERSION
+from repro.obs.prof import (
+    DEFAULT_HZ,
+    FoldedProfile,
+    StackSampler,
+    acquire_sampler,
+    collect_stack,
+    frame_label,
+    get_sampler,
+    parse_folded_line,
+    release_sampler,
+    strip_line,
+)
+from repro.obs.profdiff import (
+    attribute_regression,
+    diff_profiles,
+    render_culprit,
+)
+from repro.obs.regress import check_rows
+
+
+# -- fake frames (duck-typed like interpreter frame objects) ---------------
+
+
+class _FakeCode:
+    def __init__(self, name):
+        self.co_name = name
+
+
+class _FakeFrame:
+    def __init__(self, module, func, line, back=None):
+        self.f_code = _FakeCode(func)
+        self.f_globals = {"__name__": module}
+        self.f_lineno = line
+        self.f_back = back
+
+
+def _chain(*frames):
+    """The leaf frame of a call chain given root-first ``frames``."""
+    back = None
+    for module, func, line in frames:
+        back = _FakeFrame(module, func, line, back=back)
+    return back
+
+
+class _FakeClock:
+    def __init__(self, start=100.0, step=0.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def _profile_from(stacks, hz=DEFAULT_HZ):
+    profile = FoldedProfile(hz=hz)
+    for stack, count in stacks:
+        profile.add_stack(stack, count)
+        profile.samples += count
+    return profile
+
+
+# -- folded format ---------------------------------------------------------
+
+
+class TestFoldedFormat:
+    def test_frame_label_and_strip(self):
+        frame = _chain(("repro.core.optimizer", "optimize", 42))
+        assert frame_label(frame) == "repro.core.optimizer:optimize:42"
+        assert (
+            strip_line("repro.core.optimizer:optimize:42")
+            == "repro.core.optimizer:optimize"
+        )
+        # Marker frames carry no line and pass through unchanged.
+        assert strip_line("phase:optimize") == "phase:optimize"
+        assert strip_line("worker:w1") == "worker:w1"
+
+    def test_collect_stack_is_root_first(self):
+        leaf = _chain(("m", "root", 1), ("m", "mid", 2), ("m", "leaf", 3))
+        assert collect_stack(leaf) == (
+            "m:root:1",
+            "m:mid:2",
+            "m:leaf:3",
+        )
+
+    def test_collect_stack_truncates_rootward(self):
+        frames = [("m", f"f{i}", i) for i in range(10)]
+        leaf = _chain(*frames)
+        stack = collect_stack(leaf, max_depth=3)
+        # The leaf survives truncation: self-time lives there.
+        assert stack[-1] == "m:f9:9"
+        assert len(stack) == 3
+
+    def test_parse_folded_line_round_trip(self):
+        profile = _profile_from(
+            [(("m:a:1", "m:b:2"), 3), (("m:a:1",), 1)]
+        )
+        for line in profile.folded_lines():
+            stack, count = parse_folded_line(line)
+            assert profile.counts[stack] == count
+
+    def test_parse_folded_line_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_folded_line("no-count-here")
+        with pytest.raises(ValueError):
+            parse_folded_line("m:a:1 0")
+        with pytest.raises(ValueError):
+            parse_folded_line(" 3")
+
+    def test_merge_with_worker_prefix(self):
+        w1 = _profile_from([(("m:a:1",), 2)])
+        w2 = _profile_from([(("m:a:1",), 3)])
+        merged = FoldedProfile(hz=w1.hz)
+        merged.merge(w1, prefix="worker:w1")
+        merged.merge(w2, prefix="worker:w2")
+        assert merged.counts[("worker:w1", "m:a:1")] == 2
+        assert merged.counts[("worker:w2", "m:a:1")] == 3
+        assert merged.samples == 5
+
+    def test_payload_round_trip(self):
+        profile = _profile_from(
+            [(("m:a:1", "m:b:2"), 4), (("phase:x", "m:a:1"), 1)]
+        )
+        profile.worker = "w1"
+        profile.trace_id = "t" * 32
+        clone = FoldedProfile.from_payload(profile.payload())
+        assert clone.counts == profile.counts
+        assert clone.worker == "w1"
+        assert clone.trace_id == "t" * 32
+        assert clone.folded_lines() == profile.folded_lines()
+
+    def test_self_seconds_attributes_leaf_only(self):
+        profile = _profile_from(
+            [(("m:a:1", "m:b:10"), 5), (("m:a:1", "m:b:11"), 5)],
+            hz=10.0,
+        )
+        self_s = profile.self_seconds()
+        # Both stacks lead to m:b (different lines, same key after
+        # stripping); the parent m:a gets no self-time.
+        assert self_s == {"m:b": pytest.approx(1.0)}
+        assert profile.total_seconds() == pytest.approx(1.0)
+        top = profile.top_self(5)
+        assert top[0]["frame"] == "m:b"
+        assert top[0]["self_pct"] == pytest.approx(100.0)
+
+
+# -- the sampler -----------------------------------------------------------
+
+
+class TestSampler:
+    def test_folded_output_is_deterministic(self):
+        def frames():
+            return {
+                7001: _chain(("m", "root", 1), ("m", "hot", 9)),
+                7002: _chain(("m", "root", 1), ("m", "cold", 5)),
+            }
+
+        outputs = []
+        for _ in range(2):
+            sampler = StackSampler(
+                hz=100.0,
+                clock=_FakeClock(start=50.0, step=0.01),
+                frames_provider=frames,
+            )
+            for _ in range(25):
+                sampler.sample_once()
+            outputs.append(sampler.profile().to_text())
+        assert outputs[0] == outputs[1]
+        profile = FoldedProfile.from_text(outputs[0], hz=100.0)
+        assert profile.counts[("m:root:1", "m:hot:9")] == 25
+
+    def test_sample_once_skips_own_thread(self):
+        own = threading.get_ident()
+
+        def frames():
+            return {own: _chain(("m", "me", 1))}
+
+        sampler = StackSampler(
+            hz=10.0, clock=_FakeClock(), frames_provider=frames
+        )
+        assert sampler.sample_once() == 0
+        assert sampler.profile().counts == {}
+
+    def test_phase_tag_prefixes_sampled_stack(self):
+        ident = 424242
+
+        def frames():
+            return {ident: _chain(("m", "work", 3))}
+
+        sampler = StackSampler(
+            hz=10.0, clock=_FakeClock(), frames_provider=frames
+        )
+        prof._PHASES[ident] = ["optimize"]
+        try:
+            sampler.sample_once()
+        finally:
+            prof._PHASES.pop(ident, None)
+        assert sampler.profile().counts == {
+            ("phase:optimize", "m:work:3"): 1
+        }
+
+    def test_window_since_isolates_the_interval(self):
+        def frames():
+            return {1: _chain(("m", "f", 1))}
+
+        clock = _FakeClock(start=10.0, step=0.0)
+        sampler = StackSampler(
+            hz=10.0, clock=clock, frames_provider=frames
+        )
+        sampler.sample_once()
+        sampler.sample_once()
+        marker = sampler.mark()
+        clock.now = 12.5
+        sampler.sample_once()
+        window = sampler.window_since(marker, worker="w3")
+        assert window.counts == {("m:f:1",): 1}
+        assert window.samples == 1
+        assert window.worker == "w3"
+        assert window.duration_s == pytest.approx(2.5)
+
+    def test_start_stop_idempotent_and_daemon(self):
+        sampler = StackSampler(hz=200.0)
+        assert sampler.stop() is False  # never started
+        assert sampler.start() is True
+        try:
+            assert sampler.running
+            assert sampler._thread.daemon is True
+            assert sampler.start() is False  # already running
+        finally:
+            assert sampler.stop() is True
+        assert not sampler.running
+        assert sampler.stop() is False  # already stopped
+
+    def test_real_thread_samples_this_process(self):
+        sampler = StackSampler(hz=500.0)
+        sampler.start()
+        try:
+            event = threading.Event()
+            event.wait(0.2)
+        finally:
+            sampler.stop()
+        profile = sampler.profile()
+        assert profile.samples > 10
+        # The waiting main thread shows up under threading.wait.
+        assert any(
+            "threading" in frame for stack in profile.counts
+            for frame in stack
+        )
+
+    def test_tagging_flag_follows_lifecycle(self):
+        sampler = StackSampler(hz=200.0)
+        assert not prof.tagging_active()
+        sampler.start()
+        try:
+            assert prof.tagging_active()
+        finally:
+            sampler.stop()
+        assert not prof.tagging_active()
+
+
+class TestGlobalSampler:
+    def test_refcounted_acquire_release(self):
+        assert get_sampler() is None
+        first = acquire_sampler(hz=200.0)
+        try:
+            assert first.running
+            second = acquire_sampler()
+            assert second is first
+            assert release_sampler() is False  # one ref remains
+            assert get_sampler() is first
+        finally:
+            assert release_sampler() is True  # last ref stops it
+        assert get_sampler() is None
+        assert not first.running
+        assert release_sampler() is False  # over-release is harmless
+
+
+# -- campaign integration --------------------------------------------------
+
+
+def _tiny_spec():
+    return CampaignSpec(name="prof-test", figures=("F6",))
+
+
+class TestCampaignProfiling:
+    def test_serial_run_produces_tagged_window(self):
+        runner = CampaignRunner(executor="serial", workers=1)
+        report = runner.run(_tiny_spec())
+        assert report.ok
+        profile = runner.last_profile
+        assert isinstance(profile, FoldedProfile)
+        assert profile.trace_id is not None
+        assert len(profile.trace_id) == 32
+        # The runner's reference was released after the run.
+        assert get_sampler() is None
+
+    def test_profile_off_leaves_no_sampler(self):
+        runner = CampaignRunner(
+            executor="serial", workers=1, profile=False
+        )
+        report = runner.run(_tiny_spec())
+        assert report.ok
+        assert runner.last_profile is None
+        assert get_sampler() is None
+
+    def test_process_pool_campaign_samples_parent_side_only(self):
+        # Spawn-pinned children must not inherit or crash on the
+        # parent's sampler thread; the run completes and the window
+        # exists (its stacks are the parent's own pool-wait frames).
+        runner = CampaignRunner(executor="process", workers=2)
+        report = runner.run(_tiny_spec())
+        assert report.ok
+        assert runner.last_profile is not None
+        assert get_sampler() is None
+
+
+# -- differential profiling ------------------------------------------------
+
+
+def _folded_profile(hot_count, cold_count=50, hz=100.0):
+    return _profile_from(
+        [
+            (("m:main:1", "repro.core.optimizer:optimize:77"), hot_count),
+            (("m:main:1", "m:io:9"), cold_count),
+        ],
+        hz=hz,
+    )
+
+
+class TestProfDiff:
+    def test_names_the_regressed_frame(self):
+        baselines = [_folded_profile(100) for _ in range(3)]
+        candidate = _folded_profile(130)  # +30% on the hot frame
+        culprits = diff_profiles(candidate, baselines)
+        assert culprits
+        top = culprits[0]
+        assert top["frame"] == "repro.core.optimizer:optimize"
+        assert top["status"] == "regressed"
+        assert top["delta_pct"] == pytest.approx(30.0, abs=0.2)
+        line = render_culprit(top)
+        assert "repro.core.optimizer:optimize" in line
+        assert "% self-time" in line
+
+    def test_new_frames_are_tagged_new(self):
+        baselines = [_folded_profile(100)]
+        candidate = _folded_profile(100)
+        candidate.add_stack(("m:main:1", "m:fresh:5"), 40)
+        culprits = diff_profiles(candidate, baselines)
+        fresh = [c for c in culprits if c["frame"] == "m:fresh"]
+        assert fresh and fresh[0]["status"] == "new"
+        assert "new frame" in render_culprit(fresh[0])
+
+    def test_noise_floor_filters_tiny_deltas(self):
+        baselines = [_folded_profile(1000, hz=10000.0)]
+        candidate = _folded_profile(1001, hz=10000.0)  # +0.1ms
+        assert diff_profiles(candidate, baselines) == []
+
+    def test_no_baselines_means_no_attribution(self):
+        assert diff_profiles(_folded_profile(10), []) == []
+        assert attribute_regression({"profile": None}, []) == []
+
+
+# -- the acceptance path: bench-check names the culprit --------------------
+
+
+def _history_row(run_id, best_s, hot_count):
+    return {
+        "benchmark": "bench_demo",
+        "envelope": {
+            "run_id": run_id,
+            "host_fingerprint": "host-a",
+            "schema_version": HISTORY_SCHEMA_VERSION,
+            "topology": None,
+        },
+        "metrics": {"best_s": best_s},
+        "profile": _folded_profile(hot_count).payload(),
+    }
+
+
+class TestRegressionAttribution:
+    def test_seeded_slowdown_gates_and_names_the_frame(self):
+        rows = [_history_row(i, 1.0, 100) for i in range(1, 6)]
+        # Candidate: 30% slower, and the profile says exactly where.
+        rows.append(_history_row(6, 1.3, 130))
+        report = check_rows(rows, seed=2010)
+        assert not report.ok
+        assert any(
+            v.metric == "best_s" and v.status == "regressed"
+            for v in report.verdicts
+        )
+        culprits = report.attributions["bench_demo"]
+        assert culprits[0]["frame"] == "repro.core.optimizer:optimize"
+        rendered = report.render()
+        assert "culprit frames (bench_demo)" in rendered
+        assert "repro.core.optimizer:optimize" in rendered
+        payload = report.payload()
+        assert payload["attributions"]["bench_demo"][0]["frame"] == (
+            "repro.core.optimizer:optimize"
+        )
+
+    def test_passing_run_attributes_nothing(self):
+        rows = [_history_row(i, 1.0, 100) for i in range(1, 7)]
+        report = check_rows(rows, seed=2010)
+        assert report.ok
+        assert report.attributions == {}
+
+    def test_profileless_history_still_gates(self):
+        rows = [_history_row(i, 1.0, 100) for i in range(1, 6)]
+        rows.append(_history_row(6, 1.3, 130))
+        for row in rows:
+            del row["profile"]
+        report = check_rows(rows, seed=2010)
+        assert not report.ok  # the verdicts stand without attribution
+        assert report.attributions == {}
